@@ -1,0 +1,305 @@
+package mac3d
+
+// One testing.B benchmark per table/figure of the paper, as required
+// by the reproduction harness: each bench regenerates its experiment
+// (at tiny scale, so `go test -bench=. -benchmem` completes in
+// minutes) and reports the headline metric via b.ReportMetric so the
+// paper-vs-measured comparison appears directly in bench output.
+//
+// The full-scale (small/ref) numbers behind EXPERIMENTS.md come from
+// `go run ./cmd/experiments -scale small`.
+
+import (
+	"testing"
+
+	"mac3d/internal/experiments"
+	"mac3d/internal/workloads"
+)
+
+func benchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	return experiments.NewSuite(experiments.Options{
+		Scale: workloads.Tiny,
+		Seed:  1,
+		// The four-kernel diverse subset keeps bench iterations
+		// fast; cmd/experiments runs all twelve.
+		Benchmarks: []string{"sg", "bfs", "mg", "is"},
+	})
+}
+
+// lastCell extracts the last row's metric column as a float where the
+// table stores it as formatted text; benches recompute instead, so
+// this helper stays unused — kept deliberately absent.
+
+func BenchmarkFig01MissRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		tab, err := s.Fig01MissRate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig01SizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if tab := s.Fig01SizeSweep(); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig03BandwidthEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Fig03BandwidthEfficiency(); len(tab.Rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Table1(); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig09RequestRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig09RequestRate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10CoalescingEfficiency(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig10CoalescingEfficiency(); err != nil {
+			b.Fatal(err)
+		}
+		// Recompute the 8-thread average for the report metric.
+		var sum float64
+		for _, name := range s.Options().Benchmarks {
+			res, err := s.MAC(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += res.Coalescer.CoalescingEfficiency()
+		}
+		eff = 100 * sum / float64(len(s.Options().Benchmarks))
+	}
+	b.ReportMetric(eff, "avg_coalesce_%") // paper: 52.86
+}
+
+func BenchmarkFig11ARQSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig11ARQSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12BankConflicts(b *testing.B) {
+	var removed float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig12BankConflicts(); err != nil {
+			b.Fatal(err)
+		}
+		var total int64
+		for _, name := range s.Options().Benchmarks {
+			w, err := s.MAC(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wo, err := s.Raw(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += int64(wo.Device.BankConflicts) - int64(w.Device.BankConflicts)
+		}
+		removed = float64(total)
+	}
+	b.ReportMetric(removed, "conflicts_removed") // paper: 644M avg/bench at full scale
+}
+
+func BenchmarkFig13BandwidthEfficiency(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig13BandwidthEfficiency(); err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, name := range s.Options().Benchmarks {
+			w, err := s.MAC(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += 100 * w.Device.BandwidthEfficiency()
+		}
+		eff = sum / float64(len(s.Options().Benchmarks))
+	}
+	b.ReportMetric(eff, "bandwidth_eff_%") // paper: 70.35 vs 33.33 raw
+}
+
+func BenchmarkFig14BandwidthSaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig14BandwidthSaving(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15TargetsPerEntry(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig15TargetsPerEntry(); err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, name := range s.Options().Benchmarks {
+			res, err := s.MAC(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += res.Coalescer.AvgTargetsPerTx()
+		}
+		avg = sum / float64(len(s.Options().Benchmarks))
+	}
+	b.ReportMetric(avg, "targets/entry") // paper: 2.13 avg
+}
+
+func BenchmarkFig16SpaceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Fig16SpaceOverhead(); len(tab.Rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig17Speedup(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.Fig17Speedup(); err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, name := range s.Options().Benchmarks {
+			w, err := s.MAC(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wo, err := s.Raw(name, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m := wo.RequestLatency.Mean(); m > 0 {
+				sum += 100 * (1 - w.RequestLatency.Mean()/m)
+			}
+		}
+		speedup = sum / float64(len(s.Options().Benchmarks))
+	}
+	b.ReportMetric(speedup, "mem_speedup_%") // paper: 60.73 avg
+}
+
+// Ablation benches (beyond the paper).
+
+func BenchmarkAblationFillMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.AblationFillMode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLSQDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.AblationLSQDepth(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMSHR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.AblationMSHR(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHBM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.AblationHBM(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.AblationWindow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.AblationGrain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		if _, err := s.AblationEnergy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Component micro-benchmarks: the hot paths of the simulator itself.
+
+func BenchmarkPipelineSG(b *testing.B) {
+	tr, err := workloads.Generate("sg", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = tr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(RunOptions{Workload: "sg"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workloads.Generate("bfs", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command macsim runs one benchmark through the node/MAC/HMC pipeline
+// and prints the full measurement report, optionally comparing the
+// designs.
+//
+// Usage:
+//
+//	macsim -workload sg [-threads 8] [-scale tiny|small|ref]
+//	       [-design mac|raw|mshr] [-compare] [-arq 32] [-seed 1]
+//	macsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mac3d"
+)
+
+func main() {
+	workload := flag.String("workload", "", "benchmark to run (see -list)")
+	traceFile := flag.String("in", "", "replay a binary trace file (from tracegen) instead of a benchmark")
+	threads := flag.Int("threads", 8, "hardware threads")
+	scaleFlag := flag.String("scale", "tiny", "input scale: tiny, small or ref")
+	designFlag := flag.String("design", "mac", "memory path: mac, raw or mshr")
+	compare := flag.Bool("compare", false, "run with and without MAC and report the deltas")
+	arq := flag.Int("arq", 0, "override ARQ entries (default 32)")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		infos := mac3d.Workloads()
+		sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+		for _, w := range infos {
+			fmt.Printf("%-10s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+	if *workload == "" && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "macsim: -workload or -in is required (try -list)")
+		os.Exit(2)
+	}
+
+	opts := mac3d.RunOptions{
+		Workload:   *workload,
+		Threads:    *threads,
+		Seed:       *seed,
+		ARQEntries: *arq,
+	}
+	switch *scaleFlag {
+	case "tiny":
+		opts.Scale = mac3d.ScaleTiny
+	case "small":
+		opts.Scale = mac3d.ScaleSmall
+	case "ref":
+		opts.Scale = mac3d.ScaleRef
+	default:
+		fmt.Fprintf(os.Stderr, "macsim: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	switch *designFlag {
+	case "mac":
+		opts.Design = mac3d.DesignMAC
+	case "raw":
+		opts.Design = mac3d.DesignRaw
+	case "mshr":
+		opts.Design = mac3d.DesignMSHR
+	default:
+		fmt.Fprintf(os.Stderr, "macsim: unknown design %q\n", *designFlag)
+		os.Exit(2)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if *compare {
+			rep, err := mac3d.CompareTraceFile(opts, f)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "macsim:", err)
+				os.Exit(1)
+			}
+			printRun("with MAC", &rep.With)
+			printRun("without MAC (raw 16B)", &rep.Without)
+			fmt.Printf("coalescing efficiency   %.2f%%\n", 100*rep.CoalescingEfficiency)
+			fmt.Printf("memory system speedup   %.2f%%\n", 100*rep.MemorySpeedup)
+			return
+		}
+		rep, err := mac3d.RunTraceFile(opts, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsim:", err)
+			os.Exit(1)
+		}
+		printRun(*traceFile, rep)
+		return
+	}
+
+	if *compare {
+		rep, err := mac3d.Compare(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsim:", err)
+			os.Exit(1)
+		}
+		printRun("with MAC", &rep.With)
+		printRun("without MAC (raw 16B)", &rep.Without)
+		fmt.Println("comparison")
+		fmt.Printf("  coalescing efficiency   %.2f%%\n", 100*rep.CoalescingEfficiency)
+		fmt.Printf("  memory system speedup   %.2f%%\n", 100*rep.MemorySpeedup)
+		fmt.Printf("  makespan speedup        %.2fx\n", rep.MakespanSpeedup)
+		fmt.Printf("  bank conflicts removed  %d\n", rep.BankConflictReduction)
+		fmt.Printf("  control bytes saved     %d\n", rep.BandwidthSavingBytes)
+		return
+	}
+
+	rep, err := mac3d.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macsim:", err)
+		os.Exit(1)
+	}
+	printRun(fmt.Sprintf("%s (%s)", *workload, rep.Design), rep)
+}
+
+func printRun(title string, r *mac3d.RunReport) {
+	fmt.Printf("%s\n", title)
+	fmt.Printf("  cycles                  %d\n", r.Cycles)
+	fmt.Printf("  instructions            %d (IPC %.3f, RPI %.3f)\n", r.Instructions, r.IPC, r.RPI)
+	fmt.Printf("  memory requests         %d (+%d SPM hits, access rate %.3f)\n",
+		r.MemRequests, r.SPMAccesses, r.MemAccessRate)
+	fmt.Printf("  transactions            %d (%d bypassed)\n", r.Transactions, r.Bypassed)
+	fmt.Printf("  coalescing efficiency   %.2f%% (avg targets/tx %.2f)\n",
+		100*r.CoalescingEfficiency, r.AvgTargetsPerTx)
+	sizes := make([]int, 0, len(r.TxBySize))
+	for s := range r.TxBySize {
+		sizes = append(sizes, int(s))
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Printf("    %4dB transactions     %d\n", s, r.TxBySize[uint32(s)])
+	}
+	fmt.Printf("  bank conflicts          %d\n", r.BankConflicts)
+	fmt.Printf("  data / control bytes    %d / %d (bandwidth efficiency %.2f%%)\n",
+		r.DataBytes, r.ControlBytes, 100*r.BandwidthEfficiency)
+	fmt.Printf("  avg request latency     %.1f cycles (%.1f ns), p99 %d, max %d\n",
+		r.AvgLatencyCycles, r.AvgLatencyNs, r.P99LatencyCycles, r.MaxLatencyCycles)
+	fmt.Printf("  achieved bandwidth      %.2f GB/s data, %.2f GB/s link\n", r.DataGBps, r.LinkGBps)
+	fmt.Printf("  issue stalls            %d LSQ, %d router, %d fence\n",
+		r.StallLSQ, r.StallRouter, r.StallFence)
+	if r.ARQOccupancy > 0 {
+		fmt.Printf("  avg ARQ occupancy       %.2f entries\n", r.ARQOccupancy)
+	}
+	fmt.Println()
+}

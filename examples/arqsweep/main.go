@@ -1,0 +1,51 @@
+// ARQ design study: the Figure 11 experiment as a library program.
+// Sweeps the Aggregated Request Queue depth and shows the diminishing
+// returns that justify the paper's 32-entry choice, over a workload
+// mix the user can edit.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mac3d"
+)
+
+func main() {
+	workloads := []string{"sg", "bfs", "mg", "is"}
+	entries := []int{8, 16, 32, 64, 128}
+
+	fmt.Println("coalescing efficiency (%) vs ARQ entries")
+	fmt.Printf("%-10s", "workload")
+	for _, e := range entries {
+		fmt.Printf("%8d", e)
+	}
+	fmt.Println()
+
+	avg := make([]float64, len(entries))
+	for _, wl := range workloads {
+		fmt.Printf("%-10s", wl)
+		for i, e := range entries {
+			rep, err := mac3d.Run(mac3d.RunOptions{
+				Workload:   wl,
+				Scale:      mac3d.ScaleTiny,
+				ARQEntries: e,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			eff := 100 * rep.CoalescingEfficiency
+			avg[i] += eff / float64(len(workloads))
+			fmt.Printf("%8.1f", eff)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-10s", "average")
+	for _, a := range avg {
+		fmt.Printf("%8.1f", a)
+	}
+	fmt.Println()
+
+	fmt.Println("\nPaper (Fig. 11): 37.6% at 8 entries rising to 56.0%, with the")
+	fmt.Println("marginal gain collapsing past 32 entries — the evaluated default.")
+}

@@ -1,0 +1,70 @@
+// Custom kernel: drive the simulator with your own memory-access
+// pattern through the public TraceBuilder API instead of the built-in
+// benchmarks. This example models a hash-join probe phase: a
+// sequential scan of the probe relation with random lookups into a
+// hash table, a pattern common in in-memory databases.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mac3d"
+)
+
+func main() {
+	const (
+		threads   = 8
+		probeRows = 1 << 13 // tuples per thread
+		tableSize = 1 << 22 // 4MB hash table
+	)
+
+	b, err := mac3d.NewTraceBuilder(threads, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	probe := b.Alloc(uint64(threads) * probeRows * 16) // 16B tuples
+	table := b.Alloc(tableSize)
+	out := b.Alloc(uint64(threads) * probeRows * 8)
+
+	rng := rand.New(rand.NewSource(42))
+	for tid := 0; tid < threads; tid++ {
+		base := uint64(tid) * probeRows
+		for i := uint64(0); i < probeRows; i++ {
+			// Sequential scan of the probe tuple (16B).
+			must(b.Load(tid, probe+(base+i)*16, 16))
+			b.Work(tid, 2) // hash the key
+			// Random probe into the hash table bucket (8B header).
+			bucket := uint64(rng.Intn(tableSize/64)) * 64
+			must(b.Load(tid, table+bucket, 8))
+			b.Work(tid, 3) // compare keys
+			// Sequential append of the match.
+			must(b.Store(tid, out+(base+i)*8, 8))
+			b.Work(tid, 1)
+		}
+	}
+
+	rep, err := mac3d.CompareTrace(mac3d.RunOptions{Workload: "hashjoin"}, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hash-join probe phase through MAC")
+	fmt.Printf("  traced events           %d\n", b.Events())
+	fmt.Printf("  coalescing efficiency   %.1f%%\n", 100*rep.CoalescingEfficiency)
+	fmt.Printf("  avg targets per tx      %.2f\n", rep.With.AvgTargetsPerTx)
+	fmt.Printf("  bandwidth efficiency    %.1f%% (raw: %.1f%%)\n",
+		100*rep.With.BandwidthEfficiency, 100*rep.Without.BandwidthEfficiency)
+	fmt.Printf("  memory system speedup   %.1f%%\n", 100*rep.MemorySpeedup)
+	fmt.Println("\nThe sequential scan and output streams coalesce into 64-256B")
+	fmt.Println("transactions while the random hash probes bypass as single FLITs —")
+	fmt.Println("exactly the adaptive behaviour §4.2 designs for.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

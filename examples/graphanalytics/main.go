@@ -1,0 +1,47 @@
+// Graph analytics: the workload class the paper's introduction
+// motivates. Runs the three GAP kernels (BFS, PageRank, connected
+// components) on R-MAT scale-free graphs under all three memory-path
+// designs — MAC, the conventional 64B MSHR coalescer, and the raw
+// FLIT path — and prints a side-by-side comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mac3d"
+)
+
+func main() {
+	kernels := []string{"bfs", "pr", "cc"}
+	designs := []mac3d.Design{mac3d.DesignMAC, mac3d.DesignMSHR, mac3d.DesignRaw}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "kernel\tdesign\ttransactions\tcoalesce%\tbandwidth%\tavg latency (cycles)\tbank conflicts")
+	for _, k := range kernels {
+		for _, d := range designs {
+			rep, err := mac3d.Run(mac3d.RunOptions{
+				Workload: k,
+				Design:   d,
+				Scale:    mac3d.ScaleTiny,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.1f\t%.0f\t%d\n",
+				k, rep.Design, rep.Transactions,
+				100*rep.CoalescingEfficiency, 100*rep.BandwidthEfficiency,
+				rep.AvgLatencyCycles, rep.BankConflicts)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nThe MAC sits between the fixed-size MSHR design and the raw path:")
+	fmt.Println("it adapts transaction sizes (64-256B) to the requested FLITs, so it")
+	fmt.Println("keeps the MSHR's transaction reduction while beating its bandwidth")
+	fmt.Println("efficiency — the §2.3.2 argument, measured.")
+}

@@ -1,0 +1,47 @@
+// NUMA scaling: the paper's §3 architecture sketches a multi-node
+// system where each node pairs a cache-less processor with its own
+// 3D-stacked device, and remote memory is reached through the owning
+// node's MAC. This example runs PageRank across 1, 2 and 4 nodes and
+// shows how the request router splits traffic between the Local and
+// Global access queues, and what the interconnect hop costs.
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "mac3d"
+
+func main() {
+	fmt.Println("PageRank on the multi-node MAC architecture")
+	fmt.Printf("%-6s %-8s %-8s %-10s %-12s %s\n",
+		"nodes", "remote%", "coalesce%", "latency(ns)", "conflicts", "per-node tx")
+	for _, nodes := range []int{1, 2, 4} {
+		rep, err := mac3d.RunNUMA(mac3d.NUMAOptions{
+			Workload:      "pr",
+			Threads:       8,
+			Nodes:         nodes,
+			CoresPerNode:  8,
+			LinkLatencyNs: 100,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var conflicts, tx uint64
+		var eff float64
+		for _, n := range rep.PerNode {
+			conflicts += n.BankConflicts
+			tx += n.Transactions
+			eff += n.CoalescingEfficiency / float64(len(rep.PerNode))
+		}
+		fmt.Printf("%-6d %-8.1f %-8.1f %-10.1f %-12d %d\n",
+			nodes, 100*rep.RemoteFraction, 100*eff, rep.AvgLatencyNs, conflicts, tx)
+	}
+	fmt.Println("\nWith row-granularity interleaving, (N-1)/N of requests cross the")
+	fmt.Println("interconnect. Each node's MAC coalesces its local and remote queues")
+	fmt.Println("identically, but splitting every thread's stream across N devices")
+	fmt.Println("dilutes per-row request density, so per-node coalescing efficiency")
+	fmt.Println("falls with node count — a real cost of fine-grained interleaving")
+	fmt.Println("that coarser blocks (try InterleaveBytes: 1<<20) largely recover.")
+}

@@ -1,0 +1,3 @@
+module mac3d
+
+go 1.22

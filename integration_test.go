@@ -1,0 +1,202 @@
+package mac3d
+
+// Integration tests across the whole stack: workload generation ->
+// node model -> router -> coalescer -> device -> response routing.
+// These assert cross-module invariants that no single package can
+// check alone.
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mac3d/internal/cpu"
+	"mac3d/internal/trace"
+	"mac3d/internal/workloads"
+)
+
+// TestEveryWorkloadEveryDesignDrains runs the full 12-benchmark suite
+// through all three memory-path designs and asserts the core
+// conservation law: every issued request retires exactly once.
+func TestEveryWorkloadEveryDesignDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	for _, name := range PaperWorkloads() {
+		for _, design := range []Design{DesignMAC, DesignRaw, DesignMSHR} {
+			name, design := name, design
+			t.Run(name+"/"+design.String(), func(t *testing.T) {
+				t.Parallel()
+				rep, err := Run(RunOptions{Workload: name, Design: design, Threads: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.MemRequests == 0 {
+					t.Fatal("no memory requests")
+				}
+				// Transactions can't exceed requests (coalescers
+				// never split requests).
+				if rep.Transactions > rep.MemRequests {
+					t.Fatalf("%d transactions for %d requests",
+						rep.Transactions, rep.MemRequests)
+				}
+				if rep.BandwidthEfficiency <= 0.3 || rep.BandwidthEfficiency > 0.95 {
+					t.Fatalf("bandwidth efficiency %v out of plausible range",
+						rep.BandwidthEfficiency)
+				}
+			})
+		}
+	}
+}
+
+// TestMACParetoImprovement asserts the paper's central claim across
+// the whole benchmark suite: versus the raw path, MAC reduces
+// transactions, control traffic, bank conflicts and mean latency.
+func TestMACParetoImprovement(t *testing.T) {
+	for _, name := range PaperWorkloads() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Compare(RunOptions{Workload: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.With.Transactions >= rep.Without.Transactions {
+				t.Fatalf("transactions: %d !< %d",
+					rep.With.Transactions, rep.Without.Transactions)
+			}
+			if rep.BandwidthSavingBytes <= 0 {
+				t.Fatalf("control saving %d", rep.BandwidthSavingBytes)
+			}
+			if rep.BankConflictReduction <= 0 {
+				t.Fatalf("conflict reduction %d", rep.BankConflictReduction)
+			}
+			if rep.With.BandwidthEfficiency <= rep.Without.BandwidthEfficiency {
+				t.Fatal("bandwidth efficiency did not improve")
+			}
+		})
+	}
+}
+
+// TestDataConservationProperty drives random raw request streams
+// through the full timed pipeline and checks that the device's data
+// traffic always covers the requested bytes (coalescing may fetch
+// more, never less) and that all requests retire.
+func TestDataConservationProperty(t *testing.T) {
+	f := func(seed uint64, pattern uint8) bool {
+		tr := trace.NewTrace(4)
+		x := seed
+		next := func() uint64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x
+		}
+		var requested uint64
+		const n = 200
+		for i := 0; i < n; i++ {
+			th := uint16(next() % 4)
+			var a uint64
+			switch pattern % 3 {
+			case 0: // sequential per thread
+				a = uint64(th)<<20 + uint64(i)*8
+			case 1: // random within 1MB
+				a = next() % (1 << 20)
+			default: // strided
+				a = uint64(th)<<20 + uint64(i)*192
+			}
+			op := trace.Load
+			if next()%4 == 0 {
+				op = trace.Store
+			}
+			tr.Append(trace.Event{Addr: a, Thread: th, Op: op, Size: 8, Gap: uint8(next() % 4)})
+			requested += 8
+		}
+		res, err := cpu.Run(cpu.DefaultRunConfig(), tr)
+		if err != nil {
+			return false
+		}
+		if res.RequestLatency.Count() != n {
+			return false
+		}
+		// The device moved at least the requested bytes.
+		return res.Device.DataBytes >= requested
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThreadCountInvariance: the same workload at different thread
+// counts performs the same total work through the pipeline.
+func TestThreadCountInvariance(t *testing.T) {
+	var refs [3]uint64
+	for i, threads := range []int{2, 4, 8} {
+		rep, err := Run(RunOptions{Workload: "hpcg", Threads: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = rep.MemRequests
+	}
+	for i := 1; i < len(refs); i++ {
+		ratio := float64(refs[i]) / float64(refs[0])
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Fatalf("work volume varies with threads: %v", refs)
+		}
+	}
+}
+
+// TestTraceFileRoundTripThroughPipeline: a trace written to the binary
+// format and read back produces identical simulation results.
+func TestTraceFileRoundTripThroughPipeline(t *testing.T) {
+	orig, err := workloads.Generate("sg", workloads.Config{Threads: 4, Seed: 9, Scale: workloads.Tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := cpu.Run(cpu.DefaultRunConfig(), orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var roundTripped *trace.Trace
+	{
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		if err := w.WriteTrace(orig); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		roundTripped, err = trace.NewReader(&buf).ReadTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	resB, err := cpu.Run(cpu.DefaultRunConfig(), roundTripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Cycles != resB.Cycles ||
+		resA.Device.BankConflicts != resB.Device.BankConflicts ||
+		resA.Coalescer.Transactions != resB.Coalescer.Transactions {
+		t.Fatal("round-tripped trace simulates differently")
+	}
+}
+
+// TestBandwidthEfficiencyIdentity cross-checks the device's measured
+// efficiency against Eq. 1 applied to its own size histogram — two
+// independent code paths that must agree.
+func TestBandwidthEfficiencyIdentity(t *testing.T) {
+	rep, err := Run(RunOptions{Workload: "mg", Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data, control uint64
+	for size, count := range rep.TxBySize {
+		data += uint64(size) * count
+		control += 32 * count
+	}
+	if data != rep.DataBytes || control != rep.ControlBytes {
+		t.Fatalf("traffic accounting mismatch: %d/%d vs %d/%d",
+			data, control, rep.DataBytes, rep.ControlBytes)
+	}
+}

@@ -1,0 +1,136 @@
+// Package addr implements the physical address layout used by the MAC
+// design (paper §4.1, Figure 5) and the HMC-side vault/bank mapping.
+//
+// The coalescer views a 52-bit physical address as:
+//
+//	bits  0–3   FLIT offset (byte within one 16B FLIT; ignored by MAC)
+//	bits  4–7   FLIT id (which of the 16 FLITs inside a 256B row)
+//	bits  8–51  row number (DRAM + bank + vault bits combined)
+//
+// The aggregator compares extended row tags that append a T (type) bit
+// at bit position 52 — the bit directly above the highest physical
+// address bit — so that loads and stores to the same row land in
+// different ARQ entries with a single comparison. For multi-node (NUMA)
+// systems, the topmost row-number bits select the owning node.
+package addr
+
+// Layout constants for the 256B-row HMC configuration the paper targets.
+const (
+	// FlitBytes is the size of one HMC FLow-control unIT.
+	FlitBytes = 16
+	// RowBytes is the DRAM row (and maximum request) size.
+	RowBytes = 256
+	// FlitsPerRow is the number of FLITs in one row.
+	FlitsPerRow = RowBytes / FlitBytes // 16
+
+	// FlitShift is the number of FLIT-offset bits (bits 0–3).
+	FlitShift = 4
+	// RowShift is the number of row-offset bits (bits 0–7).
+	RowShift = 8
+	// PhysBits is the number of physical address bits (bits 0–51).
+	PhysBits = 52
+	// TBit is the bit position of the type (load/store) tag bit that
+	// extends the row number inside the ARQ.
+	TBit = PhysBits
+
+	// RowMask isolates the row-offset bits of an address.
+	RowMask = RowBytes - 1
+	// FlitMask isolates the FLIT-offset bits of an address.
+	FlitMask = FlitBytes - 1
+)
+
+// PhysMask isolates the architectural physical address bits.
+const PhysMask = (uint64(1) << PhysBits) - 1
+
+// RowNumber returns the row number of a physical address: everything
+// above the 8 row-offset bits, within the 52 architectural bits.
+func RowNumber(a uint64) uint64 { return (a & PhysMask) >> RowShift }
+
+// RowBase returns the address of the first byte of the row containing a.
+func RowBase(a uint64) uint64 { return a & PhysMask &^ uint64(RowMask) }
+
+// RowOffset returns the byte offset of a within its row (0–255).
+func RowOffset(a uint64) uint32 { return uint32(a & RowMask) }
+
+// FlitID returns which FLIT of its row the address a falls in (0–15).
+func FlitID(a uint64) uint8 { return uint8((a >> FlitShift) & (FlitsPerRow - 1)) }
+
+// FlitOffset returns the byte offset of a within its FLIT (0–15).
+func FlitOffset(a uint64) uint8 { return uint8(a & FlitMask) }
+
+// Tag builds the extended comparator tag for the ARQ: the row number
+// with the T bit (1 for stores) placed just above the physical bits.
+// A single equality comparison of two tags therefore checks both
+// "same row" and "same request type" (paper §4.1.2).
+func Tag(a uint64, store bool) uint64 {
+	t := RowNumber(a)
+	if store {
+		t |= 1 << (TBit - RowShift)
+	}
+	return t
+}
+
+// TagIsStore reports whether the tag carries the store T bit.
+func TagIsStore(tag uint64) bool { return tag>>(TBit-RowShift)&1 == 1 }
+
+// TagRow returns the row number carried by an extended tag.
+func TagRow(tag uint64) uint64 { return tag &^ (1 << (TBit - RowShift)) }
+
+// FlitSpan returns the ids of the first and last FLIT touched by an
+// access of size bytes starting at address a, clipped to the row
+// containing a. size 0 is treated as 1 byte.
+func FlitSpan(a uint64, size uint32) (first, last uint8) {
+	if size == 0 {
+		size = 1
+	}
+	first = FlitID(a)
+	end := (a & RowMask) + uint64(size) - 1
+	if end > RowMask {
+		end = RowMask
+	}
+	last = uint8(end >> FlitShift)
+	return first, last
+}
+
+// Mapping describes how row numbers spread across the HMC device's
+// vaults and banks. The paper's device (Table 1: 8GB cube, 256B rows,
+// 512 total banks) interleaves consecutive rows across vaults first —
+// the HMC specification's low-interleave ordering — then across banks
+// within the vault.
+type Mapping struct {
+	Vaults        int // number of vaults (HMC: 32)
+	BanksPerVault int // banks per vault   (HMC: 16)
+}
+
+// DefaultMapping is the 8GB HMC organization used in the evaluation:
+// 32 vaults × 16 banks = 512 banks.
+var DefaultMapping = Mapping{Vaults: 32, BanksPerVault: 16}
+
+// Vault returns the vault index owning the given row number.
+func (m Mapping) Vault(row uint64) int {
+	return int(row % uint64(m.Vaults))
+}
+
+// Bank returns the bank index, within its vault, owning the row.
+func (m Mapping) Bank(row uint64) int {
+	return int(row / uint64(m.Vaults) % uint64(m.BanksPerVault))
+}
+
+// FlatBank returns a device-global bank index in [0, Vaults*BanksPerVault).
+func (m Mapping) FlatBank(row uint64) int {
+	return m.Vault(row)*m.BanksPerVault + m.Bank(row)
+}
+
+// NodeOf returns the node index owning address a when the address space
+// is block-interleaved across nodes with the given block size in bytes.
+// nodes must be a power of two for the fast path; any positive count is
+// accepted.
+func NodeOf(a uint64, nodes int, blockBytes uint64) int {
+	if nodes <= 1 {
+		return 0
+	}
+	if blockBytes == 0 {
+		blockBytes = RowBytes
+	}
+	return int((a & PhysMask) / blockBytes % uint64(nodes))
+}

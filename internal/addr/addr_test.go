@@ -1,0 +1,187 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayoutConstantsConsistent(t *testing.T) {
+	if FlitsPerRow != 16 {
+		t.Fatalf("FlitsPerRow = %d, want 16", FlitsPerRow)
+	}
+	if RowBytes != 256 || FlitBytes != 16 {
+		t.Fatalf("RowBytes=%d FlitBytes=%d", RowBytes, FlitBytes)
+	}
+	if 1<<RowShift != RowBytes || 1<<FlitShift != FlitBytes {
+		t.Fatal("shift constants disagree with byte sizes")
+	}
+}
+
+func TestFieldExtractionWorkedExample(t *testing.T) {
+	// Figure 6 example: FLIT number 5 of some row => byte offset 80.
+	a := uint64(0x1234)<<RowShift | 5*FlitBytes | 3
+	if got := RowNumber(a); got != 0x1234 {
+		t.Fatalf("RowNumber = %#x, want 0x1234", got)
+	}
+	if got := FlitID(a); got != 5 {
+		t.Fatalf("FlitID = %d, want 5", got)
+	}
+	if got := FlitOffset(a); got != 3 {
+		t.Fatalf("FlitOffset = %d, want 3", got)
+	}
+	if got := RowOffset(a); got != 5*FlitBytes+3 {
+		t.Fatalf("RowOffset = %d, want %d", got, 5*FlitBytes+3)
+	}
+	if got := RowBase(a); got != uint64(0x1234)<<RowShift {
+		t.Fatalf("RowBase = %#x", got)
+	}
+}
+
+func TestAddressDecomposition(t *testing.T) {
+	// Property: every address is exactly rebuilt from its fields.
+	f := func(a uint64) bool {
+		a &= PhysMask
+		rebuilt := RowNumber(a)<<RowShift | uint64(FlitID(a))<<FlitShift | uint64(FlitOffset(a))
+		return rebuilt == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsAbovePhysIgnored(t *testing.T) {
+	a := uint64(0xABCD_1234_5678)
+	high := a | 0xF<<PhysBits
+	if RowNumber(a) != RowNumber(high) || FlitID(a) != FlitID(high) {
+		t.Fatal("bits above PhysBits must not affect decoding")
+	}
+}
+
+func TestTagEncodesTypeAndRow(t *testing.T) {
+	a := uint64(0x42) << RowShift
+	lt, st := Tag(a, false), Tag(a, true)
+	if lt == st {
+		t.Fatal("load and store tags must differ")
+	}
+	if TagIsStore(lt) || !TagIsStore(st) {
+		t.Fatal("T bit decoding wrong")
+	}
+	if TagRow(lt) != 0x42 || TagRow(st) != 0x42 {
+		t.Fatalf("TagRow: load %#x store %#x, want 0x42", TagRow(lt), TagRow(st))
+	}
+}
+
+func TestTagSingleComparisonProperty(t *testing.T) {
+	// Property (§4.1.2): tags are equal iff same row AND same type.
+	f := func(a, b uint64, sa, sb bool) bool {
+		ta, tb := Tag(a, sa), Tag(b, sb)
+		same := RowNumber(a) == RowNumber(b) && sa == sb
+		return (ta == tb) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlitSpanSingleWord(t *testing.T) {
+	first, last := FlitSpan(0x100+32, 8) // 8B access in FLIT 2
+	if first != 2 || last != 2 {
+		t.Fatalf("span = [%d,%d], want [2,2]", first, last)
+	}
+}
+
+func TestFlitSpanCrossingFlits(t *testing.T) {
+	// A 16B access starting mid-FLIT touches two FLITs.
+	first, last := FlitSpan(8, 16)
+	if first != 0 || last != 1 {
+		t.Fatalf("span = [%d,%d], want [0,1]", first, last)
+	}
+}
+
+func TestFlitSpanClippedToRow(t *testing.T) {
+	// An access near the end of a row never reports a FLIT beyond 15.
+	first, last := FlitSpan(RowBytes-8, 16)
+	if first != 15 || last != 15 {
+		t.Fatalf("span = [%d,%d], want [15,15]", first, last)
+	}
+}
+
+func TestFlitSpanZeroSize(t *testing.T) {
+	first, last := FlitSpan(33, 0)
+	if first != last || first != 2 {
+		t.Fatalf("span = [%d,%d], want [2,2]", first, last)
+	}
+}
+
+func TestFlitSpanProperty(t *testing.T) {
+	f := func(a uint64, size uint16) bool {
+		s := uint32(size%16) + 1
+		first, last := FlitSpan(a, s)
+		return first <= last && last < FlitsPerRow
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultMappingShape(t *testing.T) {
+	m := DefaultMapping
+	if m.Vaults*m.BanksPerVault != 512 {
+		t.Fatalf("default mapping has %d banks, want 512 (8GB HMC)", m.Vaults*m.BanksPerVault)
+	}
+}
+
+func TestMappingInterleavesConsecutiveRowsAcrossVaults(t *testing.T) {
+	m := DefaultMapping
+	seen := make(map[int]bool)
+	for row := uint64(0); row < uint64(m.Vaults); row++ {
+		v := m.Vault(row)
+		if seen[v] {
+			t.Fatalf("vault %d reused within one stride", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMappingRanges(t *testing.T) {
+	m := Mapping{Vaults: 8, BanksPerVault: 4}
+	f := func(row uint64) bool {
+		v, b := m.Vault(row), m.Bank(row)
+		fb := m.FlatBank(row)
+		return v >= 0 && v < 8 && b >= 0 && b < 4 && fb == v*4+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingSameRowSameBank(t *testing.T) {
+	m := DefaultMapping
+	// All 16 FLIT addresses of one row map to the same bank.
+	base := uint64(0x7777) << RowShift
+	want := m.FlatBank(RowNumber(base))
+	for off := uint64(0); off < RowBytes; off += FlitBytes {
+		if got := m.FlatBank(RowNumber(base + off)); got != want {
+			t.Fatalf("offset %d mapped to bank %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	if NodeOf(0x12345, 1, 256) != 0 {
+		t.Fatal("single node must own everything")
+	}
+	// 4-node interleave at 256B: block k belongs to node k%4.
+	for k := uint64(0); k < 16; k++ {
+		want := int(k % 4)
+		if got := NodeOf(k*256+17, 4, 256); got != want {
+			t.Fatalf("block %d: node %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestNodeOfDefaultsBlockSize(t *testing.T) {
+	if got := NodeOf(256, 2, 0); got != 1 {
+		t.Fatalf("NodeOf with default block = %d, want 1", got)
+	}
+}

@@ -1,0 +1,24 @@
+package addr
+
+// Scratchpad memory (SPM) address conventions.
+//
+// The node architecture (paper §3) gives every core a directly
+// addressable 1MB scratchpad instead of a data cache. We carve the SPM
+// windows out of the top of the 52-bit physical space: accesses there
+// are serviced locally in ~1ns and never reach the MAC or the HMC.
+const (
+	// SPMBase is the first SPM address.
+	SPMBase = uint64(1) << 48
+	// SPMWindowBytes is the per-core scratchpad size (Table 1: 1MB).
+	SPMWindowBytes = uint64(1) << 20
+)
+
+// IsSPM reports whether address a falls in any scratchpad window.
+func IsSPM(a uint64) bool { return a&PhysMask >= SPMBase }
+
+// SPMOwner returns the core index owning SPM address a. The result is
+// meaningless when IsSPM(a) is false.
+func SPMOwner(a uint64) int { return int((a&PhysMask - SPMBase) / SPMWindowBytes) }
+
+// SPMWindow returns the base address of core's scratchpad window.
+func SPMWindow(core int) uint64 { return SPMBase + uint64(core)*SPMWindowBytes }

@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() Config { return Config{SizeBytes: 1024, LineBytes: 64, Ways: 2} } // 8 sets x 2 ways
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 1024, LineBytes: 0, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 48, Ways: 2},
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 3}, // 16 lines / 3 ways
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(tiny())
+	if c.Sets() != 8 || c.Ways() != 2 {
+		t.Fatalf("geometry = %dx%d", c.Sets(), c.Ways())
+	}
+	fa := New(Config{SizeBytes: 512, LineBytes: 64, Ways: 0})
+	if fa.Sets() != 1 || fa.Ways() != 8 {
+		t.Fatalf("fully associative = %dx%d", fa.Sets(), fa.Ways())
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(tiny())
+	if c.Access(0x100) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x13F) {
+		t.Fatal("same line, different offset missed")
+	}
+	if c.Access(0x140) {
+		t.Fatal("next line hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 || s.ColdMisses != 2 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", s.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(tiny()) // 2 ways per set; set stride = 8 lines = 512B
+	a := uint64(0x0000)
+	b := a + 512  // same set
+	d := a + 1024 // same set
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU, b LRU
+	c.Access(d) // evicts b
+	if !c.Access(a) {
+		t.Fatal("a evicted despite MRU")
+	}
+	if c.Access(b) {
+		t.Fatal("b still resident after eviction")
+	}
+	if c.Stats().Evictions < 1 {
+		t.Fatal("no eviction recorded")
+	}
+}
+
+func TestSequentialStreamLowMissRate(t *testing.T) {
+	// Sequential 8B accesses: one miss per 64B line = 12.5%.
+	c := New(DefaultConfig())
+	for a := uint64(0); a < 1<<20; a += 8 {
+		c.Access(a)
+	}
+	mr := c.Stats().MissRate()
+	if mr < 0.12 || mr > 0.13 {
+		t.Fatalf("sequential miss rate = %v, want 0.125", mr)
+	}
+}
+
+func TestWorkingSetFitsAllHitsAfterWarmup(t *testing.T) {
+	c := New(tiny())
+	warm := func() {
+		for a := uint64(0); a < 1024; a += 64 {
+			c.Access(a)
+		}
+	}
+	warm()
+	before := c.Stats().Misses
+	warm()
+	if c.Stats().Misses != before {
+		t.Fatal("resident working set missed")
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// A working set 4x the cache with LRU round-robin access
+	// thrashes: ~100% miss rate after warmup.
+	c := New(tiny())
+	for round := 0; round < 8; round++ {
+		for a := uint64(0); a < 4096; a += 64 {
+			c.Access(a)
+		}
+	}
+	if mr := c.Stats().MissRate(); mr < 0.95 {
+		t.Fatalf("thrash miss rate = %v, want ~1", mr)
+	}
+}
+
+func TestMissRateOfHelper(t *testing.T) {
+	mr := MissRateOf(tiny(), func(yield func(uint64) bool) {
+		yield(0)
+		yield(0)
+	})
+	if mr != 0.5 {
+		t.Fatalf("MissRateOf = %v", mr)
+	}
+}
+
+func TestResetRestoresCold(t *testing.T) {
+	c := New(tiny())
+	c.Access(0x40)
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Fatal("stats survived reset")
+	}
+	if c.Access(0x40) {
+		t.Fatal("contents survived reset")
+	}
+}
+
+func TestMissRateBoundsProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(tiny())
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		s := c.Stats()
+		if s.Accesses != uint64(len(addrs)) {
+			return false
+		}
+		mr := s.MissRate()
+		return mr >= 0 && mr <= 1 && s.ColdMisses+s.Evictions == s.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedSingleLineProperty(t *testing.T) {
+	// Property: accessing one line n times yields exactly 1 miss.
+	f := func(a uint64, n uint8) bool {
+		c := New(tiny())
+		reps := int(n%50) + 1
+		for i := 0; i < reps; i++ {
+			c.Access(a)
+		}
+		return c.Stats().Misses == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package cache
+
+import "testing"
+
+func pfConfig() Config {
+	c := DefaultConfig()
+	c.Prefetch = true
+	return c
+}
+
+func TestPrefetchSequentialNearZeroMissRate(t *testing.T) {
+	c := New(pfConfig())
+	for a := uint64(0); a < 1<<20; a += 8 {
+		c.Access(a)
+	}
+	if mr := c.Stats().MissRate(); mr > 0.02 {
+		t.Fatalf("sequential miss rate with prefetch = %v, want < 2%%", mr)
+	}
+	if c.Stats().Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+}
+
+func TestPrefetchDoesNotHelpRandom(t *testing.T) {
+	// A working set far beyond capacity, random accesses: prefetch
+	// must leave the miss rate near 100% of the no-prefetch rate.
+	runAt := func(pf bool) float64 {
+		cfg := Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, Prefetch: pf}
+		c := New(cfg)
+		x := uint64(12345)
+		for i := 0; i < 200000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			c.Access(x % (64 << 20))
+		}
+		return c.Stats().MissRate()
+	}
+	with, without := runAt(true), runAt(false)
+	if with < without*0.9 {
+		t.Fatalf("prefetch 'helped' random: %v vs %v", with, without)
+	}
+}
+
+func TestPrefetchOffByDefault(t *testing.T) {
+	c := New(DefaultConfig())
+	for a := uint64(0); a < 1<<16; a += 8 {
+		c.Access(a)
+	}
+	if c.Stats().Prefetches != 0 {
+		t.Fatal("prefetches issued with Prefetch=false")
+	}
+}
+
+func TestPrefetchedLineCountsAsHit(t *testing.T) {
+	c := New(pfConfig())
+	c.Access(0) // miss, prefetches line 1
+	if !c.Access(64) {
+		t.Fatal("prefetched line missed")
+	}
+}
+
+func TestPrefetchResetClearsBits(t *testing.T) {
+	c := New(pfConfig())
+	c.Access(0)
+	c.Reset()
+	if c.Stats().Prefetches != 0 {
+		t.Fatal("prefetch stats survived reset")
+	}
+	if c.Access(64) {
+		t.Fatal("prefetched line survived reset")
+	}
+}

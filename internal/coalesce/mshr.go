@@ -1,0 +1,247 @@
+package coalesce
+
+import (
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/queue"
+	"mac3d/internal/sim"
+)
+
+// MSHRConfig parameterizes the conventional miss-handling coalescer.
+type MSHRConfig struct {
+	// Entries is the number of miss status holding registers.
+	Entries int
+	// LineBytes is the fixed transaction size (the cache-line size;
+	// 64B in commercial processors, §2.3.2).
+	LineBytes uint32
+	// MaxMerges bounds raw requests merged per MSHR entry.
+	MaxMerges int
+	// QueueDepth sizes the input FIFO.
+	QueueDepth int
+}
+
+// DefaultMSHRConfig returns the §2.3 conventional design: 32 MSHRs of
+// 64B lines, mirroring the 32-entry ARQ for a like-for-like area.
+func DefaultMSHRConfig() MSHRConfig {
+	return MSHRConfig{Entries: 32, LineBytes: 64, MaxMerges: 12, QueueDepth: 64}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c MSHRConfig) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("coalesce: MSHR Entries must be positive, got %d", c.Entries)
+	case c.LineBytes == 0 || c.LineBytes%addr.FlitBytes != 0:
+		return fmt.Errorf("coalesce: MSHR LineBytes must be a FLIT multiple, got %d", c.LineBytes)
+	case c.MaxMerges <= 0:
+		return fmt.Errorf("coalesce: MSHR MaxMerges must be positive, got %d", c.MaxMerges)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("coalesce: MSHR QueueDepth must be positive, got %d", c.QueueDepth)
+	}
+	return nil
+}
+
+// mshrEntry is one outstanding line miss. Targets merged after the
+// line transaction dispatched are parked in late and delivered when
+// the response returns.
+type mshrEntry struct {
+	key   uint64 // line-aligned address with the store bit in bit 63
+	store bool
+	late  []memreq.Target
+}
+
+// MSHR models conventional miss-status-holding-register coalescing
+// (§2.3): the first request to a line allocates an entry and dispatches
+// a fixed-size line transaction immediately; subsequent requests to the
+// same line and type merge into the entry while it is outstanding and
+// produce no traffic. The entry frees when the line response returns.
+// This is the design whose limitations (§2.3.2) motivate MAC: the
+// transaction size is pinned to LineBytes no matter how many requests
+// merge, and merging stops the moment the original miss completes.
+type MSHR struct {
+	cfg MSHRConfig
+	q   *queue.FIFO[memreq.RawRequest]
+
+	// outstanding maps line key -> its in-flight entry.
+	outstanding map[uint64]*mshrEntry
+
+	heldFence bool
+	inflight  int
+	st        *memreq.Stats
+}
+
+var _ memreq.Coalescer = (*MSHR)(nil)
+
+// NewMSHR builds the conventional coalescer, panicking on bad config.
+func NewMSHR(cfg MSHRConfig) *MSHR {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &MSHR{
+		cfg:         cfg,
+		q:           queue.New[memreq.RawRequest](cfg.QueueDepth),
+		outstanding: make(map[uint64]*mshrEntry, cfg.Entries),
+		st:          memreq.NewStats(),
+	}
+}
+
+func (m *MSHR) lineKey(a uint64, store bool) uint64 {
+	k := a & addr.PhysMask &^ uint64(m.cfg.LineBytes-1)
+	if store {
+		k |= 1 << 63
+	}
+	return k
+}
+
+// Push offers one raw request; it reports acceptance.
+func (m *MSHR) Push(r memreq.RawRequest, now sim.Cycle) bool {
+	if !m.q.Push(r) {
+		m.st.PushRejects++
+		return false
+	}
+	switch {
+	case r.Fence:
+		m.st.Fences++
+	case r.Atomic:
+		m.st.RawRequests++
+		m.st.RawAtomics++
+	case r.Store:
+		m.st.RawRequests++
+		m.st.RawStores++
+	default:
+		m.st.RawRequests++
+		m.st.RawLoads++
+	}
+	return true
+}
+
+// Tick processes one queued request per cycle: merge into an
+// outstanding MSHR (producing no traffic) or allocate an entry and
+// dispatch the fixed-size line transaction immediately.
+func (m *MSHR) Tick(now sim.Cycle) []memreq.Built {
+	if m.heldFence {
+		if m.inflight != 0 {
+			return nil
+		}
+		m.heldFence = false
+	}
+	head, ok := m.q.Peek()
+	if !ok {
+		return nil
+	}
+
+	switch {
+	case head.Fence:
+		m.q.Pop()
+		m.heldFence = true
+		return nil
+
+	case head.Atomic:
+		m.q.Pop()
+		b := memreq.Built{
+			Req: hmc.Request{
+				Kind: hmc.AtomicOp,
+				Addr: head.Addr &^ uint64(addr.FlitMask),
+				Data: addr.FlitBytes,
+			},
+			Targets: []memreq.Target{
+				{Thread: head.Thread, Tag: head.Tag, Flit: addr.FlitID(head.Addr)},
+			},
+			Bypassed: true,
+		}
+		b.Req.Normalize()
+		m.noteDispatch(&b)
+		return []memreq.Built{b}
+	}
+
+	key := m.lineKey(head.Addr, head.Store)
+	tgt := memreq.Target{Thread: head.Thread, Tag: head.Tag, Flit: addr.FlitID(head.Addr)}
+
+	if e, hit := m.outstanding[key]; hit {
+		if 1+len(e.late) < m.cfg.MaxMerges {
+			// Merge under the outstanding miss: no new traffic.
+			m.q.Pop()
+			e.late = append(e.late, tgt)
+			return nil
+		}
+		// Entry full: structural stall until the line completes.
+		return nil
+	}
+
+	if len(m.outstanding) >= m.cfg.Entries {
+		return nil // all MSHRs busy: stall
+	}
+
+	m.q.Pop()
+	e := &mshrEntry{key: key, store: head.Store}
+	m.outstanding[key] = e
+	kind := hmc.Read
+	if head.Store {
+		kind = hmc.Write
+	}
+	b := memreq.Built{
+		Req: hmc.Request{
+			Kind: kind,
+			Addr: key &^ (1 << 63),
+			Data: m.cfg.LineBytes,
+		},
+		Targets: []memreq.Target{tgt},
+		Handle:  e,
+	}
+	b.Req.Normalize()
+	m.noteDispatch(&b)
+	return []memreq.Built{b}
+}
+
+func (m *MSHR) noteDispatch(b *memreq.Built) {
+	m.st.Transactions++
+	if b.Bypassed {
+		m.st.Bypassed++
+	}
+	m.st.BuiltBySizeBytes[b.Req.Data]++
+	m.inflight++
+}
+
+// Completed frees the MSHR entry of the finished transaction and folds
+// any targets merged after dispatch into the transaction's target list
+// so the caller's response routing delivers them too.
+func (m *MSHR) Completed(b *memreq.Built) {
+	if m.inflight == 0 {
+		panic("coalesce: MSHR.Completed without matching emission")
+	}
+	m.inflight--
+	if e, ok := b.Handle.(*mshrEntry); ok && e != nil {
+		if len(e.late) > 0 {
+			b.Targets = append(b.Targets, e.late...)
+		}
+		delete(m.outstanding, e.key)
+	}
+	m.st.TargetsPerTx.Observe(uint64(len(b.Targets)))
+}
+
+// Pending returns queued raw requests (including a held fence).
+func (m *MSHR) Pending() int {
+	p := m.q.Len()
+	if m.heldFence {
+		p++
+	}
+	return p
+}
+
+// Inflight returns dispatched transactions not yet completed.
+func (m *MSHR) Inflight() int { return m.inflight }
+
+// Stats returns the accumulated statistics.
+func (m *MSHR) Stats() *memreq.Stats { return m.st }
+
+// Reset restores the initial empty state.
+func (m *MSHR) Reset() {
+	m.q.Reset()
+	clear(m.outstanding)
+	m.heldFence = false
+	m.inflight = 0
+	m.st = memreq.NewStats()
+}

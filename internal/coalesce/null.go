@@ -1,0 +1,171 @@
+// Package coalesce provides the baseline memory-path designs that the
+// paper compares MAC against:
+//
+//   - Null: the "without MAC" path — every raw request becomes its own
+//     FLIT-granularity HMC transaction, the configuration all of the
+//     paper's with/without comparisons (Figs. 10, 12, 13, 14, 17) use;
+//   - MSHR: the conventional miss-status-holding-register coalescer of
+//     §2.3 — fixed 64B cache-line transactions dispatched immediately
+//     on first miss, with subsequent same-line requests merged while
+//     the original is outstanding. It illustrates the limitation
+//     argued in §2.3.2: fixed-size, dispatch-on-allocate coalescing
+//     cannot exploit the HMC's large flexible packets.
+//
+// Both implement memreq.Coalescer, so the node model and the
+// experiment harness can swap them freely with the real MAC.
+package coalesce
+
+import (
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/queue"
+	"mac3d/internal/sim"
+)
+
+// NullConfig parameterizes the raw request path.
+type NullConfig struct {
+	// QueueDepth sizes the dispatch FIFO decoupling cores from the
+	// memory interface.
+	QueueDepth int
+	// IssuePerCycle bounds transactions dispatched per cycle. The
+	// paper's no-MAC interface issues one request per cycle (the
+	// same rate at which the ARQ accepts raw requests).
+	IssuePerCycle int
+}
+
+// DefaultNullConfig returns the paper's no-MAC configuration.
+func DefaultNullConfig() NullConfig {
+	return NullConfig{QueueDepth: 64, IssuePerCycle: 1}
+}
+
+// Null is the identity "coalescer": raw requests pass through
+// unmodified as single-FLIT (or raw-sized) transactions.
+type Null struct {
+	cfg NullConfig
+	q   *queue.FIFO[memreq.RawRequest]
+
+	heldFence bool
+	inflight  int
+	st        *memreq.Stats
+}
+
+var _ memreq.Coalescer = (*Null)(nil)
+
+// NewNull builds the pass-through path.
+func NewNull(cfg NullConfig) *Null {
+	if cfg.QueueDepth <= 0 {
+		panic(fmt.Sprintf("coalesce: QueueDepth must be positive, got %d", cfg.QueueDepth))
+	}
+	if cfg.IssuePerCycle <= 0 {
+		cfg.IssuePerCycle = 1
+	}
+	return &Null{cfg: cfg, q: queue.New[memreq.RawRequest](cfg.QueueDepth), st: memreq.NewStats()}
+}
+
+// Push offers one raw request; it reports acceptance.
+func (n *Null) Push(r memreq.RawRequest, now sim.Cycle) bool {
+	if !n.q.Push(r) {
+		n.st.PushRejects++
+		return false
+	}
+	switch {
+	case r.Fence:
+		n.st.Fences++
+	case r.Atomic:
+		n.st.RawRequests++
+		n.st.RawAtomics++
+	case r.Store:
+		n.st.RawRequests++
+		n.st.RawStores++
+	default:
+		n.st.RawRequests++
+		n.st.RawLoads++
+	}
+	return true
+}
+
+// Tick dispatches up to IssuePerCycle queued requests as transactions.
+func (n *Null) Tick(now sim.Cycle) []memreq.Built {
+	var out []memreq.Built
+	for len(out) < n.cfg.IssuePerCycle {
+		if n.heldFence {
+			if n.inflight == 0 {
+				n.heldFence = false
+			} else {
+				break
+			}
+		}
+		head, ok := n.q.Peek()
+		if !ok {
+			break
+		}
+		if head.Fence {
+			n.q.Pop()
+			n.heldFence = true
+			continue
+		}
+		n.q.Pop()
+		kind := hmc.Read
+		switch {
+		case head.Atomic:
+			kind = hmc.AtomicOp
+		case head.Store:
+			kind = hmc.Write
+		}
+		size := uint32(head.Size)
+		if size < addr.FlitBytes {
+			size = addr.FlitBytes
+		}
+		b := memreq.Built{
+			Req: hmc.Request{
+				Kind: kind,
+				Addr: head.Addr &^ uint64(addr.FlitMask),
+				Data: size,
+			},
+			Targets: []memreq.Target{
+				{Thread: head.Thread, Tag: head.Tag, Flit: addr.FlitID(head.Addr)},
+			},
+		}
+		b.Req.Normalize()
+		n.st.Transactions++
+		n.st.BuiltBySizeBytes[b.Req.Data]++
+		n.st.TargetsPerTx.Observe(1)
+		n.inflight++
+		out = append(out, b)
+	}
+	return out
+}
+
+// Completed signals the completion of one emitted transaction.
+func (n *Null) Completed(*memreq.Built) {
+	if n.inflight == 0 {
+		panic("coalesce: Null.Completed without matching emission")
+	}
+	n.inflight--
+}
+
+// Pending returns the queued raw requests (including fences).
+func (n *Null) Pending() int {
+	p := n.q.Len()
+	if n.heldFence {
+		p++
+	}
+	return p
+}
+
+// Inflight returns emitted transactions not yet completed.
+func (n *Null) Inflight() int { return n.inflight }
+
+// Stats returns the accumulated statistics.
+func (n *Null) Stats() *memreq.Stats { return n.st }
+
+// Reset restores the initial empty state.
+func (n *Null) Reset() {
+	n.q.Reset()
+	n.heldFence = false
+	n.inflight = 0
+	n.st = memreq.NewStats()
+}

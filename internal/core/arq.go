@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+// arqEntry is one slot of the Aggregated Request Queue. In hardware an
+// entry is 64B: the 52-bit address extended with the T and B bits, the
+// 16-bit FLIT map, and 54B of buffered targets (paper §5.3.3).
+type arqEntry struct {
+	tag     uint64 // window tag: row/window number with the T bit appended
+	fmap    WideMap
+	targets []memreq.Target
+	bypass  bool // B bit: single request, skip the builder
+	fence   bool // entry is a memory fence marker
+	atomic  bool // atomic op: routed directly, never coalesced
+	// For bypass/atomic entries, the original raw request so the
+	// emitted transaction keeps its exact address and size.
+	raw memreq.RawRequest
+	// closed entries no longer accept merges (target overflow or
+	// fence freeze at allocation time).
+	closed bool
+}
+
+// AggregatorConfig sizes the Raw Request Aggregator.
+type AggregatorConfig struct {
+	// Entries is the ARQ depth (Table 1: 32).
+	Entries int
+	// WindowBytes is the coalescing window: 256 (the paper's HMC
+	// row), 512 or 1024 (one HBM row) — the §4.3 "enlarged FLIT
+	// map and FLIT table" generalization. 0 means 256.
+	WindowBytes uint32
+	// MaxTargets bounds merged raw requests per entry. The 64B
+	// hardware entry stores 54B/4.5B = 12 targets (paper §5.3.3).
+	MaxTargets int
+	// PopInterval is the cycles between entry pops (paper §4.1:
+	// one pop every two clock cycles).
+	PopInterval sim.Cycle
+	// FillMode enables the latency-hiding mechanism: when more than
+	// half the ARQ is free, the next N raw requests bypass the
+	// comparators into free entries (paper §4.1).
+	FillMode bool
+}
+
+// DefaultAggregatorConfig returns the Table 1 ARQ configuration.
+func DefaultAggregatorConfig() AggregatorConfig {
+	return AggregatorConfig{Entries: 32, WindowBytes: 256, MaxTargets: 12, PopInterval: 2, FillMode: true}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c AggregatorConfig) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("core: ARQ Entries must be positive, got %d", c.Entries)
+	case c.MaxTargets <= 0:
+		return fmt.Errorf("core: ARQ MaxTargets must be positive, got %d", c.MaxTargets)
+	case c.PopInterval == 0:
+		return fmt.Errorf("core: ARQ PopInterval must be positive")
+	}
+	if c.WindowBytes != 0 {
+		if _, err := NewWindow(c.WindowBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Aggregator is the Raw Request Aggregator (paper §4.1): a FIFO of ARQ
+// entries with an associative row-tag comparator per entry.
+type Aggregator struct {
+	cfg AggregatorConfig
+	win Window
+
+	// entries is the FIFO in allocation order; index 0 is the head.
+	entries []arqEntry
+	// open maps a row tag to the index (into entries) of the one
+	// entry currently accepting merges for that tag, modelling the
+	// parallel comparators.
+	open map[uint64]int
+
+	// fences counts fence entries currently queued; comparators are
+	// disabled while any fence is present (paper §4.1).
+	fences int
+	// fillBudget is the number of upcoming requests that skip the
+	// comparators under the latency-hiding mechanism.
+	fillBudget int
+
+	// occupancySum/samples measure average ARQ occupancy.
+	occupancySum     uint64
+	occupancySamples uint64
+}
+
+// NewAggregator builds an aggregator, panicking on invalid config.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.WindowBytes == 0 {
+		cfg.WindowBytes = 256
+	}
+	win, err := NewWindow(cfg.WindowBytes)
+	if err != nil {
+		panic(err)
+	}
+	return &Aggregator{
+		cfg:     cfg,
+		win:     win,
+		entries: make([]arqEntry, 0, cfg.Entries),
+		open:    make(map[uint64]int, cfg.Entries),
+	}
+}
+
+// Window returns the aggregator's coalescing-window geometry.
+func (a *Aggregator) Window() Window { return a.win }
+
+// Len returns the number of occupied ARQ entries.
+func (a *Aggregator) Len() int { return len(a.entries) }
+
+// Free returns the number of free ARQ entries.
+func (a *Aggregator) Free() int { return a.cfg.Entries - len(a.entries) }
+
+// Full reports whether no new entry can be allocated.
+func (a *Aggregator) Full() bool { return len(a.entries) == a.cfg.Entries }
+
+// reindex rebuilds open-map indices after the head entry is removed.
+func (a *Aggregator) popHead() arqEntry {
+	head := a.entries[0]
+	a.entries = a.entries[1:]
+	if !head.closed && !head.fence && !head.atomic {
+		if idx, ok := a.open[head.tag]; ok && idx == 0 {
+			delete(a.open, head.tag)
+		}
+	}
+	for tag, idx := range a.open {
+		a.open[tag] = idx - 1
+		_ = tag
+	}
+	if head.fence {
+		a.fences--
+		if a.fences == 0 {
+			// Comparators re-enable: every surviving entry is
+			// visible to merging again (the freeze is a global
+			// comparator disable, not a per-entry state).
+			a.rebuildOpen()
+		}
+	}
+	return head
+}
+
+// rebuildOpen reconstructs the tag->entry comparator index from the
+// surviving entries. For duplicated tags the newest entry wins, as it
+// is the one a comparator hit would merge into.
+func (a *Aggregator) rebuildOpen() {
+	clear(a.open)
+	for i := range a.entries {
+		e := &a.entries[i]
+		if e.fence || e.atomic || e.closed {
+			continue
+		}
+		a.open[e.tag] = i
+	}
+}
+
+// Push offers one raw request. It reports whether the request was
+// accepted; a false return models ARQ backpressure and the caller must
+// retry the same request later.
+//
+// Merging rules (paper §4.1–4.1.2):
+//   - fences allocate a fence entry and freeze the comparators;
+//   - atomics allocate a direct-route entry and are never merged;
+//   - while any fence is queued, or while the latency-hiding fill
+//     budget is active, requests go to fresh entries without compare;
+//   - otherwise the row tag (row number + T bit) is compared against
+//     all open entries; a hit merges, a miss allocates.
+func (a *Aggregator) Push(r memreq.RawRequest, now sim.Cycle) bool {
+	a.occupancySum += uint64(len(a.entries))
+	a.occupancySamples++
+
+	switch {
+	case r.Fence:
+		if a.Full() {
+			return false
+		}
+		a.entries = append(a.entries, arqEntry{fence: true, closed: true})
+		a.fences++
+		// A fence invalidates every open comparator: nothing
+		// behind it may merge with anything ahead of it.
+		clear(a.open)
+		return true
+
+	case r.Atomic:
+		if a.Full() {
+			return false
+		}
+		a.entries = append(a.entries, arqEntry{
+			atomic: true,
+			closed: true,
+			raw:    r,
+			targets: []memreq.Target{
+				{Thread: r.Thread, Tag: r.Tag, Flit: a.win.FlitID(r.Addr)},
+			},
+		})
+		return true
+	}
+
+	// Latency-hiding fill mode: (re)arm when over half the ARQ is
+	// free, then let that many requests skip the comparators.
+	if a.cfg.FillMode && a.fillBudget == 0 && a.Free() > a.cfg.Entries/2 {
+		a.fillBudget = a.Free()
+	}
+
+	compare := a.fences == 0 && a.fillBudget == 0
+	if compare {
+		if idx, ok := a.open[a.win.Tag(r.Addr, r.Store)]; ok {
+			e := &a.entries[idx]
+			first, last := a.win.FlitSpan(r.Addr, uint32(r.Size))
+			e.fmap = e.fmap.SetRange(first, last)
+			e.targets = append(e.targets, memreq.Target{
+				Thread: r.Thread, Tag: r.Tag, Flit: first,
+			})
+			if len(e.targets) >= a.cfg.MaxTargets {
+				e.closed = true
+				delete(a.open, e.tag)
+			}
+			return true
+		}
+	}
+
+	if a.Full() {
+		return false
+	}
+	first, last := a.win.FlitSpan(r.Addr, uint32(r.Size))
+	e := arqEntry{
+		tag:  a.win.Tag(r.Addr, r.Store),
+		fmap: WideMap(0).SetRange(first, last),
+		raw:  r,
+		targets: []memreq.Target{
+			{Thread: r.Thread, Tag: r.Tag, Flit: first},
+		},
+	}
+	if a.fillBudget > 0 {
+		a.fillBudget--
+		// Entries allocated in fill mode still become visible to
+		// later comparisons once the budget drains, unless a fence
+		// is pending.
+	}
+	a.entries = append(a.entries, e)
+	if a.fences == 0 {
+		// The newest entry for a tag is the merge candidate.
+		a.open[e.tag] = len(a.entries) - 1
+	}
+	// Entries allocated while a fence is queued stay out of the
+	// comparator index until the fence drains (rebuildOpen).
+	return true
+}
+
+// Pop removes and returns the head entry if one exists. The caller (the
+// MAC unit) enforces the one-pop-per-two-cycles rate and decides, via
+// the B bit, whether the entry bypasses the builder. A fence entry is
+// returned with fence=true; the MAC holds it until outstanding
+// transactions drain.
+func (a *Aggregator) Pop() (arqEntry, bool) {
+	if len(a.entries) == 0 {
+		return arqEntry{}, false
+	}
+	head := a.entries[0]
+	if !head.fence && !head.atomic {
+		// B bit check (paper §4.1.2): exactly one merged request
+		// means nothing else coalesced into this row — bypass.
+		head.bypass = len(head.targets) == 1
+	}
+	a.popHead()
+	return head, true
+}
+
+// PeekFence reports whether the head entry is a fence.
+func (a *Aggregator) PeekFence() bool {
+	return len(a.entries) > 0 && a.entries[0].fence
+}
+
+// AvgOccupancy returns the mean ARQ occupancy observed at push time.
+func (a *Aggregator) AvgOccupancy() float64 {
+	if a.occupancySamples == 0 {
+		return 0
+	}
+	return float64(a.occupancySum) / float64(a.occupancySamples)
+}
+
+// Reset restores the aggregator to empty.
+func (a *Aggregator) Reset() {
+	a.entries = a.entries[:0]
+	clear(a.open)
+	a.fences = 0
+	a.fillBudget = 0
+	a.occupancySum, a.occupancySamples = 0, 0
+}
+
+// SpaceBytes returns the hardware area model of the ARQ in bytes
+// (64B per entry, Fig. 16), excluding comparators.
+func (c AggregatorConfig) SpaceBytes() int { return c.Entries * 64 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+// Builder is the two-stage pipelined Request Builder (paper §4.2,
+// Figure 8). Stage 1 (one cycle) OR-reduces the 16-bit FLIT map of the
+// popped ARQ entry into 4 chunk-group bits. Stage 2 (two cycles: FLIT
+// table lookup, then request assembly) sizes and emits the HMC
+// transaction. The pipeline accepts one entry every two cycles, for a
+// fixed issue rate of 0.5 transactions per cycle (paper §4.4).
+type Builder struct {
+	win    Window
+	fine   bool        // 16B-floor ablation instead of 64B chunks
+	stage1 builderSlot // entry currently in the OR-reduce stage
+	stage2 builderSlot // entry currently in lookup+build
+}
+
+// NewBuilder returns a builder for the given coalescing window.
+func NewBuilder(win Window) *Builder { return &Builder{win: win} }
+
+// NewFineBuilder returns a builder that sizes transactions at FLIT
+// (16B) granularity instead of the paper's 64B chunks — the
+// data-waste/control-overhead trade ablation (§4.2 discusses why the
+// design settles on the 64B floor).
+func NewFineBuilder(win Window) *Builder { return &Builder{win: win, fine: true} }
+
+type builderSlot struct {
+	valid bool
+	entry arqEntry
+	// ready is the cycle at which the slot's work finishes.
+	ready sim.Cycle
+	// groups is the stage-1 result carried into stage 2.
+	groups uint16
+}
+
+// Busy reports whether any pipeline stage holds an entry.
+func (b *Builder) Busy() bool { return b.stage1.valid || b.stage2.valid }
+
+// CanAccept reports whether stage 1 is free at cycle now.
+func (b *Builder) CanAccept(now sim.Cycle) bool { return !b.stage1.valid }
+
+// Accept latches a popped ARQ entry into stage 1. The caller must have
+// checked CanAccept. Entries reaching the builder always have a
+// non-empty FLIT map.
+func (b *Builder) Accept(e arqEntry, now sim.Cycle) {
+	b.stage1 = builderSlot{valid: true, entry: e, ready: now + 1}
+}
+
+// Tick advances the pipeline one cycle and returns a finished
+// transaction, if any completed at cycle now.
+func (b *Builder) Tick(now sim.Cycle) (memreq.Built, bool) {
+	var out memreq.Built
+	emitted := false
+
+	// Stage 2 completes: assemble the transaction.
+	if b.stage2.valid && now >= b.stage2.ready {
+		e := b.stage2.entry
+		var offset, size uint32
+		if b.fine {
+			offset, size = b.win.CoverWindowFine(e.fmap)
+		} else {
+			tab := b.win.WideLookup(b.stage2.groups)
+			offset, size = uint32(tab.BaseChunk)*64, tab.SizeBytes
+		}
+		base := b.win.TagBase(e.tag)
+		kind := hmc.Read
+		if b.win.TagIsStore(e.tag) {
+			kind = hmc.Write
+		}
+		out = memreq.Built{
+			Req: hmc.Request{
+				Kind: kind,
+				Addr: base + uint64(offset),
+				Data: size,
+			},
+			Targets: e.targets,
+		}
+		emitted = true
+		b.stage2.valid = false
+	}
+
+	// Stage 1 completes: forward groups into stage 2 (lookup: one
+	// cycle, build: one cycle — two cycles total).
+	if b.stage1.valid && !b.stage2.valid && now >= b.stage1.ready {
+		b.stage2 = builderSlot{
+			valid:  true,
+			entry:  b.stage1.entry,
+			ready:  now + 2,
+			groups: b.stage1.entry.fmap.Groups(b.win.Chunks()),
+		}
+		b.stage1.valid = false
+	}
+
+	return out, emitted
+}
+
+// Reset clears both pipeline stages.
+func (b *Builder) Reset() { b.stage1, b.stage2 = builderSlot{}, builderSlot{} }
+
+// BuilderSpaceBytes is the hardware area of the builder: the 16-bit
+// FLIT map register plus the 16-entry FLIT table (paper §4.2.1/§5.3.3:
+// 14B total).
+const BuilderSpaceBytes = 14

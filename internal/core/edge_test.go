@@ -1,0 +1,212 @@
+package core
+
+// Edge-case and stress tests for the MAC unit: pathological request
+// streams that a robust hardware model must survive.
+
+import (
+	"testing"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+// drainAll ticks m to empty, completing transactions immediately, and
+// returns everything emitted.
+func drainAll(t *testing.T, m *MAC, limit sim.Cycle) []memreq.Built {
+	t.Helper()
+	var out []memreq.Built
+	for now := sim.Cycle(0); now < limit; now++ {
+		got := m.Tick(now)
+		for i := range got {
+			out = append(out, got[i])
+			m.Completed(&got[i])
+		}
+		if m.Pending() == 0 && m.Inflight() == 0 {
+			return out
+		}
+	}
+	t.Fatalf("MAC did not drain within %d cycles (pending %d)", limit, m.Pending())
+	return nil
+}
+
+func TestFenceStorm(t *testing.T) {
+	// Back-to-back fences with no memory traffic must all retire
+	// without deadlock.
+	m := testMAC(false)
+	for i := 0; i < 10; i++ {
+		if !m.Push(memreq.RawRequest{Fence: true}, sim.Cycle(i)) {
+			t.Fatalf("fence %d rejected", i)
+		}
+	}
+	out := drainAll(t, m, 1000)
+	if len(out) != 0 {
+		t.Fatalf("fences emitted %d transactions", len(out))
+	}
+	if m.Stats().Fences != 10 {
+		t.Fatalf("fences = %d", m.Stats().Fences)
+	}
+}
+
+func TestAlternatingFenceAndRequest(t *testing.T) {
+	// fence, request, fence, request... the worst case for the
+	// held-fence logic: every request must still retire in order.
+	m := testMAC(false)
+	pushed := 0
+	now := sim.Cycle(0)
+	var emitted int
+	for pushed < 8 {
+		r := memreq.RawRequest{Fence: true}
+		if pushed%2 == 1 {
+			r = memreq.RawRequest{Addr: uint64(pushed) << addr.RowShift, Size: 8, Tag: uint16(pushed)}
+		}
+		if m.Push(r, now) {
+			pushed++
+		}
+		for _, b := range m.Tick(now) {
+			emitted++
+			bb := b
+			m.Completed(&bb)
+		}
+		now++
+	}
+	for ; m.Pending() > 0 && now < 10000; now++ {
+		for _, b := range m.Tick(now) {
+			emitted++
+			bb := b
+			m.Completed(&bb)
+		}
+	}
+	if emitted != 4 {
+		t.Fatalf("emitted %d transactions, want 4", emitted)
+	}
+}
+
+func TestAtomicFlood(t *testing.T) {
+	// A stream of atomics exercises the direct-route path at the
+	// pop rate; all pass through uncoalesced.
+	m := testMAC(true)
+	now := sim.Cycle(0)
+	for i := 0; i < 64; i++ {
+		for !m.Push(memreq.RawRequest{Addr: uint64(i) * 16, Size: 8, Atomic: true, Tag: uint16(i)}, now) {
+			// ARQ full: advance time so the pop timer can fire.
+			for _, b := range m.Tick(now) {
+				bb := b
+				m.Completed(&bb)
+			}
+			now++
+		}
+		now++
+	}
+	out := drainAll(t, m, 10000)
+	total := 0
+	for _, b := range out {
+		if !b.Bypassed {
+			t.Fatal("atomic was not bypassed")
+		}
+		total += len(b.Targets)
+	}
+	if m.Stats().RawAtomics != 64 {
+		t.Fatalf("atomics = %d", m.Stats().RawAtomics)
+	}
+}
+
+func TestAddressesAtPhysicalTop(t *testing.T) {
+	// Requests at the top of the 52-bit physical space must not
+	// wrap or corrupt tags.
+	m := testMAC(false)
+	top := (uint64(1) << addr.PhysBits) - addr.RowBytes
+	m.Push(memreq.RawRequest{Addr: top, Size: 8, Tag: 1}, 0)
+	m.Push(memreq.RawRequest{Addr: top + 16, Size: 8, Tag: 2}, 1)
+	out := drainAll(t, m, 1000)
+	if len(out) != 1 {
+		t.Fatalf("top-of-memory requests did not merge: %d tx", len(out))
+	}
+	if out[0].Req.Addr < top&^uint64(addr.RowMask) {
+		t.Fatalf("address wrapped: %#x", out[0].Req.Addr)
+	}
+}
+
+func TestBitsAbovePhysIgnoredInMerging(t *testing.T) {
+	// Two addresses differing only above bit 51 are the same
+	// physical row and must merge.
+	m := testMAC(false)
+	a := uint64(0x1234) << addr.RowShift
+	m.Push(memreq.RawRequest{Addr: a, Size: 8, Tag: 1}, 0)
+	m.Push(memreq.RawRequest{Addr: a | 1<<60 | 16, Size: 8, Tag: 2}, 1)
+	out := drainAll(t, m, 1000)
+	if len(out) != 1 {
+		t.Fatalf("high-bit alias broke merging: %d tx", len(out))
+	}
+}
+
+func TestZeroSizeAccessNormalized(t *testing.T) {
+	m := testMAC(false)
+	m.Push(memreq.RawRequest{Addr: 0x100, Size: 0, Tag: 1}, 0)
+	out := drainAll(t, m, 1000)
+	if len(out) != 1 || out[0].Req.Data < 16 {
+		t.Fatalf("zero-size access mishandled: %+v", out)
+	}
+}
+
+func TestSixteenByteAccessAtFlitBoundaryMinusOne(t *testing.T) {
+	// A 16B access starting one byte before a FLIT boundary spans
+	// two FLITs; the emitted transaction must cover both.
+	m := testMAC(false)
+	a := uint64(0x100) + 15
+	m.Push(memreq.RawRequest{Addr: a, Size: 16, Tag: 1}, 0)
+	out := drainAll(t, m, 1000)
+	if len(out) != 1 {
+		t.Fatalf("tx = %d", len(out))
+	}
+	b := out[0]
+	end := b.Req.Addr + uint64(b.Req.Data)
+	if b.Req.Addr > a || end < a+16 {
+		t.Fatalf("transaction [%#x,%#x) does not cover [%#x,%#x)",
+			b.Req.Addr, end, a, a+16)
+	}
+}
+
+func TestPushPopInterleavingNeverLosesWork(t *testing.T) {
+	// Push and pop in lockstep for a long stream with mixed rows:
+	// final accounting must balance exactly.
+	m := testMAC(true)
+	rng := sim.NewRNG(31)
+	pushed := 0
+	emitted := 0
+	targets := 0
+	now := sim.Cycle(0)
+	for pushed < 2000 {
+		r := memreq.RawRequest{
+			Addr:   uint64(rng.Intn(1 << 16)),
+			Size:   8,
+			Store:  rng.Intn(2) == 0,
+			Thread: uint16(pushed % 16),
+			Tag:    uint16(pushed),
+		}
+		if m.Push(r, now) {
+			pushed++
+		}
+		for _, b := range m.Tick(now) {
+			emitted++
+			targets += len(b.Targets)
+			bb := b
+			m.Completed(&bb)
+		}
+		now++
+	}
+	for ; m.Pending() > 0; now++ {
+		for _, b := range m.Tick(now) {
+			emitted++
+			targets += len(b.Targets)
+			bb := b
+			m.Completed(&bb)
+		}
+	}
+	if targets != pushed {
+		t.Fatalf("targets %d != pushed %d", targets, pushed)
+	}
+	if uint64(emitted) != m.Stats().Transactions {
+		t.Fatalf("emitted %d != stats %d", emitted, m.Stats().Transactions)
+	}
+}

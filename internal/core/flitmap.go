@@ -1,0 +1,149 @@
+// Package core implements MAC, the Memory Access Coalescer of the
+// paper — the primary contribution of the reproduction.
+//
+// A MAC unit sits between a multicore node and a 3D-stacked memory
+// device and consists of (paper §3.2, §4):
+//
+//   - the Raw Request Aggregator: an Aggregated Request Queue (ARQ)
+//     whose entries merge raw requests targeting the same 256B HMC row
+//     and the same request type, tracking requested FLITs in a per-row
+//     FLIT map and buffering response-routing targets;
+//   - the two-stage pipelined Request Builder, which OR-reduces the
+//     FLIT map into four 64B-chunk bits and sizes the emitted HMC
+//     transaction (64/128/256B) through a 16-entry FLIT table;
+//   - the request router (local/global/remote classification, package
+//     router.go) and the response router (part of the node driver,
+//     which owns the outstanding-transaction table).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mac3d/internal/addr"
+)
+
+// FlitMap is the 16-bit per-ARQ-entry bitmap recording which of the 16
+// FLITs of a 256B row have been requested (paper §4.1.1, Figure 6).
+type FlitMap uint16
+
+// Set marks FLIT id (0–15) as requested and returns the updated map.
+func (m FlitMap) Set(id uint8) FlitMap { return m | 1<<(id&15) }
+
+// Has reports whether FLIT id is marked.
+func (m FlitMap) Has(id uint8) bool { return m>>(id&15)&1 == 1 }
+
+// SetRange marks FLITs first..last inclusive (both masked to 0–15).
+func (m FlitMap) SetRange(first, last uint8) FlitMap {
+	first &= 15
+	last &= 15
+	if last < first {
+		first, last = last, first
+	}
+	span := uint16(1)<<(last-first+1) - 1
+	return m | FlitMap(span<<first)
+}
+
+// Count returns the number of requested FLITs.
+func (m FlitMap) Count() int { return bits.OnesCount16(uint16(m)) }
+
+// Groups OR-reduces the map into 4 chunk bits — stage 1 of the request
+// builder (paper §4.2): bit i is set when any FLIT of 64B chunk i
+// (FLITs 4i..4i+3) is requested.
+func (m FlitMap) Groups() uint8 {
+	var g uint8
+	for i := 0; i < 4; i++ {
+		if m>>(4*i)&0xF != 0 {
+			g |= 1 << i
+		}
+	}
+	return g
+}
+
+// String renders the map LSB-first, e.g. "0000010000000000" for FLIT 5.
+func (m FlitMap) String() string {
+	b := make([]byte, 16)
+	for i := range b {
+		if m.Has(uint8(i)) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// FlitTableEntry is one row of the builder's 16-entry FLIT table
+// (paper §4.2.1): for a 4-bit chunk pattern it gives the transaction
+// payload size and the starting chunk of the emitted request.
+type FlitTableEntry struct {
+	// SizeBytes is the transaction payload: 64, 128 or 256.
+	SizeBytes uint32
+	// BaseChunk is the first 64B chunk covered (0–3).
+	BaseChunk uint8
+}
+
+// FlitTable is the builder's lookup table, indexed by the 4-bit group
+// pattern from stage 1. Index 0 (no chunks) is unused; the builder
+// never receives an empty map.
+//
+// The covered window is the contiguous chunk span from the lowest to
+// the highest requested chunk, rounded up to the next HMC size class
+// (1, 2 or 4 chunks → 64B, 128B, 256B) and shifted down if it would
+// overrun the row. E.g. pattern 0110 → 128B at chunk 1 (the paper's
+// Figure 7/8 worked example); pattern 1001 → 256B at chunk 0.
+var FlitTable = buildFlitTable()
+
+func buildFlitTable() [16]FlitTableEntry {
+	var t [16]FlitTableEntry
+	for p := 1; p < 16; p++ {
+		lo := uint8(bits.TrailingZeros8(uint8(p)))
+		hi := uint8(bits.Len8(uint8(p)) - 1)
+		span := hi - lo + 1
+		var chunks uint8
+		switch {
+		case span == 1:
+			chunks = 1
+		case span == 2:
+			chunks = 2
+		default:
+			chunks = 4
+		}
+		base := lo
+		if base+chunks > 4 {
+			base = 4 - chunks
+		}
+		t[p] = FlitTableEntry{SizeBytes: uint32(chunks) * 64, BaseChunk: base}
+	}
+	return t
+}
+
+// Lookup returns the FLIT table entry for a group pattern. It panics on
+// an empty pattern, which would indicate a builder-pipeline bug.
+func Lookup(groups uint8) FlitTableEntry {
+	if groups == 0 || groups > 15 {
+		panic(fmt.Sprintf("core: invalid group pattern %#x", groups))
+	}
+	return FlitTable[groups]
+}
+
+// CoverWindow returns the byte offset within the row and payload size
+// of the transaction that the FLIT table prescribes for map m.
+func CoverWindow(m FlitMap) (offset, size uint32) {
+	e := Lookup(m.Groups())
+	return uint32(e.BaseChunk) * 64, e.SizeBytes
+}
+
+// Covers reports whether the transaction window chosen for m contains
+// every requested FLIT — an invariant of the builder design.
+func Covers(m FlitMap) bool {
+	off, size := CoverWindow(m)
+	firstFlit := off / addr.FlitBytes
+	lastFlit := (off+size)/addr.FlitBytes - 1
+	for id := uint8(0); id < addr.FlitsPerRow; id++ {
+		if m.Has(id) && (uint32(id) < firstFlit || uint32(id) > lastFlit) {
+			return false
+		}
+	}
+	return true
+}

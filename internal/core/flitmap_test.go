@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFlitMapSetHas(t *testing.T) {
+	var m FlitMap
+	m = m.Set(5)
+	if !m.Has(5) || m.Count() != 1 {
+		t.Fatalf("map = %s", m)
+	}
+	if m.String() != "0000010000000000" {
+		t.Fatalf("Figure 6 example renders %s", m)
+	}
+}
+
+func TestFlitMapSetRange(t *testing.T) {
+	var m FlitMap
+	m = m.SetRange(3, 6)
+	for i := uint8(0); i < 16; i++ {
+		want := i >= 3 && i <= 6
+		if m.Has(i) != want {
+			t.Fatalf("bit %d = %v, want %v (map %s)", i, m.Has(i), want, m)
+		}
+	}
+	// Reversed bounds are normalized.
+	if FlitMap(0).SetRange(6, 3) != m {
+		t.Fatal("reversed range differs")
+	}
+}
+
+func TestFlitMapGroups(t *testing.T) {
+	cases := []struct {
+		flits []uint8
+		want  uint8
+	}{
+		{[]uint8{0}, 0b0001},
+		{[]uint8{3}, 0b0001},
+		{[]uint8{4}, 0b0010},
+		{[]uint8{15}, 0b1000},
+		{[]uint8{6, 8, 9}, 0b0110}, // the Figure 7/8 worked example
+		{[]uint8{0, 5, 10, 15}, 0b1111},
+	}
+	for _, c := range cases {
+		var m FlitMap
+		for _, f := range c.flits {
+			m = m.Set(f)
+		}
+		if got := m.Groups(); got != c.want {
+			t.Fatalf("flits %v: groups = %04b, want %04b", c.flits, got, c.want)
+		}
+	}
+}
+
+func TestFlitTablePaperExample(t *testing.T) {
+	// Figure 8: pattern 0110 -> 128B transaction (chunks 1-2).
+	e := Lookup(0b0110)
+	if e.SizeBytes != 128 || e.BaseChunk != 1 {
+		t.Fatalf("0110 -> %+v, want 128B at chunk 1", e)
+	}
+}
+
+func TestFlitTableSizes(t *testing.T) {
+	cases := map[uint8]uint32{
+		0b0001: 64, 0b0010: 64, 0b0100: 64, 0b1000: 64,
+		0b0011: 128, 0b0110: 128, 0b1100: 128,
+		0b0101: 256, 0b1010: 256, 0b1001: 256,
+		0b0111: 256, 0b1110: 256, 0b1011: 256, 0b1101: 256, 0b1111: 256,
+	}
+	for p, want := range cases {
+		if got := Lookup(p).SizeBytes; got != want {
+			t.Fatalf("pattern %04b: size %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestFlitTableWindowInRow(t *testing.T) {
+	for p := uint8(1); p < 16; p++ {
+		e := Lookup(p)
+		if uint32(e.BaseChunk)*64+e.SizeBytes > 256 {
+			t.Fatalf("pattern %04b window overruns row: %+v", p, e)
+		}
+	}
+}
+
+func TestLookupPanicsOnEmptyPattern(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup(0) did not panic")
+		}
+	}()
+	Lookup(0)
+}
+
+func TestCoversInvariant(t *testing.T) {
+	// Property: the FLIT-table window always covers every requested
+	// FLIT — responses can always satisfy all merged targets.
+	f := func(raw uint16) bool {
+		m := FlitMap(raw)
+		if m == 0 {
+			return true
+		}
+		return Covers(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	// And exhaustively, since there are only 65536 maps.
+	for raw := 1; raw <= 0xFFFF; raw++ {
+		if !Covers(FlitMap(raw)) {
+			t.Fatalf("map %016b not covered by its window", raw)
+		}
+	}
+}
+
+func TestCoverWindowMinimalForSingleChunk(t *testing.T) {
+	// A map confined to one chunk must produce exactly 64B at that
+	// chunk — the builder's floor (§4.2).
+	for chunk := uint32(0); chunk < 4; chunk++ {
+		m := FlitMap(0).Set(uint8(chunk*4 + 1))
+		off, size := CoverWindow(m)
+		if size != 64 || off != chunk*64 {
+			t.Fatalf("chunk %d: window (%d,%d)", chunk, off, size)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+// Config parameterizes one MAC unit.
+type Config struct {
+	// ARQ sizes the raw request aggregator.
+	ARQ AggregatorConfig
+	// BypassSize is the payload of a bypassed (B bit) transaction.
+	// The design forwards the raw request directly, i.e. one FLIT.
+	BypassSize uint32
+	// FineBuilder switches the request builder to 16B (FLIT)
+	// granularity instead of the paper's 64B chunks — an ablation
+	// of the §4.2 control-overhead/data-utilization trade.
+	FineBuilder bool
+}
+
+// DefaultConfig returns the paper's evaluated configuration
+// (Table 1: 32-entry ARQ, 64B entries).
+func DefaultConfig() Config {
+	return Config{ARQ: DefaultAggregatorConfig(), BypassSize: addr.FlitBytes}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	if err := c.ARQ.Validate(); err != nil {
+		return err
+	}
+	if c.BypassSize != 0 && (c.BypassSize%addr.FlitBytes != 0 || c.BypassSize > addr.RowBytes) {
+		return fmt.Errorf("core: BypassSize must be a FLIT multiple <= %d, got %d",
+			addr.RowBytes, c.BypassSize)
+	}
+	return nil
+}
+
+// SpaceBytes returns the hardware area model of the whole MAC unit
+// (paper §5.3.3): the ARQ entries plus the builder's FLIT map and
+// FLIT table. Comparators and OR gates are reported separately.
+func (c Config) SpaceBytes() int { return c.ARQ.SpaceBytes() + BuilderSpaceBytes }
+
+// MAC is the complete Memory Access Coalescer unit. It implements
+// memreq.Coalescer.
+type MAC struct {
+	cfg Config
+	agg *Aggregator
+	bld *Builder
+
+	// nextPop is the earliest cycle the ARQ may pop again (one pop
+	// per PopInterval cycles).
+	nextPop sim.Cycle
+	// heldFence is set while a popped fence waits for outstanding
+	// transactions to drain.
+	heldFence bool
+	inflight  int
+
+	st *memreq.Stats
+}
+
+var _ memreq.Coalescer = (*MAC)(nil)
+
+// New builds a MAC unit, panicking on invalid configuration.
+func New(cfg Config) *MAC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.BypassSize == 0 {
+		cfg.BypassSize = addr.FlitBytes
+	}
+	agg := NewAggregator(cfg.ARQ)
+	bld := NewBuilder(agg.Window())
+	if cfg.FineBuilder {
+		bld = NewFineBuilder(agg.Window())
+	}
+	return &MAC{
+		cfg: cfg,
+		agg: agg,
+		bld: bld,
+		st:  memreq.NewStats(),
+	}
+}
+
+// Config returns the unit configuration.
+func (m *MAC) Config() Config { return m.cfg }
+
+// Aggregator exposes the ARQ for white-box tests and occupancy stats.
+func (m *MAC) Aggregator() *Aggregator { return m.agg }
+
+// Push offers one raw request at cycle now (≤1 per cycle in the timed
+// model; the request router enforces the rate). It reports acceptance.
+func (m *MAC) Push(r memreq.RawRequest, now sim.Cycle) bool {
+	if !m.agg.Push(r, now) {
+		m.st.PushRejects++
+		return false
+	}
+	switch {
+	case r.Fence:
+		m.st.Fences++
+	case r.Atomic:
+		m.st.RawRequests++
+		m.st.RawAtomics++
+	case r.Store:
+		m.st.RawRequests++
+		m.st.RawStores++
+	default:
+		m.st.RawRequests++
+		m.st.RawLoads++
+	}
+	return true
+}
+
+// Tick advances the MAC one cycle: the builder pipeline moves, and —
+// at most once every PopInterval cycles — the ARQ head pops into the
+// builder, bypasses directly to memory, or (for fences) holds until
+// the outstanding count drains.
+func (m *MAC) Tick(now sim.Cycle) []memreq.Built {
+	var out []memreq.Built
+
+	if built, ok := m.bld.Tick(now); ok {
+		m.note(&built)
+		out = append(out, built)
+	}
+
+	// Fence release: a held fence retires once every earlier
+	// transaction has completed and the builder is empty.
+	if m.heldFence {
+		if m.inflight == 0 && !m.bld.Busy() && len(out) == 0 {
+			m.heldFence = false
+		}
+		return out
+	}
+
+	if now < m.nextPop {
+		return out
+	}
+
+	if m.agg.PeekFence() {
+		// Pop the fence marker and stall pops until drained.
+		m.agg.Pop()
+		m.heldFence = true
+		m.nextPop = now + m.cfg.ARQ.PopInterval
+		return out
+	}
+
+	// Bypass entries (B bit, atomics) skip the builder; coalesced
+	// entries need a free stage-1 slot.
+	if len(m.agg.entries) > 0 {
+		head := m.agg.entries[0]
+		single := !head.fence && !head.atomic && len(head.targets) == 1
+		if head.atomic || single {
+			e, _ := m.agg.Pop()
+			b := m.direct(e)
+			m.note(&b)
+			out = append(out, b)
+			m.nextPop = now + m.cfg.ARQ.PopInterval
+		} else if m.bld.CanAccept(now) {
+			e, _ := m.agg.Pop()
+			m.bld.Accept(e, now)
+			m.nextPop = now + m.cfg.ARQ.PopInterval
+		}
+	}
+	return out
+}
+
+// direct builds the transaction for a bypassed or atomic entry: the
+// raw request is forwarded with its own address at FLIT granularity.
+func (m *MAC) direct(e arqEntry) memreq.Built {
+	r := e.raw
+	kind := hmc.Read
+	switch {
+	case e.atomic:
+		kind = hmc.AtomicOp
+	case r.Store:
+		kind = hmc.Write
+	}
+	// The transaction is FLIT-aligned; an access that starts mid-FLIT
+	// and crosses into the next FLIT needs the span of both.
+	base := r.Addr &^ uint64(addr.FlitMask)
+	span := uint32(r.Addr-base) + uint32(r.Size)
+	if rem := span % addr.FlitBytes; rem != 0 {
+		span += addr.FlitBytes - rem
+	}
+	size := m.cfg.BypassSize
+	if span > size {
+		size = span
+	}
+	return memreq.Built{
+		Req: hmc.Request{
+			Kind: kind,
+			Addr: base,
+			Data: size,
+		},
+		Targets:  e.targets,
+		Bypassed: true,
+	}
+}
+
+// note updates statistics and the outstanding count for an emitted
+// transaction.
+func (m *MAC) note(b *memreq.Built) {
+	b.Req.Normalize()
+	m.st.Transactions++
+	if b.Bypassed {
+		m.st.Bypassed++
+	}
+	m.st.BuiltBySizeBytes[b.Req.Data]++
+	m.st.TargetsPerTx.Observe(uint64(len(b.Targets)))
+	m.inflight++
+}
+
+// Completed signals that a previously emitted transaction finished.
+func (m *MAC) Completed(*memreq.Built) {
+	if m.inflight == 0 {
+		panic("core: Completed without matching emission")
+	}
+	m.inflight--
+}
+
+// Pending returns raw requests accepted but not yet emitted (ARQ
+// occupancy plus builder pipeline contents, counted in entries).
+func (m *MAC) Pending() int {
+	n := m.agg.Len()
+	if m.bld.stage1.valid {
+		n++
+	}
+	if m.bld.stage2.valid {
+		n++
+	}
+	if m.heldFence {
+		n++
+	}
+	return n
+}
+
+// Inflight returns emitted transactions not yet completed.
+func (m *MAC) Inflight() int { return m.inflight }
+
+// Stats returns the accumulated coalescing statistics.
+func (m *MAC) Stats() *memreq.Stats { return m.st }
+
+// Reset restores the unit to its initial state, clearing statistics.
+func (m *MAC) Reset() {
+	m.agg.Reset()
+	if m.cfg.FineBuilder {
+		m.bld = NewFineBuilder(m.agg.Window())
+	} else {
+		m.bld = NewBuilder(m.agg.Window())
+	}
+	m.nextPop = 0
+	m.heldFence = false
+	m.inflight = 0
+	m.st = memreq.NewStats()
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"mac3d/internal/memreq"
+)
+
+func TestRouterSingleNodeAllLocal(t *testing.T) {
+	r := NewRouter(DefaultRouterConfig())
+	for i := 0; i < 10; i++ {
+		if !r.OfferLocal(memreq.RawRequest{Addr: uint64(i) * 4096, Size: 8}) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	local, global, remote := r.Stats()
+	if local != 10 || global != 0 || remote != 0 {
+		t.Fatalf("routing = %d/%d/%d", local, global, remote)
+	}
+}
+
+func TestRouterClassifiesByInterleave(t *testing.T) {
+	cfg := DefaultRouterConfig()
+	cfg.Nodes = 2
+	cfg.NodeID = 0
+	cfg.InterleaveBytes = 256
+	r := NewRouter(cfg)
+	r.OfferLocal(memreq.RawRequest{Addr: 0, Size: 8})   // block 0 -> node 0: local
+	r.OfferLocal(memreq.RawRequest{Addr: 256, Size: 8}) // block 1 -> node 1: global
+	local, global, _ := r.Stats()
+	if local != 1 || global != 1 {
+		t.Fatalf("routing = %d local %d global", local, global)
+	}
+	out, ok := r.PopOutbound()
+	if !ok || out.Dest != 1 || out.Req.Addr != 256 {
+		t.Fatalf("outbound = %+v, %v", out, ok)
+	}
+}
+
+func TestRouterFencesAlwaysLocal(t *testing.T) {
+	cfg := DefaultRouterConfig()
+	cfg.Nodes = 4
+	r := NewRouter(cfg)
+	if !r.OfferLocal(memreq.RawRequest{Fence: true}) {
+		t.Fatal("fence rejected")
+	}
+	local, global, _ := r.Stats()
+	if local != 1 || global != 0 {
+		t.Fatal("fence not routed locally")
+	}
+}
+
+func TestRouterDrainFeedsMAC(t *testing.T) {
+	r := NewRouter(DefaultRouterConfig())
+	m := testMAC(false)
+	r.OfferLocal(memreq.RawRequest{Addr: 0x100, Size: 8, Tag: 1})
+	r.OfferRemote(memreq.RawRequest{Addr: 0x200, Size: 8, Tag: 2})
+	if !r.DrainToMAC(m, 0) {
+		t.Fatal("drain 1 failed")
+	}
+	if !r.DrainToMAC(m, 1) {
+		t.Fatal("drain 2 failed")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	if m.Aggregator().Len() != 2 {
+		t.Fatalf("ARQ holds %d entries", m.Aggregator().Len())
+	}
+}
+
+func TestRouterDrainAlternatesLocalRemote(t *testing.T) {
+	r := NewRouter(DefaultRouterConfig())
+	m := testMAC(false)
+	for i := 0; i < 3; i++ {
+		r.OfferLocal(memreq.RawRequest{Addr: uint64(0x1000 + i*256), Size: 8, Tag: uint16(i)})
+		r.OfferRemote(memreq.RawRequest{Addr: uint64(0x9000 + i*256), Size: 8, Tag: uint16(10 + i)})
+	}
+	// Six drains must interleave the two queues rather than starve
+	// the remote one.
+	seen := make([]uint64, 0, 6)
+	for now := 0; now < 6; now++ {
+		before := m.Aggregator().Len()
+		if !r.DrainToMAC(m, 0) {
+			t.Fatalf("drain %d failed", now)
+		}
+		if m.Aggregator().Len() != before+1 {
+			t.Fatal("drain merged unexpectedly")
+		}
+		e := m.Aggregator().entries[m.Aggregator().Len()-1]
+		seen = append(seen, e.raw.Addr)
+	}
+	// Expect strict alternation after the first pick.
+	localFirst := seen[0] < 0x9000
+	for i, a := range seen {
+		isLocal := a < 0x9000
+		if (i%2 == 0) != (isLocal == localFirst) {
+			t.Fatalf("no alternation: order %#x", seen)
+		}
+	}
+}
+
+func TestRouterDrainStopsOnMACBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ARQ.Entries = 1
+	cfg.ARQ.FillMode = false
+	m := New(cfg)
+	r := NewRouter(DefaultRouterConfig())
+	r.OfferLocal(memreq.RawRequest{Addr: 0x100, Size: 8})
+	r.OfferLocal(memreq.RawRequest{Addr: 0x900, Size: 8})
+	if !r.DrainToMAC(m, 0) {
+		t.Fatal("first drain failed")
+	}
+	if r.DrainToMAC(m, 1) {
+		t.Fatal("drain succeeded against a full 1-entry ARQ")
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (request preserved)", r.Pending())
+	}
+}
+
+func TestRouterBackpressureOnFullQueues(t *testing.T) {
+	cfg := DefaultRouterConfig()
+	cfg.LocalDepth = 1
+	r := NewRouter(cfg)
+	if !r.OfferLocal(memreq.RawRequest{Addr: 1, Size: 8}) {
+		t.Fatal("first offer rejected")
+	}
+	if r.OfferLocal(memreq.RawRequest{Addr: 2, Size: 8}) {
+		t.Fatal("offer into full local queue accepted")
+	}
+}
+
+func TestRouterConfigValidate(t *testing.T) {
+	bad := []RouterConfig{
+		{Nodes: 0, LocalDepth: 1, GlobalDepth: 1, RemoteDepth: 1},
+		{Nodes: 2, NodeID: 2, LocalDepth: 1, GlobalDepth: 1, RemoteDepth: 1},
+		{Nodes: 1, LocalDepth: 0, GlobalDepth: 1, RemoteDepth: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRouterReset(t *testing.T) {
+	r := NewRouter(DefaultRouterConfig())
+	r.OfferLocal(memreq.RawRequest{Addr: 1, Size: 8})
+	r.Reset()
+	if r.Pending() != 0 {
+		t.Fatal("reset left requests")
+	}
+	l, g, rm := r.Stats()
+	if l+g+rm != 0 {
+		t.Fatal("reset left stats")
+	}
+}

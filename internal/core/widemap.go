@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mac3d/internal/addr"
+)
+
+// §4.3 scalability: "The proposed MAC design is general enough to
+// support larger requests by simply enlarging the FLIT map and the
+// FLIT table." This file is that enlargement — a coalescing window of
+// 256B (the paper's HMC 2.1 design point), 512B, or 1KB (one HBM row),
+// with the FLIT map widened to one bit per 16B FLIT and the FLIT
+// table generalized to window/64 chunk bits.
+
+// WideMap is the generalized FLIT map: bit i marks FLIT i of the
+// coalescing window as requested. It holds up to 64 FLITs (a 1KB
+// window).
+type WideMap uint64
+
+// Set marks FLIT id as requested.
+func (m WideMap) Set(id uint8) WideMap { return m | 1<<(id&63) }
+
+// Has reports whether FLIT id is marked.
+func (m WideMap) Has(id uint8) bool { return m>>(id&63)&1 == 1 }
+
+// SetRange marks FLITs first..last inclusive.
+func (m WideMap) SetRange(first, last uint8) WideMap {
+	first &= 63
+	last &= 63
+	if last < first {
+		first, last = last, first
+	}
+	n := uint(last - first + 1)
+	var span uint64
+	if n >= 64 {
+		span = ^uint64(0)
+	} else {
+		span = 1<<n - 1
+	}
+	return m | WideMap(span<<first)
+}
+
+// Count returns the number of requested FLITs.
+func (m WideMap) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// String renders the low 16 FLIT bits LSB-first, then any higher set
+// bits as a count — readable for both 256B and wider windows.
+func (m WideMap) String() string {
+	b := make([]byte, 16)
+	for i := range b {
+		if m.Has(uint8(i)) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	if hi := m >> 16; hi != 0 {
+		return fmt.Sprintf("%s+%d high bits", b, WideMap(hi).Count())
+	}
+	return string(b)
+}
+
+// Groups OR-reduces the map into chunks 64B-chunk bits — the
+// generalized stage 1 of the request builder. chunks must be 4, 8 or
+// 16 (windows of 256B, 512B, 1KB).
+func (m WideMap) Groups(chunks int) uint16 {
+	var g uint16
+	for i := 0; i < chunks; i++ {
+		if m>>(4*i)&0xF != 0 {
+			g |= 1 << i
+		}
+	}
+	return g
+}
+
+// Window describes a coalescing window geometry.
+type Window struct {
+	// Bytes is the window size: 256, 512 or 1024.
+	Bytes uint32
+	// shift is log2(Bytes); chunks is Bytes/64; flits is Bytes/16.
+	shift  uint
+	chunks int
+	flits  int
+}
+
+// NewWindow returns the geometry for a window size.
+func NewWindow(bytes uint32) (Window, error) {
+	switch bytes {
+	case 256, 512, 1024:
+	default:
+		return Window{}, fmt.Errorf("core: window must be 256, 512 or 1024 bytes, got %d", bytes)
+	}
+	w := Window{Bytes: bytes}
+	for 1<<w.shift != bytes {
+		w.shift++
+	}
+	w.chunks = int(bytes / 64)
+	w.flits = int(bytes / addr.FlitBytes)
+	return w, nil
+}
+
+// Chunks returns the number of 64B chunks in the window.
+func (w Window) Chunks() int { return w.chunks }
+
+// Flits returns the number of 16B FLITs in the window.
+func (w Window) Flits() int { return w.flits }
+
+// Tag builds the extended comparator tag: the window number with the
+// T (type) bit above the physical bits, generalizing addr.Tag.
+func (w Window) Tag(a uint64, store bool) uint64 {
+	t := (a & addr.PhysMask) >> w.shift
+	if store {
+		t |= 1 << (addr.TBit - w.shift)
+	}
+	return t
+}
+
+// TagIsStore reports whether a window tag carries the store bit.
+func (w Window) TagIsStore(tag uint64) bool {
+	return tag>>(addr.TBit-w.shift)&1 == 1
+}
+
+// TagBase returns the base address of the window a tag names.
+func (w Window) TagBase(tag uint64) uint64 {
+	return (tag &^ (1 << (addr.TBit - w.shift))) << w.shift
+}
+
+// FlitID returns the window-relative FLIT index of address a.
+func (w Window) FlitID(a uint64) uint8 {
+	return uint8((a >> addr.FlitShift) & uint64(w.flits-1))
+}
+
+// FlitSpan returns the first and last window FLIT touched by an
+// access of size bytes at address a, clipped to the window.
+func (w Window) FlitSpan(a uint64, size uint32) (first, last uint8) {
+	if size == 0 {
+		size = 1
+	}
+	first = w.FlitID(a)
+	end := (a & uint64(w.Bytes-1)) + uint64(size) - 1
+	if end > uint64(w.Bytes-1) {
+		end = uint64(w.Bytes - 1)
+	}
+	last = uint8(end >> addr.FlitShift)
+	return first, last
+}
+
+// WideEntry is one row of the generalized FLIT table.
+type WideEntry struct {
+	// SizeBytes is the transaction payload (64 * 2^k, up to the
+	// window size).
+	SizeBytes uint32
+	// BaseChunk is the first 64B chunk covered.
+	BaseChunk uint8
+}
+
+// WideLookup generalizes the 16-entry FLIT table: the covered span
+// from the lowest to the highest requested chunk, rounded up to the
+// next power-of-two chunk count, shifted down if it would overrun the
+// window. The tables are precomputed per window size at package init
+// — exactly "enlarging the FLIT table".
+func (w Window) WideLookup(pattern uint16) WideEntry {
+	if pattern == 0 || int(bits.Len16(pattern)) > w.chunks {
+		panic(fmt.Sprintf("core: invalid pattern %#x for %dB window", pattern, w.Bytes))
+	}
+	return wideTables[w.Bytes][pattern]
+}
+
+var wideTables = buildWideTables()
+
+func buildWideTables() map[uint32][]WideEntry {
+	tables := make(map[uint32][]WideEntry, 3)
+	for _, bytes := range []uint32{256, 512, 1024} {
+		chunks := int(bytes / 64)
+		table := make([]WideEntry, 1<<chunks)
+		for p := 1; p < 1<<chunks; p++ {
+			lo := uint8(bits.TrailingZeros16(uint16(p)))
+			hi := uint8(bits.Len16(uint16(p)) - 1)
+			span := int(hi - lo + 1)
+			n := 1
+			for n < span {
+				n *= 2
+			}
+			base := lo
+			if int(base)+n > chunks {
+				base = uint8(chunks - n)
+			}
+			table[p] = WideEntry{SizeBytes: uint32(n) * 64, BaseChunk: base}
+		}
+		tables[bytes] = table
+	}
+	return tables
+}
+
+// CoverWindowWide returns the window-relative byte offset and size of
+// the transaction prescribed for map m under window w.
+func (w Window) CoverWindowWide(m WideMap) (offset, size uint32) {
+	e := w.WideLookup(m.Groups(w.chunks))
+	return uint32(e.BaseChunk) * 64, e.SizeBytes
+}
+
+// CoverWindowFine returns the FLIT-granularity transaction window for
+// map m: the span from the lowest to the highest requested FLIT,
+// rounded up to a power-of-two FLIT count and shifted to fit. This is
+// the 16B-floor builder ablation — it wastes less data bandwidth on
+// sparse maps than the paper's 64B-chunk design, at the cost of a
+// larger lookup structure (the full FLIT map instead of 4 group bits).
+func (w Window) CoverWindowFine(m WideMap) (offset, size uint32) {
+	if m == 0 {
+		panic("core: CoverWindowFine on empty map")
+	}
+	lo := uint32(bits.TrailingZeros64(uint64(m)))
+	hi := uint32(bits.Len64(uint64(m)) - 1)
+	span := hi - lo + 1
+	n := uint32(1)
+	for n < span {
+		n *= 2
+	}
+	base := lo
+	if base+n > uint32(w.flits) {
+		base = uint32(w.flits) - n
+	}
+	return base * addr.FlitBytes, n * addr.FlitBytes
+}
+
+// CoversWide reports whether the chosen transaction window contains
+// every requested FLIT — the generalized builder invariant.
+func (w Window) CoversWide(m WideMap) bool {
+	off, size := w.CoverWindowWide(m)
+	firstFlit := off / addr.FlitBytes
+	lastFlit := (off+size)/addr.FlitBytes - 1
+	for id := 0; id < w.flits; id++ {
+		if m.Has(uint8(id)) && (uint32(id) < firstFlit || uint32(id) > lastFlit) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+func TestNewWindowGeometry(t *testing.T) {
+	cases := []struct {
+		bytes  uint32
+		chunks int
+		flits  int
+	}{
+		{256, 4, 16},
+		{512, 8, 32},
+		{1024, 16, 64},
+	}
+	for _, c := range cases {
+		w, err := NewWindow(c.bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Chunks() != c.chunks || w.Flits() != c.flits {
+			t.Fatalf("%dB window: %d chunks, %d flits", c.bytes, w.Chunks(), w.Flits())
+		}
+	}
+	for _, bad := range []uint32{0, 64, 128, 300, 2048} {
+		if _, err := NewWindow(bad); err == nil {
+			t.Fatalf("window %d accepted", bad)
+		}
+	}
+}
+
+func TestWideMapMatchesFlitMapAt256(t *testing.T) {
+	// The 256B wide path must agree bit-for-bit with the paper's
+	// documented 16-bit FLIT map and table.
+	w, _ := NewWindow(256)
+	for raw := 1; raw <= 0xFFFF; raw++ {
+		narrow := FlitMap(raw)
+		wide := WideMap(raw)
+		if uint16(narrow.Groups()) != wide.Groups(4) {
+			t.Fatalf("groups diverge for %016b", raw)
+		}
+		ne := Lookup(narrow.Groups())
+		we := w.WideLookup(wide.Groups(4))
+		if ne.SizeBytes != we.SizeBytes || ne.BaseChunk != we.BaseChunk {
+			t.Fatalf("tables diverge for %016b: %+v vs %+v", raw, ne, we)
+		}
+	}
+}
+
+func TestWideCoversInvariantAllWindows(t *testing.T) {
+	for _, bytes := range []uint32{256, 512, 1024} {
+		w, _ := NewWindow(bytes)
+		f := func(raw uint64) bool {
+			m := WideMap(raw) & (1<<w.Flits() - 1)
+			if m == 0 {
+				return true
+			}
+			return w.CoversWide(m)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%dB window: %v", bytes, err)
+		}
+	}
+}
+
+func TestWideTagSingleComparison(t *testing.T) {
+	for _, bytes := range []uint32{256, 512, 1024} {
+		w, _ := NewWindow(bytes)
+		f := func(a, b uint64, sa, sb bool) bool {
+			ta, tb := w.Tag(a, sa), w.Tag(b, sb)
+			same := (a&^uint64(w.Bytes-1))&(1<<52-1) == (b&^uint64(w.Bytes-1))&(1<<52-1) && sa == sb
+			return (ta == tb) == same
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%dB window: %v", bytes, err)
+		}
+	}
+}
+
+func TestWideTagBaseRoundTrip(t *testing.T) {
+	for _, bytes := range []uint32{256, 512, 1024} {
+		w, _ := NewWindow(bytes)
+		f := func(a uint64, store bool) bool {
+			base := w.TagBase(w.Tag(a, store))
+			return base == a&(1<<52-1)&^uint64(w.Bytes-1) &&
+				w.TagIsStore(w.Tag(a, store)) == store
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%dB window: %v", bytes, err)
+		}
+	}
+}
+
+func TestWideFlitSpanClipped(t *testing.T) {
+	w, _ := NewWindow(1024)
+	first, last := w.FlitSpan(1024-8, 16)
+	if first != 63 || last != 63 {
+		t.Fatalf("span [%d,%d], want [63,63]", first, last)
+	}
+	first, last = w.FlitSpan(8, 16)
+	if first != 0 || last != 1 {
+		t.Fatalf("span [%d,%d], want [0,1]", first, last)
+	}
+}
+
+func TestWideLookupSizesPowerOfTwo(t *testing.T) {
+	w, _ := NewWindow(1024)
+	for p := 1; p < 1<<16; p++ {
+		e := w.WideLookup(uint16(p))
+		if e.SizeBytes&(e.SizeBytes-1) != 0 || e.SizeBytes < 64 || e.SizeBytes > 1024 {
+			t.Fatalf("pattern %016b: size %d", p, e.SizeBytes)
+		}
+		if uint32(e.BaseChunk)*64+e.SizeBytes > 1024 {
+			t.Fatalf("pattern %016b overruns window: %+v", p, e)
+		}
+	}
+}
+
+func TestMACWithWideWindowEndToEnd(t *testing.T) {
+	// A 1KB window coalesces a 64-FLIT sequential burst into a
+	// single 1KB transaction (given enough target capacity).
+	cfg := DefaultConfig()
+	cfg.ARQ.WindowBytes = 1024
+	cfg.ARQ.FillMode = false
+	cfg.ARQ.MaxTargets = 64
+	m := New(cfg)
+	for i := 0; i < 64; i++ {
+		m.Push(memreq.RawRequest{Addr: uint64(i * 16), Size: 16, Thread: uint16(i % 8), Tag: uint16(i)}, sim.Cycle(i))
+	}
+	out := runMAC(m, 300)
+	if len(out) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(out))
+	}
+	if out[0].Req.Data != 1024 || len(out[0].Targets) != 64 {
+		t.Fatalf("wide tx = %dB with %d targets", out[0].Req.Data, len(out[0].Targets))
+	}
+}
+
+func TestMACWindowSizesProduceLegalTransactions(t *testing.T) {
+	for _, bytes := range []uint32{256, 512, 1024} {
+		cfg := DefaultConfig()
+		cfg.ARQ.WindowBytes = bytes
+		m := New(cfg)
+		rng := sim.NewRNG(9)
+		now := sim.Cycle(0)
+		for i := 0; i < 400; i++ {
+			m.Push(memreq.RawRequest{
+				Addr:   uint64(rng.Intn(1 << 15)),
+				Size:   8,
+				Store:  rng.Intn(3) == 0,
+				Thread: uint16(i % 8),
+				Tag:    uint16(i),
+			}, now)
+			for _, b := range m.Tick(now) {
+				if b.Req.Data < 16 || b.Req.Data > bytes || b.Req.Data&(b.Req.Data-1) != 0 {
+					t.Fatalf("window %d: illegal size %d", bytes, b.Req.Data)
+				}
+				bb := b
+				m.Completed(&bb)
+			}
+			now++
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package cpu models the cache-less multicore node of the paper's §3
+// architecture: simple in-order cores with per-core scratchpad memory
+// (SPM), a bounded load/store queue per core for spatial latency
+// tolerance, the request/response routers, a pluggable coalescer (MAC,
+// or a baseline), and the attached HMC device.
+//
+// The node replays pre-generated per-thread memory traces. Each cycle
+// a core either executes non-memory instructions (the trace's gap
+// counts), retires an SPM access locally, or issues a memory request
+// into the request router, stalling when its load/store queue is full.
+package cpu
+
+import (
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/core"
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+	"mac3d/internal/stats"
+	"mac3d/internal/trace"
+)
+
+// Config parameterizes the node.
+type Config struct {
+	// Cores is the number of in-order cores (Table 1: 8).
+	Cores int
+	// SPMLatency is the scratchpad access latency in cycles
+	// (Table 1: 1ns ≈ 3–4 cycles at 3.3 GHz).
+	SPMLatency sim.Cycle
+	// MaxOutstanding bounds in-flight memory requests per core (the
+	// load/store queue depth of §3.3).
+	MaxOutstanding int
+	// Router sizes the request router queues.
+	Router core.RouterConfig
+	// MaxCycles aborts a run that fails to drain (simulator guard).
+	MaxCycles sim.Cycle
+}
+
+// DefaultConfig returns the Table 1 node configuration.
+//
+// MaxOutstanding defaults high (256) because the paper's evaluation is
+// offered-load driven: Figure 9 reports an average of 9.32 raw
+// requests per cycle entering the MAC — far above its 0.5/cycle
+// service rate — which is only possible when issue is decoupled from
+// completion. A small LSQ throttles the offered load so far that the
+// ARQ never holds two mergeable requests (see the LSQ-depth ablation
+// bench). Set a small value to model strict stall-on-use cores.
+func DefaultConfig() Config {
+	return Config{
+		Cores:          8,
+		SPMLatency:     4,
+		MaxOutstanding: 256,
+		Router:         core.DefaultRouterConfig(),
+		MaxCycles:      2_000_000_000,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("cpu: Cores must be positive, got %d", c.Cores)
+	case c.MaxOutstanding <= 0:
+		return fmt.Errorf("cpu: MaxOutstanding must be positive, got %d", c.MaxOutstanding)
+	case c.MaxCycles == 0:
+		return fmt.Errorf("cpu: MaxCycles must be positive")
+	}
+	return c.Router.Validate()
+}
+
+// threadState replays one hardware thread's event stream.
+type threadState struct {
+	events []trace.Event
+	pc     int
+	// gapLeft counts remaining non-memory instruction cycles before
+	// the next event may issue.
+	gapLeft uint32
+	// outstanding tracks in-flight (unretired) memory requests.
+	outstanding int
+	// nextTag generates per-thread transaction tags.
+	nextTag uint16
+	// spmBusy holds the completion cycle of an SPM access in
+	// progress.
+	spmBusy sim.Cycle
+	// retired counts instructions completed (memory + gaps).
+	retired uint64
+	// Stall taxonomy: cycles lost per cause.
+	stallLSQ    uint64 // load/store queue full
+	stallRouter uint64 // request router queue full
+	stallFence  uint64 // fence waiting for own outstanding requests
+	// latency accumulates per-request issue-to-retire latency.
+	latency stats.Histogram
+	// issuedAt maps an in-flight tag to its issue cycle.
+	issuedAt map[uint16]sim.Cycle
+}
+
+func (t *threadState) done() bool {
+	return t.pc >= len(t.events) && t.outstanding == 0 && t.gapLeft == 0
+}
+
+// Result summarizes a completed node run.
+type Result struct {
+	// Cycles is the makespan: the cycle at which every thread had
+	// retired all its work.
+	Cycles sim.Cycle
+	// Instructions is the total retired instruction count.
+	Instructions uint64
+	// MemRequests is the number of raw requests issued to the
+	// memory path (SPM hits excluded).
+	MemRequests uint64
+	// SPMAccesses is the number of scratchpad hits.
+	SPMAccesses uint64
+	// IssueStalls counts cycles threads spent unable to issue,
+	// broken down by cause in the three fields below.
+	IssueStalls uint64
+	// StallLSQ is cycles stalled on a full load/store queue.
+	StallLSQ uint64
+	// StallRouter is cycles stalled on router backpressure.
+	StallRouter uint64
+	// StallFence is cycles a fence waited for the thread's own
+	// outstanding requests before issuing.
+	StallFence uint64
+	// RequestLatency is the issue-to-retire distribution of memory
+	// requests, in cycles.
+	RequestLatency stats.Histogram
+	// Coalescer is the coalescing statistics snapshot.
+	Coalescer memreq.Stats
+	// Device is the HMC statistics snapshot.
+	Device hmc.Stats
+	// ARQOccupancy is the mean ARQ occupancy (MAC runs only).
+	ARQOccupancy float64
+	// RouterLocal/Global/Remote are the routing counts.
+	RouterLocal, RouterGlobal, RouterRemote uint64
+}
+
+// IPC returns retired instructions per cycle across the node.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// RPI returns memory requests per instruction.
+func (r *Result) RPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.MemRequests) / float64(r.Instructions)
+}
+
+// MemAccessRate returns the fraction of memory operations that reach
+// the MAC (i.e. miss the SPM) — Eq. 2's mem_access_rate.
+func (r *Result) MemAccessRate() float64 {
+	total := r.MemRequests + r.SPMAccesses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.MemRequests) / float64(total)
+}
+
+// RPC returns raw requests per cycle offered to the MAC (Eq. 2).
+func (r *Result) RPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.MemRequests) / float64(r.Cycles)
+}
+
+// Node wires threads, router, coalescer and device together.
+type Node struct {
+	cfg    Config
+	router *core.Router
+	coal   memreq.Coalescer
+	dev    *hmc.Device
+
+	threads []*threadState
+	// issueRR rotates issue priority across cores for fairness.
+	issueRR int
+
+	// outstandingTx maps device tags to built transactions.
+	outstandingTx map[uint64]*memreq.Built
+	nextDevTag    uint64
+
+	spmAccesses uint64
+	memRequests uint64
+}
+
+// NewNode builds a node around a coalescer and device. The coalescer
+// and device must be freshly constructed or Reset.
+func NewNode(cfg Config, coal memreq.Coalescer, dev *hmc.Device) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Node{
+		cfg:           cfg,
+		router:        core.NewRouter(cfg.Router),
+		coal:          coal,
+		dev:           dev,
+		outstandingTx: make(map[uint64]*memreq.Built),
+	}
+}
+
+// Load installs the trace to replay. Threads beyond the core count are
+// rejected: the architecture runs one thread per core (§3).
+func (n *Node) Load(tr *trace.Trace) error {
+	active := 0
+	for _, th := range tr.Threads {
+		if len(th) > 0 {
+			active++
+		}
+	}
+	if active > n.cfg.Cores {
+		return fmt.Errorf("cpu: trace has %d active threads for %d cores", active, n.cfg.Cores)
+	}
+	n.threads = n.threads[:0]
+	for _, th := range tr.Threads {
+		ts := &threadState{events: th, issuedAt: make(map[uint16]sim.Cycle)}
+		if len(th) > 0 {
+			ts.gapLeft = uint32(th[0].Gap)
+		}
+		n.threads = append(n.threads, ts)
+	}
+	return nil
+}
+
+// Run replays the loaded trace to completion and returns the results.
+func (n *Node) Run() (*Result, error) {
+	for now := sim.Cycle(0); now < n.cfg.MaxCycles; now++ {
+		n.tickCores(now)
+		n.drainRouter(now)
+		n.tickCoalescer(now)
+		n.deliverResponses(now)
+		if n.drained() {
+			return n.result(now + 1), nil
+		}
+	}
+	return nil, fmt.Errorf("cpu: run exceeded MaxCycles=%d (deadlock?)", n.cfg.MaxCycles)
+}
+
+// tickCores advances every thread by one cycle.
+func (n *Node) tickCores(now sim.Cycle) {
+	for i := range n.threads {
+		t := n.threads[(i+n.issueRR)%len(n.threads)]
+		n.tickThread(t, now)
+	}
+	if len(n.threads) > 0 {
+		n.issueRR = (n.issueRR + 1) % len(n.threads)
+	}
+}
+
+func (n *Node) tickThread(t *threadState, now sim.Cycle) {
+	// Finish an SPM access in flight.
+	if t.spmBusy != 0 {
+		if now < t.spmBusy {
+			return
+		}
+		t.spmBusy = 0
+	}
+	// Execute non-memory instructions one per cycle.
+	if t.gapLeft > 0 {
+		t.gapLeft--
+		t.retired++
+		return
+	}
+	if t.pc >= len(t.events) {
+		return
+	}
+	e := t.events[t.pc]
+
+	// Scratchpad hits retire locally without touching the MAC.
+	if e.Op.IsMemory() && addr.IsSPM(e.Addr) {
+		t.spmBusy = now + n.cfg.SPMLatency
+		t.retired++
+		n.spmAccesses++
+		n.advance(t)
+		return
+	}
+
+	if e.Op == trace.Fence {
+		// A fence issues once its thread's own requests retire
+		// (program order), then flows through the MAC to order the
+		// global stream.
+		if t.outstanding > 0 {
+			t.stallFence++
+			return
+		}
+		if !n.router.OfferLocal(memreq.RawRequest{Fence: true, Thread: e.Thread}) {
+			t.stallRouter++
+			return
+		}
+		t.retired++
+		n.advance(t)
+		return
+	}
+
+	// Memory request: needs an LSQ slot and router space.
+	if t.outstanding >= n.cfg.MaxOutstanding {
+		t.stallLSQ++
+		return
+	}
+	tag := t.nextTag
+	req := memreq.RawRequest{
+		Addr:   e.Addr,
+		Size:   e.Size,
+		Store:  e.Op == trace.Store,
+		Atomic: e.Op == trace.Atomic,
+		Thread: e.Thread,
+		Tag:    tag,
+	}
+	if !n.router.OfferLocal(req) {
+		t.stallRouter++
+		return
+	}
+	t.nextTag++
+	t.outstanding++
+	t.issuedAt[tag] = now
+	t.retired++
+	n.memRequests++
+	n.advance(t)
+}
+
+// advance moves a thread to its next event, loading its gap count.
+func (n *Node) advance(t *threadState) {
+	t.pc++
+	if t.pc < len(t.events) {
+		t.gapLeft = uint32(t.events[t.pc].Gap)
+	}
+}
+
+// drainRouter feeds the coalescer (one raw request per cycle, §4.1).
+func (n *Node) drainRouter(now sim.Cycle) {
+	n.router.DrainToMAC(n.coal, now)
+}
+
+// tickCoalescer advances the coalescer and submits built transactions.
+// While the device's in-flight tag space is exhausted, the coalescer is
+// not ticked at all: the host interface backpressures, pops stall, and
+// ARQ entries dwell — the feedback that raises coalescing opportunity
+// exactly when the memory device is the bottleneck.
+func (n *Node) tickCoalescer(now sim.Cycle) {
+	if !n.dev.CanAccept() {
+		return
+	}
+	for _, b := range n.coal.Tick(now) {
+		bb := b
+		n.nextDevTag++
+		bb.Req.Tag = n.nextDevTag
+		n.outstandingTx[n.nextDevTag] = &bb
+		n.dev.Submit(bb.Req, now)
+	}
+}
+
+// deliverResponses routes completed device responses back to threads —
+// the response router of §3.3.
+func (n *Node) deliverResponses(now sim.Cycle) {
+	for _, resp := range n.dev.Tick(now) {
+		b, ok := n.outstandingTx[resp.Tag]
+		if !ok {
+			panic(fmt.Sprintf("cpu: response for unknown tag %d", resp.Tag))
+		}
+		delete(n.outstandingTx, resp.Tag)
+		// Notify the coalescer first: MSHR-style designs fold
+		// late-merged targets into b.Targets here.
+		n.coal.Completed(b)
+		for _, tgt := range b.Targets {
+			t := n.threads[tgt.Thread]
+			if t.outstanding <= 0 {
+				panic(fmt.Sprintf("cpu: thread %d retire underflow", tgt.Thread))
+			}
+			t.outstanding--
+			if issue, ok := t.issuedAt[tgt.Tag]; ok {
+				t.latency.Observe(uint64(now - issue))
+				delete(t.issuedAt, tgt.Tag)
+			}
+		}
+	}
+}
+
+// drained reports whether all work has retired.
+func (n *Node) drained() bool {
+	if n.router.Pending() > 0 || n.coal.Pending() > 0 || n.coal.Inflight() > 0 || n.dev.Pending() > 0 {
+		return false
+	}
+	for _, t := range n.threads {
+		if !t.done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) result(cycles sim.Cycle) *Result {
+	r := &Result{
+		Cycles:      cycles,
+		MemRequests: n.memRequests,
+		SPMAccesses: n.spmAccesses,
+		Coalescer:   *n.coal.Stats(),
+		Device:      *n.dev.Stats(),
+	}
+	for _, t := range n.threads {
+		r.Instructions += t.retired
+		r.IssueStalls += t.stallLSQ + t.stallRouter + t.stallFence
+		r.StallLSQ += t.stallLSQ
+		r.StallRouter += t.stallRouter
+		r.StallFence += t.stallFence
+		r.RequestLatency.Merge(&t.latency)
+	}
+	if mac, ok := n.coal.(*core.MAC); ok {
+		r.ARQOccupancy = mac.Aggregator().AvgOccupancy()
+	}
+	r.RouterLocal, r.RouterGlobal, r.RouterRemote = n.router.Stats()
+	return r
+}

@@ -1,0 +1,146 @@
+package cpu
+
+import (
+	"fmt"
+
+	"mac3d/internal/coalesce"
+	"mac3d/internal/core"
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/trace"
+)
+
+// CoalescerKind names the memory-path designs a run can use.
+type CoalescerKind int
+
+const (
+	// WithMAC uses the paper's Memory Access Coalescer.
+	WithMAC CoalescerKind = iota
+	// WithoutMAC uses the raw FLIT-granularity path (the paper's
+	// baseline for every with/without comparison).
+	WithoutMAC
+	// WithMSHR uses the conventional 64B miss-merging design of
+	// §2.3, for the limitation study.
+	WithMSHR
+)
+
+// String names the kind.
+func (k CoalescerKind) String() string {
+	switch k {
+	case WithMAC:
+		return "mac"
+	case WithoutMAC:
+		return "raw"
+	case WithMSHR:
+		return "mshr"
+	default:
+		return fmt.Sprintf("CoalescerKind(%d)", int(k))
+	}
+}
+
+// RunConfig bundles everything one timed run needs.
+type RunConfig struct {
+	Node Config
+	MAC  core.Config
+	MSHR coalesce.MSHRConfig
+	Null coalesce.NullConfig
+	HMC  hmc.Config
+	Kind CoalescerKind
+}
+
+// DefaultRunConfig returns the paper's Table 1 setup with MAC enabled.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Node: DefaultConfig(),
+		MAC:  core.DefaultConfig(),
+		MSHR: coalesce.DefaultMSHRConfig(),
+		Null: coalesce.DefaultNullConfig(),
+		HMC:  hmc.DefaultConfig(),
+		Kind: WithMAC,
+	}
+}
+
+// NewCoalescer constructs the coalescer selected by cfg.Kind.
+func (cfg RunConfig) NewCoalescer() memreq.Coalescer {
+	switch cfg.Kind {
+	case WithoutMAC:
+		return coalesce.NewNull(cfg.Null)
+	case WithMSHR:
+		return coalesce.NewMSHR(cfg.MSHR)
+	default:
+		return core.New(cfg.MAC)
+	}
+}
+
+// Run replays tr through a freshly built node.
+func Run(cfg RunConfig, tr *trace.Trace) (*Result, error) {
+	n := NewNode(cfg.Node, cfg.NewCoalescer(), hmc.NewDevice(cfg.HMC))
+	if err := n.Load(tr); err != nil {
+		return nil, err
+	}
+	return n.Run()
+}
+
+// Comparison holds a with/without-MAC pair over the same trace — the
+// measurement behind Figures 10, 12, 13, 14, 15 and 17.
+type Comparison struct {
+	With    *Result
+	Without *Result
+}
+
+// Compare runs tr twice, with the MAC and with the raw path.
+func Compare(cfg RunConfig, tr *trace.Trace) (*Comparison, error) {
+	withCfg := cfg
+	withCfg.Kind = WithMAC
+	w, err := Run(withCfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("with MAC: %w", err)
+	}
+	withoutCfg := cfg
+	withoutCfg.Kind = WithoutMAC
+	wo, err := Run(withoutCfg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("without MAC: %w", err)
+	}
+	return &Comparison{With: w, Without: wo}, nil
+}
+
+// CoalescingEfficiency is the Fig. 10 metric over this comparison:
+// the fraction of raw requests MAC eliminated.
+func (c *Comparison) CoalescingEfficiency() float64 {
+	raw := c.Without.Device.Requests
+	if raw == 0 {
+		return 0
+	}
+	return 1 - float64(c.With.Device.Requests)/float64(raw)
+}
+
+// BankConflictReduction returns the Fig. 12 metric: conflicts removed.
+func (c *Comparison) BankConflictReduction() int64 {
+	return int64(c.Without.Device.BankConflicts) - int64(c.With.Device.BankConflicts)
+}
+
+// MemorySpeedup returns the Fig. 17 metric: the relative reduction of
+// the mean memory access latency (issue to retire) achieved by MAC.
+func (c *Comparison) MemorySpeedup() float64 {
+	wo := c.Without.RequestLatency.Mean()
+	w := c.With.RequestLatency.Mean()
+	if wo == 0 {
+		return 0
+	}
+	return 1 - w/wo
+}
+
+// MakespanSpeedup returns the end-to-end runtime ratio without/with.
+func (c *Comparison) MakespanSpeedup() float64 {
+	if c.With.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Without.Cycles) / float64(c.With.Cycles)
+}
+
+// BandwidthSaving returns the Fig. 14 metric: control-overhead bytes
+// avoided by coalescing.
+func (c *Comparison) BandwidthSaving() int64 {
+	return int64(c.Without.Device.ControlBytes) - int64(c.With.Device.ControlBytes)
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mac3d/internal/stats"
+)
+
+// Entry describes one reproducible experiment.
+type Entry struct {
+	// ID is the figure/table identifier, e.g. "fig10".
+	ID string
+	// Title summarizes what the experiment reproduces.
+	Title string
+	// Paper states the paper's headline numbers for it.
+	Paper string
+	// Run produces the table. It may be expensive.
+	Run func(s *Suite) (*stats.Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Entry {
+	return []Entry{
+		{
+			ID: "fig1", Title: "Cache miss-rate motivation study (left)",
+			Paper: "avg miss rate 49.09% across the benchmarks",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig01MissRate() },
+		},
+		{
+			ID: "fig1sweep", Title: "Cache miss-rate motivation study (right)",
+			Paper: "SG random 63.85% vs sequential 2.36% at 32GB (>20x growth)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig01SizeSweep(), nil },
+		},
+		{
+			ID: "fig3", Title: "Bandwidth efficiency vs request size (Eq. 1)",
+			Paper: "16B: 33.33%; 256B: 88.89% (2.67x)",
+			Run:   func(*Suite) (*stats.Table, error) { return Fig03BandwidthEfficiency(), nil },
+		},
+		{
+			ID: "table1", Title: "Simulation environment configuration",
+			Paper: "8 cores @ 3.3GHz, 1MB SPM/core, 8GB HMC 4 links, 93ns, 32-entry ARQ",
+			Run:   func(*Suite) (*stats.Table, error) { return Table1(), nil },
+		},
+		{
+			ID: "fig9", Title: "Raw requests per cycle (Eq. 2)",
+			Paper: "all benchmarks offer >2 requests/cycle; avg 9.32",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig09RequestRate() },
+		},
+		{
+			ID: "fig10", Title: "Coalescing efficiency at 2/4/8 threads",
+			Paper: "averages 48.37% / 50.51% / 52.86%; >60% for MG, GRAPPOLO, SG, SP, SPARSELU",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig10CoalescingEfficiency() },
+		},
+		{
+			ID: "fig11", Title: "Coalescing efficiency vs ARQ entries",
+			Paper: "37.58% at 8 entries to 56.04% at 64+; diminishing returns past 32",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig11ARQSweep() },
+		},
+		{
+			ID: "fig12", Title: "Bank conflict reduction",
+			Paper: "avg 644M conflicts removed, 7.73B total (full-scale datasets)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig12BankConflicts() },
+		},
+		{
+			ID: "fig13", Title: "Bandwidth efficiency with vs without MAC",
+			Paper: "70.35% coalesced vs 33.33% raw",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig13BandwidthEfficiency() },
+		},
+		{
+			ID: "fig14", Title: "Control bandwidth saved",
+			Paper: "avg 22.76GB saved (full-scale datasets)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig14BandwidthSaving() },
+		},
+		{
+			ID: "fig15", Title: "Average targets per ARQ entry",
+			Paper: "avg 2.13, max 3.14 (12-target capacity never binding)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig15TargetsPerEntry() },
+		},
+		{
+			ID: "fig16", Title: "MAC space overhead",
+			Paper: "512B at 8 entries to 16KB at 256; 2062B total at 32 entries",
+			Run:   func(*Suite) (*stats.Table, error) { return Fig16SpaceOverhead(), nil },
+		},
+		{
+			ID: "fig17", Title: "Memory system speedup",
+			Paper: "avg 60.73%; >70% for MG, GRAPPOLO, SG, SPARSELU",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.Fig17Speedup() },
+		},
+		{
+			ID: "abl-fill", Title: "Ablation: ARQ latency-hiding fill mode",
+			Paper: "(beyond paper)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationFillMode() },
+		},
+		{
+			ID: "abl-lsq", Title: "Ablation: LSQ depth / offered load",
+			Paper: "(beyond paper)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationLSQDepth() },
+		},
+		{
+			ID: "abl-mshr", Title: "Ablation: MAC vs conventional MSHR",
+			Paper: "(beyond paper, quantifies §2.3.2)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationMSHR() },
+		},
+		{
+			ID: "abl-hbm", Title: "Ablation: MAC on HBM (§4.3 applicability)",
+			Paper: "(beyond paper's evaluation; §4.3 claims MAC ports unchanged)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationHBM() },
+		},
+		{
+			ID: "abl-window", Title: "Ablation: coalescing window 256B-1KB (§4.3)",
+			Paper: "(beyond paper's evaluation; §4.3's enlarged FLIT map/table)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationWindow() },
+		},
+		{
+			ID: "abl-grain", Title: "Ablation: builder floor 64B vs 16B (§4.2 trade)",
+			Paper: "(beyond paper; quantifies why the design floors at 64B)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationGrain() },
+		},
+		{
+			ID: "abl-energy", Title: "Ablation: memory-side energy (§2.2.1 power motive)",
+			Paper: "(beyond paper; activations + link traffic under one model)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationEnergy() },
+		},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Entry, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

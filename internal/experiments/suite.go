@@ -1,0 +1,324 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§2 motivation and §5 results) from the simulator
+// stack. Each figure function returns a stats.Table whose rows mirror
+// the paper's reported series; cmd/experiments renders them.
+//
+// Runs are cached inside a Suite: Figures 10–15 and 17 share the same
+// underlying simulations, so the whole paper regenerates with one
+// timed run per (benchmark, threads, design, ARQ size) combination.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mac3d/internal/cpu"
+	"mac3d/internal/hmc"
+	"mac3d/internal/trace"
+	"mac3d/internal/workloads"
+)
+
+// Options configures a reproduction campaign.
+type Options struct {
+	// Scale selects workload input sizes (default Small — the
+	// scaled-down stand-in for the paper's full-size datasets).
+	Scale workloads.Scale
+	// Seed drives all synthetic inputs.
+	Seed uint64
+	// Benchmarks restricts the benchmark set (default: the paper's
+	// twelve, in reporting order).
+	Benchmarks []string
+	// Parallel bounds concurrent simulations (default 1; set to
+	// runtime.NumCPU() for campaign runs on multicore hosts). Every
+	// simulation is deterministic and independent, so results are
+	// identical at any parallelism.
+	Parallel int
+	// Progress, when non-nil, receives one line per completed run;
+	// it must be safe for concurrent use when Parallel > 1.
+	Progress func(msg string)
+}
+
+// DefaultOptions returns the Small-scale full-benchmark campaign.
+func DefaultOptions() Options {
+	return Options{Scale: workloads.Small, Seed: 1, Benchmarks: workloads.PaperSet()}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workloads.PaperSet()
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 1
+	}
+	return o
+}
+
+// Suite caches traces and simulation results across figures. All
+// methods are safe for concurrent use; Prefetch exploits that to run
+// a campaign's simulations in parallel.
+type Suite struct {
+	opts Options
+
+	mu     sync.Mutex
+	sem    chan struct{}
+	traces map[traceKey]*trace.Trace
+	// traceGen deduplicates concurrent generation of one trace.
+	traceGen map[traceKey]*sync.Once
+	runs     map[runKey]*cpu.Result
+	runGen   map[runKey]*sync.Once
+	errs     map[string]error
+}
+
+type traceKey struct {
+	name    string
+	threads int
+}
+
+type runKey struct {
+	name    string
+	threads int
+	kind    cpu.CoalescerKind
+	arq     int // 0 = default (32)
+	lsq     int // 0 = default
+	fillOff bool
+	hbm     bool   // device profile: HMC (default) or HBM (§4.3)
+	window  uint32 // coalescing window bytes; 0 = 256
+	fine    bool   // 16B-floor builder ablation
+}
+
+// NewSuite builds a suite for opts.
+func NewSuite(opts Options) *Suite {
+	o := opts.withDefaults()
+	return &Suite{
+		opts:     o,
+		sem:      make(chan struct{}, o.Parallel),
+		traces:   make(map[traceKey]*trace.Trace),
+		traceGen: make(map[traceKey]*sync.Once),
+		runs:     make(map[runKey]*cpu.Result),
+		runGen:   make(map[runKey]*sync.Once),
+		errs:     make(map[string]error),
+	}
+}
+
+// Options returns the effective options.
+func (s *Suite) Options() Options { return s.opts }
+
+func (s *Suite) progress(format string, args ...any) {
+	if s.opts.Progress != nil {
+		s.opts.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Trace returns (generating and caching on demand) the trace of one
+// benchmark at the given thread count.
+func (s *Suite) Trace(name string, threads int) (*trace.Trace, error) {
+	k := traceKey{name, threads}
+	s.mu.Lock()
+	if tr, ok := s.traces[k]; ok {
+		s.mu.Unlock()
+		return tr, nil
+	}
+	once, ok := s.traceGen[k]
+	if !ok {
+		once = new(sync.Once)
+		s.traceGen[k] = once
+	}
+	s.mu.Unlock()
+
+	errKey := fmt.Sprintf("trace/%s/%d", name, threads)
+	once.Do(func() {
+		s.progress("generating %s trace (%d threads, %s)", name, threads, s.opts.Scale)
+		tr, err := workloads.Generate(name, workloads.Config{
+			Threads: threads, Seed: s.opts.Seed, Scale: s.opts.Scale,
+		})
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			s.errs[errKey] = err
+			return
+		}
+		s.traces[k] = tr
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tr, ok := s.traces[k]; ok {
+		return tr, nil
+	}
+	return nil, s.errs[errKey]
+}
+
+// run executes (and caches) one timed simulation. Concurrent callers
+// requesting the same key share one execution; distinct keys run in
+// parallel, bounded by Options.Parallel.
+func (s *Suite) run(k runKey) (*cpu.Result, error) {
+	s.mu.Lock()
+	if res, ok := s.runs[k]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	once, ok := s.runGen[k]
+	if !ok {
+		once = new(sync.Once)
+		s.runGen[k] = once
+	}
+	s.mu.Unlock()
+
+	errKey := fmt.Sprintf("run/%v", k)
+	once.Do(func() {
+		tr, err := s.Trace(k.name, k.threads)
+		if err != nil {
+			s.mu.Lock()
+			s.errs[errKey] = err
+			s.mu.Unlock()
+			return
+		}
+		cfg := cpu.DefaultRunConfig()
+		cfg.Kind = k.kind
+		if k.arq != 0 {
+			cfg.MAC.ARQ.Entries = k.arq
+		}
+		if k.lsq != 0 {
+			cfg.Node.MaxOutstanding = k.lsq
+		}
+		if k.fillOff {
+			cfg.MAC.ARQ.FillMode = false
+		}
+		if k.hbm {
+			cfg.HMC = hmc.HBMConfig()
+		}
+		if k.fine {
+			cfg.MAC.FineBuilder = true
+		}
+		if k.window != 0 {
+			cfg.MAC.ARQ.WindowBytes = k.window
+			// A wider window merges more raw requests per
+			// entry; scale the entry's target buffer with the
+			// window so the study isolates the window effect (a
+			// 1KB window entry is a 4x larger hardware entry).
+			cfg.MAC.ARQ.MaxTargets = 12 * int(k.window) / 256
+		}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		s.progress("simulating %s (%d threads, %s, arq=%d)", k.name, k.threads, k.kind, cfg.MAC.ARQ.Entries)
+		res, err := cpu.Run(cfg, tr)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			s.errs[errKey] = fmt.Errorf("%s/%s: %w", k.name, k.kind, err)
+			return
+		}
+		s.runs[k] = res
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res, ok := s.runs[k]; ok {
+		return res, nil
+	}
+	return nil, s.errs[errKey]
+}
+
+// Prefetch executes the standard with/without-MAC runs of every
+// configured benchmark concurrently (bounded by Options.Parallel),
+// warming the cache so subsequent figure generation is instant.
+func (s *Suite) Prefetch() error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, name := range s.opts.Benchmarks {
+		for _, threads := range []int{2, 4, 8} {
+			wg.Add(1)
+			go func(name string, threads int) {
+				defer wg.Done()
+				_, err := s.MAC(name, threads)
+				if err == nil && threads == 8 {
+					_, err = s.Raw(name, threads)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(name, threads)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// MAC returns the with-MAC run of a benchmark.
+func (s *Suite) MAC(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC})
+}
+
+// Raw returns the without-MAC run of a benchmark.
+func (s *Suite) Raw(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithoutMAC})
+}
+
+// MSHR returns the conventional-coalescer run of a benchmark.
+func (s *Suite) MSHR(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMSHR})
+}
+
+// MACWithARQ returns a with-MAC run at a non-default ARQ depth.
+func (s *Suite) MACWithARQ(name string, threads, entries int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, arq: entries})
+}
+
+// MACWithLSQ returns a with-MAC run at a non-default LSQ depth.
+func (s *Suite) MACWithLSQ(name string, threads, depth int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, lsq: depth})
+}
+
+// MACNoFill returns a with-MAC run with the latency-hiding fill mode
+// disabled.
+func (s *Suite) MACNoFill(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, fillOff: true})
+}
+
+// MACOnHBM returns a with-MAC run against the HBM device profile
+// (§4.3: same coalescer, 1KB rows, 32B minimum bursts).
+func (s *Suite) MACOnHBM(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, hbm: true})
+}
+
+// RawOnHBM returns the uncoalesced run against the HBM profile.
+func (s *Suite) RawOnHBM(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithoutMAC, hbm: true})
+}
+
+// MACFineBuilder returns a with-MAC run using the 16B-floor builder.
+func (s *Suite) MACFineBuilder(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, fine: true})
+}
+
+// MACWithWindow returns a with-MAC run at a non-default coalescing
+// window (the §4.3 wide FLIT map/table), optionally on the HBM
+// profile whose 1KB rows match the 1KB window.
+func (s *Suite) MACWithWindow(name string, threads int, window uint32, hbm bool) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, window: window, hbm: hbm})
+}
+
+// coalescingEfficiency computes the Fig. 10/11 metric from a MAC run
+// alone: raw requests in versus transactions out.
+func coalescingEfficiency(res *cpu.Result) float64 {
+	return res.Coalescer.CoalescingEfficiency()
+}
+
+// sortedSizes returns the keys of a size histogram in ascending order.
+func sortedSizes(m map[uint32]uint64) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

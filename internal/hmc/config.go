@@ -1,0 +1,171 @@
+package hmc
+
+import (
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/sim"
+)
+
+// Config holds the device organization and timing, all expressed in CPU
+// (master-clock) cycles. Defaults reproduce Table 1 of the paper: an
+// 8GB cube with 4 links, 256B rows, closed-page policy, and an average
+// unloaded access latency of about 93ns at a 3.3 GHz master clock.
+type Config struct {
+	// Links is the number of full-duplex host links (Table 1: 4).
+	Links int
+	// Vaults is the number of vaults (HMC gen2: 32).
+	Vaults int
+	// BanksPerVault is the number of banks per vault (8GB cube:
+	// 512 banks total => 16 per vault).
+	BanksPerVault int
+	// CapacityBytes is the cube capacity (8GB); used for address
+	// wrap-around and reporting only.
+	CapacityBytes uint64
+
+	// RowBytes is the DRAM row (page) size: 256B for HMC, 1KB for
+	// HBM (§4.3). It sets the bank-conflict granularity.
+	RowBytes uint32
+	// MinAccessBytes is the device's minimum transaction size: one
+	// 16B FLIT for HMC, one 32B burst (BL4 x 64-bit) for HBM.
+	MinAccessBytes uint32
+
+	// FlitCycles is the serialization time of one 16B FLIT on one
+	// link, in cycles.
+	FlitCycles sim.Cycle
+	// ReqPipeline is the fixed request-path latency between the link
+	// and the vault controller (SerDes, switch, controller decode).
+	ReqPipeline sim.Cycle
+	// RespPipeline is the fixed response-path latency back.
+	RespPipeline sim.Cycle
+	// TRCD is the activate (row open) latency in cycles.
+	TRCD sim.Cycle
+	// TCL is the column access latency in cycles.
+	TCL sim.Cycle
+	// TRP is the precharge latency in cycles; with the closed-page
+	// policy it is paid by every access as part of bank occupancy.
+	TRP sim.Cycle
+	// BurstBytesPerCycle is the DRAM data rate between sense
+	// amplifiers and the vault controller.
+	BurstBytesPerCycle uint32
+
+	// VaultQueueDepth bounds each vault controller's request queue.
+	VaultQueueDepth int
+	// MaxInflight bounds outstanding transactions device-wide (the
+	// HMC protocol's per-link tag space). When reached, the host
+	// interface backpressures: the MAC stops popping, its ARQ dwells
+	// grow, and coalescing opportunity rises — the feedback loop
+	// that lets efficiency exceed the 50% push/pop fixed point.
+	MaxInflight int
+
+	// RefreshInterval enables periodic DRAM refresh modelling: every
+	// RefreshInterval cycles each vault blocks for RefreshDuration
+	// while its banks refresh (vaults staggered to avoid a global
+	// stall). 0 disables refresh (the default: the paper's
+	// evaluation does not model it, and HMC handles refresh in the
+	// logic layer largely invisibly; enable it to study latency
+	// tails — tREFI ≈ 7.8µs ≈ 25740 cycles, tRFC ≈ 350ns ≈ 1155
+	// cycles at 3.3 GHz).
+	RefreshInterval sim.Cycle
+	// RefreshDuration is the per-window blocking time.
+	RefreshDuration sim.Cycle
+}
+
+// DefaultConfig returns the Table 1 configuration. With these values a
+// 16B read on an idle device completes in ~300 cycles ≈ 91ns at
+// 3.3 GHz, matching the paper's 93ns average HMC access latency.
+func DefaultConfig() Config {
+	return Config{
+		Links:              4,
+		Vaults:             32,
+		BanksPerVault:      16,
+		CapacityBytes:      8 << 30,
+		RowBytes:           256,
+		MinAccessBytes:     16,
+		FlitCycles:         1,
+		ReqPipeline:        104,
+		RespPipeline:       104,
+		TRCD:               45,
+		TCL:                45,
+		TRP:                44,
+		BurstBytesPerCycle: 32,
+		VaultQueueDepth:    256,
+		MaxInflight:        128, // 32 outstanding tags per link
+	}
+}
+
+// HBMConfig returns a High Bandwidth Memory profile per §4.3: the MAC
+// design is unchanged; the device swaps to 1KB rows (so one MAC row
+// window is a quarter of a DRAM page), a 32B minimum burst, and a
+// channel-per-pseudo-link organization (8 channels x 16 banks). The
+// control-overhead accounting keeps Eq. 1's 32B/access as the DDR
+// command-bus equivalent, so bandwidth-efficiency numbers stay
+// comparable across the two devices.
+func HBMConfig() Config {
+	c := DefaultConfig()
+	c.Links = 8 // channels
+	c.Vaults = 8
+	c.BanksPerVault = 16
+	c.RowBytes = 1024
+	c.MinAccessBytes = 32
+	c.CapacityBytes = 4 << 30
+	return c
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Links <= 0:
+		return fmt.Errorf("hmc: Links must be positive, got %d", c.Links)
+	case c.RowBytes == 0 || c.RowBytes&(c.RowBytes-1) != 0:
+		return fmt.Errorf("hmc: RowBytes must be a power of two, got %d", c.RowBytes)
+	case c.MinAccessBytes == 0 || c.MinAccessBytes%addr.FlitBytes != 0 || c.MinAccessBytes > c.RowBytes:
+		return fmt.Errorf("hmc: MinAccessBytes must be a FLIT multiple <= RowBytes, got %d", c.MinAccessBytes)
+	case c.Vaults <= 0:
+		return fmt.Errorf("hmc: Vaults must be positive, got %d", c.Vaults)
+	case c.BanksPerVault <= 0:
+		return fmt.Errorf("hmc: BanksPerVault must be positive, got %d", c.BanksPerVault)
+	case c.FlitCycles == 0:
+		return fmt.Errorf("hmc: FlitCycles must be positive")
+	case c.BurstBytesPerCycle == 0:
+		return fmt.Errorf("hmc: BurstBytesPerCycle must be positive")
+	case c.VaultQueueDepth <= 0:
+		return fmt.Errorf("hmc: VaultQueueDepth must be positive, got %d", c.VaultQueueDepth)
+	case c.MaxInflight <= 0:
+		return fmt.Errorf("hmc: MaxInflight must be positive, got %d", c.MaxInflight)
+	case c.RefreshInterval != 0 && c.RefreshDuration >= c.RefreshInterval:
+		return fmt.Errorf("hmc: RefreshDuration %d must be below RefreshInterval %d",
+			c.RefreshDuration, c.RefreshInterval)
+	}
+	return nil
+}
+
+// Mapping returns the vault/bank address mapping for this organization.
+func (c Config) Mapping() addr.Mapping {
+	return addr.Mapping{Vaults: c.Vaults, BanksPerVault: c.BanksPerVault}
+}
+
+// BankOccupancy returns how long one access of dataBytes holds its bank
+// under the closed-page policy: activate + column access + data burst +
+// precharge. A request larger than the device row (possible with the
+// §4.3 wide coalescing windows on a small-row device) pays one
+// activate/precharge pair per row it touches.
+func (c Config) BankOccupancy(dataBytes uint32) sim.Cycle {
+	burst := sim.Cycle((dataBytes + c.BurstBytesPerCycle - 1) / c.BurstBytesPerCycle)
+	activations := sim.Cycle((dataBytes + c.RowBytes - 1) / c.RowBytes)
+	if activations == 0 {
+		activations = 1
+	}
+	return activations*(c.TRCD+c.TRP) + c.TCL + burst
+}
+
+// UnloadedReadLatency returns the end-to-end latency of a read of
+// dataBytes on an otherwise idle device (no queuing, no conflicts).
+func (c Config) UnloadedReadLatency(dataBytes uint32) sim.Cycle {
+	req := Request{Kind: Read, Data: dataBytes}
+	req.Normalize()
+	reqSer := sim.Cycle(req.RequestFlits()) * c.FlitCycles
+	respSer := sim.Cycle(req.ResponseFlits()) * c.FlitCycles
+	burst := sim.Cycle((req.Data + c.BurstBytesPerCycle - 1) / c.BurstBytesPerCycle)
+	return reqSer + c.ReqPipeline + c.TRCD + c.TCL + burst + respSer + c.RespPipeline
+}

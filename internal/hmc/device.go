@@ -1,0 +1,310 @@
+package hmc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/sim"
+	"mac3d/internal/stats"
+)
+
+// Device is the HMC cube model. Submit requests in nondecreasing cycle
+// order; pull completed responses with Tick.
+type Device struct {
+	cfg Config
+	m   addr.Mapping
+
+	// Per-link next-free cycles, one set per direction.
+	reqLinkFree  []sim.Cycle
+	respLinkFree []sim.Cycle
+	nextLink     int
+
+	// bankFree[v*BanksPerVault+b] is the cycle the bank precharges.
+	bankFree []sim.Cycle
+	// vaultFree[v] is when the vault controller can accept the next
+	// request (FCFS issue, one request decoded per cycle).
+	vaultFree []sim.Cycle
+	// vaultPending[v] counts in-flight accesses per vault, bounded
+	// by VaultQueueDepth via CanAccept.
+	vaultPending []int
+
+	// rowShift converts an address to its device row number
+	// (log2 of RowBytes).
+	rowShift uint
+
+	pending responseHeap
+
+	st Stats
+}
+
+// Stats accumulates device-level measurements for the harness.
+type Stats struct {
+	// Requests counts submitted transactions by size class.
+	Requests uint64
+	Reads    uint64
+	Writes   uint64
+	Atomics  uint64
+
+	// BankConflicts counts accesses that waited on a busy bank.
+	BankConflicts uint64
+	// ConflictWaitCycles sums the cycles spent waiting on busy banks.
+	ConflictWaitCycles uint64
+
+	// DataBytes is the useful payload moved (request or response).
+	DataBytes uint64
+	// ControlBytes is the packet header/tail overhead moved.
+	ControlBytes uint64
+	// LinkBytes is DataBytes+ControlBytes (everything serialized).
+	LinkBytes uint64
+
+	// RequestsBySize histograms request payloads by FLIT count
+	// (index = data FLITs, 1..64).
+	RequestsBySize [MaxRequestBytes/addr.FlitBytes + 1]uint64
+
+	// Latency is the device access latency distribution in cycles.
+	Latency stats.Histogram
+
+	// LastDone is the completion cycle of the latest-finishing
+	// access seen so far (the memory-system makespan).
+	LastDone sim.Cycle
+}
+
+// BandwidthEfficiency returns Eq. 1 aggregated over all traffic:
+// data / (data + control).
+func (s *Stats) BandwidthEfficiency() float64 {
+	total := s.DataBytes + s.ControlBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DataBytes) / float64(total)
+}
+
+// NewDevice builds a device from cfg, panicking on invalid
+// configuration (configuration is programmer input, not user input).
+func NewDevice(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.RowBytes {
+		shift++
+	}
+	d := &Device{
+		cfg:          cfg,
+		m:            cfg.Mapping(),
+		reqLinkFree:  make([]sim.Cycle, cfg.Links),
+		respLinkFree: make([]sim.Cycle, cfg.Links),
+		bankFree:     make([]sim.Cycle, cfg.Vaults*cfg.BanksPerVault),
+		vaultFree:    make([]sim.Cycle, cfg.Vaults),
+		vaultPending: make([]int, cfg.Vaults),
+		rowShift:     shift,
+	}
+	return d
+}
+
+// row maps an address to its device row number (RowBytes granularity).
+func (d *Device) row(a uint64) uint64 { return (a & addr.PhysMask) >> d.rowShift }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot pointer of accumulated statistics. The
+// caller must not retain it across Reset.
+func (d *Device) Stats() *Stats { return &d.st }
+
+// CanAccept reports whether the host interface will take another
+// transaction — false while the in-flight tag space is exhausted or
+// any vault queue is at capacity. The MAC stops popping while this is
+// false (host-side backpressure).
+func (d *Device) CanAccept() bool {
+	if d.pending.Len() >= d.cfg.MaxInflight {
+		return false
+	}
+	for _, p := range d.vaultPending {
+		if p >= d.cfg.VaultQueueDepth {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit schedules req starting at cycle now. Requests must be
+// submitted in nondecreasing now order; Submit panics otherwise, since
+// that indicates a broken driver rather than a recoverable condition.
+func (d *Device) Submit(req Request, now sim.Cycle) {
+	req.Normalize()
+	// Devices with coarser minimum bursts (HBM: 32B) round small
+	// transactions up to their access granularity.
+	if req.Data < d.cfg.MinAccessBytes {
+		req.Data = d.cfg.MinAccessBytes
+	}
+
+	// Account traffic and request mix.
+	d.st.Requests++
+	switch req.Kind {
+	case Read:
+		d.st.Reads++
+	case Write:
+		d.st.Writes++
+	case AtomicOp:
+		d.st.Atomics++
+	}
+	flits := req.DataFlits()
+	d.st.RequestsBySize[flits]++
+	d.st.DataBytes += uint64(flits) * addr.FlitBytes
+	d.st.ControlBytes += req.ControlBytes()
+	d.st.LinkBytes += req.TotalBytes()
+
+	// 1. Request link serialization: the packet occupies one link.
+	link := d.pickLink(now)
+	reqSer := sim.Cycle(req.RequestFlits()) * d.cfg.FlitCycles
+	reqStart := max(now, d.reqLinkFree[link])
+	d.reqLinkFree[link] = reqStart + reqSer
+
+	// 2. Switch/controller pipeline to the vault.
+	row := d.row(req.Addr)
+	vault := d.m.Vault(row)
+	arrive := reqStart + reqSer + d.cfg.ReqPipeline
+
+	// 3. Vault controller FCFS issue (one decode per cycle),
+	// pushed past any refresh window in progress.
+	issue := max(arrive, d.vaultFree[vault])
+	issue = d.afterRefresh(vault, issue)
+	d.vaultFree[vault] = issue + 1
+	d.vaultPending[vault]++
+
+	// 4. Bank access under the closed-page policy.
+	bank := d.m.FlatBank(row)
+	conflicted := d.bankFree[bank] > issue
+	start := issue
+	if conflicted {
+		d.st.BankConflicts++
+		d.st.ConflictWaitCycles += uint64(d.bankFree[bank] - issue)
+		start = d.bankFree[bank]
+	}
+	d.bankFree[bank] = start + d.cfg.BankOccupancy(req.Data)
+	burst := sim.Cycle((req.Data + d.cfg.BurstBytesPerCycle - 1) / d.cfg.BurstBytesPerCycle)
+	dataReady := start + d.cfg.TRCD + d.cfg.TCL + burst
+
+	// 5. Response serialization and return pipeline.
+	respSer := sim.Cycle(req.ResponseFlits()) * d.cfg.FlitCycles
+	respStart := max(dataReady, d.respLinkFree[link])
+	d.respLinkFree[link] = respStart + respSer
+	done := respStart + respSer + d.cfg.RespPipeline
+
+	d.st.Latency.Observe(uint64(done - now))
+	if done > d.st.LastDone {
+		d.st.LastDone = done
+	}
+
+	heap.Push(&d.pending, Response{
+		Tag:        req.Tag,
+		Addr:       req.Addr,
+		Kind:       req.Kind,
+		Data:       req.Data,
+		Submitted:  now,
+		Done:       done,
+		Conflicted: conflicted,
+		vault:      vault,
+	})
+}
+
+// afterRefresh returns the earliest cycle at or after t at which the
+// vault is not blocked by a refresh window. Vault windows are
+// staggered across the refresh interval so the cube never stalls
+// globally.
+func (d *Device) afterRefresh(vault int, t sim.Cycle) sim.Cycle {
+	p := d.cfg.RefreshInterval
+	if p == 0 {
+		return t
+	}
+	offset := p * sim.Cycle(vault) / sim.Cycle(d.cfg.Vaults)
+	// Position within the current period, relative to this vault's
+	// window start.
+	var phase sim.Cycle
+	if t >= offset {
+		phase = (t - offset) % p
+	} else {
+		phase = (t + p - offset%p) % p
+	}
+	if phase < d.cfg.RefreshDuration {
+		return t + (d.cfg.RefreshDuration - phase)
+	}
+	return t
+}
+
+// pickLink chooses the link for a request. Links are selected
+// round-robin, preferring an idle link when the round-robin choice is
+// still serializing an earlier packet.
+func (d *Device) pickLink(now sim.Cycle) int {
+	best := d.nextLink
+	d.nextLink = (d.nextLink + 1) % d.cfg.Links
+	if d.reqLinkFree[best] <= now {
+		return best
+	}
+	for i, free := range d.reqLinkFree {
+		if free <= now {
+			return i
+		}
+		if free < d.reqLinkFree[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Tick returns all responses completed at or before now, in completion
+// order. The returned slice is owned by the caller.
+func (d *Device) Tick(now sim.Cycle) []Response {
+	var out []Response
+	for d.pending.Len() > 0 && d.pending[0].Done <= now {
+		r := heap.Pop(&d.pending).(Response)
+		d.vaultPending[r.vault]--
+		out = append(out, r)
+	}
+	return out
+}
+
+// Pending returns the number of in-flight accesses.
+func (d *Device) Pending() int { return d.pending.Len() }
+
+// Drain returns the cycle by which every in-flight access completes.
+func (d *Device) Drain() sim.Cycle { return d.st.LastDone }
+
+// Reset clears all timing state and statistics.
+func (d *Device) Reset() {
+	for i := range d.reqLinkFree {
+		d.reqLinkFree[i], d.respLinkFree[i] = 0, 0
+	}
+	for i := range d.bankFree {
+		d.bankFree[i] = 0
+	}
+	for i := range d.vaultFree {
+		d.vaultFree[i] = 0
+		d.vaultPending[i] = 0
+	}
+	d.pending = d.pending[:0]
+	d.nextLink = 0
+	d.st = Stats{}
+}
+
+// String summarizes the device for diagnostics.
+func (d *Device) String() string {
+	return fmt.Sprintf("hmc.Device{links:%d vaults:%d banks:%d inflight:%d}",
+		d.cfg.Links, d.cfg.Vaults, d.cfg.Vaults*d.cfg.BanksPerVault, d.pending.Len())
+}
+
+type responseHeap []Response
+
+func (h responseHeap) Len() int           { return len(h) }
+func (h responseHeap) Less(i, j int) bool { return h[i].Done < h[j].Done }
+func (h responseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *responseHeap) Push(x any)        { *h = append(*h, x.(Response)) }
+func (h *responseHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return
+}

@@ -1,0 +1,80 @@
+package hmc
+
+// Energy accounting. The paper motivates the closed-page policy and
+// short rows with power (§2.2.1: leaving rows open in a 512-bank cube
+// "would lead to high power consumption", short rows "reduce the
+// overfetch problem"). This model quantifies the memory-side energy of
+// a run so the harness can report the energy effect of coalescing:
+// fewer transactions mean fewer row activations and less control
+// traffic on the links.
+//
+// The coefficients are order-of-magnitude DRAM/SerDes figures for
+// 3D-stacked parts (activation nanojoules per row, picojoules per bit
+// moved internally and per bit serialized on the links); they are
+// configuration, not truth — the experiments compare designs under
+// the same coefficients, where the constants cancel.
+
+// EnergyModel holds per-event energy coefficients in picojoules.
+type EnergyModel struct {
+	// ActivatePJ is the energy of one row activate+precharge pair.
+	ActivatePJ float64
+	// ArrayPJPerByte is the DRAM array access energy per byte
+	// transferred between the sense amplifiers and the vault logic.
+	ArrayPJPerByte float64
+	// LinkPJPerByte is the SerDes energy per byte moved across the
+	// host links (data and control alike).
+	LinkPJPerByte float64
+	// LogicPJPerRequest is the vault-controller and switch energy
+	// per transaction.
+	LogicPJPerRequest float64
+}
+
+// DefaultEnergyModel returns coefficients in the published ballpark
+// for HMC-class devices (~1nJ activation, ~1pJ/bit internal,
+// ~2pJ/bit link, a few hundred pJ of control logic per transaction).
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		ActivatePJ:        1000,
+		ArrayPJPerByte:    8,  // ~1 pJ/bit
+		LinkPJPerByte:     16, // ~2 pJ/bit
+		LogicPJPerRequest: 200,
+	}
+}
+
+// Energy is the decomposed energy of a run, in picojoules.
+type Energy struct {
+	ActivatePJ float64
+	ArrayPJ    float64
+	LinkPJ     float64
+	LogicPJ    float64
+}
+
+// TotalPJ returns the summed energy.
+func (e Energy) TotalPJ() float64 { return e.ActivatePJ + e.ArrayPJ + e.LinkPJ + e.LogicPJ }
+
+// TotalUJ returns the summed energy in microjoules.
+func (e Energy) TotalUJ() float64 { return e.TotalPJ() / 1e6 }
+
+// EnergyOf computes the energy of the traffic recorded in st under
+// model m and the device geometry of cfg. Under the closed-page
+// policy every access activates ceil(payload/row) rows.
+func EnergyOf(m EnergyModel, cfg Config, st *Stats) Energy {
+	var activations float64
+	for flits, count := range st.RequestsBySize {
+		if count == 0 {
+			continue
+		}
+		bytes := uint32(flits) * 16
+		acts := (bytes + cfg.RowBytes - 1) / cfg.RowBytes
+		if acts == 0 {
+			acts = 1
+		}
+		activations += float64(acts) * float64(count)
+	}
+	return Energy{
+		ActivatePJ: m.ActivatePJ * activations,
+		ArrayPJ:    m.ArrayPJPerByte * float64(st.DataBytes),
+		LinkPJ:     m.LinkPJPerByte * float64(st.DataBytes+st.ControlBytes),
+		LogicPJ:    m.LogicPJPerRequest * float64(st.Requests),
+	}
+}

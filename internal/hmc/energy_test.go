@@ -1,0 +1,87 @@
+package hmc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyOfSingleAccess(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 64}, 0)
+	m := DefaultEnergyModel()
+	e := EnergyOf(m, d.Config(), d.Stats())
+	// One 64B access: 1 activation, 64 array bytes, 64+32 link
+	// bytes, 1 request of logic.
+	if e.ActivatePJ != m.ActivatePJ {
+		t.Fatalf("activate = %v", e.ActivatePJ)
+	}
+	if e.ArrayPJ != m.ArrayPJPerByte*64 {
+		t.Fatalf("array = %v", e.ArrayPJ)
+	}
+	if e.LinkPJ != m.LinkPJPerByte*96 {
+		t.Fatalf("link = %v", e.LinkPJ)
+	}
+	if e.LogicPJ != m.LogicPJPerRequest {
+		t.Fatalf("logic = %v", e.LogicPJ)
+	}
+	want := e.ActivatePJ + e.ArrayPJ + e.LinkPJ + e.LogicPJ
+	if math.Abs(e.TotalPJ()-want) > 1e-9 {
+		t.Fatal("total mismatch")
+	}
+	if math.Abs(e.TotalUJ()-want/1e6) > 1e-15 {
+		t.Fatal("unit conversion wrong")
+	}
+}
+
+func TestEnergyCoalescedBeatsRaw(t *testing.T) {
+	// Figure 2's example in energy terms: 16 FLIT reads of one row
+	// versus one 256B read. Coalescing must save activation, link
+	// and logic energy.
+	raw := NewDevice(DefaultConfig())
+	for i := 0; i < 16; i++ {
+		raw.Submit(Request{Kind: Read, Addr: uint64(i * 16), Data: 16}, 0)
+	}
+	coal := NewDevice(DefaultConfig())
+	coal.Submit(Request{Kind: Read, Addr: 0, Data: 256}, 0)
+
+	m := DefaultEnergyModel()
+	eRaw := EnergyOf(m, raw.Config(), raw.Stats())
+	eCoal := EnergyOf(m, coal.Config(), coal.Stats())
+	if eCoal.TotalPJ() >= eRaw.TotalPJ() {
+		t.Fatalf("coalesced energy %v !< raw %v", eCoal.TotalPJ(), eRaw.TotalPJ())
+	}
+	// Activation energy drops 16x; array energy is identical
+	// (same useful bytes).
+	if eCoal.ActivatePJ*16 != eRaw.ActivatePJ {
+		t.Fatalf("activations: %v vs %v", eCoal.ActivatePJ, eRaw.ActivatePJ)
+	}
+	if eCoal.ArrayPJ != eRaw.ArrayPJ {
+		t.Fatalf("array energy differs: %v vs %v", eCoal.ArrayPJ, eRaw.ArrayPJ)
+	}
+}
+
+func TestEnergyWideRequestMultipleActivations(t *testing.T) {
+	// A 1KB request on a 256B-row device pays 4 activations.
+	d := NewDevice(DefaultConfig())
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 1024}, 0)
+	m := DefaultEnergyModel()
+	e := EnergyOf(m, d.Config(), d.Stats())
+	if e.ActivatePJ != 4*m.ActivatePJ {
+		t.Fatalf("activations for 1KB on 256B rows = %v pJ", e.ActivatePJ)
+	}
+	// The same request on HBM's 1KB rows pays one.
+	h := NewDevice(HBMConfig())
+	h.Submit(Request{Kind: Read, Addr: 0, Data: 1024}, 0)
+	eh := EnergyOf(m, h.Config(), h.Stats())
+	if eh.ActivatePJ != m.ActivatePJ {
+		t.Fatalf("HBM activations = %v pJ", eh.ActivatePJ)
+	}
+}
+
+func TestEnergyEmptyStats(t *testing.T) {
+	var st Stats
+	e := EnergyOf(DefaultEnergyModel(), DefaultConfig(), &st)
+	if e.TotalPJ() != 0 {
+		t.Fatalf("empty stats energy %v", e.TotalPJ())
+	}
+}

@@ -1,0 +1,121 @@
+package hmc
+
+import (
+	"testing"
+
+	"mac3d/internal/addr"
+)
+
+func TestHBMConfigValid(t *testing.T) {
+	cfg := HBMConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RowBytes != 1024 || cfg.MinAccessBytes != 32 {
+		t.Fatalf("HBM geometry: rows %d, min %d", cfg.RowBytes, cfg.MinAccessBytes)
+	}
+}
+
+func TestConfigRejectsBadRowGeometry(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.RowBytes = 0 },
+		func(c *Config) { c.RowBytes = 300 },
+		func(c *Config) { c.MinAccessBytes = 0 },
+		func(c *Config) { c.MinAccessBytes = 24 },
+		func(c *Config) { c.MinAccessBytes = 2048 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad geometry %d accepted", i)
+		}
+	}
+}
+
+func TestHBMMinimumBurstRounding(t *testing.T) {
+	d := NewDevice(HBMConfig())
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+	resps := d.Tick(d.Drain())
+	if len(resps) != 1 {
+		t.Fatalf("%d responses", len(resps))
+	}
+	// A 16B MAC bypass request becomes one 32B HBM burst.
+	if resps[0].Data != 32 {
+		t.Fatalf("HBM payload = %d, want 32", resps[0].Data)
+	}
+}
+
+func TestHBMWiderRowsAbsorbConflicts(t *testing.T) {
+	// Four 256B MAC windows covering 1KB: in HMC they hit four
+	// different rows spread over four banks; back-to-back they
+	// conflict only if mapped to the same bank. Construct the
+	// stronger test: accesses 256B apart that conflict in HMC
+	// (same bank, different rows via stride) map inside ONE 1KB
+	// HBM row -> one bank, sequential conflicts still occur, so
+	// instead verify row granularity directly.
+	hmcDev := NewDevice(DefaultConfig())
+	hbmDev := NewDevice(HBMConfig())
+	if hmcDev.row(1023) != 3 {
+		t.Fatalf("HMC row of 1023 = %d, want 3", hmcDev.row(1023))
+	}
+	if hbmDev.row(1023) != 0 {
+		t.Fatalf("HBM row of 1023 = %d, want 0", hbmDev.row(1023))
+	}
+	if hbmDev.row(1024) != 1 {
+		t.Fatalf("HBM row of 1024 = %d, want 1", hbmDev.row(1024))
+	}
+}
+
+func TestHBMRunsFullWorkload(t *testing.T) {
+	d := NewDevice(HBMConfig())
+	for i := 0; i < 256; i++ {
+		d.Submit(Request{Kind: Read, Addr: uint64(i) * 64, Data: 64, Tag: uint64(i)}, 0)
+	}
+	resps := d.Tick(d.Drain())
+	if len(resps) != 256 {
+		t.Fatalf("completed %d of 256", len(resps))
+	}
+	if d.Stats().DataBytes != 256*64 {
+		t.Fatalf("data bytes = %d", d.Stats().DataBytes)
+	}
+}
+
+func TestVaultQueueDepthBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VaultQueueDepth = 2
+	cfg.MaxInflight = 1000
+	d := NewDevice(cfg)
+	if !d.CanAccept() {
+		t.Fatal("fresh device refuses work")
+	}
+	// Three accesses to the same vault: the third exceeds the
+	// per-vault queue depth.
+	rowStride := uint64(cfg.Vaults) * uint64(addr.RowBytes)
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+	d.Submit(Request{Kind: Read, Addr: rowStride, Data: 16}, 0)
+	if d.CanAccept() {
+		t.Fatal("full vault queue not backpressuring")
+	}
+	// Draining restores acceptance.
+	d.Tick(d.Drain())
+	if !d.CanAccept() {
+		t.Fatal("drained device still refusing")
+	}
+}
+
+func TestMaxInflightBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInflight = 4
+	d := NewDevice(cfg)
+	for i := 0; i < 4; i++ {
+		d.Submit(Request{Kind: Read, Addr: uint64(i) * 256, Data: 16}, 0)
+	}
+	if d.CanAccept() {
+		t.Fatal("tag space exhausted but device accepts")
+	}
+	d.Tick(d.Drain())
+	if !d.CanAccept() {
+		t.Fatal("device not accepting after drain")
+	}
+}

@@ -1,0 +1,344 @@
+package hmc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/sim"
+)
+
+func TestRequestNormalize(t *testing.T) {
+	cases := []struct{ in, want uint32 }{
+		{0, 16}, {1, 16}, {16, 16}, {17, 32}, {64, 64}, {255, 256}, {256, 256},
+		{1000, 1008}, {1024, 1024}, {5000, 1024}, // §4.3 wide-window ceiling
+	}
+	for _, c := range cases {
+		r := Request{Data: c.in}
+		if got := r.Normalize(); got != c.want {
+			t.Fatalf("Normalize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFlitAccounting(t *testing.T) {
+	// A 256B read: request 1 FLIT, response 17 FLITs; 32B control.
+	r := Request{Kind: Read, Data: 256}
+	r.Normalize()
+	if r.RequestFlits() != 1 || r.ResponseFlits() != 17 {
+		t.Fatalf("read flits = %d/%d", r.RequestFlits(), r.ResponseFlits())
+	}
+	if r.ControlBytes() != 32 {
+		t.Fatalf("control = %d", r.ControlBytes())
+	}
+	if r.TotalBytes() != 18*16 {
+		t.Fatalf("total = %d", r.TotalBytes())
+	}
+
+	// A 256B write: request 17 FLITs, response 1 FLIT.
+	w := Request{Kind: Write, Data: 256}
+	w.Normalize()
+	if w.RequestFlits() != 17 || w.ResponseFlits() != 1 {
+		t.Fatalf("write flits = %d/%d", w.RequestFlits(), w.ResponseFlits())
+	}
+
+	// Atomics carry one FLIT each way plus control.
+	a := Request{Kind: AtomicOp, Data: 16}
+	a.Normalize()
+	if a.RequestFlits() != 2 || a.ResponseFlits() != 2 {
+		t.Fatalf("atomic flits = %d/%d", a.RequestFlits(), a.ResponseFlits())
+	}
+}
+
+func TestEfficiencyEquation1(t *testing.T) {
+	// Figure 3 anchor points from the paper.
+	cases := map[uint32]float64{
+		16:  1.0 / 3.0, // 33.33%
+		32:  0.5,
+		64:  2.0 / 3.0,
+		128: 0.8,
+		256: 256.0 / 288.0, // 88.89%
+	}
+	for size, want := range cases {
+		if got := Efficiency(size); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Efficiency(%d) = %v, want %v", size, got, want)
+		}
+	}
+	// The paper's 2.67x improvement of 256B over 16B.
+	ratio := Efficiency(256) / Efficiency(16)
+	if math.Abs(ratio-2.6666) > 0.001 {
+		t.Fatalf("256B/16B efficiency ratio = %v, want ~2.67", ratio)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Links = 0 },
+		func(c *Config) { c.Vaults = 0 },
+		func(c *Config) { c.BanksPerVault = -1 },
+		func(c *Config) { c.FlitCycles = 0 },
+		func(c *Config) { c.BurstBytesPerCycle = 0 },
+		func(c *Config) { c.VaultQueueDepth = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultLatencyMatchesTable1(t *testing.T) {
+	// Table 1: average HMC access latency 93ns at 3.3GHz ≈ 307 cycles.
+	cfg := DefaultConfig()
+	clock := sim.NewClock(0)
+	lat := cfg.UnloadedReadLatency(16)
+	ns := clock.NanosForCycles(lat)
+	if ns < 80 || ns > 105 {
+		t.Fatalf("unloaded 16B read = %.1fns (%d cycles), want ~93ns", ns, lat)
+	}
+}
+
+func TestBankOccupancyClosedPage(t *testing.T) {
+	cfg := DefaultConfig()
+	// Closed-page: every access pays activate+column+burst+precharge.
+	occ16 := cfg.BankOccupancy(16)
+	occ256 := cfg.BankOccupancy(256)
+	if occ16 != cfg.TRCD+cfg.TCL+1+cfg.TRP {
+		t.Fatalf("16B occupancy = %d", occ16)
+	}
+	if occ256 != cfg.TRCD+cfg.TCL+8+cfg.TRP {
+		t.Fatalf("256B occupancy = %d", occ256)
+	}
+	if occ256-occ16 != 7 {
+		t.Fatal("burst scaling wrong")
+	}
+}
+
+func TestSingleRequestLifecycle(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	d.Submit(Request{Kind: Read, Addr: 0x1000, Data: 16, Tag: 7}, 0)
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d", d.Pending())
+	}
+	if got := d.Tick(10); len(got) != 0 {
+		t.Fatalf("completed too early: %v", got)
+	}
+	done := d.Drain()
+	resps := d.Tick(done)
+	if len(resps) != 1 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	r := resps[0]
+	if r.Tag != 7 || r.Addr != 0x1000 || r.Kind != Read || r.Conflicted {
+		t.Fatalf("response = %+v", r)
+	}
+	if r.Latency() != done {
+		t.Fatalf("latency = %d, want %d", r.Latency(), done)
+	}
+	if d.Pending() != 0 {
+		t.Fatal("response not drained")
+	}
+}
+
+func TestSameRowSequentialRequestsConflict(t *testing.T) {
+	// Figure 2's pathology: 16 independent FLIT loads of one row
+	// produce 15 bank conflicts; one coalesced 256B read produces 0.
+	cfg := DefaultConfig()
+	d := NewDevice(cfg)
+	for i := 0; i < 16; i++ {
+		d.Submit(Request{Kind: Read, Addr: uint64(i * 16), Data: 16}, 0)
+	}
+	if got := d.Stats().BankConflicts; got != 15 {
+		t.Fatalf("raw: %d conflicts, want 15", got)
+	}
+
+	d2 := NewDevice(cfg)
+	d2.Submit(Request{Kind: Read, Addr: 0, Data: 256}, 0)
+	if got := d2.Stats().BankConflicts; got != 0 {
+		t.Fatalf("coalesced: %d conflicts, want 0", got)
+	}
+
+	// And the coalesced makespan must beat the serialized one.
+	if d2.Drain() >= d.Drain() {
+		t.Fatalf("coalesced makespan %d !< raw %d", d2.Drain(), d.Drain())
+	}
+}
+
+func TestDifferentVaultsNoConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDevice(cfg)
+	// Consecutive rows interleave across vaults: no bank conflicts.
+	for i := 0; i < cfg.Vaults; i++ {
+		d.Submit(Request{Kind: Read, Addr: uint64(i) * addr.RowBytes, Data: 16}, 0)
+	}
+	if got := d.Stats().BankConflicts; got != 0 {
+		t.Fatalf("cross-vault requests conflicted %d times", got)
+	}
+}
+
+func TestSameBankDifferentRowsConflict(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDevice(cfg)
+	m := cfg.Mapping()
+	// Two different rows mapping to the same bank conflict.
+	stride := uint64(cfg.Vaults*cfg.BanksPerVault) * addr.RowBytes
+	r0, r1 := uint64(0), stride
+	if m.FlatBank(addr.RowNumber(r0)) != m.FlatBank(addr.RowNumber(r1)) {
+		t.Fatal("test rows should share a bank")
+	}
+	d.Submit(Request{Kind: Read, Addr: r0, Data: 16}, 0)
+	d.Submit(Request{Kind: Read, Addr: r1, Data: 16}, 0)
+	if got := d.Stats().BankConflicts; got != 1 {
+		t.Fatalf("conflicts = %d, want 1", got)
+	}
+}
+
+func TestBankFreesAfterOccupancy(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDevice(cfg)
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+	// A second access to the same bank long after it precharged
+	// must not conflict.
+	late := sim.Cycle(10000)
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, late)
+	if got := d.Stats().BankConflicts; got != 0 {
+		t.Fatalf("late request conflicted (%d)", got)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+	d.Submit(Request{Kind: Write, Addr: 4096, Data: 128}, 0)
+	st := d.Stats()
+	if st.Requests != 2 || st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("mix wrong: %+v", st)
+	}
+	if st.DataBytes != 16+128 {
+		t.Fatalf("data bytes = %d", st.DataBytes)
+	}
+	if st.ControlBytes != 64 {
+		t.Fatalf("control bytes = %d", st.ControlBytes)
+	}
+	if st.LinkBytes != st.DataBytes+st.ControlBytes {
+		t.Fatal("link bytes != data+control")
+	}
+	if st.RequestsBySize[1] != 1 || st.RequestsBySize[8] != 1 {
+		t.Fatalf("size histogram wrong: %v", st.RequestsBySize)
+	}
+	wantEff := float64(144) / float64(144+64)
+	if math.Abs(st.BandwidthEfficiency()-wantEff) > 1e-12 {
+		t.Fatalf("efficiency = %v, want %v", st.BandwidthEfficiency(), wantEff)
+	}
+}
+
+func TestLinkSerializationSpreadsAcrossLinks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlitCycles = 4 // make serialization visible
+	d := NewDevice(cfg)
+	// 4 writes of 256B at cycle 0: with 4 links they serialize in
+	// parallel; their completions must be much closer together than
+	// 4x the serialization time.
+	for i := 0; i < 4; i++ {
+		d.Submit(Request{Kind: Write, Addr: uint64(i) * addr.RowBytes, Data: 256, Tag: uint64(i)}, 0)
+	}
+	resps := d.Tick(d.Drain())
+	if len(resps) != 4 {
+		t.Fatalf("%d responses", len(resps))
+	}
+	var minD, maxD sim.Cycle
+	for i, r := range resps {
+		if i == 0 || r.Done < minD {
+			minD = r.Done
+		}
+		if r.Done > maxD {
+			maxD = r.Done
+		}
+	}
+	ser := sim.Cycle(17) * cfg.FlitCycles
+	if maxD-minD >= ser {
+		t.Fatalf("completions spread %d cycles, want < %d (parallel links)", maxD-minD, ser)
+	}
+}
+
+func TestSingleLinkSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Links = 1
+	cfg.FlitCycles = 4
+	d := NewDevice(cfg)
+	d.Submit(Request{Kind: Write, Addr: 0, Data: 256}, 0)
+	d.Submit(Request{Kind: Write, Addr: addr.RowBytes, Data: 256}, 0)
+	resps := d.Tick(d.Drain())
+	gap := resps[1].Done - resps[0].Done
+	ser := sim.Cycle(17) * cfg.FlitCycles
+	if gap < ser {
+		t.Fatalf("single link: completion gap %d < serialization %d", gap, ser)
+	}
+}
+
+func TestResponsesInCompletionOrder(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	// A big slow access submitted first, small fast one after, to a
+	// different vault: the small one may finish first.
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 256, Tag: 1}, 0)
+	d.Submit(Request{Kind: Read, Addr: addr.RowBytes, Data: 16, Tag: 2}, 0)
+	resps := d.Tick(d.Drain())
+	if len(resps) != 2 {
+		t.Fatalf("%d responses", len(resps))
+	}
+	if resps[0].Done > resps[1].Done {
+		t.Fatal("responses out of completion order")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+	d.Reset()
+	if d.Pending() != 0 || d.Stats().Requests != 0 || d.Drain() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// Bank state must be cleared: immediate same-bank access at
+	// cycle 0 must not conflict.
+	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+	if d.Stats().BankConflicts != 0 {
+		t.Fatal("bank state survived reset")
+	}
+}
+
+func TestLatencyMonotoneWithLoadProperty(t *testing.T) {
+	// Property: adding contention never reduces the makespan.
+	f := func(nExtra uint8) bool {
+		cfg := DefaultConfig()
+		base := NewDevice(cfg)
+		base.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+		baseDone := base.Drain()
+
+		loaded := NewDevice(cfg)
+		loaded.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
+		for i := 0; i < int(nExtra%32); i++ {
+			loaded.Submit(Request{Kind: Read, Addr: uint64(i) * 16, Data: 16}, 0)
+		}
+		return loaded.Drain() >= baseDone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDiagnostics(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	if s := d.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+	if Read.String() != "RD" || Write.String() != "WR" || AtomicOp.String() != "ATOM" {
+		t.Fatal("kind strings wrong")
+	}
+}

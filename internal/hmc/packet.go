@@ -1,0 +1,183 @@
+// Package hmc is a cycle-accounted model of a Hybrid Memory Cube
+// device, standing in for HMCSim-3.0 in the paper's evaluation
+// pipeline. It models the features MAC's results depend on:
+//
+//   - the packetized FLIT protocol, with 16B of control per packet and
+//     32B of control per complete access (paper §2.2.2, Eq. 1);
+//   - serialization over a configurable number of full-duplex links;
+//   - vault/bank organization with closed-page DRAM timing, making
+//     every access a row-buffer miss (paper §2.2.1);
+//   - per-bank conflict detection: a request that finds its bank busy
+//     is a recorded bank conflict and waits, serializing the pipeline.
+//
+// The device is driven in nondecreasing cycle order: Submit schedules a
+// request analytically against link, vault and bank availability, and
+// Tick(now) delivers the responses whose completion cycle has arrived.
+package hmc
+
+import (
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/sim"
+)
+
+// Kind is the request packet type.
+type Kind uint8
+
+const (
+	// Read requests data from the device.
+	Read Kind = iota
+	// Write sends data to the device.
+	Write
+	// AtomicOp is an atomic read-modify-write executed in the logic
+	// layer; it carries one FLIT of data each way.
+	AtomicOp
+)
+
+// String returns the mnemonic of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "RD"
+	case Write:
+		return "WR"
+	case AtomicOp:
+		return "ATOM"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ControlBytesPerPacket is the header+tail overhead of one HMC packet.
+const ControlBytesPerPacket = 16
+
+// MaxRequestBytes is the architectural ceiling on one transaction's
+// payload: 256B is the HMC 2.1 maximum the paper evaluates; the §4.3
+// generalization (wider coalescing windows, HBM rows) extends it to
+// 1KB. Devices with smaller rows serve larger requests with multiple
+// row activations (see Config.BankOccupancy).
+const MaxRequestBytes = 1024
+
+// ControlBytesPerAccess is the combined request+response control
+// overhead of one complete memory access (Eq. 1 denominator term).
+const ControlBytesPerAccess = 2 * ControlBytesPerPacket
+
+// Request is one transaction submitted to the device.
+type Request struct {
+	// Kind selects read/write/atomic handling.
+	Kind Kind
+	// Addr is the physical start address of the transaction.
+	Addr uint64
+	// Data is the payload size in bytes. The protocol operates at
+	// FLIT granularity: sizes are rounded up to a multiple of 16
+	// and clipped to MaxRequestBytes by Normalize.
+	Data uint32
+	// Tag is an opaque identifier echoed on the response; the
+	// submitter (the MAC's response router) uses it to recover the
+	// buffered target list.
+	Tag uint64
+}
+
+// Normalize rounds the payload up to FLIT granularity (minimum one
+// FLIT) and reports the normalized size.
+func (r *Request) Normalize() uint32 {
+	if r.Data == 0 {
+		r.Data = addr.FlitBytes
+	}
+	if rem := r.Data % addr.FlitBytes; rem != 0 {
+		r.Data += addr.FlitBytes - rem
+	}
+	if r.Data > MaxRequestBytes {
+		r.Data = MaxRequestBytes
+	}
+	return r.Data
+}
+
+// DataFlits returns the number of 16B data FLITs the payload occupies.
+func (r Request) DataFlits() uint32 {
+	d := r.Data
+	if d == 0 {
+		d = addr.FlitBytes
+	}
+	return (d + addr.FlitBytes - 1) / addr.FlitBytes
+}
+
+// RequestFlits returns the FLITs of the request packet: one control
+// FLIT plus, for writes and atomics, the outbound data FLITs.
+func (r Request) RequestFlits() uint32 {
+	switch r.Kind {
+	case Write:
+		return 1 + r.DataFlits()
+	case AtomicOp:
+		return 2 // control + one operand FLIT
+	default:
+		return 1
+	}
+}
+
+// ResponseFlits returns the FLITs of the response packet: one control
+// FLIT plus, for reads and atomics, the returned data FLITs.
+func (r Request) ResponseFlits() uint32 {
+	switch r.Kind {
+	case Read:
+		return 1 + r.DataFlits()
+	case AtomicOp:
+		return 2 // control + the old value
+	default:
+		return 1
+	}
+}
+
+// TotalBytes returns all bytes moved across the links for the access.
+func (r Request) TotalBytes() uint64 {
+	return uint64(r.RequestFlits()+r.ResponseFlits()) * addr.FlitBytes
+}
+
+// ControlBytes returns the link bytes that are protocol overhead.
+func (r Request) ControlBytes() uint64 {
+	switch r.Kind {
+	case Read, Write:
+		return ControlBytesPerAccess
+	case AtomicOp:
+		return ControlBytesPerAccess
+	default:
+		return ControlBytesPerAccess
+	}
+}
+
+// BandwidthEfficiency returns Eq. 1 for this access:
+// data / (data + overhead).
+func (r Request) BandwidthEfficiency() float64 {
+	d := float64(r.DataFlits() * addr.FlitBytes)
+	return d / (d + float64(r.ControlBytes()))
+}
+
+// Response reports the completion of a request.
+type Response struct {
+	// Tag is copied from the request.
+	Tag uint64
+	// Addr is copied from the request.
+	Addr uint64
+	// Kind is copied from the request.
+	Kind Kind
+	// Data is the normalized payload size of the access.
+	Data uint32
+	// Submitted is the cycle the request entered the device.
+	Submitted sim.Cycle
+	// Done is the cycle the response finished arriving at the host.
+	Done sim.Cycle
+	// Conflicted reports whether the access waited on a busy bank.
+	Conflicted bool
+	// vault is device-internal bookkeeping for queue accounting.
+	vault int
+}
+
+// Latency returns the end-to-end device latency of the access.
+func (r Response) Latency() sim.Cycle { return r.Done - r.Submitted }
+
+// Efficiency (Eq. 1) for a given request payload in bytes.
+func Efficiency(dataBytes uint32) float64 {
+	d := float64(dataBytes)
+	return d / (d + float64(ControlBytesPerAccess))
+}

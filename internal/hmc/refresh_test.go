@@ -1,0 +1,95 @@
+package hmc
+
+import (
+	"testing"
+
+	"mac3d/internal/sim"
+)
+
+func refreshConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 25740 // tREFI ~7.8us at 3.3GHz
+	cfg.RefreshDuration = 1155  // tRFC ~350ns
+	return cfg
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.RefreshInterval != 0 {
+		t.Fatal("refresh must default off (paper's model)")
+	}
+	d := NewDevice(cfg)
+	if got := d.afterRefresh(0, 12345); got != 12345 {
+		t.Fatalf("disabled refresh moved time: %d", got)
+	}
+}
+
+func TestRefreshValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshInterval = 100
+	cfg.RefreshDuration = 100
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("duration >= interval accepted")
+	}
+	if err := refreshConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefreshBlocksWindow(t *testing.T) {
+	d := NewDevice(refreshConfig())
+	// Vault 0's window starts at cycle 0: an access at cycle 10 is
+	// pushed past the window end.
+	if got := d.afterRefresh(0, 10); got != 1155 {
+		t.Fatalf("in-window access at %d, want 1155", got)
+	}
+	// Just after the window: unaffected.
+	if got := d.afterRefresh(0, 1155); got != 1155 {
+		t.Fatalf("post-window access moved to %d", got)
+	}
+	// Next period blocks again.
+	if got := d.afterRefresh(0, 25740+5); got != 25740+1155 {
+		t.Fatalf("second window: %d", got)
+	}
+}
+
+func TestRefreshStaggeredAcrossVaults(t *testing.T) {
+	d := NewDevice(refreshConfig())
+	// Vault 16 of 32 refreshes half a period later; cycle 10 is
+	// outside its window.
+	if got := d.afterRefresh(16, 10); got != 10 {
+		t.Fatalf("staggered vault blocked at %d", got)
+	}
+	// But its own window (starting at period/2) blocks.
+	half := sim.Cycle(25740 / 2)
+	if got := d.afterRefresh(16, half+10); got != half+1155 {
+		t.Fatalf("vault 16 window: %d, want %d", got, half+1155)
+	}
+}
+
+func TestRefreshAddsLatencyTail(t *testing.T) {
+	// With refresh on, a long request stream sees a higher maximum
+	// latency than without, but a similar mean.
+	run := func(cfg Config) (mean float64, maxv uint64) {
+		d := NewDevice(cfg)
+		now := sim.Cycle(0)
+		for i := 0; i < 2000; i++ {
+			d.Submit(Request{Kind: Read, Addr: uint64(i) * 256, Data: 64}, now)
+			now += 16
+		}
+		st := d.Stats()
+		return st.Latency.Mean(), st.Latency.Max()
+	}
+	meanOff, maxOff := run(DefaultConfig())
+	meanOn, maxOn := run(refreshConfig())
+	if maxOn <= maxOff {
+		t.Fatalf("refresh added no latency tail: max %d vs %d", maxOn, maxOff)
+	}
+	if meanOn < meanOff {
+		t.Fatalf("refresh lowered mean latency: %v vs %v", meanOn, meanOff)
+	}
+	// The mean must not explode: refresh costs ~4.5% utilization.
+	if meanOn > meanOff*1.5 {
+		t.Fatalf("refresh mean blow-up: %v vs %v", meanOn, meanOff)
+	}
+}

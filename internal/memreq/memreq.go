@@ -1,0 +1,156 @@
+// Package memreq defines the contract between request producers (the
+// multicore node model), memory coalescers (MAC and the baseline
+// designs), and the HMC device model: the raw request representation,
+// the per-request target information used by the response router, the
+// built-transaction type, and the Coalescer interface with its shared
+// statistics.
+//
+// Keeping these types in a leaf package lets the MAC implementation
+// (internal/core) and the baselines (internal/coalesce) be swapped
+// freely inside the node model and the experiment harness.
+package memreq
+
+import (
+	"fmt"
+
+	"mac3d/internal/hmc"
+	"mac3d/internal/sim"
+	"mac3d/internal/stats"
+)
+
+// Target is the information MAC buffers per merged raw request so the
+// response router can deliver data back to the originating thread
+// (paper §4.1.1: 2B thread id + 2B transaction tag + 4b FLIT id,
+// 4.5B per target in hardware).
+type Target struct {
+	// Thread is the issuing hardware thread id.
+	Thread uint16
+	// Tag is the per-thread transaction tag (e.g. LSQ slot).
+	Tag uint16
+	// Flit is the requested FLIT id within the row (0–15).
+	Flit uint8
+}
+
+// TargetBytes is the hardware size of one buffered target (§4.1.1).
+const TargetBytes = 4.5
+
+// RawRequest is one memory operation as it leaves a core.
+type RawRequest struct {
+	// Addr is the physical address.
+	Addr uint64
+	// Size is the access size in bytes (1–16); 0 means 1.
+	Size uint8
+	// Store distinguishes writes from reads.
+	Store bool
+	// Atomic marks read-modify-write operations, which are never
+	// coalesced (paper §4.1.2).
+	Atomic bool
+	// Fence marks a memory fence: it carries no address and forces
+	// the aggregator to stop merging until it drains (paper §4.1).
+	Fence bool
+	// Thread and Tag form the response-routing target.
+	Thread uint16
+	Tag    uint16
+}
+
+// Built is one memory transaction produced by a coalescer, ready for
+// the device. Req.Tag is assigned by the driver that owns the
+// outstanding-transaction table.
+type Built struct {
+	// Req is the device transaction.
+	Req hmc.Request
+	// Targets lists every raw request satisfied by this transaction.
+	// It is empty only for transactions synthesized by a coalescer
+	// for its own purposes (none of the included designs do this).
+	Targets []Target
+	// Bypassed reports that the transaction skipped the request
+	// builder (B bit set, or an atomic routed directly).
+	Bypassed bool
+	// Handle is coalescer-private bookkeeping (e.g. the MSHR entry
+	// behind the transaction). Drivers must preserve it and pass the
+	// same Built back to Completed; they must not interpret it.
+	Handle any
+}
+
+// Coalescer is a processor-side memory coalescing unit.
+//
+// The driving model is cycle-stepped: the driver calls Push to offer at
+// most one raw request per call (a rejected Push models backpressure
+// and must be retried), calls Tick once per cycle to collect built
+// transactions, and calls Completed when the device response for a
+// built transaction has been routed back — coalescers use the
+// outstanding count to order memory fences.
+type Coalescer interface {
+	// Push offers one raw request at cycle now. It reports whether
+	// the request was accepted.
+	Push(r RawRequest, now sim.Cycle) bool
+	// Tick advances internal pipelines and returns the transactions
+	// that completed building this cycle, in issue order.
+	Tick(now sim.Cycle) []Built
+	// Completed notifies the coalescer that one previously emitted
+	// transaction has fully completed (response routed).
+	Completed(b *Built)
+	// Pending returns the number of raw requests accepted but not
+	// yet emitted in a Built transaction, plus queued fences.
+	Pending() int
+	// Inflight returns the number of emitted transactions whose
+	// completion has not been signalled.
+	Inflight() int
+	// Stats returns the accumulated coalescing statistics.
+	Stats() *Stats
+	// Reset restores the coalescer to its initial empty state.
+	Reset()
+}
+
+// Stats is the measurement set shared by every coalescer design.
+type Stats struct {
+	// RawRequests counts raw memory requests accepted (excluding
+	// fences, which are control operations).
+	RawRequests uint64
+	RawLoads    uint64
+	RawStores   uint64
+	RawAtomics  uint64
+	Fences      uint64
+
+	// Transactions counts built device transactions.
+	Transactions uint64
+	// Bypassed counts transactions that skipped the builder.
+	Bypassed uint64
+	// BuiltBySizeBytes histograms builder output by transaction
+	// payload (key: 16, 64, 128, 256).
+	BuiltBySizeBytes map[uint32]uint64
+
+	// TargetsPerTx observes the number of raw requests merged into
+	// each emitted transaction (Fig. 15's targets-per-entry).
+	TargetsPerTx stats.Histogram
+
+	// PushRejects counts Push calls refused due to internal
+	// backpressure.
+	PushRejects uint64
+}
+
+// NewStats returns an initialized Stats.
+func NewStats() *Stats {
+	return &Stats{BuiltBySizeBytes: make(map[uint32]uint64)}
+}
+
+// CoalescingEfficiency returns the paper's headline metric, the
+// fraction of raw requests eliminated by coalescing:
+// 1 − transactions/raw (see DESIGN.md on Eq. 3's sign).
+func (s *Stats) CoalescingEfficiency() float64 {
+	if s.RawRequests == 0 {
+		return 0
+	}
+	return 1 - float64(s.Transactions)/float64(s.RawRequests)
+}
+
+// AvgTargetsPerTx returns the mean number of raw requests per emitted
+// transaction (Fig. 15).
+func (s *Stats) AvgTargetsPerTx() float64 { return s.TargetsPerTx.Mean() }
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("raw=%d tx=%d bypassed=%d eff=%.2f%% tgts/tx=%.2f",
+		s.RawRequests, s.Transactions, s.Bypassed,
+		100*s.CoalescingEfficiency(), s.AvgTargetsPerTx())
+}

@@ -1,0 +1,72 @@
+package memreq
+
+import (
+	"strings"
+	"testing"
+
+	"mac3d/internal/hmc"
+)
+
+func TestStatsCoalescingEfficiency(t *testing.T) {
+	s := NewStats()
+	if s.CoalescingEfficiency() != 0 {
+		t.Fatal("empty stats must report 0")
+	}
+	s.RawRequests = 100
+	s.Transactions = 47
+	if got := s.CoalescingEfficiency(); got != 0.53 {
+		t.Fatalf("efficiency = %v, want 0.53", got)
+	}
+	// The no-coalescing case.
+	s.Transactions = 100
+	if got := s.CoalescingEfficiency(); got != 0 {
+		t.Fatalf("1:1 efficiency = %v", got)
+	}
+}
+
+func TestStatsAvgTargets(t *testing.T) {
+	s := NewStats()
+	s.TargetsPerTx.Observe(1)
+	s.TargetsPerTx.Observe(3)
+	if got := s.AvgTargetsPerTx(); got != 2 {
+		t.Fatalf("avg targets = %v", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewStats()
+	s.RawRequests = 10
+	s.Transactions = 5
+	s.Bypassed = 2
+	s.TargetsPerTx.Observe(2)
+	out := s.String()
+	for _, want := range []string{"raw=10", "tx=5", "bypassed=2", "50.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary %q missing %q", out, want)
+		}
+	}
+}
+
+func TestBuiltCarriesRequest(t *testing.T) {
+	b := Built{
+		Req:     hmc.Request{Kind: hmc.Read, Addr: 0x100, Data: 64},
+		Targets: []Target{{Thread: 1, Tag: 2, Flit: 3}},
+	}
+	if b.Req.DataFlits() != 4 {
+		t.Fatalf("flits = %d", b.Req.DataFlits())
+	}
+	if b.Targets[0] != (Target{Thread: 1, Tag: 2, Flit: 3}) {
+		t.Fatal("target not preserved")
+	}
+}
+
+func TestTargetBytesMatchesPaper(t *testing.T) {
+	// §4.1.1: 2B TID + 2B tag + 4b FLIT id = 4.5B, and a 64B entry
+	// with 10B of address/map state holds 12 targets.
+	if TargetBytes != 4.5 {
+		t.Fatalf("TargetBytes = %v", TargetBytes)
+	}
+	if int(54/TargetBytes) != 12 {
+		t.Fatal("64B entry capacity math broken")
+	}
+}

@@ -1,0 +1,484 @@
+// Package numa models the paper's full §3 architecture: a scalable
+// multi-node system where each node couples a cache-less multicore
+// processor with its own 3D-stacked memory device through a MAC unit,
+// and remote devices are reached through the owning node's MAC.
+//
+// The single-node model in internal/cpu covers the paper's evaluated
+// configuration; this package exercises the request router's Global
+// and Remote access queues (§3.1) and the response router's
+// remote-return path (§3.3) with a configurable node count and
+// interconnect latency.
+package numa
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/core"
+	"mac3d/internal/cpu"
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+	"mac3d/internal/stats"
+	"mac3d/internal/trace"
+)
+
+// Config parameterizes the multi-node system.
+type Config struct {
+	// Nodes is the node count (each with cores, MAC and HMC).
+	Nodes int
+	// CoresPerNode is the core count of each node.
+	CoresPerNode int
+	// InterleaveBytes is the block size of the global address
+	// interleave across nodes (default: one 256B row).
+	InterleaveBytes uint64
+	// LinkLatency is the one-way inter-node hop latency in cycles.
+	LinkLatency sim.Cycle
+	// LinkBandwidth bounds messages per cycle per direction on each
+	// node's interconnect port.
+	LinkBandwidth int
+	// MAC configures each node's coalescer.
+	MAC core.Config
+	// HMC configures each node's device.
+	HMC hmc.Config
+	// SPMLatency and MaxOutstanding mirror cpu.Config.
+	SPMLatency     sim.Cycle
+	MaxOutstanding int
+	// MaxCycles aborts a run that fails to drain.
+	MaxCycles sim.Cycle
+}
+
+// DefaultConfig returns a 2-node system with Table 1 nodes and a
+// 100ns-class interconnect hop.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:           2,
+		CoresPerNode:    8,
+		InterleaveBytes: addr.RowBytes,
+		LinkLatency:     330, // ~100ns at 3.3 GHz
+		LinkBandwidth:   2,
+		MAC:             core.DefaultConfig(),
+		HMC:             hmc.DefaultConfig(),
+		SPMLatency:      4,
+		MaxOutstanding:  256,
+		MaxCycles:       2_000_000_000,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("numa: Nodes must be positive, got %d", c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("numa: CoresPerNode must be positive, got %d", c.CoresPerNode)
+	case c.LinkBandwidth <= 0:
+		return fmt.Errorf("numa: LinkBandwidth must be positive, got %d", c.LinkBandwidth)
+	case c.MaxOutstanding <= 0:
+		return fmt.Errorf("numa: MaxOutstanding must be positive, got %d", c.MaxOutstanding)
+	case c.MaxCycles == 0:
+		return fmt.Errorf("numa: MaxCycles must be positive")
+	}
+	if err := c.MAC.Validate(); err != nil {
+		return err
+	}
+	return c.HMC.Validate()
+}
+
+// message is one in-flight interconnect transfer.
+type message struct {
+	deliver sim.Cycle
+	// request messages carry a raw request to dest's remote queue;
+	// response messages retire a target at the origin node.
+	isResponse bool
+	dest       int
+	req        memreq.RawRequest
+	target     memreq.Target
+}
+
+type messageHeap []message
+
+func (h messageHeap) Len() int           { return len(h) }
+func (h messageHeap) Less(i, j int) bool { return h[i].deliver < h[j].deliver }
+func (h messageHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *messageHeap) Push(x any)        { *h = append(*h, x.(message)) }
+func (h *messageHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// threadState mirrors the per-thread replay of internal/cpu.
+type threadState struct {
+	events      []trace.Event
+	pc          int
+	gapLeft     uint32
+	outstanding int
+	nextTag     uint16
+	spmBusy     sim.Cycle
+	retired     uint64
+	issuedAt    map[uint16]sim.Cycle
+	latency     stats.Histogram
+}
+
+func (t *threadState) done() bool {
+	return t.pc >= len(t.events) && t.outstanding == 0 && t.gapLeft == 0
+}
+
+// node is one processor+MAC+HMC tile.
+type node struct {
+	id      int
+	router  *core.Router
+	coal    memreq.Coalescer
+	dev     *hmc.Device
+	threads []*threadState // threads homed on this node
+
+	outstandingTx map[uint64]*memreq.Built
+	nextDevTag    uint64
+
+	// portFree throttles outbound interconnect messages.
+	sentThisCycle int
+
+	remoteServed uint64 // requests served for other nodes
+	remoteSent   uint64 // requests sent to other nodes
+}
+
+// Result aggregates system-wide measurements.
+type Result struct {
+	Cycles         sim.Cycle
+	Instructions   uint64
+	MemRequests    uint64
+	SPMAccesses    uint64
+	RemoteRequests uint64 // requests that crossed the interconnect
+	RequestLatency stats.Histogram
+	// PerNode carries each node's coalescer and device snapshots.
+	PerNode []NodeStats
+}
+
+// NodeStats is one node's measurement snapshot.
+type NodeStats struct {
+	Coalescer    memreq.Stats
+	Device       hmc.Stats
+	RemoteServed uint64
+	RemoteSent   uint64
+}
+
+// RemoteFraction returns the share of memory requests that targeted a
+// remote node's device.
+func (r *Result) RemoteFraction() float64 {
+	if r.MemRequests == 0 {
+		return 0
+	}
+	return float64(r.RemoteRequests) / float64(r.MemRequests)
+}
+
+// System is the multi-node simulator.
+type System struct {
+	cfg   Config
+	nodes []*node
+	net   messageHeap
+
+	memRequests uint64
+	spmAccesses uint64
+	remoteReqs  uint64
+}
+
+// NewSystem builds the system; each node gets its own MAC and device.
+func NewSystem(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.InterleaveBytes == 0 {
+		cfg.InterleaveBytes = addr.RowBytes
+	}
+	s := &System{cfg: cfg}
+	for i := 0; i < cfg.Nodes; i++ {
+		rcfg := core.DefaultRouterConfig()
+		rcfg.NodeID = i
+		rcfg.Nodes = cfg.Nodes
+		rcfg.InterleaveBytes = cfg.InterleaveBytes
+		s.nodes = append(s.nodes, &node{
+			id:            i,
+			router:        core.NewRouter(rcfg),
+			coal:          core.New(cfg.MAC),
+			dev:           hmc.NewDevice(cfg.HMC),
+			outstandingTx: make(map[uint64]*memreq.Built),
+		})
+	}
+	return s
+}
+
+// Load distributes a trace's threads across nodes: thread t is homed
+// on node t % Nodes, so every node runs at most CoresPerNode threads.
+func (s *System) Load(tr *trace.Trace) error {
+	counts := make([]int, s.cfg.Nodes)
+	for th, events := range tr.Threads {
+		if len(events) > 0 {
+			counts[th%s.cfg.Nodes]++
+		}
+	}
+	for n, c := range counts {
+		if c > s.cfg.CoresPerNode {
+			return fmt.Errorf("numa: node %d would run %d threads with %d cores",
+				n, c, s.cfg.CoresPerNode)
+		}
+	}
+	for _, nd := range s.nodes {
+		nd.threads = nd.threads[:0]
+	}
+	for th, events := range tr.Threads {
+		nd := s.nodes[th%s.cfg.Nodes]
+		ts := &threadState{events: events, issuedAt: make(map[uint16]sim.Cycle)}
+		if len(events) > 0 {
+			ts.gapLeft = uint32(events[0].Gap)
+		}
+		nd.threads = append(nd.threads, ts)
+	}
+	return nil
+}
+
+// thread locates a thread's state by its global id.
+func (s *System) thread(id uint16) *threadState {
+	nd := s.nodes[int(id)%s.cfg.Nodes]
+	for _, ts := range nd.threads {
+		if len(ts.events) > 0 && ts.events[0].Thread == id {
+			return ts
+		}
+	}
+	return nil
+}
+
+// Run replays the loaded trace to completion.
+func (s *System) Run() (*Result, error) {
+	for now := sim.Cycle(0); now < s.cfg.MaxCycles; now++ {
+		for _, nd := range s.nodes {
+			nd.sentThisCycle = 0
+			s.tickThreads(nd, now)
+			s.pumpInterconnect(nd, now)
+			nd.router.DrainToMAC(nd.coal, now)
+			s.tickCoalescer(nd, now)
+			s.deliverResponses(nd, now)
+		}
+		s.deliverMessages(now)
+		if s.drained() {
+			return s.result(now + 1), nil
+		}
+	}
+	return nil, fmt.Errorf("numa: run exceeded MaxCycles=%d", s.cfg.MaxCycles)
+}
+
+func (s *System) tickThreads(nd *node, now sim.Cycle) {
+	for _, t := range nd.threads {
+		if t.spmBusy != 0 {
+			if now < t.spmBusy {
+				continue
+			}
+			t.spmBusy = 0
+		}
+		if t.gapLeft > 0 {
+			t.gapLeft--
+			t.retired++
+			continue
+		}
+		if t.pc >= len(t.events) {
+			continue
+		}
+		e := t.events[t.pc]
+		if e.Op.IsMemory() && addr.IsSPM(e.Addr) {
+			t.spmBusy = now + s.cfg.SPMLatency
+			t.retired++
+			s.spmAccesses++
+			s.advance(t)
+			continue
+		}
+		if e.Op == trace.Fence {
+			if t.outstanding > 0 {
+				continue
+			}
+			if !nd.router.OfferLocal(memreq.RawRequest{Fence: true, Thread: e.Thread}) {
+				continue
+			}
+			t.retired++
+			s.advance(t)
+			continue
+		}
+		if t.outstanding >= s.cfg.MaxOutstanding {
+			continue
+		}
+		req := memreq.RawRequest{
+			Addr:   e.Addr,
+			Size:   e.Size,
+			Store:  e.Op == trace.Store,
+			Atomic: e.Op == trace.Atomic,
+			Thread: e.Thread,
+			Tag:    t.nextTag,
+		}
+		if !nd.router.OfferLocal(req) {
+			continue
+		}
+		t.nextTag++
+		t.outstanding++
+		t.issuedAt[req.Tag] = now
+		t.retired++
+		s.memRequests++
+		if nd.router.Dest(e.Addr) != nd.id {
+			s.remoteReqs++
+			nd.remoteSent++
+		}
+		s.advance(t)
+	}
+}
+
+func (s *System) advance(t *threadState) {
+	t.pc++
+	if t.pc < len(t.events) {
+		t.gapLeft = uint32(t.events[t.pc].Gap)
+	}
+}
+
+// pumpInterconnect moves outbound requests from the node's Global
+// Access Queue onto the network, bounded by link bandwidth.
+func (s *System) pumpInterconnect(nd *node, now sim.Cycle) {
+	for nd.sentThisCycle < s.cfg.LinkBandwidth {
+		out, ok := nd.router.PopOutbound()
+		if !ok {
+			return
+		}
+		nd.sentThisCycle++
+		heap.Push(&s.net, message{
+			deliver: now + s.cfg.LinkLatency,
+			dest:    out.Dest,
+			req:     out.Req,
+		})
+	}
+}
+
+func (s *System) tickCoalescer(nd *node, now sim.Cycle) {
+	if !nd.dev.CanAccept() {
+		return
+	}
+	for _, b := range nd.coal.Tick(now) {
+		bb := b
+		nd.nextDevTag++
+		bb.Req.Tag = nd.nextDevTag
+		nd.outstandingTx[nd.nextDevTag] = &bb
+		nd.dev.Submit(bb.Req, now)
+	}
+}
+
+// deliverResponses routes device completions: local targets retire
+// directly, remote targets travel back over the interconnect (§3.3).
+func (s *System) deliverResponses(nd *node, now sim.Cycle) {
+	for _, resp := range nd.dev.Tick(now) {
+		b, ok := nd.outstandingTx[resp.Tag]
+		if !ok {
+			panic(fmt.Sprintf("numa: node %d response for unknown tag %d", nd.id, resp.Tag))
+		}
+		delete(nd.outstandingTx, resp.Tag)
+		nd.coal.Completed(b)
+		for _, tgt := range b.Targets {
+			home := int(tgt.Thread) % s.cfg.Nodes
+			if home == nd.id {
+				s.retire(tgt, now)
+				continue
+			}
+			nd.remoteServed++
+			heap.Push(&s.net, message{
+				deliver:    now + s.cfg.LinkLatency,
+				isResponse: true,
+				dest:       home,
+				target:     tgt,
+			})
+		}
+	}
+}
+
+// deliverMessages lands due interconnect messages.
+func (s *System) deliverMessages(now sim.Cycle) {
+	for s.net.Len() > 0 && s.net[0].deliver <= now {
+		m := heap.Pop(&s.net).(message)
+		if m.isResponse {
+			s.retire(m.target, now)
+			continue
+		}
+		// A request that arrives at its owner node enters the
+		// Remote Access Queue; if the queue is full the message
+		// re-queues one cycle later (link-level retry).
+		if !s.nodes[m.dest].router.OfferRemote(m.req) {
+			m.deliver = now + 1
+			heap.Push(&s.net, m)
+			return // preserve ordering: stop delivering this cycle
+		}
+	}
+}
+
+func (s *System) retire(tgt memreq.Target, now sim.Cycle) {
+	t := s.thread(tgt.Thread)
+	if t == nil {
+		panic(fmt.Sprintf("numa: retire for unknown thread %d", tgt.Thread))
+	}
+	if t.outstanding <= 0 {
+		panic(fmt.Sprintf("numa: thread %d retire underflow", tgt.Thread))
+	}
+	t.outstanding--
+	if issue, ok := t.issuedAt[tgt.Tag]; ok {
+		t.latency.Observe(uint64(now - issue))
+		delete(t.issuedAt, tgt.Tag)
+	}
+}
+
+func (s *System) drained() bool {
+	if s.net.Len() > 0 {
+		return false
+	}
+	for _, nd := range s.nodes {
+		if nd.router.Pending() > 0 || nd.coal.Pending() > 0 ||
+			nd.coal.Inflight() > 0 || nd.dev.Pending() > 0 {
+			return false
+		}
+		for _, t := range nd.threads {
+			if !t.done() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *System) result(cycles sim.Cycle) *Result {
+	r := &Result{
+		Cycles:         cycles,
+		MemRequests:    s.memRequests,
+		SPMAccesses:    s.spmAccesses,
+		RemoteRequests: s.remoteReqs,
+	}
+	for _, nd := range s.nodes {
+		for _, t := range nd.threads {
+			r.Instructions += t.retired
+			r.RequestLatency.Merge(&t.latency)
+		}
+		r.PerNode = append(r.PerNode, NodeStats{
+			Coalescer:    *nd.coal.Stats(),
+			Device:       *nd.dev.Stats(),
+			RemoteServed: nd.remoteServed,
+			RemoteSent:   nd.remoteSent,
+		})
+	}
+	return r
+}
+
+// Run is a convenience wrapper: build, load, run.
+func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	s := NewSystem(cfg)
+	if err := s.Load(tr); err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// ensure cpu package linkage for doc cross-reference (the single-node
+// model remains the evaluated configuration).
+var _ = cpu.DefaultConfig

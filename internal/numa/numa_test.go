@@ -1,0 +1,252 @@
+package numa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mac3d/internal/sim"
+	"mac3d/internal/trace"
+	"mac3d/internal/workloads"
+)
+
+// seqTrace builds per-thread sequential load streams.
+func seqTrace(threads, n int) *trace.Trace {
+	tr := trace.NewTrace(threads)
+	for t := 0; t < threads; t++ {
+		base := uint64(t) << 24
+		for i := 0; i < n; i++ {
+			tr.Append(trace.Event{
+				Addr: base + uint64(i)*8, Thread: uint16(t),
+				Op: trace.Load, Size: 8, Gap: 1,
+			})
+		}
+	}
+	return tr
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CoresPerNode = 0 },
+		func(c *Config) { c.LinkBandwidth = 0 },
+		func(c *Config) { c.MaxOutstanding = 0 },
+		func(c *Config) { c.MaxCycles = 0 },
+		func(c *Config) { c.MAC.ARQ.Entries = 0 },
+		func(c *Config) { c.HMC.Links = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSingleNodeMatchesLocalOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	res, err := Run(cfg, seqTrace(4, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteRequests != 0 {
+		t.Fatalf("single node produced %d remote requests", res.RemoteRequests)
+	}
+	if res.MemRequests != 4*64 {
+		t.Fatalf("mem requests = %d", res.MemRequests)
+	}
+	if res.RequestLatency.Count() != 4*64 {
+		t.Fatalf("retired %d", res.RequestLatency.Count())
+	}
+}
+
+func TestTwoNodesSplitTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Run(cfg, seqTrace(4, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256B interleave over sequential streams: about half the rows
+	// land on each node.
+	f := res.RemoteFraction()
+	if f < 0.3 || f > 0.7 {
+		t.Fatalf("remote fraction = %v, want ~0.5", f)
+	}
+	if res.RequestLatency.Count() != 4*128 {
+		t.Fatalf("retired %d of %d", res.RequestLatency.Count(), 4*128)
+	}
+	// Both nodes must have served traffic.
+	for i, ns := range res.PerNode {
+		if ns.Device.Requests == 0 {
+			t.Fatalf("node %d served nothing", i)
+		}
+	}
+}
+
+func TestRemoteLatencyVisible(t *testing.T) {
+	near := DefaultConfig()
+	near.LinkLatency = 10
+	far := DefaultConfig()
+	far.LinkLatency = 2000
+	tr := seqTrace(4, 64)
+	a, err := Run(near, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(far, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.RequestLatency.Mean() <= a.RequestLatency.Mean() {
+		t.Fatalf("far interconnect not slower: %v vs %v",
+			b.RequestLatency.Mean(), a.RequestLatency.Mean())
+	}
+}
+
+func TestTooManyThreadsPerNodeRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.CoresPerNode = 1
+	// 4 threads -> 2 per node, but only 1 core per node.
+	if _, err := Run(cfg, seqTrace(4, 8)); err == nil {
+		t.Fatal("over-subscription accepted")
+	}
+}
+
+func TestRemoteCoalescing(t *testing.T) {
+	// All threads on node 0, all data on node 1: node 1's MAC must
+	// coalesce remote-queue requests just like local ones.
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.InterleaveBytes = 1 << 20 // 1MB blocks
+	tr := trace.NewTrace(2)
+	// Threads 0 and 2 home on node 0. Addresses in block 1 -> node 1.
+	for _, th := range []uint16{0, 2} {
+		base := uint64(1)<<20 + uint64(th)<<14
+		for i := 0; i < 128; i++ {
+			tr.Append(trace.Event{Addr: base + uint64(i)*8, Thread: th, Op: trace.Load, Size: 8, Gap: 1})
+		}
+	}
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteFraction() != 1 {
+		t.Fatalf("remote fraction = %v, want 1", res.RemoteFraction())
+	}
+	n1 := res.PerNode[1]
+	if n1.Coalescer.RawRequests != 256 {
+		t.Fatalf("node 1 saw %d raw requests", n1.Coalescer.RawRequests)
+	}
+	if n1.Coalescer.CoalescingEfficiency() <= 0.2 {
+		t.Fatalf("remote requests not coalesced: eff=%v", n1.Coalescer.CoalescingEfficiency())
+	}
+	if n1.RemoteServed != 256 {
+		t.Fatalf("node 1 served %d remote targets", n1.RemoteServed)
+	}
+	if res.PerNode[0].Device.Requests != 0 {
+		t.Fatal("node 0's device should be idle")
+	}
+}
+
+func TestFencesAcrossNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := trace.NewTrace(2)
+	tr.Append(trace.Event{Addr: 0x100, Thread: 0, Op: trace.Load, Size: 8})
+	tr.Append(trace.Event{Thread: 0, Op: trace.Fence})
+	tr.Append(trace.Event{Addr: 0x4000, Thread: 0, Op: trace.Store, Size: 8})
+	tr.Append(trace.Event{Addr: 0x8000, Thread: 1, Op: trace.Load, Size: 8})
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestLatency.Count() != 3 {
+		t.Fatalf("retired %d of 3", res.RequestLatency.Count())
+	}
+}
+
+func TestWorkloadThroughNUMA(t *testing.T) {
+	tr, err := workloads.Generate("sg", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CoresPerNode = 2
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.ComputeStats(tr)
+	if res.RequestLatency.Count() != uint64(st.MemRefs) {
+		t.Fatalf("retired %d of %d", res.RequestLatency.Count(), st.MemRefs)
+	}
+	if res.RemoteFraction() < 0.5 {
+		t.Fatalf("4-node interleave remote fraction = %v", res.RemoteFraction())
+	}
+}
+
+func TestConservationProperty(t *testing.T) {
+	// Property: under random node counts, interleaves and link
+	// latencies, every issued request retires exactly once and
+	// the per-node device totals cover all transactions.
+	f := func(seed uint64, nodesRaw, interRaw, latRaw uint8) bool {
+		nodes := 1 + int(nodesRaw%4)
+		inter := uint64(256) << (interRaw % 4)
+		cfg := DefaultConfig()
+		cfg.Nodes = nodes
+		cfg.CoresPerNode = 8
+		cfg.InterleaveBytes = inter
+		cfg.LinkLatency = sim.Cycle(1 + latRaw%200)
+
+		tr := trace.NewTrace(4)
+		x := seed | 1
+		n := 150
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			tr.Append(trace.Event{
+				Addr:   x % (1 << 22),
+				Thread: uint16(i % 4),
+				Op:     trace.Load,
+				Size:   8,
+				Gap:    uint8(x % 3),
+			})
+		}
+		res, err := Run(cfg, tr)
+		if err != nil {
+			return false
+		}
+		if res.RequestLatency.Count() != uint64(n) {
+			return false
+		}
+		var served uint64
+		for _, ns := range res.PerNode {
+			served += ns.Device.Requests
+		}
+		// Transactions never exceed raw requests; all devices
+		// together served every coalesced transaction.
+		return served > 0 && served <= uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	tr := seqTrace(4, 64)
+	a, err := Run(DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.RemoteRequests != b.RemoteRequests {
+		t.Fatal("nondeterministic NUMA run")
+	}
+}

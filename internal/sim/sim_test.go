@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided on %d/100 draws", same)
+	}
+}
+
+func TestRNGZeroSeedUsable(t *testing.T) {
+	r := NewRNG(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 64; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("zero seed produced only %d distinct values in 64 draws", len(seen))
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int{1, 2, 3, 10, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUint64nCoversSmallRangeUniformly(t *testing.T) {
+	r := NewRNG(11)
+	const n, draws = 8, 80000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		out := make([]int32, int(n)+1)
+		NewRNG(seed).Perm(out)
+		seen := make(map[int32]bool, len(out))
+		for _, v := range out {
+			if v < 0 || int(v) >= len(out) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(0)
+	if c.FreqHz != DefaultFreqHz {
+		t.Fatalf("default freq = %v, want %v", c.FreqHz, DefaultFreqHz)
+	}
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Tick()
+	c.Advance(9)
+	if c.Now() != 10 {
+		t.Fatalf("after Tick+Advance(9): %d, want 10", c.Now())
+	}
+}
+
+func TestCyclesForNanosRoundsUp(t *testing.T) {
+	c := NewClock(3.3e9)
+	if got := c.CyclesForNanos(1); got != 4 { // 3.3 cycles -> 4
+		t.Fatalf("1ns = %d cycles, want 4", got)
+	}
+	if got := c.CyclesForNanos(0); got != 0 {
+		t.Fatalf("0ns = %d cycles, want 0", got)
+	}
+	// 93ns at 3.3GHz ≈ 306.9 -> 307 (Table 1 average HMC latency).
+	if got := c.CyclesForNanos(93); got != 307 {
+		t.Fatalf("93ns = %d cycles, want 307", got)
+	}
+}
+
+func TestNanosForCyclesInvertsApproximately(t *testing.T) {
+	c := NewClock(2e9)
+	ns := c.NanosForCycles(1000)
+	if math.Abs(ns-500) > 1e-9 {
+		t.Fatalf("1000 cycles at 2GHz = %vns, want 500", ns)
+	}
+}
+
+type countingTicker struct {
+	calls []Cycle
+}
+
+func (ct *countingTicker) Tick(now Cycle) { ct.calls = append(ct.calls, now) }
+
+func TestEngineStepOrderAndClock(t *testing.T) {
+	e := NewEngine(nil)
+	a, b := &countingTicker{}, &countingTicker{}
+	e.Register("a", a)
+	e.Register("b", b)
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	if len(a.calls) != 3 || len(b.calls) != 3 {
+		t.Fatalf("ticks: a=%d b=%d, want 3 each", len(a.calls), len(b.calls))
+	}
+	for i, c := range a.calls {
+		if c != Cycle(i) {
+			t.Fatalf("a call %d at cycle %d", i, c)
+		}
+	}
+	if e.Clock.Now() != 3 {
+		t.Fatalf("clock at %d after 3 steps", e.Clock.Now())
+	}
+}
+
+func TestEngineRunStopsOnDone(t *testing.T) {
+	e := NewEngine(nil)
+	ct := &countingTicker{}
+	e.Register("ct", ct)
+	n := e.Run(100, func() bool { return len(ct.calls) >= 5 })
+	if n != 5 {
+		t.Fatalf("Run executed %d cycles, want 5", n)
+	}
+}
+
+func TestEngineRegisterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+	}()
+	NewEngine(nil).Register("x", nil)
+}
+
+func TestEngineComponents(t *testing.T) {
+	e := NewEngine(nil)
+	e.Register("first", &countingTicker{})
+	e.Register("second", &countingTicker{})
+	got := e.Components()
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("Components() = %v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 0 || h.Max() != 100 {
+		t.Fatalf("min=%d max=%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-21.2) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(samples []uint16) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(uint64(s))
+		}
+		prev := uint64(0)
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < prev || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileClampsRange(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(1)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Sum() != 56 || a.Min() != 1 || a.Max() != 50 {
+		t.Fatalf("merged: count=%d sum=%d min=%d max=%d", a.Count(), a.Sum(), a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // must be a no-op
+	if a.Count() != 3 {
+		t.Fatal("merging empty changed count")
+	}
+}
+
+func TestCountersOrderAndValues(t *testing.T) {
+	c := NewCounters()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	if got := c.Get("b"); got != 5 {
+		t.Fatalf("b = %d", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("names = %v (insertion order lost)", names)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Fig X", "name", "value")
+	tab.AddRow("sg", 0.5285)
+	tab.AddRow("hpcg", 42)
+	out := tab.Render()
+	for _, want := range []string{"Fig X", "name", "sg", "0.53", "hpcg", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, underline, header, sep, 2 rows
+		t.Fatalf("render has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(`say "hi"`, "x,y")
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"say ""hi"""`) || !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("csv escaping wrong:\n%s", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		0.001:   "0.001",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(math.NaN()); got != "NaN" {
+		t.Fatalf("NaN formatted as %q", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{2, 0, 8}); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("GeoMean skipping zero = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty wrong")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 3, 2}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	vals := []float64{9, 1}
+	Median(vals)
+	if vals[0] != 9 {
+		t.Fatal("Median mutated its input")
+	}
+}

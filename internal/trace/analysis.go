@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analysis is a locality and mix profile of a trace — the offline
+// characterization used to reason about a workload's coalescing
+// potential before running the timed pipeline.
+type Analysis struct {
+	// Stats is the basic event mix.
+	Stats Stats
+
+	// RowLocality[w] is the fraction of memory accesses whose 256B
+	// row matched one of the same thread's previous w accesses, for
+	// the window sizes in LocalityWindows. This predicts ARQ merge
+	// probability at the corresponding dwell.
+	RowLocality map[int]float64
+
+	// SizeMix counts accesses by size in bytes.
+	SizeMix map[uint8]uint64
+
+	// RowReuse is the distribution of per-row access counts:
+	// RowReuse[k] = number of rows touched exactly k times
+	// (k clipped to len(RowReuse)-1).
+	RowReuse []uint64
+
+	// HotRowShare is the fraction of accesses landing in the top 1%
+	// most-touched rows — a skew measure.
+	HotRowShare float64
+
+	// ThreadBalance is min/max of per-thread memory reference
+	// counts over active threads (1 = perfectly balanced).
+	ThreadBalance float64
+}
+
+// LocalityWindows are the lookback depths profiled by Analyze.
+var LocalityWindows = []int{1, 2, 4, 8, 16, 32}
+
+// Analyze profiles a trace in one pass per thread.
+func Analyze(t *Trace) *Analysis {
+	a := &Analysis{
+		Stats:       ComputeStats(t),
+		RowLocality: make(map[int]float64, len(LocalityWindows)),
+		SizeMix:     make(map[uint8]uint64),
+		RowReuse:    make([]uint64, 17),
+	}
+	maxWindow := LocalityWindows[len(LocalityWindows)-1]
+	hits := make(map[int]uint64, len(LocalityWindows))
+	var total uint64
+
+	rowCounts := make(map[uint64]uint64)
+	var minRefs, maxRefs uint64
+	first := true
+
+	for _, th := range t.Threads {
+		var recent []uint64 // ring of the last maxWindow rows
+		var refs uint64
+		for _, e := range th {
+			if !e.Op.IsMemory() {
+				continue
+			}
+			refs++
+			a.SizeMix[e.Size]++
+			row := e.Addr >> 8
+			rowCounts[row]++
+			if len(recent) > 0 {
+				total++
+				// Distance to the most recent occurrence.
+				dist := -1
+				for i := len(recent) - 1; i >= 0; i-- {
+					if recent[i] == row {
+						dist = len(recent) - i
+						break
+					}
+				}
+				if dist > 0 {
+					for _, w := range LocalityWindows {
+						if dist <= w {
+							hits[w]++
+						}
+					}
+				}
+			}
+			recent = append(recent, row)
+			if len(recent) > maxWindow {
+				recent = recent[1:]
+			}
+		}
+		if refs > 0 {
+			if first || refs < minRefs {
+				minRefs = refs
+			}
+			if refs > maxRefs {
+				maxRefs = refs
+			}
+			first = false
+		}
+	}
+
+	for _, w := range LocalityWindows {
+		if total > 0 {
+			a.RowLocality[w] = float64(hits[w]) / float64(total)
+		}
+	}
+
+	// Row reuse distribution and hot-row skew.
+	counts := make([]uint64, 0, len(rowCounts))
+	var accesses uint64
+	for _, c := range rowCounts {
+		k := c
+		if k >= uint64(len(a.RowReuse)) {
+			k = uint64(len(a.RowReuse) - 1)
+		}
+		a.RowReuse[k]++
+		counts = append(counts, c)
+		accesses += c
+	}
+	if len(counts) > 0 && accesses > 0 {
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		top := len(counts) / 100
+		if top == 0 {
+			top = 1
+		}
+		var hot uint64
+		for _, c := range counts[:top] {
+			hot += c
+		}
+		a.HotRowShare = float64(hot) / float64(accesses)
+	}
+
+	if maxRefs > 0 {
+		a.ThreadBalance = float64(minRefs) / float64(maxRefs)
+	}
+	return a
+}
+
+// String renders a multi-line report.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	s := a.Stats
+	fmt.Fprintf(&b, "events        %d (LD %d, ST %d, AMO %d, FENCE %d)\n",
+		s.Events, s.Loads, s.Stores, s.Atomics, s.Fences)
+	fmt.Fprintf(&b, "instructions  %d (RPI %.3f)\n", s.Instructions, s.RPI)
+	fmt.Fprintf(&b, "unique rows   %d (footprint %d bytes)\n", s.UniqueRows, s.Footprint)
+	fmt.Fprintf(&b, "hot-row share %.1f%% of accesses in the top 1%% of rows\n", 100*a.HotRowShare)
+	fmt.Fprintf(&b, "thread balance %.2f (min/max refs)\n", a.ThreadBalance)
+	b.WriteString("row locality (per-thread lookback -> hit rate):\n")
+	for _, w := range LocalityWindows {
+		fmt.Fprintf(&b, "  w=%-3d %.1f%%\n", w, 100*a.RowLocality[w])
+	}
+	b.WriteString("access sizes:\n")
+	sizes := make([]int, 0, len(a.SizeMix))
+	for sz := range a.SizeMix {
+		sizes = append(sizes, int(sz))
+	}
+	sort.Ints(sizes)
+	for _, sz := range sizes {
+		fmt.Fprintf(&b, "  %2dB   %d\n", sz, a.SizeMix[uint8(sz)])
+	}
+	return b.String()
+}

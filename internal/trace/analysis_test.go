@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeSequentialLocality(t *testing.T) {
+	tr := NewTrace(1)
+	for i := 0; i < 1024; i++ {
+		tr.Append(Event{Addr: uint64(i) * 8, Op: Load, Size: 8})
+	}
+	a := Analyze(tr)
+	// 32 consecutive 8B accesses share each row: lookback-1 hit
+	// rate ~31/32.
+	if a.RowLocality[1] < 0.9 {
+		t.Fatalf("sequential w=1 locality %v", a.RowLocality[1])
+	}
+	// Larger windows can only help.
+	prev := 0.0
+	for _, w := range LocalityWindows {
+		if a.RowLocality[w] < prev {
+			t.Fatalf("locality not monotone in window: %v", a.RowLocality)
+		}
+		prev = a.RowLocality[w]
+	}
+}
+
+func TestAnalyzeRandomLocalityLow(t *testing.T) {
+	tr := NewTrace(1)
+	x := uint64(99)
+	for i := 0; i < 2048; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		tr.Append(Event{Addr: (x % (1 << 24)) &^ 7, Op: Load, Size: 8})
+	}
+	a := Analyze(tr)
+	if a.RowLocality[1] > 0.05 {
+		t.Fatalf("random w=1 locality %v", a.RowLocality[1])
+	}
+}
+
+func TestAnalyzePerThreadNotCrossThread(t *testing.T) {
+	// Two threads alternate over the SAME row: per-thread lookback
+	// must still see the row as its own previous access.
+	tr := NewTrace(2)
+	for i := 0; i < 100; i++ {
+		tr.Append(Event{Addr: uint64(i%2) * 8, Thread: uint16(i % 2), Op: Load, Size: 8})
+	}
+	a := Analyze(tr)
+	if a.RowLocality[1] < 0.9 {
+		t.Fatalf("per-thread locality %v", a.RowLocality[1])
+	}
+}
+
+func TestAnalyzeHotRowShare(t *testing.T) {
+	tr := NewTrace(1)
+	// 99 cold rows once each + 1 hot row 901 times.
+	for i := 0; i < 99; i++ {
+		tr.Append(Event{Addr: uint64(i+1) * 256, Op: Load, Size: 8})
+	}
+	for i := 0; i < 901; i++ {
+		tr.Append(Event{Addr: 0, Op: Load, Size: 8})
+	}
+	a := Analyze(tr)
+	if a.HotRowShare < 0.9 {
+		t.Fatalf("hot row share %v, want ~0.9", a.HotRowShare)
+	}
+	// Reuse histogram: 99 rows once, 1 row in the clipped bucket.
+	if a.RowReuse[1] != 99 || a.RowReuse[len(a.RowReuse)-1] != 1 {
+		t.Fatalf("reuse histogram wrong: %v", a.RowReuse)
+	}
+}
+
+func TestAnalyzeThreadBalance(t *testing.T) {
+	tr := NewTrace(2)
+	for i := 0; i < 100; i++ {
+		tr.Append(Event{Addr: uint64(i) * 8, Thread: 0, Op: Load, Size: 8})
+	}
+	for i := 0; i < 50; i++ {
+		tr.Append(Event{Addr: uint64(i) * 8, Thread: 1, Op: Load, Size: 8})
+	}
+	a := Analyze(tr)
+	if a.ThreadBalance != 0.5 {
+		t.Fatalf("balance %v, want 0.5", a.ThreadBalance)
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	a := Analyze(NewTrace(2))
+	if a.HotRowShare != 0 || a.ThreadBalance != 0 {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAnalyzeStringContainsSections(t *testing.T) {
+	tr := NewTrace(1)
+	tr.Append(Event{Addr: 64, Op: Load, Size: 8, Gap: 2})
+	tr.Append(Event{Addr: 72, Op: Store, Size: 4})
+	out := Analyze(tr).String()
+	for _, want := range []string{"events", "row locality", "access sizes", " 8B", " 4B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("analysis render missing %q:\n%s", want, out)
+		}
+	}
+}

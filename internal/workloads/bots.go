@@ -1,0 +1,261 @@
+package workloads
+
+import "mac3d/internal/trace"
+
+// The two Barcelona OpenMP Tasks Suite kernels from the evaluation:
+// NQUEENS (task-parallel backtracking search) and SPARSELU (blocked LU
+// factorization of a sparse block matrix).
+
+// NQueens solves the n-queens counting problem with backtracking.
+// Each thread owns a subtree rooted at a distinct first-row placement;
+// the per-depth board state lives in heap-allocated frames (as BOTS'
+// task frames do), producing small strided accesses separated by long
+// compute gaps — the low-RPI point of Figure 9.
+type NQueens struct{}
+
+func init() { Register("nqueens", func() Kernel { return &NQueens{} }) }
+
+// Name implements Kernel.
+func (k *NQueens) Name() string { return "nqueens" }
+
+// Description implements Kernel.
+func (k *NQueens) Description() string { return "BOTS n-queens backtracking search" }
+
+func (k *NQueens) n(s Scale) int {
+	switch s {
+	case Tiny:
+		return 7
+	case Small:
+		return 9
+	default:
+		return 11
+	}
+}
+
+// Generate implements Kernel.
+func (k *NQueens) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	n := k.n(cfg.Scale)
+
+	// BOTS spawns a task per placement, each copying the board into
+	// a freshly heap-allocated frame. We model the allocator with a
+	// per-thread rotating arena of frames: every recursion step
+	// copies its prefix into the next frame, spreading the traffic
+	// across a realistic heap footprint instead of one hot board.
+	const arenaFrames = 1024
+	arenas := make([]*I32, cfg.Threads)
+	nextFrame := make([]int, cfg.Threads)
+	solutions := c.NewI64(cfg.Threads * 64) // padded counters, one row each
+	for t := range arenas {
+		arenas[t] = c.NewI32(arenaFrames * n)
+	}
+
+	var solve func(t, depth, frame int) int64
+	solve = func(t, depth, frame int) int64 {
+		if depth == n {
+			return 1
+		}
+		arena := arenas[t]
+		var count int64
+		for col := 0; col < n; col++ {
+			ok := true
+			for d := 0; d < depth; d++ {
+				prev := int(arena.Load(t, frame*n+d))
+				c.Work(t, 4) // two compares + abs + branch
+				if prev == col || prev-col == d-depth || col-prev == d-depth {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// Child task frame: copy the prefix, place the
+				// new queen (the BOTS task-copy pattern).
+				child := nextFrame[t] % arenaFrames
+				nextFrame[t]++
+				for d := 0; d < depth; d++ {
+					arena.Store(t, child*n+d, arena.Load(t, frame*n+d))
+					c.Work(t, 1)
+				}
+				arena.Store(t, child*n+depth, int32(col))
+				c.Work(t, 2)
+				count += solve(t, depth+1, child)
+			}
+		}
+		return count
+	}
+
+	for t := 0; t < cfg.Threads; t++ {
+		var total int64
+		// Distribute first-row placements across threads.
+		for col := t; col < n; col += cfg.Threads {
+			root := nextFrame[t] % arenaFrames
+			nextFrame[t]++
+			arenas[t].Store(t, root*n, int32(col))
+			total += solve(t, 1, root)
+		}
+		solutions.Store(t, t*64, total)
+		c.Fence(t)
+	}
+	return c.Trace(), nil
+}
+
+// SparseLU performs the BOTS blocked sparse LU factorization: an
+// NB×NB grid of BS×BS dense blocks where a fraction of blocks is
+// structurally empty. Each step factorizes the diagonal block (lu0),
+// updates its row and column (fwd/bdiv), and applies trailing matrix
+// updates (bmod) — dense streaming within blocks, sparse block
+// structure between them.
+type SparseLU struct{}
+
+func init() { Register("sparselu", func() Kernel { return &SparseLU{} }) }
+
+// Name implements Kernel.
+func (k *SparseLU) Name() string { return "sparselu" }
+
+// Description implements Kernel.
+func (k *SparseLU) Description() string { return "BOTS blocked sparse LU factorization" }
+
+func (k *SparseLU) dims(s Scale) (nb, bs int) {
+	switch s {
+	case Tiny:
+		return 4, 8
+	case Small:
+		return 8, 16
+	default:
+		return 16, 24
+	}
+}
+
+// Generate implements Kernel.
+func (k *SparseLU) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	nb, bs := k.dims(cfg.Scale)
+
+	// Structural sparsity pattern: the BOTS generator keeps the
+	// diagonal plus ~50% of off-diagonal blocks.
+	c.Pause()
+	present := make([][]bool, nb)
+	blocks := make([][]*F64, nb)
+	for i := 0; i < nb; i++ {
+		present[i] = make([]bool, nb)
+		blocks[i] = make([]*F64, nb)
+		for j := 0; j < nb; j++ {
+			if i == j || c.RNG().Intn(2) == 0 {
+				present[i][j] = true
+				blk := c.NewF64(bs * bs)
+				for e := 0; e < bs*bs; e++ {
+					blk.Poke(e, c.RNG().Float64()+0.1)
+				}
+				if i == j {
+					for d := 0; d < bs; d++ {
+						blk.Poke(d*bs+d, float64(bs)) // diagonally dominant
+					}
+				}
+				blocks[i][j] = blk
+			}
+		}
+	}
+	c.Resume()
+
+	// Round-robin block ownership across threads, as BOTS' task
+	// scheduler effectively produces.
+	owner := func(i, j int) int { return (i*nb + j) % cfg.Threads }
+
+	lu0 := func(t int, d *F64) {
+		for kk := 0; kk < bs; kk++ {
+			pivot := d.Load(t, kk*bs+kk)
+			for i := kk + 1; i < bs; i++ {
+				f := d.Load(t, i*bs+kk) / pivot
+				d.Store(t, i*bs+kk, f)
+				c.Work(t, 2)
+				for j := kk + 1; j < bs; j++ {
+					d.Store(t, i*bs+j, d.Load(t, i*bs+j)-f*d.Load(t, kk*bs+j))
+					c.Work(t, 2)
+				}
+			}
+		}
+	}
+	fwd := func(t int, diag, row *F64) {
+		for kk := 0; kk < bs; kk++ {
+			for i := kk + 1; i < bs; i++ {
+				f := diag.Load(t, i*bs+kk)
+				for j := 0; j < bs; j++ {
+					row.Store(t, i*bs+j, row.Load(t, i*bs+j)-f*row.Load(t, kk*bs+j))
+					c.Work(t, 2)
+				}
+			}
+		}
+	}
+	bdiv := func(t int, diag, col *F64) {
+		for i := 0; i < bs; i++ {
+			for kk := 0; kk < bs; kk++ {
+				f := col.Load(t, i*bs+kk) / diag.Load(t, kk*bs+kk)
+				col.Store(t, i*bs+kk, f)
+				c.Work(t, 2)
+				for j := kk + 1; j < bs; j++ {
+					col.Store(t, i*bs+j, col.Load(t, i*bs+j)-f*diag.Load(t, kk*bs+j))
+					c.Work(t, 2)
+				}
+			}
+		}
+	}
+	bmod := func(t int, row, col, inner *F64) {
+		for i := 0; i < bs; i++ {
+			for j := 0; j < bs; j++ {
+				sum := 0.0
+				for kk := 0; kk < bs; kk++ {
+					sum += col.Load(t, i*bs+kk) * row.Load(t, kk*bs+j)
+					c.Work(t, 2)
+				}
+				inner.Store(t, i*bs+j, inner.Load(t, i*bs+j)-sum)
+				c.Work(t, 1)
+			}
+		}
+	}
+
+	for kk := 0; kk < nb; kk++ {
+		t := owner(kk, kk)
+		lu0(t, blocks[kk][kk])
+		for j := kk + 1; j < nb; j++ {
+			if present[kk][j] {
+				fwd(owner(kk, j), blocks[kk][kk], blocks[kk][j])
+			}
+		}
+		for i := kk + 1; i < nb; i++ {
+			if present[i][kk] {
+				bdiv(owner(i, kk), blocks[kk][kk], blocks[i][kk])
+			}
+		}
+		for i := kk + 1; i < nb; i++ {
+			if !present[i][kk] {
+				continue
+			}
+			for j := kk + 1; j < nb; j++ {
+				if !present[kk][j] {
+					continue
+				}
+				t := owner(i, j)
+				if !present[i][j] {
+					// Fill-in: allocate a zero block (untraced
+					// allocation, traced initialization).
+					c.Pause()
+					blocks[i][j] = c.NewF64(bs * bs)
+					present[i][j] = true
+					c.Resume()
+				}
+				bmod(t, blocks[kk][j], blocks[i][kk], blocks[i][j])
+			}
+		}
+		// Step barrier across all threads.
+		for t := 0; t < cfg.Threads; t++ {
+			c.Fence(t)
+		}
+	}
+	return c.Trace(), nil
+}

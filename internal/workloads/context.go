@@ -1,0 +1,278 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/sim"
+	"mac3d/internal/trace"
+)
+
+// heapBase is the first address handed out for global (HMC-resident)
+// allocations. Leaving page zero unused helps catch stray addresses.
+const heapBase = uint64(1) << 16
+
+// Context is the instrumented simulated address space a kernel runs in.
+// Allocations are bump-allocated; every Load/Store both performs the
+// functional operation on backing Go memory and appends a trace event
+// for the issuing thread.
+type Context struct {
+	cfg Config
+	tr  *trace.Trace
+	rng *sim.RNG
+
+	brk uint64
+	// gap accumulates non-memory instructions per thread since that
+	// thread's last traced event.
+	gap []uint32
+	// spmBrk tracks per-thread scratchpad bump allocation.
+	spmBrk []uint64
+	// tracing can be suspended (e.g. during input generation).
+	paused int
+}
+
+// NewContext builds a context for cfg. The configuration must already
+// be validated.
+func NewContext(cfg Config) *Context {
+	c := &Context{
+		cfg:    cfg,
+		tr:     trace.NewTrace(cfg.Threads),
+		rng:    sim.NewRNG(cfg.Seed),
+		brk:    heapBase,
+		gap:    make([]uint32, cfg.Threads),
+		spmBrk: make([]uint64, cfg.Threads),
+	}
+	for t := range c.spmBrk {
+		c.spmBrk[t] = addr.SPMWindow(t)
+	}
+	return c
+}
+
+// Config returns the generation configuration.
+func (c *Context) Config() Config { return c.cfg }
+
+// Threads returns the thread count.
+func (c *Context) Threads() int { return c.cfg.Threads }
+
+// RNG returns the context's deterministic generator (for input
+// synthesis; per-thread kernels should derive their own with Derive).
+func (c *Context) RNG() *sim.RNG { return c.rng }
+
+// Derive returns a thread-local RNG decorrelated from the base seed.
+func (c *Context) Derive(tid int) *sim.RNG {
+	return sim.NewRNG(c.cfg.Seed*0x9E3779B97F4A7C15 + uint64(tid)*0xBF58476D1CE4E5B9 + 1)
+}
+
+// Trace returns the accumulated trace.
+func (c *Context) Trace() *trace.Trace { return c.tr }
+
+// Alloc reserves n bytes of global (HMC) address space aligned to
+// align (power of two; 0 means 64) and returns the base address.
+func (c *Context) Alloc(n uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 64
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("workloads: alignment %d not a power of two", align))
+	}
+	c.brk = (c.brk + align - 1) &^ (align - 1)
+	base := c.brk
+	c.brk += n
+	if c.brk >= addr.SPMBase {
+		panic("workloads: heap collided with SPM region")
+	}
+	return base
+}
+
+// AllocSPM reserves n bytes in thread tid's scratchpad window and
+// returns the base address. It panics if the 1MB window overflows,
+// because that means the kernel mis-sized its scratch data.
+func (c *Context) AllocSPM(tid int, n uint64) uint64 {
+	base := c.spmBrk[tid]
+	c.spmBrk[tid] += n
+	if c.spmBrk[tid] > addr.SPMWindow(tid)+addr.SPMWindowBytes {
+		panic(fmt.Sprintf("workloads: SPM window of thread %d overflowed", tid))
+	}
+	return base
+}
+
+// Pause suspends tracing (nestable); input generation uses it so setup
+// code does not pollute the measured stream.
+func (c *Context) Pause() { c.paused++ }
+
+// Resume re-enables tracing after a matching Pause.
+func (c *Context) Resume() {
+	if c.paused == 0 {
+		panic("workloads: Resume without Pause")
+	}
+	c.paused--
+}
+
+// Work accounts n non-memory instructions executed by thread tid
+// (address arithmetic, FP, branches) for the Figure 9 IPC/RPI model.
+func (c *Context) Work(tid int, n int) {
+	if n > 0 {
+		c.gap[tid] += uint32(n)
+	}
+}
+
+func (c *Context) emit(tid int, op trace.Op, a uint64, size uint8) {
+	if c.paused > 0 {
+		return
+	}
+	g := c.gap[tid]
+	if g > 255 {
+		g = 255
+	}
+	c.gap[tid] = 0
+	c.tr.Append(trace.Event{
+		Addr:   a,
+		Thread: uint16(tid),
+		Op:     op,
+		Size:   size,
+		Gap:    uint8(g),
+	})
+}
+
+// Load traces a read of size bytes at address a by thread tid.
+func (c *Context) Load(tid int, a uint64, size uint8) { c.emit(tid, trace.Load, a, size) }
+
+// Store traces a write of size bytes at address a by thread tid.
+func (c *Context) Store(tid int, a uint64, size uint8) { c.emit(tid, trace.Store, a, size) }
+
+// Atomic traces a read-modify-write at address a by thread tid.
+func (c *Context) Atomic(tid int, a uint64, size uint8) { c.emit(tid, trace.Atomic, a, size) }
+
+// Fence traces a memory fence by thread tid.
+func (c *Context) Fence(tid int) { c.emit(tid, trace.Fence, 0, 0) }
+
+// F64 is an instrumented []float64 living in the simulated space.
+type F64 struct {
+	ctx  *Context
+	base uint64
+	data []float64
+}
+
+// NewF64 allocates an instrumented float64 array of length n.
+func (c *Context) NewF64(n int) *F64 {
+	return &F64{ctx: c, base: c.Alloc(uint64(n)*8, 64), data: make([]float64, n)}
+}
+
+// Len returns the element count.
+func (a *F64) Len() int { return len(a.data) }
+
+// Base returns the simulated base address.
+func (a *F64) Base() uint64 { return a.base }
+
+// Load reads element i as thread tid.
+func (a *F64) Load(tid, i int) float64 {
+	a.ctx.Load(tid, a.base+uint64(i)*8, 8)
+	return a.data[i]
+}
+
+// Store writes element i as thread tid.
+func (a *F64) Store(tid, i int, v float64) {
+	a.ctx.Store(tid, a.base+uint64(i)*8, 8)
+	a.data[i] = v
+}
+
+// Peek reads element i without tracing (for verification code).
+func (a *F64) Peek(i int) float64 { return a.data[i] }
+
+// Poke writes element i without tracing (for input initialization).
+func (a *F64) Poke(i int, v float64) { a.data[i] = v }
+
+// I64 is an instrumented []int64.
+type I64 struct {
+	ctx  *Context
+	base uint64
+	data []int64
+}
+
+// NewI64 allocates an instrumented int64 array of length n.
+func (c *Context) NewI64(n int) *I64 {
+	return &I64{ctx: c, base: c.Alloc(uint64(n)*8, 64), data: make([]int64, n)}
+}
+
+// Len returns the element count.
+func (a *I64) Len() int { return len(a.data) }
+
+// Base returns the simulated base address.
+func (a *I64) Base() uint64 { return a.base }
+
+// Load reads element i as thread tid.
+func (a *I64) Load(tid, i int) int64 {
+	a.ctx.Load(tid, a.base+uint64(i)*8, 8)
+	return a.data[i]
+}
+
+// Store writes element i as thread tid.
+func (a *I64) Store(tid, i int, v int64) {
+	a.ctx.Store(tid, a.base+uint64(i)*8, 8)
+	a.data[i] = v
+}
+
+// AtomicAdd performs a traced atomic fetch-add on element i.
+func (a *I64) AtomicAdd(tid, i int, delta int64) int64 {
+	a.ctx.Atomic(tid, a.base+uint64(i)*8, 8)
+	old := a.data[i]
+	a.data[i] += delta
+	return old
+}
+
+// Peek reads element i without tracing.
+func (a *I64) Peek(i int) int64 { return a.data[i] }
+
+// Poke writes element i without tracing.
+func (a *I64) Poke(i int, v int64) { a.data[i] = v }
+
+// I32 is an instrumented []int32 (4B accesses, sub-FLIT).
+type I32 struct {
+	ctx  *Context
+	base uint64
+	data []int32
+}
+
+// NewI32 allocates an instrumented int32 array of length n.
+func (c *Context) NewI32(n int) *I32 {
+	return &I32{ctx: c, base: c.Alloc(uint64(n)*4, 64), data: make([]int32, n)}
+}
+
+// Len returns the element count.
+func (a *I32) Len() int { return len(a.data) }
+
+// Base returns the simulated base address.
+func (a *I32) Base() uint64 { return a.base }
+
+// Load reads element i as thread tid.
+func (a *I32) Load(tid, i int) int32 {
+	a.ctx.Load(tid, a.base+uint64(i)*4, 4)
+	return a.data[i]
+}
+
+// Store writes element i as thread tid.
+func (a *I32) Store(tid, i int, v int32) {
+	a.ctx.Store(tid, a.base+uint64(i)*4, 4)
+	a.data[i] = v
+}
+
+// Peek reads element i without tracing.
+func (a *I32) Peek(i int) int32 { return a.data[i] }
+
+// Poke writes element i without tracing.
+func (a *I32) Poke(i int, v int32) { a.data[i] = v }
+
+// chunk splits n items across threads and returns thread t's
+// half-open range [lo, hi) under an OpenMP-style static schedule.
+func chunk(n, threads, t int) (lo, hi int) {
+	per := (n + threads - 1) / threads
+	lo = t * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

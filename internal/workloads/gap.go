@@ -1,0 +1,225 @@
+package workloads
+
+import "mac3d/internal/trace"
+
+// The three GAP Benchmark Suite kernels used in the evaluation:
+// breadth-first search (BFS), PageRank (PR) and connected components
+// (CC). All run on R-MAT scale-free graphs, whose skewed degree
+// distribution produces the irregular, fine-grained access patterns
+// that motivate the paper.
+
+func gapScale(s Scale) (scale, edgeFactor int) {
+	switch s {
+	case Tiny:
+		return 8, 8
+	case Small:
+		return 13, 16
+	default:
+		return 17, 16
+	}
+}
+
+// BFS is a top-down frontier breadth-first search writing a parent
+// array, the GAP "bfs" kernel.
+type BFS struct{}
+
+func init() { Register("bfs", func() Kernel { return &BFS{} }) }
+
+// Name implements Kernel.
+func (k *BFS) Name() string { return "bfs" }
+
+// Description implements Kernel.
+func (k *BFS) Description() string { return "GAP top-down BFS on an R-MAT graph" }
+
+// Generate implements Kernel.
+func (k *BFS) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	sc, ef := gapScale(cfg.Scale)
+	g := RMAT(sc, ef, c.RNG(), false)
+	ig := instrument(c, g)
+
+	c.Pause()
+	parent := c.NewI32(g.N)
+	for i := 0; i < g.N; i++ {
+		parent.Poke(i, -1)
+	}
+	frontier := c.NewI32(g.N)
+	next := c.NewI32(g.N)
+	c.Resume()
+
+	root := 0
+	for g.Degree(root) == 0 && root < g.N-1 {
+		root++
+	}
+	parent.Poke(root, int32(root))
+	frontier.Poke(0, int32(root))
+	fLen := 1
+
+	for fLen > 0 {
+		// The frontier is processed in parallel, chunked across
+		// threads; discovered vertices go to the next frontier.
+		var nLen int
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(fLen, cfg.Threads, t)
+			for fi := lo; fi < hi; fi++ {
+				u := int(frontier.Load(t, fi))
+				start := int(ig.rowPtr.Load(t, u))
+				end := int(ig.rowPtr.Load(t, u+1))
+				for e := start; e < end; e++ {
+					v := int(ig.colIdx.Load(t, e))
+					c.Work(t, 1)
+					if parent.Load(t, v) < 0 {
+						parent.Store(t, v, int32(u))
+						next.Store(t, nLen, int32(v))
+						nLen++
+						c.Work(t, 2)
+					}
+				}
+			}
+			c.Fence(t) // level barrier
+		}
+		frontier, next = next, frontier
+		fLen = nLen
+	}
+	return c.Trace(), nil
+}
+
+// PR is pull-based PageRank, the GAP "pr" kernel.
+type PR struct{}
+
+func init() { Register("pr", func() Kernel { return &PR{} }) }
+
+// Name implements Kernel.
+func (k *PR) Name() string { return "pr" }
+
+// Description implements Kernel.
+func (k *PR) Description() string { return "GAP pull-based PageRank on an R-MAT graph" }
+
+// Generate implements Kernel.
+func (k *PR) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	sc, ef := gapScale(cfg.Scale)
+	iters := 3
+	if cfg.Scale == Tiny {
+		iters = 2
+	}
+	g := RMAT(sc, ef, c.RNG(), false)
+	ig := instrument(c, g)
+
+	c.Pause()
+	rank := c.NewF64(g.N)
+	contrib := c.NewF64(g.N)
+	outDeg := c.NewI32(g.N)
+	for v := 0; v < g.N; v++ {
+		rank.Poke(v, 1/float64(g.N))
+		d := g.Degree(v)
+		if d == 0 {
+			d = 1
+		}
+		outDeg.Poke(v, int32(d))
+	}
+	c.Resume()
+
+	const damping = 0.85
+	base := (1 - damping) / float64(g.N)
+	for it := 0; it < iters; it++ {
+		// Phase 1: per-vertex contribution (sequential sweep).
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(g.N, cfg.Threads, t)
+			for v := lo; v < hi; v++ {
+				r := rank.Load(t, v)
+				d := outDeg.Load(t, v)
+				contrib.Store(t, v, r/float64(d))
+				c.Work(t, 2)
+			}
+			c.Fence(t)
+		}
+		// Phase 2: pull contributions along incoming edges (we use
+		// the CSR as the in-edge list, as GAP does for pull PR).
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(g.N, cfg.Threads, t)
+			for v := lo; v < hi; v++ {
+				start := int(ig.rowPtr.Load(t, v))
+				end := int(ig.rowPtr.Load(t, v+1))
+				sum := 0.0
+				for e := start; e < end; e++ {
+					u := int(ig.colIdx.Load(t, e))
+					sum += contrib.Load(t, u) // random gather
+					c.Work(t, 2)
+				}
+				rank.Store(t, v, base+damping*sum)
+				c.Work(t, 3)
+			}
+			c.Fence(t)
+		}
+	}
+	return c.Trace(), nil
+}
+
+// CC is label-propagation connected components (the Shiloach-Vishkin
+// style used by GAP's "cc").
+type CC struct{}
+
+func init() { Register("cc", func() Kernel { return &CC{} }) }
+
+// Name implements Kernel.
+func (k *CC) Name() string { return "cc" }
+
+// Description implements Kernel.
+func (k *CC) Description() string { return "GAP connected components via label propagation" }
+
+// Generate implements Kernel.
+func (k *CC) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	sc, ef := gapScale(cfg.Scale)
+	g := RMAT(sc, ef, c.RNG(), false)
+	ig := instrument(c, g)
+
+	c.Pause()
+	comp := c.NewI32(g.N)
+	for v := 0; v < g.N; v++ {
+		comp.Poke(v, int32(v))
+	}
+	c.Resume()
+
+	maxRounds := 8
+	if cfg.Scale == Tiny {
+		maxRounds = 4
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(g.N, cfg.Threads, t)
+			for u := lo; u < hi; u++ {
+				cu := comp.Load(t, u)
+				start := int(ig.rowPtr.Load(t, u))
+				end := int(ig.rowPtr.Load(t, u+1))
+				for e := start; e < end; e++ {
+					v := int(ig.colIdx.Load(t, e))
+					cv := comp.Load(t, v)
+					c.Work(t, 2)
+					if cv < cu {
+						cu = cv
+						changed = true
+					}
+				}
+				comp.Store(t, u, cu)
+				c.Work(t, 1)
+			}
+			c.Fence(t) // round barrier
+		}
+		if !changed {
+			break
+		}
+	}
+	return c.Trace(), nil
+}

@@ -1,0 +1,128 @@
+package workloads
+
+import (
+	"sort"
+
+	"mac3d/internal/sim"
+)
+
+// Graph is an untraced CSR graph used as kernel input. The kernels
+// copy it into instrumented arrays before the measured phase, so the
+// construction cost never pollutes the trace.
+type Graph struct {
+	N       int     // vertices
+	RowPtr  []int32 // length N+1
+	ColIdx  []int32 // length M
+	Weights []int64 // optional edge weights, length M (nil if none)
+}
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.ColIdx) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int { return int(g.RowPtr[v+1] - g.RowPtr[v]) }
+
+// RMAT generates a scale-free directed graph with 2^scale vertices and
+// edgeFactor*2^scale edges using the recursive-matrix method with the
+// Graph500/SSCA2 parameters (a=0.57, b=0.19, c=0.19), deduplicated and
+// sorted into CSR form. Self-loops are kept, matching the reference
+// generators.
+func RMAT(scale int, edgeFactor int, rng *sim.RNG, weighted bool) *Graph {
+	n := 1 << scale
+	m := edgeFactor * n
+	type edge struct{ u, v int32 }
+	edges := make([]edge, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < 0.57:
+				// quadrant a: both high bits 0
+			case r < 0.76:
+				v |= 1 << bit
+			case r < 0.95:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges = append(edges, edge{int32(u), int32(v)})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
+	var last edge
+	first := true
+	for _, e := range edges {
+		if !first && e == last {
+			continue // deduplicate
+		}
+		g.ColIdx = append(g.ColIdx, e.v)
+		g.RowPtr[e.u+1]++
+		last, first = e, false
+	}
+	for i := 0; i < n; i++ {
+		g.RowPtr[i+1] += g.RowPtr[i]
+	}
+	if weighted {
+		g.Weights = make([]int64, len(g.ColIdx))
+		for i := range g.Weights {
+			g.Weights[i] = int64(rng.Intn(255)) + 1
+		}
+	}
+	return g
+}
+
+// Uniform generates an Erdős–Rényi-style directed graph with n
+// vertices and about deg edges per vertex, in CSR form.
+func Uniform(n, deg int, rng *sim.RNG) *Graph {
+	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
+	g.ColIdx = make([]int32, 0, n*deg)
+	for u := 0; u < n; u++ {
+		d := deg/2 + rng.Intn(deg+1)
+		for j := 0; j < d; j++ {
+			g.ColIdx = append(g.ColIdx, int32(rng.Intn(n)))
+		}
+		g.RowPtr[u+1] = int32(len(g.ColIdx))
+	}
+	return g
+}
+
+// instrumentedGraph is a CSR graph copied into traced arrays.
+type instrumentedGraph struct {
+	n      int
+	rowPtr *I32
+	colIdx *I32
+	weight *I64 // nil when unweighted
+}
+
+// instrument copies g into the context's simulated address space
+// without tracing the copy itself.
+func instrument(c *Context, g *Graph) *instrumentedGraph {
+	c.Pause()
+	defer c.Resume()
+	ig := &instrumentedGraph{
+		n:      g.N,
+		rowPtr: c.NewI32(len(g.RowPtr)),
+		colIdx: c.NewI32(len(g.ColIdx)),
+	}
+	for i, v := range g.RowPtr {
+		ig.rowPtr.Poke(i, v)
+	}
+	for i, v := range g.ColIdx {
+		ig.colIdx.Poke(i, v)
+	}
+	if g.Weights != nil {
+		ig.weight = c.NewI64(len(g.Weights))
+		for i, v := range g.Weights {
+			ig.weight.Poke(i, v)
+		}
+	}
+	return ig
+}

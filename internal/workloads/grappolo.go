@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"sort"
+
+	"mac3d/internal/trace"
+)
+
+// Grappolo reproduces the memory behaviour of PNNL's Grappolo parallel
+// Louvain community-detection code: the local-move phase where every
+// vertex gathers the community labels and edge weights of its
+// neighbours, evaluates the modularity gain of joining each candidate
+// community, and moves to the best one. The per-vertex candidate map
+// is core-local (SPM-resident in the node architecture); the graph,
+// community labels and community weights live in global memory.
+type Grappolo struct{}
+
+func init() { Register("grappolo", func() Kernel { return &Grappolo{} }) }
+
+// Name implements Kernel.
+func (k *Grappolo) Name() string { return "grappolo" }
+
+// Description implements Kernel.
+func (k *Grappolo) Description() string {
+	return "Grappolo/Louvain community detection local-move phase"
+}
+
+func (k *Grappolo) scale(s Scale) (scale, passes int) {
+	switch s {
+	case Tiny:
+		return 8, 1
+	case Small:
+		return 13, 2
+	default:
+		return 16, 3
+	}
+}
+
+// Generate implements Kernel.
+func (k *Grappolo) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	sc, passes := k.scale(cfg.Scale)
+	g := RMAT(sc, 8, c.RNG(), true)
+	ig := instrument(c, g)
+
+	c.Pause()
+	community := c.NewI32(g.N)
+	commWeight := c.NewF64(g.N)
+	vertexDeg := c.NewF64(g.N)
+	for v := 0; v < g.N; v++ {
+		community.Poke(v, int32(v))
+		var wd float64
+		for e := g.RowPtr[v]; e < g.RowPtr[v+1]; e++ {
+			wd += float64(g.Weights[e])
+		}
+		vertexDeg.Poke(v, wd)
+		commWeight.Poke(v, wd)
+	}
+	c.Resume()
+
+	for pass := 0; pass < passes; pass++ {
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(g.N, cfg.Threads, t)
+			// Candidate accumulation map is SPM-resident: the
+			// Go map below models it and is not traced.
+			for u := lo; u < hi; u++ {
+				cu := community.Load(t, u)
+				start := int(ig.rowPtr.Load(t, u))
+				end := int(ig.rowPtr.Load(t, u+1))
+				cand := map[int32]float64{}
+				for e := start; e < end; e++ {
+					v := int(ig.colIdx.Load(t, e))
+					w := float64(ig.weight.Load(t, e))
+					cv := community.Load(t, v) // random gather
+					cand[cv] += w
+					c.Work(t, 4) // hash+accumulate in SPM
+				}
+				// Pick the best community by modularity gain. The
+				// candidate map is iterated in sorted key order so
+				// tie-breaking (and therefore the traced access
+				// stream) is deterministic across runs.
+				du := vertexDeg.Load(t, u)
+				keys := make([]int32, 0, len(cand))
+				for cv := range cand {
+					keys = append(keys, cv)
+				}
+				sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				best, bestGain := cu, 0.0
+				for _, cv := range keys {
+					cw := commWeight.Load(t, int(cv)) // random gather
+					gain := cand[cv] - du*cw*1e-7
+					c.Work(t, 5)
+					if gain > bestGain {
+						best, bestGain = cv, gain
+					}
+				}
+				if best != cu {
+					// Move: atomically update community weights.
+					community.Store(t, u, best)
+					commWeight.Store(t, int(cu), commWeight.Load(t, int(cu))-du)
+					commWeight.Store(t, int(best), commWeight.Load(t, int(best))+du)
+					c.Work(t, 4)
+				}
+			}
+			c.Fence(t) // pass barrier
+		}
+	}
+	return c.Trace(), nil
+}

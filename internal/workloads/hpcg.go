@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"math"
+
+	"mac3d/internal/trace"
+)
+
+// HPCG reproduces the memory behaviour of the High Performance
+// Conjugate Gradient benchmark: conjugate-gradient iterations on a
+// 27-point stencil over a 3D grid, stored as a CSR sparse matrix. The
+// dominant pattern is sparse matrix-vector multiply — a sequential walk
+// of row pointers and matrix values with an indirect gather of the
+// input vector — plus dot products and AXPY sweeps.
+type HPCG struct{}
+
+func init() { Register("hpcg", func() Kernel { return &HPCG{} }) }
+
+// Name implements Kernel.
+func (k *HPCG) Name() string { return "hpcg" }
+
+// Description implements Kernel.
+func (k *HPCG) Description() string {
+	return "conjugate gradient on a 27-point 3D stencil (SpMV+dot+AXPY)"
+}
+
+func (k *HPCG) dims(s Scale) (nx int, iters int) {
+	switch s {
+	case Tiny:
+		return 8, 2
+	case Small:
+		return 20, 3
+	default:
+		return 48, 5
+	}
+}
+
+// csr27 builds the CSR structure of a 27-point stencil on an
+// nx×nx×nx grid (untraced input construction).
+func csr27(nx int) (rowPtr []int32, colIdx []int32, vals []float64) {
+	n := nx * nx * nx
+	rowPtr = make([]int32, n+1)
+	at := func(x, y, z int) int { return (z*nx+y)*nx + x }
+	for z := 0; z < nx; z++ {
+		for y := 0; y < nx; y++ {
+			for x := 0; x < nx; x++ {
+				row := at(x, y, z)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							xx, yy, zz := x+dx, y+dy, z+dz
+							if xx < 0 || yy < 0 || zz < 0 || xx >= nx || yy >= nx || zz >= nx {
+								continue
+							}
+							colIdx = append(colIdx, int32(at(xx, yy, zz)))
+							if dx == 0 && dy == 0 && dz == 0 {
+								vals = append(vals, 26)
+							} else {
+								vals = append(vals, -1)
+							}
+						}
+					}
+				}
+				rowPtr[row+1] = int32(len(colIdx))
+			}
+		}
+	}
+	return rowPtr, colIdx, vals
+}
+
+// Generate implements Kernel.
+func (k *HPCG) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	nx, iters := k.dims(cfg.Scale)
+	n := nx * nx * nx
+
+	rp, ci, va := csr27(nx)
+	c.Pause()
+	rowPtr := c.NewI32(len(rp))
+	colIdx := c.NewI32(len(ci))
+	vals := c.NewF64(len(va))
+	for i, v := range rp {
+		rowPtr.Poke(i, v)
+	}
+	for i, v := range ci {
+		colIdx.Poke(i, v)
+	}
+	for i, v := range va {
+		vals.Poke(i, v)
+	}
+	x := c.NewF64(n)
+	b := c.NewF64(n)
+	r := c.NewF64(n)
+	p := c.NewF64(n)
+	ap := c.NewF64(n)
+	for i := 0; i < n; i++ {
+		b.Poke(i, 1)
+		r.Poke(i, 1)
+		p.Poke(i, 1)
+	}
+	c.Resume()
+
+	// spmv computes dst = A*src over thread t's row range.
+	spmv := func(t, lo, hi int, src, dst *F64) {
+		for row := lo; row < hi; row++ {
+			start := int(rowPtr.Load(t, row))
+			end := int(rowPtr.Load(t, row+1))
+			sum := 0.0
+			for e := start; e < end; e++ {
+				col := int(colIdx.Load(t, e))
+				a := vals.Load(t, e)
+				sum += a * src.Load(t, col)
+				c.Work(t, 2) // FMA + index arithmetic
+			}
+			dst.Store(t, row, sum)
+			c.Work(t, 2)
+		}
+	}
+	// dot computes the partial dot product of u,v over [lo,hi).
+	dot := func(t, lo, hi int, u, v *F64) float64 {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += u.Load(t, i) * v.Load(t, i)
+			c.Work(t, 2)
+		}
+		return sum
+	}
+
+	rr := float64(n) // <r,r> with the all-ones initial residual
+	for it := 0; it < iters; it++ {
+		var pap float64
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(n, cfg.Threads, t)
+			spmv(t, lo, hi, p, ap)
+			pap += dot(t, lo, hi, p, ap)
+		}
+		if pap == 0 || math.IsNaN(pap) {
+			break
+		}
+		alpha := rr / pap
+		var rrNew float64
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(n, cfg.Threads, t)
+			for i := lo; i < hi; i++ {
+				x.Store(t, i, x.Load(t, i)+alpha*p.Load(t, i))
+				r.Store(t, i, r.Load(t, i)-alpha*ap.Load(t, i))
+				c.Work(t, 4)
+			}
+			rrNew += dot(t, lo, hi, r, r)
+		}
+		beta := rrNew / rr
+		rr = rrNew
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(n, cfg.Threads, t)
+			for i := lo; i < hi; i++ {
+				p.Store(t, i, r.Load(t, i)+beta*p.Load(t, i))
+				c.Work(t, 3)
+			}
+			// Reduction barrier between iterations.
+			c.Fence(t)
+		}
+	}
+	return c.Trace(), nil
+}

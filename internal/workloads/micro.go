@@ -1,0 +1,124 @@
+package workloads
+
+import "mac3d/internal/trace"
+
+// Extension microkernels beyond the paper's twelve benchmarks: two
+// endpoints of the locality spectrum that bracket the evaluation set.
+
+// PChase is a pointer-chasing microkernel: each thread traverses a
+// private random cyclic permutation, so every load depends on the
+// previous one and no two consecutive accesses share a row — the
+// worst case for any coalescer and a floor reference for MAC studies.
+type PChase struct{}
+
+func init() { Register("pchase", func() Kernel { return &PChase{} }) }
+
+// Name implements Kernel.
+func (k *PChase) Name() string { return "pchase" }
+
+// Description implements Kernel.
+func (k *PChase) Description() string {
+	return "pointer chasing over a random cyclic permutation (coalescing floor)"
+}
+
+func (k *PChase) dims(s Scale) (nodes, steps int) {
+	switch s {
+	case Tiny:
+		return 1 << 12, 1 << 12
+	case Small:
+		return 1 << 17, 1 << 16
+	default:
+		return 1 << 21, 1 << 19
+	}
+}
+
+// Generate implements Kernel.
+func (k *PChase) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	n, steps := k.dims(cfg.Scale)
+
+	rings := make([]*I64, cfg.Threads)
+	c.Pause()
+	perm := make([]int32, n)
+	for t := 0; t < cfg.Threads; t++ {
+		rings[t] = c.NewI64(n)
+		// Sattolo's algorithm: a single random cycle, so the chase
+		// visits every node before repeating.
+		rng := c.Derive(t)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := rng.Intn(i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i < n; i++ {
+			rings[t].Poke(i, int64(perm[i]))
+		}
+	}
+	c.Resume()
+
+	for t := 0; t < cfg.Threads; t++ {
+		pos := 0
+		for s := 0; s < steps; s++ {
+			pos = int(rings[t].Load(t, pos))
+			c.Work(t, 1)
+		}
+	}
+	return c.Trace(), nil
+}
+
+// Stream is the STREAM triad (a[i] = b[i] + s*c[i]): three perfectly
+// sequential streams per thread — the best case for coalescing and a
+// ceiling reference.
+type Stream struct{}
+
+func init() { Register("stream", func() Kernel { return &Stream{} }) }
+
+// Name implements Kernel.
+func (k *Stream) Name() string { return "stream" }
+
+// Description implements Kernel.
+func (k *Stream) Description() string { return "STREAM triad a[i]=b[i]+s*c[i] (coalescing ceiling)" }
+
+func (k *Stream) size(s Scale) int {
+	switch s {
+	case Tiny:
+		return 1 << 12
+	case Small:
+		return 1 << 17
+	default:
+		return 1 << 21
+	}
+}
+
+// Generate implements Kernel.
+func (k *Stream) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	n := k.size(cfg.Scale)
+	a := c.NewF64(n)
+	b := c.NewF64(n)
+	d := c.NewF64(n)
+	c.Pause()
+	for i := 0; i < n; i++ {
+		b.Poke(i, float64(i))
+		d.Poke(i, float64(n-i))
+	}
+	c.Resume()
+
+	const scalar = 3.0
+	for t := 0; t < cfg.Threads; t++ {
+		lo, hi := chunk(n, cfg.Threads, t)
+		for i := lo; i < hi; i++ {
+			a.Store(t, i, b.Load(t, i)+scalar*d.Load(t, i))
+			c.Work(t, 2)
+		}
+	}
+	return c.Trace(), nil
+}

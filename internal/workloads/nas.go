@@ -1,0 +1,343 @@
+package workloads
+
+import "mac3d/internal/trace"
+
+// The three NAS Parallel Benchmarks kernels from the evaluation: MG
+// (multigrid), SP (scalar pentadiagonal solver) and IS (integer sort).
+// These are re-derived from the published algorithm descriptions, at
+// reduced problem sizes, with the same sweep structures and therefore
+// the same spatial-access characteristics.
+
+// MG performs multigrid V-cycles on a 3D grid: 27-point smoothing,
+// full-weighting restriction and trilinear-style prolongation. The
+// sweeps are sequential with power-of-two strides that shrink and grow
+// along the cycle — the strongly coalescable pattern behind MG's high
+// efficiency in Figure 10.
+type MG struct{}
+
+func init() { Register("mg", func() Kernel { return &MG{} }) }
+
+// Name implements Kernel.
+func (k *MG) Name() string { return "mg" }
+
+// Description implements Kernel.
+func (k *MG) Description() string { return "NAS MG multigrid V-cycles on a 3D grid" }
+
+func (k *MG) dims(s Scale) (n, cycles int) {
+	switch s {
+	case Tiny:
+		return 16, 1
+	case Small:
+		return 32, 2
+	default:
+		return 64, 3
+	}
+}
+
+// Generate implements Kernel.
+func (k *MG) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	n, cycles := k.dims(cfg.Scale)
+
+	// Grid hierarchy: level 0 is n^3, each coarser level halves n.
+	levels := 0
+	for s := n; s >= 4; s /= 2 {
+		levels++
+	}
+	u := make([]*F64, levels) // solution per level
+	r := make([]*F64, levels) // residual per level
+	dim := make([]int, levels)
+	c.Pause()
+	for l, s := 0, n; l < levels; l, s = l+1, s/2 {
+		dim[l] = s
+		u[l] = c.NewF64(s * s * s)
+		r[l] = c.NewF64(s * s * s)
+	}
+	rng := c.RNG()
+	for i := 0; i < n*n*n; i++ {
+		r[0].Poke(i, rng.Float64()-0.5)
+	}
+	c.Resume()
+
+	at := func(s, x, y, z int) int { return (z*s+y)*s + x }
+
+	// smooth applies one damped-Jacobi 27-point sweep on level l,
+	// parallelized over z-planes.
+	smooth := func(l int) {
+		s := dim[l]
+		for t := 0; t < cfg.Threads; t++ {
+			zlo, zhi := chunk(s-2, cfg.Threads, t)
+			for z := zlo + 1; z < zhi+1; z++ {
+				for y := 1; y < s-1; y++ {
+					for x := 1; x < s-1; x++ {
+						sum := 0.0
+						for dz := -1; dz <= 1; dz++ {
+							for dy := -1; dy <= 1; dy++ {
+								// Read a contiguous 3-run along x.
+								base := at(s, x-1, y+dy, z+dz)
+								sum += u[l].Load(t, base) + u[l].Load(t, base+1) + u[l].Load(t, base+2)
+								c.Work(t, 3)
+							}
+						}
+						rhs := r[l].Load(t, at(s, x, y, z))
+						u[l].Store(t, at(s, x, y, z), 0.9*sum/27+0.1*rhs)
+						c.Work(t, 4)
+					}
+				}
+			}
+			c.Fence(t)
+		}
+	}
+
+	// restrict full-weights the fine residual onto the coarse grid.
+	restrictTo := func(l int) {
+		fs, cs := dim[l], dim[l+1]
+		for t := 0; t < cfg.Threads; t++ {
+			zlo, zhi := chunk(cs, cfg.Threads, t)
+			for cz := zlo; cz < zhi; cz++ {
+				for cy := 0; cy < cs; cy++ {
+					for cx := 0; cx < cs; cx++ {
+						fx, fy, fz := cx*2, cy*2, cz*2
+						sum := 0.0
+						for dz := 0; dz < 2; dz++ {
+							for dy := 0; dy < 2; dy++ {
+								base := at(fs, fx, fy+dy, fz+dz)
+								sum += r[l].Load(t, base) + r[l].Load(t, base+1)
+								c.Work(t, 2)
+							}
+						}
+						r[l+1].Store(t, at(cs, cx, cy, cz), sum/8)
+						c.Work(t, 2)
+					}
+				}
+			}
+			c.Fence(t)
+		}
+	}
+
+	// prolong adds the coarse correction back onto the fine grid.
+	prolong := func(l int) {
+		fs, cs := dim[l], dim[l+1]
+		for t := 0; t < cfg.Threads; t++ {
+			zlo, zhi := chunk(cs, cfg.Threads, t)
+			for cz := zlo; cz < zhi; cz++ {
+				for cy := 0; cy < cs; cy++ {
+					for cx := 0; cx < cs; cx++ {
+						corr := u[l+1].Load(t, at(cs, cx, cy, cz))
+						for dz := 0; dz < 2; dz++ {
+							for dy := 0; dy < 2; dy++ {
+								base := at(fs, cx*2, cy*2+dy, cz*2+dz)
+								u[l].Store(t, base, u[l].Load(t, base)+corr)
+								u[l].Store(t, base+1, u[l].Load(t, base+1)+corr)
+								c.Work(t, 4)
+							}
+						}
+					}
+				}
+			}
+			c.Fence(t)
+		}
+	}
+
+	for cyc := 0; cyc < cycles; cyc++ {
+		for l := 0; l < levels-1; l++ {
+			smooth(l)
+			restrictTo(l)
+		}
+		smooth(levels - 1)
+		for l := levels - 2; l >= 0; l-- {
+			prolong(l)
+			smooth(l)
+		}
+	}
+	return c.Trace(), nil
+}
+
+// SP mimics the NAS scalar pentadiagonal solver: forward/backward
+// line sweeps along each of the three dimensions of several 3D
+// component arrays. The x sweeps are unit-stride; y and z sweeps are
+// strided, exercising row-crossing behaviour.
+type SP struct{}
+
+func init() { Register("sp", func() Kernel { return &SP{} }) }
+
+// Name implements Kernel.
+func (k *SP) Name() string { return "sp" }
+
+// Description implements Kernel.
+func (k *SP) Description() string { return "NAS SP pentadiagonal line sweeps over 3D arrays" }
+
+func (k *SP) dims(s Scale) (n, iters int) {
+	switch s {
+	case Tiny:
+		return 12, 1
+	case Small:
+		return 24, 2
+	default:
+		return 40, 3
+	}
+}
+
+// Generate implements Kernel.
+func (k *SP) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	n, iters := k.dims(cfg.Scale)
+
+	c.Pause()
+	rhs := c.NewF64(n * n * n)
+	lhs := c.NewF64(n * n * n)
+	for i := 0; i < n*n*n; i++ {
+		rhs.Poke(i, c.RNG().Float64())
+		lhs.Poke(i, 1+c.RNG().Float64())
+	}
+	c.Resume()
+
+	at := func(x, y, z int) int { return (z*n+y)*n + x }
+
+	// sweep eliminates along one dimension; dir selects the unit
+	// vector (0=x, 1=y, 2=z). Lines are distributed across threads.
+	sweep := func(dir int) {
+		for t := 0; t < cfg.Threads; t++ {
+			lo, hi := chunk(n*n, cfg.Threads, t)
+			for line := lo; line < hi; line++ {
+				a, b := line%n, line/n
+				idx := func(i int) int {
+					switch dir {
+					case 0:
+						return at(i, a, b)
+					case 1:
+						return at(a, i, b)
+					default:
+						return at(a, b, i)
+					}
+				}
+				// Forward elimination.
+				for i := 1; i < n; i++ {
+					f := lhs.Load(t, idx(i-1))
+					v := rhs.Load(t, idx(i)) - rhs.Load(t, idx(i-1))/f
+					rhs.Store(t, idx(i), v)
+					c.Work(t, 4)
+				}
+				// Back substitution.
+				for i := n - 2; i >= 0; i-- {
+					v := rhs.Load(t, idx(i)) - 0.5*rhs.Load(t, idx(i+1))
+					rhs.Store(t, idx(i), v)
+					c.Work(t, 3)
+				}
+			}
+			c.Fence(t)
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		sweep(0)
+		sweep(1)
+		sweep(2)
+	}
+	return c.Trace(), nil
+}
+
+// IS is the NAS integer sort: key histogramming with random
+// increments, prefix-sum ranking and a permutation scatter — heavy
+// read-modify-write traffic on a bucket array.
+type IS struct{}
+
+func init() { Register("is", func() Kernel { return &IS{} }) }
+
+// Name implements Kernel.
+func (k *IS) Name() string { return "is" }
+
+// Description implements Kernel.
+func (k *IS) Description() string { return "NAS IS integer sort (histogram + rank + scatter)" }
+
+func (k *IS) dims(s Scale) (keys, buckets int) {
+	switch s {
+	case Tiny:
+		return 1 << 12, 1 << 8
+	case Small:
+		return 1 << 17, 1 << 11
+	default:
+		return 1 << 21, 1 << 14
+	}
+}
+
+// Generate implements Kernel.
+func (k *IS) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	nk, nb := k.dims(cfg.Scale)
+
+	c.Pause()
+	keys := c.NewI32(nk)
+	hist := c.NewI64(nb)
+	rank := c.NewI64(nb)
+	sorted := c.NewI32(nk)
+	for i := 0; i < nk; i++ {
+		// NAS IS uses an approximately Gaussian key distribution
+		// (average of four uniforms).
+		s := 0
+		for j := 0; j < 4; j++ {
+			s += c.RNG().Intn(nb)
+		}
+		keys.Poke(i, int32(s/4))
+	}
+	c.Resume()
+
+	// Phase 1: histogram with atomic increments (shared buckets).
+	for t := 0; t < cfg.Threads; t++ {
+		lo, hi := chunk(nk, cfg.Threads, t)
+		for i := lo; i < hi; i++ {
+			key := int(keys.Load(t, i))
+			hist.AtomicAdd(t, key, 1)
+			c.Work(t, 2)
+		}
+		c.Fence(t)
+	}
+
+	// Phase 2: sequential prefix sum over buckets (split by thread,
+	// then a serial fix-up pass by thread 0, as NAS IS does).
+	for t := 0; t < cfg.Threads; t++ {
+		lo, hi := chunk(nb, cfg.Threads, t)
+		var sum int64
+		for bkt := lo; bkt < hi; bkt++ {
+			rank.Store(t, bkt, sum)
+			sum += hist.Load(t, bkt)
+			c.Work(t, 2)
+		}
+		c.Fence(t)
+	}
+	var carry int64
+	for bkt := 0; bkt < nb; bkt++ {
+		h := hist.Load(0, bkt)
+		r := rank.Load(0, bkt)
+		rank.Store(0, bkt, r+carry)
+		_ = h
+		if (bkt+1)%((nb+cfg.Threads-1)/cfg.Threads) == 0 {
+			carry = rank.Load(0, bkt) + hist.Load(0, bkt)
+		}
+		c.Work(0, 3)
+	}
+
+	// Phase 3: permutation scatter into sorted order.
+	for t := 0; t < cfg.Threads; t++ {
+		lo, hi := chunk(nk, cfg.Threads, t)
+		for i := lo; i < hi; i++ {
+			key := int(keys.Load(t, i))
+			pos := rank.AtomicAdd(t, key, 1)
+			if pos >= 0 && pos < int64(nk) {
+				sorted.Store(t, int(pos), int32(key))
+			}
+			c.Work(t, 3)
+		}
+		c.Fence(t)
+	}
+	return c.Trace(), nil
+}

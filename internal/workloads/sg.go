@@ -1,0 +1,86 @@
+package workloads
+
+import "mac3d/internal/trace"
+
+// SG is the Scatter/Gather benchmark from §2.1: the random variant
+// performs A[i] = B[C[i]] where C is a random index array, exhibiting
+// one sequential read (C), one random gather (B), and one sequential
+// write (A) per iteration.
+type SG struct {
+	// Sequential switches to the A[i] = B[i] variant used by the
+	// Figure 1 sequential-vs-random study.
+	Sequential bool
+}
+
+func init() {
+	Register("sg", func() Kernel { return &SG{} })
+	Register("sg-seq", func() Kernel { return &SG{Sequential: true} })
+}
+
+// Name implements Kernel.
+func (k *SG) Name() string {
+	if k.Sequential {
+		return "sg-seq"
+	}
+	return "sg"
+}
+
+// Description implements Kernel.
+func (k *SG) Description() string {
+	if k.Sequential {
+		return "sequential copy A[i]=B[i] (Fig. 1 baseline)"
+	}
+	return "scatter/gather A[i]=B[C[i]] with random indices"
+}
+
+func (k *SG) size(s Scale) int {
+	switch s {
+	case Tiny:
+		return 1 << 11
+	case Small:
+		return 1 << 16
+	default:
+		return 1 << 20
+	}
+}
+
+// Generate implements Kernel.
+func (k *SG) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	n := k.size(cfg.Scale)
+
+	a := c.NewF64(n)
+	b := c.NewF64(n)
+	var idx *I64
+	c.Pause()
+	for i := 0; i < n; i++ {
+		b.Poke(i, float64(i)*0.5)
+	}
+	if !k.Sequential {
+		idx = c.NewI64(n)
+		for i := 0; i < n; i++ {
+			idx.Poke(i, int64(c.RNG().Intn(n)))
+		}
+	}
+	c.Resume()
+
+	for t := 0; t < cfg.Threads; t++ {
+		lo, hi := chunk(n, cfg.Threads, t)
+		for i := lo; i < hi; i++ {
+			var v float64
+			if k.Sequential {
+				v = b.Load(t, i)
+			} else {
+				j := idx.Load(t, i) // sequential index read
+				c.Work(t, 1)        // address computation
+				v = b.Load(t, int(j))
+			}
+			a.Store(t, i, v)
+			c.Work(t, 2) // loop control
+		}
+	}
+	return c.Trace(), nil
+}

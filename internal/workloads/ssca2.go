@@ -1,0 +1,115 @@
+package workloads
+
+import "mac3d/internal/trace"
+
+// SSCA2 reproduces the memory behaviour of the HPCS Scalable Synthetic
+// Compact Applications #2 graph-analysis benchmark on a weighted R-MAT
+// graph: kernel 1 scans the edge list to classify edges, kernel 2
+// extracts the maximum-weight edge set, and kernel 3 grows small
+// subgraphs (bounded BFS) around those edges. These kernels mix
+// sequential edge scans with pointer-chasing expansion.
+type SSCA2 struct{}
+
+func init() { Register("ssca2", func() Kernel { return &SSCA2{} }) }
+
+// Name implements Kernel.
+func (k *SSCA2) Name() string { return "ssca2" }
+
+// Description implements Kernel.
+func (k *SSCA2) Description() string {
+	return "SSCA#2 graph analysis (edge scan, max-weight set, subgraph extraction)"
+}
+
+func (k *SSCA2) scale(s Scale) (scale int, subgraphDepth int) {
+	switch s {
+	case Tiny:
+		return 8, 1
+	case Small:
+		return 13, 2
+	default:
+		return 17, 3
+	}
+}
+
+// Generate implements Kernel.
+func (k *SSCA2) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := NewContext(cfg)
+	sc, depth := k.scale(cfg.Scale)
+	g := RMAT(sc, 8, c.RNG(), true)
+	ig := instrument(c, g)
+
+	m := g.M()
+	c.Pause()
+	// Per-thread partial results live in instrumented global memory
+	// (the reference implementation heap-allocates them).
+	marked := c.NewI32(m)
+	visited := c.NewI32(g.N)
+	c.Resume()
+
+	// Kernel 1: scan all edge weights, find the global maximum.
+	maxW := make([]int64, cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		lo, hi := chunk(m, cfg.Threads, t)
+		best := int64(-1)
+		for e := lo; e < hi; e++ {
+			w := ig.weight.Load(t, e)
+			c.Work(t, 1)
+			if w > best {
+				best = w
+			}
+		}
+		maxW[t] = best
+		c.Fence(t)
+	}
+	globalMax := int64(-1)
+	for _, w := range maxW {
+		if w > globalMax {
+			globalMax = w
+		}
+	}
+
+	// Kernel 2: mark maximum-weight edges.
+	var headsByThread [][]int32
+	for t := 0; t < cfg.Threads; t++ {
+		lo, hi := chunk(m, cfg.Threads, t)
+		var heads []int32
+		for e := lo; e < hi; e++ {
+			w := ig.weight.Load(t, e)
+			c.Work(t, 1)
+			if w == globalMax {
+				marked.Store(t, e, 1)
+				heads = append(heads, ig.colIdx.Load(t, e))
+				c.Work(t, 2)
+			}
+		}
+		headsByThread = append(headsByThread, heads)
+		c.Fence(t)
+	}
+
+	// Kernel 3: grow bounded-depth subgraphs from each marked edge
+	// head — pointer-chasing BFS expansion.
+	for t := 0; t < cfg.Threads; t++ {
+		frontier := headsByThread[t]
+		for d := 0; d < depth && len(frontier) > 0; d++ {
+			var next []int32
+			for _, vv := range frontier {
+				v := int(vv)
+				if visited.Load(t, v) != 0 {
+					continue
+				}
+				visited.Store(t, v, 1)
+				start := int(ig.rowPtr.Load(t, v))
+				end := int(ig.rowPtr.Load(t, v+1))
+				for e := start; e < end; e++ {
+					next = append(next, ig.colIdx.Load(t, e))
+					c.Work(t, 1)
+				}
+			}
+			frontier = next
+		}
+	}
+	return c.Trace(), nil
+}

@@ -1,0 +1,327 @@
+// Package mac3d is a library-grade reproduction of "MAC: Memory Access
+// Coalescer for 3D-Stacked Memory" (ICPP 2019): a FLIT-granularity
+// memory-access coalescer for Hybrid-Memory-Cube-class devices,
+// together with every substrate its evaluation needs — a cycle-level
+// HMC device model, a cache-less multicore node with scratchpads, the
+// twelve instrumented benchmark kernels of the paper's §5.2, a cache
+// simulator for the motivation study, and baseline coalescer designs.
+//
+// This root package is the public façade: it exposes plain
+// configuration and report types so applications never touch the
+// internal simulator packages directly.
+//
+// Quick start:
+//
+//	rep, err := mac3d.Compare(mac3d.RunOptions{Workload: "sg"})
+//	if err != nil { ... }
+//	fmt.Printf("coalescing efficiency: %.1f%%\n", 100*rep.CoalescingEfficiency)
+//
+// See examples/ for complete programs and cmd/experiments for the
+// harness that regenerates every figure and table of the paper.
+package mac3d
+
+import (
+	"fmt"
+
+	"mac3d/internal/coalesce"
+	"mac3d/internal/core"
+	"mac3d/internal/cpu"
+	"mac3d/internal/hmc"
+	"mac3d/internal/trace"
+	"mac3d/internal/workloads"
+)
+
+// Scale selects a workload input size class.
+type Scale int
+
+const (
+	// ScaleTiny runs in milliseconds (tests, smoke runs).
+	ScaleTiny Scale = iota
+	// ScaleSmall is the default experiment size (seconds).
+	ScaleSmall
+	// ScaleRef approximates the paper's working sets (minutes).
+	ScaleRef
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScaleRef:
+		return "ref"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+func (s Scale) internal() (workloads.Scale, error) {
+	switch s {
+	case ScaleTiny:
+		return workloads.Tiny, nil
+	case ScaleSmall:
+		return workloads.Small, nil
+	case ScaleRef:
+		return workloads.Ref, nil
+	default:
+		return 0, fmt.Errorf("mac3d: unknown scale %d", int(s))
+	}
+}
+
+// Design selects the memory-path design under test.
+type Design int
+
+const (
+	// DesignMAC is the paper's Memory Access Coalescer.
+	DesignMAC Design = iota
+	// DesignRaw is the uncoalesced FLIT-granularity path (the
+	// paper's "without MAC" baseline).
+	DesignRaw
+	// DesignMSHR is the conventional 64B miss-merging coalescer of
+	// the paper's §2.3 limitation discussion.
+	DesignMSHR
+)
+
+func (d Design) String() string {
+	switch d {
+	case DesignMAC:
+		return "mac"
+	case DesignRaw:
+		return "raw"
+	case DesignMSHR:
+		return "mshr"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// RunOptions configures one simulated execution. The zero value of
+// every field selects the paper's Table 1 configuration.
+type RunOptions struct {
+	// Workload names a registered benchmark (see Workloads()).
+	// Required for Run/Compare.
+	Workload string
+	// Threads is the hardware thread count (default 8).
+	Threads int
+	// Seed makes the run deterministic (default 1).
+	Seed uint64
+	// Scale selects the input size class (default ScaleTiny).
+	Scale Scale
+	// Design selects the memory path (default DesignMAC).
+	Design Design
+
+	// ARQEntries overrides the aggregated-request-queue depth
+	// (default 32, Table 1).
+	ARQEntries int
+	// WindowBytes overrides the coalescing window: 256 (the paper's
+	// HMC row, default), 512 or 1024 — §4.3's "enlarged FLIT map and
+	// FLIT table" generalization for future device generations.
+	WindowBytes int
+	// MaxTargetsPerEntry overrides the per-entry merge bound
+	// (default 12, the 64B-entry capacity).
+	MaxTargetsPerEntry int
+	// DisableFillMode turns off the latency-hiding comparator
+	// bypass of §4.1 (an ablation knob).
+	DisableFillMode bool
+	// BuilderMinBytes selects the request builder's size floor: 64
+	// (default, the paper's 64B-chunk design) or 16 (the
+	// FLIT-granularity ablation of the §4.2 trade-off).
+	BuilderMinBytes int
+
+	// Cores overrides the core count (default 8).
+	Cores int
+	// MaxOutstanding overrides the per-core load/store queue depth
+	// (default 256; see DESIGN.md on offered-load modelling).
+	MaxOutstanding int
+
+	// HMCMaxInflight overrides the device's outstanding-transaction
+	// bound (default 128 = 32 tags per link).
+	HMCMaxInflight int
+	// HMCLinks overrides the link count (default 4, Table 1).
+	HMCLinks int
+	// ModelRefresh enables periodic DRAM refresh in the device
+	// (tREFI ≈ 7.8µs, tRFC ≈ 350ns), adding realistic latency
+	// tails. Off by default, matching the paper's model.
+	ModelRefresh bool
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// runConfig lowers the options onto the internal configurations.
+func (o RunOptions) runConfig() (cpu.RunConfig, error) {
+	cfg := cpu.DefaultRunConfig()
+	switch o.Design {
+	case DesignMAC:
+		cfg.Kind = cpu.WithMAC
+	case DesignRaw:
+		cfg.Kind = cpu.WithoutMAC
+	case DesignMSHR:
+		cfg.Kind = cpu.WithMSHR
+	default:
+		return cfg, fmt.Errorf("mac3d: unknown design %d", int(o.Design))
+	}
+	if o.ARQEntries != 0 {
+		cfg.MAC.ARQ.Entries = o.ARQEntries
+	}
+	if o.WindowBytes != 0 {
+		cfg.MAC.ARQ.WindowBytes = uint32(o.WindowBytes)
+	}
+	switch o.BuilderMinBytes {
+	case 0, 64:
+		// the paper's design
+	case 16:
+		cfg.MAC.FineBuilder = true
+	default:
+		return cfg, fmt.Errorf("mac3d: BuilderMinBytes must be 16 or 64, got %d", o.BuilderMinBytes)
+	}
+	if o.MaxTargetsPerEntry != 0 {
+		cfg.MAC.ARQ.MaxTargets = o.MaxTargetsPerEntry
+	}
+	if o.DisableFillMode {
+		cfg.MAC.ARQ.FillMode = false
+	}
+	if o.Cores != 0 {
+		cfg.Node.Cores = o.Cores
+	}
+	if o.MaxOutstanding != 0 {
+		cfg.Node.MaxOutstanding = o.MaxOutstanding
+	}
+	if o.HMCMaxInflight != 0 {
+		cfg.HMC.MaxInflight = o.HMCMaxInflight
+	}
+	if o.HMCLinks != 0 {
+		cfg.HMC.Links = o.HMCLinks
+	}
+	if o.ModelRefresh {
+		cfg.HMC.RefreshInterval = 25740 // tREFI at 3.3 GHz
+		cfg.HMC.RefreshDuration = 1155  // tRFC
+	}
+	// Surface configuration mistakes as errors at the façade; the
+	// internal constructors treat invalid config as programmer error
+	// and panic.
+	if err := cfg.MAC.Validate(); err != nil {
+		return cfg, err
+	}
+	if err := cfg.Node.Validate(); err != nil {
+		return cfg, err
+	}
+	if err := cfg.HMC.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func (o RunOptions) workloadConfig() (workloads.Config, error) {
+	s, err := o.Scale.internal()
+	if err != nil {
+		return workloads.Config{}, err
+	}
+	return workloads.Config{Threads: o.Threads, Seed: o.Seed, Scale: s}, nil
+}
+
+// WorkloadInfo describes one registered benchmark kernel.
+type WorkloadInfo struct {
+	Name        string
+	Description string
+}
+
+// Workloads lists the registered benchmark kernels.
+func Workloads() []WorkloadInfo {
+	names := workloads.Names()
+	out := make([]WorkloadInfo, 0, len(names))
+	for _, n := range names {
+		k, err := workloads.New(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, WorkloadInfo{Name: n, Description: k.Description()})
+	}
+	return out
+}
+
+// PaperWorkloads returns the 12 benchmark names in the paper's
+// reporting order.
+func PaperWorkloads() []string { return workloads.PaperSet() }
+
+// Run executes one workload under the selected design and reports the
+// measurements.
+func Run(opts RunOptions) (*RunReport, error) {
+	opts = opts.withDefaults()
+	wcfg, err := opts.workloadConfig()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workloads.Generate(opts.Workload, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return runTrace(opts, tr)
+}
+
+func runTrace(opts RunOptions, tr *trace.Trace) (*RunReport, error) {
+	rcfg, err := opts.runConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := cpu.Run(rcfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	rep := newRunReport(opts, res)
+	return &rep, nil
+}
+
+// Compare runs one workload twice — with MAC and with the raw path —
+// and reports the paper's comparison metrics.
+func Compare(opts RunOptions) (*CompareReport, error) {
+	opts = opts.withDefaults()
+	wcfg, err := opts.workloadConfig()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workloads.Generate(opts.Workload, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return compareTrace(opts, tr)
+}
+
+func compareTrace(opts RunOptions, tr *trace.Trace) (*CompareReport, error) {
+	rcfg, err := opts.runConfig()
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := cpu.Compare(rcfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	withOpts := opts
+	withOpts.Design = DesignMAC
+	withoutOpts := opts
+	withoutOpts.Design = DesignRaw
+	return &CompareReport{
+		With:                  newRunReport(withOpts, cmp.With),
+		Without:               newRunReport(withoutOpts, cmp.Without),
+		CoalescingEfficiency:  cmp.CoalescingEfficiency(),
+		MemorySpeedup:         cmp.MemorySpeedup(),
+		MakespanSpeedup:       cmp.MakespanSpeedup(),
+		BankConflictReduction: cmp.BankConflictReduction(),
+		BandwidthSavingBytes:  cmp.BandwidthSaving(),
+	}, nil
+}
+
+// compile-time checks that internal defaults exist as documented.
+var (
+	_ = coalesce.DefaultMSHRConfig
+	_ = core.DefaultConfig
+	_ = hmc.DefaultConfig
+)

@@ -1,0 +1,282 @@
+package mac3d
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mac3d/internal/trace"
+	"mac3d/internal/workloads"
+)
+
+func TestWorkloadsListing(t *testing.T) {
+	infos := Workloads()
+	if len(infos) < 12 {
+		t.Fatalf("only %d workloads registered", len(infos))
+	}
+	seen := map[string]bool{}
+	for _, w := range infos {
+		if w.Name == "" || w.Description == "" {
+			t.Fatalf("incomplete info %+v", w)
+		}
+		seen[w.Name] = true
+	}
+	for _, name := range PaperWorkloads() {
+		if !seen[name] {
+			t.Fatalf("paper workload %q not listed", name)
+		}
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	rep, err := Run(RunOptions{Workload: "sg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Design != "mac" || rep.Threads != 8 {
+		t.Fatalf("defaults not applied: %+v", rep)
+	}
+	if rep.MemRequests == 0 || rep.Transactions == 0 || rep.Cycles == 0 {
+		t.Fatalf("empty measurements: %+v", rep)
+	}
+	if rep.CoalescingEfficiency <= 0 || rep.CoalescingEfficiency >= 1 {
+		t.Fatalf("efficiency out of range: %v", rep.CoalescingEfficiency)
+	}
+	if rep.ARQOccupancy <= 0 {
+		t.Fatalf("ARQ occupancy missing: %v", rep.ARQOccupancy)
+	}
+	if !strings.Contains(rep.String(), "sg/mac") {
+		t.Fatalf("summary: %s", rep)
+	}
+}
+
+func TestRunRawDesignNeverCoalesces(t *testing.T) {
+	rep, err := Run(RunOptions{Workload: "sg", Design: DesignRaw, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoalescingEfficiency != 0 {
+		t.Fatalf("raw path coalesced: %v", rep.CoalescingEfficiency)
+	}
+	if rep.Transactions != rep.MemRequests {
+		t.Fatalf("raw path: %d tx for %d reqs", rep.Transactions, rep.MemRequests)
+	}
+	// Raw FLIT requests: bandwidth efficiency = 16/(16+32) = 1/3.
+	if rep.BandwidthEfficiency < 0.33 || rep.BandwidthEfficiency > 0.34 {
+		t.Fatalf("raw bandwidth efficiency = %v, want 1/3", rep.BandwidthEfficiency)
+	}
+}
+
+func TestRunMSHRDesign(t *testing.T) {
+	rep, err := Run(RunOptions{Workload: "sg", Design: DesignMSHR, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Design != "mshr" {
+		t.Fatalf("design = %s", rep.Design)
+	}
+	// MSHR emits fixed 64B lines.
+	for size := range rep.TxBySize {
+		if size != 64 && size != 16 { // 16B only for atomics
+			t.Fatalf("MSHR emitted %dB transaction", size)
+		}
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(RunOptions{Workload: "bogus"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunBadDesignAndScale(t *testing.T) {
+	if _, err := Run(RunOptions{Workload: "sg", Design: Design(9)}); err == nil {
+		t.Fatal("bad design accepted")
+	}
+	if _, err := Run(RunOptions{Workload: "sg", Scale: Scale(9)}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestCompareSG(t *testing.T) {
+	rep, err := Compare(RunOptions{Workload: "sg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoalescingEfficiency <= 0.2 {
+		t.Fatalf("sg coalescing = %v", rep.CoalescingEfficiency)
+	}
+	if rep.MemorySpeedup <= 0 {
+		t.Fatalf("memory speedup = %v", rep.MemorySpeedup)
+	}
+	if rep.BankConflictReduction <= 0 {
+		t.Fatalf("conflict reduction = %v", rep.BankConflictReduction)
+	}
+	if rep.BandwidthSavingBytes <= 0 {
+		t.Fatalf("bandwidth saving = %v", rep.BandwidthSavingBytes)
+	}
+	if rep.With.BandwidthEfficiency <= rep.Without.BandwidthEfficiency {
+		t.Fatal("MAC did not improve bandwidth efficiency")
+	}
+	if !strings.Contains(rep.String(), "sg") {
+		t.Fatalf("summary: %s", rep)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(RunOptions{Workload: "bfs", Threads: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(RunOptions{Workload: "bfs", Threads: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Transactions != b.Transactions || a.BankConflicts != b.BankConflicts {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestARQEntriesKnob(t *testing.T) {
+	small, err := Run(RunOptions{Workload: "sg", ARQEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(RunOptions{Workload: "sg", ARQEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CoalescingEfficiency <= small.CoalescingEfficiency {
+		t.Fatalf("Fig 11 trend violated: %v (64) <= %v (4)",
+			big.CoalescingEfficiency, small.CoalescingEfficiency)
+	}
+}
+
+func TestScaleAndDesignStrings(t *testing.T) {
+	if ScaleTiny.String() != "tiny" || ScaleSmall.String() != "small" || ScaleRef.String() != "ref" {
+		t.Fatal("scale strings")
+	}
+	if DesignMAC.String() != "mac" || DesignRaw.String() != "raw" || DesignMSHR.String() != "mshr" {
+		t.Fatal("design strings")
+	}
+	if !strings.Contains(Scale(7).String(), "7") || !strings.Contains(Design(7).String(), "7") {
+		t.Fatal("unknown enums must carry their value")
+	}
+}
+
+func TestTraceBuilderCustomRun(t *testing.T) {
+	b, err := NewTraceBuilder(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := b.Alloc(1 << 16)
+	spm := b.AllocSPM(0, 1024)
+	for i := 0; i < 512; i++ {
+		tid := i % 2
+		if err := b.Load(tid, base+uint64(i)*8, 8); err != nil {
+			t.Fatal(err)
+		}
+		b.Work(tid, 1)
+	}
+	if err := b.Store(0, spm, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fence(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Atomic(1, base, 8); err != nil {
+		t.Fatal(err)
+	}
+	if b.Events() != 515 {
+		t.Fatalf("events = %d", b.Events())
+	}
+	rep, err := RunTrace(RunOptions{}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "custom" {
+		t.Fatalf("workload label %q", rep.Workload)
+	}
+	if rep.SPMAccesses != 1 {
+		t.Fatalf("SPM accesses = %d", rep.SPMAccesses)
+	}
+	if rep.MemRequests != 513 {
+		t.Fatalf("mem requests = %d", rep.MemRequests)
+	}
+	cmp, err := CompareTrace(RunOptions{}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CoalescingEfficiency <= 0 {
+		t.Fatalf("custom trace did not coalesce: %v", cmp.CoalescingEfficiency)
+	}
+}
+
+func TestTraceFileReplayMatchesDirectRun(t *testing.T) {
+	// A trace generated by a kernel and replayed from the binary
+	// format must simulate identically to the direct run.
+	direct, err := Run(RunOptions{Workload: "sg", Threads: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workloadTraceForTest("sg", 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := RunTraceFile(RunOptions{Threads: 4}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cycles != replayed.Cycles || direct.Transactions != replayed.Transactions {
+		t.Fatalf("replay diverged: %d/%d vs %d/%d cycles/tx",
+			direct.Cycles, direct.Transactions, replayed.Cycles, replayed.Transactions)
+	}
+	if replayed.Workload != "tracefile" {
+		t.Fatalf("label %q", replayed.Workload)
+	}
+	if _, err := RunTraceFile(RunOptions{}, bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+}
+
+// workloadTraceForTest serializes a kernel trace into the binary
+// format and returns a reader over it.
+func workloadTraceForTest(name string, threads int, seed uint64) (*bytes.Reader, error) {
+	tr, err := workloads.Generate(name, workloads.Config{
+		Threads: threads, Seed: seed, Scale: workloads.Tiny,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if err := w.WriteTrace(tr); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(buf.Bytes()), nil
+}
+
+func TestTraceBuilderValidation(t *testing.T) {
+	if _, err := NewTraceBuilder(0, 1); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+	b, _ := NewTraceBuilder(1, 1)
+	if err := b.Load(5, 0, 8); err == nil {
+		t.Fatal("bad thread accepted")
+	}
+	if err := b.Load(0, 0, 99); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if err := b.Fence(9); err == nil {
+		t.Fatal("bad fence thread accepted")
+	}
+	if _, err := RunTrace(RunOptions{}, nil); err == nil {
+		t.Fatal("nil builder accepted")
+	}
+	if _, err := CompareTrace(RunOptions{}, nil); err == nil {
+		t.Fatal("nil builder accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package mac3d
+
+import (
+	"fmt"
+
+	"mac3d/internal/numa"
+	"mac3d/internal/sim"
+	"mac3d/internal/workloads"
+)
+
+// NUMAOptions configures a multi-node run (the paper's full §3
+// architecture: one MAC and one HMC device per node, remote devices
+// reached through the owning node's MAC).
+type NUMAOptions struct {
+	// Workload names a registered benchmark. Required.
+	Workload string
+	// Threads is the total hardware thread count, distributed
+	// round-robin across nodes (default 8).
+	Threads int
+	// Seed makes the run deterministic (default 1).
+	Seed uint64
+	// Scale selects the input size class (default ScaleTiny).
+	Scale Scale
+
+	// Nodes is the node count (default 2).
+	Nodes int
+	// CoresPerNode is each node's core count (default 8).
+	CoresPerNode int
+	// LinkLatencyNs is the one-way inter-node hop latency in
+	// nanoseconds (default 100).
+	LinkLatencyNs float64
+	// InterleaveBytes is the global address interleave block
+	// (default 256, one HMC row).
+	InterleaveBytes uint64
+}
+
+// NUMAReport summarizes a multi-node run.
+type NUMAReport struct {
+	Workload string
+	Nodes    int
+	Threads  int
+
+	Cycles         uint64
+	MemRequests    uint64
+	SPMAccesses    uint64
+	RemoteRequests uint64
+	// RemoteFraction is the share of requests served by a remote
+	// node's device.
+	RemoteFraction float64
+
+	AvgLatencyCycles float64
+	AvgLatencyNs     float64
+
+	// PerNode carries each node's key measurements.
+	PerNode []NUMANodeReport
+}
+
+// NUMANodeReport is one node's slice of a NUMAReport.
+type NUMANodeReport struct {
+	Node                 int
+	Transactions         uint64
+	CoalescingEfficiency float64
+	BankConflicts        uint64
+	BandwidthEfficiency  float64
+	RemoteServed         uint64
+	RemoteSent           uint64
+}
+
+// RunNUMA executes one workload on a multi-node system.
+func RunNUMA(opts NUMAOptions) (*NUMAReport, error) {
+	if opts.Workload == "" {
+		return nil, fmt.Errorf("mac3d: NUMAOptions.Workload is required")
+	}
+	if opts.Threads == 0 {
+		opts.Threads = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Nodes == 0 {
+		opts.Nodes = 2
+	}
+	if opts.CoresPerNode == 0 {
+		opts.CoresPerNode = 8
+	}
+	if opts.LinkLatencyNs == 0 {
+		opts.LinkLatencyNs = 100
+	}
+	s, err := opts.Scale.internal()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := workloads.Generate(opts.Workload, workloads.Config{
+		Threads: opts.Threads, Seed: opts.Seed, Scale: s,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	clock := sim.NewClock(0)
+	cfg := numa.DefaultConfig()
+	cfg.Nodes = opts.Nodes
+	cfg.CoresPerNode = opts.CoresPerNode
+	cfg.LinkLatency = clock.CyclesForNanos(opts.LinkLatencyNs)
+	if opts.InterleaveBytes != 0 {
+		cfg.InterleaveBytes = opts.InterleaveBytes
+	}
+	res, err := numa.Run(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &NUMAReport{
+		Workload:         opts.Workload,
+		Nodes:            opts.Nodes,
+		Threads:          opts.Threads,
+		Cycles:           uint64(res.Cycles),
+		MemRequests:      res.MemRequests,
+		SPMAccesses:      res.SPMAccesses,
+		RemoteRequests:   res.RemoteRequests,
+		RemoteFraction:   res.RemoteFraction(),
+		AvgLatencyCycles: res.RequestLatency.Mean(),
+		AvgLatencyNs:     res.RequestLatency.Mean() / clock.FreqHz * 1e9,
+	}
+	for i, ns := range res.PerNode {
+		rep.PerNode = append(rep.PerNode, NUMANodeReport{
+			Node:                 i,
+			Transactions:         ns.Coalescer.Transactions,
+			CoalescingEfficiency: ns.Coalescer.CoalescingEfficiency(),
+			BankConflicts:        ns.Device.BankConflicts,
+			BandwidthEfficiency:  ns.Device.BandwidthEfficiency(),
+			RemoteServed:         ns.RemoteServed,
+			RemoteSent:           ns.RemoteSent,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,68 @@
+package mac3d
+
+import "testing"
+
+func TestRunNUMADefaults(t *testing.T) {
+	rep, err := RunNUMA(NUMAOptions{Workload: "sg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 2 || rep.Threads != 8 {
+		t.Fatalf("defaults not applied: %+v", rep)
+	}
+	if len(rep.PerNode) != 2 {
+		t.Fatalf("per-node reports = %d", len(rep.PerNode))
+	}
+	if rep.RemoteFraction <= 0 || rep.RemoteFraction >= 1 {
+		t.Fatalf("remote fraction = %v", rep.RemoteFraction)
+	}
+	if rep.AvgLatencyNs <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	for _, n := range rep.PerNode {
+		if n.Transactions == 0 {
+			t.Fatalf("node %d idle", n.Node)
+		}
+	}
+}
+
+func TestRunNUMASingleNodeLocalOnly(t *testing.T) {
+	rep, err := RunNUMA(NUMAOptions{Workload: "sg", Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemoteRequests != 0 {
+		t.Fatalf("single node had %d remote requests", rep.RemoteRequests)
+	}
+}
+
+func TestRunNUMAInterconnectCost(t *testing.T) {
+	near, err := RunNUMA(NUMAOptions{Workload: "sg", LinkLatencyNs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := RunNUMA(NUMAOptions{Workload: "sg", LinkLatencyNs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.AvgLatencyCycles <= near.AvgLatencyCycles {
+		t.Fatalf("slow interconnect not visible: %v vs %v",
+			far.AvgLatencyCycles, near.AvgLatencyCycles)
+	}
+}
+
+func TestRunNUMAValidation(t *testing.T) {
+	if _, err := RunNUMA(NUMAOptions{}); err == nil {
+		t.Fatal("missing workload accepted")
+	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "bogus"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", Scale: Scale(9)}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	// More threads per node than cores.
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", Threads: 8, Nodes: 2, CoresPerNode: 1}); err == nil {
+		t.Fatal("over-subscription accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package mac3d
+
+import (
+	"fmt"
+
+	"mac3d/internal/cpu"
+	"mac3d/internal/sim"
+)
+
+// bandwidthGBps converts bytes moved over a cycle count to GB/s.
+func bandwidthGBps(bytes uint64, cycles sim.Cycle, clock *sim.Clock) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / clock.FreqHz
+	return float64(bytes) / seconds / 1e9
+}
+
+// RunReport is the plain-data measurement set of one simulated run.
+type RunReport struct {
+	// Identification.
+	Workload string
+	Design   string
+	Threads  int
+
+	// Execution.
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+	RPI          float64
+	// RPC is raw memory requests offered per cycle (Eq. 2 / Fig. 9).
+	RPC float64
+	// MemAccessRate is the fraction of memory operations missing the
+	// scratchpads and reaching the MAC.
+	MemAccessRate float64
+	// StallLSQ/StallRouter/StallFence decompose the cycles threads
+	// spent unable to issue, by cause.
+	StallLSQ    uint64
+	StallRouter uint64
+	StallFence  uint64
+
+	// Request path.
+	MemRequests  uint64
+	SPMAccesses  uint64
+	Transactions uint64
+	Bypassed     uint64
+	// CoalescingEfficiency is the fraction of raw requests removed
+	// by coalescing (Eq. 3 as interpreted in DESIGN.md).
+	CoalescingEfficiency float64
+	// AvgTargetsPerTx is the mean raw requests per transaction
+	// (Fig. 15).
+	AvgTargetsPerTx float64
+	// TxBySize histograms emitted transactions by payload bytes.
+	TxBySize map[uint32]uint64
+
+	// Device.
+	BankConflicts uint64
+	DataBytes     uint64
+	ControlBytes  uint64
+	// BandwidthEfficiency is Eq. 1 aggregated over all traffic.
+	BandwidthEfficiency float64
+	// DataGBps is the achieved useful-data bandwidth over the run's
+	// makespan at the 3.3 GHz master clock.
+	DataGBps float64
+	// LinkGBps is the total link traffic rate (data + control).
+	LinkGBps float64
+
+	// Latency (issue to retire, CPU cycles at 3.3 GHz).
+	AvgLatencyCycles float64
+	AvgLatencyNs     float64
+	P99LatencyCycles uint64
+	MaxLatencyCycles uint64
+
+	// ARQOccupancy is the mean aggregated-request-queue occupancy
+	// (MAC runs only).
+	ARQOccupancy float64
+}
+
+func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
+	clock := sim.NewClock(0)
+	rep := RunReport{
+		Workload:             opts.Workload,
+		Design:               opts.Design.String(),
+		Threads:              opts.Threads,
+		Cycles:               uint64(res.Cycles),
+		Instructions:         res.Instructions,
+		IPC:                  res.IPC(),
+		RPI:                  res.RPI(),
+		RPC:                  res.RPC(),
+		MemAccessRate:        res.MemAccessRate(),
+		StallLSQ:             res.StallLSQ,
+		StallRouter:          res.StallRouter,
+		StallFence:           res.StallFence,
+		MemRequests:          res.MemRequests,
+		SPMAccesses:          res.SPMAccesses,
+		Transactions:         res.Coalescer.Transactions,
+		Bypassed:             res.Coalescer.Bypassed,
+		CoalescingEfficiency: res.Coalescer.CoalescingEfficiency(),
+		AvgTargetsPerTx:      res.Coalescer.AvgTargetsPerTx(),
+		TxBySize:             map[uint32]uint64{},
+		BankConflicts:        res.Device.BankConflicts,
+		DataBytes:            res.Device.DataBytes,
+		ControlBytes:         res.Device.ControlBytes,
+		BandwidthEfficiency:  res.Device.BandwidthEfficiency(),
+		DataGBps:             bandwidthGBps(res.Device.DataBytes, res.Cycles, clock),
+		LinkGBps:             bandwidthGBps(res.Device.DataBytes+res.Device.ControlBytes, res.Cycles, clock),
+		AvgLatencyCycles:     res.RequestLatency.Mean(),
+		AvgLatencyNs:         res.RequestLatency.Mean() / clock.FreqHz * 1e9,
+		P99LatencyCycles:     res.RequestLatency.Quantile(0.99),
+		MaxLatencyCycles:     res.RequestLatency.Max(),
+		ARQOccupancy:         res.ARQOccupancy,
+	}
+	for size, n := range res.Coalescer.BuiltBySizeBytes {
+		rep.TxBySize[size] = n
+	}
+	return rep
+}
+
+// String renders a compact one-line summary.
+func (r *RunReport) String() string {
+	return fmt.Sprintf("%s/%s t%d: %d reqs -> %d tx (eff %.1f%%), bw %.1f%%, avg lat %.0f cycles, %d conflicts",
+		r.Workload, r.Design, r.Threads, r.MemRequests, r.Transactions,
+		100*r.CoalescingEfficiency, 100*r.BandwidthEfficiency,
+		r.AvgLatencyCycles, r.BankConflicts)
+}
+
+// CompareReport pairs a with-MAC and a without-MAC run over the same
+// trace — the measurement behind Figures 10, 12, 13, 14, 15 and 17.
+type CompareReport struct {
+	With    RunReport
+	Without RunReport
+
+	// CoalescingEfficiency is 1 - with.Transactions/without (Fig 10).
+	CoalescingEfficiency float64
+	// MemorySpeedup is the relative reduction of the mean memory
+	// access latency (Fig. 17's "memory system speedup").
+	MemorySpeedup float64
+	// MakespanSpeedup is the end-to-end runtime ratio without/with.
+	MakespanSpeedup float64
+	// BankConflictReduction counts conflicts removed (Fig. 12).
+	BankConflictReduction int64
+	// BandwidthSavingBytes is control overhead avoided (Fig. 14).
+	BandwidthSavingBytes int64
+}
+
+// String renders a compact summary.
+func (r *CompareReport) String() string {
+	return fmt.Sprintf("%s t%d: coalescing %.1f%%, mem speedup %.1f%%, conflicts -%d, saved %dB control",
+		r.With.Workload, r.With.Threads, 100*r.CoalescingEfficiency,
+		100*r.MemorySpeedup, r.BankConflictReduction, r.BandwidthSavingBytes)
+}
