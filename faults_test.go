@@ -1,0 +1,101 @@
+package mac3d
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestZeroFaultOptionsAreStrictNoop: a report produced with an
+// explicit all-zero FaultOptions must be byte-identical to the
+// default-options report — the fault machinery must not perturb a
+// healthy simulation in any way.
+func TestZeroFaultOptionsAreStrictNoop(t *testing.T) {
+	base, err := Run(RunOptions{Workload: "sg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(RunOptions{Workload: "sg", Faults: FaultOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("zero FaultOptions changed the report:\nbase: %+v\ngot:  %+v", base, got)
+	}
+	if got.Faults != (FaultReport{}) {
+		t.Fatalf("fault counters nonzero without injection: %+v", got.Faults)
+	}
+}
+
+// TestFaultInjectionCompareCompletes: a full with/without-MAC
+// comparison under CRC injection completes, counts retries, and
+// replays identically for a fixed seed.
+func TestFaultInjectionCompareCompletes(t *testing.T) {
+	opts := RunOptions{
+		Workload: "sg",
+		Faults:   FaultOptions{CRCErrorRate: 0.02, Seed: 11},
+	}
+	a, err := Compare(opts)
+	if err != nil {
+		t.Fatalf("Compare under fault injection: %v", err)
+	}
+	if a.With.Faults.CRCErrors == 0 && a.Without.Faults.CRCErrors == 0 {
+		t.Fatal("no CRC errors injected in either run")
+	}
+	if a.With.Faults.LinkRetries == 0 && a.Without.Faults.LinkRetries == 0 {
+		t.Fatal("no link retries recorded")
+	}
+	b, err := Compare(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fault injection with a fixed seed is not deterministic")
+	}
+}
+
+// TestFaultRetryExhaustionSurfacesFailures: certain CRC failure
+// poisons every transaction; the run completes and reports failed
+// requests rather than hanging or panicking.
+func TestFaultRetryExhaustionSurfacesFailures(t *testing.T) {
+	rep, err := Run(RunOptions{
+		Workload: "sg",
+		Faults:   FaultOptions{CRCErrorRate: 1, RetryLimit: 1},
+	})
+	if err != nil {
+		t.Fatalf("run under certain CRC failure: %v", err)
+	}
+	if rep.Faults.PoisonedResponses == 0 || rep.Faults.FailedRequests == 0 {
+		t.Fatalf("failures not surfaced: %+v", rep.Faults)
+	}
+	if rep.Faults.FailedRequests != rep.MemRequests {
+		t.Fatalf("FailedRequests = %d, want all %d", rep.Faults.FailedRequests, rep.MemRequests)
+	}
+}
+
+// TestWatchdogOptionSurfacesStall: the façade's WatchdogCycles knob
+// converts a deliberately starved run into a prompt diagnostic error.
+func TestWatchdogOptionSurfacesStall(t *testing.T) {
+	_, err := Run(RunOptions{
+		Workload:       "sg",
+		Faults:         FaultOptions{DropResponseEvery: 1},
+		WatchdogCycles: 2_000,
+	})
+	if err == nil {
+		t.Fatal("starved run completed")
+	}
+}
+
+// TestFaultOptionsValidated: out-of-range fault rates surface as
+// configuration errors, not panics.
+func TestFaultOptionsValidated(t *testing.T) {
+	for _, opts := range []RunOptions{
+		{Workload: "sg", Faults: FaultOptions{CRCErrorRate: 1.5}},
+		{Workload: "sg", Faults: FaultOptions{LinkFailRate: -0.2}},
+		{Workload: "sg", Faults: FaultOptions{RetryLimit: -1}},
+		{Workload: "sg", Faults: FaultOptions{LinkTokens: -4}},
+	} {
+		if _, err := Run(opts); err == nil {
+			t.Fatalf("invalid %+v accepted", opts.Faults)
+		}
+	}
+}

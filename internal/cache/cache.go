@@ -66,10 +66,10 @@ type Cache struct {
 	prefetches uint64
 }
 
-// New builds a cache, panicking on invalid geometry.
-func New(cfg Config) *Cache {
+// New builds a cache, returning an error for invalid geometry.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("cache: invalid config: %w", err)
 	}
 	lines := int(cfg.SizeBytes / uint64(cfg.LineBytes))
 	ways := cfg.Ways
@@ -89,7 +89,17 @@ func New(cfg Config) *Cache {
 		tags:       make([]uint64, lines),
 		lastUse:    make([]uint64, lines),
 		prefetched: make([]bool, lines),
+	}, nil
+}
+
+// MustNew builds a cache, panicking on invalid geometry — for tests
+// and package-level examples with known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Config returns the cache geometry.
@@ -216,9 +226,10 @@ func (c *Cache) Reset() {
 }
 
 // MissRateOf replays an address stream through a fresh cache with the
-// given geometry and returns the miss rate.
+// given geometry and returns the miss rate. It panics on invalid
+// geometry (use Config.Validate or New to check first).
 func MissRateOf(cfg Config, addrs func(yield func(uint64) bool)) float64 {
-	c := New(cfg)
+	c := MustNew(cfg)
 	addrs(func(a uint64) bool {
 		c.Access(a)
 		return true

@@ -26,18 +26,18 @@ func TestValidate(t *testing.T) {
 }
 
 func TestGeometry(t *testing.T) {
-	c := New(tiny())
+	c := MustNew(tiny())
 	if c.Sets() != 8 || c.Ways() != 2 {
 		t.Fatalf("geometry = %dx%d", c.Sets(), c.Ways())
 	}
-	fa := New(Config{SizeBytes: 512, LineBytes: 64, Ways: 0})
+	fa := MustNew(Config{SizeBytes: 512, LineBytes: 64, Ways: 0})
 	if fa.Sets() != 1 || fa.Ways() != 8 {
 		t.Fatalf("fully associative = %dx%d", fa.Sets(), fa.Ways())
 	}
 }
 
 func TestHitAfterMiss(t *testing.T) {
-	c := New(tiny())
+	c := MustNew(tiny())
 	if c.Access(0x100) {
 		t.Fatal("cold access hit")
 	}
@@ -60,7 +60,7 @@ func TestHitAfterMiss(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(tiny()) // 2 ways per set; set stride = 8 lines = 512B
+	c := MustNew(tiny()) // 2 ways per set; set stride = 8 lines = 512B
 	a := uint64(0x0000)
 	b := a + 512  // same set
 	d := a + 1024 // same set
@@ -81,7 +81,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestSequentialStreamLowMissRate(t *testing.T) {
 	// Sequential 8B accesses: one miss per 64B line = 12.5%.
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	for a := uint64(0); a < 1<<20; a += 8 {
 		c.Access(a)
 	}
@@ -92,7 +92,7 @@ func TestSequentialStreamLowMissRate(t *testing.T) {
 }
 
 func TestWorkingSetFitsAllHitsAfterWarmup(t *testing.T) {
-	c := New(tiny())
+	c := MustNew(tiny())
 	warm := func() {
 		for a := uint64(0); a < 1024; a += 64 {
 			c.Access(a)
@@ -109,7 +109,7 @@ func TestWorkingSetFitsAllHitsAfterWarmup(t *testing.T) {
 func TestThrashingWorkingSet(t *testing.T) {
 	// A working set 4x the cache with LRU round-robin access
 	// thrashes: ~100% miss rate after warmup.
-	c := New(tiny())
+	c := MustNew(tiny())
 	for round := 0; round < 8; round++ {
 		for a := uint64(0); a < 4096; a += 64 {
 			c.Access(a)
@@ -131,7 +131,7 @@ func TestMissRateOfHelper(t *testing.T) {
 }
 
 func TestResetRestoresCold(t *testing.T) {
-	c := New(tiny())
+	c := MustNew(tiny())
 	c.Access(0x40)
 	c.Reset()
 	if c.Stats().Accesses != 0 {
@@ -144,7 +144,7 @@ func TestResetRestoresCold(t *testing.T) {
 
 func TestMissRateBoundsProperty(t *testing.T) {
 	f := func(addrs []uint32) bool {
-		c := New(tiny())
+		c := MustNew(tiny())
 		for _, a := range addrs {
 			c.Access(uint64(a))
 		}
@@ -163,7 +163,7 @@ func TestMissRateBoundsProperty(t *testing.T) {
 func TestRepeatedSingleLineProperty(t *testing.T) {
 	// Property: accessing one line n times yields exactly 1 miss.
 	f := func(a uint64, n uint8) bool {
-		c := New(tiny())
+		c := MustNew(tiny())
 		reps := int(n%50) + 1
 		for i := 0; i < reps; i++ {
 			c.Access(a)

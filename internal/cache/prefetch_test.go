@@ -9,7 +9,7 @@ func pfConfig() Config {
 }
 
 func TestPrefetchSequentialNearZeroMissRate(t *testing.T) {
-	c := New(pfConfig())
+	c := MustNew(pfConfig())
 	for a := uint64(0); a < 1<<20; a += 8 {
 		c.Access(a)
 	}
@@ -26,7 +26,7 @@ func TestPrefetchDoesNotHelpRandom(t *testing.T) {
 	// must leave the miss rate near 100% of the no-prefetch rate.
 	runAt := func(pf bool) float64 {
 		cfg := Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, Prefetch: pf}
-		c := New(cfg)
+		c := MustNew(cfg)
 		x := uint64(12345)
 		for i := 0; i < 200000; i++ {
 			x = x*6364136223846793005 + 1442695040888963407
@@ -41,7 +41,7 @@ func TestPrefetchDoesNotHelpRandom(t *testing.T) {
 }
 
 func TestPrefetchOffByDefault(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	for a := uint64(0); a < 1<<16; a += 8 {
 		c.Access(a)
 	}
@@ -51,7 +51,7 @@ func TestPrefetchOffByDefault(t *testing.T) {
 }
 
 func TestPrefetchedLineCountsAsHit(t *testing.T) {
-	c := New(pfConfig())
+	c := MustNew(pfConfig())
 	c.Access(0) // miss, prefetches line 1
 	if !c.Access(64) {
 		t.Fatal("prefetched line missed")
@@ -59,7 +59,7 @@ func TestPrefetchedLineCountsAsHit(t *testing.T) {
 }
 
 func TestPrefetchResetClearsBits(t *testing.T) {
-	c := New(pfConfig())
+	c := MustNew(pfConfig())
 	c.Access(0)
 	c.Reset()
 	if c.Stats().Prefetches != 0 {

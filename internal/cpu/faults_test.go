@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mac3d/internal/hmc"
+)
+
+// TestWatchdogFiresOnLostResponse: dropping every response starves the
+// node; the watchdog must abort with a *StallError carrying a
+// diagnostic dump instead of spinning to MaxCycles.
+func TestWatchdogFiresOnLostResponse(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.HMC.Faults.DropResponseEvery = 1 // lose every response
+	cfg.Node.StallLimit = 2_000
+	cfg.Node.MaxCycles = 10_000_000
+	_, err := Run(cfg, seqTrace(2, 8))
+	if err == nil {
+		t.Fatal("run with every response dropped completed")
+	}
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("error is %T, want *StallError: %v", err, err)
+	}
+	if stall.StallLimit != 2_000 {
+		t.Fatalf("StallLimit = %d, want 2000", stall.StallLimit)
+	}
+	if stall.OutstandingTx == 0 || stall.OldestTxAge == 0 {
+		t.Fatalf("diagnostic missing outstanding state: %+v", stall)
+	}
+	for _, want := range []string{"oldest in-flight", "target buffer outstanding", "no forward progress"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("diagnostic dump missing %q:\n%s", want, err)
+		}
+	}
+}
+
+// TestPoisonedResponsesRetireWithError: with every packet failing CRC,
+// every transaction poisons — but the run still completes, with the
+// failures surfaced as counted errors rather than hangs or panics.
+func TestPoisonedResponsesRetireWithError(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.HMC.Faults.CRCErrorRate = 1.0
+	cfg.HMC.Faults.RetryLimit = 1
+	res, err := Run(cfg, seqTrace(4, 32))
+	if err != nil {
+		t.Fatalf("run under certain CRC failure: %v", err)
+	}
+	if res.FailedRequests != res.MemRequests {
+		t.Fatalf("FailedRequests = %d, want all %d requests", res.FailedRequests, res.MemRequests)
+	}
+	if res.Responses.Poisoned == 0 || res.Device.PoisonedResponses == 0 {
+		t.Fatalf("poison counters empty: router=%+v device=%d",
+			res.Responses, res.Device.PoisonedResponses)
+	}
+	if res.RetireUnderflows != 0 || res.Misrouted != 0 {
+		t.Fatalf("malformed-delivery counters moved: %+v", res)
+	}
+}
+
+// TestModerateFaultsCompleteDeterministically: a realistic fault mix
+// drains cleanly and replays identically.
+func TestModerateFaultsCompleteDeterministically(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.HMC.Faults = hmc.FaultConfig{
+		CRCErrorRate: 0.05, LinkFailRate: 0.01,
+		DisableLinkAfter: 50, LinkTokens: 16, Seed: 7,
+	}
+	tr := seqTrace(4, 64)
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatalf("faulty run: %v", err)
+	}
+	b, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal fault config and seed produced different results")
+	}
+	if a.Device.CRCErrors == 0 {
+		t.Fatal("no CRC errors injected at rate 0.05 over 256 requests")
+	}
+}
+
+// TestZeroFaultConfigMatchesSeedModel: enabling the Faults field with
+// all-zero values must not change a single measurement.
+func TestZeroFaultConfigMatchesSeedModel(t *testing.T) {
+	tr := seqTrace(4, 64)
+	base, err := Run(DefaultRunConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRunConfig()
+	cfg.HMC.Faults = hmc.FaultConfig{} // explicit zero
+	got, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatal("zero FaultConfig changed the simulation")
+	}
+}
+
+// TestTargetBufferBackpressure: a one-entry target buffer serializes
+// transactions but the run must still drain, with rejects counted.
+func TestTargetBufferBackpressure(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Node.TargetBufferDepth = 1
+	res, err := Run(cfg, seqTrace(2, 32))
+	if err != nil {
+		t.Fatalf("run with TargetBufferDepth=1: %v", err)
+	}
+	if res.Responses.RegisterRejects == 0 {
+		t.Fatal("one-entry target buffer never backpressured")
+	}
+	if res.Responses.Delivered == 0 {
+		t.Fatal("no responses delivered")
+	}
+	// Unbounded run over the same trace retires the same work.
+	free, err := Run(DefaultRunConfig(), seqTrace(2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != free.Instructions {
+		t.Fatalf("bounded run retired %d instructions, unbounded %d",
+			res.Instructions, free.Instructions)
+	}
+}
+
+// TestWatchdogDisabled: StallLimit 0 turns the watchdog off; a starved
+// run then hits the MaxCycles guard instead.
+func TestWatchdogDisabled(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.HMC.Faults.DropResponseEvery = 1
+	cfg.Node.StallLimit = 0
+	cfg.Node.MaxCycles = 20_000
+	_, err := Run(cfg, seqTrace(1, 4))
+	if err == nil {
+		t.Fatal("starved run completed")
+	}
+	var stall *StallError
+	if errors.As(err, &stall) {
+		t.Fatalf("disabled watchdog still fired: %v", err)
+	}
+	if !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("expected the MaxCycles guard, got: %v", err)
+	}
+}

@@ -34,6 +34,17 @@ type Config struct {
 	MaxOutstanding int
 	// Router sizes the request router queues.
 	Router core.RouterConfig
+	// TargetBufferDepth bounds the response router's target buffer
+	// (outstanding built transactions); 0 means unbounded, matching
+	// the paper's evaluation. When bounded, a full buffer
+	// backpressures the coalescer: built transactions wait in a
+	// holding slot until an entry frees.
+	TargetBufferDepth int
+	// StallLimit is the simulation watchdog: a run making no forward
+	// progress (no retirement, submission, or delivery) for this many
+	// cycles aborts with a *StallError diagnostic instead of spinning
+	// until MaxCycles. 0 disables the watchdog.
+	StallLimit sim.Cycle
 	// MaxCycles aborts a run that fails to drain (simulator guard).
 	MaxCycles sim.Cycle
 }
@@ -53,6 +64,7 @@ func DefaultConfig() Config {
 		SPMLatency:     4,
 		MaxOutstanding: 256,
 		Router:         core.DefaultRouterConfig(),
+		StallLimit:     1_000_000,
 		MaxCycles:      2_000_000_000,
 	}
 }
@@ -64,6 +76,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cpu: Cores must be positive, got %d", c.Cores)
 	case c.MaxOutstanding <= 0:
 		return fmt.Errorf("cpu: MaxOutstanding must be positive, got %d", c.MaxOutstanding)
+	case c.TargetBufferDepth < 0:
+		return fmt.Errorf("cpu: TargetBufferDepth must be non-negative, got %d", c.TargetBufferDepth)
 	case c.MaxCycles == 0:
 		return fmt.Errorf("cpu: MaxCycles must be positive")
 	}
@@ -129,6 +143,19 @@ type Result struct {
 	Coalescer memreq.Stats
 	// Device is the HMC statistics snapshot.
 	Device hmc.Stats
+	// Responses is the response router's outcome counts (duplicates,
+	// unknown tags, poisoned deliveries, target-buffer rejects).
+	Responses core.ResponseRouterStats
+	// FailedRequests counts raw requests retired with an error
+	// status because their transaction's response was poisoned
+	// (link-retry budget exhausted under fault injection).
+	FailedRequests uint64
+	// RetireUnderflows and Misrouted count malformed response
+	// deliveries survived (instead of panicking): a retire for a
+	// thread with nothing outstanding, and a target naming a thread
+	// the node does not run.
+	RetireUnderflows uint64
+	Misrouted        uint64
 	// ARQOccupancy is the mean ARQ occupancy (MAC runs only).
 	ARQOccupancy float64
 	// RouterLocal/Global/Remote are the routing counts.
@@ -180,12 +207,24 @@ type Node struct {
 	// issueRR rotates issue priority across cores for fairness.
 	issueRR int
 
-	// outstandingTx maps device tags to built transactions.
-	outstandingTx map[uint64]*memreq.Built
-	nextDevTag    uint64
+	// resp owns the target buffer mapping device tags to built
+	// transactions and classifies every delivery.
+	resp *core.ResponseRouter
+	// deferred holds built transactions refused by a full target
+	// buffer, resubmitted in order once entries free up.
+	deferred []memreq.Built
 
-	spmAccesses uint64
-	memRequests uint64
+	// watchdog aborts a run that stops making forward progress.
+	watchdog *sim.Watchdog
+	// progress counts retirements + submissions + deliveries; any
+	// movement re-arms the watchdog.
+	progress uint64
+
+	spmAccesses      uint64
+	memRequests      uint64
+	failedRequests   uint64
+	retireUnderflows uint64
+	misrouted        uint64
 }
 
 // NewNode builds a node around a coalescer and device. The coalescer
@@ -195,11 +234,12 @@ func NewNode(cfg Config, coal memreq.Coalescer, dev *hmc.Device) *Node {
 		panic(err)
 	}
 	return &Node{
-		cfg:           cfg,
-		router:        core.NewRouter(cfg.Router),
-		coal:          coal,
-		dev:           dev,
-		outstandingTx: make(map[uint64]*memreq.Built),
+		cfg:      cfg,
+		router:   core.NewRouter(cfg.Router),
+		coal:     coal,
+		dev:      dev,
+		resp:     core.NewResponseRouter(cfg.TargetBufferDepth),
+		watchdog: sim.NewWatchdog(cfg.StallLimit),
 	}
 }
 
@@ -227,6 +267,8 @@ func (n *Node) Load(tr *trace.Trace) error {
 }
 
 // Run replays the loaded trace to completion and returns the results.
+// A run that stops making forward progress for Config.StallLimit
+// cycles aborts with a *StallError carrying a diagnostic dump.
 func (n *Node) Run() (*Result, error) {
 	for now := sim.Cycle(0); now < n.cfg.MaxCycles; now++ {
 		n.tickCores(now)
@@ -235,6 +277,9 @@ func (n *Node) Run() (*Result, error) {
 		n.deliverResponses(now)
 		if n.drained() {
 			return n.result(now + 1), nil
+		}
+		if n.watchdog.Check(now, n.progress) {
+			return nil, n.stallError(now)
 		}
 	}
 	return nil, fmt.Errorf("cpu: run exceeded MaxCycles=%d (deadlock?)", n.cfg.MaxCycles)
@@ -263,6 +308,7 @@ func (n *Node) tickThread(t *threadState, now sim.Cycle) {
 	if t.gapLeft > 0 {
 		t.gapLeft--
 		t.retired++
+		n.progress++
 		return
 	}
 	if t.pc >= len(t.events) {
@@ -274,6 +320,7 @@ func (n *Node) tickThread(t *threadState, now sim.Cycle) {
 	if e.Op.IsMemory() && addr.IsSPM(e.Addr) {
 		t.spmBusy = now + n.cfg.SPMLatency
 		t.retired++
+		n.progress++
 		n.spmAccesses++
 		n.advance(t)
 		return
@@ -292,6 +339,7 @@ func (n *Node) tickThread(t *threadState, now sim.Cycle) {
 			return
 		}
 		t.retired++
+		n.progress++
 		n.advance(t)
 		return
 	}
@@ -318,6 +366,7 @@ func (n *Node) tickThread(t *threadState, now sim.Cycle) {
 	t.outstanding++
 	t.issuedAt[tag] = now
 	t.retired++
+	n.progress++
 	n.memRequests++
 	n.advance(t)
 }
@@ -341,36 +390,75 @@ func (n *Node) drainRouter(now sim.Cycle) {
 // ARQ entries dwell — the feedback that raises coalescing opportunity
 // exactly when the memory device is the bottleneck.
 func (n *Node) tickCoalescer(now sim.Cycle) {
+	if len(n.deferred) > 0 {
+		n.submitDeferred(now)
+		if len(n.deferred) > 0 {
+			// Still blocked on the target buffer: don't pull more
+			// transactions out of the coalescer, or ordering breaks.
+			return
+		}
+	}
 	if !n.dev.CanAccept() {
 		return
 	}
 	for _, b := range n.coal.Tick(now) {
 		bb := b
-		n.nextDevTag++
-		bb.Req.Tag = n.nextDevTag
-		n.outstandingTx[n.nextDevTag] = &bb
+		if _, ok := n.resp.Register(&bb, now); !ok {
+			n.deferred = append(n.deferred, bb)
+			continue
+		}
 		n.dev.Submit(bb.Req, now)
+		n.progress++
+	}
+}
+
+// submitDeferred retries transactions previously refused by a full
+// target buffer, in their original order.
+func (n *Node) submitDeferred(now sim.Cycle) {
+	for len(n.deferred) > 0 && n.dev.CanAccept() {
+		bb := n.deferred[0]
+		if _, ok := n.resp.Register(&bb, now); !ok {
+			return
+		}
+		n.dev.Submit(bb.Req, now)
+		n.progress++
+		n.deferred = n.deferred[1:]
 	}
 }
 
 // deliverResponses routes completed device responses back to threads —
-// the response router of §3.3.
+// the response router of §3.3. Malformed deliveries (duplicates,
+// unknown tags, targets naming absent threads, retire underflows) are
+// counted and survived rather than panicking: under fault injection
+// they are expected events, and a simulator that dies on them cannot
+// report what went wrong.
 func (n *Node) deliverResponses(now sim.Cycle) {
 	for _, resp := range n.dev.Tick(now) {
-		b, ok := n.outstandingTx[resp.Tag]
-		if !ok {
-			panic(fmt.Sprintf("cpu: response for unknown tag %d", resp.Tag))
+		b, status := n.resp.Deliver(resp)
+		switch status {
+		case core.RespDuplicate, core.RespUnknown:
+			continue // counted by the response router; nothing to retire
 		}
-		delete(n.outstandingTx, resp.Tag)
 		// Notify the coalescer first: MSHR-style designs fold
-		// late-merged targets into b.Targets here.
+		// late-merged targets into b.Targets here. Poisoned
+		// transactions complete too — their targets retire with an
+		// error status, and fences must not wait on them forever.
 		n.coal.Completed(b)
+		n.progress++
 		for _, tgt := range b.Targets {
+			if int(tgt.Thread) >= len(n.threads) {
+				n.misrouted++
+				continue
+			}
 			t := n.threads[tgt.Thread]
 			if t.outstanding <= 0 {
-				panic(fmt.Sprintf("cpu: thread %d retire underflow", tgt.Thread))
+				n.retireUnderflows++
+				continue
 			}
 			t.outstanding--
+			if status == core.RespPoisoned {
+				n.failedRequests++
+			}
 			if issue, ok := t.issuedAt[tgt.Tag]; ok {
 				t.latency.Observe(uint64(now - issue))
 				delete(t.issuedAt, tgt.Tag)
@@ -381,7 +469,8 @@ func (n *Node) deliverResponses(now sim.Cycle) {
 
 // drained reports whether all work has retired.
 func (n *Node) drained() bool {
-	if n.router.Pending() > 0 || n.coal.Pending() > 0 || n.coal.Inflight() > 0 || n.dev.Pending() > 0 {
+	if n.router.Pending() > 0 || n.coal.Pending() > 0 || n.coal.Inflight() > 0 ||
+		n.dev.Pending() > 0 || len(n.deferred) > 0 {
 		return false
 	}
 	for _, t := range n.threads {
@@ -394,11 +483,15 @@ func (n *Node) drained() bool {
 
 func (n *Node) result(cycles sim.Cycle) *Result {
 	r := &Result{
-		Cycles:      cycles,
-		MemRequests: n.memRequests,
-		SPMAccesses: n.spmAccesses,
-		Coalescer:   *n.coal.Stats(),
-		Device:      *n.dev.Stats(),
+		Cycles:           cycles,
+		MemRequests:      n.memRequests,
+		SPMAccesses:      n.spmAccesses,
+		Coalescer:        *n.coal.Stats(),
+		Device:           *n.dev.Stats(),
+		Responses:        n.resp.Stats(),
+		FailedRequests:   n.failedRequests,
+		RetireUnderflows: n.retireUnderflows,
+		Misrouted:        n.misrouted,
 	}
 	for _, t := range n.threads {
 		r.Instructions += t.retired
@@ -413,4 +506,93 @@ func (n *Node) result(cycles sim.Cycle) *Result {
 	}
 	r.RouterLocal, r.RouterGlobal, r.RouterRemote = n.router.Stats()
 	return r
+}
+
+// StallError reports a simulation that stopped making forward
+// progress: no instruction retired, no transaction submitted, and no
+// response delivered for more than the watchdog's stall limit —
+// typically a lost response or a resource leak. It carries the state
+// a post-mortem needs instead of letting the run spin to MaxCycles.
+type StallError struct {
+	// Cycle is when the watchdog fired.
+	Cycle sim.Cycle
+	// StallLimit is the configured no-progress bound.
+	StallLimit sim.Cycle
+	// OldestTxTag/OldestTxAge identify the longest-outstanding
+	// transaction in the response router's target buffer (the prime
+	// suspect for a lost response); OldestTxAge is 0 when the target
+	// buffer is empty.
+	OldestTxTag uint64
+	OldestTxAge sim.Cycle
+	// OldestTxAddr is that transaction's physical address.
+	OldestTxAddr uint64
+	// OutstandingTx and DeferredTx are target-buffer occupancy and
+	// the holding-slot depth.
+	OutstandingTx int
+	DeferredTx    int
+	// RouterPending, CoalescerPending, CoalescerInflight and
+	// DevicePending are the queue/ARQ occupancies at the stall.
+	RouterPending     int
+	CoalescerPending  int
+	CoalescerInflight int
+	DevicePending     int
+	// ThreadsBlocked counts threads with unretired work.
+	ThreadsBlocked int
+	// Dump is the rendered diagnostic.
+	Dump string
+}
+
+// Error formats the stall with its diagnostic dump.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("cpu: no forward progress for %d cycles at cycle %d (lost response or resource leak?)\n%s",
+		e.StallLimit, e.Cycle, e.Dump)
+}
+
+// stallError snapshots the node state into a *StallError.
+func (n *Node) stallError(now sim.Cycle) error {
+	e := &StallError{
+		Cycle:             now,
+		StallLimit:        n.cfg.StallLimit,
+		OutstandingTx:     n.resp.Pending(),
+		DeferredTx:        len(n.deferred),
+		RouterPending:     n.router.Pending(),
+		CoalescerPending:  n.coal.Pending(),
+		CoalescerInflight: n.coal.Inflight(),
+		DevicePending:     n.dev.Pending(),
+	}
+	for _, t := range n.threads {
+		if !t.done() {
+			e.ThreadsBlocked++
+		}
+	}
+	kvs := []stats.KV{
+		{Key: "threads blocked", Value: e.ThreadsBlocked},
+		{Key: "request router pending", Value: e.RouterPending},
+		{Key: "coalescer pending (ARQ)", Value: e.CoalescerPending},
+		{Key: "coalescer inflight", Value: e.CoalescerInflight},
+		{Key: "device pending", Value: e.DevicePending},
+		{Key: "target buffer outstanding", Value: e.OutstandingTx},
+		{Key: "deferred transactions", Value: e.DeferredTx},
+	}
+	if tag, registered, b, ok := n.resp.Oldest(); ok {
+		e.OldestTxTag = tag
+		e.OldestTxAge = now - registered
+		e.OldestTxAddr = b.Req.Addr
+		kvs = append(kvs,
+			stats.KV{Key: "oldest in-flight tag", Value: tag},
+			stats.KV{Key: "oldest in-flight age", Value: fmt.Sprintf("%d cycles", e.OldestTxAge)},
+			stats.KV{Key: "oldest in-flight request", Value: fmt.Sprintf("%s 0x%x (%dB, %d targets)",
+				b.Req.Kind, b.Req.Addr, b.Req.Data, len(b.Targets))},
+		)
+	}
+	ds := n.dev.Stats()
+	if ds.DroppedResponses > 0 || ds.PoisonedResponses > 0 || ds.TokenStalls > 0 {
+		kvs = append(kvs,
+			stats.KV{Key: "device dropped responses", Value: ds.DroppedResponses},
+			stats.KV{Key: "device poisoned responses", Value: ds.PoisonedResponses},
+			stats.KV{Key: "device token stalls", Value: ds.TokenStalls},
+		)
+	}
+	e.Dump = stats.FormatKV(kvs)
+	return e
 }

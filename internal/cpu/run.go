@@ -74,7 +74,11 @@ func (cfg RunConfig) NewCoalescer() memreq.Coalescer {
 
 // Run replays tr through a freshly built node.
 func Run(cfg RunConfig, tr *trace.Trace) (*Result, error) {
-	n := NewNode(cfg.Node, cfg.NewCoalescer(), hmc.NewDevice(cfg.HMC))
+	dev, err := hmc.NewDevice(cfg.HMC)
+	if err != nil {
+		return nil, err
+	}
+	n := NewNode(cfg.Node, cfg.NewCoalescer(), dev)
 	if err := n.Load(tr); err != nil {
 		return nil, err
 	}

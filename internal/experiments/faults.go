@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"mac3d/internal/stats"
+)
+
+// AblationFaults sweeps the link CRC error rate over the ablation
+// benchmark set, measuring how the retry machinery degrades latency
+// and how often the retry budget is exhausted (poisoned responses).
+// The 0 column is the fault-free reference — it runs with the fault
+// machinery disabled entirely, so it doubles as a regression check
+// that injection is a strict no-op at rate zero.
+func (s *Suite) AblationFaults() (*stats.Table, error) {
+	rates := []float64{0, 1e-4, 1e-3, 1e-2}
+	t := stats.NewTable("Ablation: link CRC error rate (fault injection)",
+		"benchmark", "crc_rate", "cycles", "avg_latency", "retries",
+		"retry_cycles", "poisoned", "failed_reqs")
+	for _, name := range s.ablationSet() {
+		for _, rate := range rates {
+			// Rate 0 shares the plain with-MAC run's cache key: the
+			// fault machinery stays disabled.
+			res, err := s.MACWithFaults(name, 8, rate)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, rate, uint64(res.Cycles),
+				res.RequestLatency.Mean(),
+				res.Device.LinkRetries, res.Device.RetryCycles,
+				res.Device.PoisonedResponses, res.FailedRequests)
+		}
+	}
+	return t, nil
+}

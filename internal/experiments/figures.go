@@ -52,7 +52,10 @@ func (s *Suite) Fig01MissRate() (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c := cache.New(ccfg)
+		c, err := cache.New(ccfg)
+		if err != nil {
+			return nil, err
+		}
 		// Replay thread streams round-robin, as a shared LLC
 		// observes them.
 		replayInterleaved(tr, func(e trace.Event) {
@@ -83,7 +86,7 @@ func (s *Suite) Fig01SizeSweep() *stats.Table {
 	} {
 		elems := bytes / 8
 		// Sequential: stream B then store A (two address streams).
-		seq := cache.New(ccfg)
+		seq := cache.MustNew(ccfg)
 		n := samples
 		if uint64(n) > elems {
 			n = int(elems)
@@ -94,7 +97,7 @@ func (s *Suite) Fig01SizeSweep() *stats.Table {
 			seq.Access(aBase + uint64(i)*8)
 		}
 		// Random: sequential C and A streams plus random B gather.
-		rnd := cache.New(ccfg)
+		rnd := cache.MustNew(ccfg)
 		rng := sim.NewRNG(s.opts.Seed + bytes)
 		cBase := uint64(1) << 44
 		for i := 0; i < n; i++ {

@@ -122,6 +122,11 @@ func All() []Entry {
 			Paper: "(beyond paper; activations + link traffic under one model)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationEnergy() },
 		},
+		{
+			ID: "abl-faults", Title: "Ablation: link CRC error rate (fault injection)",
+			Paper: "(beyond paper; HMC §2.2.2 link retry under injected faults)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationFaults() },
+		},
 	}
 }
 

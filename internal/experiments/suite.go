@@ -85,9 +85,10 @@ type runKey struct {
 	arq     int // 0 = default (32)
 	lsq     int // 0 = default
 	fillOff bool
-	hbm     bool   // device profile: HMC (default) or HBM (§4.3)
-	window  uint32 // coalescing window bytes; 0 = 256
-	fine    bool   // 16B-floor builder ablation
+	hbm     bool    // device profile: HMC (default) or HBM (§4.3)
+	window  uint32  // coalescing window bytes; 0 = 256
+	fine    bool    // 16B-floor builder ablation
+	crc     float64 // link CRC error rate; 0 = faults disabled
 }
 
 // NewSuite builds a suite for opts.
@@ -194,6 +195,10 @@ func (s *Suite) run(k runKey) (*cpu.Result, error) {
 		if k.fine {
 			cfg.MAC.FineBuilder = true
 		}
+		if k.crc != 0 {
+			cfg.HMC.Faults.CRCErrorRate = k.crc
+			cfg.HMC.Faults.Seed = s.opts.Seed
+		}
 		if k.window != 0 {
 			cfg.MAC.ARQ.WindowBytes = k.window
 			// A wider window merges more raw requests per
@@ -293,6 +298,12 @@ func (s *Suite) MACOnHBM(name string, threads int) (*cpu.Result, error) {
 // RawOnHBM returns the uncoalesced run against the HBM profile.
 func (s *Suite) RawOnHBM(name string, threads int) (*cpu.Result, error) {
 	return s.run(runKey{name: name, threads: threads, kind: cpu.WithoutMAC, hbm: true})
+}
+
+// MACWithFaults returns a with-MAC run with link-level fault injection
+// at the given per-transmission CRC error rate.
+func (s *Suite) MACWithFaults(name string, threads int, crcRate float64) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, crc: crcRate})
 }
 
 // MACFineBuilder returns a with-MAC run using the 16B-floor builder.

@@ -69,6 +69,12 @@ type Config struct {
 	RefreshInterval sim.Cycle
 	// RefreshDuration is the per-window blocking time.
 	RefreshDuration sim.Cycle
+
+	// Faults configures deterministic link-level fault injection:
+	// CRC errors, link-retry, token flow control, and link
+	// degradation (see FaultConfig). The zero value disables it all,
+	// and a disabled fault model is a strict no-op.
+	Faults FaultConfig
 }
 
 // DefaultConfig returns the Table 1 configuration. With these values a
@@ -137,7 +143,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("hmc: RefreshDuration %d must be below RefreshInterval %d",
 			c.RefreshDuration, c.RefreshInterval)
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // Mapping returns the vault/bank address mapping for this organization.

@@ -35,6 +35,13 @@ type Device struct {
 
 	pending responseHeap
 
+	// Fault-injection state (see faults.go / retry.go). All nil/zero
+	// and never consulted when cfg.Faults is disabled.
+	faultsOn  bool
+	frng      *sim.RNG
+	flink     []linkFaultState
+	submitSeq uint64
+
 	st Stats
 }
 
@@ -68,6 +75,31 @@ type Stats struct {
 	// LastDone is the completion cycle of the latest-finishing
 	// access seen so far (the memory-system makespan).
 	LastDone sim.Cycle
+
+	// Fault-path counters, all zero when fault injection is disabled.
+	//
+	// CRCErrors counts injected CRC corruptions (request and response
+	// packets, every failed attempt).
+	CRCErrors uint64
+	// LinkRetries counts retransmissions performed by the link-retry
+	// buffer.
+	LinkRetries uint64
+	// RetryCycles sums the extra cycles retransmission added to
+	// packet delivery.
+	RetryCycles uint64
+	// PoisonedResponses counts responses returned with the poison
+	// bit after a packet exhausted its retry budget.
+	PoisonedResponses uint64
+	// LinkFailures counts transient link failures (retrain events).
+	LinkFailures uint64
+	// LinksDisabled counts links permanently retired from service.
+	LinksDisabled uint64
+	// TokenStalls counts CanAccept rejections due to exhausted
+	// flow-control credit.
+	TokenStalls uint64
+	// DroppedResponses counts responses deliberately lost by the
+	// DropResponseEvery diagnostic hook.
+	DroppedResponses uint64
 }
 
 // BandwidthEfficiency returns Eq. 1 aggregated over all traffic:
@@ -80,12 +112,13 @@ func (s *Stats) BandwidthEfficiency() float64 {
 	return float64(s.DataBytes) / float64(total)
 }
 
-// NewDevice builds a device from cfg, panicking on invalid
-// configuration (configuration is programmer input, not user input).
-func NewDevice(cfg Config) *Device {
+// NewDevice builds a device from cfg, returning a wrapped
+// configuration error for invalid input.
+func NewDevice(cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("hmc: invalid device config: %w", err)
 	}
+	cfg.Faults = cfg.Faults.withDefaults()
 	shift := uint(0)
 	for 1<<shift != cfg.RowBytes {
 		shift++
@@ -99,6 +132,18 @@ func NewDevice(cfg Config) *Device {
 		vaultFree:    make([]sim.Cycle, cfg.Vaults),
 		vaultPending: make([]int, cfg.Vaults),
 		rowShift:     shift,
+	}
+	d.initFaults()
+	return d, nil
+}
+
+// MustNewDevice builds a device from cfg, panicking on invalid
+// configuration. Intended for tests and examples whose configuration
+// is a compile-time constant.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return d
 }
@@ -125,6 +170,10 @@ func (d *Device) CanAccept() bool {
 		if p >= d.cfg.VaultQueueDepth {
 			return false
 		}
+	}
+	if d.faultsOn && d.cfg.Faults.LinkTokens > 0 && !d.anyTokens() {
+		d.st.TokenStalls++
+		return false
 	}
 	return true
 }
@@ -160,6 +209,24 @@ func (d *Device) Submit(req Request, now sim.Cycle) {
 	link := d.pickLink(now)
 	reqSer := sim.Cycle(req.RequestFlits()) * d.cfg.FlitCycles
 	reqStart := max(now, d.reqLinkFree[link])
+	drop := false
+	if d.faultsOn {
+		d.submitSeq++
+		f := &d.cfg.Faults
+		drop = f.DropResponseEvery > 0 && d.submitSeq%f.DropResponseEvery == 0
+		d.takeToken(link)
+		reqStart = d.rollLinkFailure(link, reqStart)
+		var delivered bool
+		reqStart, delivered = d.transmit(reqStart, reqSer)
+		if !delivered {
+			// Retry budget exhausted on the request path: the
+			// access never reaches a vault; the host sees a
+			// poisoned (error) response after the final attempt.
+			d.reqLinkFree[link] = reqStart + reqSer
+			d.poisonResponse(req, link, now, reqStart+reqSer, drop)
+			return
+		}
+	}
 	d.reqLinkFree[link] = reqStart + reqSer
 
 	// 2. Switch/controller pipeline to the vault.
@@ -190,12 +257,31 @@ func (d *Device) Submit(req Request, now sim.Cycle) {
 	// 5. Response serialization and return pipeline.
 	respSer := sim.Cycle(req.ResponseFlits()) * d.cfg.FlitCycles
 	respStart := max(dataReady, d.respLinkFree[link])
+	poisoned := false
+	if d.faultsOn {
+		var delivered bool
+		respStart, delivered = d.transmit(respStart, respSer)
+		// A response that exhausts its retries is delivered anyway,
+		// with the poison bit set: the host must not use the data.
+		poisoned = !delivered
+	}
 	d.respLinkFree[link] = respStart + respSer
 	done := respStart + respSer + d.cfg.RespPipeline
 
 	d.st.Latency.Observe(uint64(done - now))
 	if done > d.st.LastDone {
 		d.st.LastDone = done
+	}
+
+	if drop {
+		// Lost response: the access happened, but the host never
+		// hears back. The vault-queue slot and link token leak —
+		// exactly how a real lost packet starves its submitter.
+		d.st.DroppedResponses++
+		return
+	}
+	if poisoned {
+		d.st.PoisonedResponses++
 	}
 
 	heap.Push(&d.pending, Response{
@@ -206,7 +292,40 @@ func (d *Device) Submit(req Request, now sim.Cycle) {
 		Submitted:  now,
 		Done:       done,
 		Conflicted: conflicted,
+		Poisoned:   poisoned,
 		vault:      vault,
+		link:       link,
+	})
+}
+
+// poisonResponse emits the error response for a request abandoned on
+// the request path: no vault or bank was touched; the host hears a
+// header-only error packet once the retry budget is exhausted.
+func (d *Device) poisonResponse(req Request, link int, now, lastAttempt sim.Cycle, drop bool) {
+	errSer := d.cfg.FlitCycles // header-only error response
+	respStart := max(lastAttempt+d.cfg.ReqPipeline, d.respLinkFree[link])
+	d.respLinkFree[link] = respStart + errSer
+	done := respStart + errSer + d.cfg.RespPipeline
+
+	d.st.Latency.Observe(uint64(done - now))
+	if done > d.st.LastDone {
+		d.st.LastDone = done
+	}
+	if drop {
+		d.st.DroppedResponses++
+		return
+	}
+	d.st.PoisonedResponses++
+	heap.Push(&d.pending, Response{
+		Tag:       req.Tag,
+		Addr:      req.Addr,
+		Kind:      req.Kind,
+		Data:      req.Data,
+		Submitted: now,
+		Done:      done,
+		Poisoned:  true,
+		vault:     -1,
+		link:      link,
 	})
 }
 
@@ -236,8 +355,12 @@ func (d *Device) afterRefresh(vault int, t sim.Cycle) sim.Cycle {
 
 // pickLink chooses the link for a request. Links are selected
 // round-robin, preferring an idle link when the round-robin choice is
-// still serializing an earlier packet.
+// still serializing an earlier packet. Under fault injection the
+// choice additionally respects disabled links and flow-control credit.
 func (d *Device) pickLink(now sim.Cycle) int {
+	if d.faultsOn {
+		return d.pickFaultLink(now)
+	}
 	best := d.nextLink
 	d.nextLink = (d.nextLink + 1) % d.cfg.Links
 	if d.reqLinkFree[best] <= now {
@@ -260,7 +383,12 @@ func (d *Device) Tick(now sim.Cycle) []Response {
 	var out []Response
 	for d.pending.Len() > 0 && d.pending[0].Done <= now {
 		r := heap.Pop(&d.pending).(Response)
-		d.vaultPending[r.vault]--
+		if r.vault >= 0 {
+			d.vaultPending[r.vault]--
+		}
+		if d.faultsOn {
+			d.releaseToken(r.link)
+		}
 		out = append(out, r)
 	}
 	return out
@@ -287,6 +415,7 @@ func (d *Device) Reset() {
 	d.pending = d.pending[:0]
 	d.nextLink = 0
 	d.st = Stats{}
+	d.initFaults()
 }
 
 // String summarizes the device for diagnostics.

@@ -6,7 +6,7 @@ import (
 )
 
 func TestEnergyOfSingleAccess(t *testing.T) {
-	d := NewDevice(DefaultConfig())
+	d := MustNewDevice(DefaultConfig())
 	d.Submit(Request{Kind: Read, Addr: 0, Data: 64}, 0)
 	m := DefaultEnergyModel()
 	e := EnergyOf(m, d.Config(), d.Stats())
@@ -37,11 +37,11 @@ func TestEnergyCoalescedBeatsRaw(t *testing.T) {
 	// Figure 2's example in energy terms: 16 FLIT reads of one row
 	// versus one 256B read. Coalescing must save activation, link
 	// and logic energy.
-	raw := NewDevice(DefaultConfig())
+	raw := MustNewDevice(DefaultConfig())
 	for i := 0; i < 16; i++ {
 		raw.Submit(Request{Kind: Read, Addr: uint64(i * 16), Data: 16}, 0)
 	}
-	coal := NewDevice(DefaultConfig())
+	coal := MustNewDevice(DefaultConfig())
 	coal.Submit(Request{Kind: Read, Addr: 0, Data: 256}, 0)
 
 	m := DefaultEnergyModel()
@@ -62,7 +62,7 @@ func TestEnergyCoalescedBeatsRaw(t *testing.T) {
 
 func TestEnergyWideRequestMultipleActivations(t *testing.T) {
 	// A 1KB request on a 256B-row device pays 4 activations.
-	d := NewDevice(DefaultConfig())
+	d := MustNewDevice(DefaultConfig())
 	d.Submit(Request{Kind: Read, Addr: 0, Data: 1024}, 0)
 	m := DefaultEnergyModel()
 	e := EnergyOf(m, d.Config(), d.Stats())
@@ -70,7 +70,7 @@ func TestEnergyWideRequestMultipleActivations(t *testing.T) {
 		t.Fatalf("activations for 1KB on 256B rows = %v pJ", e.ActivatePJ)
 	}
 	// The same request on HBM's 1KB rows pays one.
-	h := NewDevice(HBMConfig())
+	h := MustNewDevice(HBMConfig())
 	h.Submit(Request{Kind: Read, Addr: 0, Data: 1024}, 0)
 	eh := EnergyOf(m, h.Config(), h.Stats())
 	if eh.ActivatePJ != m.ActivatePJ {

@@ -1,0 +1,116 @@
+package hmc
+
+import (
+	"fmt"
+	"math"
+
+	"mac3d/internal/sim"
+)
+
+// FaultConfig parameterizes deterministic link-level fault injection.
+// The HMC protocol (§2.2.2) protects every packet with a CRC, sequence
+// numbers, a link-retry buffer, and token-based flow control; the
+// paper's evaluation assumes a perfect link and never exercises that
+// machinery. This model injects CRC corruptions and transient link
+// failures from a seed-driven stream (sim.RNG), pays the retransmission
+// latency of the link-level retry protocol, and degrades gracefully —
+// retraining or disabling a failing link and re-spreading traffic over
+// the survivors — so the simulator stays truthful under imperfect
+// links.
+//
+// The zero value disables every mechanism: a Device built with a zero
+// FaultConfig consumes no random numbers and behaves bit-identically
+// to one built before fault injection existed.
+type FaultConfig struct {
+	// CRCErrorRate is the per-transmission-attempt probability that a
+	// packet (request or response) arrives with a bad CRC and must be
+	// retransmitted from the link-retry buffer. 0 disables CRC
+	// injection; values are probabilities in [0, 1].
+	CRCErrorRate float64
+	// LinkFailRate is the per-request probability that the carrying
+	// link suffers a transient failure (loses lock) and must retrain
+	// for RetrainCycles before the packet can be retransmitted.
+	LinkFailRate float64
+
+	// RetryLimit is the maximum number of retransmissions of one
+	// packet before the device gives up and returns a poisoned
+	// response (default 3 when fault injection is enabled).
+	RetryLimit int
+	// RetryDelay is the error-detection + NAK turnaround paid per
+	// retransmission, on top of re-serializing the packet
+	// (default 32 cycles when fault injection is enabled).
+	RetryDelay sim.Cycle
+	// RetrainCycles is how long a link is down after a transient
+	// failure (default 1024 cycles when fault injection is enabled).
+	RetrainCycles sim.Cycle
+	// DisableLinkAfter permanently disables a link once it has
+	// suffered that many transient failures; traffic re-spreads over
+	// the surviving links. The last active link is never disabled.
+	// 0 keeps every link in service (retrain-only degradation).
+	DisableLinkAfter int
+
+	// LinkTokens enables token-based flow control: each link holds
+	// LinkTokens credits, one consumed per submitted transaction and
+	// returned when its response is consumed by the host. With every
+	// eligible link out of tokens, CanAccept backpressures the
+	// submitter. 0 disables flow control (unlimited credits).
+	LinkTokens int
+
+	// DropResponseEvery is a diagnostic hook: every Nth submitted
+	// transaction silently loses its response (it is never delivered
+	// by Tick, and its vault-queue slot and link token leak), which
+	// is how a real lost packet starves a host. It exists to exercise
+	// hang detection — the simulation watchdog — deterministically.
+	// 0 disables dropping.
+	DropResponseEvery uint64
+
+	// Seed drives the fault stream. Runs with equal configuration and
+	// seed inject identical faults (default 1 when fault injection is
+	// enabled).
+	Seed uint64
+}
+
+// Enabled reports whether any fault mechanism is switched on. A
+// disabled configuration makes the fault machinery a strict no-op.
+func (c FaultConfig) Enabled() bool {
+	return c.CRCErrorRate > 0 || c.LinkFailRate > 0 ||
+		c.LinkTokens > 0 || c.DropResponseEvery > 0
+}
+
+// withDefaults fills the protocol parameters left at zero. Only called
+// when the configuration is enabled, so a zero FaultConfig stays zero.
+func (c FaultConfig) withDefaults() FaultConfig {
+	if !c.Enabled() {
+		return c
+	}
+	if c.RetryLimit == 0 {
+		c.RetryLimit = 3
+	}
+	if c.RetryDelay == 0 {
+		c.RetryDelay = 32
+	}
+	if c.RetrainCycles == 0 {
+		c.RetrainCycles = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate reports the first configuration error, or nil.
+func (c FaultConfig) Validate() error {
+	switch {
+	case math.IsNaN(c.CRCErrorRate) || c.CRCErrorRate < 0 || c.CRCErrorRate > 1:
+		return fmt.Errorf("hmc: CRCErrorRate must be a probability in [0,1], got %v", c.CRCErrorRate)
+	case math.IsNaN(c.LinkFailRate) || c.LinkFailRate < 0 || c.LinkFailRate > 1:
+		return fmt.Errorf("hmc: LinkFailRate must be a probability in [0,1], got %v", c.LinkFailRate)
+	case c.RetryLimit < 0:
+		return fmt.Errorf("hmc: RetryLimit must be non-negative, got %d", c.RetryLimit)
+	case c.DisableLinkAfter < 0:
+		return fmt.Errorf("hmc: DisableLinkAfter must be non-negative, got %d", c.DisableLinkAfter)
+	case c.LinkTokens < 0:
+		return fmt.Errorf("hmc: LinkTokens must be non-negative, got %d", c.LinkTokens)
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package hmc
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mac3d/internal/sim"
+)
+
+// TestFaultConfigValidate covers every branch of FaultConfig.Validate.
+func TestFaultConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     FaultConfig
+		wantErr string // substring; "" means valid
+	}{
+		{name: "zero value", cfg: FaultConfig{}},
+		{name: "full valid", cfg: FaultConfig{
+			CRCErrorRate: 0.5, LinkFailRate: 1, RetryLimit: 5,
+			RetryDelay: 16, RetrainCycles: 100, DisableLinkAfter: 2,
+			LinkTokens: 8, DropResponseEvery: 10, Seed: 7,
+		}},
+		{name: "boundary rates", cfg: FaultConfig{CRCErrorRate: 1, LinkFailRate: 1}},
+		{name: "crc NaN", cfg: FaultConfig{CRCErrorRate: math.NaN()}, wantErr: "CRCErrorRate"},
+		{name: "crc negative", cfg: FaultConfig{CRCErrorRate: -0.1}, wantErr: "CRCErrorRate"},
+		{name: "crc above one", cfg: FaultConfig{CRCErrorRate: 1.5}, wantErr: "CRCErrorRate"},
+		{name: "linkfail NaN", cfg: FaultConfig{LinkFailRate: math.NaN()}, wantErr: "LinkFailRate"},
+		{name: "linkfail negative", cfg: FaultConfig{LinkFailRate: -1}, wantErr: "LinkFailRate"},
+		{name: "linkfail above one", cfg: FaultConfig{LinkFailRate: 2}, wantErr: "LinkFailRate"},
+		{name: "retry limit negative", cfg: FaultConfig{RetryLimit: -1}, wantErr: "RetryLimit"},
+		{name: "disable after negative", cfg: FaultConfig{DisableLinkAfter: -3}, wantErr: "DisableLinkAfter"},
+		{name: "tokens negative", cfg: FaultConfig{LinkTokens: -2}, wantErr: "LinkTokens"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestFaultConfigEnabled(t *testing.T) {
+	if (FaultConfig{}).Enabled() {
+		t.Fatal("zero FaultConfig reports Enabled")
+	}
+	// Protocol parameters alone (no injection mechanism) stay disabled.
+	if (FaultConfig{RetryLimit: 5, RetryDelay: 9, RetrainCycles: 7, Seed: 3}).Enabled() {
+		t.Fatal("parameter-only FaultConfig reports Enabled")
+	}
+	for _, c := range []FaultConfig{
+		{CRCErrorRate: 0.1},
+		{LinkFailRate: 0.1},
+		{LinkTokens: 4},
+		{DropResponseEvery: 2},
+	} {
+		if !c.Enabled() {
+			t.Fatalf("%+v should report Enabled", c)
+		}
+	}
+}
+
+func TestFaultConfigWithDefaults(t *testing.T) {
+	// A disabled config must stay exactly zero: defaults appearing in a
+	// zero-fault device would break no-op parity guarantees elsewhere.
+	if got := (FaultConfig{}).withDefaults(); got != (FaultConfig{}) {
+		t.Fatalf("withDefaults on zero config = %+v, want zero", got)
+	}
+	got := FaultConfig{CRCErrorRate: 0.5}.withDefaults()
+	if got.RetryLimit != 3 || got.RetryDelay != 32 || got.RetrainCycles != 1024 || got.Seed != 1 {
+		t.Fatalf("withDefaults = %+v, want RetryLimit=3 RetryDelay=32 RetrainCycles=1024 Seed=1", got)
+	}
+	// Explicit values survive.
+	keep := FaultConfig{CRCErrorRate: 0.5, RetryLimit: 9, RetryDelay: 8, RetrainCycles: 77, Seed: 5}
+	if got := keep.withDefaults(); got != keep {
+		t.Fatalf("withDefaults clobbered explicit values: %+v", got)
+	}
+}
+
+// submitReads drives n sequential 64B reads through the device one
+// cycle apart and collects every response by cycle max+slack.
+func submitReads(d *Device, n int) []Response {
+	var out []Response
+	for i := 0; i < n; i++ {
+		d.Submit(Request{Kind: Read, Addr: uint64(i) * 64, Data: 64, Tag: uint64(i) + 1}, sim.Cycle(i))
+		out = append(out, d.Tick(sim.Cycle(i))...)
+	}
+	out = append(out, d.Tick(d.Drain())...)
+	return out
+}
+
+// TestFaultsZeroConfigIsNoop: a device built with a zero FaultConfig
+// must behave bit-identically to the fault-free model.
+func TestFaultsZeroConfigIsNoop(t *testing.T) {
+	base := MustNewDevice(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{} // explicit: all mechanisms off
+	faulty := MustNewDevice(cfg)
+	if faulty.faultsOn {
+		t.Fatal("zero FaultConfig enabled the fault machinery")
+	}
+	a := submitReads(base, 200)
+	b := submitReads(faulty, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("zero-fault device diverged from the fault-free model")
+	}
+	if !reflect.DeepEqual(*base.Stats(), *faulty.Stats()) {
+		t.Fatal("zero-fault device stats diverged")
+	}
+}
+
+// TestFaultsDeterministic: equal config and seed produce identical
+// responses and counters.
+func TestFaultsDeterministic(t *testing.T) {
+	mk := func() *Device {
+		cfg := DefaultConfig()
+		cfg.Faults = FaultConfig{CRCErrorRate: 0.2, LinkFailRate: 0.05, Seed: 42}
+		return MustNewDevice(cfg)
+	}
+	a, b := mk(), mk()
+	ra, rb := submitReads(a, 500), submitReads(b, 500)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("same seed produced different responses")
+	}
+	if !reflect.DeepEqual(*a.Stats(), *b.Stats()) {
+		t.Fatal("same seed produced different stats")
+	}
+	if a.Stats().CRCErrors == 0 {
+		t.Fatal("CRCErrorRate 0.2 injected no errors over 500 requests")
+	}
+}
+
+// TestFaultsCRCRetryCounters: a moderate CRC rate produces retries and
+// added latency but, with a generous retry budget, no poisoning.
+func TestFaultsCRCRetryCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{CRCErrorRate: 0.3, RetryLimit: 50, Seed: 1}
+	d := MustNewDevice(cfg)
+	resp := submitReads(d, 300)
+	st := d.Stats()
+	if st.CRCErrors == 0 || st.LinkRetries == 0 || st.RetryCycles == 0 {
+		t.Fatalf("expected retry activity, got CRC=%d retries=%d cycles=%d",
+			st.CRCErrors, st.LinkRetries, st.RetryCycles)
+	}
+	if st.PoisonedResponses != 0 {
+		t.Fatalf("RetryLimit 50 at rate 0.3 should never exhaust, got %d poisoned", st.PoisonedResponses)
+	}
+	if len(resp) != 300 {
+		t.Fatalf("got %d responses, want 300", len(resp))
+	}
+	for _, r := range resp {
+		if r.Poisoned {
+			t.Fatalf("tag %d unexpectedly poisoned", r.Tag)
+		}
+	}
+}
+
+// TestFaultsCertainCRCPoisonsEverything: rate 1.0 means every attempt
+// fails, every packet exhausts its budget, and every response comes
+// back poisoned — but every response still comes back.
+func TestFaultsCertainCRCPoisonsEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{CRCErrorRate: 1.0, RetryLimit: 2, Seed: 1}
+	d := MustNewDevice(cfg)
+	resp := submitReads(d, 50)
+	if len(resp) != 50 {
+		t.Fatalf("got %d responses, want 50 (poisoned responses must still deliver)", len(resp))
+	}
+	for _, r := range resp {
+		if !r.Poisoned {
+			t.Fatalf("tag %d not poisoned under CRCErrorRate 1.0", r.Tag)
+		}
+	}
+	st := d.Stats()
+	if st.PoisonedResponses != 50 {
+		t.Fatalf("PoisonedResponses = %d, want 50", st.PoisonedResponses)
+	}
+	// Request-path failures never touch a vault.
+	for _, p := range d.vaultPending {
+		if p != 0 {
+			t.Fatal("request-path poison leaked a vault-queue slot")
+		}
+	}
+}
+
+// TestFaultsLinkFailureAndDisable: certain link failure with a disable
+// threshold retires links down to the last survivor.
+func TestFaultsLinkFailureAndDisable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{LinkFailRate: 1.0, DisableLinkAfter: 1, RetrainCycles: 10, Seed: 1}
+	d := MustNewDevice(cfg)
+	resp := submitReads(d, 20)
+	if len(resp) != 20 {
+		t.Fatalf("got %d responses, want 20", len(resp))
+	}
+	st := d.Stats()
+	if st.LinkFailures != 20 {
+		t.Fatalf("LinkFailures = %d, want 20 (rate 1.0)", st.LinkFailures)
+	}
+	if want := uint64(cfg.Links - 1); st.LinksDisabled != want {
+		t.Fatalf("LinksDisabled = %d, want %d (last link must survive)", st.LinksDisabled, want)
+	}
+	if d.activeLinks() != 1 {
+		t.Fatalf("activeLinks = %d, want 1", d.activeLinks())
+	}
+}
+
+// TestFaultsTokenFlowControl: one token per link bounds concurrency to
+// Links outstanding transactions, and CanAccept backpressures.
+func TestFaultsTokenFlowControl(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{LinkTokens: 1, Seed: 1}
+	d := MustNewDevice(cfg)
+	n := 0
+	for ; d.CanAccept(); n++ {
+		d.Submit(Request{Kind: Read, Addr: uint64(n) * 64, Data: 64, Tag: uint64(n) + 1}, 0)
+		if n > cfg.Links {
+			t.Fatal("token flow control never backpressured")
+		}
+	}
+	if n != cfg.Links {
+		t.Fatalf("accepted %d submissions before stalling, want %d (one token/link)", n, cfg.Links)
+	}
+	if d.Stats().TokenStalls == 0 {
+		t.Fatal("TokenStalls not counted")
+	}
+	// Draining responses returns the credits.
+	d.Tick(d.Drain())
+	if !d.CanAccept() {
+		t.Fatal("tokens not returned after responses were consumed")
+	}
+}
+
+// TestFaultsDropResponse: the diagnostic drop hook loses exactly every
+// Nth response.
+func TestFaultsDropResponse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{DropResponseEvery: 5, Seed: 1}
+	d := MustNewDevice(cfg)
+	resp := submitReads(d, 50)
+	if len(resp) != 40 {
+		t.Fatalf("got %d responses, want 40 (10 dropped)", len(resp))
+	}
+	if d.Stats().DroppedResponses != 10 {
+		t.Fatalf("DroppedResponses = %d, want 10", d.Stats().DroppedResponses)
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range resp {
+		seen[r.Tag] = true
+	}
+	for i := uint64(1); i <= 50; i++ {
+		want := i%5 != 0 // tag == submit sequence here
+		if seen[i] != want {
+			t.Fatalf("tag %d delivered=%v, want %v", i, seen[i], want)
+		}
+	}
+}
+
+// TestFaultsResetReplays: Reset restores the fault stream so a device
+// replays identically.
+func TestFaultsResetReplays(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = FaultConfig{CRCErrorRate: 0.25, LinkFailRate: 0.1, LinkTokens: 4, Seed: 9}
+	d := MustNewDevice(cfg)
+	a := submitReads(d, 200)
+	statsA := *d.Stats()
+	d.Reset()
+	b := submitReads(d, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Reset did not restore the fault stream")
+	}
+	if !reflect.DeepEqual(statsA, *d.Stats()) {
+		t.Fatal("Reset did not restore fault counters")
+	}
+}
+
+// TestNewDeviceInvalidConfig: the constructor surfaces configuration
+// errors instead of panicking.
+func TestNewDeviceInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Links = 0
+	if _, err := NewDevice(cfg); err == nil {
+		t.Fatal("NewDevice accepted Links=0")
+	}
+	cfg = DefaultConfig()
+	cfg.Faults.CRCErrorRate = 2
+	if _, err := NewDevice(cfg); err == nil {
+		t.Fatal("NewDevice accepted CRCErrorRate=2")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewDevice did not panic on invalid config")
+		}
+	}()
+	MustNewDevice(cfg)
+}

@@ -34,7 +34,7 @@ func TestConfigRejectsBadRowGeometry(t *testing.T) {
 }
 
 func TestHBMMinimumBurstRounding(t *testing.T) {
-	d := NewDevice(HBMConfig())
+	d := MustNewDevice(HBMConfig())
 	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
 	resps := d.Tick(d.Drain())
 	if len(resps) != 1 {
@@ -54,8 +54,8 @@ func TestHBMWiderRowsAbsorbConflicts(t *testing.T) {
 	// (same bank, different rows via stride) map inside ONE 1KB
 	// HBM row -> one bank, sequential conflicts still occur, so
 	// instead verify row granularity directly.
-	hmcDev := NewDevice(DefaultConfig())
-	hbmDev := NewDevice(HBMConfig())
+	hmcDev := MustNewDevice(DefaultConfig())
+	hbmDev := MustNewDevice(HBMConfig())
 	if hmcDev.row(1023) != 3 {
 		t.Fatalf("HMC row of 1023 = %d, want 3", hmcDev.row(1023))
 	}
@@ -68,7 +68,7 @@ func TestHBMWiderRowsAbsorbConflicts(t *testing.T) {
 }
 
 func TestHBMRunsFullWorkload(t *testing.T) {
-	d := NewDevice(HBMConfig())
+	d := MustNewDevice(HBMConfig())
 	for i := 0; i < 256; i++ {
 		d.Submit(Request{Kind: Read, Addr: uint64(i) * 64, Data: 64, Tag: uint64(i)}, 0)
 	}
@@ -85,7 +85,7 @@ func TestVaultQueueDepthBackpressure(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.VaultQueueDepth = 2
 	cfg.MaxInflight = 1000
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	if !d.CanAccept() {
 		t.Fatal("fresh device refuses work")
 	}
@@ -107,7 +107,7 @@ func TestVaultQueueDepthBackpressure(t *testing.T) {
 func TestMaxInflightBackpressure(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxInflight = 4
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	for i := 0; i < 4; i++ {
 		d.Submit(Request{Kind: Read, Addr: uint64(i) * 256, Data: 16}, 0)
 	}

@@ -122,7 +122,7 @@ func TestBankOccupancyClosedPage(t *testing.T) {
 }
 
 func TestSingleRequestLifecycle(t *testing.T) {
-	d := NewDevice(DefaultConfig())
+	d := MustNewDevice(DefaultConfig())
 	d.Submit(Request{Kind: Read, Addr: 0x1000, Data: 16, Tag: 7}, 0)
 	if d.Pending() != 1 {
 		t.Fatalf("pending = %d", d.Pending())
@@ -151,7 +151,7 @@ func TestSameRowSequentialRequestsConflict(t *testing.T) {
 	// Figure 2's pathology: 16 independent FLIT loads of one row
 	// produce 15 bank conflicts; one coalesced 256B read produces 0.
 	cfg := DefaultConfig()
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	for i := 0; i < 16; i++ {
 		d.Submit(Request{Kind: Read, Addr: uint64(i * 16), Data: 16}, 0)
 	}
@@ -159,7 +159,7 @@ func TestSameRowSequentialRequestsConflict(t *testing.T) {
 		t.Fatalf("raw: %d conflicts, want 15", got)
 	}
 
-	d2 := NewDevice(cfg)
+	d2 := MustNewDevice(cfg)
 	d2.Submit(Request{Kind: Read, Addr: 0, Data: 256}, 0)
 	if got := d2.Stats().BankConflicts; got != 0 {
 		t.Fatalf("coalesced: %d conflicts, want 0", got)
@@ -173,7 +173,7 @@ func TestSameRowSequentialRequestsConflict(t *testing.T) {
 
 func TestDifferentVaultsNoConflict(t *testing.T) {
 	cfg := DefaultConfig()
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	// Consecutive rows interleave across vaults: no bank conflicts.
 	for i := 0; i < cfg.Vaults; i++ {
 		d.Submit(Request{Kind: Read, Addr: uint64(i) * addr.RowBytes, Data: 16}, 0)
@@ -185,7 +185,7 @@ func TestDifferentVaultsNoConflict(t *testing.T) {
 
 func TestSameBankDifferentRowsConflict(t *testing.T) {
 	cfg := DefaultConfig()
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	m := cfg.Mapping()
 	// Two different rows mapping to the same bank conflict.
 	stride := uint64(cfg.Vaults*cfg.BanksPerVault) * addr.RowBytes
@@ -202,7 +202,7 @@ func TestSameBankDifferentRowsConflict(t *testing.T) {
 
 func TestBankFreesAfterOccupancy(t *testing.T) {
 	cfg := DefaultConfig()
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
 	// A second access to the same bank long after it precharged
 	// must not conflict.
@@ -214,7 +214,7 @@ func TestBankFreesAfterOccupancy(t *testing.T) {
 }
 
 func TestTrafficAccounting(t *testing.T) {
-	d := NewDevice(DefaultConfig())
+	d := MustNewDevice(DefaultConfig())
 	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
 	d.Submit(Request{Kind: Write, Addr: 4096, Data: 128}, 0)
 	st := d.Stats()
@@ -242,7 +242,7 @@ func TestTrafficAccounting(t *testing.T) {
 func TestLinkSerializationSpreadsAcrossLinks(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.FlitCycles = 4 // make serialization visible
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	// 4 writes of 256B at cycle 0: with 4 links they serialize in
 	// parallel; their completions must be much closer together than
 	// 4x the serialization time.
@@ -272,7 +272,7 @@ func TestSingleLinkSerializes(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Links = 1
 	cfg.FlitCycles = 4
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	d.Submit(Request{Kind: Write, Addr: 0, Data: 256}, 0)
 	d.Submit(Request{Kind: Write, Addr: addr.RowBytes, Data: 256}, 0)
 	resps := d.Tick(d.Drain())
@@ -284,7 +284,7 @@ func TestSingleLinkSerializes(t *testing.T) {
 }
 
 func TestResponsesInCompletionOrder(t *testing.T) {
-	d := NewDevice(DefaultConfig())
+	d := MustNewDevice(DefaultConfig())
 	// A big slow access submitted first, small fast one after, to a
 	// different vault: the small one may finish first.
 	d.Submit(Request{Kind: Read, Addr: 0, Data: 256, Tag: 1}, 0)
@@ -299,7 +299,7 @@ func TestResponsesInCompletionOrder(t *testing.T) {
 }
 
 func TestResetClearsState(t *testing.T) {
-	d := NewDevice(DefaultConfig())
+	d := MustNewDevice(DefaultConfig())
 	d.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
 	d.Reset()
 	if d.Pending() != 0 || d.Stats().Requests != 0 || d.Drain() != 0 {
@@ -317,11 +317,11 @@ func TestLatencyMonotoneWithLoadProperty(t *testing.T) {
 	// Property: adding contention never reduces the makespan.
 	f := func(nExtra uint8) bool {
 		cfg := DefaultConfig()
-		base := NewDevice(cfg)
+		base := MustNewDevice(cfg)
 		base.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
 		baseDone := base.Drain()
 
-		loaded := NewDevice(cfg)
+		loaded := MustNewDevice(cfg)
 		loaded.Submit(Request{Kind: Read, Addr: 0, Data: 16}, 0)
 		for i := 0; i < int(nExtra%32); i++ {
 			loaded.Submit(Request{Kind: Read, Addr: uint64(i) * 16, Data: 16}, 0)
@@ -334,7 +334,7 @@ func TestLatencyMonotoneWithLoadProperty(t *testing.T) {
 }
 
 func TestStringDiagnostics(t *testing.T) {
-	d := NewDevice(DefaultConfig())
+	d := MustNewDevice(DefaultConfig())
 	if s := d.String(); s == "" {
 		t.Fatal("empty String()")
 	}

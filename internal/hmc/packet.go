@@ -169,8 +169,18 @@ type Response struct {
 	Done sim.Cycle
 	// Conflicted reports whether the access waited on a busy bank.
 	Conflicted bool
-	// vault is device-internal bookkeeping for queue accounting.
+	// Poisoned marks a response whose data is unusable: the request
+	// or response packet exhausted its link-retry budget. The access
+	// did not (for a request-side failure) touch DRAM; the host must
+	// surface an error to the issuing thread instead of retiring the
+	// access as successful.
+	Poisoned bool
+	// vault is device-internal bookkeeping for queue accounting;
+	// -1 marks a response that never reached a vault (poisoned on the
+	// request path).
 	vault int
+	// link is the carrying link, for flow-control credit return.
+	link int
 }
 
 // Latency returns the end-to-end device latency of the access.

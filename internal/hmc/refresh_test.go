@@ -18,7 +18,7 @@ func TestRefreshDisabledByDefault(t *testing.T) {
 	if cfg.RefreshInterval != 0 {
 		t.Fatal("refresh must default off (paper's model)")
 	}
-	d := NewDevice(cfg)
+	d := MustNewDevice(cfg)
 	if got := d.afterRefresh(0, 12345); got != 12345 {
 		t.Fatalf("disabled refresh moved time: %d", got)
 	}
@@ -37,7 +37,7 @@ func TestRefreshValidation(t *testing.T) {
 }
 
 func TestRefreshBlocksWindow(t *testing.T) {
-	d := NewDevice(refreshConfig())
+	d := MustNewDevice(refreshConfig())
 	// Vault 0's window starts at cycle 0: an access at cycle 10 is
 	// pushed past the window end.
 	if got := d.afterRefresh(0, 10); got != 1155 {
@@ -54,7 +54,7 @@ func TestRefreshBlocksWindow(t *testing.T) {
 }
 
 func TestRefreshStaggeredAcrossVaults(t *testing.T) {
-	d := NewDevice(refreshConfig())
+	d := MustNewDevice(refreshConfig())
 	// Vault 16 of 32 refreshes half a period later; cycle 10 is
 	// outside its window.
 	if got := d.afterRefresh(16, 10); got != 10 {
@@ -71,7 +71,7 @@ func TestRefreshAddsLatencyTail(t *testing.T) {
 	// With refresh on, a long request stream sees a higher maximum
 	// latency than without, but a similar mean.
 	run := func(cfg Config) (mean float64, maxv uint64) {
-		d := NewDevice(cfg)
+		d := MustNewDevice(cfg)
 		now := sim.Cycle(0)
 		for i := 0; i < 2000; i++ {
 			d.Submit(Request{Kind: Read, Addr: uint64(i) * 256, Data: 64}, now)

@@ -1,0 +1,173 @@
+package hmc
+
+import "mac3d/internal/sim"
+
+// This file implements the link-level retry protocol of §2.2.2 on top
+// of the analytical device model: the link-retry buffer (sequence
+// numbers + bounded retransmission), token-based flow control, and
+// graceful link degradation. All of it is inert — zero state, zero
+// random numbers consumed — unless the device was built with an
+// enabled FaultConfig.
+
+// linkFaultState is the per-link slice of the fault model.
+type linkFaultState struct {
+	// failures counts transient link failures suffered so far.
+	failures int
+	// disabled marks a link permanently retired from service.
+	disabled bool
+	// tokens is the remaining flow-control credit (LinkTokens mode).
+	tokens int
+}
+
+// initFaults sets up the fault-injection state for a freshly built or
+// Reset device.
+func (d *Device) initFaults() {
+	d.faultsOn = d.cfg.Faults.Enabled()
+	if !d.faultsOn {
+		d.frng = nil
+		d.flink = nil
+		return
+	}
+	d.frng = sim.NewRNG(d.cfg.Faults.Seed)
+	d.flink = make([]linkFaultState, d.cfg.Links)
+	for i := range d.flink {
+		d.flink[i].tokens = d.cfg.Faults.LinkTokens
+	}
+	d.submitSeq = 0
+}
+
+// linkEligible reports whether a link may carry a new transaction:
+// it must be in service and, under token flow control, hold a credit.
+func (d *Device) linkEligible(i int) bool {
+	ls := &d.flink[i]
+	if ls.disabled {
+		return false
+	}
+	return d.cfg.Faults.LinkTokens == 0 || ls.tokens > 0
+}
+
+// activeLinks counts links still in service.
+func (d *Device) activeLinks() int {
+	n := 0
+	for i := range d.flink {
+		if !d.flink[i].disabled {
+			n++
+		}
+	}
+	return n
+}
+
+// anyTokens reports whether some in-service link holds a credit.
+func (d *Device) anyTokens() bool {
+	for i := range d.flink {
+		if d.linkEligible(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// takeToken consumes one flow-control credit on the link.
+func (d *Device) takeToken(link int) {
+	if d.cfg.Faults.LinkTokens > 0 {
+		d.flink[link].tokens--
+	}
+}
+
+// releaseToken returns one flow-control credit to the link.
+func (d *Device) releaseToken(link int) {
+	if d.cfg.Faults.LinkTokens > 0 {
+		d.flink[link].tokens++
+	}
+}
+
+// pickFaultLink selects the link for a request under fault injection:
+// round-robin over eligible links (in service, credit available),
+// preferring an idle one, falling back to the least-loaded in-service
+// link when no link is eligible (a driver that ignores CanAccept).
+func (d *Device) pickFaultLink(now sim.Cycle) int {
+	n := d.cfg.Links
+	best := -1
+	for off := 0; off < n; off++ {
+		i := (d.nextLink + off) % n
+		if !d.linkEligible(i) {
+			continue
+		}
+		if best == -1 || d.reqLinkFree[i] < d.reqLinkFree[best] {
+			best = i
+		}
+		if d.reqLinkFree[i] <= now {
+			best = i
+			break
+		}
+	}
+	if best == -1 {
+		// No eligible link: spill onto the least-loaded in-service
+		// link (its token balance goes negative, modelling a host
+		// that overruns its credit).
+		for i := range d.flink {
+			if d.flink[i].disabled {
+				continue
+			}
+			if best == -1 || d.reqLinkFree[i] < d.reqLinkFree[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			best = 0 // unreachable: the last link is never disabled
+		}
+	}
+	d.nextLink = (best + 1) % n
+	return best
+}
+
+// rollLinkFailure models a transient link failure on the carrying
+// link: with probability LinkFailRate the link loses lock at start and
+// retrains for RetrainCycles before the packet can go out. A link that
+// accumulates DisableLinkAfter failures is permanently disabled
+// (unless it is the last one standing) and traffic re-spreads over the
+// survivors via pickFaultLink.
+func (d *Device) rollLinkFailure(link int, start sim.Cycle) sim.Cycle {
+	f := &d.cfg.Faults
+	if f.LinkFailRate <= 0 || d.frng.Float64() >= f.LinkFailRate {
+		return start
+	}
+	ls := &d.flink[link]
+	ls.failures++
+	d.st.LinkFailures++
+	if f.DisableLinkAfter > 0 && !ls.disabled &&
+		ls.failures >= f.DisableLinkAfter && d.activeLinks() > 1 {
+		ls.disabled = true
+		d.st.LinksDisabled++
+	}
+	// The in-flight packet waits out the retraining window (or, for a
+	// just-disabled link, the failover time) before retransmitting.
+	return start + f.RetrainCycles
+}
+
+// transmit models the link-retry buffer on one packet transmission:
+// each attempt serializes ser cycles; an attempt that arrives with a
+// bad CRC pays RetryDelay (error detection + NAK + retry-buffer
+// lookup) and retransmits. It returns the start cycle of the final
+// attempt and whether the packet ultimately got through; after
+// RetryLimit retransmissions the packet is abandoned and the caller
+// poisons the response.
+func (d *Device) transmit(start sim.Cycle, ser sim.Cycle) (sim.Cycle, bool) {
+	f := &d.cfg.Faults
+	if f.CRCErrorRate <= 0 {
+		return start, true
+	}
+	for attempt := 0; ; attempt++ {
+		if d.frng.Float64() >= f.CRCErrorRate {
+			return start, true
+		}
+		d.st.CRCErrors++
+		if attempt >= f.RetryLimit {
+			return start, false
+		}
+		d.st.LinkRetries++
+		penalty := ser + f.RetryDelay
+		d.st.RetryCycles += uint64(penalty)
+		start += penalty
+	}
+}

@@ -45,6 +45,10 @@ type Config struct {
 	// SPMLatency and MaxOutstanding mirror cpu.Config.
 	SPMLatency     sim.Cycle
 	MaxOutstanding int
+	// StallLimit is the simulation watchdog bound: a run making no
+	// forward progress for this many cycles aborts with a diagnostic
+	// error instead of spinning to MaxCycles. 0 disables it.
+	StallLimit sim.Cycle
 	// MaxCycles aborts a run that fails to drain.
 	MaxCycles sim.Cycle
 }
@@ -62,6 +66,7 @@ func DefaultConfig() Config {
 		HMC:             hmc.DefaultConfig(),
 		SPMLatency:      4,
 		MaxOutstanding:  256,
+		StallLimit:      1_000_000,
 		MaxCycles:       2_000_000_000,
 	}
 }
@@ -92,9 +97,12 @@ type message struct {
 	// request messages carry a raw request to dest's remote queue;
 	// response messages retire a target at the origin node.
 	isResponse bool
-	dest       int
-	req        memreq.RawRequest
-	target     memreq.Target
+	// poisoned marks a response message whose transaction failed on
+	// the link; the target retires with an error status.
+	poisoned bool
+	dest     int
+	req      memreq.RawRequest
+	target   memreq.Target
 }
 
 type messageHeap []message
@@ -136,8 +144,10 @@ type node struct {
 	dev     *hmc.Device
 	threads []*threadState // threads homed on this node
 
-	outstandingTx map[uint64]*memreq.Built
-	nextDevTag    uint64
+	// resp owns the target buffer mapping device tags to built
+	// transactions and classifies every delivery (duplicate, unknown
+	// and poisoned responses are counted, never panicked on).
+	resp *core.ResponseRouter
 
 	// portFree throttles outbound interconnect messages.
 	sentThisCycle int
@@ -154,6 +164,13 @@ type Result struct {
 	SPMAccesses    uint64
 	RemoteRequests uint64 // requests that crossed the interconnect
 	RequestLatency stats.Histogram
+	// FailedRequests counts raw requests retired with an error status
+	// because their transaction's response was poisoned.
+	FailedRequests uint64
+	// RetireUnderflows and Misrouted count malformed deliveries
+	// survived instead of panicking.
+	RetireUnderflows uint64
+	Misrouted        uint64
 	// PerNode carries each node's coalescer and device snapshots.
 	PerNode []NodeStats
 }
@@ -162,6 +179,7 @@ type Result struct {
 type NodeStats struct {
 	Coalescer    memreq.Stats
 	Device       hmc.Stats
+	Responses    core.ResponseRouterStats
 	RemoteServed uint64
 	RemoteSent   uint64
 }
@@ -177,38 +195,51 @@ func (r *Result) RemoteFraction() float64 {
 
 // System is the multi-node simulator.
 type System struct {
-	cfg   Config
-	nodes []*node
-	net   messageHeap
+	cfg      Config
+	nodes    []*node
+	net      messageHeap
+	watchdog *sim.Watchdog
+	// progress counts retirements, submissions and deliveries; the
+	// watchdog fires when it stops moving.
+	progress uint64
 
-	memRequests uint64
-	spmAccesses uint64
-	remoteReqs  uint64
+	memRequests      uint64
+	spmAccesses      uint64
+	remoteReqs       uint64
+	failedRequests   uint64
+	retireUnderflows uint64
+	misrouted        uint64
 }
 
 // NewSystem builds the system; each node gets its own MAC and device.
-func NewSystem(cfg Config) *System {
+// It returns an error for an invalid configuration instead of
+// panicking.
+func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("numa: invalid config: %w", err)
 	}
 	if cfg.InterleaveBytes == 0 {
 		cfg.InterleaveBytes = addr.RowBytes
 	}
-	s := &System{cfg: cfg}
+	s := &System{cfg: cfg, watchdog: sim.NewWatchdog(cfg.StallLimit)}
 	for i := 0; i < cfg.Nodes; i++ {
 		rcfg := core.DefaultRouterConfig()
 		rcfg.NodeID = i
 		rcfg.Nodes = cfg.Nodes
 		rcfg.InterleaveBytes = cfg.InterleaveBytes
+		dev, err := hmc.NewDevice(cfg.HMC)
+		if err != nil {
+			return nil, err
+		}
 		s.nodes = append(s.nodes, &node{
-			id:            i,
-			router:        core.NewRouter(rcfg),
-			coal:          core.New(cfg.MAC),
-			dev:           hmc.NewDevice(cfg.HMC),
-			outstandingTx: make(map[uint64]*memreq.Built),
+			id:     i,
+			router: core.NewRouter(rcfg),
+			coal:   core.New(cfg.MAC),
+			dev:    dev,
+			resp:   core.NewResponseRouter(0),
 		})
 	}
-	return s
+	return s, nil
 }
 
 // Load distributes a trace's threads across nodes: thread t is homed
@@ -266,8 +297,31 @@ func (s *System) Run() (*Result, error) {
 		if s.drained() {
 			return s.result(now + 1), nil
 		}
+		if s.watchdog.Check(now, s.progress) {
+			return nil, s.stallError(now)
+		}
 	}
 	return nil, fmt.Errorf("numa: run exceeded MaxCycles=%d", s.cfg.MaxCycles)
+}
+
+// stallError renders the watchdog diagnostic: per-node queue
+// occupancies and the oldest in-flight transaction.
+func (s *System) stallError(now sim.Cycle) error {
+	kvs := []stats.KV{
+		{Key: "interconnect in flight", Value: s.net.Len()},
+	}
+	for _, nd := range s.nodes {
+		line := fmt.Sprintf("router=%d coal=%d/%d dev=%d outstanding=%d",
+			nd.router.Pending(), nd.coal.Pending(), nd.coal.Inflight(),
+			nd.dev.Pending(), nd.resp.Pending())
+		if tag, registered, b, ok := nd.resp.Oldest(); ok {
+			line += fmt.Sprintf(" oldest=tag %d age %d (%s 0x%x)",
+				tag, now-registered, b.Req.Kind, b.Req.Addr)
+		}
+		kvs = append(kvs, stats.KV{Key: fmt.Sprintf("node %d", nd.id), Value: line})
+	}
+	return fmt.Errorf("numa: no forward progress for %d cycles at cycle %d (lost response or resource leak?)\n%s",
+		s.cfg.StallLimit, now, stats.FormatKV(kvs))
 }
 
 func (s *System) tickThreads(nd *node, now sim.Cycle) {
@@ -281,6 +335,7 @@ func (s *System) tickThreads(nd *node, now sim.Cycle) {
 		if t.gapLeft > 0 {
 			t.gapLeft--
 			t.retired++
+			s.progress++
 			continue
 		}
 		if t.pc >= len(t.events) {
@@ -290,6 +345,7 @@ func (s *System) tickThreads(nd *node, now sim.Cycle) {
 		if e.Op.IsMemory() && addr.IsSPM(e.Addr) {
 			t.spmBusy = now + s.cfg.SPMLatency
 			t.retired++
+			s.progress++
 			s.spmAccesses++
 			s.advance(t)
 			continue
@@ -302,6 +358,7 @@ func (s *System) tickThreads(nd *node, now sim.Cycle) {
 				continue
 			}
 			t.retired++
+			s.progress++
 			s.advance(t)
 			continue
 		}
@@ -323,6 +380,7 @@ func (s *System) tickThreads(nd *node, now sim.Cycle) {
 		t.outstanding++
 		t.issuedAt[req.Tag] = now
 		t.retired++
+		s.progress++
 		s.memRequests++
 		if nd.router.Dest(e.Addr) != nd.id {
 			s.remoteReqs++
@@ -362,10 +420,9 @@ func (s *System) tickCoalescer(nd *node, now sim.Cycle) {
 	}
 	for _, b := range nd.coal.Tick(now) {
 		bb := b
-		nd.nextDevTag++
-		bb.Req.Tag = nd.nextDevTag
-		nd.outstandingTx[nd.nextDevTag] = &bb
+		nd.resp.Register(&bb, now)
 		nd.dev.Submit(bb.Req, now)
+		s.progress++
 	}
 }
 
@@ -373,22 +430,26 @@ func (s *System) tickCoalescer(nd *node, now sim.Cycle) {
 // directly, remote targets travel back over the interconnect (§3.3).
 func (s *System) deliverResponses(nd *node, now sim.Cycle) {
 	for _, resp := range nd.dev.Tick(now) {
-		b, ok := nd.outstandingTx[resp.Tag]
-		if !ok {
-			panic(fmt.Sprintf("numa: node %d response for unknown tag %d", nd.id, resp.Tag))
+		b, status := nd.resp.Deliver(resp)
+		switch status {
+		case core.RespDuplicate, core.RespUnknown:
+			// Counted by the response router; nothing to retire.
+			continue
 		}
-		delete(nd.outstandingTx, resp.Tag)
+		poisoned := status == core.RespPoisoned
 		nd.coal.Completed(b)
+		s.progress++
 		for _, tgt := range b.Targets {
 			home := int(tgt.Thread) % s.cfg.Nodes
 			if home == nd.id {
-				s.retire(tgt, now)
+				s.retire(tgt, now, poisoned)
 				continue
 			}
 			nd.remoteServed++
 			heap.Push(&s.net, message{
 				deliver:    now + s.cfg.LinkLatency,
 				isResponse: true,
+				poisoned:   poisoned,
 				dest:       home,
 				target:     tgt,
 			})
@@ -401,7 +462,7 @@ func (s *System) deliverMessages(now sim.Cycle) {
 	for s.net.Len() > 0 && s.net[0].deliver <= now {
 		m := heap.Pop(&s.net).(message)
 		if m.isResponse {
-			s.retire(m.target, now)
+			s.retire(m.target, now, m.poisoned)
 			continue
 		}
 		// A request that arrives at its owner node enters the
@@ -415,15 +476,23 @@ func (s *System) deliverMessages(now sim.Cycle) {
 	}
 }
 
-func (s *System) retire(tgt memreq.Target, now sim.Cycle) {
+func (s *System) retire(tgt memreq.Target, now sim.Cycle, poisoned bool) {
 	t := s.thread(tgt.Thread)
 	if t == nil {
-		panic(fmt.Sprintf("numa: retire for unknown thread %d", tgt.Thread))
+		// A corrupt target naming a thread the system does not run:
+		// count it and keep going rather than tearing the run down.
+		s.misrouted++
+		return
 	}
 	if t.outstanding <= 0 {
-		panic(fmt.Sprintf("numa: thread %d retire underflow", tgt.Thread))
+		s.retireUnderflows++
+		return
 	}
 	t.outstanding--
+	s.progress++
+	if poisoned {
+		s.failedRequests++
+	}
 	if issue, ok := t.issuedAt[tgt.Tag]; ok {
 		t.latency.Observe(uint64(now - issue))
 		delete(t.issuedAt, tgt.Tag)
@@ -450,10 +519,13 @@ func (s *System) drained() bool {
 
 func (s *System) result(cycles sim.Cycle) *Result {
 	r := &Result{
-		Cycles:         cycles,
-		MemRequests:    s.memRequests,
-		SPMAccesses:    s.spmAccesses,
-		RemoteRequests: s.remoteReqs,
+		Cycles:           cycles,
+		MemRequests:      s.memRequests,
+		SPMAccesses:      s.spmAccesses,
+		RemoteRequests:   s.remoteReqs,
+		FailedRequests:   s.failedRequests,
+		RetireUnderflows: s.retireUnderflows,
+		Misrouted:        s.misrouted,
 	}
 	for _, nd := range s.nodes {
 		for _, t := range nd.threads {
@@ -463,6 +535,7 @@ func (s *System) result(cycles sim.Cycle) *Result {
 		r.PerNode = append(r.PerNode, NodeStats{
 			Coalescer:    *nd.coal.Stats(),
 			Device:       *nd.dev.Stats(),
+			Responses:    nd.resp.Stats(),
 			RemoteServed: nd.remoteServed,
 			RemoteSent:   nd.remoteSent,
 		})
@@ -472,7 +545,10 @@ func (s *System) result(cycles sim.Cycle) *Result {
 
 // Run is a convenience wrapper: build, load, run.
 func Run(cfg Config, tr *trace.Trace) (*Result, error) {
-	s := NewSystem(cfg)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := s.Load(tr); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+func TestWatchdogFiresAfterLimit(t *testing.T) {
+	w := NewWatchdog(10)
+	if w.Check(0, 1) {
+		t.Fatal("fired on first observation")
+	}
+	for now := Cycle(1); now <= 10; now++ {
+		if w.Check(now, 1) {
+			t.Fatalf("fired at cycle %d, within the limit", now)
+		}
+	}
+	if !w.Check(11, 1) {
+		t.Fatal("did not fire past the limit")
+	}
+	if !w.Fired() {
+		t.Fatal("Fired not latched")
+	}
+}
+
+func TestWatchdogRearmsOnProgress(t *testing.T) {
+	w := NewWatchdog(10)
+	w.Check(0, 1)
+	w.Check(9, 1)
+	w.Check(10, 2) // progress just in time
+	for now := Cycle(11); now <= 20; now++ {
+		if w.Check(now, 2) {
+			t.Fatalf("fired at cycle %d after re-arming at 10", now)
+		}
+	}
+	if !w.Check(21, 2) {
+		t.Fatal("did not fire 11 cycles after the last progress")
+	}
+	if got := w.SinceProgress(21); got != 11 {
+		t.Fatalf("SinceProgress = %d, want 11", got)
+	}
+}
+
+func TestWatchdogDisabledAndNil(t *testing.T) {
+	w := NewWatchdog(0)
+	if w.Check(1_000_000, 0) {
+		t.Fatal("disabled watchdog fired")
+	}
+	var nilW *Watchdog
+	if nilW.Check(1_000_000, 0) || nilW.Fired() {
+		t.Fatal("nil watchdog fired")
+	}
+	nilW.Reset() // must not panic
+	if nilW.SinceProgress(5) != 0 {
+		t.Fatal("nil watchdog SinceProgress != 0")
+	}
+}
+
+func TestWatchdogReset(t *testing.T) {
+	w := NewWatchdog(5)
+	w.Check(0, 1)
+	if !w.Check(6, 1) {
+		t.Fatal("setup: expected fire")
+	}
+	w.Reset()
+	if w.Fired() {
+		t.Fatal("Reset did not clear Fired")
+	}
+	if w.Check(3, 0) {
+		t.Fatal("fired immediately after Reset")
+	}
+}

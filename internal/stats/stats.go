@@ -252,6 +252,28 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// KV is one labelled measurement in a diagnostic dump.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// FormatKV renders aligned "key: value" lines — the format used by the
+// simulation watchdog's stall diagnostics and other state dumps.
+func FormatKV(kvs []KV) string {
+	width := 0
+	for _, kv := range kvs {
+		if len(kv.Key) > width {
+			width = len(kv.Key)
+		}
+	}
+	var b strings.Builder
+	for _, kv := range kvs {
+		fmt.Fprintf(&b, "  %-*s  %v\n", width+1, kv.Key+":", kv.Value)
+	}
+	return b.String()
+}
+
 // GeoMean returns the geometric mean of positive values; zero or
 // negative entries are skipped. Returns 0 for an empty effective set.
 func GeoMean(values []float64) float64 {

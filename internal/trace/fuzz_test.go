@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the binary decoder: it must
+// return events or ErrBadFormat/io.EOF, never panic, and anything it
+// accepts must round-trip byte-identically through the Writer.
+func FuzzReader(f *testing.F) {
+	// Seed with a well-formed stream.
+	var good bytes.Buffer
+	w := NewWriter(&good)
+	w.Write(Event{Op: Load, Size: 8, Core: 1, Gap: 3, Thread: 2, Addr: 0x1a40})
+	w.Write(Event{Op: Store, Size: 16, Thread: 0, Addr: 1 << 40})
+	w.Write(Event{Op: Fence, Thread: 2})
+	w.Write(Event{Op: Atomic, Size: 8, Thread: 65535, Addr: 0})
+	w.Flush()
+	f.Add(good.Bytes())
+	f.Add([]byte("MACT\x01"))                             // header only
+	f.Add([]byte("MACT\x02"))                             // wrong version
+	f.Add([]byte("MACT"))                                 // truncated header
+	f.Add([]byte("XXXX\x01\x00\x00\x00\x00"))             // wrong magic
+	f.Add([]byte("MACT\x01\x00\x08\x00\x00"))             // truncated record
+	f.Add([]byte("MACT\x01\x09\x00\x00\x00\x00\x00\x00")) // invalid op
+	f.Add(append([]byte("MACT\x01\x00\x00\x00\x00\x00\x00"),
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02)) // uvarint overflow
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var events []Event
+		for {
+			e, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrBadFormat) {
+					t.Fatalf("Read returned non-format error %v", err)
+				}
+				return
+			}
+			if !e.Op.Valid() {
+				t.Fatalf("Read returned invalid op %d", e.Op)
+			}
+			events = append(events, e)
+		}
+		// Accepted input round-trips at the event level. (Byte-level
+		// identity does not hold in general: ReadUvarint is liberal
+		// and accepts non-canonical varint encodings, while the
+		// Writer always emits the canonical form.)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, e := range events {
+			if err := w.Write(e); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2 := NewReader(bytes.NewReader(buf.Bytes()))
+		for i, want := range events {
+			got, err := r2.Read()
+			if err != nil {
+				t.Fatalf("re-decode event %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("event %d changed in round trip: %+v -> %+v", i, want, got)
+			}
+		}
+		if _, err := r2.Read(); err != io.EOF {
+			t.Fatalf("trailing data after round trip: %v", err)
+		}
+	})
+}
+
+// FuzzReadTrace exercises the whole-stream decoder, which additionally
+// builds the per-thread table.
+func FuzzReadTrace(f *testing.F) {
+	var good bytes.Buffer
+	w := NewWriter(&good)
+	w.Write(Event{Op: Load, Size: 8, Thread: 3, Addr: 64})
+	w.Write(Event{Op: Store, Size: 8, Thread: 0, Addr: 128})
+	w.Flush()
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewReader(bytes.NewReader(data)).ReadTrace()
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("ReadTrace returned non-format error %v", err)
+			}
+			return
+		}
+		// The per-thread table must account for every decoded event.
+		n := 0
+		for _, th := range tr.Threads {
+			n += len(th)
+		}
+		if n != tr.Len() {
+			t.Fatalf("Len() = %d, events in table = %d", tr.Len(), n)
+		}
+	})
+}
+
+// FuzzParseText exercises the human-readable parser: it must never
+// panic, and whatever it accepts must round-trip through FormatText.
+func FuzzParseText(f *testing.F) {
+	f.Add("LD t3 c1 0x00001a40 8 g12")
+	f.Add("ST t0 c0 0x000000000000 16 g0")
+	f.Add("FENCE t2 c0 0x000000000000 0 g0")
+	f.Add("AMO t65535 c255 0xffffffffffff 8 g255")
+	f.Add("")
+	f.Add("LD t3")
+	f.Add("XX t0 c0 0x0 8 g0")
+	f.Add("LD tx c0 0x0 8 g0")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := ParseText(s)
+		if err != nil {
+			return
+		}
+		e2, err := ParseText(FormatText(e))
+		if err != nil {
+			t.Fatalf("FormatText output rejected: %v", err)
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("round trip changed event: %+v -> %+v", e, e2)
+		}
+	})
+}

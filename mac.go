@@ -27,6 +27,7 @@ import (
 	"mac3d/internal/core"
 	"mac3d/internal/cpu"
 	"mac3d/internal/hmc"
+	"mac3d/internal/sim"
 	"mac3d/internal/trace"
 	"mac3d/internal/workloads"
 )
@@ -144,6 +145,58 @@ type RunOptions struct {
 	// (tREFI ≈ 7.8µs, tRFC ≈ 350ns), adding realistic latency
 	// tails. Off by default, matching the paper's model.
 	ModelRefresh bool
+
+	// Faults configures link-level fault injection. The zero value
+	// disables the fault machinery entirely: a zero-fault run is
+	// byte-identical to one on a build without the subsystem.
+	Faults FaultOptions
+
+	// TargetBufferDepth bounds the response router's target buffer
+	// (outstanding built transactions). 0 keeps it unbounded, the
+	// paper's evaluation setup; a bounded buffer backpressures the
+	// coalescer when full.
+	TargetBufferDepth int
+	// WatchdogCycles overrides the simulation stall watchdog: a run
+	// making no forward progress for this many cycles aborts with a
+	// diagnostic error instead of spinning to the cycle limit.
+	// Default 1,000,000; negative disables the watchdog.
+	WatchdogCycles int64
+}
+
+// FaultOptions configures the deterministic link-level fault model
+// (HMC §2.2.2: CRC, link retry, token flow control). All injection is
+// driven by a dedicated seeded RNG, so a given configuration replays
+// identically.
+type FaultOptions struct {
+	// CRCErrorRate is the per-packet-transmission probability of a
+	// CRC error forcing a link-retry (0 disables).
+	CRCErrorRate float64
+	// LinkFailRate is the per-submission probability that the chosen
+	// link suffers a transient failure and retrains (0 disables).
+	LinkFailRate float64
+	// RetryLimit bounds retransmissions per packet before the device
+	// gives up and returns a poisoned response (default 3).
+	RetryLimit int
+	// RetryDelay is the extra latency of one link retry round trip in
+	// cycles (default 32).
+	RetryDelay int64
+	// RetrainCycles is how long a failed link trains before carrying
+	// traffic again (default 1024).
+	RetrainCycles int64
+	// DisableLinkAfter permanently disables a link after this many
+	// transient failures, re-spreading traffic over the survivors
+	// (0 = never disable).
+	DisableLinkAfter int
+	// LinkTokens enables token-based flow control with this many
+	// credits per link (0 = disabled); exhausted tokens backpressure
+	// submission.
+	LinkTokens int
+	// DropResponseEvery is a diagnostic hook: every Nth submitted
+	// transaction loses its response, deterministically exercising
+	// the stall watchdog (0 = disabled).
+	DropResponseEvery uint64
+	// Seed drives the fault RNG (default 1).
+	Seed uint64
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -204,6 +257,24 @@ func (o RunOptions) runConfig() (cpu.RunConfig, error) {
 	if o.ModelRefresh {
 		cfg.HMC.RefreshInterval = 25740 // tREFI at 3.3 GHz
 		cfg.HMC.RefreshDuration = 1155  // tRFC
+	}
+	cfg.HMC.Faults = hmc.FaultConfig{
+		CRCErrorRate:      o.Faults.CRCErrorRate,
+		LinkFailRate:      o.Faults.LinkFailRate,
+		RetryLimit:        o.Faults.RetryLimit,
+		RetryDelay:        sim.Cycle(o.Faults.RetryDelay),
+		RetrainCycles:     sim.Cycle(o.Faults.RetrainCycles),
+		DisableLinkAfter:  o.Faults.DisableLinkAfter,
+		LinkTokens:        o.Faults.LinkTokens,
+		DropResponseEvery: o.Faults.DropResponseEvery,
+		Seed:              o.Faults.Seed,
+	}
+	cfg.Node.TargetBufferDepth = o.TargetBufferDepth
+	switch {
+	case o.WatchdogCycles < 0:
+		cfg.Node.StallLimit = 0
+	case o.WatchdogCycles > 0:
+		cfg.Node.StallLimit = sim.Cycle(o.WatchdogCycles)
 	}
 	// Surface configuration mistakes as errors at the façade; the
 	// internal constructors treat invalid config as programmer error

@@ -74,6 +74,42 @@ type RunReport struct {
 	// ARQOccupancy is the mean aggregated-request-queue occupancy
 	// (MAC runs only).
 	ARQOccupancy float64
+
+	// Faults aggregates the link-fault machinery's counters; all zero
+	// when fault injection is disabled.
+	Faults FaultReport
+}
+
+// FaultReport is the measurement set of the link-level fault model.
+type FaultReport struct {
+	// CRCErrors counts injected CRC errors across both directions.
+	CRCErrors uint64
+	// LinkRetries counts packet retransmissions.
+	LinkRetries uint64
+	// RetryCycles accumulates the latency added by retries.
+	RetryCycles uint64
+	// PoisonedResponses counts transactions whose retry budget was
+	// exhausted; their raw requests retire with an error status.
+	PoisonedResponses uint64
+	// FailedRequests counts raw requests retired with an error status.
+	FailedRequests uint64
+	// LinkFailures counts transient link failures (retrains).
+	LinkFailures uint64
+	// LinksDisabled counts links permanently taken out of service.
+	LinksDisabled uint64
+	// TokenStalls counts submissions deferred by exhausted link
+	// tokens.
+	TokenStalls uint64
+	// DroppedResponses counts responses deliberately lost by the
+	// DropResponseEvery diagnostic hook.
+	DroppedResponses uint64
+	// DuplicateResponses and UnknownResponses count deliveries the
+	// response router discarded.
+	DuplicateResponses uint64
+	UnknownResponses   uint64
+	// TargetBufferRejects counts built transactions deferred because
+	// the bounded target buffer was full.
+	TargetBufferRejects uint64
 }
 
 func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
@@ -109,6 +145,20 @@ func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
 		P99LatencyCycles:     res.RequestLatency.Quantile(0.99),
 		MaxLatencyCycles:     res.RequestLatency.Max(),
 		ARQOccupancy:         res.ARQOccupancy,
+		Faults: FaultReport{
+			CRCErrors:           res.Device.CRCErrors,
+			LinkRetries:         res.Device.LinkRetries,
+			RetryCycles:         res.Device.RetryCycles,
+			PoisonedResponses:   res.Device.PoisonedResponses,
+			FailedRequests:      res.FailedRequests,
+			LinkFailures:        res.Device.LinkFailures,
+			LinksDisabled:       res.Device.LinksDisabled,
+			TokenStalls:         res.Device.TokenStalls,
+			DroppedResponses:    res.Device.DroppedResponses,
+			DuplicateResponses:  res.Responses.Duplicates,
+			UnknownResponses:    res.Responses.Unknown,
+			TargetBufferRejects: res.Responses.RegisterRejects,
+		},
 	}
 	for size, n := range res.Coalescer.BuiltBySizeBytes {
 		rep.TxBySize[size] = n
