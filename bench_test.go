@@ -296,6 +296,26 @@ func BenchmarkPipelineSG(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineSGObserved is BenchmarkPipelineSG with the full
+// observability layer on (metrics + timeseries + transaction tracing);
+// the delta against BenchmarkPipelineSG is the enabled-path overhead.
+// The disabled path's overhead is BenchmarkPipelineSG itself versus a
+// pre-observability baseline: nil-check-only, required <5%.
+func BenchmarkPipelineSGObserved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(RunOptions{
+			Workload: "sg",
+			Observe:  ObserveOptions{Enabled: true, SampleInterval: 64, Trace: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Observability == nil || rep.Observability.TraceEvents == 0 {
+			b.Fatal("observability not captured")
+		}
+	}
+}
+
 func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := workloads.Generate("bfs", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny}); err != nil {

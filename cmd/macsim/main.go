@@ -6,6 +6,8 @@
 //
 //	macsim -workload sg [-threads 8] [-scale tiny|small|ref]
 //	       [-design mac|raw|mshr] [-compare] [-arq 32] [-seed 1]
+//	       [-metrics-out m.txt] [-timeseries-out ts.csv]
+//	       [-trace-out trace.json] [-obs-interval 64]
 //	macsim -list
 package main
 
@@ -28,6 +30,10 @@ func main() {
 	arq := flag.Int("arq", 0, "override ARQ entries (default 32)")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	metricsOut := flag.String("metrics-out", "", "write the end-of-run metric registry to this file")
+	timeseriesOut := flag.String("timeseries-out", "", "write cycle-sampled timeseries CSV to this file")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
+	obsInterval := flag.Int("obs-interval", 64, "timeseries sampling interval in cycles")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +54,42 @@ func main() {
 		Threads:    *threads,
 		Seed:       *seed,
 		ARQEntries: *arq,
+	}
+	if *metricsOut != "" || *timeseriesOut != "" || *traceOut != "" {
+		if *compare {
+			fmt.Fprintln(os.Stderr, "macsim: observability flags need a single run; drop -compare")
+			os.Exit(2)
+		}
+		opts.Observe = mac3d.ObserveOptions{
+			Enabled:        true,
+			SampleInterval: *obsInterval,
+			Trace:          *traceOut != "",
+		}
+	}
+	writeObs := func(r *mac3d.RunReport) {
+		if r.Observability == nil {
+			return
+		}
+		if *metricsOut != "" {
+			writeFile(*metricsOut, func(f *os.File) error {
+				for _, m := range r.Observability.Metrics {
+					if _, err := fmt.Fprintf(f, "%s %g\n", m.Name, m.Value); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		if *timeseriesOut != "" {
+			writeFile(*timeseriesOut, func(f *os.File) error {
+				return r.Observability.WriteTimeseriesCSV(f)
+			})
+		}
+		if *traceOut != "" {
+			writeFile(*traceOut, func(f *os.File) error {
+				return r.Observability.WriteTrace(f)
+			})
+		}
 	}
 	switch *scaleFlag {
 	case "tiny":
@@ -97,6 +139,7 @@ func main() {
 			os.Exit(1)
 		}
 		printRun(*traceFile, rep)
+		writeObs(rep)
 		return
 	}
 
@@ -123,6 +166,22 @@ func main() {
 		os.Exit(1)
 	}
 	printRun(fmt.Sprintf("%s (%s)", *workload, rep.Design), rep)
+	writeObs(rep)
+}
+
+// writeFile creates path, hands it to fn, and dies on any error.
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = fn(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "macsim:", err)
+		os.Exit(1)
+	}
 }
 
 func printRun(title string, r *mac3d.RunReport) {

@@ -6,6 +6,7 @@ import (
 	"mac3d/internal/addr"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
+	"mac3d/internal/obs"
 	"mac3d/internal/queue"
 	"mac3d/internal/sim"
 )
@@ -245,3 +246,16 @@ func (m *MSHR) Reset() {
 	m.inflight = 0
 	m.st = memreq.NewStats()
 }
+
+// AttachObs registers the MSHR's occupancy and queue state into a
+// run's observability layer.
+func (m *MSHR) AttachObs(o *obs.Obs) {
+	reg := o.Reg()
+	reg.Func("mshr.entries", func() float64 { return float64(len(m.outstanding)) })
+	reg.Func("mshr.queue", func() float64 { return float64(m.q.Len()) })
+	rec := o.Rec()
+	rec.Watch("mshr.entries", func() float64 { return float64(len(m.outstanding)) })
+	rec.Watch("mshr.queue", func() float64 { return float64(m.q.Len()) })
+}
+
+var _ obs.Attacher = (*MSHR)(nil)

@@ -115,14 +115,21 @@ func (n *Null) Tick(now sim.Cycle) []memreq.Built {
 		case head.Store:
 			kind = hmc.Write
 		}
-		size := uint32(head.Size)
-		if size < addr.FlitBytes {
-			size = addr.FlitBytes
+		// The transaction is FLIT-aligned; an access starting mid-FLIT
+		// and running into the next FLIT needs the span of both (the
+		// same rounding MAC's bypass path applies).
+		base := head.Addr &^ uint64(addr.FlitMask)
+		size := uint32(head.Addr-base) + uint32(head.Size)
+		if size == 0 {
+			size = 1
+		}
+		if rem := size % addr.FlitBytes; rem != 0 {
+			size += addr.FlitBytes - rem
 		}
 		b := memreq.Built{
 			Req: hmc.Request{
 				Kind: kind,
-				Addr: head.Addr &^ uint64(addr.FlitMask),
+				Addr: base,
 				Data: size,
 			},
 			Targets: []memreq.Target{

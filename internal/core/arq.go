@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mac3d/internal/memreq"
+	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 )
 
@@ -23,6 +24,9 @@ type arqEntry struct {
 	// closed entries no longer accept merges (target overflow or
 	// fence freeze at allocation time).
 	closed bool
+	// span carries the entry's observability lifecycle stamps; nil
+	// unless tracing is enabled.
+	span *obs.TxSpan
 }
 
 // AggregatorConfig sizes the Raw Request Aggregator.
@@ -88,9 +92,18 @@ type Aggregator struct {
 	// comparators under the latency-hiding mechanism.
 	fillBudget int
 
-	// occupancySum/samples measure average ARQ occupancy.
+	// occupancySum/samples measure average ARQ occupancy, sampled
+	// once per cycle via SampleOccupancy; lastSample is the most
+	// recent observation (what the timeseries watch reports).
 	occupancySum     uint64
 	occupancySamples uint64
+	lastSample       int
+
+	// Observability (all nil/false when disabled).
+	tracing bool
+	cMerges *obs.Counter
+	cAllocs *obs.Counter
+	cSplits *obs.Counter
 }
 
 // NewAggregator builds an aggregator, panicking on invalid config.
@@ -171,14 +184,14 @@ func (a *Aggregator) rebuildOpen() {
 // Merging rules (paper §4.1–4.1.2):
 //   - fences allocate a fence entry and freeze the comparators;
 //   - atomics allocate a direct-route entry and are never merged;
+//   - an access crossing its coalescing-window boundary is split at
+//     the boundary: the two halves land in their respective windows
+//     (the tail as a Cont target), so no FLIT is silently dropped;
 //   - while any fence is queued, or while the latency-hiding fill
 //     budget is active, requests go to fresh entries without compare;
 //   - otherwise the row tag (row number + T bit) is compared against
 //     all open entries; a hit merges, a miss allocates.
 func (a *Aggregator) Push(r memreq.RawRequest, now sim.Cycle) bool {
-	a.occupancySum += uint64(len(a.entries))
-	a.occupancySamples++
-
 	switch {
 	case r.Fence:
 		if a.Full() {
@@ -195,17 +208,48 @@ func (a *Aggregator) Push(r memreq.RawRequest, now sim.Cycle) bool {
 		if a.Full() {
 			return false
 		}
-		a.entries = append(a.entries, arqEntry{
+		e := arqEntry{
 			atomic: true,
 			closed: true,
 			raw:    r,
 			targets: []memreq.Target{
 				{Thread: r.Thread, Tag: r.Tag, Flit: a.win.FlitID(r.Addr)},
 			},
-		})
+		}
+		if a.tracing {
+			e.span = &obs.TxSpan{FirstPush: uint64(now), LastMerge: uint64(now)}
+		}
+		a.entries = append(a.entries, e)
 		return true
 	}
 
+	if a.win.CrossesBoundary(r.Addr, uint32(r.Size)) {
+		// The access straddles two coalescing windows; split it at
+		// the boundary so the tail FLIT is actually requested
+		// (FlitSpan clips to one window). The two halves occupy two
+		// comparator lanes, so conservatively require two free
+		// entries — each half then needs at most one allocation and
+		// the pair is accepted atomically.
+		if a.Free() < 2 {
+			return false
+		}
+		headBytes := uint32(a.win.Bytes) - uint32(r.Addr&uint64(a.win.Bytes-1))
+		head, tail := r, r
+		head.Size = uint8(headBytes)
+		tail.Addr = r.Addr + uint64(headBytes)
+		tail.Size = uint8(uint32(r.Size) - headBytes)
+		a.cSplits.Inc()
+		a.pushData(head, now, false)
+		a.pushData(tail, now, true)
+		return true
+	}
+	return a.pushData(r, now, false)
+}
+
+// pushData merges or allocates one window-contained load/store. cont
+// marks the tail half of a boundary-split request: its target retires
+// nothing (the head half owns the LSQ slot).
+func (a *Aggregator) pushData(r memreq.RawRequest, now sim.Cycle, cont bool) bool {
 	// Latency-hiding fill mode: (re)arm when over half the ARQ is
 	// free, then let that many requests skip the comparators.
 	if a.cfg.FillMode && a.fillBudget == 0 && a.Free() > a.cfg.Entries/2 {
@@ -219,8 +263,10 @@ func (a *Aggregator) Push(r memreq.RawRequest, now sim.Cycle) bool {
 			first, last := a.win.FlitSpan(r.Addr, uint32(r.Size))
 			e.fmap = e.fmap.SetRange(first, last)
 			e.targets = append(e.targets, memreq.Target{
-				Thread: r.Thread, Tag: r.Tag, Flit: first,
+				Thread: r.Thread, Tag: r.Tag, Flit: first, Cont: cont,
 			})
+			e.span.MarkMerge(uint64(now))
+			a.cMerges.Inc()
 			if len(e.targets) >= a.cfg.MaxTargets {
 				e.closed = true
 				delete(a.open, e.tag)
@@ -238,9 +284,13 @@ func (a *Aggregator) Push(r memreq.RawRequest, now sim.Cycle) bool {
 		fmap: WideMap(0).SetRange(first, last),
 		raw:  r,
 		targets: []memreq.Target{
-			{Thread: r.Thread, Tag: r.Tag, Flit: first},
+			{Thread: r.Thread, Tag: r.Tag, Flit: first, Cont: cont},
 		},
 	}
+	if a.tracing {
+		e.span = &obs.TxSpan{FirstPush: uint64(now), LastMerge: uint64(now)}
+	}
+	a.cAllocs.Inc()
 	if a.fillBudget > 0 {
 		a.fillBudget--
 		// Entries allocated in fill mode still become visible to
@@ -281,12 +331,45 @@ func (a *Aggregator) PeekFence() bool {
 	return len(a.entries) > 0 && a.entries[0].fence
 }
 
-// AvgOccupancy returns the mean ARQ occupancy observed at push time.
-func (a *Aggregator) AvgOccupancy() float64 {
+// SampleOccupancy records one occupancy observation. The MAC calls it
+// once per Tick, so OccupancyMean is a true time average — the old
+// push-time sampling was biased toward push-heavy phases and read 0
+// during drain.
+func (a *Aggregator) SampleOccupancy() {
+	a.lastSample = len(a.entries)
+	a.occupancySum += uint64(len(a.entries))
+	a.occupancySamples++
+}
+
+// OccupancyMean returns the mean ARQ occupancy over sampled cycles.
+func (a *Aggregator) OccupancyMean() float64 {
 	if a.occupancySamples == 0 {
 		return 0
 	}
 	return float64(a.occupancySum) / float64(a.occupancySamples)
+}
+
+// AvgOccupancy returns the mean ARQ occupancy.
+//
+// Deprecated: use OccupancyMean. The name survives for callers of the
+// old push-time-sampled metric; since the per-cycle sampling fix both
+// names report the same unbiased time average.
+func (a *Aggregator) AvgOccupancy() float64 { return a.OccupancyMean() }
+
+// attachObs wires the aggregator's counters into the run's registry
+// and enables span allocation when tracing is on.
+func (a *Aggregator) attachObs(o *obs.Obs) {
+	a.tracing = o.Tracing()
+	reg := o.Reg()
+	a.cMerges = reg.Counter("mac.arq.merges")
+	a.cAllocs = reg.Counter("mac.arq.allocs")
+	a.cSplits = reg.Counter("mac.arq.window_splits")
+	reg.Func("mac.arq.occupancy_mean", a.OccupancyMean)
+	reg.Func("mac.arq.fences", func() float64 { return float64(a.fences) })
+	// The watch reports the cycle's sampled occupancy rather than a
+	// live read, so the timeseries mean reproduces OccupancyMean
+	// exactly instead of drifting by pop-phase skew.
+	o.Rec().Watch("mac.arq.occupancy", func() float64 { return float64(a.lastSample) })
 }
 
 // Reset restores the aggregator to empty.

@@ -250,11 +250,23 @@ func TestAggregatorBypassBitSingleRequest(t *testing.T) {
 }
 
 func TestAggregatorOccupancyTracking(t *testing.T) {
+	// Occupancy is a per-cycle time average (sampled by the MAC every
+	// Tick via SampleOccupancy), not a per-push one — so drain phases
+	// with no pushes still weigh into the mean.
 	a := newAgg(t)
-	a.Push(load(0x000, 0, 0), 0) // observes 0
-	a.Push(load(0x100, 0, 1), 1) // observes 1
-	if got := a.AvgOccupancy(); got != 0.5 {
-		t.Fatalf("avg occupancy = %v, want 0.5", got)
+	a.SampleOccupancy() // cycle 0: empty
+	a.Push(load(0x000, 0, 0), 0)
+	a.SampleOccupancy() // cycle 1: one entry
+	a.Push(load(0x100, 0, 1), 1)
+	a.SampleOccupancy() // cycle 2: two entries (drain phase, no push)
+	a.SampleOccupancy() // cycle 3: still two entries
+	want := (0.0 + 1 + 2 + 2) / 4
+	if got := a.OccupancyMean(); got != want {
+		t.Fatalf("occupancy mean = %v, want %v", got, want)
+	}
+	// The deprecated accessor is an exact alias.
+	if a.AvgOccupancy() != a.OccupancyMean() {
+		t.Fatal("AvgOccupancy diverged from OccupancyMean")
 	}
 }
 
@@ -262,6 +274,7 @@ func TestAggregatorReset(t *testing.T) {
 	a := newAgg(t)
 	a.Push(load(0x100, 0, 0), 0)
 	a.Push(memreq.RawRequest{Fence: true}, 1)
+	a.SampleOccupancy()
 	a.Reset()
 	if a.Len() != 0 || a.AvgOccupancy() != 0 || a.PeekFence() {
 		t.Fatal("reset incomplete")

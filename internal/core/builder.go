@@ -71,6 +71,7 @@ func (b *Builder) Tick(now sim.Cycle) (memreq.Built, bool) {
 		if b.win.TagIsStore(e.tag) {
 			kind = hmc.Write
 		}
+		e.span.MarkBuilt(uint64(now))
 		out = memreq.Built{
 			Req: hmc.Request{
 				Kind: kind,
@@ -78,6 +79,7 @@ func (b *Builder) Tick(now sim.Cycle) (memreq.Built, bool) {
 				Data: size,
 			},
 			Targets: e.targets,
+			Span:    e.span,
 		}
 		emitted = true
 		b.stage2.valid = false

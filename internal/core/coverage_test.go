@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+// drainMAC pushes requests (retrying on backpressure) and ticks the
+// unit until everything emits, returning every built transaction.
+func drainMAC(t *testing.T, m *MAC, reqs []memreq.RawRequest) []memreq.Built {
+	t.Helper()
+	var out []memreq.Built
+	now := sim.Cycle(0)
+	collect := func() {
+		for _, b := range m.Tick(now) {
+			bb := b
+			m.Completed(&bb)
+			out = append(out, bb)
+		}
+	}
+	for _, r := range reqs {
+		for !m.Push(r, now) {
+			collect()
+			now++
+			if now > 1_000_000 {
+				t.Fatal("push never accepted")
+			}
+		}
+		collect()
+		now++
+	}
+	for ; m.Pending() > 0; now++ {
+		collect()
+		if now > 2_000_000 {
+			t.Fatal("MAC failed to drain")
+		}
+	}
+	return out
+}
+
+// drainOnly ticks an already-loaded unit until it empties.
+func drainOnly(t *testing.T, m *MAC) []memreq.Built {
+	t.Helper()
+	var out []memreq.Built
+	for now := sim.Cycle(0); m.Pending() > 0; now++ {
+		for _, b := range m.Tick(now) {
+			bb := b
+			m.Completed(&bb)
+			out = append(out, bb)
+		}
+		if now > 2_000_000 {
+			t.Fatal("MAC failed to drain")
+		}
+	}
+	return out
+}
+
+// covered reports whether [start, end) is fully covered by the byte
+// ranges of the given transactions.
+func covered(bs []memreq.Built, start, end uint64) bool {
+	for a := start; a < end; {
+		hit := false
+		for _, b := range bs {
+			lo, hi := b.Req.Addr, b.Req.Addr+uint64(b.Req.Data)
+			if a >= lo && a < hi {
+				if hi > end {
+					hi = end
+				}
+				a = hi
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowEdgeMergedVsBypassedCoverage is the regression test for
+// the FlitSpan window-boundary clip: an access starting 6 bytes before
+// the end of its 256B coalescing window and extending 10 bytes into
+// the next one must have its tail bytes requested on the merged path
+// exactly as the bypass path requests them. Before the split fix the
+// merged path silently dropped every byte past the window boundary.
+func TestWindowEdgeMergedVsBypassedCoverage(t *testing.T) {
+	const (
+		winBase  = uint64(0x100) // window 1 of a 256B geometry
+		crossing = winBase + 250 // 6 bytes in-window, 10 beyond
+		size     = 16
+	)
+
+	// Bypass path: the crossing request alone sets the B bit and is
+	// forwarded directly, with the span rounded up over both FLITs.
+	bypass := New(DefaultConfig())
+	bOut := drainMAC(t, bypass, []memreq.RawRequest{
+		{Addr: crossing, Size: size, Thread: 0, Tag: 0},
+	})
+	if !covered(bOut, crossing, crossing+size) {
+		t.Fatalf("bypass path does not cover [%#x,%#x): %+v",
+			crossing, crossing+size, bOut)
+	}
+
+	// Merged path: an anchor request in the same window forces the
+	// crossing request through the comparators and the builder.
+	cfg := DefaultConfig()
+	cfg.ARQ.FillMode = false // deterministic merging
+	merged := New(cfg)
+	// Both requests enter the ARQ before any pop, so the comparators
+	// see them together and the head half merges with the anchor.
+	if !merged.Push(memreq.RawRequest{Addr: winBase, Size: 8, Thread: 0, Tag: 0}, 0) ||
+		!merged.Push(memreq.RawRequest{Addr: crossing, Size: size, Thread: 0, Tag: 1}, 0) {
+		t.Fatal("push rejected on an empty ARQ")
+	}
+	mOut := drainOnly(t, merged)
+	if !covered(mOut, crossing, crossing+size) {
+		t.Fatalf("merged path does not cover [%#x,%#x) — window-boundary tail dropped: %+v",
+			crossing, crossing+size, mOut)
+	}
+	// The head half must still merge with the anchor (the split may
+	// not degrade same-window coalescing).
+	for _, b := range mOut {
+		if b.Req.Addr <= winBase && winBase < b.Req.Addr+uint64(b.Req.Data) && len(b.Targets) < 2 {
+			t.Fatalf("head half failed to merge with the anchor: %+v", mOut)
+		}
+	}
+}
+
+// TestRequestCoverageProperty is the request-level statement of the
+// Window.CoversWide invariant: for every random mix of loads, stores
+// and fences — across all three window sizes, with fill-mode re-arm
+// on and off — every byte of every accepted raw request is covered by
+// the union of the transactions carrying one of its targets.
+func TestRequestCoverageProperty(t *testing.T) {
+	for _, window := range []uint32{256, 512, 1024} {
+		for _, fill := range []bool{false, true} {
+			t.Run(fmt.Sprintf("win%d_fill%v", window, fill), func(t *testing.T) {
+				testRequestCoverage(t, window, fill)
+			})
+		}
+	}
+}
+
+func testRequestCoverage(t *testing.T, window uint32, fill bool) {
+	cfg := DefaultConfig()
+	cfg.ARQ.WindowBytes = window
+	cfg.ARQ.FillMode = fill
+	m := New(cfg)
+
+	rng := sim.NewRNG(uint64(window)<<1 | uint64(btoi(fill)))
+	type key struct {
+		thread, tag uint16
+	}
+	want := make(map[key][2]uint64)
+	byKey := make(map[key][]memreq.Built)
+
+	var reqs []memreq.RawRequest
+	const n = 600
+	for i := 0; i < n; i++ {
+		if rng.Intn(40) == 0 {
+			// Fence interleavings freeze and rebuild the comparators.
+			reqs = append(reqs, memreq.RawRequest{Fence: true})
+			continue
+		}
+		r := memreq.RawRequest{
+			// Cluster addresses so merging, window-edge crossing and
+			// fresh allocation all occur.
+			Addr:   uint64(rng.Intn(1 << 14)),
+			Size:   uint8(1 + rng.Intn(16)),
+			Store:  rng.Intn(3) == 0,
+			Thread: uint16(rng.Intn(8)),
+			Tag:    uint16(i),
+		}
+		want[key{r.Thread, r.Tag}] = [2]uint64{r.Addr, r.Addr + uint64(r.Size)}
+		reqs = append(reqs, r)
+	}
+
+	for _, b := range drainMAC(t, m, reqs) {
+		for _, tgt := range b.Targets {
+			k := key{tgt.Thread, tgt.Tag}
+			byKey[k] = append(byKey[k], b)
+		}
+	}
+
+	for k, span := range want {
+		if !covered(byKey[k], span[0], span[1]) {
+			t.Fatalf("request thread=%d tag=%d [%#x,%#x) not fully covered by its transactions %+v",
+				k.thread, k.tag, span[0], span[1], byKey[k])
+		}
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -6,6 +6,7 @@ import (
 	"mac3d/internal/addr"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
+	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 )
 
@@ -61,9 +62,14 @@ type MAC struct {
 	inflight  int
 
 	st *memreq.Stats
+	// obs is the run's observability handle (nil when disabled).
+	obs *obs.Obs
 }
 
-var _ memreq.Coalescer = (*MAC)(nil)
+var (
+	_ memreq.Coalescer = (*MAC)(nil)
+	_ obs.Attacher     = (*MAC)(nil)
+)
 
 // New builds a MAC unit, panicking on invalid configuration.
 func New(cfg Config) *MAC {
@@ -91,6 +97,23 @@ func (m *MAC) Config() Config { return m.cfg }
 
 // Aggregator exposes the ARQ for white-box tests and occupancy stats.
 func (m *MAC) Aggregator() *Aggregator { return m.agg }
+
+// SampleOccupancy records one ARQ occupancy observation. Tick does
+// this itself; drivers that skip Tick on backpressured cycles call it
+// directly so OccupancyMean stays a true per-cycle time average.
+func (m *MAC) SampleOccupancy() { m.agg.SampleOccupancy() }
+
+// AttachObs wires the unit into a run's observability layer: the ARQ
+// counters and occupancy gauge register into the metrics registry, and
+// — when a tracer is present — ARQ entries start carrying TxSpans that
+// drivers render as per-transaction Chrome trace spans.
+func (m *MAC) AttachObs(o *obs.Obs) {
+	m.obs = o
+	m.agg.attachObs(o)
+	reg := o.Reg()
+	reg.Func("mac.inflight", func() float64 { return float64(m.inflight) })
+	reg.Func("mac.pending", func() float64 { return float64(m.Pending()) })
+}
 
 // Push offers one raw request at cycle now (≤1 per cycle in the timed
 // model; the request router enforces the rate). It reports acceptance.
@@ -121,6 +144,11 @@ func (m *MAC) Push(r memreq.RawRequest, now sim.Cycle) bool {
 // the outstanding count drains.
 func (m *MAC) Tick(now sim.Cycle) []memreq.Built {
 	var out []memreq.Built
+
+	// Occupancy is sampled here — once per tick — rather than inside
+	// Push, so drain phases weigh into the mean (the push-time
+	// sampling bias fix).
+	m.agg.SampleOccupancy()
 
 	if built, ok := m.bld.Tick(now); ok {
 		m.note(&built)
@@ -155,12 +183,15 @@ func (m *MAC) Tick(now sim.Cycle) []memreq.Built {
 		single := !head.fence && !head.atomic && len(head.targets) == 1
 		if head.atomic || single {
 			e, _ := m.agg.Pop()
+			e.span.MarkPop(uint64(now))
+			e.span.MarkBuilt(uint64(now))
 			b := m.direct(e)
 			m.note(&b)
 			out = append(out, b)
 			m.nextPop = now + m.cfg.ARQ.PopInterval
 		} else if m.bld.CanAccept(now) {
 			e, _ := m.agg.Pop()
+			e.span.MarkPop(uint64(now))
 			m.bld.Accept(e, now)
 			m.nextPop = now + m.cfg.ARQ.PopInterval
 		}
@@ -198,6 +229,7 @@ func (m *MAC) direct(e arqEntry) memreq.Built {
 		},
 		Targets:  e.targets,
 		Bypassed: true,
+		Span:     e.span,
 	}
 }
 
@@ -205,6 +237,11 @@ func (m *MAC) direct(e arqEntry) memreq.Built {
 // transaction.
 func (m *MAC) note(b *memreq.Built) {
 	b.Req.Normalize()
+	for _, t := range b.Targets {
+		if err := t.Validate(m.cfg.ARQ.WindowBytes); err != nil {
+			panic(err)
+		}
+	}
 	m.st.Transactions++
 	if b.Bypassed {
 		m.st.Bypassed++
@@ -212,6 +249,13 @@ func (m *MAC) note(b *memreq.Built) {
 	m.st.BuiltBySizeBytes[b.Req.Data]++
 	m.st.TargetsPerTx.Observe(uint64(len(b.Targets)))
 	m.inflight++
+	if b.Span != nil {
+		b.Span.Addr = b.Req.Addr
+		b.Span.Bytes = b.Req.Data
+		b.Span.Targets = len(b.Targets)
+		b.Span.Store = b.Req.Kind == hmc.Write
+		b.Span.Bypassed = b.Bypassed
+	}
 }
 
 // Completed signals that a previously emitted transaction finished.

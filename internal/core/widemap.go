@@ -132,8 +132,22 @@ func (w Window) FlitID(a uint64) uint8 {
 	return uint8((a >> addr.FlitShift) & uint64(w.flits-1))
 }
 
+// CrossesBoundary reports whether an access of size bytes at address
+// a extends past the end of its coalescing window. Such an access
+// touches FLITs of two windows, so it must be split at the boundary
+// before FlitSpan — which clips to one window — is applied to each
+// half (Aggregator.Push performs the split).
+func (w Window) CrossesBoundary(a uint64, size uint32) bool {
+	if size == 0 {
+		size = 1
+	}
+	return (a&uint64(w.Bytes-1))+uint64(size) > uint64(w.Bytes)
+}
+
 // FlitSpan returns the first and last window FLIT touched by an
-// access of size bytes at address a, clipped to the window.
+// access of size bytes at address a. The access must lie within one
+// window (see CrossesBoundary): a crossing access is clipped to the
+// window holding its first byte, losing the tail FLITs.
 func (w Window) FlitSpan(a uint64, size uint32) (first, last uint8) {
 	if size == 0 {
 		size = 1

@@ -17,6 +17,7 @@ import (
 	"mac3d/internal/core"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
+	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 	"mac3d/internal/stats"
 	"mac3d/internal/trace"
@@ -201,7 +202,10 @@ type Node struct {
 	cfg    Config
 	router *core.Router
 	coal   memreq.Coalescer
-	dev    *hmc.Device
+	// mac is coal when the run uses the MAC, else nil — for
+	// occupancy sampling on cycles where the coalescer is not ticked.
+	mac *core.MAC
+	dev *hmc.Device
 
 	threads []*threadState
 	// issueRR rotates issue priority across cores for fairness.
@@ -213,6 +217,10 @@ type Node struct {
 	// deferred holds built transactions refused by a full target
 	// buffer, resubmitted in order once entries free up.
 	deferred []memreq.Built
+
+	// obs is the run's observability handle; nil when disabled, and
+	// every use is nil-safe so the hot path pays only pointer checks.
+	obs *obs.Obs
 
 	// watchdog aborts a run that stops making forward progress.
 	watchdog *sim.Watchdog
@@ -233,14 +241,47 @@ func NewNode(cfg Config, coal memreq.Coalescer, dev *hmc.Device) *Node {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	mac, _ := coal.(*core.MAC)
 	return &Node{
 		cfg:      cfg,
 		router:   core.NewRouter(cfg.Router),
 		coal:     coal,
+		mac:      mac,
 		dev:      dev,
 		resp:     core.NewResponseRouter(cfg.TargetBufferDepth),
 		watchdog: sim.NewWatchdog(cfg.StallLimit),
 	}
+}
+
+// AttachObs wires the node and every component beneath it (coalescer,
+// device) into a run's observability layer. Call once before Run; a
+// nil handle leaves everything a no-op.
+func (n *Node) AttachObs(o *obs.Obs) {
+	n.obs = o
+	if !o.Enabled() {
+		return
+	}
+	if a, ok := n.coal.(obs.Attacher); ok {
+		a.AttachObs(o)
+	}
+	n.dev.AttachObs(o)
+
+	reg := o.Reg()
+	reg.Func("node.mem_requests", func() float64 { return float64(n.memRequests) })
+	reg.Func("node.spm_accesses", func() float64 { return float64(n.spmAccesses) })
+	reg.Func("node.failed_requests", func() float64 { return float64(n.failedRequests) })
+
+	rec := o.Rec()
+	rec.Watch("node.lsq.outstanding", func() float64 {
+		total := 0
+		for _, t := range n.threads {
+			total += t.outstanding
+		}
+		return float64(total)
+	})
+	rec.Watch("node.inflight_tx", func() float64 { return float64(n.resp.Pending()) })
+	rec.Watch("node.deferred_tx", func() float64 { return float64(len(n.deferred)) })
+	rec.Watch("node.router.pending", func() float64 { return float64(n.router.Pending()) })
 }
 
 // Load installs the trace to replay. Threads beyond the core count are
@@ -275,6 +316,7 @@ func (n *Node) Run() (*Result, error) {
 		n.drainRouter(now)
 		n.tickCoalescer(now)
 		n.deliverResponses(now)
+		n.obs.Rec().Sample(uint64(now))
 		if n.drained() {
 			return n.result(now + 1), nil
 		}
@@ -395,10 +437,12 @@ func (n *Node) tickCoalescer(now sim.Cycle) {
 		if len(n.deferred) > 0 {
 			// Still blocked on the target buffer: don't pull more
 			// transactions out of the coalescer, or ordering breaks.
+			n.sampleCoalescer()
 			return
 		}
 	}
 	if !n.dev.CanAccept() {
+		n.sampleCoalescer()
 		return
 	}
 	for _, b := range n.coal.Tick(now) {
@@ -407,8 +451,19 @@ func (n *Node) tickCoalescer(now sim.Cycle) {
 			n.deferred = append(n.deferred, bb)
 			continue
 		}
+		bb.Span.MarkSubmit(uint64(now))
 		n.dev.Submit(bb.Req, now)
 		n.progress++
+	}
+}
+
+// sampleCoalescer records the MAC's ARQ occupancy on cycles where
+// backpressure keeps Tick (and its own sampling) from running, so the
+// occupancy mean covers every cycle — including the dwell phases where
+// coalescing opportunity is highest.
+func (n *Node) sampleCoalescer() {
+	if n.mac != nil {
+		n.mac.SampleOccupancy()
 	}
 }
 
@@ -420,6 +475,7 @@ func (n *Node) submitDeferred(now sim.Cycle) {
 		if _, ok := n.resp.Register(&bb, now); !ok {
 			return
 		}
+		bb.Span.MarkSubmit(uint64(now))
 		n.dev.Submit(bb.Req, now)
 		n.progress++
 		n.deferred = n.deferred[1:]
@@ -445,7 +501,15 @@ func (n *Node) deliverResponses(now sim.Cycle) {
 		// error status, and fences must not wait on them forever.
 		n.coal.Completed(b)
 		n.progress++
+		b.Span.MarkRespond(uint64(now))
+		n.obs.Trace().Transaction(resp.Tag, b.Span)
 		for _, tgt := range b.Targets {
+			if tgt.Cont {
+				// Continuation half of a window-split request: its
+				// data is delivered, but the head half owns the
+				// request's one LSQ slot and latency observation.
+				continue
+			}
 			if int(tgt.Thread) >= len(n.threads) {
 				n.misrouted++
 				continue
@@ -502,7 +566,7 @@ func (n *Node) result(cycles sim.Cycle) *Result {
 		r.RequestLatency.Merge(&t.latency)
 	}
 	if mac, ok := n.coal.(*core.MAC); ok {
-		r.ARQOccupancy = mac.Aggregator().AvgOccupancy()
+		r.ARQOccupancy = mac.Aggregator().OccupancyMean()
 	}
 	r.RouterLocal, r.RouterGlobal, r.RouterRemote = n.router.Stats()
 	return r

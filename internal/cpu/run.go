@@ -7,6 +7,7 @@ import (
 	"mac3d/internal/core"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
+	"mac3d/internal/obs"
 	"mac3d/internal/trace"
 )
 
@@ -46,6 +47,10 @@ type RunConfig struct {
 	Null coalesce.NullConfig
 	HMC  hmc.Config
 	Kind CoalescerKind
+	// Obs, when non-nil, wires the run into an observability layer
+	// (metrics registry, timeseries recorder, transaction tracer).
+	// Nil keeps every probe a no-op.
+	Obs *obs.Obs
 }
 
 // DefaultRunConfig returns the paper's Table 1 setup with MAC enabled.
@@ -79,6 +84,7 @@ func Run(cfg RunConfig, tr *trace.Trace) (*Result, error) {
 		return nil, err
 	}
 	n := NewNode(cfg.Node, cfg.NewCoalescer(), dev)
+	n.AttachObs(cfg.Obs)
 	if err := n.Load(tr); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"mac3d/internal/cpu"
 	"mac3d/internal/hmc"
+	"mac3d/internal/obs"
 	"mac3d/internal/stats"
 )
 
@@ -211,6 +212,36 @@ func (s *Suite) AblationMSHR() (*stats.Table, error) {
 		t.AddRow(name, "mac", mac.Device.Requests, 100*mac.Device.BandwidthEfficiency(), mac.RequestLatency.Mean())
 		t.AddRow(name, "mshr", mshr.Device.Requests, 100*mshr.Device.BandwidthEfficiency(), mshr.RequestLatency.Mean())
 		t.AddRow(name, "raw", raw.Device.Requests, 100*raw.Device.BandwidthEfficiency(), raw.RequestLatency.Mean())
+	}
+	return t, nil
+}
+
+// AblationObs exercises the observability layer end to end: each
+// benchmark runs once with the metrics registry, the cycle-sampled
+// timeseries recorder and the transaction tracer all enabled. The
+// table cross-checks the registry's ARQ occupancy mean against the
+// run result and reports the capture volumes. These runs bypass the
+// suite's cache on purpose: an Obs handle belongs to exactly one run.
+func (s *Suite) AblationObs() (*stats.Table, error) {
+	t := stats.NewTable("Ablation: observability layer (metrics/timeseries/trace)",
+		"benchmark", "occ_result", "occ_metric", "merges", "win_splits", "ts_samples", "trace_events")
+	for _, name := range s.ablationSet() {
+		tr, err := s.Trace(name, 8)
+		if err != nil {
+			return nil, err
+		}
+		cfg := cpu.DefaultRunConfig()
+		cfg.Obs = obs.New(64, 1<<20)
+		s.progress("simulating %s (8 threads, mac, observed)", name)
+		res, err := cpu.Run(cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		occ, _ := cfg.Obs.Registry.Get("mac.arq.occupancy_mean")
+		merges, _ := cfg.Obs.Registry.Get("mac.arq.merges")
+		splits, _ := cfg.Obs.Registry.Get("mac.arq.window_splits")
+		t.AddRow(name, res.ARQOccupancy, occ, uint64(merges), uint64(splits),
+			cfg.Obs.Recorder.Samples(), uint64(cfg.Obs.Tracer.Len()))
 	}
 	return t, nil
 }

@@ -127,6 +127,11 @@ func All() []Entry {
 			Paper: "(beyond paper; HMC §2.2.2 link retry under injected faults)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationFaults() },
 		},
+		{
+			ID: "abl-obs", Title: "Ablation: observability layer cross-check",
+			Paper: "(beyond paper; registry vs result occupancy, capture volumes)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationObs() },
+		},
 	}
 }
 

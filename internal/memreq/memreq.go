@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"mac3d/internal/hmc"
+	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 	"mac3d/internal/stats"
 )
@@ -21,18 +22,59 @@ import (
 // Target is the information MAC buffers per merged raw request so the
 // response router can deliver data back to the originating thread
 // (paper §4.1.1: 2B thread id + 2B transaction tag + 4b FLIT id,
-// 4.5B per target in hardware).
+// 4.5B per target in hardware at the paper's 256B window).
 type Target struct {
 	// Thread is the issuing hardware thread id.
 	Thread uint16
 	// Tag is the per-thread transaction tag (e.g. LSQ slot).
 	Tag uint16
-	// Flit is the requested FLIT id within the row (0–15).
+	// Flit is the first requested FLIT id within the coalescing
+	// window: 0–15 for the paper's 256B window, up to 31 (512B) or 63
+	// (1KB) under the §4.3 wide windows. The hardware field widens
+	// with the window — see TargetBytesFor.
 	Flit uint8
+	// Cont marks the continuation half of a raw request that was
+	// split at a coalescing-window boundary. The response router must
+	// deliver it (its FLITs are part of the transaction) but must not
+	// retire an LSQ slot or observe latency for it: the head half
+	// carries the request's single retirement.
+	Cont bool
 }
 
-// TargetBytes is the hardware size of one buffered target (§4.1.1).
+// Validate reports whether the target is representable in the
+// hardware target buffer of a coalescer with the given window size
+// (0 means the paper's 256B window).
+func (t Target) Validate(windowBytes uint32) error {
+	if windowBytes == 0 {
+		windowBytes = 256
+	}
+	if flits := windowBytes / 16; uint32(t.Flit) >= flits {
+		return fmt.Errorf("memreq: target FLIT id %d out of range for %dB window (0–%d)",
+			t.Flit, windowBytes, flits-1)
+	}
+	return nil
+}
+
+// TargetBytes is the hardware size of one buffered target at the
+// paper's 256B coalescing window (§4.1.1: 2B thread + 2B tag + 4b
+// FLIT id). For wide windows use TargetBytesFor.
 const TargetBytes = 4.5
+
+// TargetBytesFor returns the hardware size of one buffered target for
+// a coalescing window: the FLIT-id field grows from 4 bits (256B, 16
+// FLITs) to 5 (512B) or 6 (1KB) bits. 0 means 256.
+func TargetBytesFor(windowBytes uint32) float64 {
+	switch windowBytes {
+	case 0, 256:
+		return 4.5 // 4-bit FLIT id
+	case 512:
+		return 4.625 // 5-bit FLIT id
+	case 1024:
+		return 4.75 // 6-bit FLIT id
+	default:
+		panic(fmt.Sprintf("memreq: no target layout for %dB window", windowBytes))
+	}
+}
 
 // RawRequest is one memory operation as it leaves a core.
 type RawRequest struct {
@@ -70,6 +112,10 @@ type Built struct {
 	// behind the transaction). Drivers must preserve it and pass the
 	// same Built back to Completed; they must not interpret it.
 	Handle any
+	// Span carries the transaction's observability lifecycle stamps;
+	// nil unless tracing is enabled. Drivers stamp Submit/Respond and
+	// hand the span to the tracer on delivery.
+	Span *obs.TxSpan
 }
 
 // Coalescer is a processor-side memory coalescing unit.

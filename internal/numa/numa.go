@@ -19,6 +19,7 @@ import (
 	"mac3d/internal/cpu"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
+	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 	"mac3d/internal/stats"
 	"mac3d/internal/trace"
@@ -138,9 +139,12 @@ func (t *threadState) done() bool {
 
 // node is one processor+MAC+HMC tile.
 type node struct {
-	id      int
-	router  *core.Router
-	coal    memreq.Coalescer
+	id     int
+	router *core.Router
+	coal   memreq.Coalescer
+	// mac is coal when it is the MAC — for occupancy sampling on
+	// backpressured cycles where the coalescer is not ticked.
+	mac     *core.MAC
 	dev     *hmc.Device
 	threads []*threadState // threads homed on this node
 
@@ -195,9 +199,11 @@ func (r *Result) RemoteFraction() float64 {
 
 // System is the multi-node simulator.
 type System struct {
-	cfg      Config
-	nodes    []*node
-	net      messageHeap
+	cfg   Config
+	nodes []*node
+	net   messageHeap
+	// obs is the run's observability handle; nil when disabled.
+	obs      *obs.Obs
 	watchdog *sim.Watchdog
 	// progress counts retirements, submissions and deliveries; the
 	// watchdog fires when it stops moving.
@@ -231,15 +237,37 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		mac := core.New(cfg.MAC)
 		s.nodes = append(s.nodes, &node{
 			id:     i,
 			router: core.NewRouter(rcfg),
-			coal:   core.New(cfg.MAC),
+			coal:   mac,
+			mac:    mac,
 			dev:    dev,
 			resp:   core.NewResponseRouter(0),
 		})
 	}
 	return s, nil
+}
+
+// AttachObs wires every node's coalescer and device into a run's
+// observability layer, each under a "nodeN." name prefix so the shared
+// registry and recorder keep per-node series apart, plus system-wide
+// interconnect probes. Call once before Run; nil is a no-op.
+func (s *System) AttachObs(o *obs.Obs) {
+	s.obs = o
+	if !o.Enabled() {
+		return
+	}
+	for _, nd := range s.nodes {
+		po := o.WithPrefix(fmt.Sprintf("node%d.", nd.id))
+		if a, ok := nd.coal.(obs.Attacher); ok {
+			a.AttachObs(po)
+		}
+		nd.dev.AttachObs(po)
+	}
+	o.Reg().Func("numa.remote_requests", func() float64 { return float64(s.remoteReqs) })
+	o.Rec().Watch("numa.net.inflight", func() float64 { return float64(s.net.Len()) })
 }
 
 // Load distributes a trace's threads across nodes: thread t is homed
@@ -294,6 +322,7 @@ func (s *System) Run() (*Result, error) {
 			s.deliverResponses(nd, now)
 		}
 		s.deliverMessages(now)
+		s.obs.Rec().Sample(uint64(now))
 		if s.drained() {
 			return s.result(now + 1), nil
 		}
@@ -416,11 +445,15 @@ func (s *System) pumpInterconnect(nd *node, now sim.Cycle) {
 
 func (s *System) tickCoalescer(nd *node, now sim.Cycle) {
 	if !nd.dev.CanAccept() {
+		if nd.mac != nil {
+			nd.mac.SampleOccupancy()
+		}
 		return
 	}
 	for _, b := range nd.coal.Tick(now) {
 		bb := b
 		nd.resp.Register(&bb, now)
+		bb.Span.MarkSubmit(uint64(now))
 		nd.dev.Submit(bb.Req, now)
 		s.progress++
 	}
@@ -439,6 +472,8 @@ func (s *System) deliverResponses(nd *node, now sim.Cycle) {
 		poisoned := status == core.RespPoisoned
 		nd.coal.Completed(b)
 		s.progress++
+		b.Span.MarkRespond(uint64(now))
+		s.obs.Trace().Transaction(resp.Tag, b.Span)
 		for _, tgt := range b.Targets {
 			home := int(tgt.Thread) % s.cfg.Nodes
 			if home == nd.id {
@@ -477,6 +512,11 @@ func (s *System) deliverMessages(now sim.Cycle) {
 }
 
 func (s *System) retire(tgt memreq.Target, now sim.Cycle, poisoned bool) {
+	if tgt.Cont {
+		// Continuation half of a window-split request: the head half
+		// owns the request's one LSQ slot and latency observation.
+		return
+	}
 	t := s.thread(tgt.Thread)
 	if t == nil {
 		// A corrupt target naming a thread the system does not run:

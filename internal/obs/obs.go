@@ -1,0 +1,306 @@
+// Package obs is the cycle-level observability layer of the simulator:
+// a zero-allocation metrics registry (counters, gauges, function gauges
+// and histograms) that every component registers into, a cycle-sampled
+// timeseries recorder for queue/link state, and a Chrome trace-event
+// exporter that renders per-transaction spans for chrome://tracing /
+// Perfetto.
+//
+// The whole layer is designed around a nil handle: every method on a
+// nil *Obs, *Registry, *Recorder, *Tracer, *Counter, *Gauge or
+// *Histogram is a no-op, so instrumented components carry plain nil
+// pointers when observability is disabled and the hot path pays only a
+// predictable nil check — no allocation, no interface dispatch, no
+// locks (one run is single-goroutine; concurrent runs each own their
+// Obs).
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"mac3d/internal/stats"
+)
+
+// Obs bundles the three observability facilities of one run. A nil
+// *Obs disables all instrumentation.
+type Obs struct {
+	Registry *Registry
+	Recorder *Recorder
+	Tracer   *Tracer
+}
+
+// New returns an Obs with a fresh registry, a recorder sampling every
+// sampleInterval cycles, and — when maxTraceEvents > 0 — a tracer
+// bounded to that many events.
+func New(sampleInterval, maxTraceEvents int) *Obs {
+	o := &Obs{
+		Registry: NewRegistry(),
+		Recorder: NewRecorder(sampleInterval),
+	}
+	if maxTraceEvents > 0 {
+		o.Tracer = NewTracer(maxTraceEvents, 0)
+	}
+	return o
+}
+
+// Enabled reports whether the handle carries live instrumentation.
+func (o *Obs) Enabled() bool { return o != nil }
+
+// Reg returns the registry, or nil on a nil receiver.
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Rec returns the recorder, or nil on a nil receiver.
+func (o *Obs) Rec() *Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Recorder
+}
+
+// Trace returns the tracer, or nil on a nil receiver.
+func (o *Obs) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Tracing reports whether per-transaction span capture is active.
+func (o *Obs) Tracing() bool { return o != nil && o.Tracer != nil }
+
+// WithPrefix returns a view of the handle whose registry and recorder
+// prepend prefix to every registered name — how multi-node drivers
+// (numa) keep per-node metrics apart in one shared registry. The
+// tracer is shared unprefixed.
+func (o *Obs) WithPrefix(prefix string) *Obs {
+	if o == nil {
+		return nil
+	}
+	return &Obs{
+		Registry: o.Registry.WithPrefix(prefix),
+		Recorder: o.Recorder.WithPrefix(prefix),
+		Tracer:   o.Tracer,
+	}
+}
+
+// Attacher is the optional interface a component implements to receive
+// the run's observability handle. Drivers type-assert it so the
+// memreq.Coalescer contract stays unchanged.
+type Attacher interface {
+	AttachObs(o *Obs)
+}
+
+// Counter is a monotonically increasing metric. The nil counter
+// discards writes.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value. The nil gauge discards writes.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g != nil {
+		g.v += delta
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a named log2 histogram (see stats.Histogram). The nil
+// histogram discards observations.
+type Histogram struct {
+	name string
+	h    stats.Histogram
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h != nil {
+		h.h.Observe(v)
+	}
+}
+
+// Snapshot returns the underlying histogram state (zero value on nil).
+func (h *Histogram) Snapshot() stats.Histogram {
+	if h == nil {
+		return stats.Histogram{}
+	}
+	return h.h
+}
+
+// funcGauge is a lazily evaluated metric: the function runs only at
+// snapshot time, so registering one costs the hot path nothing.
+type funcGauge struct {
+	name string
+	fn   func() float64
+}
+
+// Registry is the named-metric set of one run. Registration happens at
+// component attach time (never on the hot path); reads happen at
+// snapshot time. Names must be unique across all metric kinds —
+// duplicate registration panics, since it means two components claimed
+// the same series. Prefixed views (WithPrefix) share one underlying
+// metric set.
+type Registry struct {
+	s      *regState
+	prefix string
+}
+
+type regState struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	funcs    []funcGauge
+	names    map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{s: &regState{names: make(map[string]struct{})}}
+}
+
+// WithPrefix returns a view registering every name under prefix, into
+// the same underlying metric set.
+func (r *Registry) WithPrefix(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{s: r.s, prefix: r.prefix + prefix}
+}
+
+func (r *Registry) claim(name string) string {
+	name = r.prefix + name
+	if _, dup := r.s.names[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.s.names[name] = struct{}{}
+	return name
+}
+
+// Counter registers and returns a counter. A nil registry returns a
+// nil (discarding) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{name: r.claim(name)}
+	r.s.counters = append(r.s.counters, c)
+	return c
+}
+
+// Gauge registers and returns a gauge. A nil registry returns a nil
+// (discarding) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{name: r.claim(name)}
+	r.s.gauges = append(r.s.gauges, g)
+	return g
+}
+
+// Histogram registers and returns a histogram. A nil registry returns
+// a nil (discarding) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := &Histogram{name: r.claim(name)}
+	r.s.hists = append(r.s.hists, h)
+	return h
+}
+
+// Func registers a lazily evaluated gauge; fn runs at snapshot time
+// only. A nil registry ignores the registration.
+func (r *Registry) Func(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.s.funcs = append(r.s.funcs, funcGauge{name: r.claim(name), fn: fn})
+}
+
+// Metric is one named value in a registry snapshot.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot evaluates every registered metric and returns them sorted
+// by name. Histograms expand into .count/.mean/.p99/.max entries.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	out := make([]Metric, 0, len(r.s.counters)+len(r.s.gauges)+len(r.s.funcs)+4*len(r.s.hists))
+	for _, c := range r.s.counters {
+		out = append(out, Metric{c.name, float64(c.v)})
+	}
+	for _, g := range r.s.gauges {
+		out = append(out, Metric{g.name, g.v})
+	}
+	for _, f := range r.s.funcs {
+		out = append(out, Metric{f.name, f.fn()})
+	}
+	for _, h := range r.s.hists {
+		out = append(out,
+			Metric{h.name + ".count", float64(h.h.Count())},
+			Metric{h.name + ".mean", h.h.Mean()},
+			Metric{h.name + ".p99", float64(h.h.Quantile(0.99))},
+			Metric{h.name + ".max", float64(h.h.Max())},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the snapshot value of one metric by name.
+func (r *Registry) Get(name string) (float64, bool) {
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every call on the disabled (nil) layer must be a silent no-op.
+	var o *Obs
+	if o.Enabled() || o.Tracing() {
+		t.Fatal("nil Obs reports enabled")
+	}
+	c := o.Reg().Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter retained a value")
+	}
+	g := o.Reg().Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge retained a value")
+	}
+	h := o.Reg().Histogram("z")
+	h.Observe(9)
+	if hs := h.Snapshot(); hs.Count() != 0 {
+		t.Fatal("nil histogram retained a sample")
+	}
+	o.Reg().Func("f", func() float64 { return 1 })
+	if o.Reg().Snapshot() != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	o.Rec().Watch("w", func() float64 { return 1 })
+	o.Rec().Sample(0)
+	if o.Rec().Samples() != 0 || o.Rec().Series() != nil {
+		t.Fatal("nil recorder recorded")
+	}
+	o.Trace().Complete("a", "b", 0, 0, 0, 1, nil)
+	o.Trace().CounterEvent("c", 0, nil)
+	o.Trace().Transaction(0, &TxSpan{})
+	if o.Trace().Len() != 0 || o.Trace().Dropped() != 0 {
+		t.Fatal("nil tracer captured events")
+	}
+	var sb strings.Builder
+	if err := o.Rec().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("b.count")
+	c.Add(3)
+	g := r.Gauge("a.gauge")
+	g.Set(1.5)
+	r.Func("c.func", func() float64 { return 7 })
+	h := r.Histogram("d.lat")
+	h.Observe(4)
+	h.Observe(8)
+
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"a.gauge":     1.5,
+		"b.count":     3,
+		"c.func":      7,
+		"d.lat.count": 2,
+		"d.lat.mean":  6,
+		"d.lat.max":   8,
+	}
+	got := map[string]float64{}
+	for _, m := range snap {
+		got[m.Name] = m.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+	// Sorted by name.
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot unsorted: %q >= %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	if v, ok := r.Get("b.count"); !ok || v != 3 {
+		t.Fatalf("Get(b.count) = %v, %v", v, ok)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestRecorderSampling(t *testing.T) {
+	r := NewRecorder(4)
+	var depth float64
+	r.Watch("queue.depth", func() float64 { return depth })
+	for cyc := uint64(0); cyc < 20; cyc++ {
+		depth = float64(cyc)
+		r.Sample(cyc)
+	}
+	s, ok := r.Lookup("queue.depth")
+	if !ok {
+		t.Fatal("series missing")
+	}
+	if len(s.Points) != 5 { // cycles 0,4,8,12,16
+		t.Fatalf("got %d points, want 5", len(s.Points))
+	}
+	if s.Points[2].Cycle != 8 || s.Points[2].Value != 8 {
+		t.Fatalf("point[2] = %+v", s.Points[2])
+	}
+	if mean := s.Mean(); math.Abs(mean-8) > 1e-9 {
+		t.Fatalf("mean = %v, want 8", mean)
+	}
+	if s.Max() != 16 {
+		t.Fatalf("max = %v, want 16", s.Max())
+	}
+	if r.Samples() != 5 {
+		t.Fatalf("samples = %d, want 5", r.Samples())
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder(1)
+	r.Watch("a", func() float64 { return 1 })
+	r.Watch("b", func() float64 { return 2.5 })
+	r.Sample(0)
+	r.Sample(1)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,a,b\n0,1,2.5\n1,1,2.5\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestTracerTransactionJSON(t *testing.T) {
+	tr := NewTracer(100, 1e6) // 1 MHz: 1 cycle = 1 µs, easy math
+	tr.Transaction(7, &TxSpan{
+		FirstPush: 10, LastMerge: 12, Pop: 20, Built: 22,
+		Submit: 22, Respond: 80,
+		Addr: 0x1000, Bytes: 128, Targets: 5,
+	})
+	tr.CounterEvent("arq", 15, map[string]any{"occupancy": 3})
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	// queue + build + device + counter
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(f.TraceEvents))
+	}
+	q := f.TraceEvents[0]
+	if q.Name != "queue" || q.Ph != "X" || q.TS != 10 || q.Dur != 10 || q.TID != 7 {
+		t.Fatalf("queue event = %+v", q)
+	}
+	dev := f.TraceEvents[2]
+	if dev.Name != "device" || dev.TS != 22 || dev.Dur != 58 {
+		t.Fatalf("device event = %+v", dev)
+	}
+	if f.TraceEvents[3].Ph != "C" {
+		t.Fatalf("counter event = %+v", f.TraceEvents[3])
+	}
+}
+
+func TestTracerBypassedSkipsBuild(t *testing.T) {
+	tr := NewTracer(10, 1e6)
+	tr.Transaction(1, &TxSpan{FirstPush: 0, Pop: 5, Built: 5, Submit: 5, Respond: 9, Bypassed: true})
+	if tr.Len() != 2 { // queue + device only
+		t.Fatalf("got %d events, want 2", tr.Len())
+	}
+}
+
+func TestTracerCap(t *testing.T) {
+	tr := NewTracer(3, 1e6)
+	for i := uint64(0); i < 5; i++ {
+		tr.Complete("e", "", 0, i, i, i+1, nil)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "droppedEvents") {
+		t.Fatal("droppedEvents note missing from trace file")
+	}
+}
+
+func TestEmptyTraceIsValidJSON(t *testing.T) {
+	var sb strings.Builder
+	var tr *Tracer
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f["traceEvents"]; !ok {
+		t.Fatal("traceEvents key missing")
+	}
+}

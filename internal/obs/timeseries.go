@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Point is one timeseries sample.
+type Point struct {
+	Cycle uint64
+	Value float64
+}
+
+// Series is one named cycle-sampled signal.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Mean returns the arithmetic mean of the series' samples.
+func (s Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the largest sample value.
+func (s Series) Max() float64 {
+	var m float64
+	for _, p := range s.Points {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// probe is a registered signal source, polled at each sample cycle.
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// Recorder samples registered probes once every Interval cycles,
+// building per-signal timeseries. Drivers call Sample(now) once per
+// simulated cycle; off-interval cycles cost one comparison. A nil
+// recorder ignores all calls. Prefixed views (WithPrefix) share one
+// underlying probe set.
+type Recorder struct {
+	s      *recState
+	prefix string
+}
+
+type recState struct {
+	interval uint64
+	probes   []probe
+	series   []Series
+	samples  uint64
+}
+
+// NewRecorder returns a recorder sampling every intervalCycles cycles
+// (values < 1 clamp to 1, i.e. every cycle).
+func NewRecorder(intervalCycles int) *Recorder {
+	if intervalCycles < 1 {
+		intervalCycles = 1
+	}
+	return &Recorder{s: &recState{interval: uint64(intervalCycles)}}
+}
+
+// WithPrefix returns a view registering every probe name under prefix,
+// into the same underlying recorder.
+func (r *Recorder) WithPrefix(prefix string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{s: r.s, prefix: r.prefix + prefix}
+}
+
+// Interval returns the sampling interval in cycles (0 on nil).
+func (r *Recorder) Interval() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.s.interval
+}
+
+// Watch registers a named probe. Registration order fixes column order
+// in CSV output. Duplicate names panic. A nil recorder ignores the
+// registration.
+func (r *Recorder) Watch(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	name = r.prefix + name
+	for _, p := range r.s.probes {
+		if p.name == name {
+			panic(fmt.Sprintf("obs: duplicate timeseries %q", name))
+		}
+	}
+	r.s.probes = append(r.s.probes, probe{name, fn})
+	r.s.series = append(r.s.series, Series{Name: name})
+}
+
+// Sample polls every probe if now falls on the sampling interval.
+// Call once per simulated cycle.
+func (r *Recorder) Sample(now uint64) {
+	if r == nil || now%r.s.interval != 0 {
+		return
+	}
+	r.s.samples++
+	for i, p := range r.s.probes {
+		r.s.series[i].Points = append(r.s.series[i].Points, Point{now, p.fn()})
+	}
+}
+
+// Samples returns how many sample cycles have been recorded.
+func (r *Recorder) Samples() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.s.samples
+}
+
+// Series returns the recorded timeseries (shared backing; callers
+// must not mutate).
+func (r *Recorder) Series() []Series {
+	if r == nil {
+		return nil
+	}
+	return r.s.series
+}
+
+// Lookup returns the series with the given name.
+func (r *Recorder) Lookup(name string) (Series, bool) {
+	if r == nil {
+		return Series{}, false
+	}
+	for _, s := range r.s.series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// WriteCSV renders all series in wide format: a header row of
+// "cycle,<name>..." followed by one row per sample cycle.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, s := range r.s.series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	n := 0
+	if len(r.s.series) > 0 {
+		n = len(r.s.series[0].Points)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d", r.s.series[0].Points[i].Cycle)
+		for _, s := range r.s.series {
+			fmt.Fprintf(&b, ",%g", s.Points[i].Value)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"mac3d/internal/sim"
+)
+
+// TxSpan carries the per-transaction lifecycle timestamps (in cycles)
+// that the tracer renders as Chrome trace spans. The aggregator stamps
+// FirstPush/LastMerge, the builder stamps Pop/Built, the node driver
+// stamps Submit/Respond. A nil span means tracing is off — every
+// stamping site nil-checks.
+type TxSpan struct {
+	FirstPush uint64 // first raw request entered the ARQ entry
+	LastMerge uint64 // last raw request merged into the entry
+	Pop       uint64 // entry left the ARQ / bypass dispatched
+	Built     uint64 // builder emitted the memory transaction
+	Submit    uint64 // transaction accepted by the device
+	Respond   uint64 // response delivered back to the cores
+
+	Addr     uint64 // transaction base address
+	Bytes    uint32 // transaction payload size
+	Targets  int    // raw requests satisfied by the response
+	Store    bool
+	Bypassed bool // B-bit bypass (single-target) transaction
+}
+
+// The Mark* setters are nil-safe so every stamping site on the hot
+// path stays a single unconditional call.
+
+// MarkMerge stamps the latest merge cycle.
+func (s *TxSpan) MarkMerge(now uint64) {
+	if s != nil {
+		s.LastMerge = now
+	}
+}
+
+// MarkPop stamps the ARQ-pop cycle.
+func (s *TxSpan) MarkPop(now uint64) {
+	if s != nil {
+		s.Pop = now
+	}
+}
+
+// MarkBuilt stamps the builder-emit cycle.
+func (s *TxSpan) MarkBuilt(now uint64) {
+	if s != nil {
+		s.Built = now
+	}
+}
+
+// MarkSubmit stamps the device-accept cycle.
+func (s *TxSpan) MarkSubmit(now uint64) {
+	if s != nil {
+		s.Submit = now
+	}
+}
+
+// MarkRespond stamps the response-delivery cycle.
+func (s *TxSpan) MarkRespond(now uint64) {
+	if s != nil {
+		s.Respond = now
+	}
+}
+
+// TraceEvent is one Chrome trace-event ("Trace Event Format") record.
+// Only the "X" (complete) and "C" (counter) phases are emitted.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	PID  uint64         `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object Chrome/Perfetto load.
+type traceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Tracer accumulates Chrome trace events, bounded to a maximum count
+// (oldest events win; later events are counted as dropped). Timestamps
+// convert simulated cycles to microseconds at the configured clock. A
+// nil tracer discards all events.
+type Tracer struct {
+	events     []TraceEvent
+	max        int
+	dropped    uint64
+	usPerCycle float64
+}
+
+// NewTracer returns a tracer holding at most maxEvents events,
+// converting cycles at freqHz (0 selects sim.DefaultFreqHz).
+func NewTracer(maxEvents int, freqHz float64) *Tracer {
+	if maxEvents < 1 {
+		maxEvents = 1
+	}
+	if freqHz <= 0 {
+		freqHz = sim.DefaultFreqHz
+	}
+	return &Tracer{max: maxEvents, usPerCycle: 1e6 / freqHz}
+}
+
+// Enabled reports whether events are being captured.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len returns the number of captured events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded after the cap filled.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+func (t *Tracer) push(ev TraceEvent) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Complete emits an "X" (complete) event spanning [start, end] cycles
+// on the given pid/tid rows.
+func (t *Tracer) Complete(name, cat string, pid, tid, start, end uint64, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	dur := float64(end-start) * t.usPerCycle
+	if dur <= 0 {
+		// Chrome renders zero-width slices invisibly; give
+		// single-cycle phases a sliver of width.
+		dur = t.usPerCycle / 2
+	}
+	t.push(TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: float64(start) * t.usPerCycle, Dur: dur,
+		PID: pid, TID: tid, Args: args,
+	})
+}
+
+// CounterEvent emits a "C" (counter) event: Perfetto renders each
+// series in values as a stacked counter track.
+func (t *Tracer) CounterEvent(name string, cycle uint64, values map[string]any) {
+	if t == nil {
+		return
+	}
+	t.push(TraceEvent{
+		Name: name, Ph: "C",
+		TS:  float64(cycle) * t.usPerCycle,
+		PID: 0, TID: 0, Args: values,
+	})
+}
+
+// Transaction renders one completed TxSpan as its lifecycle phases —
+// queue (push→pop), build (pop→built), device (submit→respond) — on a
+// per-transaction tid row, pid 1. tag is the response-router tag.
+func (t *Tracer) Transaction(tag uint64, s *TxSpan) {
+	if t == nil || s == nil {
+		return
+	}
+	kind := "load"
+	if s.Store {
+		kind = "store"
+	}
+	args := map[string]any{
+		"addr":    s.Addr,
+		"bytes":   s.Bytes,
+		"targets": s.Targets,
+		"kind":    kind,
+	}
+	if s.Bypassed {
+		args["bypassed"] = true
+	}
+	const pid = 1
+	t.Complete("queue", "arq", pid, tag, s.FirstPush, s.Pop, args)
+	if !s.Bypassed && s.Built > s.Pop {
+		t.Complete("build", "builder", pid, tag, s.Pop, s.Built, nil)
+	}
+	t.Complete("device", "hmc", pid, tag, s.Submit, s.Respond, nil)
+}
+
+// WriteJSON writes the accumulated events as a Chrome trace file
+// (object form, displayTimeUnit ms) loadable in chrome://tracing and
+// Perfetto.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{
+		TraceEvents:     []TraceEvent{},
+		DisplayTimeUnit: "ms",
+	}
+	if t != nil {
+		f.TraceEvents = t.events
+		if t.dropped > 0 {
+			f.OtherData = map[string]any{"droppedEvents": t.dropped}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

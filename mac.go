@@ -161,6 +161,13 @@ type RunOptions struct {
 	// diagnostic error instead of spinning to the cycle limit.
 	// Default 1,000,000; negative disables the watchdog.
 	WatchdogCycles int64
+
+	// Observe configures the cycle-level observability layer (metrics
+	// registry, timeseries recorder, transaction tracer). Disabled by
+	// default; when enabled the report carries an Observability block.
+	// Run honours it; Compare ignores it (each registry belongs to
+	// exactly one run — observe the two designs with separate Runs).
+	Observe ObserveOptions
 }
 
 // FaultOptions configures the deterministic link-level fault model
@@ -343,11 +350,13 @@ func runTrace(opts RunOptions, tr *trace.Trace) (*RunReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	rcfg.Obs = opts.Observe.build()
 	res, err := cpu.Run(rcfg, tr)
 	if err != nil {
 		return nil, err
 	}
 	rep := newRunReport(opts, res)
+	rep.Observability = newObsReport(rcfg.Obs)
 	return &rep, nil
 }
 

@@ -1,0 +1,163 @@
+package mac3d
+
+import (
+	"fmt"
+	"io"
+
+	"mac3d/internal/obs"
+)
+
+// ObserveOptions enables the cycle-level observability layer for one
+// run: an end-of-run metrics registry every component reports into, a
+// cycle-sampled timeseries recorder for queue/link state (ARQ
+// occupancy, LSQ pressure, in-flight transactions, vault queue depths,
+// link retry state), and — when Trace is set — a per-transaction span
+// tracer exportable as Chrome trace-event JSON for chrome://tracing or
+// Perfetto. The zero value disables the layer entirely; a disabled run
+// pays only nil checks on the hot path.
+type ObserveOptions struct {
+	// Enabled turns the layer on.
+	Enabled bool
+	// SampleInterval is the timeseries sampling period in cycles
+	// (default 64; 1 samples every cycle).
+	SampleInterval int
+	// Trace enables per-transaction span capture for the Chrome
+	// trace-event export — the most expensive facility, so it is
+	// opt-in beyond Enabled.
+	Trace bool
+	// MaxTraceEvents caps captured trace events; the tracer counts
+	// drops past the cap instead of growing without bound
+	// (default 1<<20).
+	MaxTraceEvents int
+}
+
+// build lowers the options to an internal handle (nil when disabled).
+func (o ObserveOptions) build() *obs.Obs {
+	if !o.Enabled {
+		return nil
+	}
+	interval := o.SampleInterval
+	if interval == 0 {
+		interval = 64
+	}
+	ob := &obs.Obs{Registry: obs.NewRegistry(), Recorder: obs.NewRecorder(interval)}
+	if o.Trace {
+		max := o.MaxTraceEvents
+		if max == 0 {
+			max = 1 << 20
+		}
+		ob.Tracer = obs.NewTracer(max, 0)
+	}
+	return ob
+}
+
+// MetricValue is one named end-of-run measurement from the metrics
+// registry.
+type MetricValue struct {
+	Name  string
+	Value float64
+}
+
+// TimePoint is one sample of a cycle-sampled signal.
+type TimePoint struct {
+	Cycle uint64
+	Value float64
+}
+
+// TimeSeries is one named cycle-sampled signal.
+type TimeSeries struct {
+	Name   string
+	Points []TimePoint
+}
+
+// Mean returns the arithmetic mean of the series' samples.
+func (s TimeSeries) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// ObsReport carries a run's observability output: the metric snapshot,
+// the recorded timeseries, and writers for the timeseries CSV and the
+// Chrome trace-event JSON. It is attached to a RunReport when
+// RunOptions.Observe.Enabled is set.
+type ObsReport struct {
+	// Metrics is the end-of-run registry snapshot, sorted by name.
+	Metrics []MetricValue
+	// Timeseries holds every recorded signal, in registration order.
+	Timeseries []TimeSeries
+	// SampleInterval is the recorder's sampling period in cycles.
+	SampleInterval uint64
+	// TraceEvents and TraceDropped report the tracer's captured and
+	// over-cap event counts (both zero when tracing was off).
+	TraceEvents  int
+	TraceDropped uint64
+
+	rec  *obs.Recorder
+	trac *obs.Tracer
+}
+
+func newObsReport(ob *obs.Obs) *ObsReport {
+	if ob == nil {
+		return nil
+	}
+	r := &ObsReport{
+		SampleInterval: ob.Recorder.Interval(),
+		TraceEvents:    ob.Tracer.Len(),
+		TraceDropped:   ob.Tracer.Dropped(),
+		rec:            ob.Recorder,
+		trac:           ob.Tracer,
+	}
+	for _, m := range ob.Registry.Snapshot() {
+		r.Metrics = append(r.Metrics, MetricValue{Name: m.Name, Value: m.Value})
+	}
+	for _, s := range ob.Recorder.Series() {
+		ts := TimeSeries{Name: s.Name, Points: make([]TimePoint, 0, len(s.Points))}
+		for _, p := range s.Points {
+			ts.Points = append(ts.Points, TimePoint{Cycle: p.Cycle, Value: p.Value})
+		}
+		r.Timeseries = append(r.Timeseries, ts)
+	}
+	return r
+}
+
+// Metric returns the named end-of-run metric.
+func (r *ObsReport) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Series returns the named timeseries.
+func (r *ObsReport) Series(name string) (TimeSeries, bool) {
+	for _, s := range r.Timeseries {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return TimeSeries{}, false
+}
+
+// WriteTimeseriesCSV renders every recorded signal in wide CSV format:
+// a "cycle,<name>..." header followed by one row per sample cycle.
+func (r *ObsReport) WriteTimeseriesCSV(w io.Writer) error {
+	return r.rec.WriteCSV(w)
+}
+
+// WriteTrace renders the captured transaction spans as Chrome
+// trace-event JSON, loadable in chrome://tracing and Perfetto. It
+// errors when the run did not enable tracing.
+func (r *ObsReport) WriteTrace(w io.Writer) error {
+	if r.trac == nil {
+		return fmt.Errorf("mac3d: run did not enable ObserveOptions.Trace")
+	}
+	return r.trac.WriteJSON(w)
+}

@@ -1,0 +1,145 @@
+package mac3d
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestObserveRun is the observability acceptance test: an observed run
+// must yield (1) a metrics registry whose ARQ occupancy agrees with
+// the report, (2) an ARQ-occupancy timeseries whose mean matches the
+// per-cycle-sampled occupancy within 1%, and (3) a Chrome trace-event
+// JSON document that parses and carries the span phases.
+func TestObserveRun(t *testing.T) {
+	rep, err := Run(RunOptions{
+		Workload: "sg",
+		Observe:  ObserveOptions{Enabled: true, SampleInterval: 1, Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Observability
+	if o == nil {
+		t.Fatal("observed run returned no Observability block")
+	}
+	if o.SampleInterval != 1 {
+		t.Fatalf("SampleInterval = %d, want 1", o.SampleInterval)
+	}
+
+	// Registry cross-check: the occupancy metric is computed from the
+	// same per-cycle samples as the report field.
+	occ, ok := o.Metric("mac.arq.occupancy_mean")
+	if !ok {
+		t.Fatal("metric mac.arq.occupancy_mean missing")
+	}
+	if occ != rep.ARQOccupancy {
+		t.Fatalf("registry occupancy %v != report occupancy %v", occ, rep.ARQOccupancy)
+	}
+
+	// Timeseries cross-check: the recorder polls ARQ depth once per
+	// node cycle; its mean must agree with the MAC's own per-tick
+	// sampling within 1%.
+	series, ok := o.Series("mac.arq.occupancy")
+	if !ok {
+		t.Fatal("timeseries mac.arq.occupancy missing")
+	}
+	if len(series.Points) == 0 {
+		t.Fatal("timeseries mac.arq.occupancy is empty")
+	}
+	if rep.ARQOccupancy > 0 {
+		if rel := math.Abs(series.Mean()-rep.ARQOccupancy) / rep.ARQOccupancy; rel > 0.01 {
+			t.Fatalf("timeseries mean %v vs per-cycle occupancy %v: relative error %.4f > 1%%",
+				series.Mean(), rep.ARQOccupancy, rel)
+		}
+	}
+
+	// Metrics must cover every attached component.
+	for _, name := range []string{
+		"mac.arq.merges", "mac.arq.allocs", "mac.arq.window_splits",
+		"mac.inflight", "hmc.requests", "hmc.bank_conflicts",
+		"node.mem_requests",
+	} {
+		if _, ok := o.Metric(name); !ok {
+			t.Errorf("metric %s missing", name)
+		}
+	}
+
+	// The trace export must be valid Chrome trace-event JSON with the
+	// expected phases.
+	if o.TraceEvents == 0 {
+		t.Fatal("tracing enabled but no events captured")
+	}
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != o.TraceEvents {
+		t.Fatalf("trace has %d events, report says %d", len(doc.TraceEvents), o.TraceEvents)
+	}
+	phases := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		phases[ev.Name] = true
+	}
+	for _, want := range []string{"queue", "build", "device"} {
+		if !phases[want] {
+			t.Errorf("trace missing %q spans", want)
+		}
+	}
+
+	// The CSV writer must emit a header plus one row per sample.
+	buf.Reset()
+	if err := o.WriteTimeseriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != len(series.Points)+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, len(series.Points)+1)
+	}
+	if !strings.HasPrefix(buf.String(), "cycle,") {
+		t.Fatalf("CSV header malformed: %q", buf.String()[:40])
+	}
+}
+
+// TestObserveDisabled checks that an unobserved run carries no
+// observability block and that WriteTrace on a metrics-only run
+// errors instead of writing nothing.
+func TestObserveDisabled(t *testing.T) {
+	rep, err := Run(RunOptions{Workload: "sg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observability != nil {
+		t.Fatal("unobserved run carries an Observability block")
+	}
+
+	rep, err = Run(RunOptions{Workload: "sg", Observe: ObserveOptions{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observability == nil {
+		t.Fatal("observed run missing Observability block")
+	}
+	if rep.Observability.TraceEvents != 0 {
+		t.Fatal("tracing off but events captured")
+	}
+	if err := rep.Observability.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTrace without tracing should error")
+	}
+}

@@ -78,6 +78,10 @@ type RunReport struct {
 	// Faults aggregates the link-fault machinery's counters; all zero
 	// when fault injection is disabled.
 	Faults FaultReport
+
+	// Observability carries the run's metric snapshot, timeseries and
+	// trace export; nil unless RunOptions.Observe.Enabled was set.
+	Observability *ObsReport
 }
 
 // FaultReport is the measurement set of the link-level fault model.
