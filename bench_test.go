@@ -316,6 +316,23 @@ func BenchmarkPipelineSGObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineSGAudited is BenchmarkPipelineSG with the
+// request-lifecycle audit ledger on; the delta against
+// BenchmarkPipelineSG is the enabled-path audit overhead. The disabled
+// path (nil-ledger checks only) rides the same <5% guard as
+// observability: BenchmarkPipelineSG versus its pre-audit baseline.
+func BenchmarkPipelineSGAudited(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(RunOptions{Workload: "sg", Audit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Audit == nil || !rep.Audit.Ok() {
+			b.Fatal("audit report missing or violated")
+		}
+	}
+}
+
 func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := workloads.Generate("bfs", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny}); err != nil {

@@ -1,0 +1,116 @@
+package mac3d
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestAuditedRunReportsCleanLedger: an audited fault-free run must
+// hold every invariant and account for every request.
+func TestAuditedRunReportsCleanLedger(t *testing.T) {
+	rep, err := Run(RunOptions{Workload: "sg", Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rep.Audit
+	if a == nil {
+		t.Fatal("Audit requested but report missing")
+	}
+	if !a.Ok() {
+		t.Fatalf("violations on a clean run: %v", a.Violations)
+	}
+	if a.Issued != rep.MemRequests || a.Delivered != a.Issued || a.Open != 0 {
+		t.Fatalf("ledger counters: %+v (MemRequests=%d)", a, rep.MemRequests)
+	}
+	// Audit off keeps the report field nil.
+	plain, err := Run(RunOptions{Workload: "sg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Audit != nil {
+		t.Fatal("Audit report present without RunOptions.Audit")
+	}
+}
+
+// TestChaosProfileSurfacesInReport: a chaos run carries its canonical
+// profile and injected-adversity counters; the same seed replays the
+// identical report.
+func TestChaosProfileSurfacesInReport(t *testing.T) {
+	opts := RunOptions{
+		Workload: "sg",
+		Audit:    true,
+		Chaos:    ChaosOptions{Profile: "storm", Seed: 7},
+	}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Chaos == nil {
+		t.Fatal("chaos profile configured but report missing")
+	}
+	if a.Chaos.DelayedResponses == 0 && a.Chaos.FencesInjected == 0 &&
+		a.Chaos.VaultStalls == 0 && a.Chaos.FreezeCycles == 0 {
+		t.Fatalf("storm injected nothing: %+v", a.Chaos)
+	}
+	if !strings.Contains(a.Chaos.Profile, "seed=7") {
+		t.Fatalf("profile rendering lacks the seed override: %q", a.Chaos.Profile)
+	}
+	if !a.Audit.Ok() {
+		t.Fatalf("storm broke invariants: %v", a.Audit.Violations)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("chaos with a fixed seed is not deterministic")
+	}
+}
+
+// TestRetryOptionsRecoverPoisonedRuns: under a survivable poison rate
+// the retry policy converges — no failed requests, re-issues counted.
+func TestRetryOptionsRecoverPoisonedRuns(t *testing.T) {
+	opts := RunOptions{
+		Workload: "sg",
+		Audit:    true,
+		Faults:   FaultOptions{CRCErrorRate: 0.3, RetryLimit: 1, Seed: 9},
+		Retry:    RetryOptions{MaxRetries: 8, BackoffCycles: 16},
+	}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults.PoisonedResponses == 0 {
+		t.Fatal("setup: no poisoned responses to recover from")
+	}
+	if rep.Faults.RetriedRequests == 0 || rep.Audit.Reissued == 0 {
+		t.Fatalf("no re-issues recorded: %+v / %+v", rep.Faults, rep.Audit)
+	}
+	if rep.Faults.FailedRequests != 0 {
+		t.Fatalf("%d requests failed despite the retry budget", rep.Faults.FailedRequests)
+	}
+	if !rep.Audit.Ok() {
+		t.Fatalf("retries broke invariants: %v", rep.Audit.Violations)
+	}
+}
+
+// TestChaosAndRetryOptionsValidated: malformed chaos profiles and
+// negative retry knobs surface as configuration errors.
+func TestChaosAndRetryOptionsValidated(t *testing.T) {
+	for _, opts := range []RunOptions{
+		{Workload: "sg", Chaos: ChaosOptions{Profile: "warp=0.1"}},
+		{Workload: "sg", Chaos: ChaosOptions{Profile: "delay=1.5"}},
+		{Workload: "sg", Retry: RetryOptions{MaxRetries: -1}},
+		{Workload: "sg", Retry: RetryOptions{MaxRetries: 1, BackoffCycles: -5}},
+	} {
+		if _, err := Run(opts); err == nil {
+			t.Fatalf("invalid options accepted: %+v", opts)
+		}
+	}
+	if _, err := RunNUMA(NUMAOptions{
+		Workload: "sg", Retry: RetryOptions{MaxRetries: 1, BackoffCycles: -5},
+	}); err == nil {
+		t.Fatal("RunNUMA accepted a negative retry backoff")
+	}
+}

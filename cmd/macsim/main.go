@@ -8,7 +8,16 @@
 //	       [-design mac|raw|mshr] [-compare] [-arq 32] [-seed 1]
 //	       [-metrics-out m.txt] [-timeseries-out ts.csv]
 //	       [-trace-out trace.json] [-obs-interval 64]
+//	       [-audit] [-chaos-profile mild|storm|delay=0.01:16:32,...]
+//	       [-chaos-seed 1] [-retry 3] [-retry-backoff 32]
 //	macsim -list
+//
+// A run with -audit prints the request-lifecycle conservation report
+// and exits non-zero if any invariant was violated. -chaos-profile
+// composes deterministic stressors (response delay/reorder storms,
+// fence storms, submit freezes, transient vault stalls) on top of any
+// fault injection; -chaos-seed replays a specific adversarial
+// schedule. -retry re-issues poisoned completions at the requester.
 package main
 
 import (
@@ -34,6 +43,11 @@ func main() {
 	timeseriesOut := flag.String("timeseries-out", "", "write cycle-sampled timeseries CSV to this file")
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 	obsInterval := flag.Int("obs-interval", 64, "timeseries sampling interval in cycles")
+	auditFlag := flag.Bool("audit", false, "enable the request-lifecycle conservation ledger; exit 1 on violations")
+	chaosProfile := flag.String("chaos-profile", "", "chaos profile: preset (mild, storm) or stressor list (delay=0.01:16:32,reorder=0.1,...)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos RNG seed (0 keeps the profile's seed)")
+	retryFlag := flag.Int("retry", 0, "re-issue poisoned completions up to this many times per request")
+	retryBackoff := flag.Int64("retry-backoff", 0, "cycles to wait before each re-issue")
 	flag.Parse()
 
 	if *list {
@@ -54,6 +68,9 @@ func main() {
 		Threads:    *threads,
 		Seed:       *seed,
 		ARQEntries: *arq,
+		Audit:      *auditFlag,
+		Chaos:      mac3d.ChaosOptions{Profile: *chaosProfile, Seed: *chaosSeed},
+		Retry:      mac3d.RetryOptions{MaxRetries: *retryFlag, BackoffCycles: *retryBackoff},
 	}
 	if *metricsOut != "" || *timeseriesOut != "" || *traceOut != "" {
 		if *compare {
@@ -131,6 +148,7 @@ func main() {
 			printRun("without MAC (raw 16B)", &rep.Without)
 			fmt.Printf("coalescing efficiency   %.2f%%\n", 100*rep.CoalescingEfficiency)
 			fmt.Printf("memory system speedup   %.2f%%\n", 100*rep.MemorySpeedup)
+			exitOnViolations(&rep.With, &rep.Without)
 			return
 		}
 		rep, err := mac3d.RunTraceFile(opts, f)
@@ -140,6 +158,7 @@ func main() {
 		}
 		printRun(*traceFile, rep)
 		writeObs(rep)
+		exitOnViolations(rep)
 		return
 	}
 
@@ -157,6 +176,7 @@ func main() {
 		fmt.Printf("  makespan speedup        %.2fx\n", rep.MakespanSpeedup)
 		fmt.Printf("  bank conflicts removed  %d\n", rep.BankConflictReduction)
 		fmt.Printf("  control bytes saved     %d\n", rep.BandwidthSavingBytes)
+		exitOnViolations(&rep.With, &rep.Without)
 		return
 	}
 
@@ -167,6 +187,7 @@ func main() {
 	}
 	printRun(fmt.Sprintf("%s (%s)", *workload, rep.Design), rep)
 	writeObs(rep)
+	exitOnViolations(rep)
 }
 
 // writeFile creates path, hands it to fn, and dies on any error.
@@ -212,5 +233,43 @@ func printRun(title string, r *mac3d.RunReport) {
 	if r.ARQOccupancy > 0 {
 		fmt.Printf("  avg ARQ occupancy       %.2f entries\n", r.ARQOccupancy)
 	}
+	if r.Faults.PoisonedResponses > 0 || r.Faults.RetriedRequests > 0 || r.Faults.FailedRequests > 0 {
+		fmt.Printf("  poisoned responses      %d (%d re-issued, %d failed)\n",
+			r.Faults.PoisonedResponses, r.Faults.RetriedRequests, r.Faults.FailedRequests)
+	}
+	if c := r.Chaos; c != nil {
+		fmt.Printf("  chaos (%s)\n", c.Profile)
+		fmt.Printf("    delay storms          %d (%d responses held)\n", c.DelayStorms, c.DelayedResponses)
+		fmt.Printf("    reordered batches     %d\n", c.ReorderedBatches)
+		fmt.Printf("    fences injected       %d\n", c.FencesInjected)
+		fmt.Printf("    submit freeze cycles  %d\n", c.FreezeCycles)
+		fmt.Printf("    vault stalls          %d\n", c.VaultStalls)
+	}
+	if a := r.Audit; a != nil {
+		fmt.Printf("  audit                   issued %d, delivered %d, failed %d, re-issued %d, open %d\n",
+			a.Issued, a.Delivered, a.Failed, a.Reissued, a.Open)
+		if a.Ok() {
+			fmt.Printf("    invariants            all held\n")
+		} else {
+			fmt.Printf("    VIOLATIONS            %d\n", len(a.Violations)+int(a.OmittedViolations))
+			for _, v := range a.Violations {
+				fmt.Printf("      %s\n", v)
+			}
+			if a.OmittedViolations > 0 {
+				fmt.Printf("      ... and %d more\n", a.OmittedViolations)
+			}
+		}
+	}
 	fmt.Println()
+}
+
+// exitOnViolations terminates with status 1 when an audited report
+// carries invariant violations, after everything has been printed.
+func exitOnViolations(reports ...*mac3d.RunReport) {
+	for _, r := range reports {
+		if r.Audit != nil && !r.Audit.Ok() {
+			fmt.Fprintln(os.Stderr, "macsim: audit invariant violations detected")
+			os.Exit(1)
+		}
+	}
 }

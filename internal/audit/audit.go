@@ -1,0 +1,647 @@
+// Package audit implements the end-to-end request-lifecycle auditor:
+// a ledger that registers every raw memory request at issue time and
+// follows it through the request router, the coalescer, the HMC
+// submission and the response match, asserting conservation invariants
+// that the simulator's correctness contract promises (paper §3.3:
+// every FLIT a thread requests is delivered back to that thread by the
+// response router).
+//
+// The invariants machine-checked per request:
+//
+//   - exactly one terminal outcome — delivered, failed (poisoned with
+//     the retry budget exhausted), or explicitly re-issued and then
+//     terminal — and nothing left in flight at end of run;
+//   - no duplicate delivery: a request whose LSQ slot already retired
+//     must never retire again;
+//   - byte conservation: the FLIT-aligned span a request asked for is
+//     fully covered by the transactions delivered for it (including
+//     both halves of a window-split request);
+//   - no tag reuse while a (thread, tag) pair is still in flight.
+//
+// The ledger is driver-facing: the node model calls one hook per
+// lifecycle edge. A nil *Ledger disables everything — every method is
+// nil-safe, so the audit-off hot path pays only pointer checks,
+// mirroring the internal/obs design.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mac3d/internal/addr"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+// State locates a live request within the memory pipeline — the
+// "holder" a stall diagnostic names when the watchdog fires.
+type State uint8
+
+const (
+	// StateRouted: accepted by the request router, waiting to drain
+	// into the coalescer.
+	StateRouted State = iota
+	// StateCoalescing: inside the coalescer (ARQ entry or builder
+	// pipeline), not yet part of a submitted transaction.
+	StateCoalescing
+	// StateInflight: carried by a submitted device transaction,
+	// awaiting its response.
+	StateInflight
+	// StateAwaitRetry: its transaction came back poisoned and the
+	// requester scheduled a re-issue (bounded cycle backoff).
+	StateAwaitRetry
+)
+
+// String names the component holding a request in this state.
+func (s State) String() string {
+	switch s {
+	case StateRouted:
+		return "request-router"
+	case StateCoalescing:
+		return "coalescer"
+	case StateInflight:
+		return "device/response-path"
+	case StateAwaitRetry:
+		return "retry-backoff"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Violation is one broken invariant, tied to the request that broke it.
+type Violation struct {
+	// Reason is the invariant class: "tag-reuse", "duplicate-delivery",
+	// "unknown-delivery", "unknown-drain", "unknown-bind",
+	// "under-delivered", "no-terminal-outcome".
+	Reason string
+	// ID is the ledger's unique request id (issue order, from 1).
+	ID uint64
+	// Thread and Tag identify the raw request.
+	Thread, Tag uint16
+	// Addr is the request's physical address (0 when unknown).
+	Addr uint64
+	// Cycle is when the violation was detected.
+	Cycle sim.Cycle
+	// Detail is the human-readable per-request diagnostic.
+	Detail string
+}
+
+// String renders the violation as one diagnostic line.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: req#%d thread=%d tag=%d addr=0x%x cycle=%d: %s",
+		v.Reason, v.ID, v.Thread, v.Tag, v.Addr, v.Cycle, v.Detail)
+}
+
+// key identifies an in-flight raw request. Per-thread tags are unique
+// among in-flight requests (the LSQ recycles a tag only after retire).
+type key struct {
+	thread, tag uint16
+}
+
+// entry is the ledger's record of one live request.
+type entry struct {
+	id     uint64
+	addr   uint64
+	size   uint8
+	state  State
+	issued sim.Cycle // first issue cycle (survives retries)
+	moved  sim.Cycle // cycle of the last state transition
+	// requested/credited track byte conservation over the request's
+	// FLIT-aligned span; a window-split request is credited by both
+	// halves' transactions.
+	requested uint32
+	credited  uint32
+	// headDone marks the head target retired (terminal reached);
+	// the entry lingers only while continuation bytes are pending.
+	headDone bool
+	// lossy waives byte conservation: the continuation half's
+	// transaction was poisoned, so part of the data is legitimately
+	// lost (degraded completion, not an invariant break).
+	lossy   bool
+	retries int
+	// deviceTag is the device tag of the last transaction carrying
+	// this request.
+	deviceTag uint64
+}
+
+// tombstone remembers a recently retired request so a late duplicate
+// delivery gets a precise diagnostic instead of "unknown".
+type tombstone struct {
+	id      uint64
+	retired sim.Cycle
+}
+
+// tombstoneCap bounds the retired-request memory.
+const tombstoneCap = 1024
+
+// maxViolations bounds the per-run violation list; beyond it only the
+// count grows.
+const maxViolations = 64
+
+// Ledger is the request-lifecycle auditor for one run. Not safe for
+// concurrent use; one ledger belongs to exactly one node/run.
+type Ledger struct {
+	active map[key]*entry
+	nextID uint64
+
+	tombs     map[key]tombstone
+	tombOrder []key
+
+	violations []Violation
+	dropped    uint64 // violations beyond maxViolations
+
+	// Aggregate counters.
+	issued       uint64
+	delivered    uint64
+	failed       uint64
+	reissued     uint64
+	forgiven     uint64
+	strayCredits uint64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		active: make(map[key]*entry),
+		tombs:  make(map[key]tombstone),
+	}
+}
+
+// Enabled reports whether auditing is on (the ledger is non-nil).
+func (l *Ledger) Enabled() bool { return l != nil }
+
+// violate records one invariant violation, bounding the list.
+func (l *Ledger) violate(v Violation) {
+	if len(l.violations) >= maxViolations {
+		l.dropped++
+		return
+	}
+	l.violations = append(l.violations, v)
+}
+
+// flitSpan returns the FLIT-aligned byte span of [a, a+size).
+func flitSpan(a uint64, size uint8) (base uint64, span uint32) {
+	if size == 0 {
+		size = 1
+	}
+	base = a &^ uint64(addr.FlitMask)
+	span = uint32(a-base) + uint32(size)
+	if rem := span % addr.FlitBytes; rem != 0 {
+		span += addr.FlitBytes - rem
+	}
+	return base, span
+}
+
+// Issue registers a raw request accepted by the request router at
+// cycle now. Fences are control operations with no response and are
+// not tracked.
+func (l *Ledger) Issue(r memreq.RawRequest, now sim.Cycle) {
+	if l == nil || r.Fence {
+		return
+	}
+	k := key{r.Thread, r.Tag}
+	delete(l.tombs, k) // the tag is legitimately recycled
+	if old, ok := l.active[k]; ok {
+		l.violate(Violation{
+			Reason: "tag-reuse", ID: old.id, Thread: r.Thread, Tag: r.Tag,
+			Addr: r.Addr, Cycle: now,
+			Detail: fmt.Sprintf("re-issued while req#%d (addr 0x%x, state %s) is still in flight",
+				old.id, old.addr, old.state),
+		})
+		return
+	}
+	l.nextID++
+	l.issued++
+	_, span := flitSpan(r.Addr, r.Size)
+	l.active[k] = &entry{
+		id:        l.nextID,
+		addr:      r.Addr,
+		size:      r.Size,
+		state:     StateRouted,
+		issued:    now,
+		moved:     now,
+		requested: span,
+	}
+}
+
+// Drain marks a request leaving the request router for the coalescer.
+func (l *Ledger) Drain(r memreq.RawRequest, now sim.Cycle) {
+	if l == nil || r.Fence {
+		return
+	}
+	e, ok := l.active[key{r.Thread, r.Tag}]
+	if !ok {
+		l.violate(Violation{
+			Reason: "unknown-drain", Thread: r.Thread, Tag: r.Tag,
+			Addr: r.Addr, Cycle: now,
+			Detail: "request entered the coalescer without being issued",
+		})
+		return
+	}
+	e.state = StateCoalescing
+	e.moved = now
+}
+
+// Bind marks a request carried by a transaction submitted to the
+// device under deviceTag. A window-split request binds twice (head and
+// continuation ride different transactions); coalescers that merge
+// late (MSHR-style) may deliver targets that were never bound, which
+// is legal — Bind refines the holder diagnostics, Credit/Retire carry
+// the invariants.
+func (l *Ledger) Bind(t memreq.Target, deviceTag uint64, now sim.Cycle) {
+	if l == nil {
+		return
+	}
+	e, ok := l.active[key{t.Thread, t.Tag}]
+	if !ok {
+		l.violate(Violation{
+			Reason: "unknown-bind", Thread: t.Thread, Tag: t.Tag, Cycle: now,
+			Detail: fmt.Sprintf("submitted under device tag %d without being issued", deviceTag),
+		})
+		return
+	}
+	e.state = StateInflight
+	e.moved = now
+	e.deviceTag = deviceTag
+}
+
+// Credit records delivered bytes for a request: the overlap of the
+// delivered transaction's range with the request's FLIT-aligned span.
+// Called for every delivered (non-poisoned) target, head and
+// continuation halves alike.
+func (l *Ledger) Credit(t memreq.Target, txAddr uint64, txBytes uint32, now sim.Cycle) {
+	if l == nil {
+		return
+	}
+	k := key{t.Thread, t.Tag}
+	e, ok := l.active[k]
+	if !ok {
+		// A continuation landing after its head fully retired the
+		// entry (or a stale pre-retry half): counted, not a violation.
+		l.strayCredits++
+		return
+	}
+	base, span := flitSpan(e.addr, e.size)
+	lo := max64(base, txAddr)
+	hi := min64(base+uint64(span), txAddr+uint64(txBytes))
+	if hi > lo {
+		e.credited += uint32(hi - lo)
+	}
+	if e.headDone && e.credited >= e.requested {
+		l.retire(k, e, now)
+	}
+}
+
+// Retire marks a head target's normal completion — the request's one
+// terminal outcome. A second Retire (or a Retire after Fail) for the
+// same in-flight request is the double-delivery invariant breaking.
+func (l *Ledger) Retire(t memreq.Target, now sim.Cycle) {
+	if l == nil {
+		return
+	}
+	k := key{t.Thread, t.Tag}
+	e, ok := l.active[k]
+	if !ok {
+		if ts, dup := l.tombs[k]; dup {
+			l.violate(Violation{
+				Reason: "duplicate-delivery", ID: ts.id, Thread: t.Thread, Tag: t.Tag, Cycle: now,
+				Detail: fmt.Sprintf("delivered again after retiring at cycle %d", ts.retired),
+			})
+		} else {
+			l.violate(Violation{
+				Reason: "unknown-delivery", Thread: t.Thread, Tag: t.Tag, Cycle: now,
+				Detail: "delivery for a request the ledger never saw issued",
+			})
+		}
+		return
+	}
+	if e.headDone {
+		l.violate(Violation{
+			Reason: "duplicate-delivery", ID: e.id, Thread: t.Thread, Tag: t.Tag,
+			Addr: e.addr, Cycle: now,
+			Detail: "head target delivered twice while awaiting continuation bytes",
+		})
+		return
+	}
+	e.headDone = true
+	e.moved = now
+	l.delivered++
+	if e.credited >= e.requested || e.lossy {
+		l.retire(k, e, now)
+	}
+	// Otherwise the entry lingers until the continuation credits the
+	// remaining bytes; Finish flags it if they never arrive.
+}
+
+// Forgive waives byte conservation for a request whose continuation
+// half came back poisoned: the head's terminal outcome stands, the
+// missing continuation bytes are recorded as degraded data loss
+// rather than an invariant violation. (Re-issuing the whole request
+// while its head transaction is still live would double-deliver.)
+func (l *Ledger) Forgive(t memreq.Target, now sim.Cycle) {
+	if l == nil {
+		return
+	}
+	k := key{t.Thread, t.Tag}
+	e, ok := l.active[k]
+	if !ok {
+		// Head and continuation both already resolved (e.g. the head
+		// was poisoned too and the entry failed): nothing to waive.
+		return
+	}
+	e.lossy = true
+	e.moved = now
+	l.forgiven++
+	if e.headDone {
+		l.retire(k, e, now)
+	}
+}
+
+// Fail marks a head target's poisoned completion with no retry left —
+// the request's terminal outcome with an error status.
+func (l *Ledger) Fail(t memreq.Target, now sim.Cycle) {
+	if l == nil {
+		return
+	}
+	k := key{t.Thread, t.Tag}
+	e, ok := l.active[k]
+	if !ok {
+		if ts, dup := l.tombs[k]; dup {
+			l.violate(Violation{
+				Reason: "duplicate-delivery", ID: ts.id, Thread: t.Thread, Tag: t.Tag, Cycle: now,
+				Detail: fmt.Sprintf("poisoned completion after retiring at cycle %d", ts.retired),
+			})
+		} else {
+			l.violate(Violation{
+				Reason: "unknown-delivery", Thread: t.Thread, Tag: t.Tag, Cycle: now,
+				Detail: "poisoned completion for a request the ledger never saw issued",
+			})
+		}
+		return
+	}
+	if e.headDone {
+		l.violate(Violation{
+			Reason: "duplicate-delivery", ID: e.id, Thread: t.Thread, Tag: t.Tag,
+			Addr: e.addr, Cycle: now,
+			Detail: "poisoned completion after the head target already retired",
+		})
+		return
+	}
+	e.headDone = true
+	l.failed++
+	// A failed request owes no bytes: poison is its terminal outcome.
+	l.retire(k, e, now)
+}
+
+// Retry marks a poisoned completion the requester will re-issue: not a
+// terminal outcome, the request returns to the retry-backoff holder.
+func (l *Ledger) Retry(t memreq.Target, now sim.Cycle) {
+	if l == nil {
+		return
+	}
+	e, ok := l.active[key{t.Thread, t.Tag}]
+	if !ok {
+		l.violate(Violation{
+			Reason: "unknown-delivery", Thread: t.Thread, Tag: t.Tag, Cycle: now,
+			Detail: "retry scheduled for a request the ledger never saw issued",
+		})
+		return
+	}
+	e.state = StateAwaitRetry
+	e.moved = now
+	e.retries++
+	// The re-issue refetches everything; stale credits from the failed
+	// incarnation do not count toward conservation, and a previously
+	// waived continuation loss is healed by the refetch.
+	e.credited = 0
+	e.lossy = false
+}
+
+// Reissue marks a retried request re-accepted by the request router.
+func (l *Ledger) Reissue(r memreq.RawRequest, now sim.Cycle) {
+	if l == nil || r.Fence {
+		return
+	}
+	e, ok := l.active[key{r.Thread, r.Tag}]
+	if !ok {
+		l.violate(Violation{
+			Reason: "unknown-delivery", Thread: r.Thread, Tag: r.Tag, Addr: r.Addr, Cycle: now,
+			Detail: "re-issue for a request the ledger never saw issued",
+		})
+		return
+	}
+	e.state = StateRouted
+	e.moved = now
+	l.reissued++
+}
+
+// retire removes a finished entry, leaving a tombstone for duplicate
+// detection.
+func (l *Ledger) retire(k key, e *entry, now sim.Cycle) {
+	delete(l.active, k)
+	if len(l.tombOrder) >= tombstoneCap {
+		old := l.tombOrder[0]
+		l.tombOrder = l.tombOrder[1:]
+		delete(l.tombs, old)
+	}
+	l.tombs[k] = tombstone{id: e.id, retired: now}
+	l.tombOrder = append(l.tombOrder, k)
+}
+
+// InFlight returns the number of requests without a terminal outcome.
+func (l *Ledger) InFlight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.active)
+}
+
+// Oldest describes the longest-in-flight request — the prime suspect
+// when the watchdog fires.
+type Oldest struct {
+	ID          uint64
+	Thread, Tag uint16
+	Addr        uint64
+	State       State
+	Issued      sim.Cycle
+	Moved       sim.Cycle
+	Retries     int
+}
+
+// String renders the oldest-request diagnostic line.
+func (o Oldest) String() string {
+	return fmt.Sprintf("req#%d thread=%d tag=%d addr=0x%x held-by=%s issued=%d last-moved=%d retries=%d",
+		o.ID, o.Thread, o.Tag, o.Addr, o.State, o.Issued, o.Moved, o.Retries)
+}
+
+// Oldest returns the oldest in-flight request, or ok=false when the
+// ledger has nothing in flight.
+func (l *Ledger) Oldest() (Oldest, bool) {
+	if l == nil || len(l.active) == 0 {
+		return Oldest{}, false
+	}
+	var best *entry
+	var bk key
+	for k, e := range l.active {
+		if best == nil || e.issued < best.issued ||
+			(e.issued == best.issued && e.id < best.id) {
+			best, bk = e, k
+		}
+	}
+	return Oldest{
+		ID: best.id, Thread: bk.thread, Tag: bk.tag, Addr: best.addr,
+		State: best.state, Issued: best.issued, Moved: best.moved,
+		Retries: best.retries,
+	}, true
+}
+
+// HolderCounts returns how many in-flight requests each component
+// holds, for causal stall diagnostics (oldest-first ordering is the
+// caller's concern via Oldest).
+func (l *Ledger) HolderCounts() map[State]int {
+	out := make(map[State]int)
+	if l == nil {
+		return out
+	}
+	for _, e := range l.active {
+		out[e.state]++
+	}
+	return out
+}
+
+// Summary renders a one-line stall diagnostic: per-holder counts and
+// the oldest in-flight request.
+func (l *Ledger) Summary() string {
+	if l == nil {
+		return "audit disabled"
+	}
+	counts := l.HolderCounts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "in-flight=%d", len(l.active))
+	for _, s := range []State{StateRouted, StateCoalescing, StateInflight, StateAwaitRetry} {
+		if counts[s] > 0 {
+			fmt.Fprintf(&b, " %s=%d", s, counts[s])
+		}
+	}
+	if o, ok := l.Oldest(); ok {
+		fmt.Fprintf(&b, "; oldest: %s", o)
+	}
+	return b.String()
+}
+
+// Report is the end-of-run audit result.
+type Report struct {
+	// Issued counts raw requests registered (fences excluded).
+	Issued uint64
+	// Delivered and Failed count terminal outcomes.
+	Delivered uint64
+	Failed    uint64
+	// Reissued counts poisoned completions re-issued by the requester.
+	Reissued uint64
+	// Forgiven counts requests whose continuation bytes were waived
+	// after a poisoned continuation transaction (degraded data loss).
+	Forgiven uint64
+	// StrayCredits counts byte credits for already-retired requests
+	// (late continuations); informational, not violations.
+	StrayCredits uint64
+	// Open counts requests left without a terminal outcome at Finish —
+	// each also appears as a "no-terminal-outcome" violation.
+	Open int
+	// Violations lists broken invariants, OmittedViolations how many
+	// were dropped past the reporting cap.
+	Violations        []Violation
+	OmittedViolations uint64
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return r != nil && len(r.Violations) == 0 }
+
+// Diff renders the per-request diagnostics, one violation per line —
+// what the chaos harness prints alongside the offending seed.
+func (r *Report) Diff() string {
+	if r == nil || len(r.Violations) == 0 {
+		return "(no invariant violations)"
+	}
+	lines := make([]string, 0, len(r.Violations)+1)
+	for _, v := range r.Violations {
+		lines = append(lines, v.String())
+	}
+	if r.OmittedViolations > 0 {
+		lines = append(lines, fmt.Sprintf("... and %d more violations", r.OmittedViolations))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// String renders the summary counters.
+func (r *Report) String() string {
+	if r == nil {
+		return "audit disabled"
+	}
+	return fmt.Sprintf("audit: issued=%d delivered=%d failed=%d reissued=%d open=%d violations=%d",
+		r.Issued, r.Delivered, r.Failed, r.Reissued, r.Open,
+		len(r.Violations)+int(r.OmittedViolations))
+}
+
+// Finish closes the ledger at end of run: every remaining in-flight
+// request violates the exactly-one-terminal-outcome invariant, and
+// requests that retired with missing continuation bytes violate byte
+// conservation. It returns the report; the ledger must not be used
+// afterwards.
+func (l *Ledger) Finish(now sim.Cycle) *Report {
+	if l == nil {
+		return nil
+	}
+	// Deterministic violation order: oldest first.
+	rest := make([]*entry, 0, len(l.active))
+	byEntry := make(map[*entry]key, len(l.active))
+	for k, e := range l.active {
+		rest = append(rest, e)
+		byEntry[e] = k
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].id < rest[j].id })
+	for _, e := range rest {
+		k := byEntry[e]
+		switch {
+		case e.headDone && !e.lossy && e.credited < e.requested:
+			l.violate(Violation{
+				Reason: "under-delivered", ID: e.id, Thread: k.thread, Tag: k.tag,
+				Addr: e.addr, Cycle: now,
+				Detail: fmt.Sprintf("retired with %d of %d requested bytes delivered (continuation lost?)",
+					e.credited, e.requested),
+			})
+		default:
+			l.violate(Violation{
+				Reason: "no-terminal-outcome", ID: e.id, Thread: k.thread, Tag: k.tag,
+				Addr: e.addr, Cycle: now,
+				Detail: fmt.Sprintf("still held by %s since cycle %d (issued %d, %d/%d bytes, %d retries)",
+					e.state, e.moved, e.issued, e.credited, e.requested, e.retries),
+			})
+		}
+	}
+	return &Report{
+		Issued:            l.issued,
+		Delivered:         l.delivered,
+		Failed:            l.failed,
+		Reissued:          l.reissued,
+		Forgiven:          l.forgiven,
+		StrayCredits:      l.strayCredits,
+		Open:              len(rest),
+		Violations:        l.violations,
+		OmittedViolations: l.dropped,
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"mac3d/internal/memreq"
+)
+
+func req(thread, tag uint16, a uint64, size uint8) memreq.RawRequest {
+	return memreq.RawRequest{Thread: thread, Tag: tag, Addr: a, Size: size}
+}
+
+func tgt(thread, tag uint16) memreq.Target {
+	return memreq.Target{Thread: thread, Tag: tag}
+}
+
+// deliver walks one request through the full happy path.
+func deliver(l *Ledger, thread, tag uint16, a uint64, size uint8) {
+	l.Issue(req(thread, tag, a, size), 1)
+	l.Drain(req(thread, tag, a, size), 2)
+	l.Bind(tgt(thread, tag), 100, 3)
+	l.Credit(tgt(thread, tag), a&^0xf, 256, 4)
+	l.Retire(tgt(thread, tag), 4)
+}
+
+func TestNilLedgerIsSafe(t *testing.T) {
+	var l *Ledger
+	if l.Enabled() {
+		t.Fatal("nil ledger claims enabled")
+	}
+	l.Issue(req(0, 0, 0, 8), 0)
+	l.Drain(req(0, 0, 0, 8), 0)
+	l.Bind(tgt(0, 0), 0, 0)
+	l.Credit(tgt(0, 0), 0, 16, 0)
+	l.Retire(tgt(0, 0), 0)
+	l.Fail(tgt(0, 0), 0)
+	l.Retry(tgt(0, 0), 0)
+	l.Reissue(req(0, 0, 0, 8), 0)
+	l.Forgive(tgt(0, 0), 0)
+	if l.InFlight() != 0 {
+		t.Fatal("nil ledger has in-flight requests")
+	}
+	if _, ok := l.Oldest(); ok {
+		t.Fatal("nil ledger has an oldest request")
+	}
+	if got := l.Summary(); got != "audit disabled" {
+		t.Fatalf("Summary() = %q", got)
+	}
+	if l.Finish(0) != nil {
+		t.Fatal("nil ledger produced a report")
+	}
+}
+
+func TestHappyPathConserves(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < 4; i++ {
+		deliver(l, uint16(i), 7, uint64(i)*256, 8)
+	}
+	rep := l.Finish(10)
+	if !rep.Ok() {
+		t.Fatalf("violations on the happy path:\n%s", rep.Diff())
+	}
+	if rep.Issued != 4 || rep.Delivered != 4 || rep.Failed != 0 || rep.Open != 0 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestFencesNotTracked(t *testing.T) {
+	l := NewLedger()
+	l.Issue(memreq.RawRequest{Fence: true, Thread: 1, Tag: 2}, 1)
+	if l.InFlight() != 0 {
+		t.Fatal("fence was registered")
+	}
+	if rep := l.Finish(2); !rep.Ok() || rep.Issued != 0 {
+		t.Fatalf("fence leaked into the report: %s", rep)
+	}
+}
+
+func TestDuplicateDeliveryCaught(t *testing.T) {
+	l := NewLedger()
+	deliver(l, 3, 9, 0x40, 8)
+	// The entry retired; a second delivery must hit the tombstone.
+	l.Retire(tgt(3, 9), 5)
+	rep := l.Finish(6)
+	if rep.Ok() {
+		t.Fatal("duplicate delivery not caught")
+	}
+	v := rep.Violations[0]
+	if v.Reason != "duplicate-delivery" || v.Thread != 3 || v.Tag != 9 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "req#1") {
+		t.Fatalf("diagnostic lacks the request id: %s", v)
+	}
+}
+
+func TestDoubleHeadDeliveryCaught(t *testing.T) {
+	// Window-split request: head retires while continuation bytes are
+	// pending, then the head arrives again.
+	l := NewLedger()
+	l.Issue(req(1, 4, 248, 16), 1) // spans a 256B window boundary
+	l.Retire(tgt(1, 4), 3)         // head done, bytes outstanding
+	l.Retire(tgt(1, 4), 4)         // duplicate while lingering
+	rep := l.Finish(5)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Reason == "duplicate-delivery" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no duplicate-delivery violation:\n%s", rep.Diff())
+	}
+}
+
+func TestTagReuseCaught(t *testing.T) {
+	l := NewLedger()
+	l.Issue(req(2, 5, 0x100, 8), 1)
+	l.Issue(req(2, 5, 0x200, 8), 2)
+	rep := l.Finish(3)
+	if rep.Ok() {
+		t.Fatal("tag reuse not caught")
+	}
+	if rep.Violations[0].Reason != "tag-reuse" {
+		t.Fatalf("violation = %+v", rep.Violations[0])
+	}
+}
+
+func TestUnderDeliveryCaught(t *testing.T) {
+	// Head retires but the continuation bytes never arrive.
+	l := NewLedger()
+	l.Issue(req(1, 1, 248, 16), 1) // FLIT span 240..272 = 32 bytes
+	l.Credit(tgt(1, 1), 240, 16, 2)
+	l.Retire(tgt(1, 1), 2)
+	rep := l.Finish(10)
+	if rep.Ok() {
+		t.Fatal("under-delivery not caught")
+	}
+	if rep.Violations[0].Reason != "under-delivered" {
+		t.Fatalf("violation = %+v", rep.Violations[0])
+	}
+}
+
+func TestNoTerminalOutcomeCaught(t *testing.T) {
+	l := NewLedger()
+	l.Issue(req(0, 3, 0x80, 8), 1)
+	rep := l.Finish(100)
+	if rep.Ok() || rep.Open != 1 {
+		t.Fatalf("open request not reported: %s", rep)
+	}
+	if rep.Violations[0].Reason != "no-terminal-outcome" {
+		t.Fatalf("violation = %+v", rep.Violations[0])
+	}
+}
+
+func TestFailIsTerminal(t *testing.T) {
+	l := NewLedger()
+	l.Issue(req(0, 1, 0x10, 8), 1)
+	l.Fail(tgt(0, 1), 2)
+	rep := l.Finish(3)
+	if !rep.Ok() || rep.Failed != 1 || rep.Delivered != 0 {
+		t.Fatalf("report = %s\n%s", rep, rep.Diff())
+	}
+}
+
+func TestForgiveWaivesContinuationBytes(t *testing.T) {
+	// Continuation poisoned: Forgive waives its bytes; the head's
+	// delivery still retires the request without violations.
+	l := NewLedger()
+	l.Issue(req(1, 2, 248, 16), 1)
+	l.Forgive(tgt(1, 2), 3)
+	l.Credit(tgt(1, 2), 240, 16, 4)
+	l.Retire(tgt(1, 2), 4)
+	rep := l.Finish(5)
+	if !rep.Ok() {
+		t.Fatalf("forgiven loss flagged:\n%s", rep.Diff())
+	}
+	if rep.Forgiven != 1 || rep.Delivered != 1 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestRetryHealsAndConverges(t *testing.T) {
+	l := NewLedger()
+	l.Issue(req(4, 8, 0x300, 8), 1)
+	l.Bind(tgt(4, 8), 1, 2)
+	l.Credit(tgt(4, 8), 0x300, 8, 3) // partial credit from the poisoned incarnation
+	l.Retry(tgt(4, 8), 3)
+	l.Reissue(req(4, 8, 0x300, 8), 20)
+	l.Bind(tgt(4, 8), 2, 21)
+	l.Credit(tgt(4, 8), 0x300&^0xf, 256, 25)
+	l.Retire(tgt(4, 8), 25)
+	rep := l.Finish(30)
+	if !rep.Ok() {
+		t.Fatalf("retried request flagged:\n%s", rep.Diff())
+	}
+	if rep.Reissued != 1 || rep.Delivered != 1 || rep.Failed != 0 {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestStrayCreditNotViolation(t *testing.T) {
+	l := NewLedger()
+	deliver(l, 0, 1, 0x40, 8)
+	l.Credit(tgt(0, 1), 0x40, 16, 9) // late continuation after retire
+	rep := l.Finish(10)
+	if !rep.Ok() || rep.StrayCredits != 1 {
+		t.Fatalf("report = %s\n%s", rep, rep.Diff())
+	}
+}
+
+func TestUnknownDeliveryCaught(t *testing.T) {
+	l := NewLedger()
+	l.Retire(tgt(9, 9), 1)
+	rep := l.Finish(2)
+	if rep.Ok() || rep.Violations[0].Reason != "unknown-delivery" {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestOldestAndHolderCounts(t *testing.T) {
+	l := NewLedger()
+	l.Issue(req(0, 1, 0x10, 8), 5)
+	l.Issue(req(1, 1, 0x20, 8), 7)
+	l.Drain(req(1, 1, 0x20, 8), 8)
+	o, ok := l.Oldest()
+	if !ok || o.Thread != 0 || o.Issued != 5 || o.State != StateRouted {
+		t.Fatalf("Oldest() = %+v, %v", o, ok)
+	}
+	counts := l.HolderCounts()
+	if counts[StateRouted] != 1 || counts[StateCoalescing] != 1 {
+		t.Fatalf("HolderCounts() = %v", counts)
+	}
+	sum := l.Summary()
+	for _, want := range []string{"in-flight=2", "request-router=1", "coalescer=1", "req#1"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("Summary() = %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestViolationCapBounds(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < maxViolations+10; i++ {
+		l.Retire(tgt(uint16(i), 0), 1) // unknown deliveries
+	}
+	rep := l.Finish(2)
+	if len(rep.Violations) != maxViolations || rep.OmittedViolations != 10 {
+		t.Fatalf("got %d violations, %d omitted", len(rep.Violations), rep.OmittedViolations)
+	}
+	if !strings.Contains(rep.Diff(), "10 more violations") {
+		t.Fatalf("Diff() lacks the omitted count:\n%s", rep.Diff())
+	}
+}
+
+func TestFlitSpan(t *testing.T) {
+	cases := []struct {
+		a    uint64
+		size uint8
+		base uint64
+		span uint32
+	}{
+		{0x40, 8, 0x40, 16},
+		{0x48, 8, 0x40, 16},
+		{0x48, 16, 0x40, 32}, // straddles a FLIT boundary
+		{0x40, 0, 0x40, 16},  // size 0 treated as 1
+		{248, 16, 240, 32},   // window-split head span
+	}
+	for _, c := range cases {
+		base, span := flitSpan(c.a, c.size)
+		if base != c.base || span != c.span {
+			t.Errorf("flitSpan(0x%x, %d) = (0x%x, %d), want (0x%x, %d)",
+				c.a, c.size, base, span, c.base, c.span)
+		}
+	}
+}
+
+func TestTombstoneRingBounded(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < tombstoneCap+50; i++ {
+		th, tag := uint16(i%8), uint16(i/8)
+		deliver(l, th, tag, uint64(i)*16, 8)
+	}
+	if len(l.tombs) != tombstoneCap || len(l.tombOrder) != tombstoneCap {
+		t.Fatalf("tombstones = %d/%d, want %d", len(l.tombs), len(l.tombOrder), tombstoneCap)
+	}
+}

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// FuzzParseProfile asserts the parser's contract on arbitrary input:
+// it never panics, accepted profiles always validate, and the
+// canonical rendering round-trips to the identical profile (so cached
+// experiment runs keyed by the rendering can reconstruct it).
+func FuzzParseProfile(f *testing.F) {
+	seeds := []string{
+		"", "off", "none", "mild", "storm",
+		"delay=0.01", "delay=0.01:20", "delay=0.01:20:40",
+		"reorder=0.1", "fence=0.002:3", "freeze=0.005:6",
+		"vault=0.01:24", "seed=42",
+		"delay=0.01:20:40,reorder=0.1,fence=0.002:3,freeze=0.005:6,vault=0.01:24,seed=42",
+		"delay=1.5", "delay=-1", "delay=0.1:a", "warp=0.1",
+		"delay", "reorder=0.1:5", "seed=1:2", ",,,", "delay=NaN",
+		"delay=1e-3", "vault=1:0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseProfile(s)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseProfile(%q) accepted an invalid profile %+v: %v", s, p, err)
+		}
+		rendered := p.String()
+		q, err := ParseProfile(rendered)
+		if err != nil {
+			t.Fatalf("canonical rendering %q of %q does not parse: %v", rendered, s, err)
+		}
+		if p != q {
+			t.Fatalf("round trip of %q: %+v != %+v", s, p, q)
+		}
+		if q.String() != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q", rendered, q.String())
+		}
+	})
+}

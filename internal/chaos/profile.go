@@ -1,0 +1,288 @@
+// Package chaos implements a deterministic chaos scheduler for the MAC
+// simulator: a composition of cross-layer stressors — response
+// delay/reorder storms on the device return path, fence storms on the
+// request path, ARQ backpressure bursts that freeze the submit stage,
+// and transient vault unavailability inside the HMC model — all driven
+// by a sim.RNG stream so the same profile and seed reproduce the same
+// adversarial schedule bit-for-bit. It composes with the link-level
+// fault injectors from internal/hmc (CRC errors, link failures,
+// poisoned responses): the chaos engine perturbs timing and ordering,
+// the fault injectors corrupt packets, and the audit ledger
+// (internal/audit) checks that the pipeline's conservation invariants
+// survive both at once.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mac3d/internal/sim"
+)
+
+// Profile configures the chaos engine. The zero value disables every
+// stressor. Rates are per-cycle Bernoulli probabilities in [0, 1];
+// durations and stalls are in cycles.
+type Profile struct {
+	// DelayRate starts a response delay storm: while it lasts, every
+	// device response is held back 1..DelayMax extra cycles.
+	DelayRate float64
+	// DelayDuration is the length of one delay storm.
+	DelayDuration sim.Cycle
+	// DelayMax bounds the per-response extra hold time.
+	DelayMax sim.Cycle
+	// ReorderRate reverses the delivery order of a same-cycle
+	// response batch.
+	ReorderRate float64
+	// FenceRate injects a burst of FenceBurst memory fences into the
+	// request router, forcing the aggregator to drain mid-stream.
+	FenceRate  float64
+	FenceBurst int
+	// FreezeRate starts an ARQ backpressure burst: the node's submit
+	// stage is frozen for FreezeDuration cycles, backing transactions
+	// up inside the coalescer.
+	FreezeRate     float64
+	FreezeDuration sim.Cycle
+	// VaultRate makes one random vault transiently unavailable for
+	// VaultStall cycles (models refresh overruns / repair cycles).
+	VaultRate  float64
+	VaultStall sim.Cycle
+	// Seed seeds the engine's private RNG stream. Two runs with the
+	// same workload seed but different chaos seeds see different
+	// adversarial schedules.
+	Seed uint64
+}
+
+// Enabled reports whether any stressor is active.
+func (p Profile) Enabled() bool {
+	return p.DelayRate > 0 || p.ReorderRate > 0 || p.FenceRate > 0 ||
+		p.FreezeRate > 0 || p.VaultRate > 0
+}
+
+// withDefaults fills the durations a rate implies but the profile
+// omitted, so `delay=0.01` alone is usable.
+func (p Profile) withDefaults() Profile {
+	if p.DelayRate > 0 {
+		if p.DelayDuration <= 0 {
+			p.DelayDuration = 16
+		}
+		if p.DelayMax <= 0 {
+			p.DelayMax = 32
+		}
+	}
+	if p.FenceRate > 0 && p.FenceBurst <= 0 {
+		p.FenceBurst = 2
+	}
+	if p.FreezeRate > 0 && p.FreezeDuration <= 0 {
+		p.FreezeDuration = 8
+	}
+	if p.VaultRate > 0 && p.VaultStall <= 0 {
+		p.VaultStall = 32
+	}
+	return p
+}
+
+// Validate rejects out-of-range configurations.
+func (p Profile) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"delay", p.DelayRate}, {"reorder", p.ReorderRate},
+		{"fence", p.FenceRate}, {"freeze", p.FreezeRate},
+		{"vault", p.VaultRate},
+	} {
+		// The inverted comparison also rejects NaN rates.
+		if !(r.v >= 0 && r.v <= 1) {
+			return fmt.Errorf("chaos: %s rate %g outside [0, 1]", r.name, r.v)
+		}
+	}
+	for _, d := range []struct {
+		name string
+		v    sim.Cycle
+	}{
+		{"delay duration", p.DelayDuration}, {"delay max", p.DelayMax},
+		{"freeze duration", p.FreezeDuration}, {"vault stall", p.VaultStall},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("chaos: %s %d is negative", d.name, d.v)
+		}
+	}
+	if p.FenceBurst < 0 {
+		return fmt.Errorf("chaos: fence burst %d is negative", p.FenceBurst)
+	}
+	return nil
+}
+
+// String renders the profile in the canonical ParseProfile syntax;
+// ParseProfile(p.String()) reproduces p exactly (after withDefaults).
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	var parts []string
+	if p.DelayRate > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%d:%d", p.DelayRate, p.DelayDuration, p.DelayMax))
+	}
+	if p.ReorderRate > 0 {
+		parts = append(parts, fmt.Sprintf("reorder=%g", p.ReorderRate))
+	}
+	if p.FenceRate > 0 {
+		parts = append(parts, fmt.Sprintf("fence=%g:%d", p.FenceRate, p.FenceBurst))
+	}
+	if p.FreezeRate > 0 {
+		parts = append(parts, fmt.Sprintf("freeze=%g:%d", p.FreezeRate, p.FreezeDuration))
+	}
+	if p.VaultRate > 0 {
+		parts = append(parts, fmt.Sprintf("vault=%g:%d", p.VaultRate, p.VaultStall))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Presets returns the named built-in profiles, sorted by name.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var presets = map[string]Profile{
+	"mild": {
+		DelayRate: 0.002, DelayDuration: 12, DelayMax: 16,
+		ReorderRate: 0.02,
+		FenceRate:   0.0005, FenceBurst: 1,
+		VaultRate: 0.001, VaultStall: 16,
+	},
+	"storm": {
+		DelayRate: 0.02, DelayDuration: 32, DelayMax: 64,
+		ReorderRate: 0.2,
+		FenceRate:   0.005, FenceBurst: 4,
+		FreezeRate: 0.01, FreezeDuration: 12,
+		VaultRate: 0.01, VaultStall: 48,
+	},
+}
+
+// ParseProfile parses the -chaos-profile syntax: either a preset name
+// ("off", "mild", "storm") or a comma-separated stressor list
+//
+//	delay=RATE[:DURATION[:MAX]],reorder=RATE,fence=RATE[:BURST],
+//	freeze=RATE[:DURATION],vault=RATE[:STALL],seed=N
+//
+// Omitted duration fields take per-stressor defaults. The empty string
+// parses as the disabled profile.
+func ParseProfile(s string) (Profile, error) {
+	var p Profile
+	s = strings.TrimSpace(s)
+	switch s {
+	case "", "off", "none":
+		return p, nil
+	}
+	if preset, ok := presets[s]; ok {
+		return preset.withDefaults(), nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("chaos: %q is not key=value", part)
+		}
+		fields := strings.Split(v, ":")
+		rate, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil && k != "seed" {
+			return Profile{}, fmt.Errorf("chaos: bad %s rate %q: %w", k, fields[0], err)
+		}
+		cyc := func(i int) (sim.Cycle, error) {
+			if i >= len(fields) {
+				return 0, nil
+			}
+			n, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("chaos: bad %s field %q: %w", k, fields[i], err)
+			}
+			if n < 0 {
+				return 0, fmt.Errorf("chaos: %s field %q is negative", k, fields[i])
+			}
+			return sim.Cycle(n), nil
+		}
+		switch k {
+		case "delay":
+			if len(fields) > 3 {
+				return Profile{}, fmt.Errorf("chaos: delay takes at most rate:duration:max, got %q", v)
+			}
+			p.DelayRate = rate
+			if p.DelayDuration, err = cyc(1); err != nil {
+				return Profile{}, err
+			}
+			if p.DelayMax, err = cyc(2); err != nil {
+				return Profile{}, err
+			}
+		case "reorder":
+			if len(fields) > 1 {
+				return Profile{}, fmt.Errorf("chaos: reorder takes only a rate, got %q", v)
+			}
+			p.ReorderRate = rate
+		case "fence":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("chaos: fence takes at most rate:burst, got %q", v)
+			}
+			p.FenceRate = rate
+			if len(fields) > 1 {
+				n, err := strconv.Atoi(fields[1])
+				if err != nil {
+					return Profile{}, fmt.Errorf("chaos: bad fence burst %q: %w", fields[1], err)
+				}
+				if n < 0 {
+					return Profile{}, fmt.Errorf("chaos: fence burst %q is negative", fields[1])
+				}
+				p.FenceBurst = n
+			}
+		case "freeze":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("chaos: freeze takes at most rate:duration, got %q", v)
+			}
+			p.FreezeRate = rate
+			if p.FreezeDuration, err = cyc(1); err != nil {
+				return Profile{}, err
+			}
+		case "vault":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("chaos: vault takes at most rate:stall, got %q", v)
+			}
+			p.VaultRate = rate
+			if p.VaultStall, err = cyc(1); err != nil {
+				return Profile{}, err
+			}
+		case "seed":
+			if len(fields) > 1 {
+				return Profile{}, fmt.Errorf("chaos: seed takes one value, got %q", v)
+			}
+			n, err := strconv.ParseUint(fields[0], 10, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("chaos: bad seed %q: %w", fields[0], err)
+			}
+			p.Seed = n
+		default:
+			return Profile{}, fmt.Errorf("chaos: unknown stressor %q (want delay, reorder, fence, freeze, vault, seed)", k)
+		}
+	}
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	if !p.Enabled() {
+		// Normalize: a profile with no active stressor (e.g. a dangling
+		// seed, or all rates zero) is the disabled profile.
+		return Profile{}, nil
+	}
+	return p, nil
+}

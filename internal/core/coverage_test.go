@@ -96,7 +96,7 @@ func TestWindowEdgeMergedVsBypassedCoverage(t *testing.T) {
 
 	// Bypass path: the crossing request alone sets the B bit and is
 	// forwarded directly, with the span rounded up over both FLITs.
-	bypass := New(DefaultConfig())
+	bypass := MustNew(DefaultConfig())
 	bOut := drainMAC(t, bypass, []memreq.RawRequest{
 		{Addr: crossing, Size: size, Thread: 0, Tag: 0},
 	})
@@ -109,7 +109,7 @@ func TestWindowEdgeMergedVsBypassedCoverage(t *testing.T) {
 	// crossing request through the comparators and the builder.
 	cfg := DefaultConfig()
 	cfg.ARQ.FillMode = false // deterministic merging
-	merged := New(cfg)
+	merged := MustNew(cfg)
 	// Both requests enter the ARQ before any pop, so the comparators
 	// see them together and the head half merges with the anchor.
 	if !merged.Push(memreq.RawRequest{Addr: winBase, Size: 8, Thread: 0, Tag: 0}, 0) ||
@@ -149,7 +149,7 @@ func testRequestCoverage(t *testing.T, window uint32, fill bool) {
 	cfg := DefaultConfig()
 	cfg.ARQ.WindowBytes = window
 	cfg.ARQ.FillMode = fill
-	m := New(cfg)
+	m := MustNew(cfg)
 
 	rng := sim.NewRNG(uint64(window)<<1 | uint64(btoi(fill)))
 	type key struct {

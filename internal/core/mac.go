@@ -71,10 +71,12 @@ var (
 	_ obs.Attacher     = (*MAC)(nil)
 )
 
-// New builds a MAC unit, panicking on invalid configuration.
-func New(cfg Config) *MAC {
+// New builds a MAC unit, returning a wrapped configuration error so
+// callers assembling systems at run time (the facade, the NUMA
+// builder) can surface it instead of crashing.
+func New(cfg Config) (*MAC, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("core: invalid MAC config: %w", err)
 	}
 	if cfg.BypassSize == 0 {
 		cfg.BypassSize = addr.FlitBytes
@@ -89,7 +91,16 @@ func New(cfg Config) *MAC {
 		agg: agg,
 		bld: bld,
 		st:  memreq.NewStats(),
+	}, nil
+}
+
+// MustNew is New panicking on error, for tests and static fixtures.
+func MustNew(cfg Config) *MAC {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return m
 }
 
 // Config returns the unit configuration.

@@ -29,7 +29,7 @@ func runMAC(m *MAC, maxCycles sim.Cycle) []memreq.Built {
 func testMAC(fill bool) *MAC {
 	cfg := DefaultConfig()
 	cfg.ARQ.FillMode = fill
-	return New(cfg)
+	return MustNew(cfg)
 }
 
 func TestBuilderPipelineLatency(t *testing.T) {
@@ -140,7 +140,7 @@ func TestMACFigure2SixteenLoadsOneRequest(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ARQ.FillMode = false
 	cfg.ARQ.MaxTargets = 16
-	m2 := New(cfg)
+	m2 := MustNew(cfg)
 	for i := 0; i < 16; i++ {
 		m2.Push(memreq.RawRequest{Addr: uint64(i * 16), Size: 16, Thread: uint16(i), Tag: uint16(i)}, sim.Cycle(i))
 	}

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRouterSingleNodeAllLocal(t *testing.T) {
-	r := NewRouter(DefaultRouterConfig())
+	r := MustNewRouter(DefaultRouterConfig())
 	for i := 0; i < 10; i++ {
 		if !r.OfferLocal(memreq.RawRequest{Addr: uint64(i) * 4096, Size: 8}) {
 			t.Fatalf("offer %d rejected", i)
@@ -24,7 +24,7 @@ func TestRouterClassifiesByInterleave(t *testing.T) {
 	cfg.Nodes = 2
 	cfg.NodeID = 0
 	cfg.InterleaveBytes = 256
-	r := NewRouter(cfg)
+	r := MustNewRouter(cfg)
 	r.OfferLocal(memreq.RawRequest{Addr: 0, Size: 8})   // block 0 -> node 0: local
 	r.OfferLocal(memreq.RawRequest{Addr: 256, Size: 8}) // block 1 -> node 1: global
 	local, global, _ := r.Stats()
@@ -40,7 +40,7 @@ func TestRouterClassifiesByInterleave(t *testing.T) {
 func TestRouterFencesAlwaysLocal(t *testing.T) {
 	cfg := DefaultRouterConfig()
 	cfg.Nodes = 4
-	r := NewRouter(cfg)
+	r := MustNewRouter(cfg)
 	if !r.OfferLocal(memreq.RawRequest{Fence: true}) {
 		t.Fatal("fence rejected")
 	}
@@ -51,7 +51,7 @@ func TestRouterFencesAlwaysLocal(t *testing.T) {
 }
 
 func TestRouterDrainFeedsMAC(t *testing.T) {
-	r := NewRouter(DefaultRouterConfig())
+	r := MustNewRouter(DefaultRouterConfig())
 	m := testMAC(false)
 	r.OfferLocal(memreq.RawRequest{Addr: 0x100, Size: 8, Tag: 1})
 	r.OfferRemote(memreq.RawRequest{Addr: 0x200, Size: 8, Tag: 2})
@@ -70,7 +70,7 @@ func TestRouterDrainFeedsMAC(t *testing.T) {
 }
 
 func TestRouterDrainAlternatesLocalRemote(t *testing.T) {
-	r := NewRouter(DefaultRouterConfig())
+	r := MustNewRouter(DefaultRouterConfig())
 	m := testMAC(false)
 	for i := 0; i < 3; i++ {
 		r.OfferLocal(memreq.RawRequest{Addr: uint64(0x1000 + i*256), Size: 8, Tag: uint16(i)})
@@ -104,8 +104,8 @@ func TestRouterDrainStopsOnMACBackpressure(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.ARQ.Entries = 1
 	cfg.ARQ.FillMode = false
-	m := New(cfg)
-	r := NewRouter(DefaultRouterConfig())
+	m := MustNew(cfg)
+	r := MustNewRouter(DefaultRouterConfig())
 	r.OfferLocal(memreq.RawRequest{Addr: 0x100, Size: 8})
 	r.OfferLocal(memreq.RawRequest{Addr: 0x900, Size: 8})
 	if !r.DrainToMAC(m, 0) {
@@ -122,7 +122,7 @@ func TestRouterDrainStopsOnMACBackpressure(t *testing.T) {
 func TestRouterBackpressureOnFullQueues(t *testing.T) {
 	cfg := DefaultRouterConfig()
 	cfg.LocalDepth = 1
-	r := NewRouter(cfg)
+	r := MustNewRouter(cfg)
 	if !r.OfferLocal(memreq.RawRequest{Addr: 1, Size: 8}) {
 		t.Fatal("first offer rejected")
 	}
@@ -145,7 +145,7 @@ func TestRouterConfigValidate(t *testing.T) {
 }
 
 func TestRouterReset(t *testing.T) {
-	r := NewRouter(DefaultRouterConfig())
+	r := MustNewRouter(DefaultRouterConfig())
 	r.OfferLocal(memreq.RawRequest{Addr: 1, Size: 8})
 	r.Reset()
 	if r.Pending() != 0 {

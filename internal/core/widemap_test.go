@@ -128,7 +128,7 @@ func TestMACWithWideWindowEndToEnd(t *testing.T) {
 	cfg.ARQ.WindowBytes = 1024
 	cfg.ARQ.FillMode = false
 	cfg.ARQ.MaxTargets = 64
-	m := New(cfg)
+	m := MustNew(cfg)
 	for i := 0; i < 64; i++ {
 		m.Push(memreq.RawRequest{Addr: uint64(i * 16), Size: 16, Thread: uint16(i % 8), Tag: uint16(i)}, sim.Cycle(i))
 	}
@@ -145,7 +145,7 @@ func TestMACWindowSizesProduceLegalTransactions(t *testing.T) {
 	for _, bytes := range []uint32{256, 512, 1024} {
 		cfg := DefaultConfig()
 		cfg.ARQ.WindowBytes = bytes
-		m := New(cfg)
+		m := MustNew(cfg)
 		rng := sim.NewRNG(9)
 		now := sim.Cycle(0)
 		for i := 0; i < 400; i++ {

@@ -14,6 +14,8 @@ import (
 	"fmt"
 
 	"mac3d/internal/addr"
+	"mac3d/internal/audit"
+	"mac3d/internal/chaos"
 	"mac3d/internal/core"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
@@ -151,12 +153,21 @@ type Result struct {
 	// status because their transaction's response was poisoned
 	// (link-retry budget exhausted under fault injection).
 	FailedRequests uint64
+	// RetriedRequests counts poisoned completions re-issued under the
+	// node's RetryPolicy (each counts once per re-issue).
+	RetriedRequests uint64
 	// RetireUnderflows and Misrouted count malformed response
 	// deliveries survived (instead of panicking): a retire for a
 	// thread with nothing outstanding, and a target naming a thread
 	// the node does not run.
 	RetireUnderflows uint64
 	Misrouted        uint64
+	// Audit is the end-of-run lifecycle-conservation report; nil
+	// unless auditing was enabled via Node.EnableAudit.
+	Audit *audit.Report
+	// Chaos is the injected-adversity summary; nil unless a chaos
+	// engine was attached via Node.SetChaos.
+	Chaos *chaos.Stats
 	// ARQOccupancy is the mean ARQ occupancy (MAC runs only).
 	ARQOccupancy float64
 	// RouterLocal/Global/Remote are the routing counts.
@@ -228,28 +239,101 @@ type Node struct {
 	// movement re-arms the watchdog.
 	progress uint64
 
+	// audit is the request-lifecycle ledger; nil when disabled, and
+	// every call is nil-safe like the obs handle.
+	audit *audit.Ledger
+	// chaos is the deterministic chaos engine; nil when disabled.
+	chaos *chaos.Engine
+	// retry is the requester-side poison-recovery policy; the zero
+	// value keeps the fail-on-poison behaviour.
+	retry memreq.RetryPolicy
+	// inflightReq remembers the raw request behind each in-flight
+	// (thread, tag) so a poisoned completion can be re-issued;
+	// populated only while retry is enabled.
+	inflightReq map[reqKey]*reqAttempt
+	// retryPend holds re-issues waiting out their backoff.
+	retryPend []retryPend
+	// dupDeliver is a test-only fault hook: every delivered response
+	// replays its audit-visible target retirement a second time, the
+	// double-delivery bug the ledger must catch.
+	dupDeliver bool
+
 	spmAccesses      uint64
 	memRequests      uint64
 	failedRequests   uint64
+	retriedRequests  uint64
 	retireUnderflows uint64
 	misrouted        uint64
 }
 
-// NewNode builds a node around a coalescer and device. The coalescer
-// and device must be freshly constructed or Reset.
-func NewNode(cfg Config, coal memreq.Coalescer, dev *hmc.Device) *Node {
+// reqKey identifies one in-flight raw request.
+type reqKey struct {
+	thread, tag uint16
+}
+
+// reqAttempt tracks the retry budget spent on one raw request.
+type reqAttempt struct {
+	req      memreq.RawRequest
+	attempts int
+}
+
+// retryPend is one poisoned request waiting out its re-issue backoff.
+type retryPend struct {
+	due sim.Cycle
+	req memreq.RawRequest
+}
+
+// NewNode builds a node around a coalescer and device, returning a
+// wrapped configuration error. The coalescer and device must be
+// freshly constructed or Reset.
+func NewNode(cfg Config, coal memreq.Coalescer, dev *hmc.Device) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("cpu: invalid node config: %w", err)
+	}
+	router, err := core.NewRouter(cfg.Router)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
 	}
 	mac, _ := coal.(*core.MAC)
 	return &Node{
 		cfg:      cfg,
-		router:   core.NewRouter(cfg.Router),
+		router:   router,
 		coal:     coal,
 		mac:      mac,
 		dev:      dev,
 		resp:     core.NewResponseRouter(cfg.TargetBufferDepth),
 		watchdog: sim.NewWatchdog(cfg.StallLimit),
+	}, nil
+}
+
+// MustNewNode is NewNode panicking on error, for tests and static
+// fixtures.
+func MustNewNode(cfg Config, coal memreq.Coalescer, dev *hmc.Device) *Node {
+	n, err := NewNode(cfg, coal, dev)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// EnableAudit attaches a fresh request-lifecycle ledger. Call before
+// Run; the end-of-run conservation report lands in Result.Audit.
+func (n *Node) EnableAudit() {
+	n.audit = audit.NewLedger()
+	n.router.OnDrain = func(req memreq.RawRequest, now sim.Cycle) {
+		n.audit.Drain(req, now)
+	}
+}
+
+// SetChaos attaches a chaos engine (nil disables). Call before Run.
+func (n *Node) SetChaos(e *chaos.Engine) { n.chaos = e }
+
+// SetRetry installs the requester-side poison-recovery policy. Call
+// before Run; the zero policy keeps fail-on-poison behaviour.
+func (n *Node) SetRetry(p memreq.RetryPolicy) {
+	n.retry = p
+	if p.Enabled() && n.inflightReq == nil {
+		n.inflightReq = make(map[reqKey]*reqAttempt)
 	}
 }
 
@@ -312,6 +396,8 @@ func (n *Node) Load(tr *trace.Trace) error {
 // cycles aborts with a *StallError carrying a diagnostic dump.
 func (n *Node) Run() (*Result, error) {
 	for now := sim.Cycle(0); now < n.cfg.MaxCycles; now++ {
+		n.tickChaos(now)
+		n.pumpRetries(now)
 		n.tickCores(now)
 		n.drainRouter(now)
 		n.tickCoalescer(now)
@@ -325,6 +411,46 @@ func (n *Node) Run() (*Result, error) {
 		}
 	}
 	return nil, fmt.Errorf("cpu: run exceeded MaxCycles=%d (deadlock?)", n.cfg.MaxCycles)
+}
+
+// tickChaos rolls the chaos engine for this cycle and applies the
+// stressors that act on the request/device side: transient vault
+// unavailability and synthetic fence bursts. (Response-side stressors
+// act through chaos.Filter in deliverResponses; submit freezes through
+// SubmitFrozen in tickCoalescer.) A fence that meets a full router
+// queue is dropped — the backpressure it found is already stress.
+func (n *Node) tickChaos(now sim.Cycle) {
+	if n.chaos == nil {
+		return
+	}
+	n.chaos.Tick(now)
+	if v, until, ok := n.chaos.TakeVaultStall(); ok {
+		n.dev.StallVault(v, until)
+	}
+	for n.chaos.TakeFence() {
+		if !n.router.OfferLocal(memreq.RawRequest{Fence: true}) {
+			break
+		}
+	}
+}
+
+// pumpRetries re-offers poisoned requests whose backoff expired. The
+// router may refuse (queue full); the request then retries next cycle.
+func (n *Node) pumpRetries(now sim.Cycle) {
+	if len(n.retryPend) == 0 {
+		return
+	}
+	keep := n.retryPend[:0]
+	for _, p := range n.retryPend {
+		if p.due > now || !n.router.OfferLocal(p.req) {
+			keep = append(keep, p)
+			continue
+		}
+		n.retriedRequests++
+		n.progress++
+		n.audit.Reissue(p.req, now)
+	}
+	n.retryPend = keep
 }
 
 // tickCores advances every thread by one cycle.
@@ -410,6 +536,10 @@ func (n *Node) tickThread(t *threadState, now sim.Cycle) {
 	t.retired++
 	n.progress++
 	n.memRequests++
+	n.audit.Issue(req, now)
+	if n.retry.Enabled() {
+		n.inflightReq[reqKey{req.Thread, req.Tag}] = &reqAttempt{req: req}
+	}
 	n.advance(t)
 }
 
@@ -432,6 +562,12 @@ func (n *Node) drainRouter(now sim.Cycle) {
 // ARQ entries dwell — the feedback that raises coalescing opportunity
 // exactly when the memory device is the bottleneck.
 func (n *Node) tickCoalescer(now sim.Cycle) {
+	if n.chaos.SubmitFrozen(now) {
+		// Chaos-injected ARQ backpressure burst: the submit stage is
+		// frozen, transactions back up inside the coalescer.
+		n.sampleCoalescer()
+		return
+	}
 	if len(n.deferred) > 0 {
 		n.submitDeferred(now)
 		if len(n.deferred) > 0 {
@@ -447,13 +583,29 @@ func (n *Node) tickCoalescer(now sim.Cycle) {
 	}
 	for _, b := range n.coal.Tick(now) {
 		bb := b
-		if _, ok := n.resp.Register(&bb, now); !ok {
+		tag, ok := n.resp.Register(&bb, now)
+		if !ok {
 			n.deferred = append(n.deferred, bb)
 			continue
 		}
+		n.bindTargets(&bb, tag, now)
 		bb.Span.MarkSubmit(uint64(now))
 		n.dev.Submit(bb.Req, now)
 		n.progress++
+	}
+}
+
+// bindTargets records in the ledger which device transaction carries
+// each raw request.
+func (n *Node) bindTargets(b *memreq.Built, tag uint64, now sim.Cycle) {
+	if n.audit == nil {
+		return
+	}
+	for _, tgt := range b.Targets {
+		if tgt.Cont {
+			continue // the head half owns the lifecycle record
+		}
+		n.audit.Bind(tgt, tag, now)
 	}
 }
 
@@ -472,9 +624,11 @@ func (n *Node) sampleCoalescer() {
 func (n *Node) submitDeferred(now sim.Cycle) {
 	for len(n.deferred) > 0 && n.dev.CanAccept() {
 		bb := n.deferred[0]
-		if _, ok := n.resp.Register(&bb, now); !ok {
+		tag, ok := n.resp.Register(&bb, now)
+		if !ok {
 			return
 		}
+		n.bindTargets(&bb, tag, now)
 		bb.Span.MarkSubmit(uint64(now))
 		n.dev.Submit(bb.Req, now)
 		n.progress++
@@ -489,7 +643,7 @@ func (n *Node) submitDeferred(now sim.Cycle) {
 // they are expected events, and a simulator that dies on them cannot
 // report what went wrong.
 func (n *Node) deliverResponses(now sim.Cycle) {
-	for _, resp := range n.dev.Tick(now) {
+	for _, resp := range n.chaos.Filter(now, n.dev.Tick(now)) {
 		b, status := n.resp.Deliver(resp)
 		switch status {
 		case core.RespDuplicate, core.RespUnknown:
@@ -503,15 +657,31 @@ func (n *Node) deliverResponses(now sim.Cycle) {
 		n.progress++
 		b.Span.MarkRespond(uint64(now))
 		n.obs.Trace().Transaction(resp.Tag, b.Span)
+		poisoned := status == core.RespPoisoned
 		for _, tgt := range b.Targets {
 			if tgt.Cont {
 				// Continuation half of a window-split request: its
 				// data is delivered, but the head half owns the
-				// request's one LSQ slot and latency observation.
+				// request's one LSQ slot and latency observation. A
+				// poisoned continuation is degraded data loss — the
+				// head's transaction is independently live, so the
+				// request cannot be re-issued without risking a
+				// double delivery; the ledger waives its bytes.
+				if poisoned {
+					n.audit.Forgive(tgt, now)
+				} else {
+					n.audit.Credit(tgt, b.Req.Addr, b.Req.Data, now)
+				}
 				continue
 			}
 			if int(tgt.Thread) >= len(n.threads) {
 				n.misrouted++
+				continue
+			}
+			if poisoned && n.scheduleRetry(tgt, now) {
+				// The LSQ slot stays occupied and issuedAt keeps the
+				// original issue cycle: the request's latency spans
+				// its retries, and fences keep waiting for it.
 				continue
 			}
 			t := n.threads[tgt.Thread]
@@ -520,21 +690,57 @@ func (n *Node) deliverResponses(now sim.Cycle) {
 				continue
 			}
 			t.outstanding--
-			if status == core.RespPoisoned {
+			if poisoned {
 				n.failedRequests++
+				n.audit.Fail(tgt, now)
+			} else {
+				n.audit.Credit(tgt, b.Req.Addr, b.Req.Data, now)
+				n.audit.Retire(tgt, now)
+			}
+			if n.retry.Enabled() {
+				delete(n.inflightReq, reqKey{tgt.Thread, tgt.Tag})
 			}
 			if issue, ok := t.issuedAt[tgt.Tag]; ok {
 				t.latency.Observe(uint64(now - issue))
 				delete(t.issuedAt, tgt.Tag)
 			}
 		}
+		if n.dupDeliver && !poisoned {
+			// Test-only injected bug: replay the audit-visible
+			// retirement, the double delivery the ledger must catch.
+			for _, tgt := range b.Targets {
+				if tgt.Cont {
+					continue
+				}
+				n.audit.Credit(tgt, b.Req.Addr, b.Req.Data, now)
+				n.audit.Retire(tgt, now)
+			}
+		}
 	}
+}
+
+// scheduleRetry queues a poisoned request for re-issue if the retry
+// policy has budget left. It reports whether the retirement should be
+// suppressed (the request lives on).
+func (n *Node) scheduleRetry(tgt memreq.Target, now sim.Cycle) bool {
+	if !n.retry.Enabled() {
+		return false
+	}
+	a, ok := n.inflightReq[reqKey{tgt.Thread, tgt.Tag}]
+	if !ok || a.attempts >= n.retry.MaxRetries {
+		return false
+	}
+	a.attempts++
+	n.retryPend = append(n.retryPend, retryPend{due: now + n.retry.Backoff, req: a.req})
+	n.audit.Retry(tgt, now)
+	return true
 }
 
 // drained reports whether all work has retired.
 func (n *Node) drained() bool {
 	if n.router.Pending() > 0 || n.coal.Pending() > 0 || n.coal.Inflight() > 0 ||
-		n.dev.Pending() > 0 || len(n.deferred) > 0 {
+		n.dev.Pending() > 0 || len(n.deferred) > 0 ||
+		n.chaos.HeldResponses() > 0 || len(n.retryPend) > 0 {
 		return false
 	}
 	for _, t := range n.threads {
@@ -554,9 +760,14 @@ func (n *Node) result(cycles sim.Cycle) *Result {
 		Device:           *n.dev.Stats(),
 		Responses:        n.resp.Stats(),
 		FailedRequests:   n.failedRequests,
+		RetriedRequests:  n.retriedRequests,
 		RetireUnderflows: n.retireUnderflows,
 		Misrouted:        n.misrouted,
 	}
+	if n.audit.Enabled() {
+		r.Audit = n.audit.Finish(cycles)
+	}
+	r.Chaos = n.chaos.Stats()
 	for _, t := range n.threads {
 		r.Instructions += t.retired
 		r.IssueStalls += t.stallLSQ + t.stallRouter + t.stallFence
@@ -602,6 +813,13 @@ type StallError struct {
 	DevicePending     int
 	// ThreadsBlocked counts threads with unretired work.
 	ThreadsBlocked int
+	// AuditInFlight is the ledger's count of requests without a
+	// terminal outcome at the stall (0 when auditing is disabled).
+	AuditInFlight int
+	// AuditOldest is the ledger's oldest in-flight request rendered
+	// with its holding component ("" when auditing is disabled or
+	// nothing is in flight) — the causal diagnostic for the stall.
+	AuditOldest string
 	// Dump is the rendered diagnostic.
 	Dump string
 }
@@ -656,6 +874,28 @@ func (n *Node) stallError(now sim.Cycle) error {
 			stats.KV{Key: "device poisoned responses", Value: ds.PoisonedResponses},
 			stats.KV{Key: "device token stalls", Value: ds.TokenStalls},
 		)
+	}
+	if n.audit.Enabled() {
+		e.AuditInFlight = n.audit.InFlight()
+		counts := n.audit.HolderCounts()
+		for _, s := range []audit.State{
+			audit.StateRouted, audit.StateCoalescing,
+			audit.StateInflight, audit.StateAwaitRetry,
+		} {
+			if counts[s] > 0 {
+				kvs = append(kvs, stats.KV{
+					Key:   fmt.Sprintf("audit: requests held by %s", s),
+					Value: counts[s],
+				})
+			}
+		}
+		if o, ok := n.audit.Oldest(); ok {
+			e.AuditOldest = o.String()
+			kvs = append(kvs, stats.KV{Key: "audit: oldest in-flight request", Value: e.AuditOldest})
+		}
+	}
+	if cs := n.chaos.Stats(); cs != nil {
+		kvs = append(kvs, stats.KV{Key: "chaos", Value: cs.String()})
 	}
 	e.Dump = stats.FormatKV(kvs)
 	return e

@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"mac3d/internal/chaos"
 	"mac3d/internal/coalesce"
 	"mac3d/internal/core"
 	"mac3d/internal/hmc"
@@ -51,6 +52,15 @@ type RunConfig struct {
 	// (metrics registry, timeseries recorder, transaction tracer).
 	// Nil keeps every probe a no-op.
 	Obs *obs.Obs
+	// Audit enables the request-lifecycle conservation ledger; the
+	// end-of-run report lands in Result.Audit.
+	Audit bool
+	// Chaos configures the deterministic chaos engine; the zero
+	// profile disables it.
+	Chaos chaos.Profile
+	// Retry is the requester-side poison-recovery policy; the zero
+	// value keeps fail-on-poison behaviour.
+	Retry memreq.RetryPolicy
 }
 
 // DefaultRunConfig returns the paper's Table 1 setup with MAC enabled.
@@ -65,13 +75,14 @@ func DefaultRunConfig() RunConfig {
 	}
 }
 
-// NewCoalescer constructs the coalescer selected by cfg.Kind.
-func (cfg RunConfig) NewCoalescer() memreq.Coalescer {
+// NewCoalescer constructs the coalescer selected by cfg.Kind,
+// returning a wrapped configuration error.
+func (cfg RunConfig) NewCoalescer() (memreq.Coalescer, error) {
 	switch cfg.Kind {
 	case WithoutMAC:
-		return coalesce.NewNull(cfg.Null)
+		return coalesce.NewNull(cfg.Null), nil
 	case WithMSHR:
-		return coalesce.NewMSHR(cfg.MSHR)
+		return coalesce.NewMSHR(cfg.MSHR), nil
 	default:
 		return core.New(cfg.MAC)
 	}
@@ -83,8 +94,27 @@ func Run(cfg RunConfig, tr *trace.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := NewNode(cfg.Node, cfg.NewCoalescer(), dev)
+	coal, err := cfg.NewCoalescer()
+	if err != nil {
+		return nil, err
+	}
+	n, err := NewNode(cfg.Node, coal, dev)
+	if err != nil {
+		return nil, err
+	}
 	n.AttachObs(cfg.Obs)
+	if cfg.Audit {
+		n.EnableAudit()
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, err
+	}
+	n.SetRetry(cfg.Retry)
+	eng, err := chaos.NewEngine(cfg.Chaos, cfg.HMC.Vaults)
+	if err != nil {
+		return nil, err
+	}
+	n.SetChaos(eng)
 	if err := n.Load(tr); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mac3d/internal/chaos"
+	"mac3d/internal/memreq"
+	"mac3d/internal/stats"
+)
+
+// chaosSweepProfile is the composed adversity the abl-chaos sweep runs
+// under: every stressor class active at once (delay/reorder storms on
+// the return path, fence storms on the request path, submit freezes,
+// transient vault stalls), on top of link CRC faults at a rate where
+// the requester-side retry policy can still converge.
+func chaosSweepProfile() chaos.Profile {
+	return chaos.Profile{
+		DelayRate: 0.004, DelayDuration: 12, DelayMax: 24,
+		ReorderRate: 0.05,
+		FenceRate:   0.001, FenceBurst: 2,
+		FreezeRate: 0.002, FreezeDuration: 8,
+		VaultRate: 0.002, VaultStall: 24,
+	}
+}
+
+// AblationChaos sweeps chaos seeds over the ablation benchmark set
+// with the full stressor composition, link CRC faults, a bounded
+// requester-side retry policy, and the request-lifecycle audit ledger
+// enabled. Every run must finish with zero invariant violations and —
+// because the retry budget comfortably covers the poison rate — zero
+// failed requests; any break fails the experiment with the offending
+// (benchmark, seed) and the ledger's per-request diagnostic diff.
+func (s *Suite) AblationChaos() (*stats.Table, error) {
+	seeds := []uint64{1, 2, 3}
+	profile := chaosSweepProfile()
+	retry := memreq.RetryPolicy{MaxRetries: 8, Backoff: 16}
+	const crcRate = 1e-3
+
+	t := stats.NewTable("Ablation: chaos sweep (audited conservation under adversity)",
+		"benchmark", "seed", "cycles", "delayed", "fences", "freezes",
+		"vault_stalls", "poisoned", "reissued", "failed", "violations")
+	for _, name := range s.ablationSet() {
+		for _, seed := range seeds {
+			res, err := s.MACChaos(name, 8, profile, seed, crcRate, retry)
+			if err != nil {
+				return nil, fmt.Errorf("abl-chaos %s seed %d: %w", name, seed, err)
+			}
+			a, c := res.Audit, res.Chaos
+			if a == nil || c == nil {
+				return nil, fmt.Errorf("abl-chaos %s seed %d: run missing audit/chaos report", name, seed)
+			}
+			if !a.Ok() {
+				return nil, fmt.Errorf("abl-chaos: invariant violations under %s seed %d (%s):\n%s",
+					name, seed, a, a.Diff())
+			}
+			if res.FailedRequests != 0 {
+				return nil, fmt.Errorf("abl-chaos: %s seed %d: %d requests failed despite retry budget %d",
+					name, seed, res.FailedRequests, retry.MaxRetries)
+			}
+			t.AddRow(name, seed, uint64(res.Cycles),
+				c.DelayedResponses, c.FencesInjected, c.FreezeCycles,
+				c.VaultStalls, res.Device.PoisonedResponses,
+				res.RetriedRequests, res.FailedRequests,
+				uint64(len(a.Violations))+a.OmittedViolations)
+		}
+	}
+	return t, nil
+}

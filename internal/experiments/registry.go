@@ -132,6 +132,11 @@ func All() []Entry {
 			Paper: "(beyond paper; registry vs result occupancy, capture volumes)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationObs() },
 		},
+		{
+			ID: "abl-chaos", Title: "Ablation: chaos sweep (audited conservation)",
+			Paper: "(beyond paper; lifecycle invariants under composed adversity)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationChaos() },
+		},
 	}
 }
 

@@ -13,8 +13,11 @@ import (
 	"sort"
 	"sync"
 
+	"mac3d/internal/chaos"
 	"mac3d/internal/cpu"
 	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
 	"mac3d/internal/trace"
 	"mac3d/internal/workloads"
 )
@@ -89,6 +92,13 @@ type runKey struct {
 	window  uint32  // coalescing window bytes; 0 = 256
 	fine    bool    // 16B-floor builder ablation
 	crc     float64 // link CRC error rate; 0 = faults disabled
+	// Chaos/audit/retry dimensions (abl-chaos). The profile is keyed
+	// by its canonical String() so equivalent spellings share a run.
+	chaos      string // canonical chaos profile; "" = disabled
+	chaosSeed  uint64 // chaos RNG seed override; 0 = profile default
+	audit      bool   // request-lifecycle conservation ledger
+	maxRetries int    // poisoned-completion re-issue budget
+	backoff    int64  // cycles between re-issues
 }
 
 // NewSuite builds a suite for opts.
@@ -199,6 +209,26 @@ func (s *Suite) run(k runKey) (*cpu.Result, error) {
 			cfg.HMC.Faults.CRCErrorRate = k.crc
 			cfg.HMC.Faults.Seed = s.opts.Seed
 		}
+		if k.chaos != "" {
+			profile, perr := chaos.ParseProfile(k.chaos)
+			if perr != nil {
+				s.mu.Lock()
+				s.errs[errKey] = fmt.Errorf("%s: chaos profile: %w", k.name, perr)
+				s.mu.Unlock()
+				return
+			}
+			if k.chaosSeed != 0 {
+				profile.Seed = k.chaosSeed
+			}
+			cfg.Chaos = profile
+		}
+		cfg.Audit = k.audit
+		if k.maxRetries != 0 {
+			cfg.Retry = memreq.RetryPolicy{
+				MaxRetries: k.maxRetries,
+				Backoff:    sim.Cycle(k.backoff),
+			}
+		}
 		if k.window != 0 {
 			cfg.MAC.ARQ.WindowBytes = k.window
 			// A wider window merges more raw requests per
@@ -304,6 +334,22 @@ func (s *Suite) RawOnHBM(name string, threads int) (*cpu.Result, error) {
 // at the given per-transmission CRC error rate.
 func (s *Suite) MACWithFaults(name string, threads int, crcRate float64) (*cpu.Result, error) {
 	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, crc: crcRate})
+}
+
+// MACChaos returns an audited with-MAC run under the given chaos
+// profile, link CRC error rate, and requester-side retry policy. The
+// profile is keyed by its canonical rendering, so equivalent spellings
+// share one cached simulation.
+func (s *Suite) MACChaos(name string, threads int, profile chaos.Profile, seed uint64, crcRate float64, retry memreq.RetryPolicy) (*cpu.Result, error) {
+	return s.run(runKey{
+		name: name, threads: threads, kind: cpu.WithMAC,
+		crc:        crcRate,
+		chaos:      profile.String(),
+		chaosSeed:  seed,
+		audit:      true,
+		maxRetries: retry.MaxRetries,
+		backoff:    int64(retry.Backoff),
+	})
 }
 
 // MACFineBuilder returns a with-MAC run using the 16B-floor builder.

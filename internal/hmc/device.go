@@ -100,6 +100,9 @@ type Stats struct {
 	// DroppedResponses counts responses deliberately lost by the
 	// DropResponseEvery diagnostic hook.
 	DroppedResponses uint64
+	// VaultStallEvents counts transient vault-unavailability windows
+	// applied via StallVault (chaos injection).
+	VaultStallEvents uint64
 }
 
 // BandwidthEfficiency returns Eq. 1 aggregated over all traffic:
@@ -176,6 +179,23 @@ func (d *Device) CanAccept() bool {
 		return false
 	}
 	return true
+}
+
+// StallVault makes vault v transiently unavailable until the given
+// cycle: the vault controller accepts no new issue before then (models
+// refresh overruns, repair cycles, or chaos-injected unavailability —
+// see internal/chaos). Already-issued accesses are unaffected. Pushing
+// the horizon only forward keeps the call idempotent and monotonic;
+// out-of-range vaults are ignored so callers can drive heterogeneous
+// device configurations blindly.
+func (d *Device) StallVault(v int, until sim.Cycle) {
+	if v < 0 || v >= len(d.vaultFree) {
+		return
+	}
+	if until > d.vaultFree[v] {
+		d.vaultFree[v] = until
+		d.st.VaultStallEvents++
+	}
 }
 
 // Submit schedules req starting at cycle now. Requests must be

@@ -200,3 +200,28 @@ func (s *Stats) String() string {
 		s.RawRequests, s.Transactions, s.Bypassed,
 		100*s.CoalescingEfficiency(), s.AvgTargetsPerTx())
 }
+
+// RetryPolicy bounds requester-side recovery from poisoned
+// completions: a response whose link-level retry budget was exhausted
+// (hmc poison semantics) is re-issued by the originating node up to
+// MaxRetries times, each attempt delayed by Backoff cycles. The zero
+// value disables recovery — poisoned completions fail the request, the
+// pre-existing behaviour.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-issues allowed per raw request.
+	MaxRetries int
+	// Backoff is the delay before each re-issue, in cycles.
+	Backoff sim.Cycle
+}
+
+// Enabled reports whether the policy allows at least one retry.
+func (p RetryPolicy) Enabled() bool { return p.MaxRetries > 0 }
+
+// Validate rejects nonsensical policies. (Backoff is unsigned; the
+// facade rejects negative user input before it gets here.)
+func (p RetryPolicy) Validate() error {
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("memreq: RetryPolicy.MaxRetries %d is negative", p.MaxRetries)
+	}
+	return nil
+}

@@ -52,6 +52,10 @@ type Config struct {
 	StallLimit sim.Cycle
 	// MaxCycles aborts a run that fails to drain.
 	MaxCycles sim.Cycle
+	// Retry is the requester-side poison-recovery policy: poisoned
+	// completions are re-issued by the originating node's router up
+	// to the policy's budget. The zero value keeps fail-on-poison.
+	Retry memreq.RetryPolicy
 }
 
 // DefaultConfig returns a 2-node system with Table 1 nodes and a
@@ -87,6 +91,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("numa: MaxCycles must be positive")
 	}
 	if err := c.MAC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.Validate(); err != nil {
 		return err
 	}
 	return c.HMC.Validate()
@@ -171,6 +178,9 @@ type Result struct {
 	// FailedRequests counts raw requests retired with an error status
 	// because their transaction's response was poisoned.
 	FailedRequests uint64
+	// RetriedRequests counts poisoned completions re-issued under
+	// Config.Retry (once per re-issue).
+	RetriedRequests uint64
 	// RetireUnderflows and Misrouted count malformed deliveries
 	// survived instead of panicking.
 	RetireUnderflows uint64
@@ -213,8 +223,34 @@ type System struct {
 	spmAccesses      uint64
 	remoteReqs       uint64
 	failedRequests   uint64
+	retriedRequests  uint64
 	retireUnderflows uint64
 	misrouted        uint64
+
+	// inflightReq remembers the raw request behind each in-flight
+	// (thread, tag) so a poisoned completion can be re-issued at the
+	// thread's home node; populated only while Config.Retry is on.
+	inflightReq map[reqKey]*reqAttempt
+	// retryPend holds re-issues waiting out their backoff.
+	retryPend []retryPend
+}
+
+// reqKey identifies one in-flight raw request system-wide (thread ids
+// are global).
+type reqKey struct {
+	thread, tag uint16
+}
+
+// reqAttempt tracks the retry budget spent on one raw request.
+type reqAttempt struct {
+	req      memreq.RawRequest
+	attempts int
+}
+
+// retryPend is one poisoned request waiting out its re-issue backoff.
+type retryPend struct {
+	due sim.Cycle
+	req memreq.RawRequest
 }
 
 // NewSystem builds the system; each node gets its own MAC and device.
@@ -228,6 +264,9 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.InterleaveBytes = addr.RowBytes
 	}
 	s := &System{cfg: cfg, watchdog: sim.NewWatchdog(cfg.StallLimit)}
+	if cfg.Retry.Enabled() {
+		s.inflightReq = make(map[reqKey]*reqAttempt)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		rcfg := core.DefaultRouterConfig()
 		rcfg.NodeID = i
@@ -237,10 +276,17 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		mac := core.New(cfg.MAC)
+		mac, err := core.New(cfg.MAC)
+		if err != nil {
+			return nil, fmt.Errorf("numa: node %d: %w", i, err)
+		}
+		router, err := core.NewRouter(rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("numa: node %d: %w", i, err)
+		}
 		s.nodes = append(s.nodes, &node{
 			id:     i,
-			router: core.NewRouter(rcfg),
+			router: router,
 			coal:   mac,
 			mac:    mac,
 			dev:    dev,
@@ -313,6 +359,7 @@ func (s *System) thread(id uint16) *threadState {
 // Run replays the loaded trace to completion.
 func (s *System) Run() (*Result, error) {
 	for now := sim.Cycle(0); now < s.cfg.MaxCycles; now++ {
+		s.pumpRetries(now)
 		for _, nd := range s.nodes {
 			nd.sentThisCycle = 0
 			s.tickThreads(nd, now)
@@ -411,6 +458,9 @@ func (s *System) tickThreads(nd *node, now sim.Cycle) {
 		t.retired++
 		s.progress++
 		s.memRequests++
+		if s.cfg.Retry.Enabled() {
+			s.inflightReq[reqKey{req.Thread, req.Tag}] = &reqAttempt{req: req}
+		}
 		if nd.router.Dest(e.Addr) != nd.id {
 			s.remoteReqs++
 			nd.remoteSent++
@@ -528,10 +578,18 @@ func (s *System) retire(tgt memreq.Target, now sim.Cycle, poisoned bool) {
 		s.retireUnderflows++
 		return
 	}
+	if poisoned && s.scheduleRetry(tgt, now) {
+		// The LSQ slot stays occupied and issuedAt keeps the original
+		// issue cycle: latency spans the retries, fences keep waiting.
+		return
+	}
 	t.outstanding--
 	s.progress++
 	if poisoned {
 		s.failedRequests++
+	}
+	if s.cfg.Retry.Enabled() {
+		delete(s.inflightReq, reqKey{tgt.Thread, tgt.Tag})
 	}
 	if issue, ok := t.issuedAt[tgt.Tag]; ok {
 		t.latency.Observe(uint64(now - issue))
@@ -539,8 +597,43 @@ func (s *System) retire(tgt memreq.Target, now sim.Cycle, poisoned bool) {
 	}
 }
 
+// scheduleRetry queues a poisoned request for re-issue at its home
+// node if the retry policy has budget left; it reports whether the
+// retirement should be suppressed.
+func (s *System) scheduleRetry(tgt memreq.Target, now sim.Cycle) bool {
+	if !s.cfg.Retry.Enabled() {
+		return false
+	}
+	a, ok := s.inflightReq[reqKey{tgt.Thread, tgt.Tag}]
+	if !ok || a.attempts >= s.cfg.Retry.MaxRetries {
+		return false
+	}
+	a.attempts++
+	s.retryPend = append(s.retryPend, retryPend{due: now + s.cfg.Retry.Backoff, req: a.req})
+	return true
+}
+
+// pumpRetries re-offers poisoned requests whose backoff expired at the
+// issuing thread's home node; a full router queue retries next cycle.
+func (s *System) pumpRetries(now sim.Cycle) {
+	if len(s.retryPend) == 0 {
+		return
+	}
+	keep := s.retryPend[:0]
+	for _, p := range s.retryPend {
+		home := s.nodes[int(p.req.Thread)%s.cfg.Nodes]
+		if p.due > now || !home.router.OfferLocal(p.req) {
+			keep = append(keep, p)
+			continue
+		}
+		s.retriedRequests++
+		s.progress++
+	}
+	s.retryPend = keep
+}
+
 func (s *System) drained() bool {
-	if s.net.Len() > 0 {
+	if s.net.Len() > 0 || len(s.retryPend) > 0 {
 		return false
 	}
 	for _, nd := range s.nodes {
@@ -564,6 +657,7 @@ func (s *System) result(cycles sim.Cycle) *Result {
 		SPMAccesses:      s.spmAccesses,
 		RemoteRequests:   s.remoteReqs,
 		FailedRequests:   s.failedRequests,
+		RetriedRequests:  s.retriedRequests,
 		RetireUnderflows: s.retireUnderflows,
 		Misrouted:        s.misrouted,
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"mac3d/internal/memreq"
 	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 	"mac3d/internal/trace"
@@ -288,5 +289,55 @@ func TestObservedSystem(t *testing.T) {
 	}
 	if o.Tracer.Len() == 0 {
 		t.Fatal("tracing enabled but no transaction spans captured")
+	}
+}
+
+// TestRetryConvergesAcrossNodes: poisoned completions on a multi-node
+// system are re-issued at the requesting thread's home node and
+// eventually deliver — no failed requests within the budget.
+func TestRetryConvergesAcrossNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.HMC.Faults.CRCErrorRate = 0.3
+	cfg.HMC.Faults.RetryLimit = 1
+	cfg.HMC.Faults.Seed = 5
+	cfg.Retry = memreq.RetryPolicy{MaxRetries: 8, Backoff: 16}
+	res, err := Run(cfg, seqTrace(4, 64))
+	if err != nil {
+		t.Fatalf("retrying NUMA run: %v", err)
+	}
+	if res.RetriedRequests == 0 {
+		t.Fatal("no poisoned completions were re-issued")
+	}
+	if res.FailedRequests != 0 {
+		t.Fatalf("%d requests failed despite the retry budget", res.FailedRequests)
+	}
+	// Replay determinism holds with retries in play.
+	res2, err := Run(cfg, seqTrace(4, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != res2.Cycles || res.RetriedRequests != res2.RetriedRequests {
+		t.Fatal("retrying run is not deterministic")
+	}
+}
+
+// TestRetryBudgetExhaustsAcrossNodes: certain poison fails every
+// request cleanly after the bounded re-issues.
+func TestRetryBudgetExhaustsAcrossNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.HMC.Faults.CRCErrorRate = 1.0
+	cfg.HMC.Faults.RetryLimit = 1
+	cfg.Retry = memreq.RetryPolicy{MaxRetries: 2, Backoff: 4}
+	res, err := Run(cfg, seqTrace(2, 16))
+	if err != nil {
+		t.Fatalf("NUMA run under certain poison: %v", err)
+	}
+	if res.FailedRequests != res.MemRequests {
+		t.Fatalf("FailedRequests = %d, want all %d", res.FailedRequests, res.MemRequests)
+	}
+	if res.RetriedRequests != 2*res.MemRequests {
+		t.Fatalf("RetriedRequests = %d, want %d", res.RetriedRequests, 2*res.MemRequests)
 	}
 }

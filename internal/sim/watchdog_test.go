@@ -66,4 +66,32 @@ func TestWatchdogReset(t *testing.T) {
 	if w.Check(3, 0) {
 		t.Fatal("fired immediately after Reset")
 	}
+	// Reset re-arms a fresh baseline: the work counter restarts at
+	// zero, so a counter stuck at its pre-reset value is progress once
+	// (work 0 -> 1) and only then subject to the full limit again.
+	w.Reset()
+	if w.Check(0, 1) {
+		t.Fatal("pre-reset work value fired as stale")
+	}
+	for now := Cycle(1); now <= 5; now++ {
+		if w.Check(now, 1) {
+			t.Fatalf("fired at cycle %d, within the limit after Reset", now)
+		}
+	}
+	if !w.Check(6, 1) {
+		t.Fatal("did not re-fire past the limit after Reset")
+	}
+	// A fired-and-reset watchdog re-arms on progress like a fresh one.
+	w.Reset()
+	w.Check(0, 1)
+	w.Check(5, 2)
+	if w.Check(10, 2) {
+		t.Fatal("fired within the limit of the post-Reset progress")
+	}
+	if !w.Check(11, 2) {
+		t.Fatal("did not fire past the post-Reset progress limit")
+	}
+	if w.Limit() != 5 {
+		t.Fatalf("Reset changed the limit: %d", w.Limit())
+	}
 }

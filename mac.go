@@ -23,10 +23,12 @@ package mac3d
 import (
 	"fmt"
 
+	"mac3d/internal/chaos"
 	"mac3d/internal/coalesce"
 	"mac3d/internal/core"
 	"mac3d/internal/cpu"
 	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
 	"mac3d/internal/sim"
 	"mac3d/internal/trace"
 	"mac3d/internal/workloads"
@@ -168,6 +170,41 @@ type RunOptions struct {
 	// Run honours it; Compare ignores it (each registry belongs to
 	// exactly one run — observe the two designs with separate Runs).
 	Observe ObserveOptions
+
+	// Audit enables the request-lifecycle conservation ledger: every
+	// raw request is tracked from issue through route, coalesce,
+	// device submit and response match, and the report carries an
+	// Audit block asserting that each reached exactly one terminal
+	// outcome with its bytes conserved. Off by default (zero cost).
+	Audit bool
+	// Chaos configures the deterministic chaos engine (response
+	// delay/reorder storms, fence storms, submit freezes, transient
+	// vault unavailability). The zero value disables it.
+	Chaos ChaosOptions
+	// Retry configures requester-side recovery from poisoned
+	// completions. The zero value keeps fail-on-poison behaviour.
+	Retry RetryOptions
+}
+
+// ChaosOptions selects a chaos profile for a run. All injection is
+// driven by a dedicated seeded RNG, so a given profile and seed replay
+// identically.
+type ChaosOptions struct {
+	// Profile is a preset name ("mild", "storm") or a stressor list in
+	// the internal/chaos syntax, e.g.
+	// "delay=0.01:16:32,reorder=0.1,fence=0.002:2,freeze=0.005:8,vault=0.01:32".
+	// Empty or "off" disables chaos.
+	Profile string
+	// Seed overrides the profile's chaos-RNG seed when non-zero.
+	Seed uint64
+}
+
+// RetryOptions bounds requester-side re-issue of poisoned completions.
+type RetryOptions struct {
+	// MaxRetries is the per-request re-issue budget (0 disables).
+	MaxRetries int
+	// BackoffCycles delays each re-issue (default 0: next cycle).
+	BackoffCycles int64
 }
 
 // FaultOptions configures the deterministic link-level fault model
@@ -282,6 +319,25 @@ func (o RunOptions) runConfig() (cpu.RunConfig, error) {
 		cfg.Node.StallLimit = 0
 	case o.WatchdogCycles > 0:
 		cfg.Node.StallLimit = sim.Cycle(o.WatchdogCycles)
+	}
+	cfg.Audit = o.Audit
+	profile, err := chaos.ParseProfile(o.Chaos.Profile)
+	if err != nil {
+		return cfg, err
+	}
+	if o.Chaos.Seed != 0 {
+		profile.Seed = o.Chaos.Seed
+	}
+	cfg.Chaos = profile
+	if o.Retry.BackoffCycles < 0 {
+		return cfg, fmt.Errorf("mac3d: Retry.BackoffCycles %d is negative", o.Retry.BackoffCycles)
+	}
+	cfg.Retry = memreq.RetryPolicy{
+		MaxRetries: o.Retry.MaxRetries,
+		Backoff:    sim.Cycle(o.Retry.BackoffCycles),
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return cfg, err
 	}
 	// Surface configuration mistakes as errors at the façade; the
 	// internal constructors treat invalid config as programmer error

@@ -3,6 +3,7 @@ package mac3d
 import (
 	"fmt"
 
+	"mac3d/internal/memreq"
 	"mac3d/internal/numa"
 	"mac3d/internal/sim"
 	"mac3d/internal/workloads"
@@ -32,6 +33,10 @@ type NUMAOptions struct {
 	// InterleaveBytes is the global address interleave block
 	// (default 256, one HMC row).
 	InterleaveBytes uint64
+
+	// Retry re-issues poisoned completions at the requester, same
+	// semantics as RunOptions.Retry.
+	Retry RetryOptions
 }
 
 // NUMAReport summarizes a multi-node run.
@@ -50,6 +55,10 @@ type NUMAReport struct {
 
 	AvgLatencyCycles float64
 	AvgLatencyNs     float64
+
+	// RetriedRequests counts poisoned completions re-issued under
+	// NUMAOptions.Retry.
+	RetriedRequests uint64
 
 	// PerNode carries each node's key measurements.
 	PerNode []NUMANodeReport
@@ -105,6 +114,16 @@ func RunNUMA(opts NUMAOptions) (*NUMAReport, error) {
 	if opts.InterleaveBytes != 0 {
 		cfg.InterleaveBytes = opts.InterleaveBytes
 	}
+	if opts.Retry.BackoffCycles < 0 {
+		return nil, fmt.Errorf("mac3d: NUMAOptions.Retry.BackoffCycles %d is negative", opts.Retry.BackoffCycles)
+	}
+	cfg.Retry = memreq.RetryPolicy{
+		MaxRetries: opts.Retry.MaxRetries,
+		Backoff:    sim.Cycle(opts.Retry.BackoffCycles),
+	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, err
+	}
 	res, err := numa.Run(cfg, tr)
 	if err != nil {
 		return nil, err
@@ -121,6 +140,7 @@ func RunNUMA(opts NUMAOptions) (*NUMAReport, error) {
 		RemoteFraction:   res.RemoteFraction(),
 		AvgLatencyCycles: res.RequestLatency.Mean(),
 		AvgLatencyNs:     res.RequestLatency.Mean() / clock.FreqHz * 1e9,
+		RetriedRequests:  res.RetriedRequests,
 	}
 	for i, ns := range res.PerNode {
 		rep.PerNode = append(rep.PerNode, NUMANodeReport{

@@ -3,6 +3,7 @@ package mac3d
 import (
 	"fmt"
 
+	"mac3d/internal/chaos"
 	"mac3d/internal/cpu"
 	"mac3d/internal/sim"
 )
@@ -82,6 +83,59 @@ type RunReport struct {
 	// Observability carries the run's metric snapshot, timeseries and
 	// trace export; nil unless RunOptions.Observe.Enabled was set.
 	Observability *ObsReport
+
+	// Audit carries the request-lifecycle conservation report; nil
+	// unless RunOptions.Audit was set.
+	Audit *AuditReport
+	// Chaos carries the injected-adversity counters; nil unless a
+	// chaos profile was configured.
+	Chaos *ChaosReport
+}
+
+// AuditReport is the end-of-run request-lifecycle conservation result:
+// every raw request must reach exactly one terminal outcome with its
+// FLIT bytes conserved. Violations lists broken invariants as
+// per-request diagnostic lines.
+type AuditReport struct {
+	// Issued counts raw requests registered (fences excluded).
+	Issued uint64
+	// Delivered and Failed count terminal outcomes.
+	Delivered uint64
+	Failed    uint64
+	// Reissued counts poisoned completions re-issued under the retry
+	// policy; Forgiven counts window-split requests whose poisoned
+	// continuation bytes were waived as degraded data loss.
+	Reissued uint64
+	Forgiven uint64
+	// Open counts requests left without a terminal outcome.
+	Open int
+	// Violations holds one rendered diagnostic per broken invariant;
+	// OmittedViolations counts those beyond the reporting cap.
+	Violations        []string
+	OmittedViolations uint64
+}
+
+// Ok reports whether every lifecycle invariant held.
+func (r *AuditReport) Ok() bool {
+	return r != nil && len(r.Violations) == 0 && r.OmittedViolations == 0
+}
+
+// ChaosReport summarizes the adversity a chaos profile injected.
+type ChaosReport struct {
+	// Profile is the canonical rendering of the active profile.
+	Profile string
+	// DelayStorms counts storm windows; DelayedResponses the
+	// responses held back inside them.
+	DelayStorms      uint64
+	DelayedResponses uint64
+	// ReorderedBatches counts response batches delivered reversed.
+	ReorderedBatches uint64
+	// FencesInjected counts synthetic fences pushed into the router.
+	FencesInjected uint64
+	// FreezeCycles counts cycles the submit stage spent frozen.
+	FreezeCycles uint64
+	// VaultStalls counts transient vault-unavailability events.
+	VaultStalls uint64
 }
 
 // FaultReport is the measurement set of the link-level fault model.
@@ -107,6 +161,9 @@ type FaultReport struct {
 	// DroppedResponses counts responses deliberately lost by the
 	// DropResponseEvery diagnostic hook.
 	DroppedResponses uint64
+	// RetriedRequests counts poisoned completions re-issued under
+	// RunOptions.Retry (once per re-issue).
+	RetriedRequests uint64
 	// DuplicateResponses and UnknownResponses count deliveries the
 	// response router discarded.
 	DuplicateResponses uint64
@@ -159,6 +216,7 @@ func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
 			LinksDisabled:       res.Device.LinksDisabled,
 			TokenStalls:         res.Device.TokenStalls,
 			DroppedResponses:    res.Device.DroppedResponses,
+			RetriedRequests:     res.RetriedRequests,
 			DuplicateResponses:  res.Responses.Duplicates,
 			UnknownResponses:    res.Responses.Unknown,
 			TargetBufferRejects: res.Responses.RegisterRejects,
@@ -166,6 +224,38 @@ func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
 	}
 	for size, n := range res.Coalescer.BuiltBySizeBytes {
 		rep.TxBySize[size] = n
+	}
+	if a := res.Audit; a != nil {
+		ar := &AuditReport{
+			Issued:            a.Issued,
+			Delivered:         a.Delivered,
+			Failed:            a.Failed,
+			Reissued:          a.Reissued,
+			Forgiven:          a.Forgiven,
+			Open:              a.Open,
+			OmittedViolations: a.OmittedViolations,
+		}
+		for _, v := range a.Violations {
+			ar.Violations = append(ar.Violations, v.String())
+		}
+		rep.Audit = ar
+	}
+	if c := res.Chaos; c != nil {
+		// The profile parsed successfully before the run started, so
+		// re-parsing for the canonical rendering cannot fail here.
+		profile, _ := chaos.ParseProfile(opts.Chaos.Profile)
+		if opts.Chaos.Seed != 0 {
+			profile.Seed = opts.Chaos.Seed
+		}
+		rep.Chaos = &ChaosReport{
+			Profile:          profile.String(),
+			DelayStorms:      c.DelayStorms,
+			DelayedResponses: c.DelayedResponses,
+			ReorderedBatches: c.ReorderedBatches,
+			FencesInjected:   c.FencesInjected,
+			FreezeCycles:     c.FreezeCycles,
+			VaultStalls:      c.VaultStalls,
+		}
 	}
 	return rep
 }
