@@ -1,4 +1,4 @@
-package mac3d
+package mac3d_test
 
 // One testing.B benchmark per table/figure of the paper, as required
 // by the reproduction harness: each bench regenerates its experiment
@@ -12,6 +12,7 @@ package mac3d
 import (
 	"testing"
 
+	"mac3d"
 	"mac3d/internal/experiments"
 	"mac3d/internal/workloads"
 )
@@ -290,7 +291,7 @@ func BenchmarkPipelineSG(b *testing.B) {
 	_ = tr
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(RunOptions{Workload: "sg"}); err != nil {
+		if _, err := mac3d.Run(mac3d.RunOptions{Workload: "sg"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -303,9 +304,9 @@ func BenchmarkPipelineSG(b *testing.B) {
 // pre-observability baseline: nil-check-only, required <5%.
 func BenchmarkPipelineSGObserved(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := Run(RunOptions{
+		rep, err := mac3d.Run(mac3d.RunOptions{
 			Workload: "sg",
-			Observe:  ObserveOptions{Enabled: true, SampleInterval: 64, Trace: true},
+			Observe:  mac3d.ObserveOptions{Enabled: true, SampleInterval: 64, Trace: true},
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -323,7 +324,7 @@ func BenchmarkPipelineSGObserved(b *testing.B) {
 // observability: BenchmarkPipelineSG versus its pre-audit baseline.
 func BenchmarkPipelineSGAudited(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := Run(RunOptions{Workload: "sg", Audit: true})
+		rep, err := mac3d.Run(mac3d.RunOptions{Workload: "sg", Audit: true})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -5,13 +5,18 @@
 //
 //	experiments [-scale tiny|small|ref] [-seed N] [-exp fig10,...]
 //	            [-bench sg,bfs,...] [-csv] [-quiet]
+//	experiments -macd http://127.0.0.1:8080 [-scale ...] [-bench ...]
 //
 // By default it runs every experiment at small scale over the paper's
 // twelve benchmarks and prints aligned tables, one per figure, with
-// the paper's headline numbers for comparison.
+// the paper's headline numbers for comparison. With -macd, the Fig. 10
+// coalescing sweep is submitted to a running macd daemon as job specs
+// instead of simulating in process — repeated sweeps hit the daemon's
+// result cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"mac3d/internal/experiments"
+	"mac3d/internal/service"
 	"mac3d/internal/workloads"
 )
 
@@ -34,6 +40,7 @@ func main() {
 	outdir := flag.String("outdir", "", "also write one CSV file per experiment to this directory")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	macd := flag.String("macd", "", "run the coalescing sweep through a macd daemon at this base URL instead of in process")
 	flag.Parse()
 
 	if *list {
@@ -63,6 +70,26 @@ func main() {
 	if !*quiet {
 		opts.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "  .. %s\n", msg) }
 	}
+
+	if *macd != "" {
+		client := &service.Client{BaseURL: *macd}
+		t0 := time.Now()
+		tab, err := experiments.ServiceSweep(context.Background(), client, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Print(tab.Render())
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  [sweep via %s done in %s]\n", *macd, time.Since(t0).Round(time.Millisecond))
+		}
+		return
+	}
+
 	suite := experiments.NewSuite(opts)
 	if *parallel > 1 {
 		// Warm the shared with/without-MAC runs concurrently.

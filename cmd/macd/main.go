@@ -1,0 +1,101 @@
+// Command macd serves the MAC simulator as a daemon: a bounded job
+// queue and worker pool behind an HTTP API, with single-flight
+// coalescing and a content-addressed result cache so identical
+// spec+seed submissions re-use one deterministic report.
+//
+// Usage:
+//
+//	macd [-addr :8080] [-workers 4] [-queue 64]
+//	     [-cache-bytes 67108864] [-job-timeout 10m] [-retain 4096]
+//
+// Endpoints (see DESIGN.md "Serving layer"):
+//
+//	POST   /v1/jobs             submit a JSON job spec
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result finished report JSON
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/healthz          liveness + drain state
+//	GET    /v1/metrics          obs registry as "name value" lines
+//
+// SIGINT/SIGTERM stops accepting jobs (503), drains queued and
+// running work, then exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mac3d/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = default 4)")
+		queue      = flag.Int("queue", 0, "job queue depth before 429s (0 = default 64)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = default 64 MiB, negative disables)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = default 10m, negative disables)")
+		retain     = flag.Int("retain", 0, "terminal job records to keep (0 = default 4096)")
+		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheBytes,
+		JobTimeout: *jobTimeout,
+		RetainJobs: *retain,
+	}, *drainWait); err != nil {
+		log.Fatalf("macd: %v", err)
+	}
+}
+
+func run(addr string, cfg service.Config, drainWait time.Duration) error {
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.Handler(svc)}
+
+	// The parseable start line: tests and scripts read the bound
+	// address from here (port 0 resolves to a real port).
+	fmt.Printf("macd: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("macd: %v: draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		// Jobs still running at the deadline keep draining in the
+		// background; report and shut the listener down anyway.
+		log.Printf("macd: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	log.Printf("macd: drained, bye")
+	return nil
+}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mac3d/internal/service"
+)
+
+// startDaemon builds macd, starts it on an ephemeral port and returns
+// a client plus a stop function that SIGTERMs the daemon and asserts a
+// clean exit.
+func startDaemon(t *testing.T, extraArgs ...string) (*service.Client, func()) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "macd")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	build := exec.Command("go", "build", "-o", bin, "mac3d/cmd/macd")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first stdout line announces the bound address.
+	lines := bufio.NewScanner(stdout)
+	addrc := make(chan string, 1)
+	go func() {
+		if lines.Scan() {
+			addrc <- strings.TrimPrefix(lines.Text(), "macd: listening on ")
+		}
+		close(addrc)
+		for lines.Scan() {
+		}
+	}()
+	var addr string
+	select {
+	case a, ok := <-addrc:
+		if !ok || a == "" {
+			cmd.Process.Kill()
+			t.Fatalf("macd printed no listen line; stderr:\n%s", stderr.String())
+		}
+		addr = a
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("macd did not start; stderr:\n%s", stderr.String())
+	}
+
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("macd exited uncleanly after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+			}
+		case <-time.After(60 * time.Second):
+			cmd.Process.Kill()
+			t.Fatalf("macd did not drain within 60s of SIGTERM; stderr:\n%s", stderr.String())
+		}
+	}
+	t.Cleanup(func() {
+		if !stopped {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return &service.Client{
+		BaseURL:      "http://" + addr,
+		PollInterval: 10 * time.Millisecond,
+	}, stop
+}
+
+// TestDaemonEndToEnd is the acceptance scenario: start macd, submit
+// two identical jobs concurrently plus a mixed load, verify the
+// duplicate work deduplicates (coalesce or cache hit) with
+// byte-identical results, then verify a later identical submission is
+// a pure cache hit, and finally SIGTERM drains cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the daemon and runs real simulations")
+	}
+	c, stop := startDaemon(t, "-workers", "4", "-queue", "64")
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+
+	if ok, draining, err := c.Healthz(ctx); err != nil || !ok || draining {
+		t.Fatalf("healthz: ok=%v draining=%v err=%v", ok, draining, err)
+	}
+
+	spec := []byte(`{"kind":"run","run":{"workload":"sg","scale":"tiny","seed":1}}`)
+
+	// Two identical jobs, submitted concurrently.
+	type res struct {
+		st   service.JobStatus
+		data []byte
+		err  error
+	}
+	results := make([]res, 2)
+	var wg sync.WaitGroup
+	for i := range results {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := c.SubmitJSON(ctx, spec)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			data, err := c.AwaitResult(ctx, st.ID)
+			results[i] = res{st: st, data: data, err: err}
+		}()
+	}
+	// A mixed background load alongside them.
+	mixed := []string{
+		`{"kind":"run","run":{"workload":"bfs","scale":"tiny","seed":2}}`,
+		`{"kind":"numa","numa":{"workload":"is","threads":4,"nodes":2,"cores_per_node":2}}`,
+	}
+	mixedErrs := make(chan error, len(mixed))
+	for _, m := range mixed {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := c.SubmitJSON(ctx, []byte(m))
+			if err == nil {
+				_, err = c.AwaitResult(ctx, st.ID)
+			}
+			if err != nil {
+				mixedErrs <- fmt.Errorf("mixed job %s: %w", m, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(mixedErrs)
+	for err := range mixedErrs {
+		t.Error(err)
+	}
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("identical job %d: %v", i, r.err)
+		}
+	}
+	if !bytes.Equal(results[0].data, results[1].data) {
+		t.Fatal("identical spec+seed jobs returned different bytes")
+	}
+	if results[0].st.Hash != results[1].st.Hash {
+		t.Fatal("identical specs were assigned different hashes")
+	}
+	// One of the pair deduplicated against the other: either it
+	// coalesced onto the in-flight run or it hit the cache.
+	deduped := results[0].st.Cached || results[0].st.Coalesced ||
+		results[1].st.Cached || results[1].st.Coalesced
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped && m["macd.jobs.coalesced"]+m["macd.cache.hits"] < 1 {
+		t.Fatalf("duplicate submission executed twice: metrics %v", m)
+	}
+
+	// A third identical submission now must be a pure cache hit.
+	st3, err := c.SubmitJSON(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.Cached {
+		t.Fatalf("post-completion duplicate should be cached, got %+v", st3)
+	}
+	data3, err := c.Result(ctx, st3.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data3, results[0].data) {
+		t.Fatal("cached result differs from original")
+	}
+	m2, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2["macd.cache.hits"] < 1 {
+		t.Fatalf("macd.cache.hits = %g, want >= 1", m2["macd.cache.hits"])
+	}
+
+	// SIGTERM drains and exits 0 (asserted inside stop).
+	stop()
+}
+
+// TestDaemonRejectsInvalidSpec starts the daemon and checks the
+// HTTP-visible validation path.
+func TestDaemonRejectsInvalidSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the daemon")
+	}
+	c, stop := startDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	for _, bad := range []string{
+		`{"kind":"run"}`,
+		`{"kind":"run","run":{"workload":"sg","threads":-1}}`,
+		`not json`,
+	} {
+		if _, err := c.SubmitJSON(ctx, []byte(bad)); err == nil {
+			t.Errorf("daemon accepted invalid spec %q", bad)
+		}
+	}
+	stop()
+}

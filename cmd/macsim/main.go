@@ -108,26 +108,13 @@ func main() {
 			})
 		}
 	}
-	switch *scaleFlag {
-	case "tiny":
-		opts.Scale = mac3d.ScaleTiny
-	case "small":
-		opts.Scale = mac3d.ScaleSmall
-	case "ref":
-		opts.Scale = mac3d.ScaleRef
-	default:
-		fmt.Fprintf(os.Stderr, "macsim: unknown scale %q\n", *scaleFlag)
+	var err error
+	if opts.Scale, err = mac3d.ParseScale(*scaleFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "macsim:", err)
 		os.Exit(2)
 	}
-	switch *designFlag {
-	case "mac":
-		opts.Design = mac3d.DesignMAC
-	case "raw":
-		opts.Design = mac3d.DesignRaw
-	case "mshr":
-		opts.Design = mac3d.DesignMSHR
-	default:
-		fmt.Fprintf(os.Stderr, "macsim: unknown design %q\n", *designFlag)
+	if opts.Design, err = mac3d.ParseDesign(*designFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "macsim:", err)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestTracegenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binaries")
+	}
+	bin := buildTool(t, "mac3d/cmd/tracegen", "tracegen")
+	trace := filepath.Join(t.TempDir(), "sg.trace")
+
+	t.Run("generate", func(t *testing.T) {
+		out, err := exec.Command(bin, "-workload", "sg", "-scale", "tiny", "-threads", "4", "-o", trace).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "wrote ") {
+			t.Fatalf("unexpected generate output: %s", out)
+		}
+	})
+
+	t.Run("stats", func(t *testing.T) {
+		out, err := exec.Command(bin, "-i", trace, "-stats").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		for _, want := range []string{"events", "loads", "threads"} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("stats output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("text dump", func(t *testing.T) {
+		out, err := exec.Command(bin, "-i", trace, "-text").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if len(strings.TrimSpace(string(out))) == 0 {
+			t.Fatal("text dump produced no output")
+		}
+	})
+
+	t.Run("analyze", func(t *testing.T) {
+		out, err := exec.Command(bin, "-i", trace, "-analyze").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if len(strings.TrimSpace(string(out))) == 0 {
+			t.Fatal("analysis produced no output")
+		}
+	})
+
+	// The generated trace replays through macsim: the two tools agree
+	// on the binary trace format end to end.
+	t.Run("replay through macsim", func(t *testing.T) {
+		macsim := buildTool(t, "mac3d/cmd/macsim", "macsim")
+		out, err := exec.Command(macsim, "-in", trace, "-threads", "4").CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "coalescing efficiency") {
+			t.Errorf("replay report missing coalescing line:\n%s", out)
+		}
+	})
+
+	t.Run("bad invocations exit nonzero", func(t *testing.T) {
+		for _, args := range [][]string{
+			{},
+			{"-workload", "nope", "-o", filepath.Join(t.TempDir(), "x.trace")},
+			{"-i", filepath.Join(t.TempDir(), "missing.trace")},
+			{"-workload", "sg", "-scale", "galactic"},
+		} {
+			if err := exec.Command(bin, args...).Run(); err == nil {
+				t.Errorf("tracegen %v succeeded, want failure", args)
+			}
+		}
+	})
+}

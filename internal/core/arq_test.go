@@ -264,7 +264,10 @@ func TestAggregatorOccupancyTracking(t *testing.T) {
 	if got := a.OccupancyMean(); got != want {
 		t.Fatalf("occupancy mean = %v, want %v", got, want)
 	}
-	// The deprecated accessor is an exact alias.
+	// The deprecated accessor is an exact alias. This is its only
+	// remaining caller — the alias's own contract test; all other
+	// callers use OccupancyMean (staticcheck SA1019 holds the line
+	// for external packages).
 	if a.AvgOccupancy() != a.OccupancyMean() {
 		t.Fatal("AvgOccupancy diverged from OccupancyMean")
 	}
@@ -276,7 +279,7 @@ func TestAggregatorReset(t *testing.T) {
 	a.Push(memreq.RawRequest{Fence: true}, 1)
 	a.SampleOccupancy()
 	a.Reset()
-	if a.Len() != 0 || a.AvgOccupancy() != 0 || a.PeekFence() {
+	if a.Len() != 0 || a.OccupancyMean() != 0 || a.PeekFence() {
 		t.Fatal("reset incomplete")
 	}
 	// Merging works again post-reset.

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mac3d/internal/service"
+	"mac3d/internal/workloads"
+)
+
+func TestServiceSweepThroughLocalDaemon(t *testing.T) {
+	svc, err := service.New(service.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	defer svc.Drain(ctx)
+
+	opts := Options{Scale: workloads.Tiny, Seed: 1, Benchmarks: []string{"sg", "is"}}
+	tab, err := ServiceSweep(ctx, service.Local{Service: svc}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(opts.Benchmarks)+1 {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(opts.Benchmarks)+1)
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				t.Fatalf("non-numeric cell %q: %v", cell, err)
+			}
+			if v < 0 || v > 100 {
+				t.Fatalf("efficiency %v out of [0, 100]", v)
+			}
+		}
+	}
+
+	// The sweep's results agree with the direct (in-memory Suite)
+	// reproduction of the same figure at the same scale and seed.
+	direct := NewSuite(opts)
+	res, err := direct.MAC("sg", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * res.Coalescer.CoalescingEfficiency()
+	got, err := strconv.ParseFloat(strings.TrimSpace(tab.Rows[0][3]), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("sg/8 efficiency via macd = %v, direct = %v", got, want)
+	}
+
+	// A second sweep against the same daemon is served from the
+	// result cache: hit counters rise, execution count does not.
+	metric := func(name string) float64 {
+		for _, m := range svc.Registry().Snapshot() {
+			if m.Name == name {
+				return m.Value
+			}
+		}
+		t.Fatalf("metric %s not registered", name)
+		return 0
+	}
+	runsBefore := metric("macd.job.run_us.count")
+	if _, err := ServiceSweep(ctx, service.Local{Service: svc}, opts); err != nil {
+		t.Fatal(err)
+	}
+	cells := float64(len(opts.Benchmarks) * 3)
+	if hits := metric("macd.cache.hits"); hits < cells {
+		t.Fatalf("macd.cache.hits = %g, want >= %g (second sweep fully cached)", hits, cells)
+	}
+	if runsAfter := metric("macd.job.run_us.count"); runsAfter != runsBefore {
+		t.Fatalf("executions grew from %g to %g across a cached sweep", runsBefore, runsAfter)
+	}
+}

@@ -1,0 +1,90 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result store: canonical spec
+// hash -> stored report bytes, bounded by a total byte budget with
+// least-recently-used eviction. Safe for concurrent use.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newResultCache returns a cache bounded to budget bytes of stored
+// results. A zero or negative budget disables storage entirely (every
+// lookup is a miss); the daemon uses that for cache-off deployments.
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget: budget,
+		lru:    list.New(),
+		byKey:  make(map[string]*list.Element),
+	}
+}
+
+// get returns the stored bytes for key and marks the entry recently
+// used. The returned slice is shared — callers must not mutate it.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put stores data under key, evicting least-recently-used entries
+// until the budget holds. An entry larger than the whole budget is not
+// stored.
+func (c *resultCache) put(key string, data []byte) {
+	size := int64(len(data))
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Same key means same canonical spec, and execution is
+		// deterministic — the bytes are already what we'd store.
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.used+size > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, ent.key)
+		c.used -= int64(len(ent.data))
+		c.evictions++
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, data: data})
+	c.used += size
+}
+
+// stats returns the counters and occupancy in one consistent view.
+func (c *resultCache) stats() (hits, misses, evictions uint64, entries int, used int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.lru.Len(), c.used
+}

@@ -1,0 +1,247 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a macd daemon over its HTTP API. The zero value is
+// unusable; set BaseURL (for example "http://127.0.0.1:8080").
+type Client struct {
+	// BaseURL is the daemon root, without the /v1 prefix.
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces AwaitResult's status polling (default 50ms).
+	PollInterval time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+func (c *Client) decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("service client: reading response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return c.statusError(resp.StatusCode, e.Error)
+		}
+		return c.statusError(resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if v == nil {
+		return nil
+	}
+	if raw, ok := v.(*[]byte); ok {
+		*raw = body
+		return nil
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("service client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// statusError maps the daemon's status codes back onto the service
+// sentinels so callers can errors.Is across the wire.
+func (c *Client) statusError(code int, msg string) error {
+	switch code {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w (%s)", ErrQueueFull, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%s)", ErrDraining, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w (%s)", ErrUnknownJob, msg)
+	case http.StatusConflict:
+		return fmt.Errorf("%w (%s)", ErrNotFinished, msg)
+	default:
+		return fmt.Errorf("service client: HTTP %d: %s", code, msg)
+	}
+}
+
+// Submit posts a spec and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, spec Spec) (JobStatus, error) {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return c.SubmitJSON(ctx, data)
+}
+
+// SubmitJSON posts raw spec bytes and returns the accepted job's
+// status.
+func (c *Client) SubmitJSON(ctx context.Context, data []byte) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(data))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := c.decode(resp, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := c.decode(resp, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Result fetches a finished job's report bytes.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/result"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var raw []byte
+	if err := c.decode(resp, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Cancel asks the daemon to cancel a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	return c.decode(resp, nil)
+}
+
+// AwaitResult polls the job until it finishes and returns the report
+// bytes, or the job's failure as an error.
+func (c *Client) AwaitResult(ctx context.Context, id string) ([]byte, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			if st.State != StateDone {
+				return nil, fmt.Errorf("service client: job %s %s: %s", id, st.State, st.Error)
+			}
+			return c.Result(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Metrics fetches and parses /v1/metrics into a name -> value map.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/metrics"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	var raw []byte
+	if err := c.decode(resp, &raw); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var name string
+		var v float64
+		if _, err := fmt.Sscanf(line, "%s %g", &name, &v); err == nil {
+			out[name] = v
+		}
+	}
+	return out, nil
+}
+
+// Local adapts an in-process Service to the Client's submit/await
+// shape, so code written against a daemon (e.g. the experiments
+// service sweep) also runs embedded, without HTTP.
+type Local struct {
+	Service *Service
+}
+
+// SubmitJSON parses and submits raw spec bytes in process.
+func (l Local) SubmitJSON(_ context.Context, data []byte) (JobStatus, error) {
+	return l.Service.SubmitJSON(data)
+}
+
+// AwaitResult blocks until the job finishes and returns its report
+// bytes.
+func (l Local) AwaitResult(ctx context.Context, id string) ([]byte, error) {
+	return l.Service.AwaitResult(ctx, id)
+}
+
+// Healthz fetches the daemon's liveness/drain state.
+func (c *Client) Healthz(ctx context.Context) (ok, draining bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
+	if err != nil {
+		return false, false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	var h struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	if err := c.decode(resp, &h); err != nil {
+		return false, false, err
+	}
+	return h.OK, h.Draining, nil
+}

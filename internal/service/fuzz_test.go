@@ -1,0 +1,71 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSpec holds the spec parser to its contract: whatever the
+// bytes, it must never panic, and anything it accepts must normalize
+// to a fixed point (canonical bytes re-parse to the same canonical
+// bytes and a stable hash).
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		// Valid specs of every kind.
+		`{"kind":"run","run":{"workload":"sg"}}`,
+		`{"kind":"compare","run":{"workload":"bfs","seed":7,"threads":4}}`,
+		`{"kind":"numa","numa":{"workload":"is","nodes":2,"cores_per_node":4}}`,
+		`{"version":1,"kind":"run","run":{"workload":"mg","scale":"tiny","design":"mshr"}}`,
+		`{"kind":"run","run":{"workload":"sg","observe":{"enabled":true,"sample_interval":64,"trace":true}}}`,
+		`{"kind":"run","run":{"workload":"sg","faults":{"crc_error_rate":0.01,"link_fail_rate":0.001}}}`,
+		`{"kind":"run","run":{"workload":"sg","chaos":{"profile":"mild"},"retry":{"max_retries":3}}}`,
+		// Malformed shapes the parser must reject without panicking.
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`"run"`,
+		`{"kind":"run"}`,
+		`{"kind":"numa","run":{"workload":"sg"}}`,
+		`{"kind":"run","run":{"workload":"sg"},"x":1}`,
+		`{"kind":"run","run":{"workload":"sg"}}{"kind":"run"}`,
+		`{"version":99,"kind":"run","run":{"workload":"sg"}}`,
+		`{"kind":"run","run":{"workload":"sg","threads":-1}}`,
+		`{"kind":"run","run":{"workload":"sg","threads":1e20}}`,
+		`{"kind":"run","run":{"workload":"sg","window_bytes":4294967552}}`,
+		`{"kind":"run","run":{"workload":"sg","faults":{"crc_error_rate":-0.5}}}`,
+		`{"kind":"run","run":{"workload":"sg","faults":{"crc_error_rate":1e999}}}`,
+		`{"kind":"run","run":{"workload":"sg","scale":"galactic"}}`,
+		`{"kind":"numa","numa":{"workload":"sg","link_latency_ns":-1}}`,
+		`{"kind":"run","run":{"workload":"zz"}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Accepted specs must round-trip to a fixed point.
+		c1, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("accepted spec does not canonicalize: %v\ninput: %q", err, data)
+		}
+		h1, err := s.Hash()
+		if err != nil || len(h1) != 64 {
+			t.Fatalf("bad hash %q (err %v) for accepted spec %q", h1, err, data)
+		}
+		s2, err := ParseSpec(c1)
+		if err != nil {
+			t.Fatalf("canonical bytes rejected: %v\ncanonical: %s", err, c1)
+		}
+		c2, err := s2.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization unstable:\n%s\n%s", c1, c2)
+		}
+	})
+}

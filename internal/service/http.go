@@ -1,0 +1,120 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the macd HTTP API bound to s:
+//
+//	POST   /v1/jobs            submit a JSON job spec
+//	GET    /v1/jobs            list retained jobs, newest first
+//	GET    /v1/jobs/{id}       one job's status
+//	GET    /v1/jobs/{id}/result the finished job's report JSON
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/healthz         liveness and drain state
+//	GET    /v1/metrics         the obs registry as "name value" lines
+//
+// Submission answers 200 for a cache hit (result already stored),
+// 202 for queued or coalesced jobs, 400 for invalid specs, 429 when
+// the queue is full and 503 while draining.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("service: reading body: %w", err))
+			return
+		}
+		st, err := s.SubmitJSON(body)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrDraining):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
+		code := http.StatusAccepted
+		if st.Cached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.Result(r.PathValue("id"))
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrUnknownJob):
+				httpError(w, http.StatusNotFound, err)
+			case errors.Is(err, ErrNotFinished):
+				httpError(w, http.StatusConflict, err)
+			default:
+				// The job itself failed or was canceled.
+				httpError(w, http.StatusUnprocessableEntity, err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		canceled, err := s.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"canceled": canceled})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":       true,
+			"draining": s.Draining(),
+		})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, MetricsText(s))
+	})
+	return mux
+}
+
+// MetricsText renders the service registry snapshot as sorted
+// "name value" lines — the /v1/metrics wire format.
+func MetricsText(s *Service) string {
+	var b strings.Builder
+	for _, m := range s.Registry().Snapshot() {
+		fmt.Fprintf(&b, "%s %g\n", m.Name, m.Value)
+	}
+	return b.String()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestDaemon(t *testing.T, cfg Config, run func(Spec) ([]byte, error)) (*Service, *Client) {
+	t.Helper()
+	s := newTestService(t, cfg, run)
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+	return s, &Client{BaseURL: srv.URL, PollInterval: 2 * time.Millisecond}
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	r := &slowRunner{}
+	_, c := newTestDaemon(t, Config{Workers: 2}, r.run)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	st, err := c.SubmitJSON(ctx, []byte(runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Hash == "" || st.Kind != KindRun {
+		t.Fatalf("bad status: %+v", st)
+	}
+	data, err := c.AwaitResult(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"report":"`) {
+		t.Fatalf("unexpected result body: %.60s", data)
+	}
+
+	// Second identical submission: HTTP 200 with cached status.
+	st2, err := c.SubmitJSON(ctx, []byte(runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.State != StateDone {
+		t.Fatalf("want cache hit, got %+v", st2)
+	}
+	data2, err := c.Result(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data2) != string(data) {
+		t.Fatal("cached result differs over HTTP")
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	r := &slowRunner{release: make(chan struct{})}
+	s, c := newTestDaemon(t, Config{Workers: 1, QueueDepth: 1}, r.run)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// 400: invalid spec.
+	if _, err := c.SubmitJSON(ctx, []byte(`{"kind":"nope"}`)); err == nil {
+		t.Fatal("invalid spec accepted over HTTP")
+	}
+	// 404: unknown job.
+	if _, err := c.Job(ctx, "j-missing"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+	// Fill worker + queue, then 429.
+	if _, err := c.SubmitJSON(ctx, []byte(runSpec(1))); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for r.callCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.SubmitJSON(ctx, []byte(runSpec(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitJSON(ctx, []byte(runSpec(3))); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull over HTTP 429", err)
+	}
+	// 409: result of a pending job.
+	st, err := c.Job(ctx, "j-00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result(ctx, st.ID); !errors.Is(err, ErrNotFinished) {
+		t.Fatalf("err = %v, want ErrNotFinished over HTTP 409", err)
+	}
+	close(r.release)
+	// 503 while draining.
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitJSON(ctx, []byte(runSpec(4))); !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining over HTTP 503", err)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	run := func(Spec) ([]byte, error) {
+		started <- struct{}{}
+		<-release
+		return []byte(`{}`), nil
+	}
+	_, c := newTestDaemon(t, Config{Workers: 1}, run)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	st, err := c.SubmitJSON(ctx, []byte(runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if _, err := c.AwaitResult(ctx, st.ID); err == nil {
+		t.Fatal("canceled job returned a result")
+	}
+	final, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", final.State)
+	}
+}
+
+func TestHTTPHealthzAndMetrics(t *testing.T) {
+	r := &slowRunner{}
+	_, c := newTestDaemon(t, Config{Workers: 2}, r.run)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	ok, draining, err := c.Healthz(ctx)
+	if err != nil || !ok || draining {
+		t.Fatalf("healthz: ok=%v draining=%v err=%v", ok, draining, err)
+	}
+
+	st, err := c.SubmitJSON(ctx, []byte(runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AwaitResult(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SubmitJSON(ctx, []byte(runSpec(1))); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"macd.queue.depth", "macd.queue.capacity",
+		"macd.workers.busy", "macd.workers.total",
+		"macd.jobs.submitted", "macd.jobs.completed",
+		"macd.cache.hits", "macd.cache.misses", "macd.cache.bytes",
+		"macd.job.run_us.count", "macd.job.queue_wait_us.mean",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("metric %s missing from /v1/metrics", name)
+		}
+	}
+	if m["macd.jobs.submitted"] != 2 {
+		t.Errorf("macd.jobs.submitted = %g, want 2", m["macd.jobs.submitted"])
+	}
+	if m["macd.cache.hits"] != 1 {
+		t.Errorf("macd.cache.hits = %g, want 1", m["macd.cache.hits"])
+	}
+}
+
+func TestHTTPConcurrentLoad(t *testing.T) {
+	// 32+ concurrent mixed submissions through the full HTTP stack.
+	r := &slowRunner{}
+	_, c := newTestDaemon(t, Config{Workers: 8, QueueDepth: 256}, r.run)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const n = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := c.SubmitJSON(ctx, []byte(runSpec(10+i%8)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.AwaitResult(ctx, st.ID); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := r.callCount(); got > 8 {
+		t.Fatalf("runner executed %d times for 8 distinct specs", got)
+	}
+}

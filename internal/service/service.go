@@ -1,0 +1,595 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mac3d/internal/obs"
+	"mac3d/internal/stats"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the worker-pool size — the number of simulations
+	// that may run concurrently (default 4).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a full
+	// queue rejects submissions with ErrQueueFull — the HTTP layer's
+	// 429 backpressure (default 64).
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget (default 64 MiB;
+	// negative disables caching).
+	CacheBytes int64
+	// JobTimeout bounds one job's execution; a job running longer is
+	// failed and its eventual result discarded (default 10 minutes;
+	// negative disables the timeout).
+	JobTimeout time.Duration
+	// RetainJobs bounds how many terminal job records are kept for
+	// status/result queries before the oldest are forgotten
+	// (default 4096).
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 4096
+	}
+	return c
+}
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors of the submission and query paths.
+var (
+	// ErrQueueFull rejects a submission because the bounded queue is
+	// full — the caller should back off and retry (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrDraining rejects a submission because the service is
+	// shutting down (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrUnknownJob means the job ID was never seen or its record
+	// has been retired (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotFinished means the job has no result yet (HTTP 409).
+	ErrNotFinished = errors.New("service: job not finished")
+)
+
+// job is the service-side record of one submission.
+type job struct {
+	id   string
+	hash string
+	spec Spec
+
+	state     State
+	cached    bool
+	coalesced bool
+	errMsg    string
+	result    []byte
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// primary is set on coalesced jobs: this job rides primary's
+	// execution. followers is the inverse edge on the primary.
+	primary   *job
+	followers []*job
+
+	// cancelRun interrupts the worker running this job.
+	cancelRun context.CancelFunc
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// JobStatus is the requester-visible snapshot of a job.
+type JobStatus struct {
+	ID   string `json:"id"`
+	Hash string `json:"hash"`
+	Kind Kind   `json:"kind"`
+	// State is queued, running, done, failed or canceled.
+	State State `json:"state"`
+	// Cached marks a job served directly from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a job that attached to an identical in-flight
+	// job instead of executing on its own.
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// Service is the simulation-as-a-service engine: a bounded job queue
+// feeding a worker pool, with single-flight coalescing of identical
+// specs and a content-addressed result cache. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg   Config
+	cache *resultCache
+	reg   *obs.Registry
+
+	// run executes one spec; tests substitute a fake.
+	run func(Spec) ([]byte, error)
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	terminal []string // terminal job IDs in finish order, for retention
+	inflight map[string]*job
+	queue    chan *job
+	seq      uint64
+	draining bool
+	busy     int
+
+	// counters under mu (exposed as registry funcs).
+	nSubmitted uint64
+	nCompleted uint64
+	nFailed    uint64
+	nCanceled  uint64
+	nTimeout   uint64
+	nRejected  uint64
+	nCoalesced uint64
+
+	queueWaitUs stats.Histogram
+	runUs       stats.Histogram
+
+	wg sync.WaitGroup
+}
+
+// New starts a service with cfg's worker pool. Stop it with Drain.
+func New(cfg Config) (*Service, error) {
+	return newWithRunner(cfg, execute)
+}
+
+// newWithRunner lets tests substitute the spec executor before the
+// worker pool starts.
+func newWithRunner(cfg Config, run func(Spec) ([]byte, error)) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 0 || cfg.QueueDepth < 0 || cfg.RetainJobs < 0 {
+		return nil, fmt.Errorf("service: negative Config value: %+v", cfg)
+	}
+	s := &Service{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheBytes),
+		reg:      obs.NewRegistry(),
+		run:      run,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		queue:    make(chan *job, cfg.QueueDepth),
+	}
+	s.registerMetrics()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Registry exposes the service metrics (queue depth, worker
+// occupancy, cache hit rate, job latency histograms) for the
+// /v1/metrics endpoint and for embedding hosts.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+func (s *Service) registerMetrics() {
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return f()
+		}
+	}
+	s.reg.Func("macd.queue.depth", func() float64 { return float64(len(s.queue)) })
+	s.reg.Func("macd.queue.capacity", func() float64 { return float64(s.cfg.QueueDepth) })
+	s.reg.Func("macd.workers.total", func() float64 { return float64(s.cfg.Workers) })
+	s.reg.Func("macd.workers.busy", locked(func() float64 { return float64(s.busy) }))
+	s.reg.Func("macd.jobs.submitted", locked(func() float64 { return float64(s.nSubmitted) }))
+	s.reg.Func("macd.jobs.completed", locked(func() float64 { return float64(s.nCompleted) }))
+	s.reg.Func("macd.jobs.failed", locked(func() float64 { return float64(s.nFailed) }))
+	s.reg.Func("macd.jobs.canceled", locked(func() float64 { return float64(s.nCanceled) }))
+	s.reg.Func("macd.jobs.timeout", locked(func() float64 { return float64(s.nTimeout) }))
+	s.reg.Func("macd.jobs.rejected", locked(func() float64 { return float64(s.nRejected) }))
+	s.reg.Func("macd.jobs.coalesced", locked(func() float64 { return float64(s.nCoalesced) }))
+	s.reg.Func("macd.cache.hits", func() float64 { h, _, _, _, _ := s.cache.stats(); return float64(h) })
+	s.reg.Func("macd.cache.misses", func() float64 { _, m, _, _, _ := s.cache.stats(); return float64(m) })
+	s.reg.Func("macd.cache.evictions", func() float64 { _, _, e, _, _ := s.cache.stats(); return float64(e) })
+	s.reg.Func("macd.cache.entries", func() float64 { _, _, _, n, _ := s.cache.stats(); return float64(n) })
+	s.reg.Func("macd.cache.bytes", func() float64 { _, _, _, _, b := s.cache.stats(); return float64(b) })
+	s.reg.Func("macd.cache.budget_bytes", func() float64 { return float64(s.cfg.CacheBytes) })
+	for name, h := range map[string]*stats.Histogram{
+		"macd.job.queue_wait_us": &s.queueWaitUs,
+		"macd.job.run_us":        &s.runUs,
+	} {
+		h := h
+		s.reg.Func(name+".count", locked(func() float64 { return float64(h.Count()) }))
+		s.reg.Func(name+".mean", locked(func() float64 { return h.Mean() }))
+		s.reg.Func(name+".p99", locked(func() float64 { return float64(h.Quantile(0.99)) }))
+		s.reg.Func(name+".max", locked(func() float64 { return float64(h.Max()) }))
+	}
+}
+
+// Submit enqueues one parsed spec. Identical specs are deduplicated:
+// a finished one is served from the cache without executing, an
+// in-flight one absorbs this submission as a follower. Returns
+// ErrQueueFull under backpressure and ErrDraining during shutdown.
+func (s *Service) Submit(spec Spec) (JobStatus, error) {
+	hash, err := spec.Hash()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j-%08d", s.seq),
+		hash:      hash,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.nSubmitted++
+	if data, ok := s.cache.get(hash); ok {
+		now := j.submitted
+		j.state = StateDone
+		j.cached = true
+		j.result = data
+		j.finished = now
+		close(j.done)
+		s.jobs[j.id] = j
+		s.retainLocked(j)
+		s.nCompleted++
+		return s.statusLocked(j), nil
+	}
+	if p, ok := s.inflight[hash]; ok {
+		j.coalesced = true
+		j.primary = p
+		p.followers = append(p.followers, j)
+		s.jobs[j.id] = j
+		s.nCoalesced++
+		return s.statusLocked(j), nil
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nRejected++
+		return JobStatus{}, ErrQueueFull
+	}
+	s.inflight[hash] = j
+	s.jobs[j.id] = j
+	return s.statusLocked(j), nil
+}
+
+// SubmitJSON parses and submits a raw JSON spec (the HTTP body path).
+func (s *Service) SubmitJSON(data []byte) (JobStatus, error) {
+	spec, err := ParseSpec(data)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return s.Submit(spec)
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Service) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while queued; already finalized.
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	}
+	j.cancelRun = cancel
+	s.busy++
+	s.queueWaitUs.Observe(uint64(j.started.Sub(j.submitted).Microseconds()))
+	s.mu.Unlock()
+	defer cancel()
+
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		data, err := s.run(j.spec)
+		ch <- outcome{data, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			s.finalize(j, StateFailed, nil, o.err.Error())
+		} else {
+			s.finalize(j, StateDone, o.data, "")
+		}
+	case <-ctx.Done():
+		// The simulation goroutine cannot be interrupted mid-cycle;
+		// it finishes in the background and its result is discarded
+		// (the buffered channel lets it exit). The worker moves on.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.mu.Lock()
+			s.nTimeout++
+			s.mu.Unlock()
+			s.finalize(j, StateFailed, nil,
+				fmt.Sprintf("service: job exceeded the %s timeout", s.cfg.JobTimeout))
+		} else {
+			s.finalize(j, StateCanceled, nil, "service: job canceled")
+		}
+	}
+	s.mu.Lock()
+	s.busy--
+	s.mu.Unlock()
+}
+
+// finalize moves a job (and its followers) to a terminal state.
+func (s *Service) finalize(j *job, state State, data []byte, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finalizeLocked(j, state, data, errMsg)
+}
+
+func (s *Service) finalizeLocked(j *job, state State, data []byte, errMsg string) {
+	if j.state.Terminal() {
+		return
+	}
+	now := time.Now()
+	if s.inflight[j.hash] == j {
+		delete(s.inflight, j.hash)
+	}
+	if state == StateDone {
+		s.cache.put(j.hash, data)
+	}
+	if !j.started.IsZero() {
+		s.runUs.Observe(uint64(now.Sub(j.started).Microseconds()))
+	}
+	finish := func(x *job) {
+		x.state = state
+		x.result = data
+		x.errMsg = errMsg
+		x.finished = now
+		close(x.done)
+		s.retainLocked(x)
+		switch state {
+		case StateDone:
+			s.nCompleted++
+		case StateFailed:
+			s.nFailed++
+		case StateCanceled:
+			s.nCanceled++
+		}
+	}
+	finish(j)
+	for _, f := range j.followers {
+		finish(f)
+	}
+	j.followers = nil
+}
+
+// retainLocked records a terminal job and forgets the oldest records
+// beyond the retention bound.
+func (s *Service) retainLocked(j *job) {
+	s.terminal = append(s.terminal, j.id)
+	for len(s.terminal) > s.cfg.RetainJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+}
+
+// statusLocked renders a requester-visible snapshot.
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Hash:        j.hash,
+		Kind:        j.spec.Kind,
+		State:       j.state,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	// A pending follower mirrors its primary's progress.
+	if j.primary != nil && !j.state.Terminal() {
+		st.State = j.primary.state
+		if !j.primary.started.IsZero() {
+			t := j.primary.started
+			st.StartedAt = &t
+		}
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Job returns the status of one job.
+func (s *Service) Job(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs returns a snapshot of every retained job, newest first.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	// Newest first by ID: IDs are zero-padded sequence numbers.
+	for i := 0; i < len(out); i++ {
+		for k := i + 1; k < len(out); k++ {
+			if out[k].ID > out[i].ID {
+				out[i], out[k] = out[k], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Result returns the stored report bytes of a finished job. It fails
+// with ErrNotFinished while the job is pending and with the job's own
+// error when it failed or was canceled.
+func (s *Service) Result(id string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	switch {
+	case j.state == StateDone:
+		return j.result, nil
+	case j.state.Terminal():
+		return nil, errors.New(j.errMsg)
+	default:
+		return nil, ErrNotFinished
+	}
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx ends)
+// and returns its final status.
+func (s *Service) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// AwaitResult waits for the job and returns its stored report bytes.
+func (s *Service) AwaitResult(ctx context.Context, id string) ([]byte, error) {
+	if _, err := s.Wait(ctx, id); err != nil {
+		return nil, err
+	}
+	return s.Result(id)
+}
+
+// Cancel requests cancellation. A queued job is finalized immediately;
+// a running one has its worker interrupted (the simulation's eventual
+// result is discarded). Canceling a job with coalesced followers
+// cancels the followers too; canceling a follower detaches only that
+// follower. Returns false when the job is already terminal.
+func (s *Service) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false, ErrUnknownJob
+	}
+	if j.state.Terminal() {
+		return false, nil
+	}
+	if p := j.primary; p != nil && !j.state.Terminal() {
+		// Detach the follower and finalize it alone.
+		for i, f := range p.followers {
+			if f == j {
+				p.followers = append(p.followers[:i], p.followers[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCanceled
+		j.errMsg = "service: job canceled"
+		j.finished = time.Now()
+		close(j.done)
+		s.retainLocked(j)
+		s.nCanceled++
+		return true, nil
+	}
+	if j.state == StateQueued {
+		s.finalizeLocked(j, StateCanceled, nil, "service: job canceled")
+		return true, nil
+	}
+	// Running: interrupt the worker; it finalizes as canceled.
+	if j.cancelRun != nil {
+		j.cancelRun()
+	}
+	return true, nil
+}
+
+// Drain stops accepting submissions, lets queued and running jobs
+// finish, and returns when the pool is idle (or ctx expires — the
+// workers then keep draining in the background).
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecNormalizesDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"kind":"run","run":{"workload":"sg"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != SpecVersion {
+		t.Fatalf("version = %d, want %d", s.Version, SpecVersion)
+	}
+	if s.Run == nil || s.Run.Threads != 8 || s.Run.Seed != 1 {
+		t.Fatalf("defaults not made explicit: %+v", s.Run)
+	}
+}
+
+func TestHashEquivalentSpecsAgree(t *testing.T) {
+	// Omitted defaults and explicit defaults are the same job.
+	a, err := ParseSpec([]byte(`{"kind":"run","run":{"workload":"sg"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{"version":1,"kind":"run","run":{"workload":"sg","threads":8,"seed":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("equivalent specs hash apart: %s vs %s", ha, hb)
+	}
+	ca, _ := a.Canonical()
+	cb, _ := b.Canonical()
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("canonical bytes differ:\n%s\n%s", ca, cb)
+	}
+}
+
+func TestHashSeparatesSeedsAndKinds(t *testing.T) {
+	base := `{"kind":"run","run":{"workload":"sg","seed":%s}}`
+	s1, err := ParseSpec([]byte(strings.Replace(base, "%s", "1", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec([]byte(strings.Replace(base, "%s", "2", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := s1.Hash()
+	h2, _ := s2.Hash()
+	if h1 == h2 {
+		t.Fatal("different seeds must hash apart")
+	}
+	cmp, err := ParseSpec([]byte(`{"kind":"compare","run":{"workload":"sg"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, _ := s1.Hash()
+	hc, _ := cmp.Hash()
+	if hr == hc {
+		t.Fatal("run and compare of the same options must hash apart")
+	}
+}
+
+func TestParseSpecRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty":             ``,
+		"not json":          `{`,
+		"trailing data":     `{"kind":"run","run":{"workload":"sg"}} extra`,
+		"unknown field":     `{"kind":"run","run":{"workload":"sg","bogus":1}}`,
+		"unknown top field": `{"kind":"run","run":{"workload":"sg"},"priority":9}`,
+		"missing kind":      `{"run":{"workload":"sg"}}`,
+		"unknown kind":      `{"kind":"sweep","run":{"workload":"sg"}}`,
+		"bad version":       `{"version":2,"kind":"run","run":{"workload":"sg"}}`,
+		"missing options":   `{"kind":"run"}`,
+		"wrong block":       `{"kind":"run","numa":{"workload":"sg"}}`,
+		"numa wrong block":  `{"kind":"numa","run":{"workload":"sg"}}`,
+		"unknown workload":  `{"kind":"run","run":{"workload":"nope"}}`,
+		"missing workload":  `{"kind":"run","run":{"seed":3}}`,
+		"negative threads":  `{"kind":"run","run":{"workload":"sg","threads":-1}}`,
+		"negative cycles":   `{"kind":"run","run":{"workload":"sg","watchdog_cycles":0,"max_outstanding":-4}}`,
+		"huge threads":      `{"kind":"run","run":{"workload":"sg","threads":4294967552}}`,
+		"rate above one":    `{"kind":"run","run":{"workload":"sg","faults":{"crc_error_rate":1.5}}}`,
+		"negative rate":     `{"kind":"run","run":{"workload":"sg","faults":{"link_fail_rate":-0.1}}}`,
+		"compare observe":   `{"kind":"compare","run":{"workload":"sg","observe":{"enabled":true}}}`,
+		"numa zero nodes":   `{"kind":"numa","numa":{"workload":"sg","nodes":-2}}`,
+		"numa huge nodes":   `{"kind":"numa","numa":{"workload":"sg","nodes":100000}}`,
+		"numa bad latency":  `{"kind":"numa","numa":{"workload":"sg","link_latency_ns":-5}}`,
+		"bad scale":         `{"kind":"run","run":{"workload":"sg","scale":"huge"}}`,
+		"bad design":        `{"kind":"run","run":{"workload":"sg","design":"quantum"}}`,
+		"string where int":  `{"kind":"run","run":{"workload":"sg","threads":"many"}}`,
+		"array spec":        `[{"kind":"run"}]`,
+		"oversized number":  `{"kind":"run","run":{"workload":"sg","faults":{"crc_error_rate":1e999}}}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseSpec([]byte(in)); err == nil {
+			t.Errorf("%s: ParseSpec(%q) accepted, want error", name, in)
+		}
+	}
+}
+
+func TestParseSpecAcceptsAllKinds(t *testing.T) {
+	cases := []string{
+		`{"kind":"run","run":{"workload":"bfs","threads":4,"design":"mshr","scale":"tiny"}}`,
+		`{"kind":"compare","run":{"workload":"is","seed":7}}`,
+		`{"kind":"numa","numa":{"workload":"sg","nodes":2,"cores_per_node":4}}`,
+		`{"kind":"run","run":{"workload":"sg","observe":{"enabled":true,"sample_interval":64}}}`,
+		`{"kind":"run","run":{"workload":"sg","watchdog_cycles":-1}}`,
+	}
+	for _, in := range cases {
+		s, err := ParseSpec([]byte(in))
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+			continue
+		}
+		if _, err := s.Hash(); err != nil {
+			t.Errorf("Hash(%q): %v", in, err)
+		}
+	}
+}
+
+func TestParseSpecSizeLimit(t *testing.T) {
+	big := append([]byte(`{"kind":"run","run":{"workload":"`), bytes.Repeat([]byte("x"), maxSpecBytes)...)
+	big = append(big, []byte(`"}}`)...)
+	if _, err := ParseSpec(big); err == nil {
+		t.Fatal("oversized spec accepted")
+	}
+}
+
+func TestCanonicalIsIdempotent(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"kind":"numa","numa":{"workload":"mg"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-parsing the canonical form must be a fixed point.
+	s2, err := ParseSpec(c1)
+	if err != nil {
+		t.Fatalf("canonical bytes do not re-parse: %v\n%s", err, c1)
+	}
+	c2, err := s2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonicalization not idempotent:\n%s\n%s", c1, c2)
+	}
+}

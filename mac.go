@@ -22,6 +22,8 @@ package mac3d
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"mac3d/internal/chaos"
 	"mac3d/internal/coalesce"
@@ -57,6 +59,39 @@ func (s Scale) String() string {
 	default:
 		return fmt.Sprintf("Scale(%d)", int(s))
 	}
+}
+
+// ParseScale parses a scale name ("tiny", "small", "ref").
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return ScaleTiny, nil
+	case "small":
+		return ScaleSmall, nil
+	case "ref":
+		return ScaleRef, nil
+	default:
+		return 0, fmt.Errorf("mac3d: unknown scale %q (want tiny, small or ref)", s)
+	}
+}
+
+// MarshalText renders the scale as its name, making Scale fields
+// JSON-stable strings ("tiny") rather than bare ints.
+func (s Scale) MarshalText() ([]byte, error) {
+	if _, err := s.internal(); err != nil {
+		return nil, err
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses a scale name.
+func (s *Scale) UnmarshalText(text []byte) error {
+	v, err := ParseScale(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
 }
 
 func (s Scale) internal() (workloads.Scale, error) {
@@ -99,91 +134,128 @@ func (d Design) String() string {
 	}
 }
 
+// ParseDesign parses a design name ("mac", "raw", "mshr").
+func ParseDesign(s string) (Design, error) {
+	switch s {
+	case "mac":
+		return DesignMAC, nil
+	case "raw":
+		return DesignRaw, nil
+	case "mshr":
+		return DesignMSHR, nil
+	default:
+		return 0, fmt.Errorf("mac3d: unknown design %q (want mac, raw or mshr)", s)
+	}
+}
+
+// MarshalText renders the design as its name, making Design fields
+// JSON-stable strings ("mac") rather than bare ints.
+func (d Design) MarshalText() ([]byte, error) {
+	if _, err := ParseDesign(d.String()); err != nil {
+		return nil, fmt.Errorf("mac3d: unknown design %d", int(d))
+	}
+	return []byte(d.String()), nil
+}
+
+// UnmarshalText parses a design name.
+func (d *Design) UnmarshalText(text []byte) error {
+	v, err := ParseDesign(string(text))
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
 // RunOptions configures one simulated execution. The zero value of
 // every field selects the paper's Table 1 configuration.
+//
+// The type is JSON-stable: the lower-case field tags below are the
+// wire format of the macd job API (see internal/service), so renaming
+// or retyping them is a breaking API change.
 type RunOptions struct {
 	// Workload names a registered benchmark (see Workloads()).
 	// Required for Run/Compare.
-	Workload string
+	Workload string `json:"workload,omitempty"`
 	// Threads is the hardware thread count (default 8).
-	Threads int
+	Threads int `json:"threads,omitempty"`
 	// Seed makes the run deterministic (default 1).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Scale selects the input size class (default ScaleTiny).
-	Scale Scale
+	Scale Scale `json:"scale,omitempty"`
 	// Design selects the memory path (default DesignMAC).
-	Design Design
+	Design Design `json:"design,omitempty"`
 
 	// ARQEntries overrides the aggregated-request-queue depth
 	// (default 32, Table 1).
-	ARQEntries int
+	ARQEntries int `json:"arq_entries,omitempty"`
 	// WindowBytes overrides the coalescing window: 256 (the paper's
 	// HMC row, default), 512 or 1024 — §4.3's "enlarged FLIT map and
 	// FLIT table" generalization for future device generations.
-	WindowBytes int
+	WindowBytes int `json:"window_bytes,omitempty"`
 	// MaxTargetsPerEntry overrides the per-entry merge bound
 	// (default 12, the 64B-entry capacity).
-	MaxTargetsPerEntry int
+	MaxTargetsPerEntry int `json:"max_targets_per_entry,omitempty"`
 	// DisableFillMode turns off the latency-hiding comparator
 	// bypass of §4.1 (an ablation knob).
-	DisableFillMode bool
+	DisableFillMode bool `json:"disable_fill_mode,omitempty"`
 	// BuilderMinBytes selects the request builder's size floor: 64
 	// (default, the paper's 64B-chunk design) or 16 (the
 	// FLIT-granularity ablation of the §4.2 trade-off).
-	BuilderMinBytes int
+	BuilderMinBytes int `json:"builder_min_bytes,omitempty"`
 
 	// Cores overrides the core count (default 8).
-	Cores int
+	Cores int `json:"cores,omitempty"`
 	// MaxOutstanding overrides the per-core load/store queue depth
 	// (default 256; see DESIGN.md on offered-load modelling).
-	MaxOutstanding int
+	MaxOutstanding int `json:"max_outstanding,omitempty"`
 
 	// HMCMaxInflight overrides the device's outstanding-transaction
 	// bound (default 128 = 32 tags per link).
-	HMCMaxInflight int
+	HMCMaxInflight int `json:"hmc_max_inflight,omitempty"`
 	// HMCLinks overrides the link count (default 4, Table 1).
-	HMCLinks int
+	HMCLinks int `json:"hmc_links,omitempty"`
 	// ModelRefresh enables periodic DRAM refresh in the device
 	// (tREFI ≈ 7.8µs, tRFC ≈ 350ns), adding realistic latency
 	// tails. Off by default, matching the paper's model.
-	ModelRefresh bool
+	ModelRefresh bool `json:"model_refresh,omitempty"`
 
 	// Faults configures link-level fault injection. The zero value
 	// disables the fault machinery entirely: a zero-fault run is
 	// byte-identical to one on a build without the subsystem.
-	Faults FaultOptions
+	Faults FaultOptions `json:"faults"`
 
 	// TargetBufferDepth bounds the response router's target buffer
 	// (outstanding built transactions). 0 keeps it unbounded, the
 	// paper's evaluation setup; a bounded buffer backpressures the
 	// coalescer when full.
-	TargetBufferDepth int
+	TargetBufferDepth int `json:"target_buffer_depth,omitempty"`
 	// WatchdogCycles overrides the simulation stall watchdog: a run
 	// making no forward progress for this many cycles aborts with a
 	// diagnostic error instead of spinning to the cycle limit.
 	// Default 1,000,000; negative disables the watchdog.
-	WatchdogCycles int64
+	WatchdogCycles int64 `json:"watchdog_cycles,omitempty"`
 
 	// Observe configures the cycle-level observability layer (metrics
 	// registry, timeseries recorder, transaction tracer). Disabled by
 	// default; when enabled the report carries an Observability block.
 	// Run honours it; Compare ignores it (each registry belongs to
 	// exactly one run — observe the two designs with separate Runs).
-	Observe ObserveOptions
+	Observe ObserveOptions `json:"observe"`
 
 	// Audit enables the request-lifecycle conservation ledger: every
 	// raw request is tracked from issue through route, coalesce,
 	// device submit and response match, and the report carries an
 	// Audit block asserting that each reached exactly one terminal
 	// outcome with its bytes conserved. Off by default (zero cost).
-	Audit bool
+	Audit bool `json:"audit,omitempty"`
 	// Chaos configures the deterministic chaos engine (response
 	// delay/reorder storms, fence storms, submit freezes, transient
 	// vault unavailability). The zero value disables it.
-	Chaos ChaosOptions
+	Chaos ChaosOptions `json:"chaos"`
 	// Retry configures requester-side recovery from poisoned
 	// completions. The zero value keeps fail-on-poison behaviour.
-	Retry RetryOptions
+	Retry RetryOptions `json:"retry"`
 }
 
 // ChaosOptions selects a chaos profile for a run. All injection is
@@ -194,17 +266,17 @@ type ChaosOptions struct {
 	// the internal/chaos syntax, e.g.
 	// "delay=0.01:16:32,reorder=0.1,fence=0.002:2,freeze=0.005:8,vault=0.01:32".
 	// Empty or "off" disables chaos.
-	Profile string
+	Profile string `json:"profile,omitempty"`
 	// Seed overrides the profile's chaos-RNG seed when non-zero.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // RetryOptions bounds requester-side re-issue of poisoned completions.
 type RetryOptions struct {
 	// MaxRetries is the per-request re-issue budget (0 disables).
-	MaxRetries int
+	MaxRetries int `json:"max_retries,omitempty"`
 	// BackoffCycles delays each re-issue (default 0: next cycle).
-	BackoffCycles int64
+	BackoffCycles int64 `json:"backoff_cycles,omitempty"`
 }
 
 // FaultOptions configures the deterministic link-level fault model
@@ -214,33 +286,33 @@ type RetryOptions struct {
 type FaultOptions struct {
 	// CRCErrorRate is the per-packet-transmission probability of a
 	// CRC error forcing a link-retry (0 disables).
-	CRCErrorRate float64
+	CRCErrorRate float64 `json:"crc_error_rate,omitempty"`
 	// LinkFailRate is the per-submission probability that the chosen
 	// link suffers a transient failure and retrains (0 disables).
-	LinkFailRate float64
+	LinkFailRate float64 `json:"link_fail_rate,omitempty"`
 	// RetryLimit bounds retransmissions per packet before the device
 	// gives up and returns a poisoned response (default 3).
-	RetryLimit int
+	RetryLimit int `json:"retry_limit,omitempty"`
 	// RetryDelay is the extra latency of one link retry round trip in
 	// cycles (default 32).
-	RetryDelay int64
+	RetryDelay int64 `json:"retry_delay,omitempty"`
 	// RetrainCycles is how long a failed link trains before carrying
 	// traffic again (default 1024).
-	RetrainCycles int64
+	RetrainCycles int64 `json:"retrain_cycles,omitempty"`
 	// DisableLinkAfter permanently disables a link after this many
 	// transient failures, re-spreading traffic over the survivors
 	// (0 = never disable).
-	DisableLinkAfter int
+	DisableLinkAfter int `json:"disable_link_after,omitempty"`
 	// LinkTokens enables token-based flow control with this many
 	// credits per link (0 = disabled); exhausted tokens backpressure
 	// submission.
-	LinkTokens int
+	LinkTokens int `json:"link_tokens,omitempty"`
 	// DropResponseEvery is a diagnostic hook: every Nth submitted
 	// transaction loses its response, deterministically exercising
 	// the stall watchdog (0 = disabled).
-	DropResponseEvery uint64
+	DropResponseEvery uint64 `json:"drop_response_every,omitempty"`
 	// Seed drives the fault RNG (default 1).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -251,6 +323,115 @@ func (o RunOptions) withDefaults() RunOptions {
 		o.Seed = 1
 	}
 	return o
+}
+
+// Normalize returns the options with every defaulted field made
+// explicit, so two configurations that select the same run compare
+// (and hash) equal. It is the canonical form used by the macd job
+// cache: Normalize is idempotent, and equal normalized options imply
+// byte-identical reports.
+func (o RunOptions) Normalize() RunOptions { return o.withDefaults() }
+
+// maxServiceUnits bounds the resource-shaped knobs a job spec may
+// request (threads, cores, queue depths): large enough for any
+// configuration the paper's evaluation sweeps, small enough that one
+// malformed or hostile spec cannot exhaust the daemon's memory.
+const maxServiceUnits = 1 << 16
+
+func checkNonNegative(kind string, fields map[string]int64) error {
+	// Sorted iteration keeps the first-reported error deterministic.
+	names := make([]string, 0, len(fields))
+	for name := range fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := fields[name]; v < 0 {
+			return fmt.Errorf("mac3d: %s.%s %d is negative", kind, name, v)
+		}
+	}
+	return nil
+}
+
+func checkRate(kind, name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+		return fmt.Errorf("mac3d: %s.%s %v is not a probability in [0, 1]", kind, name, v)
+	}
+	return nil
+}
+
+// Validate reports the first configuration error, or nil. It accepts
+// exactly the options Run/Compare accept: the workload must exist, no
+// numeric knob may be negative (WatchdogCycles excepted — negative
+// disables the watchdog), fault rates must be probabilities, and the
+// lowered internal configurations must pass their own validators. The
+// macd job-spec parser relies on Validate rejecting — never panicking
+// on — arbitrary option values.
+func (o RunOptions) Validate() error {
+	if o.Workload == "" {
+		return fmt.Errorf("mac3d: RunOptions.Workload is required")
+	}
+	if _, err := workloads.New(o.Workload); err != nil {
+		return fmt.Errorf("mac3d: %w", err)
+	}
+	if err := checkNonNegative("RunOptions", map[string]int64{
+		"Threads":                 int64(o.Threads),
+		"ARQEntries":              int64(o.ARQEntries),
+		"WindowBytes":             int64(o.WindowBytes),
+		"MaxTargetsPerEntry":      int64(o.MaxTargetsPerEntry),
+		"BuilderMinBytes":         int64(o.BuilderMinBytes),
+		"Cores":                   int64(o.Cores),
+		"MaxOutstanding":          int64(o.MaxOutstanding),
+		"HMCMaxInflight":          int64(o.HMCMaxInflight),
+		"HMCLinks":                int64(o.HMCLinks),
+		"TargetBufferDepth":       int64(o.TargetBufferDepth),
+		"Observe.SampleInterval":  int64(o.Observe.SampleInterval),
+		"Observe.MaxTraceEvents":  int64(o.Observe.MaxTraceEvents),
+		"Retry.MaxRetries":        int64(o.Retry.MaxRetries),
+		"Faults.RetryLimit":       int64(o.Faults.RetryLimit),
+		"Faults.RetryDelay":       o.Faults.RetryDelay,
+		"Faults.RetrainCycles":    o.Faults.RetrainCycles,
+		"Faults.DisableLinkAfter": int64(o.Faults.DisableLinkAfter),
+		"Faults.LinkTokens":       int64(o.Faults.LinkTokens),
+	}); err != nil {
+		return err
+	}
+	// Bound the resource-shaped knobs so a single spec cannot demand
+	// absurd allocations (and so int -> uint32 lowering cannot wrap).
+	bounded := map[string]int{
+		"Threads":            o.Threads,
+		"Cores":              o.Cores,
+		"ARQEntries":         o.ARQEntries,
+		"WindowBytes":        o.WindowBytes,
+		"MaxTargetsPerEntry": o.MaxTargetsPerEntry,
+		"MaxOutstanding":     o.MaxOutstanding,
+		"HMCMaxInflight":     o.HMCMaxInflight,
+		"HMCLinks":           o.HMCLinks,
+		"TargetBufferDepth":  o.TargetBufferDepth,
+	}
+	names := make([]string, 0, len(bounded))
+	for name := range bounded {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := bounded[name]; v > maxServiceUnits {
+			return fmt.Errorf("mac3d: RunOptions.%s %d exceeds the %d bound", name, v, maxServiceUnits)
+		}
+	}
+	if err := checkRate("RunOptions", "Faults.CRCErrorRate", o.Faults.CRCErrorRate); err != nil {
+		return err
+	}
+	if err := checkRate("RunOptions", "Faults.LinkFailRate", o.Faults.LinkFailRate); err != nil {
+		return err
+	}
+	if _, err := o.workloadConfig(); err != nil {
+		return err
+	}
+	if _, err := o.runConfig(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // runConfig lowers the options onto the internal configurations.

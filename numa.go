@@ -2,6 +2,7 @@ package mac3d
 
 import (
 	"fmt"
+	"math"
 
 	"mac3d/internal/memreq"
 	"mac3d/internal/numa"
@@ -12,88 +13,174 @@ import (
 // NUMAOptions configures a multi-node run (the paper's full §3
 // architecture: one MAC and one HMC device per node, remote devices
 // reached through the owning node's MAC).
+//
+// Like RunOptions, the type is JSON-stable: the field tags are the
+// macd job API wire format.
 type NUMAOptions struct {
 	// Workload names a registered benchmark. Required.
-	Workload string
+	Workload string `json:"workload,omitempty"`
 	// Threads is the total hardware thread count, distributed
 	// round-robin across nodes (default 8).
-	Threads int
+	Threads int `json:"threads,omitempty"`
 	// Seed makes the run deterministic (default 1).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Scale selects the input size class (default ScaleTiny).
-	Scale Scale
+	Scale Scale `json:"scale,omitempty"`
 
 	// Nodes is the node count (default 2).
-	Nodes int
+	Nodes int `json:"nodes,omitempty"`
 	// CoresPerNode is each node's core count (default 8).
-	CoresPerNode int
+	CoresPerNode int `json:"cores_per_node,omitempty"`
 	// LinkLatencyNs is the one-way inter-node hop latency in
 	// nanoseconds (default 100).
-	LinkLatencyNs float64
+	LinkLatencyNs float64 `json:"link_latency_ns,omitempty"`
 	// InterleaveBytes is the global address interleave block
 	// (default 256, one HMC row).
-	InterleaveBytes uint64
+	InterleaveBytes uint64 `json:"interleave_bytes,omitempty"`
 
 	// Retry re-issues poisoned completions at the requester, same
 	// semantics as RunOptions.Retry.
-	Retry RetryOptions
+	Retry RetryOptions `json:"retry"`
+}
+
+// Normalize returns the options with every defaulted field made
+// explicit — the canonical form used by the macd job cache. Normalize
+// is idempotent.
+func (o NUMAOptions) Normalize() NUMAOptions {
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 2
+	}
+	if o.CoresPerNode == 0 {
+		o.CoresPerNode = 8
+	}
+	if o.LinkLatencyNs == 0 {
+		o.LinkLatencyNs = 100
+	}
+	return o
+}
+
+// Validate reports the first configuration error, or nil. RunNUMA
+// accepts exactly the options Validate accepts; like
+// RunOptions.Validate it never panics, whatever the field values.
+func (o NUMAOptions) Validate() error {
+	if o.Workload == "" {
+		return fmt.Errorf("mac3d: NUMAOptions.Workload is required")
+	}
+	if _, err := workloads.New(o.Workload); err != nil {
+		return fmt.Errorf("mac3d: %w", err)
+	}
+	if err := checkNonNegative("NUMAOptions", map[string]int64{
+		"Threads":          int64(o.Threads),
+		"Nodes":            int64(o.Nodes),
+		"CoresPerNode":     int64(o.CoresPerNode),
+		"Retry.MaxRetries": int64(o.Retry.MaxRetries),
+	}); err != nil {
+		return err
+	}
+	if o.Threads > maxServiceUnits {
+		return fmt.Errorf("mac3d: NUMAOptions.Threads %d exceeds the %d bound", o.Threads, maxServiceUnits)
+	}
+	if o.Nodes > 256 {
+		return fmt.Errorf("mac3d: NUMAOptions.Nodes %d exceeds the 256 bound", o.Nodes)
+	}
+	if o.CoresPerNode > maxServiceUnits {
+		return fmt.Errorf("mac3d: NUMAOptions.CoresPerNode %d exceeds the %d bound", o.CoresPerNode, maxServiceUnits)
+	}
+	if math.IsNaN(o.LinkLatencyNs) || math.IsInf(o.LinkLatencyNs, 0) || o.LinkLatencyNs < 0 {
+		return fmt.Errorf("mac3d: NUMAOptions.LinkLatencyNs %v is not a non-negative latency", o.LinkLatencyNs)
+	}
+	if o.LinkLatencyNs > 1e9 {
+		return fmt.Errorf("mac3d: NUMAOptions.LinkLatencyNs %v exceeds the 1e9 bound", o.LinkLatencyNs)
+	}
+	if _, err := o.Scale.internal(); err != nil {
+		return err
+	}
+	n := o.Normalize()
+	// Threads are homed round-robin on thread % Nodes, so node 0
+	// carries ceil(Threads/Nodes) of them; reject here what the system
+	// would reject at trace-load time, so a bad job spec fails at
+	// submission rather than mid-run.
+	if perNode := (n.Threads + n.Nodes - 1) / n.Nodes; perNode > n.CoresPerNode {
+		return fmt.Errorf("mac3d: NUMAOptions places %d threads per node with %d cores (threads %d over %d nodes)",
+			perNode, n.CoresPerNode, n.Threads, n.Nodes)
+	}
+	if _, err := n.numaConfig(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// numaConfig lowers normalized options onto the internal multi-node
+// configuration.
+func (o NUMAOptions) numaConfig() (numa.Config, error) {
+	clock := sim.NewClock(0)
+	cfg := numa.DefaultConfig()
+	cfg.Nodes = o.Nodes
+	cfg.CoresPerNode = o.CoresPerNode
+	cfg.LinkLatency = clock.CyclesForNanos(o.LinkLatencyNs)
+	if o.InterleaveBytes != 0 {
+		cfg.InterleaveBytes = o.InterleaveBytes
+	}
+	if o.Retry.BackoffCycles < 0 {
+		return cfg, fmt.Errorf("mac3d: NUMAOptions.Retry.BackoffCycles %d is negative", o.Retry.BackoffCycles)
+	}
+	cfg.Retry = memreq.RetryPolicy{
+		MaxRetries: o.Retry.MaxRetries,
+		Backoff:    sim.Cycle(o.Retry.BackoffCycles),
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
 }
 
 // NUMAReport summarizes a multi-node run.
 type NUMAReport struct {
-	Workload string
-	Nodes    int
-	Threads  int
+	Workload string `json:"workload"`
+	Nodes    int    `json:"nodes"`
+	Threads  int    `json:"threads"`
 
-	Cycles         uint64
-	MemRequests    uint64
-	SPMAccesses    uint64
-	RemoteRequests uint64
+	Cycles         uint64 `json:"cycles"`
+	MemRequests    uint64 `json:"mem_requests"`
+	SPMAccesses    uint64 `json:"spm_accesses"`
+	RemoteRequests uint64 `json:"remote_requests"`
 	// RemoteFraction is the share of requests served by a remote
 	// node's device.
-	RemoteFraction float64
+	RemoteFraction float64 `json:"remote_fraction"`
 
-	AvgLatencyCycles float64
-	AvgLatencyNs     float64
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	AvgLatencyNs     float64 `json:"avg_latency_ns"`
 
 	// RetriedRequests counts poisoned completions re-issued under
 	// NUMAOptions.Retry.
-	RetriedRequests uint64
+	RetriedRequests uint64 `json:"retried_requests"`
 
 	// PerNode carries each node's key measurements.
-	PerNode []NUMANodeReport
+	PerNode []NUMANodeReport `json:"per_node"`
 }
 
 // NUMANodeReport is one node's slice of a NUMAReport.
 type NUMANodeReport struct {
-	Node                 int
-	Transactions         uint64
-	CoalescingEfficiency float64
-	BankConflicts        uint64
-	BandwidthEfficiency  float64
-	RemoteServed         uint64
-	RemoteSent           uint64
+	Node                 int     `json:"node"`
+	Transactions         uint64  `json:"transactions"`
+	CoalescingEfficiency float64 `json:"coalescing_efficiency"`
+	BankConflicts        uint64  `json:"bank_conflicts"`
+	BandwidthEfficiency  float64 `json:"bandwidth_efficiency"`
+	RemoteServed         uint64  `json:"remote_served"`
+	RemoteSent           uint64  `json:"remote_sent"`
 }
 
 // RunNUMA executes one workload on a multi-node system.
 func RunNUMA(opts NUMAOptions) (*NUMAReport, error) {
-	if opts.Workload == "" {
-		return nil, fmt.Errorf("mac3d: NUMAOptions.Workload is required")
-	}
-	if opts.Threads == 0 {
-		opts.Threads = 8
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.Nodes == 0 {
-		opts.Nodes = 2
-	}
-	if opts.CoresPerNode == 0 {
-		opts.CoresPerNode = 8
-	}
-	if opts.LinkLatencyNs == 0 {
-		opts.LinkLatencyNs = 100
+	opts = opts.Normalize()
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	s, err := opts.Scale.internal()
 	if err != nil {
@@ -107,21 +194,8 @@ func RunNUMA(opts NUMAOptions) (*NUMAReport, error) {
 	}
 
 	clock := sim.NewClock(0)
-	cfg := numa.DefaultConfig()
-	cfg.Nodes = opts.Nodes
-	cfg.CoresPerNode = opts.CoresPerNode
-	cfg.LinkLatency = clock.CyclesForNanos(opts.LinkLatencyNs)
-	if opts.InterleaveBytes != 0 {
-		cfg.InterleaveBytes = opts.InterleaveBytes
-	}
-	if opts.Retry.BackoffCycles < 0 {
-		return nil, fmt.Errorf("mac3d: NUMAOptions.Retry.BackoffCycles %d is negative", opts.Retry.BackoffCycles)
-	}
-	cfg.Retry = memreq.RetryPolicy{
-		MaxRetries: opts.Retry.MaxRetries,
-		Backoff:    sim.Cycle(opts.Retry.BackoffCycles),
-	}
-	if err := cfg.Retry.Validate(); err != nil {
+	cfg, err := opts.numaConfig()
+	if err != nil {
 		return nil, err
 	}
 	res, err := numa.Run(cfg, tr)

@@ -3,6 +3,7 @@ package mac3d
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"mac3d/internal/obs"
 )
@@ -17,18 +18,18 @@ import (
 // pays only nil checks on the hot path.
 type ObserveOptions struct {
 	// Enabled turns the layer on.
-	Enabled bool
+	Enabled bool `json:"enabled,omitempty"`
 	// SampleInterval is the timeseries sampling period in cycles
 	// (default 64; 1 samples every cycle).
-	SampleInterval int
+	SampleInterval int `json:"sample_interval,omitempty"`
 	// Trace enables per-transaction span capture for the Chrome
 	// trace-event export — the most expensive facility, so it is
 	// opt-in beyond Enabled.
-	Trace bool
+	Trace bool `json:"trace,omitempty"`
 	// MaxTraceEvents caps captured trace events; the tracer counts
 	// drops past the cap instead of growing without bound
 	// (default 1<<20).
-	MaxTraceEvents int
+	MaxTraceEvents int `json:"max_trace_events,omitempty"`
 }
 
 // build lowers the options to an internal handle (nil when disabled).
@@ -54,20 +55,20 @@ func (o ObserveOptions) build() *obs.Obs {
 // MetricValue is one named end-of-run measurement from the metrics
 // registry.
 type MetricValue struct {
-	Name  string
-	Value float64
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
 }
 
 // TimePoint is one sample of a cycle-sampled signal.
 type TimePoint struct {
-	Cycle uint64
-	Value float64
+	Cycle uint64  `json:"cycle"`
+	Value float64 `json:"value"`
 }
 
 // TimeSeries is one named cycle-sampled signal.
 type TimeSeries struct {
-	Name   string
-	Points []TimePoint
+	Name   string      `json:"name"`
+	Points []TimePoint `json:"points"`
 }
 
 // Mean returns the arithmetic mean of the series' samples.
@@ -88,17 +89,21 @@ func (s TimeSeries) Mean() float64 {
 // RunOptions.Observe.Enabled is set.
 type ObsReport struct {
 	// Metrics is the end-of-run registry snapshot, sorted by name.
-	Metrics []MetricValue
+	Metrics []MetricValue `json:"metrics"`
 	// Timeseries holds every recorded signal, in registration order.
-	Timeseries []TimeSeries
+	Timeseries []TimeSeries `json:"timeseries"`
 	// SampleInterval is the recorder's sampling period in cycles.
-	SampleInterval uint64
+	SampleInterval uint64 `json:"sample_interval"`
 	// TraceEvents and TraceDropped report the tracer's captured and
 	// over-cap event counts (both zero when tracing was off).
-	TraceEvents  int
-	TraceDropped uint64
+	TraceEvents  int    `json:"trace_events"`
+	TraceDropped uint64 `json:"trace_dropped"`
 
-	rec  *obs.Recorder
+	// trac is the only unexported survivor: trace spans are too
+	// voluminous to carry through the report, so WriteTrace only
+	// works on the report of the run itself (it errors on a report
+	// that crossed a JSON round trip). Everything else — including
+	// the timeseries CSV — renders from the exported fields.
 	trac *obs.Tracer
 }
 
@@ -110,7 +115,6 @@ func newObsReport(ob *obs.Obs) *ObsReport {
 		SampleInterval: ob.Recorder.Interval(),
 		TraceEvents:    ob.Tracer.Len(),
 		TraceDropped:   ob.Tracer.Dropped(),
-		rec:            ob.Recorder,
 		trac:           ob.Tracer,
 	}
 	for _, m := range ob.Registry.Snapshot() {
@@ -147,9 +151,30 @@ func (r *ObsReport) Series(name string) (TimeSeries, bool) {
 }
 
 // WriteTimeseriesCSV renders every recorded signal in wide CSV format:
-// a "cycle,<name>..." header followed by one row per sample cycle.
+// a "cycle,<name>..." header followed by one row per sample cycle. It
+// renders from the exported Timeseries, so it works on reports that
+// crossed a JSON round trip (e.g. fetched from a macd daemon).
 func (r *ObsReport) WriteTimeseriesCSV(w io.Writer) error {
-	return r.rec.WriteCSV(w)
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, s := range r.Timeseries {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	n := 0
+	if len(r.Timeseries) > 0 {
+		n = len(r.Timeseries[0].Points)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d", r.Timeseries[0].Points[i].Cycle)
+		for _, s := range r.Timeseries {
+			fmt.Fprintf(&b, ",%g", s.Points[i].Value)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // WriteTrace renders the captured transaction spans as Chrome

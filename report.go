@@ -20,76 +20,76 @@ func bandwidthGBps(bytes uint64, cycles sim.Cycle, clock *sim.Clock) float64 {
 // RunReport is the plain-data measurement set of one simulated run.
 type RunReport struct {
 	// Identification.
-	Workload string
-	Design   string
-	Threads  int
+	Workload string `json:"workload"`
+	Design   string `json:"design"`
+	Threads  int    `json:"threads"`
 
 	// Execution.
-	Cycles       uint64
-	Instructions uint64
-	IPC          float64
-	RPI          float64
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+	RPI          float64 `json:"rpi"`
 	// RPC is raw memory requests offered per cycle (Eq. 2 / Fig. 9).
-	RPC float64
+	RPC float64 `json:"rpc"`
 	// MemAccessRate is the fraction of memory operations missing the
 	// scratchpads and reaching the MAC.
-	MemAccessRate float64
+	MemAccessRate float64 `json:"mem_access_rate"`
 	// StallLSQ/StallRouter/StallFence decompose the cycles threads
 	// spent unable to issue, by cause.
-	StallLSQ    uint64
-	StallRouter uint64
-	StallFence  uint64
+	StallLSQ    uint64 `json:"stall_lsq"`
+	StallRouter uint64 `json:"stall_router"`
+	StallFence  uint64 `json:"stall_fence"`
 
 	// Request path.
-	MemRequests  uint64
-	SPMAccesses  uint64
-	Transactions uint64
-	Bypassed     uint64
+	MemRequests  uint64 `json:"mem_requests"`
+	SPMAccesses  uint64 `json:"spm_accesses"`
+	Transactions uint64 `json:"transactions"`
+	Bypassed     uint64 `json:"bypassed"`
 	// CoalescingEfficiency is the fraction of raw requests removed
 	// by coalescing (Eq. 3 as interpreted in DESIGN.md).
-	CoalescingEfficiency float64
+	CoalescingEfficiency float64 `json:"coalescing_efficiency"`
 	// AvgTargetsPerTx is the mean raw requests per transaction
 	// (Fig. 15).
-	AvgTargetsPerTx float64
+	AvgTargetsPerTx float64 `json:"avg_targets_per_tx"`
 	// TxBySize histograms emitted transactions by payload bytes.
-	TxBySize map[uint32]uint64
+	TxBySize map[uint32]uint64 `json:"tx_by_size"`
 
 	// Device.
-	BankConflicts uint64
-	DataBytes     uint64
-	ControlBytes  uint64
+	BankConflicts uint64 `json:"bank_conflicts"`
+	DataBytes     uint64 `json:"data_bytes"`
+	ControlBytes  uint64 `json:"control_bytes"`
 	// BandwidthEfficiency is Eq. 1 aggregated over all traffic.
-	BandwidthEfficiency float64
+	BandwidthEfficiency float64 `json:"bandwidth_efficiency"`
 	// DataGBps is the achieved useful-data bandwidth over the run's
 	// makespan at the 3.3 GHz master clock.
-	DataGBps float64
+	DataGBps float64 `json:"data_gbps"`
 	// LinkGBps is the total link traffic rate (data + control).
-	LinkGBps float64
+	LinkGBps float64 `json:"link_gbps"`
 
 	// Latency (issue to retire, CPU cycles at 3.3 GHz).
-	AvgLatencyCycles float64
-	AvgLatencyNs     float64
-	P99LatencyCycles uint64
-	MaxLatencyCycles uint64
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	AvgLatencyNs     float64 `json:"avg_latency_ns"`
+	P99LatencyCycles uint64  `json:"p99_latency_cycles"`
+	MaxLatencyCycles uint64  `json:"max_latency_cycles"`
 
 	// ARQOccupancy is the mean aggregated-request-queue occupancy
 	// (MAC runs only).
-	ARQOccupancy float64
+	ARQOccupancy float64 `json:"arq_occupancy"`
 
 	// Faults aggregates the link-fault machinery's counters; all zero
 	// when fault injection is disabled.
-	Faults FaultReport
+	Faults FaultReport `json:"faults"`
 
 	// Observability carries the run's metric snapshot, timeseries and
 	// trace export; nil unless RunOptions.Observe.Enabled was set.
-	Observability *ObsReport
+	Observability *ObsReport `json:"observability,omitempty"`
 
 	// Audit carries the request-lifecycle conservation report; nil
 	// unless RunOptions.Audit was set.
-	Audit *AuditReport
+	Audit *AuditReport `json:"audit,omitempty"`
 	// Chaos carries the injected-adversity counters; nil unless a
 	// chaos profile was configured.
-	Chaos *ChaosReport
+	Chaos *ChaosReport `json:"chaos,omitempty"`
 }
 
 // AuditReport is the end-of-run request-lifecycle conservation result:
@@ -98,21 +98,21 @@ type RunReport struct {
 // per-request diagnostic lines.
 type AuditReport struct {
 	// Issued counts raw requests registered (fences excluded).
-	Issued uint64
+	Issued uint64 `json:"issued"`
 	// Delivered and Failed count terminal outcomes.
-	Delivered uint64
-	Failed    uint64
+	Delivered uint64 `json:"delivered"`
+	Failed    uint64 `json:"failed"`
 	// Reissued counts poisoned completions re-issued under the retry
 	// policy; Forgiven counts window-split requests whose poisoned
 	// continuation bytes were waived as degraded data loss.
-	Reissued uint64
-	Forgiven uint64
+	Reissued uint64 `json:"reissued"`
+	Forgiven uint64 `json:"forgiven"`
 	// Open counts requests left without a terminal outcome.
-	Open int
+	Open int `json:"open"`
 	// Violations holds one rendered diagnostic per broken invariant;
 	// OmittedViolations counts those beyond the reporting cap.
-	Violations        []string
-	OmittedViolations uint64
+	Violations        []string `json:"violations,omitempty"`
+	OmittedViolations uint64   `json:"omitted_violations"`
 }
 
 // Ok reports whether every lifecycle invariant held.
@@ -123,54 +123,54 @@ func (r *AuditReport) Ok() bool {
 // ChaosReport summarizes the adversity a chaos profile injected.
 type ChaosReport struct {
 	// Profile is the canonical rendering of the active profile.
-	Profile string
+	Profile string `json:"profile"`
 	// DelayStorms counts storm windows; DelayedResponses the
 	// responses held back inside them.
-	DelayStorms      uint64
-	DelayedResponses uint64
+	DelayStorms      uint64 `json:"delay_storms"`
+	DelayedResponses uint64 `json:"delayed_responses"`
 	// ReorderedBatches counts response batches delivered reversed.
-	ReorderedBatches uint64
+	ReorderedBatches uint64 `json:"reordered_batches"`
 	// FencesInjected counts synthetic fences pushed into the router.
-	FencesInjected uint64
+	FencesInjected uint64 `json:"fences_injected"`
 	// FreezeCycles counts cycles the submit stage spent frozen.
-	FreezeCycles uint64
+	FreezeCycles uint64 `json:"freeze_cycles"`
 	// VaultStalls counts transient vault-unavailability events.
-	VaultStalls uint64
+	VaultStalls uint64 `json:"vault_stalls"`
 }
 
 // FaultReport is the measurement set of the link-level fault model.
 type FaultReport struct {
 	// CRCErrors counts injected CRC errors across both directions.
-	CRCErrors uint64
+	CRCErrors uint64 `json:"crc_errors"`
 	// LinkRetries counts packet retransmissions.
-	LinkRetries uint64
+	LinkRetries uint64 `json:"link_retries"`
 	// RetryCycles accumulates the latency added by retries.
-	RetryCycles uint64
+	RetryCycles uint64 `json:"retry_cycles"`
 	// PoisonedResponses counts transactions whose retry budget was
 	// exhausted; their raw requests retire with an error status.
-	PoisonedResponses uint64
+	PoisonedResponses uint64 `json:"poisoned_responses"`
 	// FailedRequests counts raw requests retired with an error status.
-	FailedRequests uint64
+	FailedRequests uint64 `json:"failed_requests"`
 	// LinkFailures counts transient link failures (retrains).
-	LinkFailures uint64
+	LinkFailures uint64 `json:"link_failures"`
 	// LinksDisabled counts links permanently taken out of service.
-	LinksDisabled uint64
+	LinksDisabled uint64 `json:"links_disabled"`
 	// TokenStalls counts submissions deferred by exhausted link
 	// tokens.
-	TokenStalls uint64
+	TokenStalls uint64 `json:"token_stalls"`
 	// DroppedResponses counts responses deliberately lost by the
 	// DropResponseEvery diagnostic hook.
-	DroppedResponses uint64
+	DroppedResponses uint64 `json:"dropped_responses"`
 	// RetriedRequests counts poisoned completions re-issued under
 	// RunOptions.Retry (once per re-issue).
-	RetriedRequests uint64
+	RetriedRequests uint64 `json:"retried_requests"`
 	// DuplicateResponses and UnknownResponses count deliveries the
 	// response router discarded.
-	DuplicateResponses uint64
-	UnknownResponses   uint64
+	DuplicateResponses uint64 `json:"duplicate_responses"`
+	UnknownResponses   uint64 `json:"unknown_responses"`
 	// TargetBufferRejects counts built transactions deferred because
 	// the bounded target buffer was full.
-	TargetBufferRejects uint64
+	TargetBufferRejects uint64 `json:"target_buffer_rejects"`
 }
 
 func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
@@ -271,20 +271,20 @@ func (r *RunReport) String() string {
 // CompareReport pairs a with-MAC and a without-MAC run over the same
 // trace — the measurement behind Figures 10, 12, 13, 14, 15 and 17.
 type CompareReport struct {
-	With    RunReport
-	Without RunReport
+	With    RunReport `json:"with"`
+	Without RunReport `json:"without"`
 
 	// CoalescingEfficiency is 1 - with.Transactions/without (Fig 10).
-	CoalescingEfficiency float64
+	CoalescingEfficiency float64 `json:"coalescing_efficiency"`
 	// MemorySpeedup is the relative reduction of the mean memory
 	// access latency (Fig. 17's "memory system speedup").
-	MemorySpeedup float64
+	MemorySpeedup float64 `json:"memory_speedup"`
 	// MakespanSpeedup is the end-to-end runtime ratio without/with.
-	MakespanSpeedup float64
+	MakespanSpeedup float64 `json:"makespan_speedup"`
 	// BankConflictReduction counts conflicts removed (Fig. 12).
-	BankConflictReduction int64
+	BankConflictReduction int64 `json:"bank_conflict_reduction"`
 	// BandwidthSavingBytes is control overhead avoided (Fig. 14).
-	BandwidthSavingBytes int64
+	BandwidthSavingBytes int64 `json:"bandwidth_saving_bytes"`
 }
 
 // String renders a compact summary.

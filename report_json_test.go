@@ -1,0 +1,161 @@
+package mac3d_test
+
+// The macd serving layer stores and replays reports as JSON, so every
+// report type must survive a marshal/unmarshal round trip without
+// losing information. These tests hold that property for real runs of
+// every report shape.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mac3d"
+)
+
+func roundTrip[T any](t *testing.T, in *T) *T {
+	t.Helper()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := new(T)
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal: %v\njson: %s", err, data)
+	}
+	return out
+}
+
+func TestRunReportJSONRoundTrip(t *testing.T) {
+	rep, err := mac3d.Run(mac3d.RunOptions{Workload: "sg", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, rep)
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("RunReport lost data across JSON:\n in: %+v\nout: %+v", rep, got)
+	}
+}
+
+func TestRunReportWithExtrasJSONRoundTrip(t *testing.T) {
+	// Audit, chaos, faults and retry all populate optional sections.
+	rep, err := mac3d.Run(mac3d.RunOptions{
+		Workload: "bfs",
+		Audit:    true,
+		Chaos:    mac3d.ChaosOptions{Profile: "mild"},
+		Retry:    mac3d.RetryOptions{MaxRetries: 2, BackoffCycles: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Audit == nil {
+		t.Fatal("audit section missing")
+	}
+	got := roundTrip(t, rep)
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("RunReport (audit+chaos) lost data across JSON:\n in: %+v\nout: %+v", rep, got)
+	}
+}
+
+func TestCompareReportJSONRoundTrip(t *testing.T) {
+	rep, err := mac3d.Compare(mac3d.RunOptions{Workload: "is", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, rep)
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("CompareReport lost data across JSON:\n in: %+v\nout: %+v", rep, got)
+	}
+}
+
+func TestNUMAReportJSONRoundTrip(t *testing.T) {
+	rep, err := mac3d.RunNUMA(mac3d.NUMAOptions{Workload: "sg", Threads: 4, Nodes: 2, CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, rep)
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("NUMAReport lost data across JSON:\n in: %+v\nout: %+v", rep, got)
+	}
+}
+
+func TestObservedReportJSONRoundTrip(t *testing.T) {
+	rep, err := mac3d.Run(mac3d.RunOptions{
+		Workload: "sg",
+		Observe:  mac3d.ObserveOptions{Enabled: true, SampleInterval: 32, Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Observability == nil || len(rep.Observability.Metrics) == 0 {
+		t.Fatal("observability section missing")
+	}
+	got := roundTrip(t, rep)
+
+	// Everything exported survives, including the nested obs report.
+	if !reflect.DeepEqual(rep.Observability.Metrics, got.Observability.Metrics) {
+		t.Fatal("metrics lost across JSON")
+	}
+	if !reflect.DeepEqual(rep.Observability.Timeseries, got.Observability.Timeseries) {
+		t.Fatal("timeseries lost across JSON")
+	}
+	if got.Observability.TraceEvents != rep.Observability.TraceEvents ||
+		got.Observability.SampleInterval != rep.Observability.SampleInterval {
+		t.Fatal("trace/sampling counters lost across JSON")
+	}
+
+	// The timeseries CSV renders identically from the round-tripped
+	// report — macd clients can fetch a report and export the CSV.
+	var before, after bytes.Buffer
+	if err := rep.Observability.WriteTimeseriesCSV(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Observability.WriteTimeseriesCSV(&after); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != after.String() {
+		t.Fatal("timeseries CSV differs after JSON round trip")
+	}
+	if !strings.HasPrefix(before.String(), "cycle,") {
+		t.Fatalf("unexpected CSV header: %.60s", before.String())
+	}
+
+	// Trace spans are deliberately not carried through JSON: the
+	// original report writes them, the round-tripped one refuses.
+	var tr bytes.Buffer
+	if err := rep.Observability.WriteTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace JSON from the original report")
+	}
+	if err := got.Observability.WriteTrace(&tr); err == nil {
+		t.Fatal("WriteTrace should error on a report that crossed JSON")
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	// The macd cache depends on equal runs marshaling to equal bytes.
+	opts := mac3d.RunOptions{Workload: "mg", Seed: 5}
+	a, err := mac3d.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mac3d.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("identical runs marshal to different JSON")
+	}
+}
