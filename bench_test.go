@@ -334,6 +334,29 @@ func BenchmarkPipelineSGAudited(b *testing.B) {
 	}
 }
 
+// BenchmarkNUMANoC measures the multi-node system under the ideal
+// crossbar against the routed mesh at the same node count: the delta
+// is the cost of cycle-stepping the routers, buffers and credits.
+func BenchmarkNUMANoC(b *testing.B) {
+	for _, topo := range []string{"ideal", "mesh"} {
+		b.Run(topo, func(b *testing.B) {
+			opts := mac3d.NUMAOptions{
+				Workload: "sg", Threads: 8, Nodes: 8, CoresPerNode: 1,
+				NoC: &mac3d.NoCOptions{Topology: topo, LinkLatencyNs: 25},
+			}
+			for i := 0; i < b.N; i++ {
+				rep, err := mac3d.RunNUMA(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.NoC == nil || rep.NoC.MessagesSent == 0 {
+					b.Fatal("no interconnect traffic")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := workloads.Generate("bfs", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny}); err != nil {

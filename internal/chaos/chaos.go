@@ -22,6 +22,8 @@ type Stats struct {
 	FreezeCycles uint64
 	// VaultStalls counts transient vault-unavailability events.
 	VaultStalls uint64
+	// LinkStalls counts transient NoC link-stall events.
+	LinkStalls uint64
 }
 
 // String renders a one-line summary.
@@ -29,9 +31,9 @@ func (s *Stats) String() string {
 	if s == nil {
 		return "chaos disabled"
 	}
-	return fmt.Sprintf("chaos: delay-storms=%d delayed=%d reordered=%d fences=%d freeze-cycles=%d vault-stalls=%d",
+	return fmt.Sprintf("chaos: delay-storms=%d delayed=%d reordered=%d fences=%d freeze-cycles=%d vault-stalls=%d link-stalls=%d",
 		s.DelayStorms, s.DelayedResponses, s.ReorderedBatches,
-		s.FencesInjected, s.FreezeCycles, s.VaultStalls)
+		s.FencesInjected, s.FreezeCycles, s.VaultStalls, s.LinkStalls)
 }
 
 // heldResp is one response parked by a delay storm.
@@ -49,6 +51,7 @@ type Engine struct {
 	p      Profile
 	rng    *sim.RNG
 	vaults int
+	links  int
 
 	delayUntil  sim.Cycle
 	freezeUntil sim.Cycle
@@ -57,6 +60,10 @@ type Engine struct {
 	stallUntil  sim.Cycle
 	stallReady  bool
 	held        []heldResp
+
+	linkStall      int
+	linkStallUntil sim.Cycle
+	linkStallReady bool
 
 	stats Stats
 }
@@ -81,6 +88,18 @@ func NewEngine(p Profile, vaults int) (*Engine, error) {
 // Enabled reports whether the engine injects anything (non-nil).
 func (e *Engine) Enabled() bool { return e != nil }
 
+// SetLinks tells the engine how many directed NoC links exist (targets
+// for transient link stalls); pass 0 to disable the link stressor.
+// Call before the first Tick — the link roll is gated on it, so a
+// linkless driver (or one that never calls SetLinks) sees exactly the
+// RNG stream it saw before the stressor existed.
+func (e *Engine) SetLinks(n int) {
+	if e == nil || n < 0 {
+		return
+	}
+	e.links = n
+}
+
 // Tick rolls every stressor for cycle now. Call exactly once per
 // cycle, before the stressor accessors.
 func (e *Engine) Tick(now sim.Cycle) {
@@ -104,6 +123,14 @@ func (e *Engine) Tick(now sim.Cycle) {
 		e.stallUntil = now + e.p.VaultStall
 		e.stallReady = true
 		e.stats.VaultStalls++
+	}
+	// The link roll comes last and only exists when the driver declared
+	// links (SetLinks), so pre-NoC schedules replay bit-for-bit.
+	if e.p.LinkRate > 0 && e.links > 0 && e.rng.Float64() < e.p.LinkRate {
+		e.linkStall = e.rng.Intn(e.links)
+		e.linkStallUntil = now + e.p.LinkStall
+		e.linkStallReady = true
+		e.stats.LinkStalls++
 	}
 	if now < e.freezeUntil {
 		e.stats.FreezeCycles++
@@ -135,6 +162,17 @@ func (e *Engine) TakeVaultStall() (v int, until sim.Cycle, ok bool) {
 	}
 	e.stallReady = false
 	return e.stallVault, e.stallUntil, true
+}
+
+// TakeLinkStall returns a pending transient link-stall event: directed
+// NoC link l is frozen until the returned cycle (the driver forwards
+// it to Fabric.StallLink). Consumed on read.
+func (e *Engine) TakeLinkStall() (l int, until sim.Cycle, ok bool) {
+	if e == nil || !e.linkStallReady {
+		return 0, 0, false
+	}
+	e.linkStallReady = false
+	return e.linkStall, e.linkStallUntil, true
 }
 
 // Filter perturbs the device's response batch for cycle now: during a

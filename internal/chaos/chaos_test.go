@@ -44,7 +44,7 @@ func TestParseProfilePresets(t *testing.T) {
 }
 
 func TestParseProfileStressors(t *testing.T) {
-	p, err := ParseProfile("delay=0.01:20:40,reorder=0.1,fence=0.002:3,freeze=0.005:6,vault=0.01:24,seed=42")
+	p, err := ParseProfile("delay=0.01:20:40,reorder=0.1,fence=0.002:3,freeze=0.005:6,vault=0.01:24,link=0.003:128,seed=42")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,6 +54,7 @@ func TestParseProfileStressors(t *testing.T) {
 		FenceRate:   0.002, FenceBurst: 3,
 		FreezeRate: 0.005, FreezeDuration: 6,
 		VaultRate: 0.01, VaultStall: 24,
+		LinkRate: 0.003, LinkStall: 128,
 		Seed: 42,
 	}
 	if p != want {
@@ -62,12 +63,12 @@ func TestParseProfileStressors(t *testing.T) {
 }
 
 func TestParseProfileDefaults(t *testing.T) {
-	p, err := ParseProfile("delay=0.01,fence=0.001,freeze=0.01,vault=0.01")
+	p, err := ParseProfile("delay=0.01,fence=0.001,freeze=0.01,vault=0.01,link=0.01")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.DelayDuration != 16 || p.DelayMax != 32 || p.FenceBurst != 2 ||
-		p.FreezeDuration != 8 || p.VaultStall != 32 {
+		p.FreezeDuration != 8 || p.VaultStall != 32 || p.LinkStall != 64 {
 		t.Fatalf("defaults not filled: %+v", p)
 	}
 }
@@ -84,6 +85,9 @@ func TestParseProfileErrors(t *testing.T) {
 		"fence=0.1:1:2",   // too many fence fields
 		"freeze=0.1:1:2",  // too many freeze fields
 		"vault=0.1:1:2",   // too many vault fields
+		"link=0.1:1:2",    // too many link fields
+		"link=2",          // rate out of range
+		"link=0.1:-4",     // negative stall
 		"seed=abc",        // bad seed
 		"seed=1:2",        // seed takes one value
 		"delay=1.5",       // rate out of range
@@ -100,9 +104,10 @@ func TestParseProfileErrors(t *testing.T) {
 func TestProfileStringRoundTrip(t *testing.T) {
 	for _, s := range []string{
 		"mild", "storm",
-		"delay=0.01:20:40,reorder=0.1,fence=0.002:3,freeze=0.005:6,vault=0.01:24,seed=42",
+		"delay=0.01:20:40,reorder=0.1,fence=0.002:3,freeze=0.005:6,vault=0.01:24,link=0.003:128,seed=42",
 		"reorder=0.5",
 		"vault=1:1",
+		"link=0.05:200",
 	} {
 		p, err := ParseProfile(s)
 		if err != nil {
@@ -194,6 +199,57 @@ func schedule(e *Engine, cycles int) string {
 		}
 	}
 	return b.String()
+}
+
+// TestLinkStallRolls checks the link stressor fires only once links
+// are declared, hands out in-range targets, and is consumed on read.
+func TestLinkStallRolls(t *testing.T) {
+	p := Profile{LinkRate: 0.2, LinkStall: 50, Seed: 7}
+	e, err := NewEngine(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No SetLinks: the roll is gated off and nothing ever fires.
+	for now := sim.Cycle(0); now < 100; now++ {
+		e.Tick(now)
+		if _, _, ok := e.TakeLinkStall(); ok {
+			t.Fatal("link stall without declared links")
+		}
+	}
+	if e.Stats().LinkStalls != 0 {
+		t.Fatalf("stats counted %d stalls on a linkless engine", e.Stats().LinkStalls)
+	}
+
+	e, err = NewEngine(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetLinks(16)
+	var taken uint64
+	for now := sim.Cycle(0); now < 500; now++ {
+		e.Tick(now)
+		l, until, ok := e.TakeLinkStall()
+		if !ok {
+			continue
+		}
+		taken++
+		if l < 0 || l >= 16 {
+			t.Fatalf("stall target %d outside [0, 16)", l)
+		}
+		if until != now+50 {
+			t.Fatalf("stall until %d, want %d", until, now+50)
+		}
+		// Consumed on read: a second Take in the same cycle is empty.
+		if _, _, ok := e.TakeLinkStall(); ok {
+			t.Fatal("link stall event not consumed on read")
+		}
+	}
+	if taken == 0 {
+		t.Fatal("rate 0.2 over 500 cycles never fired")
+	}
+	if got := e.Stats().LinkStalls; got != taken {
+		t.Fatalf("stats count %d stalls, driver took %d", got, taken)
+	}
 }
 
 func TestEngineDeterministic(t *testing.T) {

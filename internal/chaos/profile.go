@@ -2,7 +2,8 @@
 // simulator: a composition of cross-layer stressors — response
 // delay/reorder storms on the device return path, fence storms on the
 // request path, ARQ backpressure bursts that freeze the submit stage,
-// and transient vault unavailability inside the HMC model — all driven
+// transient vault unavailability inside the HMC model, and transient
+// link stalls on the inter-node NoC fabric — all driven
 // by a sim.RNG stream so the same profile and seed reproduce the same
 // adversarial schedule bit-for-bit. It composes with the link-level
 // fault injectors from internal/hmc (CRC errors, link failures,
@@ -48,6 +49,12 @@ type Profile struct {
 	// VaultStall cycles (models refresh overruns / repair cycles).
 	VaultRate  float64
 	VaultStall sim.Cycle
+	// LinkRate freezes one random NoC link for LinkStall cycles
+	// (models SerDes retraining / lane degradation on the inter-node
+	// fabric). Only drivers with a routed NoC have links to stall; the
+	// stressor is inert elsewhere.
+	LinkRate  float64
+	LinkStall sim.Cycle
 	// Seed seeds the engine's private RNG stream. Two runs with the
 	// same workload seed but different chaos seeds see different
 	// adversarial schedules.
@@ -57,7 +64,7 @@ type Profile struct {
 // Enabled reports whether any stressor is active.
 func (p Profile) Enabled() bool {
 	return p.DelayRate > 0 || p.ReorderRate > 0 || p.FenceRate > 0 ||
-		p.FreezeRate > 0 || p.VaultRate > 0
+		p.FreezeRate > 0 || p.VaultRate > 0 || p.LinkRate > 0
 }
 
 // withDefaults fills the durations a rate implies but the profile
@@ -80,6 +87,9 @@ func (p Profile) withDefaults() Profile {
 	if p.VaultRate > 0 && p.VaultStall <= 0 {
 		p.VaultStall = 32
 	}
+	if p.LinkRate > 0 && p.LinkStall <= 0 {
+		p.LinkStall = 64
+	}
 	return p
 }
 
@@ -91,7 +101,7 @@ func (p Profile) Validate() error {
 	}{
 		{"delay", p.DelayRate}, {"reorder", p.ReorderRate},
 		{"fence", p.FenceRate}, {"freeze", p.FreezeRate},
-		{"vault", p.VaultRate},
+		{"vault", p.VaultRate}, {"link", p.LinkRate},
 	} {
 		// The inverted comparison also rejects NaN rates.
 		if !(r.v >= 0 && r.v <= 1) {
@@ -104,6 +114,7 @@ func (p Profile) Validate() error {
 	}{
 		{"delay duration", p.DelayDuration}, {"delay max", p.DelayMax},
 		{"freeze duration", p.FreezeDuration}, {"vault stall", p.VaultStall},
+		{"link stall", p.LinkStall},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("chaos: %s %d is negative", d.name, d.v)
@@ -136,6 +147,9 @@ func (p Profile) String() string {
 	}
 	if p.VaultRate > 0 {
 		parts = append(parts, fmt.Sprintf("vault=%g:%d", p.VaultRate, p.VaultStall))
+	}
+	if p.LinkRate > 0 {
+		parts = append(parts, fmt.Sprintf("link=%g:%d", p.LinkRate, p.LinkStall))
 	}
 	if p.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
@@ -173,7 +187,7 @@ var presets = map[string]Profile{
 // ("off", "mild", "storm") or a comma-separated stressor list
 //
 //	delay=RATE[:DURATION[:MAX]],reorder=RATE,fence=RATE[:BURST],
-//	freeze=RATE[:DURATION],vault=RATE[:STALL],seed=N
+//	freeze=RATE[:DURATION],vault=RATE[:STALL],link=RATE[:STALL],seed=N
 //
 // Omitted duration fields take per-stressor defaults. The empty string
 // parses as the disabled profile.
@@ -262,6 +276,14 @@ func ParseProfile(s string) (Profile, error) {
 			if p.VaultStall, err = cyc(1); err != nil {
 				return Profile{}, err
 			}
+		case "link":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("chaos: link takes at most rate:stall, got %q", v)
+			}
+			p.LinkRate = rate
+			if p.LinkStall, err = cyc(1); err != nil {
+				return Profile{}, err
+			}
 		case "seed":
 			if len(fields) > 1 {
 				return Profile{}, fmt.Errorf("chaos: seed takes one value, got %q", v)
@@ -272,7 +294,7 @@ func ParseProfile(s string) (Profile, error) {
 			}
 			p.Seed = n
 		default:
-			return Profile{}, fmt.Errorf("chaos: unknown stressor %q (want delay, reorder, fence, freeze, vault, seed)", k)
+			return Profile{}, fmt.Errorf("chaos: unknown stressor %q (want delay, reorder, fence, freeze, vault, link, seed)", k)
 		}
 	}
 	p = p.withDefaults()

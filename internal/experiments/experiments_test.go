@@ -275,6 +275,20 @@ func TestAblationsRun(t *testing.T) {
 	}
 }
 
+func TestAblationNoCRuns(t *testing.T) {
+	s := testSuite()
+	// AblationNoC fails itself when any topology loses work or when
+	// ring and mesh are indistinguishable, so running it is the test;
+	// just check the table has the full sweep.
+	tab, err := s.AblationNoC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(s.ablationSet()) * 3; len(tab.Rows) != want {
+		t.Fatalf("abl-noc produced %d rows, want %d", len(tab.Rows), want)
+	}
+}
+
 func TestPrefetchParallelMatchesSequential(t *testing.T) {
 	seq := NewSuite(Options{Scale: workloads.Tiny, Benchmarks: []string{"sg", "bfs"}})
 	par := NewSuite(Options{Scale: workloads.Tiny, Benchmarks: []string{"sg", "bfs"}, Parallel: 4})

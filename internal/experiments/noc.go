@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mac3d/internal/noc"
+	"mac3d/internal/numa"
+	"mac3d/internal/stats"
+)
+
+// NUMANoC runs one benchmark on the multi-node system under the given
+// interconnect topology. Multi-node runs share the suite's trace cache
+// but not its run cache (they are cheap next to the cpu campaigns and
+// no two figures share one).
+func (s *Suite) NUMANoC(name string, threads, nodes int, topo string) (*numa.Result, error) {
+	tr, err := s.Trace(name, threads)
+	if err != nil {
+		return nil, err
+	}
+	cfg := numa.DefaultConfig()
+	cfg.Nodes = nodes
+	ncfg := noc.Config{Topology: topo, LinkLatency: 83} // ~25ns per hop
+	if topo == noc.Ideal {
+		// The legacy one-way crossbar latency, so the ideal column is
+		// the pre-NoC baseline the routed fabrics are judged against.
+		ncfg.LinkLatency = 330
+	}
+	cfg.NoC = ncfg
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.progress("simulating %s (numa, %d nodes, %s fabric)", name, nodes, topo)
+	return numa.Run(cfg, tr)
+}
+
+// AblationNoC sweeps the inter-node interconnect topology — the ideal
+// contention-free crossbar against the routed ring and 2D mesh — over
+// the ablation benchmark set at eight nodes. Every topology must
+// retire exactly the same work, and the ring and mesh must be
+// distinguishable (different finish time or hop structure) on at
+// least one benchmark; both are checked, not just reported.
+func (s *Suite) AblationNoC() (*stats.Table, error) {
+	const nodes, threads = 8, 8
+	topos := []string{noc.Ideal, noc.Ring, noc.Mesh}
+
+	t := stats.NewTable("Ablation: interconnect topology (ideal crossbar vs ring vs mesh, 8 nodes)",
+		"benchmark", "topology", "cycles", "avg_lat", "remote", "avg_hops",
+		"net_lat", "flits", "inject_rejects", "stall_cycles")
+	diverged := false
+	for _, name := range s.ablationSet() {
+		byTopo := make(map[string]*numa.Result, len(topos))
+		for _, topo := range topos {
+			res, err := s.NUMANoC(name, threads, nodes, topo)
+			if err != nil {
+				return nil, fmt.Errorf("abl-noc %s/%s: %w", name, topo, err)
+			}
+			if res.NoC == nil {
+				return nil, fmt.Errorf("abl-noc %s/%s: run missing NoC stats", name, topo)
+			}
+			byTopo[topo] = res
+			credit, chaosStalls := res.NoC.StallCycles()
+			t.AddRow(name, topo, uint64(res.Cycles), res.RequestLatency.Mean(),
+				res.RemoteRequests, res.NoC.AvgHops(), res.NoC.NetLatency.Mean(),
+				res.NoC.FlitsSent, res.NoC.InjectRejects, credit+chaosStalls)
+		}
+		want := byTopo[noc.Ideal].RequestLatency.Count()
+		for _, topo := range topos {
+			if got := byTopo[topo].RequestLatency.Count(); got != want {
+				return nil, fmt.Errorf("abl-noc: %s on %s retired %d requests, ideal retired %d",
+					name, topo, got, want)
+			}
+		}
+		ring, mesh := byTopo[noc.Ring], byTopo[noc.Mesh]
+		if ring.Cycles != mesh.Cycles || ring.NoC.AvgHops() != mesh.NoC.AvgHops() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		return nil, fmt.Errorf("abl-noc: ring and mesh indistinguishable on every benchmark at %d nodes", nodes)
+	}
+	return t, nil
+}

@@ -137,6 +137,11 @@ func All() []Entry {
 			Paper: "(beyond paper; lifecycle invariants under composed adversity)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationChaos() },
 		},
+		{
+			ID: "abl-noc", Title: "Ablation: interconnect topology (NUMA fabric)",
+			Paper: "(beyond paper; ideal crossbar vs routed ring vs 2D mesh)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationNoC() },
+		},
 	}
 }
 

@@ -1,0 +1,264 @@
+package noc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mac3d/internal/sim"
+)
+
+// Topology names.
+const (
+	// Ideal is the contention-free crossbar: every message pays one
+	// fixed LinkLatency, requests are injection-limited to
+	// LinkBandwidth messages per node per cycle, and nothing else
+	// contends. "crossbar" parses as an alias.
+	Ideal = "ideal"
+	// Ring is the bidirectional ring with shortest-path routing.
+	Ring = "ring"
+	// Mesh is the 2D mesh with dimension-ordered (XY) routing.
+	Mesh = "mesh"
+)
+
+// Config parameterizes a fabric.
+type Config struct {
+	// Topology selects ideal, ring or mesh ("crossbar" is accepted as
+	// an alias of ideal and normalized by WithDefaults).
+	Topology string
+	// Nodes is the endpoint count. The NUMA driver overwrites it with
+	// its own node count; a config that states both must agree.
+	Nodes int
+	// LinkLatency is the per-hop propagation latency in cycles (for
+	// ideal: the one-way latency of the whole crossbar).
+	LinkLatency sim.Cycle
+	// LinkBandwidth is the link serialization width in flits per
+	// cycle (for ideal: the per-node request injection bandwidth in
+	// messages per cycle, the pre-NoC LinkBandwidth semantics).
+	LinkBandwidth int
+	// BufferFlits sizes each router input buffer, in flits; it is
+	// also the credit pool the upstream sender draws from. Must hold
+	// at least two maximum-size messages. Ignored by ideal.
+	BufferFlits int
+	// InjectDepth bounds each node's injection queue, in messages; a
+	// full queue refuses Send. Ignored by ideal.
+	InjectDepth int
+	// MeshCols fixes the mesh width; 0 picks the most-square
+	// factorization of Nodes. Ignored by ring and ideal.
+	MeshCols int
+}
+
+// DefaultConfig returns a 2-node ideal fabric with the pre-NoC NUMA
+// defaults (a ~100ns one-way hop at 3.3GHz, two messages per cycle).
+func DefaultConfig() Config {
+	return Config{
+		Topology:      Ideal,
+		Nodes:         2,
+		LinkLatency:   330,
+		LinkBandwidth: 2,
+		BufferFlits:   64,
+		InjectDepth:   8,
+	}
+}
+
+// WithDefaults fills the unset fields of a partially specified config
+// and canonicalizes the topology name. It does not touch Nodes or
+// LinkLatency: a zero latency is a legal zero-cycle hop (the pre-NoC
+// NUMA model accepted it), so only ParseConfig — which can tell an
+// omitted lat key from lat=0 — applies the latency defaults.
+func (c Config) WithDefaults() Config {
+	switch strings.ToLower(strings.TrimSpace(c.Topology)) {
+	case "", Ideal, "crossbar", "xbar":
+		c.Topology = Ideal
+	case Ring:
+		c.Topology = Ring
+	case Mesh:
+		c.Topology = Mesh
+	default:
+		// Leave the unknown name for Validate to report.
+		c.Topology = strings.ToLower(strings.TrimSpace(c.Topology))
+	}
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = 2
+	}
+	if c.BufferFlits == 0 {
+		c.BufferFlits = 64
+	}
+	if c.InjectDepth == 0 {
+		c.InjectDepth = 8
+	}
+	return c
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch c.Topology {
+	case Ideal, Ring, Mesh:
+	default:
+		return fmt.Errorf("noc: unknown topology %q (want ideal, crossbar, ring or mesh)", c.Topology)
+	}
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("noc: Nodes must be positive, got %d", c.Nodes)
+	case c.Nodes > 1024:
+		return fmt.Errorf("noc: Nodes %d exceeds the 1024 bound", c.Nodes)
+	case c.LinkBandwidth <= 0:
+		return fmt.Errorf("noc: LinkBandwidth must be positive, got %d", c.LinkBandwidth)
+	case c.LinkBandwidth > 64:
+		return fmt.Errorf("noc: LinkBandwidth %d exceeds the 64 flits/cycle bound", c.LinkBandwidth)
+	case c.LinkLatency > 1<<40:
+		return fmt.Errorf("noc: LinkLatency %d exceeds the 2^40 bound", c.LinkLatency)
+	}
+	if c.Topology != Ideal {
+		if c.BufferFlits < 2*MaxMessageFlits {
+			return fmt.Errorf("noc: BufferFlits %d cannot hold two maximum messages (%d flits)",
+				c.BufferFlits, 2*MaxMessageFlits)
+		}
+		if c.BufferFlits > 1<<20 {
+			return fmt.Errorf("noc: BufferFlits %d exceeds the 2^20 bound", c.BufferFlits)
+		}
+		if c.InjectDepth <= 0 || c.InjectDepth > 1<<20 {
+			return fmt.Errorf("noc: InjectDepth %d outside (0, 2^20]", c.InjectDepth)
+		}
+	}
+	if c.Topology == Mesh && c.MeshCols != 0 {
+		if c.MeshCols < 0 || c.MeshCols > c.Nodes {
+			return fmt.Errorf("noc: MeshCols %d outside [1, Nodes=%d]", c.MeshCols, c.Nodes)
+		}
+		if c.Nodes%c.MeshCols != 0 {
+			return fmt.Errorf("noc: MeshCols %d does not divide Nodes %d", c.MeshCols, c.Nodes)
+		}
+	}
+	return nil
+}
+
+// String renders the config in the canonical ParseConfig syntax:
+// ParseConfig(c.String()) reproduces c (after WithDefaults).
+func (c Config) String() string {
+	c = c.WithDefaults()
+	parts := []string{c.Topology}
+	if c.Nodes != 0 {
+		parts = append(parts, fmt.Sprintf("nodes=%d", c.Nodes))
+	}
+	parts = append(parts,
+		fmt.Sprintf("lat=%d", c.LinkLatency),
+		fmt.Sprintf("bw=%d", c.LinkBandwidth))
+	if c.Topology != Ideal {
+		parts = append(parts,
+			fmt.Sprintf("buf=%d", c.BufferFlits),
+			fmt.Sprintf("inject=%d", c.InjectDepth))
+	}
+	if c.Topology == Mesh && c.MeshCols != 0 {
+		parts = append(parts, fmt.Sprintf("cols=%d", c.MeshCols))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseConfig parses the CLI/flag syntax for a fabric configuration:
+//
+//	TOPOLOGY[,key=value...]
+//
+// with keys nodes, lat (per-hop cycles), bw (flits/cycle), buf
+// (input-buffer flits), inject (injection-queue messages) and cols
+// (mesh width). The empty string parses as the default ideal fabric.
+// It never panics, whatever the input (FuzzParseNoCConfig holds it to
+// that), and anything it accepts passes Validate after WithDefaults
+// once a node count is supplied.
+func ParseConfig(s string) (Config, error) {
+	var c Config
+	sawLat := false
+	fields := strings.Split(s, ",")
+	c.Topology = strings.ToLower(strings.TrimSpace(fields[0]))
+	switch c.Topology {
+	case "", Ideal, "crossbar", "xbar", Ring, Mesh:
+	default:
+		return Config{}, fmt.Errorf("noc: unknown topology %q (want ideal, crossbar, ring or mesh)", c.Topology)
+	}
+	for _, part := range fields[1:] {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("noc: %q is not key=value", part)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("noc: bad %s value %q: %w", k, v, err)
+		}
+		if n < 0 {
+			return Config{}, fmt.Errorf("noc: %s value %d is negative", k, n)
+		}
+		switch strings.TrimSpace(k) {
+		case "nodes":
+			if n > 1024 {
+				return Config{}, fmt.Errorf("noc: nodes %d exceeds the 1024 bound", n)
+			}
+			c.Nodes = int(n)
+		case "lat":
+			if n > 1<<40 {
+				return Config{}, fmt.Errorf("noc: lat %d exceeds the 2^40 bound", n)
+			}
+			c.LinkLatency = sim.Cycle(n)
+			sawLat = true
+		case "bw":
+			if n > 64 {
+				return Config{}, fmt.Errorf("noc: bw %d exceeds the 64 flits/cycle bound", n)
+			}
+			c.LinkBandwidth = int(n)
+		case "buf":
+			if n > 1<<20 {
+				return Config{}, fmt.Errorf("noc: buf %d exceeds the 2^20 bound", n)
+			}
+			c.BufferFlits = int(n)
+		case "inject":
+			if n > 1<<20 {
+				return Config{}, fmt.Errorf("noc: inject %d exceeds the 2^20 bound", n)
+			}
+			c.InjectDepth = int(n)
+		case "cols":
+			if n > 1024 {
+				return Config{}, fmt.Errorf("noc: cols %d exceeds the 1024 bound", n)
+			}
+			c.MeshCols = int(n)
+		default:
+			return Config{}, fmt.Errorf("noc: unknown key %q (want nodes, lat, bw, buf, inject or cols)", k)
+		}
+	}
+	// Keys that the topology ignores are rejected rather than silently
+	// dropped (they would not survive a String round trip).
+	switch c.Topology {
+	case "", "crossbar", "xbar":
+		c.Topology = Ideal
+	}
+	if c.Topology == Ideal && (c.BufferFlits != 0 || c.InjectDepth != 0 || c.MeshCols != 0) {
+		return Config{}, fmt.Errorf("noc: buf, inject and cols do not apply to the ideal topology")
+	}
+	if c.Topology == Ring && c.MeshCols != 0 {
+		return Config{}, fmt.Errorf("noc: cols only applies to the mesh topology")
+	}
+	if !sawLat {
+		// Per-hop cost for routed fabrics; ideal keeps the legacy
+		// one-way crossbar default.
+		if c.Topology == Ideal {
+			c.LinkLatency = 330
+		} else {
+			c.LinkLatency = 83 // ~25ns per hop at 3.3GHz
+		}
+	}
+	c = c.WithDefaults()
+	// Validate what can be validated without a node count; the zero
+	// Nodes means "inherit from the driver".
+	probe := c
+	if probe.Nodes == 0 {
+		probe.Nodes = 2
+		if probe.Topology == Mesh && probe.MeshCols > 0 {
+			probe.Nodes = probe.MeshCols
+		}
+	}
+	if err := probe.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

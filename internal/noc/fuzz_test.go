@@ -1,0 +1,54 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNoCConfig holds ParseConfig to its contract: it never
+// panics, anything it accepts validates (once a node count is
+// supplied) and builds, and accepted configs survive a
+// String→ParseConfig round trip.
+func FuzzParseNoCConfig(f *testing.F) {
+	f.Add("")
+	f.Add("ideal")
+	f.Add("crossbar,lat=330,bw=2")
+	f.Add("ring,nodes=8,lat=83,bw=4,buf=32,inject=16")
+	f.Add("mesh,nodes=16,cols=8,lat=10")
+	f.Add("mesh,cols=3")
+	f.Add("ring, lat = 5 , bw = 1 ")
+	f.Add("torus")
+	f.Add("ring,lat=-1")
+	f.Add("ring,lat=99999999999999999999")
+	f.Add("mesh,cols=3,nodes=4")
+	f.Add(strings.Repeat(",", 100))
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		// Accepted configs must validate and build once the driver
+		// supplies a node count.
+		cfg := c
+		if cfg.Nodes == 0 {
+			cfg.Nodes = 2
+			if cfg.Topology == Mesh && cfg.MeshCols > 0 {
+				cfg.Nodes = cfg.MeshCols
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseConfig(%q) accepted %+v but Validate: %v", s, cfg, err)
+		}
+		if _, err := New[int](cfg); err != nil {
+			t.Fatalf("ParseConfig(%q) accepted %+v but New: %v", s, cfg, err)
+		}
+		// Canonical form must round-trip.
+		back, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("round trip of %q → %q: %v", s, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip of %q: %+v != %+v", s, back, c)
+		}
+	})
+}

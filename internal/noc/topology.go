@@ -1,0 +1,155 @@
+package noc
+
+import "fmt"
+
+// link is one directed channel between adjacent routers.
+type link struct {
+	id       int
+	from, to int
+	class    string // "cw", "ccw", "east", "west", "north", "south"
+	// port is the input-port index at the receiving router fed by
+	// this link.
+	port int
+	// ring indexes ringFree for the directional ring this link
+	// belongs to (-1 outside rings).
+	ring int
+}
+
+// topology is the static wiring and routing function of a routed
+// fabric.
+type topology struct {
+	name  string
+	nodes int
+	links []link
+	// out[node] lists the ids of links leaving node.
+	out [][]int
+	// ports[node] counts the input ports of node's router.
+	ports []int
+	// next[node*nodes+dst] is the outgoing link id toward dst, -1 for
+	// dst == node. Precomputed: routing is deterministic.
+	next []int
+	// rings is the number of directional rings (2 for ring, 0 for
+	// mesh).
+	rings int
+	cols  int // mesh width (0 for ring)
+}
+
+// addLink wires one directed channel and returns its id.
+func (t *topology) addLink(from, to int, class string, ring int) int {
+	id := len(t.links)
+	t.links = append(t.links, link{
+		id: id, from: from, to: to, class: class, port: t.ports[to], ring: ring,
+	})
+	t.ports[to]++
+	t.out[from] = append(t.out[from], id)
+	return id
+}
+
+// buildRing wires a bidirectional ring: clockwise (i → i+1) and
+// counterclockwise (i → i-1) directional rings. Routing takes the
+// shorter way; ties go clockwise.
+func buildRing(nodes int) *topology {
+	t := &topology{
+		name: Ring, nodes: nodes,
+		out: make([][]int, nodes), ports: make([]int, nodes),
+		rings: 2,
+	}
+	cw := make([]int, nodes)
+	ccw := make([]int, nodes)
+	for i := 0; i < nodes; i++ {
+		cw[i] = t.addLink(i, (i+1)%nodes, "cw", 0)
+	}
+	for i := 0; i < nodes; i++ {
+		ccw[i] = t.addLink(i, (i-1+nodes)%nodes, "ccw", 1)
+	}
+	t.next = make([]int, nodes*nodes)
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			switch fwd := (dst - src + nodes) % nodes; {
+			case fwd == 0:
+				t.next[src*nodes+dst] = -1
+			case fwd <= nodes-fwd:
+				t.next[src*nodes+dst] = cw[src]
+			default:
+				t.next[src*nodes+dst] = ccw[src]
+			}
+		}
+	}
+	return t
+}
+
+// meshDims picks the most-square factorization rows × cols = nodes
+// with cols ≥ rows; a prime count degenerates to a 1 × N chain.
+func meshDims(nodes, cols int) (int, int) {
+	if cols > 0 {
+		return nodes / cols, cols
+	}
+	rows := 1
+	for r := 2; r*r <= nodes; r++ {
+		if nodes%r == 0 {
+			rows = r
+		}
+	}
+	return rows, nodes / rows
+}
+
+// buildMesh wires a rows × cols 2D mesh with XY (dimension-ordered)
+// routing: correct the column first, then the row. XY's channel
+// dependency graph is acyclic, so the mesh needs no bubble control.
+func buildMesh(nodes, meshCols int) (*topology, error) {
+	rows, cols := meshDims(nodes, meshCols)
+	if rows*cols != nodes {
+		return nil, fmt.Errorf("noc: mesh %dx%d does not cover %d nodes", rows, cols, nodes)
+	}
+	t := &topology{
+		name: Mesh, nodes: nodes,
+		out: make([][]int, nodes), ports: make([]int, nodes),
+		cols: cols,
+	}
+	// east[i] is the link i → i+1 within a row, etc.
+	east := make([]int, nodes)
+	west := make([]int, nodes)
+	north := make([]int, nodes)
+	south := make([]int, nodes)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			n := y*cols + x
+			if x+1 < cols {
+				east[n] = t.addLink(n, n+1, "east", -1)
+			}
+			if x > 0 {
+				west[n] = t.addLink(n, n-1, "west", -1)
+			}
+			if y+1 < rows {
+				south[n] = t.addLink(n, n+cols, "south", -1)
+			}
+			if y > 0 {
+				north[n] = t.addLink(n, n-cols, "north", -1)
+			}
+		}
+	}
+	t.next = make([]int, nodes*nodes)
+	for src := 0; src < nodes; src++ {
+		sx, sy := src%cols, src/cols
+		for dst := 0; dst < nodes; dst++ {
+			dx, dy := dst%cols, dst/cols
+			switch {
+			case src == dst:
+				t.next[src*nodes+dst] = -1
+			case dx > sx:
+				t.next[src*nodes+dst] = east[src]
+			case dx < sx:
+				t.next[src*nodes+dst] = west[src]
+			case dy > sy:
+				t.next[src*nodes+dst] = south[src]
+			default:
+				t.next[src*nodes+dst] = north[src]
+			}
+		}
+	}
+	return t, nil
+}
+
+// route returns the outgoing link id from cur toward dst (-1 when
+// cur == dst).
+func (t *topology) route(cur, dst int) int { return t.next[cur*t.nodes+dst] }

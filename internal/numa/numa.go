@@ -6,19 +6,25 @@
 // The single-node model in internal/cpu covers the paper's evaluated
 // configuration; this package exercises the request router's Global
 // and Remote access queues (§3.1) and the response router's
-// remote-return path (§3.3) with a configurable node count and
-// interconnect latency.
+// remote-return path (§3.3) with a configurable node count.
+//
+// Global/Remote traffic rides an internal/noc fabric: the default
+// `ideal` topology reproduces the original point-to-point wire
+// cycle-for-cycle, while `ring` and `mesh` model real routed
+// interconnects with credit-based flow control and FLIT-granular link
+// serialization (Config.NoC selects and parameterizes them).
 package numa
 
 import (
-	"container/heap"
 	"fmt"
 
 	"mac3d/internal/addr"
+	"mac3d/internal/chaos"
 	"mac3d/internal/core"
 	"mac3d/internal/cpu"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
+	"mac3d/internal/noc"
 	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 	"mac3d/internal/stats"
@@ -35,10 +41,28 @@ type Config struct {
 	// interleave across nodes (default: one 256B row).
 	InterleaveBytes uint64
 	// LinkLatency is the one-way inter-node hop latency in cycles.
+	//
+	// Deprecated: LinkLatency and LinkBandwidth are aliases kept for
+	// pre-NoC configurations. When NoC.Topology is empty they
+	// parameterize an ideal fabric with the original semantics;
+	// otherwise NoC wins and they are ignored.
 	LinkLatency sim.Cycle
 	// LinkBandwidth bounds messages per cycle per direction on each
 	// node's interconnect port.
+	//
+	// Deprecated: see LinkLatency.
 	LinkBandwidth int
+	// NoC selects and parameterizes the interconnect fabric. The zero
+	// value (empty Topology) falls back to an ideal fabric built from
+	// the deprecated LinkLatency/LinkBandwidth fields — bit-identical
+	// to the pre-NoC point-to-point model. NoC.Nodes may be left 0 to
+	// inherit Nodes; a non-zero value must agree with it.
+	NoC noc.Config
+	// Chaos injects deterministic adversity into the run. Only the
+	// link stressor acts at the NUMA level (transient NoC link stalls,
+	// requiring a routed NoC topology); the node-internal stressors
+	// belong to the single-node cpu driver and are inert here.
+	Chaos chaos.Profile
 	// MAC configures each node's coalescer.
 	MAC core.Config
 	// HMC configures each node's device.
@@ -83,12 +107,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("numa: Nodes must be positive, got %d", c.Nodes)
 	case c.CoresPerNode <= 0:
 		return fmt.Errorf("numa: CoresPerNode must be positive, got %d", c.CoresPerNode)
-	case c.LinkBandwidth <= 0:
+	case c.NoC.Topology == "" && c.LinkBandwidth <= 0:
 		return fmt.Errorf("numa: LinkBandwidth must be positive, got %d", c.LinkBandwidth)
 	case c.MaxOutstanding <= 0:
 		return fmt.Errorf("numa: MaxOutstanding must be positive, got %d", c.MaxOutstanding)
 	case c.MaxCycles == 0:
 		return fmt.Errorf("numa: MaxCycles must be positive")
+	}
+	if c.NoC.Nodes != 0 && c.NoC.Nodes != c.Nodes {
+		return fmt.Errorf("numa: NoC.Nodes=%d disagrees with Nodes=%d (leave it 0 to inherit)",
+			c.NoC.Nodes, c.Nodes)
+	}
+	if err := c.nocConfig().Validate(); err != nil {
+		return err
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
 	}
 	if err := c.MAC.Validate(); err != nil {
 		return err
@@ -99,32 +133,54 @@ func (c Config) Validate() error {
 	return c.HMC.Validate()
 }
 
-// message is one in-flight interconnect transfer.
-type message struct {
-	deliver sim.Cycle
-	// request messages carry a raw request to dest's remote queue;
-	// response messages retire a target at the origin node.
+// nocConfig resolves the effective fabric configuration: Config.NoC
+// when set, else an ideal fabric carrying the deprecated
+// LinkLatency/LinkBandwidth fields (including a legal zero latency).
+func (c Config) nocConfig() noc.Config {
+	n := c.NoC
+	if n.Topology == "" {
+		n.Topology = noc.Ideal
+		if n.LinkLatency == 0 {
+			n.LinkLatency = c.LinkLatency
+		}
+		if n.LinkBandwidth == 0 {
+			n.LinkBandwidth = c.LinkBandwidth
+		}
+	}
+	n.Nodes = c.Nodes
+	return n.WithDefaults()
+}
+
+// payload is what a NUMA message carries across the noc fabric:
+// either a request bound for the destination's Remote Access Queue or
+// a response retiring a target at its origin node.
+type payload struct {
+	// isResponse selects the response interpretation.
 	isResponse bool
-	// poisoned marks a response message whose transaction failed on
-	// the link; the target retires with an error status.
+	// poisoned marks a response whose transaction failed on the link;
+	// the target retires with an error status.
 	poisoned bool
-	dest     int
 	req      memreq.RawRequest
 	target   memreq.Target
 }
 
-type messageHeap []message
+// reqFlits sizes a request message: one 16B header flit, plus one
+// data flit when the request carries store/atomic data (raw request
+// sizes are capped at one flit).
+func reqFlits(r memreq.RawRequest) int {
+	if r.Store || r.Atomic {
+		return 2
+	}
+	return 1
+}
 
-func (h messageHeap) Len() int           { return len(h) }
-func (h messageHeap) Less(i, j int) bool { return h[i].deliver < h[j].deliver }
-func (h messageHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *messageHeap) Push(x any)        { *h = append(*h, x.(message)) }
-func (h *messageHeap) Pop() (out any) {
-	old := *h
-	n := len(old)
-	out = old[n-1]
-	*h = old[:n-1]
-	return
+// respFlits sizes a per-target response: reads and atomics return a
+// data flit on top of the header; a write ack is a bare header.
+func respFlits(k hmc.Kind) int {
+	if k == hmc.Write {
+		return 1
+	}
+	return 2
 }
 
 // threadState mirrors the per-thread replay of internal/cpu.
@@ -160,8 +216,11 @@ type node struct {
 	// and poisoned responses are counted, never panicked on).
 	resp *core.ResponseRouter
 
-	// portFree throttles outbound interconnect messages.
+	// sentThisCycle throttles outbound interconnect messages.
 	sentThisCycle int
+	// respOut parks response messages the fabric refused (routed
+	// topologies backpressure injection); drained before requests.
+	respOut []noc.Message[payload]
 
 	remoteServed uint64 // requests served for other nodes
 	remoteSent   uint64 // requests sent to other nodes
@@ -185,6 +244,12 @@ type Result struct {
 	// survived instead of panicking.
 	RetireUnderflows uint64
 	Misrouted        uint64
+	// NoC carries the interconnect's statistics: topology, per-link
+	// congestion accounts, hop and network-latency histograms.
+	NoC *noc.Stats
+	// Chaos carries the injected-adversity counters; nil when the
+	// chaos profile is disabled.
+	Chaos *chaos.Stats
 	// PerNode carries each node's coalescer and device snapshots.
 	PerNode []NodeStats
 }
@@ -211,7 +276,14 @@ func (r *Result) RemoteFraction() float64 {
 type System struct {
 	cfg   Config
 	nodes []*node
-	net   messageHeap
+	// fab is the interconnect carrying Global/Remote traffic.
+	fab noc.Fabric[payload]
+	// reqBudget bounds request injections per node per cycle: the
+	// ideal fabric keeps the legacy LinkBandwidth messages-per-cycle
+	// semantics; routed fabrics backpressure through Send instead.
+	reqBudget int
+	// chaos injects transient link stalls; nil when disabled.
+	chaos *chaos.Engine
 	// obs is the run's observability handle; nil when disabled.
 	obs      *obs.Obs
 	watchdog *sim.Watchdog
@@ -264,6 +336,25 @@ func NewSystem(cfg Config) (*System, error) {
 		cfg.InterleaveBytes = addr.RowBytes
 	}
 	s := &System{cfg: cfg, watchdog: sim.NewWatchdog(cfg.StallLimit)}
+	ncfg := cfg.nocConfig()
+	fab, err := noc.New[payload](ncfg)
+	if err != nil {
+		return nil, fmt.Errorf("numa: %w", err)
+	}
+	s.fab = fab
+	if ncfg.Topology == noc.Ideal {
+		s.reqBudget = ncfg.LinkBandwidth
+	} else {
+		// Routed fabrics backpressure through Send refusals; the pump
+		// keeps going until the injection queue fills.
+		s.reqBudget = 1 << 30
+	}
+	eng, err := chaos.NewEngine(cfg.Chaos, 0)
+	if err != nil {
+		return nil, fmt.Errorf("numa: %w", err)
+	}
+	s.chaos = eng
+	s.chaos.SetLinks(s.fab.Links())
 	if cfg.Retry.Enabled() {
 		s.inflightReq = make(map[reqKey]*reqAttempt)
 	}
@@ -313,7 +404,8 @@ func (s *System) AttachObs(o *obs.Obs) {
 		nd.dev.AttachObs(po)
 	}
 	o.Reg().Func("numa.remote_requests", func() float64 { return float64(s.remoteReqs) })
-	o.Rec().Watch("numa.net.inflight", func() float64 { return float64(s.net.Len()) })
+	o.Rec().Watch("numa.net.inflight", func() float64 { return float64(s.fab.InFlight()) })
+	s.fab.AttachObs(o)
 }
 
 // Load distributes a trace's threads across nodes: thread t is homed
@@ -359,6 +451,7 @@ func (s *System) thread(id uint16) *threadState {
 // Run replays the loaded trace to completion.
 func (s *System) Run() (*Result, error) {
 	for now := sim.Cycle(0); now < s.cfg.MaxCycles; now++ {
+		s.tickChaos(now)
 		s.pumpRetries(now)
 		for _, nd := range s.nodes {
 			nd.sentThisCycle = 0
@@ -368,6 +461,7 @@ func (s *System) Run() (*Result, error) {
 			s.tickCoalescer(nd, now)
 			s.deliverResponses(nd, now)
 		}
+		s.fab.Tick(now)
 		s.deliverMessages(now)
 		s.obs.Rec().Sample(uint64(now))
 		if s.drained() {
@@ -384,7 +478,7 @@ func (s *System) Run() (*Result, error) {
 // occupancies and the oldest in-flight transaction.
 func (s *System) stallError(now sim.Cycle) error {
 	kvs := []stats.KV{
-		{Key: "interconnect in flight", Value: s.net.Len()},
+		{Key: "interconnect in flight", Value: s.fab.InFlight()},
 	}
 	for _, nd := range s.nodes {
 		line := fmt.Sprintf("router=%d coal=%d/%d dev=%d outstanding=%d",
@@ -476,20 +570,47 @@ func (s *System) advance(t *threadState) {
 	}
 }
 
-// pumpInterconnect moves outbound requests from the node's Global
-// Access Queue onto the network, bounded by link bandwidth.
+// tickChaos advances the chaos engine and forwards any pending
+// transient link stall to the fabric.
+func (s *System) tickChaos(now sim.Cycle) {
+	if !s.chaos.Enabled() {
+		return
+	}
+	s.chaos.Tick(now)
+	if l, until, ok := s.chaos.TakeLinkStall(); ok {
+		s.fab.StallLink(l, until)
+	}
+}
+
+// pumpInterconnect moves outbound traffic from the node onto the
+// fabric: first any responses the fabric refused earlier, then
+// requests from the Global Access Queue. The ideal fabric's request
+// budget is LinkBandwidth messages per cycle (legacy semantics);
+// routed fabrics pump until the injection queue refuses.
 func (s *System) pumpInterconnect(nd *node, now sim.Cycle) {
-	for nd.sentThisCycle < s.cfg.LinkBandwidth {
-		out, ok := nd.router.PopOutbound()
+	for len(nd.respOut) > 0 {
+		if !s.fab.Send(now, nd.respOut[0]) {
+			return
+		}
+		nd.respOut = nd.respOut[1:]
+		s.progress++
+	}
+	for nd.sentThisCycle < s.reqBudget {
+		out, ok := nd.router.PeekOutbound()
 		if !ok {
 			return
 		}
+		m := noc.Message[payload]{
+			Src:     nd.id,
+			Dst:     out.Dest,
+			Flits:   reqFlits(out.Req),
+			Payload: payload{req: out.Req},
+		}
+		if !s.fab.Send(now, m) {
+			return
+		}
+		nd.router.PopOutbound()
 		nd.sentThisCycle++
-		heap.Push(&s.net, message{
-			deliver: now + s.cfg.LinkLatency,
-			dest:    out.Dest,
-			req:     out.Req,
-		})
 	}
 }
 
@@ -531,34 +652,34 @@ func (s *System) deliverResponses(nd *node, now sim.Cycle) {
 				continue
 			}
 			nd.remoteServed++
-			heap.Push(&s.net, message{
-				deliver:    now + s.cfg.LinkLatency,
-				isResponse: true,
-				poisoned:   poisoned,
-				dest:       home,
-				target:     tgt,
-			})
+			m := noc.Message[payload]{
+				Src:     nd.id,
+				Dst:     home,
+				Flits:   respFlits(b.Req.Kind),
+				Payload: payload{isResponse: true, poisoned: poisoned, target: tgt},
+			}
+			if !s.fab.Send(now, m) {
+				// Routed-fabric backpressure: park the response and
+				// retry it (ahead of requests) next cycle. The ideal
+				// fabric never refuses.
+				nd.respOut = append(nd.respOut, m)
+			}
 		}
 	}
 }
 
-// deliverMessages lands due interconnect messages.
+// deliverMessages lands arrived interconnect messages. A request whose
+// owner node's Remote Access Queue is full stays queued in the fabric
+// — without letting younger traffic from its source pass it — and is
+// offered again next cycle.
 func (s *System) deliverMessages(now sim.Cycle) {
-	for s.net.Len() > 0 && s.net[0].deliver <= now {
-		m := heap.Pop(&s.net).(message)
-		if m.isResponse {
-			s.retire(m.target, now, m.poisoned)
-			continue
+	s.fab.Deliver(now, func(m noc.Message[payload]) bool {
+		if m.Payload.isResponse {
+			s.retire(m.Payload.target, now, m.Payload.poisoned)
+			return true
 		}
-		// A request that arrives at its owner node enters the
-		// Remote Access Queue; if the queue is full the message
-		// re-queues one cycle later (link-level retry).
-		if !s.nodes[m.dest].router.OfferRemote(m.req) {
-			m.deliver = now + 1
-			heap.Push(&s.net, m)
-			return // preserve ordering: stop delivering this cycle
-		}
-	}
+		return s.nodes[m.Dst].router.OfferRemote(m.Payload.req)
+	})
 }
 
 func (s *System) retire(tgt memreq.Target, now sim.Cycle, poisoned bool) {
@@ -633,12 +754,13 @@ func (s *System) pumpRetries(now sim.Cycle) {
 }
 
 func (s *System) drained() bool {
-	if s.net.Len() > 0 || len(s.retryPend) > 0 {
+	if s.fab.InFlight() > 0 || len(s.retryPend) > 0 {
 		return false
 	}
 	for _, nd := range s.nodes {
 		if nd.router.Pending() > 0 || nd.coal.Pending() > 0 ||
-			nd.coal.Inflight() > 0 || nd.dev.Pending() > 0 {
+			nd.coal.Inflight() > 0 || nd.dev.Pending() > 0 ||
+			len(nd.respOut) > 0 {
 			return false
 		}
 		for _, t := range nd.threads {
@@ -660,6 +782,8 @@ func (s *System) result(cycles sim.Cycle) *Result {
 		RetriedRequests:  s.retriedRequests,
 		RetireUnderflows: s.retireUnderflows,
 		Misrouted:        s.misrouted,
+		NoC:              s.fab.Stats(),
+		Chaos:            s.chaos.Stats(),
 	}
 	for _, nd := range s.nodes {
 		for _, t := range nd.threads {

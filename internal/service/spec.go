@@ -27,8 +27,11 @@ import (
 	"mac3d"
 )
 
-// SpecVersion is the job-spec schema version this build understands.
-const SpecVersion = 1
+// SpecVersion is the job-spec schema version this build writes.
+// Version 2 added the NUMA "noc" and "chaos" blocks; version 1 specs
+// are still accepted as long as they do not use them, and are
+// rewritten to the current version by normalization.
+const SpecVersion = 2
 
 // Kind selects what a job executes.
 type Kind string
@@ -103,6 +106,15 @@ func (s Spec) normalize() (Spec, error) {
 	case 0:
 		s.Version = SpecVersion
 	case SpecVersion:
+	case 1:
+		// v1 predates the NUMA interconnect and chaos blocks. A v1
+		// spec that uses neither means the same job it always meant;
+		// one that smuggles them in under the old version is a
+		// mislabeled spec, not a compatible one.
+		if s.NUMA != nil && (s.NUMA.NoC != nil || s.NUMA.Chaos != (mac3d.ChaosOptions{})) {
+			return s, fmt.Errorf("service: spec version 1 predates the NUMA \"noc\" and \"chaos\" blocks (declare version %d)", SpecVersion)
+		}
+		s.Version = SpecVersion
 	default:
 		return s, fmt.Errorf("service: unsupported spec version %d (this build speaks %d)", s.Version, SpecVersion)
 	}

@@ -82,7 +82,14 @@ func TestParseSpecRejections(t *testing.T) {
 		"unknown top field": `{"kind":"run","run":{"workload":"sg"},"priority":9}`,
 		"missing kind":      `{"run":{"workload":"sg"}}`,
 		"unknown kind":      `{"kind":"sweep","run":{"workload":"sg"}}`,
-		"bad version":       `{"version":2,"kind":"run","run":{"workload":"sg"}}`,
+		"bad version":       `{"version":3,"kind":"run","run":{"workload":"sg"}}`,
+		"v1 with noc":       `{"version":1,"kind":"numa","numa":{"workload":"sg","noc":{"topology":"ring"}}}`,
+		"v1 with chaos":     `{"version":1,"kind":"numa","numa":{"workload":"sg","chaos":{"profile":"link=0.01"}}}`,
+		"noc bad topology":  `{"kind":"numa","numa":{"workload":"sg","noc":{"topology":"torus"}}}`,
+		"noc node mismatch": `{"kind":"numa","numa":{"workload":"sg","nodes":4,"noc":{"topology":"ring","nodes":8}}}`,
+		"noc bad cols":      `{"kind":"numa","numa":{"workload":"sg","nodes":8,"cores_per_node":1,"noc":{"topology":"mesh","mesh_cols":3}}}`,
+		"noc tiny buffers":  `{"kind":"numa","numa":{"workload":"sg","noc":{"topology":"ring","buffer_flits":2}}}`,
+		"numa bad chaos":    `{"kind":"numa","numa":{"workload":"sg","chaos":{"profile":"quake=0.5"}}}`,
 		"missing options":   `{"kind":"run"}`,
 		"wrong block":       `{"kind":"run","numa":{"workload":"sg"}}`,
 		"numa wrong block":  `{"kind":"numa","run":{"workload":"sg"}}`,
@@ -117,6 +124,9 @@ func TestParseSpecAcceptsAllKinds(t *testing.T) {
 		`{"kind":"numa","numa":{"workload":"sg","nodes":2,"cores_per_node":4}}`,
 		`{"kind":"run","run":{"workload":"sg","observe":{"enabled":true,"sample_interval":64}}}`,
 		`{"kind":"run","run":{"workload":"sg","watchdog_cycles":-1}}`,
+		`{"kind":"numa","numa":{"workload":"sg","nodes":8,"cores_per_node":1,"noc":{"topology":"ring","link_latency_ns":10}}}`,
+		`{"kind":"numa","numa":{"workload":"sg","nodes":8,"cores_per_node":1,"noc":{"topology":"mesh","mesh_cols":4,"buffer_flits":32}}}`,
+		`{"kind":"numa","numa":{"workload":"sg","chaos":{"profile":"link=0.02:100","seed":9}}}`,
 	}
 	for _, in := range cases {
 		s, err := ParseSpec([]byte(in))
@@ -127,6 +137,61 @@ func TestParseSpecAcceptsAllKinds(t *testing.T) {
 		if _, err := s.Hash(); err != nil {
 			t.Errorf("Hash(%q): %v", in, err)
 		}
+	}
+}
+
+// TestSpecV1UpgradesToCurrent checks the compatibility contract of the
+// version bump: a v1 spec that does not use the v2-only blocks is the
+// same job under either version declaration — same normalized version,
+// same cache hash.
+func TestSpecV1UpgradesToCurrent(t *testing.T) {
+	v1, err := ParseSpec([]byte(`{"version":1,"kind":"numa","numa":{"workload":"sg"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Version != SpecVersion {
+		t.Fatalf("v1 spec normalized to version %d, want %d", v1.Version, SpecVersion)
+	}
+	v2, err := ParseSpec([]byte(`{"version":2,"kind":"numa","numa":{"workload":"sg"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := v1.Hash()
+	h2, _ := v2.Hash()
+	if h1 != h2 {
+		t.Fatalf("v1 and v2 spellings of the same job hash apart: %s vs %s", h1, h2)
+	}
+}
+
+// TestSpecNoCRoundTrip holds the canonical form of a spec with the v2
+// interconnect and chaos blocks to the same fixed-point property the
+// plain specs have, with the NoC defaults made explicit.
+func TestSpecNoCRoundTrip(t *testing.T) {
+	in := `{"kind":"numa","numa":{"workload":"sg","nodes":8,"cores_per_node":1,` +
+		`"noc":{"topology":"mesh"},"chaos":{"profile":"link=0.01","seed":3}}}`
+	s, err := ParseSpec([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.NUMA.NoC
+	if n == nil || n.Topology != "mesh" || n.LinkLatencyNs != 25 ||
+		n.LinkBandwidth != 2 || n.BufferFlits != 64 || n.InjectDepth != 8 {
+		t.Fatalf("NoC defaults not made explicit: %+v", n)
+	}
+	c1, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSpec(c1)
+	if err != nil {
+		t.Fatalf("canonical bytes do not re-parse: %v\n%s", err, c1)
+	}
+	c2, err := s2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonicalization not idempotent:\n%s\n%s", c1, c2)
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"mac3d/internal/chaos"
 	"mac3d/internal/memreq"
+	"mac3d/internal/noc"
 	"mac3d/internal/numa"
 	"mac3d/internal/sim"
 	"mac3d/internal/workloads"
@@ -32,15 +34,55 @@ type NUMAOptions struct {
 	// CoresPerNode is each node's core count (default 8).
 	CoresPerNode int `json:"cores_per_node,omitempty"`
 	// LinkLatencyNs is the one-way inter-node hop latency in
-	// nanoseconds (default 100).
+	// nanoseconds (default 100). With a NoC block present it only
+	// supplies the ideal topology's latency default; routed
+	// topologies take their per-hop latency from the block itself.
 	LinkLatencyNs float64 `json:"link_latency_ns,omitempty"`
 	// InterleaveBytes is the global address interleave block
 	// (default 256, one HMC row).
 	InterleaveBytes uint64 `json:"interleave_bytes,omitempty"`
 
+	// NoC selects and parameterizes the inter-node interconnect.
+	// Omitted (nil), the run uses the ideal contention-free crossbar
+	// the pre-NoC model implied, driven by LinkLatencyNs.
+	NoC *NoCOptions `json:"noc,omitempty"`
+
+	// Chaos injects deterministic adversity; at the NUMA level only
+	// the link stressor acts (transient NoC link stalls on routed
+	// topologies).
+	Chaos ChaosOptions `json:"chaos"`
+
 	// Retry re-issues poisoned completions at the requester, same
 	// semantics as RunOptions.Retry.
 	Retry RetryOptions `json:"retry"`
+}
+
+// NoCOptions is the JSON shape of the interconnect configuration
+// (internal/noc.Config with latency in nanoseconds).
+type NoCOptions struct {
+	// Topology is "ideal" (alias "crossbar"), "ring" or "mesh".
+	// Defaults to ideal.
+	Topology string `json:"topology,omitempty"`
+	// Nodes, when non-zero, must agree with NUMAOptions.Nodes: the
+	// fabric always spans every node, and a spec stating both is
+	// checked for consistency rather than silently reconciled.
+	Nodes int `json:"nodes,omitempty"`
+	// LinkLatencyNs is the per-hop propagation latency in nanoseconds
+	// (for ideal: the one-way crossbar latency). Defaults to
+	// NUMAOptions.LinkLatencyNs for ideal and 25 for ring and mesh.
+	LinkLatencyNs float64 `json:"link_latency_ns,omitempty"`
+	// LinkBandwidth is the link serialization width in 16-byte flits
+	// per cycle (for ideal: messages per node per cycle). Default 2.
+	LinkBandwidth int `json:"link_bandwidth,omitempty"`
+	// BufferFlits sizes each router input buffer (default 64; routed
+	// topologies only).
+	BufferFlits int `json:"buffer_flits,omitempty"`
+	// InjectDepth bounds each node's injection queue in messages
+	// (default 8; routed topologies only).
+	InjectDepth int `json:"inject_depth,omitempty"`
+	// MeshCols fixes the mesh width; 0 picks the most-square
+	// factorization of the node count (mesh only).
+	MeshCols int `json:"mesh_cols,omitempty"`
 }
 
 // Normalize returns the options with every defaulted field made
@@ -61,6 +103,30 @@ func (o NUMAOptions) Normalize() NUMAOptions {
 	}
 	if o.LinkLatencyNs == 0 {
 		o.LinkLatencyNs = 100
+	}
+	if o.NoC != nil {
+		n := *o.NoC
+		switch n.Topology {
+		case "", "ideal", "crossbar", "xbar":
+			n.Topology = noc.Ideal
+			if n.LinkLatencyNs == 0 {
+				n.LinkLatencyNs = o.LinkLatencyNs
+			}
+		case noc.Ring, noc.Mesh:
+			if n.LinkLatencyNs == 0 {
+				n.LinkLatencyNs = 25
+			}
+			if n.BufferFlits == 0 {
+				n.BufferFlits = 64
+			}
+			if n.InjectDepth == 0 {
+				n.InjectDepth = 8
+			}
+		}
+		if n.LinkBandwidth == 0 {
+			n.LinkBandwidth = 2
+		}
+		o.NoC = &n
 	}
 	return o
 }
@@ -102,6 +168,27 @@ func (o NUMAOptions) Validate() error {
 		return err
 	}
 	n := o.Normalize()
+	if o.NoC != nil {
+		if err := checkNonNegative("NUMAOptions.NoC", map[string]int64{
+			"Nodes":         int64(o.NoC.Nodes),
+			"LinkBandwidth": int64(o.NoC.LinkBandwidth),
+			"BufferFlits":   int64(o.NoC.BufferFlits),
+			"InjectDepth":   int64(o.NoC.InjectDepth),
+			"MeshCols":      int64(o.NoC.MeshCols),
+		}); err != nil {
+			return err
+		}
+		if o.NoC.Nodes != 0 && o.NoC.Nodes != n.Nodes {
+			return fmt.Errorf("mac3d: NUMAOptions.NoC.Nodes %d disagrees with Nodes %d (leave it 0 to inherit)",
+				o.NoC.Nodes, n.Nodes)
+		}
+		if math.IsNaN(o.NoC.LinkLatencyNs) || math.IsInf(o.NoC.LinkLatencyNs, 0) || o.NoC.LinkLatencyNs < 0 {
+			return fmt.Errorf("mac3d: NUMAOptions.NoC.LinkLatencyNs %v is not a non-negative latency", o.NoC.LinkLatencyNs)
+		}
+		if o.NoC.LinkLatencyNs > 1e9 {
+			return fmt.Errorf("mac3d: NUMAOptions.NoC.LinkLatencyNs %v exceeds the 1e9 bound", o.NoC.LinkLatencyNs)
+		}
+	}
 	// Threads are homed round-robin on thread % Nodes, so node 0
 	// carries ceil(Threads/Nodes) of them; reject here what the system
 	// would reject at trace-load time, so a bad job spec fails at
@@ -127,6 +214,25 @@ func (o NUMAOptions) numaConfig() (numa.Config, error) {
 	if o.InterleaveBytes != 0 {
 		cfg.InterleaveBytes = o.InterleaveBytes
 	}
+	if o.NoC != nil {
+		cfg.NoC = noc.Config{
+			Topology:      o.NoC.Topology,
+			Nodes:         o.NoC.Nodes,
+			LinkLatency:   clock.CyclesForNanos(o.NoC.LinkLatencyNs),
+			LinkBandwidth: o.NoC.LinkBandwidth,
+			BufferFlits:   o.NoC.BufferFlits,
+			InjectDepth:   o.NoC.InjectDepth,
+			MeshCols:      o.NoC.MeshCols,
+		}
+	}
+	profile, err := chaos.ParseProfile(o.Chaos.Profile)
+	if err != nil {
+		return cfg, fmt.Errorf("mac3d: %w", err)
+	}
+	if o.Chaos.Seed != 0 {
+		profile.Seed = o.Chaos.Seed
+	}
+	cfg.Chaos = profile
 	if o.Retry.BackoffCycles < 0 {
 		return cfg, fmt.Errorf("mac3d: NUMAOptions.Retry.BackoffCycles %d is negative", o.Retry.BackoffCycles)
 	}
@@ -161,8 +267,40 @@ type NUMAReport struct {
 	// NUMAOptions.Retry.
 	RetriedRequests uint64 `json:"retried_requests"`
 
+	// NoC summarizes the inter-node interconnect.
+	NoC *NUMANoCReport `json:"noc,omitempty"`
+
+	// Chaos carries the injected-adversity counters; nil unless a
+	// chaos profile was active.
+	Chaos *ChaosReport `json:"chaos,omitempty"`
+
 	// PerNode carries each node's key measurements.
 	PerNode []NUMANodeReport `json:"per_node"`
+}
+
+// NUMANoCReport is the interconnect slice of a NUMAReport.
+type NUMANoCReport struct {
+	// Topology is the canonical fabric topology name.
+	Topology string `json:"topology"`
+	// Links counts directed inter-router links (0 for ideal).
+	Links int `json:"links"`
+	// MessagesSent counts messages the fabric accepted; FlitsSent the
+	// 16-byte flits across them.
+	MessagesSent uint64 `json:"messages_sent"`
+	FlitsSent    uint64 `json:"flits_sent"`
+	// AvgHops is the mean per-message hop count.
+	AvgHops float64 `json:"avg_hops"`
+	// AvgNetLatencyCycles is the mean send-to-deliver network latency.
+	AvgNetLatencyCycles float64 `json:"avg_net_latency_cycles"`
+	// InjectRejects counts Send refusals the driver had to retry;
+	// DeliverRetries counts cycles messages waited at a full
+	// destination queue.
+	InjectRejects  uint64 `json:"inject_rejects"`
+	DeliverRetries uint64 `json:"deliver_retries"`
+	// CreditStallCycles counts link-idle cycles lost to exhausted
+	// credits; ChaosStallCycles those lost to injected link stalls.
+	CreditStallCycles uint64 `json:"credit_stall_cycles"`
+	ChaosStallCycles  uint64 `json:"chaos_stall_cycles"`
 }
 
 // NUMANodeReport is one node's slice of a NUMAReport.
@@ -215,6 +353,37 @@ func RunNUMA(opts NUMAOptions) (*NUMAReport, error) {
 		AvgLatencyCycles: res.RequestLatency.Mean(),
 		AvgLatencyNs:     res.RequestLatency.Mean() / clock.FreqHz * 1e9,
 		RetriedRequests:  res.RetriedRequests,
+	}
+	if ns := res.NoC; ns != nil {
+		credit, chaosStalls := ns.StallCycles()
+		rep.NoC = &NUMANoCReport{
+			Topology:            ns.Topology,
+			Links:               len(ns.Links),
+			MessagesSent:        ns.Sent,
+			FlitsSent:           ns.FlitsSent,
+			AvgHops:             ns.AvgHops(),
+			AvgNetLatencyCycles: ns.NetLatency.Mean(),
+			InjectRejects:       ns.InjectRejects,
+			DeliverRetries:      ns.DeliverRetries,
+			CreditStallCycles:   credit,
+			ChaosStallCycles:    chaosStalls,
+		}
+	}
+	if c := res.Chaos; c != nil {
+		profile, _ := chaos.ParseProfile(opts.Chaos.Profile)
+		if opts.Chaos.Seed != 0 {
+			profile.Seed = opts.Chaos.Seed
+		}
+		rep.Chaos = &ChaosReport{
+			Profile:          profile.String(),
+			DelayStorms:      c.DelayStorms,
+			DelayedResponses: c.DelayedResponses,
+			ReorderedBatches: c.ReorderedBatches,
+			FencesInjected:   c.FencesInjected,
+			FreezeCycles:     c.FreezeCycles,
+			VaultStalls:      c.VaultStalls,
+			LinkStalls:       c.LinkStalls,
+		}
 	}
 	for i, ns := range res.PerNode {
 		rep.PerNode = append(rep.PerNode, NUMANodeReport{

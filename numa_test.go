@@ -65,4 +65,89 @@ func TestRunNUMAValidation(t *testing.T) {
 	if _, err := RunNUMA(NUMAOptions{Workload: "sg", Threads: 8, Nodes: 2, CoresPerNode: 1}); err == nil {
 		t.Fatal("over-subscription accepted")
 	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", NoC: &NoCOptions{Topology: "torus"}}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", Nodes: 4, NoC: &NoCOptions{Topology: "ring", Nodes: 8}}); err == nil {
+		t.Fatal("disagreeing NoC node count accepted")
+	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", NoC: &NoCOptions{Topology: "ring", BufferFlits: 3}}); err == nil {
+		t.Fatal("sub-message input buffer accepted")
+	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", Nodes: 8, CoresPerNode: 1, NoC: &NoCOptions{Topology: "mesh", MeshCols: 3}}); err == nil {
+		t.Fatal("non-dividing mesh width accepted")
+	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", NoC: &NoCOptions{Topology: "ring", LinkLatencyNs: -1}}); err == nil {
+		t.Fatal("negative NoC latency accepted")
+	}
+	if _, err := RunNUMA(NUMAOptions{Workload: "sg", Chaos: ChaosOptions{Profile: "quake=0.5"}}); err == nil {
+		t.Fatal("unknown chaos stressor accepted")
+	}
+}
+
+// TestRunNUMANoCReport runs a routed topology through the facade and
+// checks the report carries the interconnect block.
+func TestRunNUMANoCReport(t *testing.T) {
+	rep, err := RunNUMA(NUMAOptions{
+		Workload: "sg", Threads: 8, Nodes: 8, CoresPerNode: 1,
+		NoC: &NoCOptions{Topology: "mesh", LinkLatencyNs: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rep.NoC
+	if n == nil {
+		t.Fatal("report missing NoC block")
+	}
+	if n.Topology != "mesh" || n.Links != 20 { // 2x4 mesh: (2*3 + 4*1)*2 directed
+		t.Fatalf("topology %q with %d links", n.Topology, n.Links)
+	}
+	if n.MessagesSent == 0 || n.FlitsSent < n.MessagesSent || n.AvgHops <= 1 {
+		t.Fatalf("implausible traffic accounting: %+v", n)
+	}
+	if rep.Chaos != nil {
+		t.Fatalf("chaos block without a profile: %+v", rep.Chaos)
+	}
+}
+
+// TestRunNUMAIdealAliasEquivalence checks the deprecated flat link
+// fields and an explicit ideal NoC block describe the same machine.
+func TestRunNUMAIdealAliasEquivalence(t *testing.T) {
+	legacy, err := RunNUMA(NUMAOptions{Workload: "sg", LinkLatencyNs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := RunNUMA(NUMAOptions{
+		Workload: "sg", LinkLatencyNs: 50,
+		NoC: &NoCOptions{Topology: "ideal"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Cycles != explicit.Cycles || legacy.AvgLatencyCycles != explicit.AvgLatencyCycles {
+		t.Fatalf("alias and explicit ideal diverge: %d/%v vs %d/%v",
+			legacy.Cycles, legacy.AvgLatencyCycles, explicit.Cycles, explicit.AvgLatencyCycles)
+	}
+	if legacy.NoC == nil || legacy.NoC.Topology != "ideal" {
+		t.Fatalf("legacy run missing ideal NoC block: %+v", legacy.NoC)
+	}
+}
+
+// TestRunNUMAChaosReport checks the link stressor reaches the fabric
+// through the facade and is reported.
+func TestRunNUMAChaosReport(t *testing.T) {
+	rep, err := RunNUMA(NUMAOptions{
+		Workload: "sg", Threads: 8, Nodes: 8, CoresPerNode: 1,
+		NoC:   &NoCOptions{Topology: "ring", LinkLatencyNs: 5, LinkBandwidth: 1},
+		Chaos: ChaosOptions{Profile: "link=0.05:200", Seed: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chaos == nil || rep.Chaos.LinkStalls == 0 {
+		t.Fatalf("link stressor left no trace: %+v", rep.Chaos)
+	}
+	if rep.NoC == nil || rep.NoC.ChaosStallCycles == 0 {
+		t.Fatalf("no chaos stall cycles on any link: %+v", rep.NoC)
+	}
 }

@@ -136,6 +136,9 @@ type ChaosReport struct {
 	FreezeCycles uint64 `json:"freeze_cycles"`
 	// VaultStalls counts transient vault-unavailability events.
 	VaultStalls uint64 `json:"vault_stalls"`
+	// LinkStalls counts transient NoC link-stall events (NUMA runs
+	// with a routed interconnect; always zero for single-node runs).
+	LinkStalls uint64 `json:"link_stalls"`
 }
 
 // FaultReport is the measurement set of the link-level fault model.
@@ -255,6 +258,7 @@ func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
 			FencesInjected:   c.FencesInjected,
 			FreezeCycles:     c.FreezeCycles,
 			VaultStalls:      c.VaultStalls,
+			LinkStalls:       c.LinkStalls,
 		}
 	}
 	return rep
