@@ -10,10 +10,17 @@ package mac3d_test
 // `go run ./cmd/experiments -scale small`.
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"mac3d"
 	"mac3d/internal/experiments"
+	"mac3d/internal/service"
 	"mac3d/internal/workloads"
 )
 
@@ -362,5 +369,125 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		if _, err := workloads.Generate("bfs", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Service benches: the macd job layer rather than the simulator. A
+// no-op runner is substituted via Config.WrapRunner so the numbers
+// isolate the queue/journal/result-store machinery; the journal=on
+// delta over journal=off is the crash-safety tax per job (two to
+// three WAL appends plus one content-addressed result write, no
+// fsync). Journal parse/fold micro-benches live in
+// internal/service/bench_test.go beside the unexported frame codec.
+
+func benchService(b *testing.B, journalDir string) *service.Service {
+	b.Helper()
+	s, err := service.New(service.Config{
+		Workers:    4,
+		QueueDepth: 256,
+		JournalDir: journalDir,
+		WrapRunner: func(service.RunFunc) service.RunFunc {
+			return func(service.Spec) ([]byte, error) { return []byte(`{"report":"bench"}`), nil }
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s
+}
+
+func benchmarkServiceSubmit(b *testing.B, journal bool) {
+	dir := ""
+	if journal {
+		dir = b.TempDir()
+	}
+	s := benchService(b, dir)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Unique seeds defeat the content-addressed cache so every
+		// iteration takes the full path.
+		st, err := s.SubmitJSON([]byte(fmt.Sprintf(
+			`{"kind":"run","run":{"workload":"sg","seed":%d}}`, i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AwaitResult(ctx, st.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServiceSubmit(b *testing.B) {
+	b.Run("journal=off", func(b *testing.B) { benchmarkServiceSubmit(b, false) })
+	b.Run("journal=on", func(b *testing.B) { benchmarkServiceSubmit(b, true) })
+}
+
+// TestWriteBenchSnapshot writes the BENCH_N.json perf-trajectory
+// snapshot the ROADMAP calls for: a curated subset of the benchmarks
+// above, re-run via testing.Benchmark and serialized as JSON so later
+// PRs can diff machine-readable numbers instead of bench logs.
+// Gated on BENCH_OUT because it re-runs each bench for a full
+// benchtime; regenerate with:
+//
+//	BENCH_OUT=BENCH_6.json go test -run TestWriteBenchSnapshot .
+func TestWriteBenchSnapshot(t *testing.T) {
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OUT=path to write a benchmark snapshot")
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkPipelineSG", BenchmarkPipelineSG},
+		{"BenchmarkTraceGeneration", BenchmarkTraceGeneration},
+		{"BenchmarkServiceSubmit/journal=off", func(b *testing.B) { benchmarkServiceSubmit(b, false) }},
+		{"BenchmarkServiceSubmit/journal=on", func(b *testing.B) { benchmarkServiceSubmit(b, true) }},
+	}
+	type entry struct {
+		Name        string  `json:"name"`
+		Iterations  int     `json:"iterations"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	snap := struct {
+		Package    string  `json:"package"`
+		Goos       string  `json:"goos"`
+		Goarch     string  `json:"goarch"`
+		GoVersion  string  `json:"go_version"`
+		Benchmarks []entry `json:"benchmarks"`
+	}{
+		Package:   "mac3d",
+		Goos:      runtime.GOOS,
+		Goarch:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			t.Fatalf("%s did not run", bench.name)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, entry{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		t.Logf("%-40s %d iters  %.0f ns/op", bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -7,6 +7,16 @@
 //
 //	macd [-addr :8080] [-workers 4] [-queue 64]
 //	     [-cache-bytes 67108864] [-job-timeout 10m] [-retain 4096]
+//	     [-journal DIR] [-journal-sync] [-svcchaos PROFILE]
+//
+// With -journal, every job lifecycle transition is logged to an
+// append-only CRC-checked journal in DIR and done results are stored
+// content-addressed beside it; a daemon restarted on the same DIR
+// replays the log, restores completed results, re-queues interrupted
+// jobs and keeps serving the same job IDs (see DESIGN.md "Crash
+// safety"). -svcchaos injects seeded service-layer faults (worker
+// kills, stalls, request delays, dropped connections) for testing;
+// see internal/svcchaos.
 //
 // Endpoints (see DESIGN.md "Serving layer"):
 //
@@ -35,31 +45,50 @@ import (
 	"time"
 
 	"mac3d/internal/service"
+	"mac3d/internal/svcchaos"
 )
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = default 4)")
-		queue      = flag.Int("queue", 0, "job queue depth before 429s (0 = default 64)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = default 64 MiB, negative disables)")
-		jobTimeout = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = default 10m, negative disables)")
-		retain     = flag.Int("retain", 0, "terminal job records to keep (0 = default 4096)")
-		drainWait  = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for in-flight jobs on shutdown")
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = default 4)")
+		queue       = flag.Int("queue", 0, "job queue depth before 429s (0 = default 64)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "result cache budget in bytes (0 = default 64 MiB, negative disables)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution timeout (0 = default 10m, negative disables)")
+		retain      = flag.Int("retain", 0, "terminal job records to keep (0 = default 4096)")
+		drainWait   = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for in-flight jobs on shutdown")
+		journalDir  = flag.String("journal", "", "crash-safe job journal directory (empty disables journaling)")
+		journalSync = flag.Bool("journal-sync", false, "fsync every journal append (power-loss durability)")
+		chaosSpec   = flag.String("svcchaos", "", "service chaos profile for testing: off, mild, storm, or kill=RATE,stall=RATE:MS,delay=RATE:MS,drop=RATE,seed=N")
 	)
 	flag.Parse()
+	profile, err := svcchaos.ParseProfile(*chaosSpec)
+	if err != nil {
+		log.Fatalf("macd: %v", err)
+	}
 	if err := run(*addr, service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheBytes,
-		JobTimeout: *jobTimeout,
-		RetainJobs: *retain,
-	}, *drainWait); err != nil {
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		CacheBytes:  *cacheBytes,
+		JobTimeout:  *jobTimeout,
+		RetainJobs:  *retain,
+		JournalDir:  *journalDir,
+		JournalSync: *journalSync,
+	}, profile, *drainWait); err != nil {
 		log.Fatalf("macd: %v", err)
 	}
 }
 
-func run(addr string, cfg service.Config, drainWait time.Duration) error {
+func run(addr string, cfg service.Config, profile svcchaos.Profile, drainWait time.Duration) error {
+	var injector *svcchaos.Injector
+	if profile.Enabled() {
+		var err error
+		injector, err = svcchaos.New(profile)
+		if err != nil {
+			return err
+		}
+		cfg.WrapRunner = injector.WrapRunner
+	}
 	svc, err := service.New(cfg)
 	if err != nil {
 		return err
@@ -68,11 +97,23 @@ func run(addr string, cfg service.Config, drainWait time.Duration) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: service.Handler(svc)}
+	handler := service.Handler(svc)
+	if injector != nil {
+		handler = injector.Middleware(handler)
+		ln = injector.Listener(ln)
+	}
+	srv := &http.Server{Handler: handler}
 
-	// The parseable start line: tests and scripts read the bound
-	// address from here (port 0 resolves to a real port).
+	// The parseable start lines: tests and scripts read the bound
+	// address (port 0 resolves to a real port) and, when journaling,
+	// the replay outcome from here. The listen line always comes first.
 	fmt.Printf("macd: listening on %s\n", ln.Addr())
+	if rec := svc.Recovery(); rec != nil {
+		fmt.Printf("macd: recovered: %s\n", rec)
+	}
+	if profile.Enabled() {
+		fmt.Printf("macd: svcchaos enabled: %s\n", profile)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -17,10 +17,8 @@ import (
 	"mac3d/internal/service"
 )
 
-// startDaemon builds macd, starts it on an ephemeral port and returns
-// a client plus a stop function that SIGTERMs the daemon and asserts a
-// clean exit.
-func startDaemon(t *testing.T, extraArgs ...string) (*service.Client, func()) {
+// buildMacd compiles the daemon binary into a test temp dir.
+func buildMacd(t *testing.T) string {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "macd")
 	if runtime.GOOS == "windows" {
@@ -31,6 +29,15 @@ func startDaemon(t *testing.T, extraArgs ...string) (*service.Client, func()) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
+	return bin
+}
+
+// startDaemon builds macd, starts it on an ephemeral port and returns
+// a client plus a stop function that SIGTERMs the daemon and asserts a
+// clean exit.
+func startDaemon(t *testing.T, extraArgs ...string) (*service.Client, func()) {
+	t.Helper()
+	bin := buildMacd(t)
 
 	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
 	cmd := exec.Command(bin, args...)
@@ -237,4 +244,144 @@ func TestDaemonRejectsInvalidSpec(t *testing.T) {
 		}
 	}
 	stop()
+}
+
+// rawDaemon starts a pre-built macd binary and returns its process,
+// the parsed listen address, and a channel of subsequent stdout lines.
+func rawDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string, <-chan string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	lines := bufio.NewScanner(stdout)
+	if !lines.Scan() {
+		t.Fatalf("macd printed no listen line; stderr:\n%s", stderr.String())
+	}
+	addr := strings.TrimPrefix(lines.Text(), "macd: listening on ")
+	rest := make(chan string, 64)
+	go func() {
+		defer close(rest)
+		for lines.Scan() {
+			select {
+			case rest <- lines.Text():
+			default:
+			}
+		}
+	}()
+	return cmd, addr, rest
+}
+
+// TestDaemonCrashRecovery is the acceptance drill for the crash-safe
+// journal: start macd with -journal and a stall profile that pins the
+// job in-flight, submit, SIGKILL the daemon mid-job, restart it on the
+// same journal directory without chaos, and require the original job
+// ID to finish with bytes identical to an uninterrupted daemon's
+// result for the same spec.
+func TestDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the daemon")
+	}
+	bin := buildMacd(t)
+	dir := t.TempDir()
+	spec := []byte(`{"kind":"run","run":{"workload":"sg","seed":7,"scale":"tiny"}}`)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Reference run: an uninterrupted daemon's bytes for the spec.
+	ref, stopRef := startDaemon(t)
+	refSt, err := ref.SubmitJSON(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.AwaitResult(ctx, refSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopRef()
+
+	// Chaotic incarnation: every run stalls 30s, so the job is still
+	// in-flight — started, not finalized — when the SIGKILL lands.
+	cmdA, addrA, _ := rawDaemon(t, bin,
+		"-journal", dir, "-workers", "1", "-svcchaos", "stall=1:30000,seed=1")
+	cA := &service.Client{BaseURL: "http://" + addrA, PollInterval: 10 * time.Millisecond}
+	st, err := cA.SubmitJSON(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the worker has picked the job up, then kill -9.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		js, err := cA.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s before crash", js.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmdA.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmdA.Wait()
+
+	// Restart on the same journal, chaos-free. The recovered line is
+	// parseable from stdout after the listen line.
+	_, addrB, restB := rawDaemon(t, bin, "-journal", dir, "-workers", "1")
+	select {
+	case line := <-restB:
+		if !strings.HasPrefix(line, "macd: recovered: ") {
+			t.Fatalf("second line %q, want recovery report", line)
+		}
+		if !strings.Contains(line, "1 requeued") {
+			t.Fatalf("recovery line %q, want 1 requeued", line)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no recovery line after restart")
+	}
+
+	// The resilient client resumes the original job ID and the result
+	// is byte-identical to the uninterrupted run.
+	cB := &service.Client{
+		BaseURL:      "http://" + addrB,
+		PollInterval: 10 * time.Millisecond,
+		Retry:        service.DefaultRetryPolicy(),
+	}
+	got, err := cB.AwaitResult(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("awaiting original job %s after restart: %v", st.ID, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered result differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The journal on disk must verify clean: exactly one terminal per
+	// admission epoch, with the requeue explaining the recovery.
+	recs, _, err := service.ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := service.VerifyJournal(recs); len(v) != 0 {
+		t.Fatalf("journal violations: %v", v)
+	}
+	final := service.FoldFinalStates(recs)
+	if fs := final[st.ID]; fs.State != service.StateDone {
+		t.Fatalf("job %s final state %s, want done", st.ID, fs.State)
+	}
 }

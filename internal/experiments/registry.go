@@ -138,6 +138,11 @@ func All() []Entry {
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationChaos() },
 		},
 		{
+			ID: "abl-svcchaos", Title: "Ablation: service chaos sweep (crash-safe macd)",
+			Paper: "(beyond paper; journal recovery + client retry under injected crashes)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationServiceChaos() },
+		},
+		{
 			ID: "abl-noc", Title: "Ablation: interconnect topology (NUMA fabric)",
 			Paper: "(beyond paper; ideal crossbar vs routed ring vs 2D mesh)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationNoC() },

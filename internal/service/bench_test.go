@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// trivialRunner returns fixed report bytes instantly, so the journal
+// benches measure the WAL/replay machinery, not a simulation. The
+// submit-path equivalent (BenchmarkServiceSubmit, journal on/off)
+// lives in the root bench_test.go against the exported API.
+func trivialRunner(Spec) ([]byte, error) {
+	return []byte(`{"report":"bench"}`), nil
+}
+
+// BenchmarkJournalAppend measures one framed record append (encode +
+// CRC + buffered write; no fsync).
+func BenchmarkJournalAppend(b *testing.B) {
+	j, err := openJournal(b.TempDir(), false, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.close(false)
+	rec := Record{Op: OpSubmit, Job: "j-00000001", Hash: "0123456789abcdef",
+		Spec: []byte(`{"kind":"run","run":{"workload":"sg","seed":1,"threads":8,"scale":"small"}}`)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.append(rec)
+	}
+	b.StopTimer()
+	if err := j.close(false); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkJournalReplay measures a restart over a journal holding
+// nJobs completed jobs: parse, fold, result-store verification and
+// cache restore.
+func BenchmarkJournalReplay(b *testing.B) {
+	const nJobs = 1000
+	dir := b.TempDir()
+	s, err := newWithRunner(Config{Workers: 4, QueueDepth: nJobs + 1, JournalDir: dir}, trivialRunner)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	ids := make([]string, 0, nJobs)
+	for i := 0; i < nJobs; i++ {
+		st, err := s.SubmitJSON([]byte(fmt.Sprintf(
+			`{"kind":"run","run":{"workload":"sg","seed":%d}}`, i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if _, err := s.AwaitResult(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := newWithRunner(Config{Workers: 0, JournalDir: dir}, trivialRunner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep := r.Recovery(); rep.Completed != nJobs {
+			b.Fatalf("replayed %d completed, want %d", rep.Completed, nJobs)
+		}
+		b.StopTimer()
+		// Every replayed job is already terminal, so nothing re-runs;
+		// Kill drops the journal handle without appending drain-time
+		// records that would grow the log across iterations.
+		r.Kill()
+		b.StartTimer()
+	}
+}

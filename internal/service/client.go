@@ -6,20 +6,43 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Client talks to a macd daemon over its HTTP API. The zero value is
-// unusable; set BaseURL (for example "http://127.0.0.1:8080").
+// unusable; set BaseURL (for example "http://127.0.0.1:8080"). With a
+// RetryPolicy and a Breaker it is the resilient client: idempotent
+// calls (every GET, Submit — content addressing makes re-posting a
+// spec safe — and Cancel) are retried under jittered exponential
+// backoff, and the circuit breaker fails calls fast while the daemon
+// is down instead of piling a poll storm onto its restart.
 type Client struct {
 	// BaseURL is the daemon root, without the /v1 prefix.
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
-	// PollInterval paces AwaitResult's status polling (default 50ms).
+	// PollInterval is AwaitResult's initial polling interval (default
+	// 50ms); successive idle polls back off exponentially to PollMax.
 	PollInterval time.Duration
+	// PollMax caps the idle-poll backoff (default 1s).
+	PollMax time.Duration
+	// Retry bounds per-call retries. The zero value makes one attempt
+	// (no retries); see DefaultRetryPolicy.
+	Retry RetryPolicy
+	// Breaker, when set, gates every attempt through a shared circuit
+	// breaker.
+	Breaker *Breaker
+	// AttemptTimeout bounds one HTTP attempt (default none beyond
+	// ctx); keep it above the longest expected result download.
+	AttemptTimeout time.Duration
+
+	statsMu sync.Mutex
+	stats   ClientStats
+	rng     *rand.Rand
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -33,11 +56,106 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
 }
 
+// Stats snapshots the client's resilience counters.
+func (c *Client) Stats() ClientStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// jitter draws from the client's deterministic jitter stream.
+func (c *Client) jitter(p RetryPolicy, attempt int) time.Duration {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(int64(seed)))
+	}
+	return p.delay(attempt, c.rng)
+}
+
+func (c *Client) count(f func(*ClientStats)) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	f(&c.stats)
+}
+
+// do runs one API call with the client's retry budget and breaker.
+// Non-idempotent calls make exactly one attempt. out is a *[]byte for
+// raw bodies, any other pointer for JSON, or nil.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, idempotent bool) error {
+	policy := c.Retry.withDefaults()
+	attempts := policy.MaxAttempts
+	if !idempotent {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.count(func(s *ClientStats) { s.Retries++ })
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.jitter(policy, attempt-1)):
+			}
+		}
+		if b := c.Breaker; b != nil {
+			if err := b.allow(); err != nil {
+				c.count(func(s *ClientStats) { s.BreakerRejects++ })
+				lastErr = err
+				continue
+			}
+		}
+		c.count(func(s *ClientStats) { s.Attempts++ })
+		err := c.attempt(ctx, method, path, body, out)
+		if b := c.Breaker; b != nil {
+			b.record(err)
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt issues one HTTP round trip and decodes the response.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.AttemptTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	return c.decode(resp, out)
+}
+
 func (c *Client) decode(resp *http.Response, v any) error {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return fmt.Errorf("service client: reading response: %w", err)
+		// The connection dropped mid-response: a transport failure.
+		return &transportError{fmt.Errorf("service client: reading response: %w", err)}
 	}
 	if resp.StatusCode >= 400 {
 		var e struct {
@@ -74,7 +192,7 @@ func (c *Client) statusError(code int, msg string) error {
 	case http.StatusConflict:
 		return fmt.Errorf("%w (%s)", ErrNotFinished, msg)
 	default:
-		return fmt.Errorf("service client: HTTP %d: %s", code, msg)
+		return &httpStatusError{code: code, msg: msg}
 	}
 }
 
@@ -88,19 +206,13 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (JobStatus, error) {
 }
 
 // SubmitJSON posts raw spec bytes and returns the accepted job's
-// status.
+// status. Submission is retried under the client's policy: specs are
+// content-addressed, so a re-post after an ambiguous failure either
+// coalesces onto the in-flight job or hits the cache — it never runs
+// the work twice.
 func (c *Client) SubmitJSON(ctx context.Context, data []byte) (JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(data))
-	if err != nil {
-		return JobStatus{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return JobStatus{}, err
-	}
 	var st JobStatus
-	if err := c.decode(resp, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", data, &st, true); err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
@@ -108,16 +220,8 @@ func (c *Client) SubmitJSON(ctx context.Context, data []byte) (JobStatus, error)
 
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
-	if err != nil {
-		return JobStatus{}, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return JobStatus{}, err
-	}
 	var st JobStatus
-	if err := c.decode(resp, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st, true); err != nil {
 		return JobStatus{}, err
 	}
 	return st, nil
@@ -125,72 +229,88 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 
 // Result fetches a finished job's report bytes.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/result"), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
 	var raw []byte
-	if err := c.decode(resp, &raw); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw, true); err != nil {
 		return nil, err
 	}
 	return raw, nil
 }
 
-// Cancel asks the daemon to cancel a job.
+// Cancel asks the daemon to cancel a job. Cancellation is idempotent
+// (canceling a terminal job is a no-op), so it rides the retry policy.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.url("/v1/jobs/"+id), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return err
-	}
-	return c.decode(resp, nil)
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, true)
 }
 
 // AwaitResult polls the job until it finishes and returns the report
-// bytes, or the job's failure as an error.
+// bytes, or the job's failure as an error. Polling backs off
+// exponentially with jitter from PollInterval to PollMax, so a long
+// wait settles to ~1 poll/PollMax instead of a constant request load.
+// Transient poll failures (daemon restarting, circuit open) do not
+// abort the wait: with a journaled daemon the job ID survives the
+// restart, so AwaitResult simply resumes — the wait is bounded only
+// by ctx.
 func (c *Client) AwaitResult(ctx context.Context, id string) ([]byte, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
 	}
+	max := c.PollMax
+	if max <= 0 {
+		max = time.Second
+	}
+	policy := c.Retry.withDefaults()
+	wait := interval
 	for {
 		st, err := c.Job(ctx, id)
-		if err != nil {
-			return nil, err
-		}
-		if st.State.Terminal() {
-			if st.State != StateDone {
-				return nil, fmt.Errorf("service client: job %s %s: %s", id, st.State, st.Error)
+		switch {
+		case err == nil:
+			if st.State.Terminal() {
+				if st.State != StateDone {
+					return nil, fmt.Errorf("service client: job %s %s: %s", id, st.State, st.Error)
+				}
+				return c.Result(ctx, id)
 			}
-			return c.Result(ctx, id)
+		case retryable(err):
+			// The daemon is down or overloaded; keep waiting — the
+			// backoff below already paces us and the breaker already
+			// sheds the load.
+		default:
+			return nil, err
 		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(interval):
+		case <-time.After(c.pollJitter(policy, wait)):
+		}
+		wait = time.Duration(float64(wait) * 1.5)
+		if wait > max {
+			wait = max
 		}
 	}
 }
 
+// pollJitter spreads one poll sleep by the policy's jitter fraction.
+func (c *Client) pollJitter(p RetryPolicy, d time.Duration) time.Duration {
+	if p.Jitter <= 0 {
+		return d
+	}
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(int64(seed)))
+	}
+	return time.Duration(float64(d) * (1 + p.Jitter*(2*c.rng.Float64()-1)))
+}
+
 // Metrics fetches and parses /v1/metrics into a name -> value map.
 func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/metrics"), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
-	}
 	var raw []byte
-	if err := c.decode(resp, &raw); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &raw, true); err != nil {
 		return nil, err
 	}
 	out := make(map[string]float64)
@@ -206,6 +326,18 @@ func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
 		}
 	}
 	return out, nil
+}
+
+// Healthz fetches the daemon's liveness/drain state.
+func (c *Client) Healthz(ctx context.Context) (ok, draining bool, err error) {
+	var h struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h, true); err != nil {
+		return false, false, err
+	}
+	return h.OK, h.Draining, nil
 }
 
 // Local adapts an in-process Service to the Client's submit/await
@@ -224,24 +356,4 @@ func (l Local) SubmitJSON(_ context.Context, data []byte) (JobStatus, error) {
 // bytes.
 func (l Local) AwaitResult(ctx context.Context, id string) ([]byte, error) {
 	return l.Service.AwaitResult(ctx, id)
-}
-
-// Healthz fetches the daemon's liveness/drain state.
-func (c *Client) Healthz(ctx context.Context) (ok, draining bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/healthz"), nil)
-	if err != nil {
-		return false, false, err
-	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return false, false, err
-	}
-	var h struct {
-		OK       bool `json:"ok"`
-		Draining bool `json:"draining"`
-	}
-	if err := c.decode(resp, &h); err != nil {
-		return false, false, err
-	}
-	return h.OK, h.Draining, nil
 }

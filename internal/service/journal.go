@@ -1,0 +1,567 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The job journal is macd's crash-safety layer: an append-only,
+// CRC-checked write-ahead log of every job lifecycle transition, plus a
+// content-addressed on-disk result store. A daemon restarted on the
+// same journal directory replays the log, restores completed results
+// into the cache, re-queues jobs that were queued or running at crash
+// time, and keeps serving the same job IDs — so a client's AwaitResult
+// survives the restart.
+//
+// On-disk layout under the journal directory:
+//
+//	journal.log            frames: len u32le | crc32c u32le | JSON record
+//	results/ab/abcd....json result bytes for spec hash abcd..., written
+//	                       via tmp file + rename (visible ⇒ complete)
+//
+// The log is the source of truth; the result store is addressed by the
+// spec's canonical SHA-256 hash, so re-executing a lost job rewrites
+// byte-identical content. Appends are buffered in the OS page cache by
+// default (they survive a SIGKILL of the process; Config.JournalSync
+// adds an fsync per record for power-loss durability).
+
+// Op is a journal record's transition type.
+type Op string
+
+const (
+	// OpSubmit records a job's admission: ID, spec hash and the
+	// canonical spec bytes needed to re-queue it after a crash.
+	OpSubmit Op = "submit"
+	// OpStart records a worker picking the job up.
+	OpStart Op = "start"
+	// OpTerminal records the job's single terminal transition. A done
+	// job's result bytes live in the result store under the spec hash;
+	// the record carries their length and CRC.
+	OpTerminal Op = "terminal"
+	// OpRequeue is written by recovery for every job it re-queues, so
+	// a later terminal record for an already-terminal job is explained
+	// by the history rather than a double-completion.
+	OpRequeue Op = "requeue"
+)
+
+// Record is one journal entry. Submit records carry the canonical spec;
+// terminal records carry the state and, for done jobs, the stored
+// result's length and CRC32-Castagnoli.
+type Record struct {
+	Op   Op     `json:"op"`
+	Job  string `json:"job"`
+	Hash string `json:"hash,omitempty"`
+	// Spec holds the canonical spec bytes (submit records only).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// State is the terminal state (terminal records only).
+	State State  `json:"state,omitempty"`
+	Error string `json:"error,omitempty"`
+	// ResultLen/ResultCRC describe the result-store file of a done
+	// job, so recovery can detect a torn or missing result.
+	ResultLen int    `json:"result_len,omitempty"`
+	ResultCRC uint32 `json:"result_crc,omitempty"`
+}
+
+// JournalDamage describes where and why ParseJournal stopped early.
+// Everything from Offset on is unparseable (a torn tail write or
+// corruption) and is truncated away before the journal is appended to
+// again.
+type JournalDamage struct {
+	// Offset is the byte position of the first bad frame.
+	Offset int64
+	// Bytes is how many bytes from Offset to EOF were discarded.
+	Bytes int64
+	// Reason classifies the damage (truncated frame, CRC mismatch,
+	// bad JSON, oversized frame).
+	Reason string
+}
+
+func (d *JournalDamage) String() string {
+	if d == nil {
+		return "intact"
+	}
+	return fmt.Sprintf("%s at offset %d (%d bytes dropped)", d.Reason, d.Offset, d.Bytes)
+}
+
+// crcTable is the Castagnoli polynomial, matching the HMC link-layer
+// checksums elsewhere in the repo.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	journalFile = "journal.log"
+	// maxRecordBytes bounds one frame: a canonical spec is capped at
+	// maxSpecBytes, so anything larger is corruption, not data.
+	maxRecordBytes = maxSpecBytes + 4096
+)
+
+// encodeRecord renders one frame: little-endian payload length, CRC32C
+// of the payload, then the payload JSON.
+func encodeRecord(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding journal record: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// ParseJournal decodes journal bytes into records. It is total: no
+// input panics it. Parsing stops at the first damaged frame — a torn
+// tail, a CRC mismatch, an oversized length or undecodable JSON — and
+// the damage is reported rather than treated as an error: everything
+// before it is good, everything after it is untrustworthy (a frame
+// boundary cannot be re-found reliably once one frame is bad).
+func ParseJournal(data []byte) ([]Record, *JournalDamage) {
+	var recs []Record
+	off := int64(0)
+	damage := func(reason string) ([]Record, *JournalDamage) {
+		return recs, &JournalDamage{Offset: off, Bytes: int64(len(data)) - off, Reason: reason}
+	}
+	for int64(len(data))-off >= 8 {
+		n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n > maxRecordBytes {
+			return damage(fmt.Sprintf("oversized frame (%d bytes)", n))
+		}
+		if int64(len(data))-off-8 < n {
+			return damage("truncated frame")
+		}
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, crcTable) != want {
+			return damage("CRC mismatch")
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return damage("undecodable record JSON")
+		}
+		recs = append(recs, r)
+		off += 8 + n
+	}
+	if off != int64(len(data)) {
+		return damage("truncated frame header")
+	}
+	return recs, nil
+}
+
+// journal owns the open log file and the result store. Appends are
+// serialized by its own mutex; after close (clean drain or simulated
+// crash via Service.Kill) appends become silent no-ops, so a job that
+// outlives the "crashed" incarnation cannot leak post-crash state to
+// disk.
+type journal struct {
+	dir  string
+	sync bool
+
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+
+	appendErr error // first write failure, surfaced in Drain
+}
+
+// openJournal opens (creating if needed) dir's journal for appending,
+// truncating any damaged suffix found at offset truncateAt first so new
+// frames follow the last good one.
+func openJournal(dir string, syncEach bool, truncateAt int64) (*journal, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "results"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	if truncateAt >= 0 {
+		if err := f.Truncate(truncateAt); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("service: truncating damaged journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: seeking journal end: %w", err)
+	}
+	return &journal{dir: dir, sync: syncEach, f: f}, nil
+}
+
+// append writes one frame. Failures are sticky and reported once at
+// drain time; losing a record is indistinguishable from crashing
+// before it was written, which recovery already handles.
+func (j *journal) append(r Record) {
+	if j == nil {
+		return
+	}
+	frame, err := encodeRecord(r)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	if err == nil {
+		_, err = j.f.Write(frame)
+		if err == nil && j.sync {
+			err = j.f.Sync()
+		}
+	}
+	if err != nil && j.appendErr == nil {
+		j.appendErr = err
+	}
+}
+
+// close stops all future appends and result-store writes. drop=true is
+// the simulated-crash path (Service.Kill): the file handle is closed
+// without flushing intent; drop=false syncs first.
+func (j *journal) close(drop bool) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.appendErr
+	}
+	j.closed = true
+	var err error
+	if !drop {
+		err = j.f.Sync()
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	if j.appendErr != nil {
+		return j.appendErr
+	}
+	return err
+}
+
+// resultPath is the content address of a spec hash's stored result.
+func (j *journal) resultPath(hash string) string {
+	shard := "xx"
+	if len(hash) >= 2 {
+		shard = hash[:2]
+	}
+	return filepath.Join(j.dir, "results", shard, hash+".json")
+}
+
+// writeResult stores result bytes under their spec hash via tmp file +
+// rename, so a visible file is always complete (for a process crash;
+// see the package comment on power loss). Returns the bytes' CRC.
+func (j *journal) writeResult(hash string, data []byte) (uint32, error) {
+	crc := crc32.Checksum(data, crcTable)
+	j.mu.Lock()
+	closed := j.closed
+	j.mu.Unlock()
+	if closed {
+		return crc, nil
+	}
+	path := j.resultPath(hash)
+	if _, err := os.Stat(path); err == nil {
+		// Content-addressed: an existing file already holds these bytes.
+		return crc, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return crc, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return crc, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return crc, err
+	}
+	if j.sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return crc, err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return crc, err
+	}
+	return crc, os.Rename(tmp.Name(), path)
+}
+
+// readResult loads a stored result and verifies it against the length
+// and CRC its terminal record promised.
+func (j *journal) readResult(hash string, wantLen int, wantCRC uint32) ([]byte, bool) {
+	data, err := os.ReadFile(j.resultPath(hash))
+	if err != nil || len(data) != wantLen || crc32.Checksum(data, crcTable) != wantCRC {
+		return nil, false
+	}
+	return data, true
+}
+
+// lookupResult serves the on-disk store as a second-level result cache:
+// any complete stored file for hash is trusted (rename-visible means
+// fully written, and content addressing means the bytes are the job's
+// deterministic report).
+func (j *journal) lookupResult(hash string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(j.resultPath(hash))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// RecoveryReport summarizes one journal replay. macd logs it at
+// startup and Service.Recovery exposes it to embedders and tests.
+type RecoveryReport struct {
+	// Records is the count of well-formed records replayed.
+	Records int `json:"records"`
+	// Jobs is the count of distinct job IDs seen.
+	Jobs int `json:"jobs"`
+	// Completed jobs were restored terminal: done jobs with their
+	// results back in the cache, plus failed/canceled records.
+	Completed int `json:"completed"`
+	// Requeued jobs were queued or running at crash time (or their
+	// stored result was torn/missing) and were re-admitted.
+	Requeued int `json:"requeued"`
+	// DuplicateTerminals counts terminal records for already-terminal
+	// jobs that no requeue record explains.
+	DuplicateTerminals int `json:"duplicate_terminals,omitempty"`
+	// MissingResults counts done records whose stored result was
+	// missing or failed its CRC; those jobs are re-queued.
+	MissingResults int `json:"missing_results,omitempty"`
+	// OrphanRecords counts start/terminal/requeue records whose job
+	// has no submit record (lost to damage before them).
+	OrphanRecords int `json:"orphan_records,omitempty"`
+	// CorruptTruncated counts damaged-tail events (0 or 1 per replay:
+	// parsing stops at the first one) and TruncatedBytes how many
+	// bytes were dropped.
+	CorruptTruncated int    `json:"corrupt_truncated,omitempty"`
+	TruncatedBytes   int64  `json:"truncated_bytes,omitempty"`
+	DamageReason     string `json:"damage_reason,omitempty"`
+}
+
+func (r RecoveryReport) String() string {
+	s := fmt.Sprintf("replayed %d records, %d jobs: %d completed, %d requeued",
+		r.Records, r.Jobs, r.Completed, r.Requeued)
+	if r.DuplicateTerminals > 0 {
+		s += fmt.Sprintf(", %d duplicate terminals ignored", r.DuplicateTerminals)
+	}
+	if r.MissingResults > 0 {
+		s += fmt.Sprintf(", %d missing results", r.MissingResults)
+	}
+	if r.OrphanRecords > 0 {
+		s += fmt.Sprintf(", %d orphan records", r.OrphanRecords)
+	}
+	if r.CorruptTruncated > 0 {
+		s += fmt.Sprintf(", %s", (&JournalDamage{Reason: r.DamageReason, Bytes: r.TruncatedBytes}).Reason)
+		s += fmt.Sprintf(" (%d bytes truncated)", r.TruncatedBytes)
+	}
+	return s
+}
+
+// replayedJob is the folded state of one job after replay.
+type replayedJob struct {
+	id     string
+	hash   string
+	spec   json.RawMessage
+	state  State // queued/running if non-terminal at crash
+	errMsg string
+	result []byte // done jobs only
+	// requeues counts recovery re-admissions already on record, so a
+	// later terminal is legal for each one.
+	requeues int
+	terminal bool
+}
+
+// foldJournal reduces a record sequence to per-job end states plus the
+// report counters. Damage (if any) is folded into the report.
+func foldJournal(recs []Record, damage *JournalDamage, j *journal) (map[string]*replayedJob, []string, RecoveryReport) {
+	jobs := make(map[string]*replayedJob)
+	var order []string
+	rep := RecoveryReport{Records: len(recs)}
+	if damage != nil {
+		rep.CorruptTruncated = 1
+		rep.TruncatedBytes = damage.Bytes
+		rep.DamageReason = damage.Reason
+	}
+	for _, r := range recs {
+		switch r.Op {
+		case OpSubmit:
+			if _, ok := jobs[r.Job]; ok {
+				rep.OrphanRecords++ // duplicate submit: count as damage noise
+				continue
+			}
+			jobs[r.Job] = &replayedJob{id: r.Job, hash: r.Hash, spec: r.Spec, state: StateQueued}
+			order = append(order, r.Job)
+		case OpStart:
+			jb, ok := jobs[r.Job]
+			if !ok {
+				rep.OrphanRecords++
+				continue
+			}
+			if !jb.terminal {
+				jb.state = StateRunning
+			}
+		case OpRequeue:
+			jb, ok := jobs[r.Job]
+			if !ok {
+				rep.OrphanRecords++
+				continue
+			}
+			jb.requeues++
+			if jb.terminal {
+				// A requeue after terminal means the stored result was
+				// unusable; the job is live again.
+				jb.terminal = false
+				jb.state = StateQueued
+				jb.result = nil
+			}
+		case OpTerminal:
+			jb, ok := jobs[r.Job]
+			if !ok {
+				rep.OrphanRecords++
+				continue
+			}
+			if jb.terminal {
+				rep.DuplicateTerminals++
+				continue
+			}
+			jb.terminal = true
+			jb.state = r.State
+			jb.errMsg = r.Error
+			if r.State == StateDone && j != nil {
+				if data, ok := j.readResult(jb.hash, r.ResultLen, r.ResultCRC); ok {
+					jb.result = data
+				} else {
+					// Torn or missing result: the terminal promise is
+					// unusable, so the job goes back to the queue. Remove
+					// any corrupt file so the store-as-cache fallback
+					// cannot serve it; re-execution rewrites it.
+					os.Remove(j.resultPath(jb.hash))
+					rep.MissingResults++
+					jb.terminal = false
+					jb.state = StateQueued
+				}
+			}
+		default:
+			rep.OrphanRecords++
+		}
+	}
+	rep.Jobs = len(jobs)
+	return jobs, order, rep
+}
+
+// ReadJournal reads and parses dir's journal file. A missing file is
+// an empty history, not an error.
+func ReadJournal(dir string) ([]Record, *JournalDamage, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	recs, damage := ParseJournal(raw)
+	return recs, damage, nil
+}
+
+// VerifyJournal checks the job-lifecycle conservation invariants over
+// a full record history, possibly spanning several service
+// incarnations: every non-submit record references an admitted job; a
+// job reaches at most one terminal state per admission epoch (a
+// recovery requeue opens a new epoch); and nothing runs after a
+// terminal within an epoch. It returns human-readable violations —
+// empty means the history is conservation-clean. The final-state
+// question ("did every job finish?") is the caller's: FoldFinalStates
+// answers it.
+func VerifyJournal(recs []Record) []string {
+	type jstate struct {
+		submitted bool
+		terminal  bool
+	}
+	var violations []string
+	jobs := make(map[string]*jstate)
+	for i, r := range recs {
+		js := jobs[r.Job]
+		switch r.Op {
+		case OpSubmit:
+			if js != nil {
+				violations = append(violations, fmt.Sprintf("record %d: duplicate submit for %s", i, r.Job))
+				continue
+			}
+			jobs[r.Job] = &jstate{submitted: true}
+		case OpStart:
+			if js == nil {
+				violations = append(violations, fmt.Sprintf("record %d: start for unadmitted job %s", i, r.Job))
+				continue
+			}
+			if js.terminal {
+				violations = append(violations, fmt.Sprintf("record %d: start after terminal for %s", i, r.Job))
+			}
+		case OpRequeue:
+			if js == nil {
+				violations = append(violations, fmt.Sprintf("record %d: requeue for unadmitted job %s", i, r.Job))
+				continue
+			}
+			js.terminal = false
+		case OpTerminal:
+			if js == nil {
+				violations = append(violations, fmt.Sprintf("record %d: terminal for unadmitted job %s", i, r.Job))
+				continue
+			}
+			if js.terminal {
+				violations = append(violations, fmt.Sprintf("record %d: second terminal for %s without requeue", i, r.Job))
+				continue
+			}
+			if !r.State.Terminal() {
+				violations = append(violations, fmt.Sprintf("record %d: terminal record for %s carries non-terminal state %q", i, r.Job, r.State))
+				continue
+			}
+			js.terminal = true
+		default:
+			violations = append(violations, fmt.Sprintf("record %d: unknown op %q", i, r.Op))
+		}
+	}
+	return violations
+}
+
+// FoldFinalStates reduces a record history to each job's final state
+// (its last terminal, or queued/running if it never reached one) and
+// its spec hash.
+func FoldFinalStates(recs []Record) map[string]struct {
+	State State
+	Hash  string
+} {
+	out := make(map[string]struct {
+		State State
+		Hash  string
+	})
+	jobs, _, _ := foldJournal(recs, nil, nil)
+	for id, jb := range jobs {
+		st := jb.state
+		out[id] = struct {
+			State State
+			Hash  string
+		}{State: st, Hash: jb.hash}
+	}
+	return out
+}
+
+// jobSeq extracts the numeric sequence from a "j-%08d" job ID so a
+// recovered service continues numbering where the crashed one stopped.
+func jobSeq(id string) uint64 {
+	s := strings.TrimPrefix(id, "j-")
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,732 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// journalBytes reads dir's raw journal file.
+func journalBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// writeJournal replaces dir's journal file with the given frames.
+func writeJournal(t *testing.T, dir string, recs ...Record) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		frame, err := encodeRecord(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalFile), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drainService(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestJournalRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: OpSubmit, Job: "j-00000001", Hash: "abc", Spec: []byte(`{"kind":"run"}`)},
+		{Op: OpStart, Job: "j-00000001"},
+		{Op: OpTerminal, Job: "j-00000001", Hash: "abc", State: StateDone, ResultLen: 7, ResultCRC: 42},
+		{Op: OpRequeue, Job: "j-00000001", Hash: "abc"},
+		{Op: OpTerminal, Job: "j-00000001", State: StateFailed, Error: "boom"},
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		frame, err := encodeRecord(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	got, damage := ParseJournal(buf.Bytes())
+	if damage != nil {
+		t.Fatalf("unexpected damage: %s", damage)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Op != recs[i].Op || got[i].Job != recs[i].Job ||
+			got[i].State != recs[i].State || got[i].Error != recs[i].Error ||
+			got[i].ResultLen != recs[i].ResultLen || got[i].ResultCRC != recs[i].ResultCRC ||
+			string(got[i].Spec) != string(recs[i].Spec) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if v := VerifyJournal(got); len(v) != 0 {
+		t.Fatalf("round-tripped history has violations: %v", v)
+	}
+}
+
+// TestJournalCrashRecoveryEndToEnd is the in-process SIGKILL drill: a
+// journaled service is killed with jobs queued, running and done; a
+// second service on the same directory must serve the done job's
+// result from disk without re-running it and finish the interrupted
+// ones with byte-identical results under the original job IDs.
+func TestJournalCrashRecoveryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	r := &slowRunner{release: make(chan struct{})}
+
+	a, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doneSpec := mustSpec(t, runSpec(1))
+	runningSpec := mustSpec(t, runSpec(2))
+	queuedSpec := mustSpec(t, runSpec(3))
+
+	// Complete job 1: release the runner just for it.
+	release := r.release
+	r.release = nil
+	st1, err := a.Submit(doneSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	want1, err := a.AwaitResult(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 2 and 3: submit with the runner blocked so 2 is running and
+	// 3 is queued at crash time.
+	r.release = release
+	st2, err := a.Submit(runningSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3, err := a.Submit(queuedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, a, st2.ID, StateRunning)
+
+	a.Kill() // simulated SIGKILL: journal cut, workers abandoned
+
+	// The blocked worker would otherwise hold its runner call forever.
+	close(release)
+
+	rb := &slowRunner{}
+	b, err := newWithRunner(Config{Workers: 2, JournalDir: dir}, rb.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainService(t, b)
+	rec := b.Recovery()
+	if rec == nil {
+		t.Fatal("no recovery report")
+	}
+	if rec.Requeued != 2 {
+		t.Fatalf("recovery = %s, want 2 requeued", rec)
+	}
+	if rec.Completed != 1 {
+		t.Fatalf("recovery = %s, want 1 completed", rec)
+	}
+
+	// The done job's result must come back without re-execution.
+	got1, err := b.AwaitResult(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, want1) {
+		t.Fatalf("recovered result differs: %q vs %q", got1, want1)
+	}
+	st, err := b.Job(st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Recovered {
+		t.Fatalf("job %s not marked recovered: %+v", st1.ID, st)
+	}
+
+	// The interrupted jobs finish under their original IDs.
+	for _, id := range []string{st2.ID, st3.ID} {
+		got, err := b.AwaitResult(ctx, id)
+		if err != nil {
+			t.Fatalf("await %s: %v", id, err)
+		}
+		var want Spec
+		if id == st2.ID {
+			want = runningSpec
+		} else {
+			want = queuedSpec
+		}
+		h, err := want.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantBytes := []byte(`{"report":"` + h + `"}`); !bytes.Equal(got, wantBytes) {
+			t.Fatalf("job %s: got %q, want %q", id, got, wantBytes)
+		}
+	}
+	// The recovered service re-executes exactly the two interrupted
+	// jobs; the done job is served from the result store, never re-run.
+	if n := rb.callCount(); n != 2 {
+		t.Fatalf("recovered service made %d runner calls, want exactly 2", n)
+	}
+
+	drainService(t, b)
+	recs, damage, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damage != nil {
+		t.Fatalf("journal damaged: %s", damage)
+	}
+	if v := VerifyJournal(recs); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	final := FoldFinalStates(recs)
+	for _, id := range []string{st1.ID, st2.ID, st3.ID} {
+		if st := final[id]; st.State != StateDone {
+			t.Fatalf("job %s final state %s, want done", id, st.State)
+		}
+	}
+}
+
+func waitForState(t *testing.T, s *Service, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, st.State, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// crashedJournalDir builds a journal directory from a killed service
+// holding one done and one running job, and returns their statuses.
+func crashedJournalDir(t *testing.T) (dir string, done, running JobStatus, wantDone []byte) {
+	t.Helper()
+	dir = t.TempDir()
+	r := &slowRunner{release: make(chan struct{})}
+	a, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.release = nil
+	done, err = a.Submit(mustSpec(t, runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	wantDone, err = a.AwaitResult(ctx, done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	r.release = release
+	running, err = a.Submit(mustSpec(t, runSpec(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, a, running.ID, StateRunning)
+	a.Kill()
+	close(release)
+	return dir, done, running, wantDone
+}
+
+// TestJournalTruncatedTail tears the last frame mid-write: recovery
+// must keep everything before it, report the damage, and truncate the
+// tail so the journal is appendable again.
+func TestJournalTruncatedTail(t *testing.T) {
+	dir, done, running, wantDone := crashedJournalDir(t)
+	raw := journalBytes(t, dir)
+	// Tear the final frame: drop its last 3 bytes.
+	if err := os.WriteFile(filepath.Join(dir, journalFile), raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, damage := ParseJournal(raw[:len(raw)-3])
+	if damage == nil || damage.Reason != "truncated frame" {
+		t.Fatalf("damage = %s, want truncated frame", damage)
+	}
+
+	b, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, (&slowRunner{}).run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainService(t, b)
+	rec := *b.Recovery()
+	want := RecoveryReport{
+		Records: len(recs), Jobs: 2, Completed: 1, Requeued: 1,
+		CorruptTruncated: 1, TruncatedBytes: damage.Bytes, DamageReason: "truncated frame",
+	}
+	if rec != want {
+		t.Fatalf("recovery report:\n got %+v\nwant %+v", rec, want)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := b.AwaitResult(ctx, done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantDone) {
+		t.Fatalf("done result differs after tail truncation")
+	}
+	if _, err := b.AwaitResult(ctx, running.ID); err != nil {
+		t.Fatalf("requeued job after truncation: %v", err)
+	}
+
+	// The truncated tail must be gone: a clean drain leaves an intact,
+	// violation-free journal.
+	drainService(t, b)
+	recs2, damage2, err := ReadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damage2 != nil {
+		t.Fatalf("journal still damaged after truncate+drain: %s", damage2)
+	}
+	if v := VerifyJournal(recs2); len(v) != 0 {
+		t.Fatalf("violations after recovery: %v", v)
+	}
+}
+
+// TestJournalCorruptCRCMidFile flips one payload byte in the middle of
+// the log: everything from that frame on must be dropped and the jobs
+// whose records were lost must still converge after re-submission.
+func TestJournalCorruptCRCMidFile(t *testing.T) {
+	dir, done, _, wantDone := crashedJournalDir(t)
+	raw := journalBytes(t, dir)
+
+	// Find the second frame's payload and flip a byte in it.
+	first := int64(binary.LittleEndian.Uint32(raw[0:4])) + 8
+	if int(first)+9 > len(raw) {
+		t.Fatalf("journal too short for a mid-file flip: %d bytes", len(raw))
+	}
+	raw[first+8] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, journalFile), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, damage := ParseJournal(raw)
+	if damage == nil || damage.Reason != "CRC mismatch" {
+		t.Fatalf("damage = %s, want CRC mismatch", damage)
+	}
+	if len(recs) != 1 || damage.Offset != first {
+		t.Fatalf("parse stopped at %d records / offset %d, want 1 / %d", len(recs), damage.Offset, first)
+	}
+
+	b, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, (&slowRunner{}).run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainService(t, b)
+	rec := *b.Recovery()
+	// Only the first submit survives; its terminal record is gone, but
+	// the result store still holds the bytes, so the job is restored
+	// done from disk (Completed), not re-queued.
+	want := RecoveryReport{
+		Records: 1, Jobs: 1, Completed: 1,
+		CorruptTruncated: 1, TruncatedBytes: damage.Bytes, DamageReason: "CRC mismatch",
+	}
+	if rec != want {
+		t.Fatalf("recovery report:\n got %+v\nwant %+v", rec, want)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := b.AwaitResult(ctx, done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantDone) {
+		t.Fatalf("done result differs after mid-file corruption")
+	}
+}
+
+// TestJournalDuplicateTerminal hand-crafts a history where one job has
+// two terminal records without a requeue: replay must keep the first,
+// count the duplicate, and VerifyJournal must flag it.
+func TestJournalDuplicateTerminal(t *testing.T) {
+	dir := t.TempDir()
+	spec := mustSpec(t, runSpec(1))
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeJournal(t, dir,
+		Record{Op: OpSubmit, Job: "j-00000001", Hash: hash, Spec: canon},
+		Record{Op: OpStart, Job: "j-00000001"},
+		Record{Op: OpTerminal, Job: "j-00000001", State: StateFailed, Error: "first"},
+		Record{Op: OpTerminal, Job: "j-00000001", State: StateCanceled, Error: "second"},
+	)
+
+	recs, damage, err := ReadJournal(dir)
+	if err != nil || damage != nil {
+		t.Fatalf("read: %v / %s", err, damage)
+	}
+	v := VerifyJournal(recs)
+	if len(v) != 1 || v[0] != "record 3: second terminal for j-00000001 without requeue" {
+		t.Fatalf("violations = %v", v)
+	}
+
+	b, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, (&slowRunner{}).run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainService(t, b)
+	rec := *b.Recovery()
+	want := RecoveryReport{Records: 4, Jobs: 1, Completed: 1, DuplicateTerminals: 1}
+	if rec != want {
+		t.Fatalf("recovery report:\n got %+v\nwant %+v", rec, want)
+	}
+	st, err := b.Job("j-00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || st.Error != "first" {
+		t.Fatalf("duplicate terminal won: %+v", st)
+	}
+}
+
+// TestJournalTornResult simulates a crash between the terminal journal
+// append and result-store durability: the terminal record promises
+// result bytes that are missing (or corrupt) on disk, so recovery must
+// re-queue the job instead of serving garbage.
+func TestJournalTornResult(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"missing", func(t *testing.T, path string) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"torn", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, done, running, wantDone := crashedJournalDir(t)
+			j := &journal{dir: dir}
+			tc.corrupt(t, j.resultPath(done.Hash))
+
+			rr := &slowRunner{}
+			b, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, rr.run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer drainService(t, b)
+			rec := *b.Recovery()
+			if rec.MissingResults != 1 {
+				t.Fatalf("recovery = %+v, want 1 missing result", rec)
+			}
+			if rec.Requeued != 2 {
+				t.Fatalf("recovery = %+v, want both jobs requeued", rec)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			// The job must be re-executed and produce the same bytes.
+			got, err := b.AwaitResult(ctx, done.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, wantDone) {
+				t.Fatalf("re-run after torn result differs: %q vs %q", got, wantDone)
+			}
+			if _, err := b.AwaitResult(ctx, running.ID); err != nil {
+				t.Fatal(err)
+			}
+			if rr.callCount() == 0 {
+				t.Fatal("torn result served without re-execution")
+			}
+
+			// The full history (both incarnations) stays conservation-
+			// clean: the requeue record legitimizes the second terminal.
+			drainService(t, b)
+			recs, damage, err := ReadJournal(dir)
+			if err != nil || damage != nil {
+				t.Fatalf("read: %v / %s", err, damage)
+			}
+			if v := VerifyJournal(recs); len(v) != 0 {
+				t.Fatalf("violations: %v", v)
+			}
+		})
+	}
+}
+
+// TestJournalOrphanRecords covers records whose submit was lost to
+// damage: they must be counted, not crash recovery.
+func TestJournalOrphanRecords(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir,
+		Record{Op: OpStart, Job: "j-00000009"},
+		Record{Op: OpTerminal, Job: "j-00000009", State: StateFailed},
+		Record{Op: OpRequeue, Job: "j-00000009"},
+		Record{Op: "bogus", Job: "j-00000010"},
+	)
+	b, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, (&slowRunner{}).run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainService(t, b)
+	rec := *b.Recovery()
+	want := RecoveryReport{Records: 4, OrphanRecords: 4}
+	if rec != want {
+		t.Fatalf("recovery report:\n got %+v\nwant %+v", rec, want)
+	}
+}
+
+// TestJournalSeqContinues pins that job numbering continues across the
+// restart, so recovered and fresh IDs never collide.
+func TestJournalSeqContinues(t *testing.T) {
+	dir, done, running, _ := crashedJournalDir(t)
+	b, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, (&slowRunner{}).run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainService(t, b)
+	st, err := b.Submit(mustSpec(t, runSpec(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == done.ID || st.ID == running.ID {
+		t.Fatalf("fresh job reused a recovered ID: %s", st.ID)
+	}
+	if jobSeq(st.ID) <= jobSeq(running.ID) {
+		t.Fatalf("sequence did not continue: fresh %s after recovered %s", st.ID, running.ID)
+	}
+}
+
+// TestDrainSubmitRace pins the Drain/Submit contract under the race
+// detector: submissions concurrent with Drain either are accepted and
+// then complete, or fail with exactly ErrDraining (never a panic on a
+// closed queue, never a lost job); every submission after Drain
+// returns is ErrDraining.
+func TestDrainSubmitRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		r := &slowRunner{}
+		s, err := newWithRunner(Config{Workers: 2, QueueDepth: 256}, r.run)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const submitters = 8
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		accepted := make([]string, 0, submitters*32)
+		stop := make(chan struct{})
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st, err := s.Submit(mustSpec(t, runSpec(g*1000+i)))
+					if errors.Is(err, ErrQueueFull) {
+						continue // backpressure, not drain
+					}
+					if err != nil {
+						if !errors.Is(err, ErrDraining) {
+							t.Errorf("submit during drain: %v", err)
+						}
+						return
+					}
+					mu.Lock()
+					accepted = append(accepted, st.ID)
+					mu.Unlock()
+				}
+			}(g)
+		}
+
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := s.Drain(ctx); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		close(stop)
+		wg.Wait()
+		cancel()
+
+		// After Drain has returned, submissions are deterministically
+		// rejected.
+		if _, err := s.Submit(mustSpec(t, runSpec(424242))); !errors.Is(err, ErrDraining) {
+			t.Fatalf("post-drain submit: %v, want ErrDraining", err)
+		}
+		// Every accepted job reached a terminal state.
+		for _, id := range accepted {
+			st, err := s.Job(id)
+			if err != nil {
+				t.Fatalf("job %s lost: %v", id, err)
+			}
+			if !st.State.Terminal() {
+				t.Fatalf("accepted job %s not terminal after drain: %s", id, st.State)
+			}
+		}
+	}
+}
+
+// TestJournalAppendAfterKillIsNoop pins the crash simulation: once
+// Kill has cut the journal, a lingering worker finishing its job must
+// not leak a terminal record or result file to disk.
+func TestJournalAppendAfterKillIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	r := &slowRunner{release: make(chan struct{})}
+	s, err := newWithRunner(Config{Workers: 1, JournalDir: dir}, r.run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Submit(mustSpec(t, runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, s, st.ID, StateRunning)
+	before := journalBytes(t, dir)
+	s.Kill()
+	close(r.release)
+	// Give the lingering worker time to (wrongly) finalize.
+	time.Sleep(50 * time.Millisecond)
+	after := journalBytes(t, dir)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("journal grew %d bytes after Kill", len(after)-len(before))
+	}
+	j := &journal{dir: dir}
+	if _, err := os.Stat(j.resultPath(st.Hash)); !os.IsNotExist(err) {
+		t.Fatalf("result file leaked to disk after Kill: %v", err)
+	}
+}
+
+func FuzzParseJournal(f *testing.F) {
+	// Seed with a valid two-record log, a torn tail, and a CRC flip.
+	frame := func(r Record) []byte {
+		b, err := encodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	valid := append(
+		frame(Record{Op: OpSubmit, Job: "j-00000001", Hash: "ab", Spec: []byte(`{"kind":"run"}`)}),
+		frame(Record{Op: OpTerminal, Job: "j-00000001", State: StateDone, ResultLen: 3, ResultCRC: 9})...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, damage := ParseJournal(data)
+		// Total: never panics, and the parse is exact — re-encoding the
+		// accepted records reproduces the prefix before the damage.
+		var buf bytes.Buffer
+		for _, r := range recs {
+			b, err := encodeRecord(r)
+			if err != nil {
+				t.Fatalf("accepted record does not re-encode: %v", err)
+			}
+			buf.Write(b)
+		}
+		prefix := int64(len(data))
+		if damage != nil {
+			prefix = damage.Offset
+			if damage.Offset+damage.Bytes != int64(len(data)) {
+				t.Fatalf("damage accounting: offset %d + bytes %d != len %d",
+					damage.Offset, damage.Bytes, len(data))
+			}
+		}
+		if int64(buf.Len()) != prefix {
+			// JSON re-encoding is canonical (struct-driven), but the
+			// input payload may use different key order/whitespace, so
+			// only require length bookkeeping when records were taken
+			// verbatim. Check frame count instead.
+			reparsed, d2 := ParseJournal(buf.Bytes())
+			if d2 != nil {
+				t.Fatalf("re-encoded journal is damaged: %s", d2)
+			}
+			if len(reparsed) != len(recs) {
+				t.Fatalf("re-encode round trip lost records: %d vs %d", len(reparsed), len(recs))
+			}
+		}
+		// VerifyJournal and FoldFinalStates are total too.
+		_ = VerifyJournal(recs)
+		_ = FoldFinalStates(recs)
+	})
+}
+
+func TestReadJournalMissing(t *testing.T) {
+	recs, damage, err := ReadJournal(t.TempDir())
+	if err != nil || damage != nil || recs != nil {
+		t.Fatalf("missing journal: recs=%v damage=%s err=%v", recs, damage, err)
+	}
+}
+
+func TestRecoveryReportString(t *testing.T) {
+	r := RecoveryReport{Records: 7, Jobs: 3, Completed: 2, Requeued: 1,
+		DuplicateTerminals: 1, MissingResults: 1, OrphanRecords: 2,
+		CorruptTruncated: 1, TruncatedBytes: 13, DamageReason: "CRC mismatch"}
+	s := r.String()
+	for _, want := range []string{"7 records", "3 jobs", "2 completed", "1 requeued",
+		"duplicate terminals", "missing results", "orphan records", "13 bytes truncated"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// TestJournalBadDir pins the error path: an unusable journal directory
+// fails construction instead of running unjournaled.
+func TestJournalBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newWithRunner(Config{Workers: 1, JournalDir: file}, (&slowRunner{}).run); err == nil {
+		t.Fatal("service started on a file as journal dir")
+	}
+}

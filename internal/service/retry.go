@@ -1,0 +1,251 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// The client's resilience layer: jittered exponential backoff with a
+// bounded retry budget, and a half-open circuit breaker that stops
+// poll storms from hammering a dying daemon. Retries are only issued
+// for calls that are safe to repeat — every GET, and Submit, which
+// content addressing makes idempotent (re-posting an identical spec
+// coalesces or cache-hits instead of re-executing).
+
+// ErrCircuitOpen rejects a call immediately because the breaker has
+// seen too many consecutive failures and its cooldown has not elapsed.
+var ErrCircuitOpen = errors.New("service client: circuit breaker open")
+
+// RetryPolicy bounds and paces the client's retries. The zero value
+// retries nothing (one attempt, no backoff) so existing callers keep
+// their semantics; DefaultRetryPolicy is the recommended production
+// setting.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per call, first included
+	// (<=1 means no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 25ms when
+	// retries are enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly in ±Jitter fraction of
+	// itself, de-synchronizing client herds (default 0.2; 0 disables
+	// only if JitterSet... use a negative value to force none).
+	Jitter float64
+	// Seed seeds the deterministic jitter stream (0 means seed 1), so
+	// a replayed test sees the same delays.
+	Seed uint64
+}
+
+// DefaultRetryPolicy is the recommended client policy: five attempts,
+// 25ms..2s exponential backoff with 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 25 * time.Millisecond, MaxDelay: 2 * time.Second, Multiplier: 2, Jitter: 0.2}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// delay computes the backoff before attempt (1-based: the sleep after
+// the attempt-th failure), capped and jittered from rng.
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		// Uniform in [1-Jitter, 1+Jitter].
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// retryable classifies an error as safe to retry: transport failures
+// (the daemon may be restarting), backpressure (429), drain (503 — a
+// supervisor is likely cycling the process) and server-side 5xx. Spec
+// rejections, unknown jobs and job-level failures are permanent.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) || errors.Is(err, ErrCircuitOpen) {
+		return true
+	}
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.code >= 500
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	// Anything else that reached the transport and failed (connection
+	// refused/reset, EOF mid-response) arrives as a *url.Error or
+	// syscall error; treat transportErr-tagged failures as retryable.
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// transportError tags request-transport failures (conn refused, reset,
+// dropped mid-response) so retryable() can tell them from decode-level
+// or API-level errors.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// httpStatusError carries a non-sentinel HTTP failure with its code so
+// the retry layer can distinguish 5xx from 4xx.
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("service client: HTTP %d: %s", e.code, e.msg)
+}
+
+// Breaker is a half-open circuit breaker. Closed, it passes calls and
+// counts consecutive failures; at FailureThreshold it opens and fails
+// calls fast with ErrCircuitOpen; after Cooldown it half-opens and
+// lets one probe through — success closes it, failure re-opens it.
+// The zero value is usable (threshold 5, cooldown 1s). Safe for
+// concurrent use; share one Breaker across the clients of one daemon.
+type Breaker struct {
+	// FailureThreshold is the consecutive-failure count that opens
+	// the circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before allowing a
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	fails    int
+	openedAt time.Time
+	probing  bool
+	opens    uint64
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+// allow gates one call. It returns ErrCircuitOpen while the circuit
+// is open (or a half-open probe is already in flight).
+func (b *Breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold() {
+		return nil
+	}
+	if b.clock().Sub(b.openedAt) < b.cooldown() {
+		return ErrCircuitOpen
+	}
+	// Half-open: one probe at a time.
+	if b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// record reports one call's outcome. Only transport-level failures
+// count against the circuit: API-level rejections (bad spec, unknown
+// job, even 429) prove the daemon is alive.
+func (b *Breaker) record(err error) {
+	countable := err != nil && retryable(err) && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrCircuitOpen)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if !countable {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails == b.threshold() {
+		b.openedAt = b.clock()
+		b.opens++
+	} else if b.fails > b.threshold() {
+		// A failed half-open probe re-arms the cooldown.
+		b.fails = b.threshold()
+		b.openedAt = b.clock()
+		b.opens++
+	}
+}
+
+// Opens returns how many times the circuit has opened (including
+// failed half-open probes re-opening it).
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// ClientStats counts the client's resilience activity.
+type ClientStats struct {
+	// Attempts is every HTTP attempt issued, retries included.
+	Attempts uint64
+	// Retries is how many attempts were re-issues after a retryable
+	// failure.
+	Retries uint64
+	// BreakerRejects counts calls failed fast by the open circuit.
+	BreakerRejects uint64
+}

@@ -1,0 +1,363 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDelayGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 80 * time.Millisecond, Multiplier: 2, Jitter: -1}.withDefaults()
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := p.delay(i+1, nil); d != w {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+func TestRetryPolicyJitterBoundsAndDeterminism(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond,
+		MaxDelay: time.Second, Multiplier: 2, Jitter: 0.2}.withDefaults()
+	draw := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		var out []time.Duration
+		for i := 0; i < 32; i++ {
+			out = append(out, p.delay(1, rng))
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter draw %d not deterministic: %v vs %v", i, a[i], b[i])
+		}
+		lo, hi := 80*time.Millisecond, 120*time.Millisecond
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", a[i], lo, hi)
+		}
+	}
+}
+
+func TestRetryPolicyZeroValueMakesOneAttempt(t *testing.T) {
+	if got := (RetryPolicy{}).withDefaults().MaxAttempts; got != 1 {
+		t.Fatalf("zero policy MaxAttempts = %d, want 1", got)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrQueueFull, true},
+		{ErrDraining, true},
+		{ErrCircuitOpen, true},
+		{fmt.Errorf("wrapped: %w", ErrDraining), true},
+		{&httpStatusError{code: 500, msg: "boom"}, true},
+		{&httpStatusError{code: 502, msg: "bad gateway"}, true},
+		{&httpStatusError{code: 400, msg: "bad spec"}, false},
+		{&transportError{errors.New("connection refused")}, true},
+		{ErrUnknownJob, false},
+		{ErrNotFinished, false},
+		{errors.New("some decode error"), false},
+	} {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestBreakerOpensAtThresholdAndHalfOpens(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &Breaker{FailureThreshold: 3, Cooldown: time.Second,
+		now: func() time.Time { return now }}
+	fail := &transportError{errors.New("refused")}
+
+	for i := 0; i < 3; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("allow before threshold (%d): %v", i, err)
+		}
+		b.record(fail)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens = %d, want 1", b.Opens())
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow while open: %v, want ErrCircuitOpen", err)
+	}
+
+	// After cooldown: exactly one half-open probe at a time.
+	now = now.Add(2 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second concurrent probe allowed")
+	}
+	// Failed probe re-opens and re-arms the cooldown.
+	b.record(fail)
+	if b.Opens() != 2 {
+		t.Fatalf("Opens after failed probe = %d, want 2", b.Opens())
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("allow right after failed probe: %v", err)
+	}
+
+	// Successful probe closes the circuit.
+	now = now.Add(2 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.record(nil)
+	if err := b.allow(); err != nil {
+		t.Fatalf("allow after recovery: %v", err)
+	}
+}
+
+func TestBreakerIgnoresAPILevelErrors(t *testing.T) {
+	b := &Breaker{FailureThreshold: 2, Cooldown: time.Hour}
+	// 429s and spec rejections prove the daemon is alive; they must not
+	// trip the breaker (and a non-countable outcome resets the streak).
+	for i := 0; i < 10; i++ {
+		b.record(ErrQueueFull)
+		b.record(ErrUnknownJob)
+		b.record(&httpStatusError{code: 400, msg: "bad"})
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("breaker tripped by API-level errors: %v", err)
+	}
+	// A success between transport failures resets the streak.
+	fail := &transportError{errors.New("reset")}
+	b.record(fail)
+	b.record(nil)
+	b.record(fail)
+	if err := b.allow(); err != nil {
+		t.Fatalf("breaker tripped without consecutive failures: %v", err)
+	}
+}
+
+// flakyHandler fails the first n requests with the given status, then
+// delegates.
+type flakyHandler struct {
+	mu     sync.Mutex
+	fails  int
+	status int
+	next   http.Handler
+	seen   int
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	h.seen++
+	failing := h.seen <= h.fails
+	h.mu.Unlock()
+	if failing {
+		http.Error(w, `{"error":"transient"}`, h.status)
+		return
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+func fastRetryClient(url string) *Client {
+	return &Client{
+		BaseURL:      url,
+		PollInterval: time.Millisecond,
+		Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+			MaxDelay: 5 * time.Millisecond, Multiplier: 2, Jitter: -1},
+	}
+}
+
+func TestClientRetries5xxThenSucceeds(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1}, (&slowRunner{}).run)
+	fh := &flakyHandler{fails: 3, status: http.StatusInternalServerError, next: Handler(s)}
+	srv := httptest.NewServer(fh)
+	defer srv.Close()
+
+	c := fastRetryClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.SubmitJSON(ctx, []byte(runSpec(1)))
+	if err != nil {
+		t.Fatalf("submit through 3 transient 500s: %v", err)
+	}
+	if _, err := c.AwaitResult(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Stats()
+	if stats.Retries < 3 {
+		t.Fatalf("stats = %+v, want >= 3 retries", stats)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1}, (&slowRunner{}).run)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	c := fastRetryClient(srv.URL)
+	ctx := context.Background()
+	if _, err := c.SubmitJSON(ctx, []byte(`{"kind":"nope"}`)); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if got := c.Stats(); got.Retries != 0 || got.Attempts != 1 {
+		t.Fatalf("stats = %+v, want one attempt, zero retries", got)
+	}
+	if _, err := c.Job(ctx, "j-99999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown job: %v", err)
+	}
+	if got := c.Stats(); got.Retries != 0 {
+		t.Fatalf("stats = %+v after 404, want zero retries", got)
+	}
+}
+
+func TestClientRetriesExhaustSurfaceLastError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"still dead"}`, http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	c := fastRetryClient(srv.URL)
+	_, err := c.Job(context.Background(), "j-00000001")
+	var he *httpStatusError
+	if !errors.As(err, &he) || he.code != http.StatusBadGateway {
+		t.Fatalf("err = %v, want httpStatusError 502", err)
+	}
+	if got := c.Stats(); got.Attempts != 5 || got.Retries != 4 {
+		t.Fatalf("stats = %+v, want 5 attempts / 4 retries", got)
+	}
+}
+
+func TestClientBreakerFailsFastAndRecovers(t *testing.T) {
+	var dead atomic.Bool
+	dead.Store(true)
+	s := newTestService(t, Config{Workers: 1}, (&slowRunner{}).run)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if dead.Load() {
+			http.Error(w, `{"error":"restarting"}`, http.StatusInternalServerError)
+			return
+		}
+		Handler(s).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := fastRetryClient(srv.URL)
+	c.Breaker = &Breaker{FailureThreshold: 3, Cooldown: 10 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Enough failing calls to trip the breaker.
+	if _, err := c.Job(ctx, "j-00000001"); err == nil {
+		t.Fatal("call against dead daemon succeeded")
+	}
+	if c.Breaker.Opens() == 0 {
+		t.Fatal("breaker never opened")
+	}
+	if got := c.Stats(); got.BreakerRejects == 0 {
+		t.Fatalf("stats = %+v, want breaker rejects", got)
+	}
+
+	// Daemon comes back; after the cooldown a probe closes the circuit.
+	dead.Store(false)
+	time.Sleep(20 * time.Millisecond)
+	st, err := c.SubmitJSON(ctx, []byte(runSpec(2)))
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	if _, err := c.AwaitResult(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAwaitResultSurvivesOutage pins the restart-resilient wait: polls
+// that fail with retryable errors keep waiting instead of aborting.
+func TestAwaitResultSurvivesOutage(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1}, (&slowRunner{}).run)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	c := fastRetryClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.SubmitJSON(ctx, []byte(runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An outage in front of the status endpoint: 500s for a while.
+	var outage atomic.Bool
+	outage.Store(true)
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if outage.Load() {
+			http.Error(w, `{"error":"mid-restart"}`, http.StatusServiceUnavailable)
+			return
+		}
+		Handler(s).ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+	c2 := fastRetryClient(proxy.URL)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c2.AwaitResult(ctx, st.ID)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("AwaitResult returned during outage: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	outage.Store(false)
+	if err := <-done; err != nil {
+		t.Fatalf("AwaitResult after outage ended: %v", err)
+	}
+}
+
+// TestAwaitResultBacksOff pins that idle polling grows toward PollMax
+// instead of hammering at a constant rate.
+func TestAwaitResultBacksOff(t *testing.T) {
+	r := &slowRunner{release: make(chan struct{})}
+	s := newTestService(t, Config{Workers: 1}, r.run)
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method == http.MethodGet {
+			polls.Add(1)
+		}
+		Handler(s).ServeHTTP(w, req)
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL,
+		PollInterval: time.Millisecond, PollMax: 40 * time.Millisecond,
+		Retry: RetryPolicy{MaxAttempts: 1, Jitter: -1}}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.SubmitJSON(ctx, []byte(runSpec(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		close(r.release)
+	}()
+	if _, err := c.AwaitResult(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Constant 1ms polling over ~300ms would be ~300 polls; exponential
+	// backoff to 40ms caps it far lower.
+	if n := polls.Load(); n > 60 {
+		t.Fatalf("%d polls over ~300ms: backoff not applied", n)
+	}
+}

@@ -4,12 +4,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"mac3d/internal/obs"
 	"mac3d/internal/stats"
 )
+
+// RunFunc executes one spec and returns its report bytes. The service
+// runs specs through mac3d.Run/Compare/RunNUMA by default; tests and
+// chaos injectors substitute or wrap it.
+type RunFunc func(Spec) ([]byte, error)
 
 // Config parameterizes a Service.
 type Config struct {
@@ -31,6 +38,21 @@ type Config struct {
 	// status/result queries before the oldest are forgotten
 	// (default 4096).
 	RetainJobs int
+	// JournalDir enables the crash-safe job journal: every lifecycle
+	// transition is logged to an append-only CRC-checked WAL in this
+	// directory and done results are stored content-addressed next to
+	// it. A service restarted on the same directory replays the log,
+	// restores completed results and re-queues interrupted jobs.
+	// Empty disables journaling.
+	JournalDir string
+	// JournalSync fsyncs every journal append and result-store write.
+	// Off by default: the page cache survives a killed process, and
+	// recovery treats a lost tail exactly like a slightly earlier
+	// crash. Turn it on for power-loss durability.
+	JournalSync bool
+	// WrapRunner, when set, wraps the spec executor — the hook the
+	// svcchaos injector uses to kill or stall workers mid-run.
+	WrapRunner func(RunFunc) RunFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +103,12 @@ var (
 	ErrUnknownJob = errors.New("service: unknown job")
 	// ErrNotFinished means the job has no result yet (HTTP 409).
 	ErrNotFinished = errors.New("service: job not finished")
+	// ErrWorkerKilled is returned by a chaos-wrapped runner to
+	// simulate the worker dying mid-run: the job is NOT finalized —
+	// it stays "running" with no terminal journal record, exactly the
+	// state a real crash leaves behind — and only a restart's journal
+	// replay re-queues it.
+	ErrWorkerKilled = errors.New("service: worker killed (chaos)")
 )
 
 // job is the service-side record of one submission.
@@ -92,6 +120,7 @@ type job struct {
 	state     State
 	cached    bool
 	coalesced bool
+	recovered bool
 	errMsg    string
 	result    []byte
 
@@ -121,7 +150,10 @@ type JobStatus struct {
 	Cached bool `json:"cached,omitempty"`
 	// Coalesced marks a job that attached to an identical in-flight
 	// job instead of executing on its own.
-	Coalesced bool   `json:"coalesced,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Recovered marks a job restored or re-queued from the journal
+	// after a restart.
+	Recovered bool   `json:"recovered,omitempty"`
 	Error     string `json:"error,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
@@ -131,15 +163,17 @@ type JobStatus struct {
 
 // Service is the simulation-as-a-service engine: a bounded job queue
 // feeding a worker pool, with single-flight coalescing of identical
-// specs and a content-addressed result cache. All methods are safe for
-// concurrent use.
+// specs, a content-addressed result cache and an optional crash-safe
+// job journal. All methods are safe for concurrent use.
 type Service struct {
-	cfg   Config
-	cache *resultCache
-	reg   *obs.Registry
+	cfg     Config
+	cache   *resultCache
+	reg     *obs.Registry
+	journal *journal
+	rec     *RecoveryReport
 
-	// run executes one spec; tests substitute a fake.
-	run func(Spec) ([]byte, error)
+	// run executes one spec; tests substitute a fake and chaos wraps.
+	run RunFunc
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -148,6 +182,7 @@ type Service struct {
 	queue    chan *job
 	seq      uint64
 	draining bool
+	killed   bool
 	busy     int
 
 	// counters under mu (exposed as registry funcs).
@@ -158,6 +193,8 @@ type Service struct {
 	nTimeout   uint64
 	nRejected  uint64
 	nCoalesced uint64
+	nKilled    uint64
+	nRecovered uint64
 
 	queueWaitUs stats.Histogram
 	runUs       stats.Histogram
@@ -165,17 +202,21 @@ type Service struct {
 	wg sync.WaitGroup
 }
 
-// New starts a service with cfg's worker pool. Stop it with Drain.
+// New starts a service with cfg's worker pool, replaying cfg.JournalDir
+// first when set. Stop it with Drain.
 func New(cfg Config) (*Service, error) {
 	return newWithRunner(cfg, execute)
 }
 
 // newWithRunner lets tests substitute the spec executor before the
 // worker pool starts.
-func newWithRunner(cfg Config, run func(Spec) ([]byte, error)) (*Service, error) {
+func newWithRunner(cfg Config, run RunFunc) (*Service, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Workers < 0 || cfg.QueueDepth < 0 || cfg.RetainJobs < 0 {
 		return nil, fmt.Errorf("service: negative Config value: %+v", cfg)
+	}
+	if cfg.WrapRunner != nil {
+		run = cfg.WrapRunner(run)
 	}
 	s := &Service{
 		cfg:      cfg,
@@ -184,15 +225,154 @@ func newWithRunner(cfg Config, run func(Spec) ([]byte, error)) (*Service, error)
 		run:      run,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
-		queue:    make(chan *job, cfg.QueueDepth),
 	}
 	s.registerMetrics()
+	var requeue []*job
+	if cfg.JournalDir != "" {
+		var err error
+		requeue, err = s.recover(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The queue must hold every re-queued job even when there are more
+	// of them than QueueDepth: recovery re-admits, it never re-rejects.
+	s.queue = make(chan *job, cfg.QueueDepth+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
 }
+
+// recover replays the journal in dir: completed results go back into
+// the cache under their original job IDs, interrupted jobs are rebuilt
+// and returned for re-queueing (with requeue records on the log), and
+// the journal is re-opened for appending past any truncated damage.
+func (s *Service) recover(dir string) ([]*job, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+	recs, damage := ParseJournal(raw)
+	truncateAt := int64(-1)
+	if damage != nil {
+		truncateAt = damage.Offset
+	}
+	jr, err := openJournal(dir, s.cfg.JournalSync, truncateAt)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = jr
+	folded, order, rep := foldJournal(recs, damage, jr)
+
+	now := time.Now()
+	var requeue []*job
+	for _, id := range order {
+		rj := folded[id]
+		if n := jobSeq(rj.id); n > s.seq {
+			s.seq = n
+		}
+		j := &job{
+			id:        rj.id,
+			hash:      rj.hash,
+			state:     rj.state,
+			errMsg:    rj.errMsg,
+			recovered: true,
+			submitted: now,
+			done:      make(chan struct{}),
+		}
+		if len(rj.spec) > 0 {
+			if spec, err := ParseSpec(rj.spec); err == nil {
+				j.spec = spec
+			} else if !rj.terminal {
+				// A live job whose recorded spec no longer parses (e.g.
+				// written by an incompatible build) cannot be re-run.
+				j.state = StateFailed
+				j.errMsg = fmt.Sprintf("service: recovered spec no longer parses: %v", err)
+				j.finished = now
+				close(j.done)
+				s.jobs[j.id] = j
+				s.retainLocked(j)
+				s.nFailed++
+				rep.Completed++
+				continue
+			}
+		}
+		s.nRecovered++
+		if rj.terminal {
+			j.finished = now
+			if rj.state == StateDone {
+				j.result = rj.result
+				s.cache.put(j.hash, rj.result)
+				s.nCompleted++
+			} else if rj.state == StateFailed {
+				s.nFailed++
+			} else {
+				s.nCanceled++
+			}
+			close(j.done)
+			s.jobs[j.id] = j
+			s.retainLocked(j)
+			rep.Completed++
+			continue
+		}
+		// Live at crash time. The restored cache (or the on-disk
+		// store via a sibling's replay) may already hold the result.
+		j.state = StateQueued
+		s.nSubmitted++
+		data, ok := s.cache.get(j.hash)
+		if !ok {
+			// A result file with no terminal record: the crash landed
+			// between the store rename and the journal append. The
+			// bytes are complete (rename-visible) and deterministic,
+			// so serve them rather than re-running.
+			if stored, okDisk := jr.lookupResult(j.hash); okDisk {
+				s.cache.put(j.hash, stored)
+				data, ok = stored, true
+			}
+		}
+		if ok {
+			j.state = StateDone
+			j.cached = true
+			j.result = data
+			j.finished = now
+			close(j.done)
+			s.jobs[j.id] = j
+			s.retainLocked(j)
+			s.nCompleted++
+			jr.append(Record{Op: OpRequeue, Job: j.id, Hash: j.hash})
+			jr.append(s.terminalRecord(j, StateDone, data, ""))
+			rep.Completed++
+			continue
+		}
+		if p, ok := s.inflight[j.hash]; ok {
+			// Identical interrupted specs re-coalesce: one execution.
+			j.coalesced = true
+			j.primary = p
+			p.followers = append(p.followers, j)
+			s.jobs[j.id] = j
+			s.nCoalesced++
+			jr.append(Record{Op: OpRequeue, Job: j.id, Hash: j.hash})
+			rep.Requeued++
+			continue
+		}
+		s.inflight[j.hash] = j
+		s.jobs[j.id] = j
+		jr.append(Record{Op: OpRequeue, Job: j.id, Hash: j.hash})
+		requeue = append(requeue, j)
+		rep.Requeued++
+	}
+	s.rec = &rep
+	return requeue, nil
+}
+
+// Recovery returns the journal replay report of this instance, or nil
+// when journaling is off.
+func (s *Service) Recovery() *RecoveryReport { return s.rec }
 
 // Registry exposes the service metrics (queue depth, worker
 // occupancy, cache hit rate, job latency histograms) for the
@@ -218,6 +398,8 @@ func (s *Service) registerMetrics() {
 	s.reg.Func("macd.jobs.timeout", locked(func() float64 { return float64(s.nTimeout) }))
 	s.reg.Func("macd.jobs.rejected", locked(func() float64 { return float64(s.nRejected) }))
 	s.reg.Func("macd.jobs.coalesced", locked(func() float64 { return float64(s.nCoalesced) }))
+	s.reg.Func("macd.jobs.worker_killed", locked(func() float64 { return float64(s.nKilled) }))
+	s.reg.Func("macd.jobs.recovered", locked(func() float64 { return float64(s.nRecovered) }))
 	s.reg.Func("macd.cache.hits", func() float64 { h, _, _, _, _ := s.cache.stats(); return float64(h) })
 	s.reg.Func("macd.cache.misses", func() float64 { _, m, _, _, _ := s.cache.stats(); return float64(m) })
 	s.reg.Func("macd.cache.evictions", func() float64 { _, _, e, _, _ := s.cache.stats(); return float64(e) })
@@ -236,10 +418,36 @@ func (s *Service) registerMetrics() {
 	}
 }
 
+// submitRecord renders a job's admission for the journal, carrying the
+// canonical spec bytes replay needs to re-queue it.
+func (s *Service) submitRecord(j *job) Record {
+	rec := Record{Op: OpSubmit, Job: j.id, Hash: j.hash}
+	if canon, err := j.spec.Canonical(); err == nil {
+		rec.Spec = canon
+	}
+	return rec
+}
+
+// terminalRecord renders a terminal transition. For done jobs the
+// result is stored content-addressed first, so the record's length+CRC
+// promise is only written once the bytes are safely visible.
+func (s *Service) terminalRecord(j *job, state State, data []byte, errMsg string) Record {
+	rec := Record{Op: OpTerminal, Job: j.id, Hash: j.hash, State: state, Error: errMsg}
+	if state == StateDone && s.journal != nil {
+		crc, err := s.journal.writeResult(j.hash, data)
+		if err == nil {
+			rec.ResultLen = len(data)
+			rec.ResultCRC = crc
+		}
+	}
+	return rec
+}
+
 // Submit enqueues one parsed spec. Identical specs are deduplicated:
-// a finished one is served from the cache without executing, an
-// in-flight one absorbs this submission as a follower. Returns
-// ErrQueueFull under backpressure and ErrDraining during shutdown.
+// a finished one is served from the cache (or the journal's on-disk
+// result store) without executing, an in-flight one absorbs this
+// submission as a follower. Returns ErrQueueFull under backpressure
+// and ErrDraining during shutdown.
 func (s *Service) Submit(spec Spec) (JobStatus, error) {
 	hash, err := spec.Hash()
 	if err != nil {
@@ -260,7 +468,16 @@ func (s *Service) Submit(spec Spec) (JobStatus, error) {
 		done:      make(chan struct{}),
 	}
 	s.nSubmitted++
-	if data, ok := s.cache.get(hash); ok {
+	data, hit := s.cache.get(hash)
+	if !hit {
+		// Second-level lookup: the journal's content-addressed store
+		// survives restarts and cache eviction.
+		if stored, ok := s.journal.lookupResult(hash); ok {
+			s.cache.put(hash, stored)
+			data, hit = stored, true
+		}
+	}
+	if hit {
 		now := j.submitted
 		j.state = StateDone
 		j.cached = true
@@ -270,6 +487,8 @@ func (s *Service) Submit(spec Spec) (JobStatus, error) {
 		s.jobs[j.id] = j
 		s.retainLocked(j)
 		s.nCompleted++
+		s.journal.append(s.submitRecord(j))
+		s.journal.append(s.terminalRecord(j, StateDone, data, ""))
 		return s.statusLocked(j), nil
 	}
 	if p, ok := s.inflight[hash]; ok {
@@ -278,6 +497,7 @@ func (s *Service) Submit(spec Spec) (JobStatus, error) {
 		p.followers = append(p.followers, j)
 		s.jobs[j.id] = j
 		s.nCoalesced++
+		s.journal.append(s.submitRecord(j))
 		return s.statusLocked(j), nil
 	}
 	select {
@@ -288,6 +508,7 @@ func (s *Service) Submit(spec Spec) (JobStatus, error) {
 	}
 	s.inflight[hash] = j
 	s.jobs[j.id] = j
+	s.journal.append(s.submitRecord(j))
 	return s.statusLocked(j), nil
 }
 
@@ -324,6 +545,7 @@ func (s *Service) runJob(j *job) {
 	j.cancelRun = cancel
 	s.busy++
 	s.queueWaitUs.Observe(uint64(j.started.Sub(j.submitted).Microseconds()))
+	s.journal.append(Record{Op: OpStart, Job: j.id, Hash: j.hash})
 	s.mu.Unlock()
 	defer cancel()
 
@@ -338,9 +560,17 @@ func (s *Service) runJob(j *job) {
 	}()
 	select {
 	case o := <-ch:
-		if o.err != nil {
+		switch {
+		case errors.Is(o.err, ErrWorkerKilled):
+			// Chaos killed this worker mid-run: leave the job exactly
+			// as a crash would — running, un-finalized, no terminal
+			// journal record. Only a restart's replay re-queues it.
+			s.mu.Lock()
+			s.nKilled++
+			s.mu.Unlock()
+		case o.err != nil:
 			s.finalize(j, StateFailed, nil, o.err.Error())
-		} else {
+		default:
 			s.finalize(j, StateDone, o.data, "")
 		}
 	case <-ctx.Done():
@@ -398,6 +628,7 @@ func (s *Service) finalizeLocked(j *job, state State, data []byte, errMsg string
 		case StateCanceled:
 			s.nCanceled++
 		}
+		s.journal.append(s.terminalRecord(x, state, data, errMsg))
 	}
 	finish(j)
 	for _, f := range j.followers {
@@ -425,6 +656,7 @@ func (s *Service) statusLocked(j *job) JobStatus {
 		State:       j.state,
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,
+		Recovered:   j.recovered,
 		Error:       j.errMsg,
 		SubmittedAt: j.submitted,
 	}
@@ -551,6 +783,7 @@ func (s *Service) Cancel(id string) (bool, error) {
 		close(j.done)
 		s.retainLocked(j)
 		s.nCanceled++
+		s.journal.append(s.terminalRecord(j, StateCanceled, nil, j.errMsg))
 		return true, nil
 	}
 	if j.state == StateQueued {
@@ -566,7 +799,9 @@ func (s *Service) Cancel(id string) (bool, error) {
 
 // Drain stops accepting submissions, lets queued and running jobs
 // finish, and returns when the pool is idle (or ctx expires — the
-// workers then keep draining in the background).
+// workers then keep draining in the background). On the idle path the
+// journal is synced and closed; a sticky journal write error surfaces
+// here.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -575,12 +810,19 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	idle := make(chan struct{})
+	var journalErr error
 	go func() {
 		s.wg.Wait()
+		// Workers are idle: every terminal record is written; seal the
+		// log. (After Kill the journal is already closed; this no-ops.)
+		journalErr = s.journal.close(false)
 		close(idle)
 	}()
 	select {
 	case <-idle:
+		if journalErr != nil {
+			return fmt.Errorf("service: journal: %w", journalErr)
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
@@ -592,4 +834,24 @@ func (s *Service) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Kill simulates a crash (kill -9) for tests and the service-chaos
+// harness: submissions are rejected, the worker queue is closed, and —
+// critically — the journal and result store are cut immediately, so
+// any job still executing can no longer write post-crash state to
+// disk, even though its goroutine lingers in-process. The on-disk
+// journal is left exactly as a real crash would leave it; start a new
+// Service on the same JournalDir to recover.
+func (s *Service) Kill() {
+	s.mu.Lock()
+	if !s.killed {
+		s.killed = true
+		if !s.draining {
+			s.draining = true
+			close(s.queue)
+		}
+	}
+	s.mu.Unlock()
+	s.journal.close(true)
 }

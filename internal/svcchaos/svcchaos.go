@@ -1,0 +1,365 @@
+// Package svcchaos is the serving-layer chaos injector: the macd
+// analogue of the simulator-core chaos engine (internal/chaos). Where
+// that engine perturbs cycle-level timing inside one simulation, this
+// one attacks the service around the simulations — killing workers
+// mid-run through the runner hook, stalling runners, delaying HTTP
+// requests, and dropping freshly accepted connections through a
+// wrapping listener — all drawn from one seeded RNG stream so a
+// profile+seed pair reproduces the same adversarial pressure. It is
+// the harness the crash-safe journal, the client retry/breaker stack
+// and the abl-svcchaos conservation sweep are tested under.
+package svcchaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mac3d/internal/service"
+)
+
+// Profile configures the injector. The zero value disables every
+// stressor. Rates are Bernoulli probabilities in [0, 1] — per job for
+// kill/stall, per request for delay, per connection for drop.
+type Profile struct {
+	// KillRate kills the worker mid-run: the job is abandoned
+	// un-finalized, exactly as if the process had crashed under it —
+	// only a journal-replaying restart re-queues it.
+	KillRate float64
+	// StallRate makes the runner sleep StallMs before executing,
+	// modeling a slow shard.
+	StallRate float64
+	StallMs   int
+	// DelayRate holds an HTTP request for DelayMs before handling it
+	// (covers both submit and poll paths).
+	DelayRate float64
+	DelayMs   int
+	// DropRate closes a just-accepted connection before any bytes
+	// flow, forcing the client's transport-level retry.
+	DropRate float64
+	// Seed seeds the injector's private RNG stream.
+	Seed uint64
+}
+
+// Enabled reports whether any stressor is active.
+func (p Profile) Enabled() bool {
+	return p.KillRate > 0 || p.StallRate > 0 || p.DelayRate > 0 || p.DropRate > 0
+}
+
+// withDefaults fills the durations a rate implies but the profile
+// omitted, so `stall=0.2` alone is usable.
+func (p Profile) withDefaults() Profile {
+	if p.StallRate > 0 && p.StallMs <= 0 {
+		p.StallMs = 50
+	}
+	if p.DelayRate > 0 && p.DelayMs <= 0 {
+		p.DelayMs = 20
+	}
+	return p
+}
+
+// Validate rejects out-of-range configurations.
+func (p Profile) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"kill", p.KillRate}, {"stall", p.StallRate},
+		{"delay", p.DelayRate}, {"drop", p.DropRate},
+	} {
+		// The inverted comparison also rejects NaN rates.
+		if !(r.v >= 0 && r.v <= 1) {
+			return fmt.Errorf("svcchaos: %s rate %g outside [0, 1]", r.name, r.v)
+		}
+	}
+	if p.StallMs < 0 {
+		return fmt.Errorf("svcchaos: stall ms %d is negative", p.StallMs)
+	}
+	if p.DelayMs < 0 {
+		return fmt.Errorf("svcchaos: delay ms %d is negative", p.DelayMs)
+	}
+	return nil
+}
+
+// String renders the profile in the canonical ParseProfile syntax;
+// ParseProfile(p.String()) reproduces p exactly (after withDefaults).
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "off"
+	}
+	var parts []string
+	if p.KillRate > 0 {
+		parts = append(parts, fmt.Sprintf("kill=%g", p.KillRate))
+	}
+	if p.StallRate > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%g:%d", p.StallRate, p.StallMs))
+	}
+	if p.DelayRate > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%d", p.DelayRate, p.DelayMs))
+	}
+	if p.DropRate > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.DropRate))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Presets returns the named built-in profiles, sorted by name.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var presets = map[string]Profile{
+	"mild": {
+		StallRate: 0.1, StallMs: 20,
+		DelayRate: 0.05, DelayMs: 10,
+		DropRate: 0.02,
+	},
+	"storm": {
+		KillRate:  0.25,
+		StallRate: 0.3, StallMs: 80,
+		DelayRate: 0.2, DelayMs: 40,
+		DropRate: 0.2,
+	},
+}
+
+// ParseProfile parses the -svcchaos syntax: either a preset name
+// ("off", "mild", "storm") or a comma-separated stressor list
+//
+//	kill=RATE,stall=RATE[:MS],delay=RATE[:MS],drop=RATE,seed=N
+//
+// Omitted duration fields take per-stressor defaults. The empty string
+// parses as the disabled profile.
+func ParseProfile(s string) (Profile, error) {
+	var p Profile
+	s = strings.TrimSpace(s)
+	switch s {
+	case "", "off", "none":
+		return p, nil
+	}
+	if preset, ok := presets[s]; ok {
+		return preset.withDefaults(), nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("svcchaos: %q is not key=value", part)
+		}
+		fields := strings.Split(v, ":")
+		rate, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil && k != "seed" {
+			return Profile{}, fmt.Errorf("svcchaos: bad %s rate %q: %w", k, fields[0], err)
+		}
+		ms := func(i int) (int, error) {
+			if i >= len(fields) {
+				return 0, nil
+			}
+			n, err := strconv.Atoi(fields[i])
+			if err != nil {
+				return 0, fmt.Errorf("svcchaos: bad %s field %q: %w", k, fields[i], err)
+			}
+			if n < 0 {
+				return 0, fmt.Errorf("svcchaos: %s field %q is negative", k, fields[i])
+			}
+			return n, nil
+		}
+		switch k {
+		case "kill":
+			if len(fields) > 1 {
+				return Profile{}, fmt.Errorf("svcchaos: kill takes only a rate, got %q", v)
+			}
+			p.KillRate = rate
+		case "stall":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("svcchaos: stall takes at most rate:ms, got %q", v)
+			}
+			p.StallRate = rate
+			if p.StallMs, err = ms(1); err != nil {
+				return Profile{}, err
+			}
+		case "delay":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("svcchaos: delay takes at most rate:ms, got %q", v)
+			}
+			p.DelayRate = rate
+			if p.DelayMs, err = ms(1); err != nil {
+				return Profile{}, err
+			}
+		case "drop":
+			if len(fields) > 1 {
+				return Profile{}, fmt.Errorf("svcchaos: drop takes only a rate, got %q", v)
+			}
+			p.DropRate = rate
+		case "seed":
+			if len(fields) > 1 {
+				return Profile{}, fmt.Errorf("svcchaos: seed takes one value, got %q", v)
+			}
+			n, err := strconv.ParseUint(fields[0], 10, 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("svcchaos: bad seed %q: %w", fields[0], err)
+			}
+			p.Seed = n
+		default:
+			return Profile{}, fmt.Errorf("svcchaos: unknown stressor %q (want kill, stall, delay, drop, seed)", k)
+		}
+	}
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	if !p.Enabled() {
+		// Normalize: a profile with no active stressor (e.g. a dangling
+		// seed, or all rates zero) is the disabled profile.
+		return Profile{}, nil
+	}
+	return p, nil
+}
+
+// Report counts what the injector actually did.
+type Report struct {
+	Kills   uint64 `json:"kills"`
+	Stalls  uint64 `json:"stalls"`
+	Delays  uint64 `json:"delays"`
+	Drops   uint64 `json:"drops"`
+	Accepts uint64 `json:"accepts"`
+	Runs    uint64 `json:"runs"`
+}
+
+// Injector draws every chaos decision from one seeded RNG stream.
+// Decisions taken under concurrency interleave with goroutine
+// scheduling, so two runs see the same *pressure*, not the same
+// schedule — the invariants the sweep checks (one terminal state per
+// job, byte-identical results) must hold under any schedule, which is
+// the point.
+type Injector struct {
+	p Profile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	rep Report
+
+	// sleep is swapped out by tests to avoid real waiting.
+	sleep func(time.Duration)
+}
+
+// New returns an injector for the profile (validated, with per-rate
+// defaults applied).
+func New(p Profile) (*Injector, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		p:     p,
+		rng:   rand.New(rand.NewSource(int64(p.Seed))),
+		sleep: time.Sleep,
+	}, nil
+}
+
+// MustNew is New for profiles known valid (e.g. already parsed).
+func MustNew(p Profile) *Injector {
+	in, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// roll draws one Bernoulli decision.
+func (in *Injector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < rate
+}
+
+func (in *Injector) count(f func(*Report)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f(&in.rep)
+}
+
+// Report snapshots the injector's activity counters.
+func (in *Injector) Report() Report {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rep
+}
+
+// WrapRunner is the service.Config.WrapRunner hook: per job it may
+// stall the runner (slow shard) and may kill the worker mid-run by
+// returning service.ErrWorkerKilled — the service then abandons the
+// job un-finalized, the on-disk journal keeps its start-without-
+// terminal shape, and only a restart recovers it.
+func (in *Injector) WrapRunner(next service.RunFunc) service.RunFunc {
+	return func(spec service.Spec) ([]byte, error) {
+		in.count(func(r *Report) { r.Runs++ })
+		if in.roll(in.p.StallRate) {
+			in.count(func(r *Report) { r.Stalls++ })
+			in.sleep(time.Duration(in.p.StallMs) * time.Millisecond)
+		}
+		if in.roll(in.p.KillRate) {
+			in.count(func(r *Report) { r.Kills++ })
+			return nil, service.ErrWorkerKilled
+		}
+		return next(spec)
+	}
+}
+
+// Middleware wraps the macd HTTP handler with seeded request delays.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if in.roll(in.p.DelayRate) {
+			in.count(func(rep *Report) { rep.Delays++ })
+			in.sleep(time.Duration(in.p.DelayMs) * time.Millisecond)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Listener wraps a net.Listener: accepted connections are dropped
+// (closed before any bytes flow) at DropRate, which the client sees as
+// a reset/EOF — transport failures its retry budget must absorb.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &chaosListener{Listener: ln, in: in}
+}
+
+type chaosListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.in.count(func(r *Report) { r.Accepts++ })
+		if l.in.roll(l.in.p.DropRate) {
+			l.in.count(func(r *Report) { r.Drops++ })
+			conn.Close()
+			continue
+		}
+		return conn, nil
+	}
+}
