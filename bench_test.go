@@ -14,7 +14,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -380,6 +383,45 @@ func BenchmarkTraceGeneration(b *testing.B) {
 // fsync). Journal parse/fold micro-benches live in
 // internal/service/bench_test.go beside the unexported frame codec.
 
+// benchmarkNUMAParallel runs the 8-node NUMA system over the routed
+// mesh at a given worker count and reports simulated cycles per
+// wall-clock second — the tentpole metric for the parallel core. The
+// spec is identical at every worker count and the results are
+// bit-identical (see internal/numa parity tests), so the only thing
+// that moves is throughput.
+func benchmarkNUMAParallel(b *testing.B, workers int) {
+	opts := mac3d.NUMAOptions{
+		Workload:     "sg",
+		Threads:      32,
+		Seed:         1,
+		Nodes:        8,
+		CoresPerNode: 4,
+		Parallel:     workers,
+		NoC:          &mac3d.NoCOptions{Topology: "mesh"},
+	}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := mac3d.RunNUMA(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += rep.Cycles
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(cycles)/secs, "cycles/sec")
+	}
+}
+
+func BenchmarkNUMAParallel(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchmarkNUMAParallel(b, w)
+		})
+	}
+}
+
 func benchService(b *testing.B, journalDir string) *service.Service {
 	b.Helper()
 	s, err := service.New(service.Config{
@@ -435,11 +477,29 @@ func BenchmarkServiceSubmit(b *testing.B) {
 // Gated on BENCH_OUT because it re-runs each bench for a full
 // benchtime; regenerate with:
 //
-//	BENCH_OUT=BENCH_6.json go test -run TestWriteBenchSnapshot .
+//	BENCH_OUT=BENCH_7.json go test -run TestWriteBenchSnapshot .
+//
+// The writer refuses to overwrite an existing snapshot of a different
+// number: BENCH_N files are append-only history, and a stale BENCH_OUT
+// in the environment once silently clobbered an earlier PR's numbers.
+// Each snapshot records its own name, the git commit and the host CPU
+// budget, so a diff between two snapshots is interpretable. All JSON
+// keys come from struct fields (fixed order) — two runs on the same
+// host differ only in the measured numbers.
 func TestWriteBenchSnapshot(t *testing.T) {
 	out := os.Getenv("BENCH_OUT")
 	if out == "" {
 		t.Skip("set BENCH_OUT=path to write a benchmark snapshot")
+	}
+	name := filepath.Base(out)
+	if prev, err := os.ReadFile(out); err == nil {
+		var old struct {
+			Snapshot string `json:"snapshot"`
+		}
+		if json.Unmarshal(prev, &old) != nil || (old.Snapshot != "" && old.Snapshot != name) {
+			t.Fatalf("refusing to overwrite %s: it holds snapshot %q, not %q (BENCH_N files are append-only history; bump N)",
+				out, old.Snapshot, name)
+		}
 	}
 	benches := []struct {
 		name string
@@ -449,38 +509,60 @@ func TestWriteBenchSnapshot(t *testing.T) {
 		{"BenchmarkTraceGeneration", BenchmarkTraceGeneration},
 		{"BenchmarkServiceSubmit/journal=off", func(b *testing.B) { benchmarkServiceSubmit(b, false) }},
 		{"BenchmarkServiceSubmit/journal=on", func(b *testing.B) { benchmarkServiceSubmit(b, true) }},
+		{"BenchmarkNUMAParallel/workers=1", func(b *testing.B) { benchmarkNUMAParallel(b, 1) }},
+		{"BenchmarkNUMAParallel/workers=2", func(b *testing.B) { benchmarkNUMAParallel(b, 2) }},
+		{"BenchmarkNUMAParallel/workers=4", func(b *testing.B) { benchmarkNUMAParallel(b, 4) }},
+		{"BenchmarkNUMAParallel/workers=8", func(b *testing.B) { benchmarkNUMAParallel(b, 8) }},
 	}
 	type entry struct {
-		Name        string  `json:"name"`
-		Iterations  int     `json:"iterations"`
-		NsPerOp     float64 `json:"ns_per_op"`
-		BytesPerOp  int64   `json:"bytes_per_op"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
+		Name        string             `json:"name"`
+		Iterations  int                `json:"iterations"`
+		NsPerOp     float64            `json:"ns_per_op"`
+		BytesPerOp  int64              `json:"bytes_per_op"`
+		AllocsPerOp int64              `json:"allocs_per_op"`
+		Metrics     map[string]float64 `json:"metrics,omitempty"`
 	}
 	snap := struct {
+		Snapshot   string  `json:"snapshot"`
+		Commit     string  `json:"commit,omitempty"`
 		Package    string  `json:"package"`
 		Goos       string  `json:"goos"`
 		Goarch     string  `json:"goarch"`
 		GoVersion  string  `json:"go_version"`
+		NumCPU     int     `json:"num_cpu"`
+		GoMaxProcs int     `json:"gomaxprocs"`
 		Benchmarks []entry `json:"benchmarks"`
 	}{
-		Package:   "mac3d",
-		Goos:      runtime.GOOS,
-		Goarch:    runtime.GOARCH,
-		GoVersion: runtime.Version(),
+		Snapshot:   name,
+		Commit:     gitCommit(),
+		Package:    "mac3d",
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, bench := range benches {
 		r := testing.Benchmark(bench.fn)
 		if r.N == 0 {
 			t.Fatalf("%s did not run", bench.name)
 		}
-		snap.Benchmarks = append(snap.Benchmarks, entry{
+		e := entry{
 			Name:        bench.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		// Extra ReportMetric values (e.g. cycles/sec); encoding/json
+		// renders map keys sorted, keeping the file deterministic.
+		for k, v := range r.Extra {
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[k] = v
+		}
+		snap.Benchmarks = append(snap.Benchmarks, e)
 		t.Logf("%-40s %d iters  %.0f ns/op", bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -490,4 +572,14 @@ func TestWriteBenchSnapshot(t *testing.T) {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// gitCommit best-effort resolves the working tree's HEAD commit; the
+// snapshot omits the field when git is unavailable.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -10,7 +10,16 @@
 //	       [-trace-out trace.json] [-obs-interval 64]
 //	       [-audit] [-chaos-profile mild|storm|delay=0.01:16:32,...]
 //	       [-chaos-seed 1] [-retry 3] [-retry-backoff 32]
+//	macsim -workload sg -numa 8 [-numa-topology ideal|ring|mesh]
+//	       [-parallel 4] [-threads 8] [-scale ...] [-seed ...]
+//	       [-chaos-profile ...] [-retry ...]
 //	macsim -list
+//
+// -numa switches to the multi-node system: one MAC and HMC device per
+// node behind the selected interconnect. -parallel runs the node
+// phases on that many worker goroutines; the report is bit-identical
+// to a sequential run of the same spec (the printed report is
+// deterministic, so two invocations can be compared byte-for-byte).
 //
 // A run with -audit prints the request-lifecycle conservation report
 // and exits non-zero if any invariant was violated. -chaos-profile
@@ -48,6 +57,9 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos RNG seed (0 keeps the profile's seed)")
 	retryFlag := flag.Int("retry", 0, "re-issue poisoned completions up to this many times per request")
 	retryBackoff := flag.Int64("retry-backoff", 0, "cycles to wait before each re-issue")
+	numaNodes := flag.Int("numa", 0, "run the multi-node system with this many nodes (0: single node)")
+	numaTopo := flag.String("numa-topology", "", "NUMA interconnect: ideal, ring or mesh (default ideal)")
+	parallel := flag.Int("parallel", 0, "NUMA simulation worker goroutines (0 or 1: sequential; results are identical)")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +73,38 @@ func main() {
 	if *workload == "" && *traceFile == "" {
 		fmt.Fprintln(os.Stderr, "macsim: -workload or -in is required (try -list)")
 		os.Exit(2)
+	}
+
+	if *numaNodes > 0 {
+		if *traceFile != "" || *compare {
+			fmt.Fprintln(os.Stderr, "macsim: -numa runs a workload on the multi-node system; drop -in/-compare")
+			os.Exit(2)
+		}
+		scale, err := mac3d.ParseScale(*scaleFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsim:", err)
+			os.Exit(2)
+		}
+		nopts := mac3d.NUMAOptions{
+			Workload: *workload,
+			Threads:  *threads,
+			Seed:     *seed,
+			Scale:    scale,
+			Nodes:    *numaNodes,
+			Parallel: *parallel,
+			Chaos:    mac3d.ChaosOptions{Profile: *chaosProfile, Seed: *chaosSeed},
+			Retry:    mac3d.RetryOptions{MaxRetries: *retryFlag, BackoffCycles: *retryBackoff},
+		}
+		if *numaTopo != "" {
+			nopts.NoC = &mac3d.NoCOptions{Topology: *numaTopo}
+		}
+		rep, err := mac3d.RunNUMA(nopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsim:", err)
+			os.Exit(1)
+		}
+		printNUMA(rep)
+		return
 	}
 
 	opts := mac3d.RunOptions{
@@ -246,6 +290,37 @@ func printRun(title string, r *mac3d.RunReport) {
 				fmt.Printf("      ... and %d more\n", a.OmittedViolations)
 			}
 		}
+	}
+	fmt.Println()
+}
+
+// printNUMA renders a NUMA report. Every line derives from report
+// fields in a fixed order, so the rendering is deterministic: two runs
+// of the same spec — at any worker count — print identical bytes.
+func printNUMA(r *mac3d.NUMAReport) {
+	fmt.Printf("%s on %d nodes, %d threads\n", r.Workload, r.Nodes, r.Threads)
+	fmt.Printf("  cycles                  %d\n", r.Cycles)
+	fmt.Printf("  memory requests         %d (+%d SPM hits)\n", r.MemRequests, r.SPMAccesses)
+	fmt.Printf("  remote requests         %d (%.2f%%)\n", r.RemoteRequests, 100*r.RemoteFraction)
+	fmt.Printf("  avg request latency     %.1f cycles (%.1f ns)\n", r.AvgLatencyCycles, r.AvgLatencyNs)
+	if r.RetriedRequests > 0 {
+		fmt.Printf("  retried requests        %d\n", r.RetriedRequests)
+	}
+	if n := r.NoC; n != nil {
+		fmt.Printf("  noc (%s, %d links)\n", n.Topology, n.Links)
+		fmt.Printf("    messages / flits      %d / %d\n", n.MessagesSent, n.FlitsSent)
+		fmt.Printf("    avg hops / latency    %.2f / %.1f cycles\n", n.AvgHops, n.AvgNetLatencyCycles)
+		fmt.Printf("    inject rejects        %d (%d deliver retries)\n", n.InjectRejects, n.DeliverRetries)
+		fmt.Printf("    stall cycles          %d credit, %d chaos\n", n.CreditStallCycles, n.ChaosStallCycles)
+	}
+	if c := r.Chaos; c != nil {
+		fmt.Printf("  chaos (%s)\n", c.Profile)
+		fmt.Printf("    link stalls           %d\n", c.LinkStalls)
+	}
+	for _, n := range r.PerNode {
+		fmt.Printf("  node %-2d tx %-8d eff %6.2f%%  conflicts %-6d bw-eff %6.2f%%  remote served/sent %d/%d\n",
+			n.Node, n.Transactions, 100*n.CoalescingEfficiency, n.BankConflicts,
+			100*n.BandwidthEfficiency, n.RemoteServed, n.RemoteSent)
 	}
 	fmt.Println()
 }

@@ -2,6 +2,7 @@ package coalesce
 
 import (
 	"fmt"
+	"math/bits"
 
 	"mac3d/internal/addr"
 	"mac3d/internal/hmc"
@@ -51,6 +52,7 @@ func (c MSHRConfig) Validate() error {
 type mshrEntry struct {
 	key   uint64 // line-aligned address with the store bit in bit 63
 	store bool
+	slot  int // index in the register file (for bitset bookkeeping)
 	late  []memreq.Target
 }
 
@@ -62,12 +64,26 @@ type mshrEntry struct {
 // This is the design whose limitations (§2.3.2) motivate MAC: the
 // transaction size is pinned to LineBytes no matter how many requests
 // merge, and merging stops the moment the original miss completes.
+//
+// The register file is a fixed slab with an occupancy bitset and a
+// CAM-style linear key scan — what the hardware's parallel comparators
+// do, and in software a bounded allocation-free probe. The previous
+// map representation allocated on every miss and rehashed under churn,
+// which dominated the per-cycle profile. Per-slot late lists are
+// preallocated arenas, and Built target lists come from a recycling
+// slab pool (see Recycle).
 type MSHR struct {
 	cfg MSHRConfig
 	q   *queue.FIFO[memreq.RawRequest]
 
-	// outstanding maps line key -> its in-flight entry.
-	outstanding map[uint64]*mshrEntry
+	// entries is the fixed register file; used is its occupancy
+	// bitset (bit i set -> entries[i] holds an outstanding miss).
+	entries []mshrEntry
+	used    []uint64
+	count   int
+
+	// slabs is the free pool of target slices handed out in Builts.
+	slabs [][]memreq.Target
 
 	heldFence bool
 	inflight  int
@@ -75,18 +91,27 @@ type MSHR struct {
 }
 
 var _ memreq.Coalescer = (*MSHR)(nil)
+var _ memreq.Recycler = (*MSHR)(nil)
 
 // NewMSHR builds the conventional coalescer, panicking on bad config.
 func NewMSHR(cfg MSHRConfig) *MSHR {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &MSHR{
-		cfg:         cfg,
-		q:           queue.New[memreq.RawRequest](cfg.QueueDepth),
-		outstanding: make(map[uint64]*mshrEntry, cfg.Entries),
-		st:          memreq.NewStats(),
+	m := &MSHR{
+		cfg:     cfg,
+		q:       queue.New[memreq.RawRequest](cfg.QueueDepth),
+		entries: make([]mshrEntry, cfg.Entries),
+		used:    make([]uint64, (cfg.Entries+63)/64),
+		st:      memreq.NewStats(),
 	}
+	for i := range m.entries {
+		m.entries[i].slot = i
+		if cfg.MaxMerges > 1 {
+			m.entries[i].late = make([]memreq.Target, 0, cfg.MaxMerges-1)
+		}
+	}
+	return m
 }
 
 func (m *MSHR) lineKey(a uint64, store bool) uint64 {
@@ -95,6 +120,71 @@ func (m *MSHR) lineKey(a uint64, store bool) uint64 {
 		k |= 1 << 63
 	}
 	return k
+}
+
+// lookup scans the occupied registers for key — the associative
+// comparator bank, as a bitset-guided linear probe.
+func (m *MSHR) lookup(key uint64) *mshrEntry {
+	for w, word := range m.used {
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if m.entries[i].key == key {
+				return &m.entries[i]
+			}
+		}
+	}
+	return nil
+}
+
+// alloc claims the lowest free register for key. Slot choice is
+// invisible to timing (entries are only ever found by key), so
+// lowest-free keeps the scan short without affecting results.
+func (m *MSHR) alloc(key uint64, store bool) *mshrEntry {
+	for w, word := range m.used {
+		free := ^word
+		if w == len(m.used)-1 && m.cfg.Entries%64 != 0 {
+			free &= 1<<(m.cfg.Entries%64) - 1
+		}
+		if free == 0 {
+			continue
+		}
+		i := w*64 + bits.TrailingZeros64(free)
+		m.used[w] |= 1 << (i % 64)
+		m.count++
+		e := &m.entries[i]
+		e.key, e.store, e.late = key, store, e.late[:0]
+		return e
+	}
+	return nil
+}
+
+// release frees an entry's register.
+func (m *MSHR) release(e *mshrEntry) {
+	m.used[e.slot/64] &^= 1 << (e.slot % 64)
+	m.count--
+}
+
+// takeTargets returns a pooled target slice seeded with t.
+func (m *MSHR) takeTargets(t memreq.Target) []memreq.Target {
+	if n := len(m.slabs); n > 0 {
+		s := m.slabs[n-1]
+		m.slabs = m.slabs[:n-1]
+		return append(s, t)
+	}
+	return append(make([]memreq.Target, 0, m.cfg.MaxMerges), t)
+}
+
+// Recycle implements memreq.Recycler: a fully consumed Built hands its
+// target slab back to the pool. Optional; see memreq.Recycler.
+func (m *MSHR) Recycle(b *memreq.Built) {
+	if b == nil || b.Targets == nil {
+		return
+	}
+	if cap(b.Targets) > 0 {
+		m.slabs = append(m.slabs, b.Targets[:0])
+	}
+	b.Targets = nil
 }
 
 // Push offers one raw request; it reports acceptance.
@@ -148,9 +238,9 @@ func (m *MSHR) Tick(now sim.Cycle) []memreq.Built {
 				Addr: head.Addr &^ uint64(addr.FlitMask),
 				Data: addr.FlitBytes,
 			},
-			Targets: []memreq.Target{
-				{Thread: head.Thread, Tag: head.Tag, Flit: addr.FlitID(head.Addr)},
-			},
+			Targets: m.takeTargets(memreq.Target{
+				Thread: head.Thread, Tag: head.Tag, Flit: addr.FlitID(head.Addr),
+			}),
 			Bypassed: true,
 		}
 		b.Req.Normalize()
@@ -161,7 +251,7 @@ func (m *MSHR) Tick(now sim.Cycle) []memreq.Built {
 	key := m.lineKey(head.Addr, head.Store)
 	tgt := memreq.Target{Thread: head.Thread, Tag: head.Tag, Flit: addr.FlitID(head.Addr)}
 
-	if e, hit := m.outstanding[key]; hit {
+	if e := m.lookup(key); e != nil {
 		if 1+len(e.late) < m.cfg.MaxMerges {
 			// Merge under the outstanding miss: no new traffic.
 			m.q.Pop()
@@ -172,13 +262,12 @@ func (m *MSHR) Tick(now sim.Cycle) []memreq.Built {
 		return nil
 	}
 
-	if len(m.outstanding) >= m.cfg.Entries {
+	if m.count >= m.cfg.Entries {
 		return nil // all MSHRs busy: stall
 	}
 
 	m.q.Pop()
-	e := &mshrEntry{key: key, store: head.Store}
-	m.outstanding[key] = e
+	e := m.alloc(key, head.Store)
 	kind := hmc.Read
 	if head.Store {
 		kind = hmc.Write
@@ -189,7 +278,7 @@ func (m *MSHR) Tick(now sim.Cycle) []memreq.Built {
 			Addr: key &^ (1 << 63),
 			Data: m.cfg.LineBytes,
 		},
-		Targets: []memreq.Target{tgt},
+		Targets: m.takeTargets(tgt),
 		Handle:  e,
 	}
 	b.Req.Normalize()
@@ -216,9 +305,11 @@ func (m *MSHR) Completed(b *memreq.Built) {
 	m.inflight--
 	if e, ok := b.Handle.(*mshrEntry); ok && e != nil {
 		if len(e.late) > 0 {
+			// A pooled Targets has cap MaxMerges and dispatch + late
+			// is at most MaxMerges, so this append stays in place.
 			b.Targets = append(b.Targets, e.late...)
 		}
-		delete(m.outstanding, e.key)
+		m.release(e)
 	}
 	m.st.TargetsPerTx.Observe(uint64(len(b.Targets)))
 }
@@ -238,10 +329,11 @@ func (m *MSHR) Inflight() int { return m.inflight }
 // Stats returns the accumulated statistics.
 func (m *MSHR) Stats() *memreq.Stats { return m.st }
 
-// Reset restores the initial empty state.
+// Reset restores the initial empty state (the slab pool survives).
 func (m *MSHR) Reset() {
 	m.q.Reset()
-	clear(m.outstanding)
+	clear(m.used)
+	m.count = 0
 	m.heldFence = false
 	m.inflight = 0
 	m.st = memreq.NewStats()
@@ -251,10 +343,10 @@ func (m *MSHR) Reset() {
 // run's observability layer.
 func (m *MSHR) AttachObs(o *obs.Obs) {
 	reg := o.Reg()
-	reg.Func("mshr.entries", func() float64 { return float64(len(m.outstanding)) })
+	reg.Func("mshr.entries", func() float64 { return float64(m.count) })
 	reg.Func("mshr.queue", func() float64 { return float64(m.q.Len()) })
 	rec := o.Rec()
-	rec.Watch("mshr.entries", func() float64 { return float64(len(m.outstanding)) })
+	rec.Watch("mshr.entries", func() float64 { return float64(m.count) })
 	rec.Watch("mshr.queue", func() float64 { return float64(m.q.Len()) })
 }
 

@@ -24,6 +24,10 @@ type arqEntry struct {
 	// closed entries no longer accept merges (target overflow or
 	// fence freeze at allocation time).
 	closed bool
+	// inOpen marks the one live entry per tag currently accepting
+	// merges — the comparator lane. The invariant is at most one set
+	// flag per tag across the occupied ring.
+	inOpen bool
 	// span carries the entry's observability lifecycle stamps; nil
 	// unless tracing is enabled.
 	span *obs.TxSpan
@@ -74,16 +78,28 @@ func (c AggregatorConfig) Validate() error {
 
 // Aggregator is the Raw Request Aggregator (paper §4.1): a FIFO of ARQ
 // entries with an associative row-tag comparator per entry.
+//
+// The storage mirrors the hardware: a fixed ring of Entries slots
+// (the old slice-FIFO re-allocated on every wraparound) and a linear
+// comparator scan over per-entry inOpen flags (the old tag→index map
+// allocated on every insert and had to be re-indexed on every pop).
+// Each slot owns a MaxTargets-capacity target buffer; Pop copies the
+// head's targets into a pooled slab so the slot can be reused while
+// the emitted transaction is still in flight. Drivers that hand slabs
+// back (memreq.Recycler) make the whole push/merge/pop path
+// allocation-free in steady state.
 type Aggregator struct {
 	cfg AggregatorConfig
 	win Window
 
-	// entries is the FIFO in allocation order; index 0 is the head.
-	entries []arqEntry
-	// open maps a row tag to the index (into entries) of the one
-	// entry currently accepting merges for that tag, modelling the
-	// parallel comparators.
-	open map[uint64]int
+	// ring is the fixed entry storage; logical position i lives at
+	// ring[(head+i)%Entries] and count slots are occupied.
+	ring  []arqEntry
+	head  int
+	count int
+
+	// slabs is the free pool of target slices Pop hands out.
+	slabs [][]memreq.Target
 
 	// fences counts fence entries currently queued; comparators are
 	// disabled while any fence is present (paper §4.1).
@@ -118,39 +134,106 @@ func NewAggregator(cfg AggregatorConfig) *Aggregator {
 	if err != nil {
 		panic(err)
 	}
-	return &Aggregator{
-		cfg:     cfg,
-		win:     win,
-		entries: make([]arqEntry, 0, cfg.Entries),
-		open:    make(map[uint64]int, cfg.Entries),
+	a := &Aggregator{
+		cfg:  cfg,
+		win:  win,
+		ring: make([]arqEntry, cfg.Entries),
 	}
+	for i := range a.ring {
+		a.ring[i].targets = make([]memreq.Target, 0, cfg.MaxTargets)
+	}
+	return a
 }
 
 // Window returns the aggregator's coalescing-window geometry.
 func (a *Aggregator) Window() Window { return a.win }
 
 // Len returns the number of occupied ARQ entries.
-func (a *Aggregator) Len() int { return len(a.entries) }
+func (a *Aggregator) Len() int { return a.count }
 
 // Free returns the number of free ARQ entries.
-func (a *Aggregator) Free() int { return a.cfg.Entries - len(a.entries) }
+func (a *Aggregator) Free() int { return a.cfg.Entries - a.count }
 
 // Full reports whether no new entry can be allocated.
-func (a *Aggregator) Full() bool { return len(a.entries) == a.cfg.Entries }
+func (a *Aggregator) Full() bool { return a.count == a.cfg.Entries }
 
-// reindex rebuilds open-map indices after the head entry is removed.
-func (a *Aggregator) popHead() arqEntry {
-	head := a.entries[0]
-	a.entries = a.entries[1:]
-	if !head.closed && !head.fence && !head.atomic {
-		if idx, ok := a.open[head.tag]; ok && idx == 0 {
-			delete(a.open, head.tag)
+// at returns the entry at logical FIFO position i (0 = head).
+func (a *Aggregator) at(i int) *arqEntry {
+	return &a.ring[(a.head+i)%len(a.ring)]
+}
+
+// headEntry returns the head entry without removing it; the caller
+// must have checked Len() > 0.
+func (a *Aggregator) headEntry() *arqEntry { return &a.ring[a.head] }
+
+// alloc claims the tail slot, reusing its target storage, and returns
+// it zeroed.
+func (a *Aggregator) alloc() *arqEntry {
+	e := &a.ring[(a.head+a.count)%len(a.ring)]
+	a.count++
+	*e = arqEntry{targets: e.targets[:0]}
+	return e
+}
+
+// lookupOpen scans the occupied entries for tag's comparator lane —
+// the hardware's parallel comparators, a bounded allocation-free scan.
+func (a *Aggregator) lookupOpen(tag uint64) *arqEntry {
+	for i := 0; i < a.count; i++ {
+		if e := a.at(i); e.inOpen && e.tag == tag {
+			return e
 		}
 	}
-	for tag, idx := range a.open {
-		a.open[tag] = idx - 1
-		_ = tag
+	return nil
+}
+
+// closeOpen clears tag's comparator lane, if any entry holds it.
+func (a *Aggregator) closeOpen(tag uint64) {
+	if e := a.lookupOpen(tag); e != nil {
+		e.inOpen = false
 	}
+}
+
+// clearOpen disables every comparator lane (fence freeze).
+func (a *Aggregator) clearOpen() {
+	for i := 0; i < a.count; i++ {
+		a.at(i).inOpen = false
+	}
+}
+
+// takeSlab copies src into a slab from the free pool (or a fresh
+// allocation when the pool is dry) so a popped entry's targets survive
+// the ring slot's reuse.
+func (a *Aggregator) takeSlab(src []memreq.Target) []memreq.Target {
+	if n := len(a.slabs); n > 0 {
+		s := a.slabs[n-1]
+		a.slabs = a.slabs[:n-1]
+		return append(s, src...)
+	}
+	return append(make([]memreq.Target, 0, a.cfg.MaxTargets), src...)
+}
+
+// RecycleTargets returns a target slab previously handed out by Pop
+// (via memreq.Built.Targets) to the free pool. The caller must not
+// touch the slice afterwards.
+func (a *Aggregator) RecycleTargets(s []memreq.Target) {
+	if cap(s) == 0 {
+		return
+	}
+	a.slabs = append(a.slabs, s[:0])
+}
+
+// popHead removes and returns the head entry, copying its targets out
+// of the slot.
+func (a *Aggregator) popHead() arqEntry {
+	slot := &a.ring[a.head]
+	head := *slot
+	if len(slot.targets) > 0 {
+		head.targets = a.takeSlab(slot.targets)
+	} else {
+		head.targets = nil
+	}
+	a.head = (a.head + 1) % len(a.ring)
+	a.count--
 	if head.fence {
 		a.fences--
 		if a.fences == 0 {
@@ -163,17 +246,18 @@ func (a *Aggregator) popHead() arqEntry {
 	return head
 }
 
-// rebuildOpen reconstructs the tag->entry comparator index from the
-// surviving entries. For duplicated tags the newest entry wins, as it
-// is the one a comparator hit would merge into.
+// rebuildOpen reconstructs the comparator lanes from the surviving
+// entries. For duplicated tags the newest entry wins, as it is the one
+// a comparator hit would merge into.
 func (a *Aggregator) rebuildOpen() {
-	clear(a.open)
-	for i := range a.entries {
-		e := &a.entries[i]
+	a.clearOpen()
+	for i := 0; i < a.count; i++ {
+		e := a.at(i)
 		if e.fence || e.atomic || e.closed {
 			continue
 		}
-		a.open[e.tag] = i
+		a.closeOpen(e.tag)
+		e.inOpen = true
 	}
 }
 
@@ -197,29 +281,27 @@ func (a *Aggregator) Push(r memreq.RawRequest, now sim.Cycle) bool {
 		if a.Full() {
 			return false
 		}
-		a.entries = append(a.entries, arqEntry{fence: true, closed: true})
+		e := a.alloc()
+		e.fence, e.closed = true, true
 		a.fences++
 		// A fence invalidates every open comparator: nothing
 		// behind it may merge with anything ahead of it.
-		clear(a.open)
+		a.clearOpen()
 		return true
 
 	case r.Atomic:
 		if a.Full() {
 			return false
 		}
-		e := arqEntry{
-			atomic: true,
-			closed: true,
-			raw:    r,
-			targets: []memreq.Target{
-				{Thread: r.Thread, Tag: r.Tag, Flit: a.win.FlitID(r.Addr)},
-			},
-		}
+		e := a.alloc()
+		e.atomic, e.closed = true, true
+		e.raw = r
+		e.targets = append(e.targets, memreq.Target{
+			Thread: r.Thread, Tag: r.Tag, Flit: a.win.FlitID(r.Addr),
+		})
 		if a.tracing {
 			e.span = &obs.TxSpan{FirstPush: uint64(now), LastMerge: uint64(now)}
 		}
-		a.entries = append(a.entries, e)
 		return true
 	}
 
@@ -256,10 +338,8 @@ func (a *Aggregator) pushData(r memreq.RawRequest, now sim.Cycle, cont bool) boo
 		a.fillBudget = a.Free()
 	}
 
-	compare := a.fences == 0 && a.fillBudget == 0
-	if compare {
-		if idx, ok := a.open[a.win.Tag(r.Addr, r.Store)]; ok {
-			e := &a.entries[idx]
+	if a.fences == 0 && a.fillBudget == 0 {
+		if e := a.lookupOpen(a.win.Tag(r.Addr, r.Store)); e != nil {
 			first, last := a.win.FlitSpan(r.Addr, uint32(r.Size))
 			e.fmap = e.fmap.SetRange(first, last)
 			e.targets = append(e.targets, memreq.Target{
@@ -269,7 +349,7 @@ func (a *Aggregator) pushData(r memreq.RawRequest, now sim.Cycle, cont bool) boo
 			a.cMerges.Inc()
 			if len(e.targets) >= a.cfg.MaxTargets {
 				e.closed = true
-				delete(a.open, e.tag)
+				e.inOpen = false
 			}
 			return true
 		}
@@ -279,14 +359,21 @@ func (a *Aggregator) pushData(r memreq.RawRequest, now sim.Cycle, cont bool) boo
 		return false
 	}
 	first, last := a.win.FlitSpan(r.Addr, uint32(r.Size))
-	e := arqEntry{
-		tag:  a.win.Tag(r.Addr, r.Store),
-		fmap: WideMap(0).SetRange(first, last),
-		raw:  r,
-		targets: []memreq.Target{
-			{Thread: r.Thread, Tag: r.Tag, Flit: first, Cont: cont},
-		},
+	tag := a.win.Tag(r.Addr, r.Store)
+	if a.fences == 0 {
+		// The newest entry for a tag is the merge candidate: a
+		// fill-mode allocation steals the lane from any older entry
+		// with the same tag (the map representation did this by
+		// overwriting the index).
+		a.closeOpen(tag)
 	}
+	e := a.alloc()
+	e.tag = tag
+	e.fmap = WideMap(0).SetRange(first, last)
+	e.raw = r
+	e.targets = append(e.targets, memreq.Target{
+		Thread: r.Thread, Tag: r.Tag, Flit: first, Cont: cont,
+	})
 	if a.tracing {
 		e.span = &obs.TxSpan{FirstPush: uint64(now), LastMerge: uint64(now)}
 	}
@@ -297,13 +384,11 @@ func (a *Aggregator) pushData(r memreq.RawRequest, now sim.Cycle, cont bool) boo
 		// later comparisons once the budget drains, unless a fence
 		// is pending.
 	}
-	a.entries = append(a.entries, e)
 	if a.fences == 0 {
-		// The newest entry for a tag is the merge candidate.
-		a.open[e.tag] = len(a.entries) - 1
+		e.inOpen = true
 	}
 	// Entries allocated while a fence is queued stay out of the
-	// comparator index until the fence drains (rebuildOpen).
+	// comparator lanes until the fence drains (rebuildOpen).
 	return true
 }
 
@@ -313,22 +398,21 @@ func (a *Aggregator) pushData(r memreq.RawRequest, now sim.Cycle, cont bool) boo
 // returned with fence=true; the MAC holds it until outstanding
 // transactions drain.
 func (a *Aggregator) Pop() (arqEntry, bool) {
-	if len(a.entries) == 0 {
+	if a.count == 0 {
 		return arqEntry{}, false
 	}
-	head := a.entries[0]
+	head := a.popHead()
 	if !head.fence && !head.atomic {
 		// B bit check (paper §4.1.2): exactly one merged request
 		// means nothing else coalesced into this row — bypass.
 		head.bypass = len(head.targets) == 1
 	}
-	a.popHead()
 	return head, true
 }
 
 // PeekFence reports whether the head entry is a fence.
 func (a *Aggregator) PeekFence() bool {
-	return len(a.entries) > 0 && a.entries[0].fence
+	return a.count > 0 && a.ring[a.head].fence
 }
 
 // SampleOccupancy records one occupancy observation. The MAC calls it
@@ -336,8 +420,8 @@ func (a *Aggregator) PeekFence() bool {
 // push-time sampling was biased toward push-heavy phases and read 0
 // during drain.
 func (a *Aggregator) SampleOccupancy() {
-	a.lastSample = len(a.entries)
-	a.occupancySum += uint64(len(a.entries))
+	a.lastSample = a.count
+	a.occupancySum += uint64(a.count)
 	a.occupancySamples++
 }
 
@@ -372,10 +456,9 @@ func (a *Aggregator) attachObs(o *obs.Obs) {
 	o.Rec().Watch("mac.arq.occupancy", func() float64 { return float64(a.lastSample) })
 }
 
-// Reset restores the aggregator to empty.
+// Reset restores the aggregator to empty (the slab pool survives).
 func (a *Aggregator) Reset() {
-	a.entries = a.entries[:0]
-	clear(a.open)
+	a.head, a.count = 0, 0
 	a.fences = 0
 	a.fillBudget = 0
 	a.occupancySum, a.occupancySamples = 0, 0

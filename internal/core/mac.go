@@ -189,8 +189,8 @@ func (m *MAC) Tick(now sim.Cycle) []memreq.Built {
 
 	// Bypass entries (B bit, atomics) skip the builder; coalesced
 	// entries need a free stage-1 slot.
-	if len(m.agg.entries) > 0 {
-		head := m.agg.entries[0]
+	if m.agg.Len() > 0 {
+		head := m.agg.headEntry()
 		single := !head.fence && !head.atomic && len(head.targets) == 1
 		if head.atomic || single {
 			e, _ := m.agg.Pop()
@@ -275,6 +275,18 @@ func (m *MAC) Completed(*memreq.Built) {
 		panic("core: Completed without matching emission")
 	}
 	m.inflight--
+}
+
+// Recycle implements memreq.Recycler: a driver that has fully consumed
+// a Built (response delivered, every target retired) hands it back so
+// the target slab returns to the ARQ's pool. The Built must not be
+// referenced again afterwards.
+func (m *MAC) Recycle(b *memreq.Built) {
+	if b == nil || b.Targets == nil {
+		return
+	}
+	m.agg.RecycleTargets(b.Targets)
+	b.Targets = nil
 }
 
 // Pending returns raw requests accepted but not yet emitted (ARQ

@@ -87,7 +87,7 @@ func TestRouterDrainAlternatesLocalRemote(t *testing.T) {
 		if m.Aggregator().Len() != before+1 {
 			t.Fatal("drain merged unexpectedly")
 		}
-		e := m.Aggregator().entries[m.Aggregator().Len()-1]
+		e := m.Aggregator().at(m.Aggregator().Len() - 1)
 		seen = append(seen, e.raw.Addr)
 	}
 	// Expect strict alternation after the first pick.

@@ -1,0 +1,91 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mac3d/internal/obs"
+)
+
+// TestStallRunTimeseriesWellFormed: when the watchdog aborts a starved
+// run, the recorder has been fed exactly once per completed cycle —
+// every series must be the same length (no trailing partial sample
+// from the abort cycle) and the CSV must render rectangular.
+func TestStallRunTimeseriesWellFormed(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.HMC.Faults.DropResponseEvery = 1 // lose every response: guaranteed stall
+	cfg.Node.StallLimit = 500
+	cfg.Node.MaxCycles = 1_000_000
+	cfg.Obs = &obs.Obs{Registry: obs.NewRegistry(), Recorder: obs.NewRecorder(1)}
+
+	_, err := Run(cfg, seqTrace(2, 8))
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("error is %T, want *StallError: %v", err, err)
+	}
+
+	rec := cfg.Obs.Rec()
+	n := rec.Samples()
+	if n == 0 {
+		t.Fatal("stalled run recorded no samples")
+	}
+	for _, s := range rec.Series() {
+		if uint64(len(s.Points)) != n {
+			t.Fatalf("series %q has %d points, want %d (partial sample left behind)",
+				s.Name, len(s.Points), n)
+		}
+		// The run died mid-flight; every probe value must still be a
+		// real observation, not a poisoned division.
+		for _, p := range s.Points {
+			if p.Value != p.Value { // NaN
+				t.Fatalf("series %q carries NaN at cycle %d", s.Name, p.Cycle)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if uint64(len(lines)) != n+1 {
+		t.Fatalf("CSV rows = %d, want %d samples + header", len(lines), n)
+	}
+	want := strings.Count(lines[0], ",")
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != want {
+			t.Fatalf("ragged CSV row %q", l)
+		}
+	}
+}
+
+// TestZeroCycleResultRates: a run over an empty trace drains on its
+// first cycle; every derived rate must come back zero, not NaN/Inf.
+func TestZeroCycleResultRates(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Obs = &obs.Obs{Registry: obs.NewRegistry(), Recorder: obs.NewRecorder(1)}
+	res, err := Run(cfg, seqTrace(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemRequests != 0 {
+		t.Fatalf("empty trace issued %d requests", res.MemRequests)
+	}
+	for name, v := range map[string]float64{
+		"IPC":           res.IPC(),
+		"RPI":           res.RPI(),
+		"RPC":           res.RPC(),
+		"MemAccessRate": res.MemAccessRate(),
+	} {
+		if v != 0 {
+			t.Fatalf("%s = %v on a zero-work run, want 0", name, v)
+		}
+	}
+	// The registry snapshot must also be entirely finite.
+	for _, m := range cfg.Obs.Reg().Snapshot() {
+		if m.Value != m.Value {
+			t.Fatalf("metric %q is NaN on a zero-work run", m.Name)
+		}
+	}
+}

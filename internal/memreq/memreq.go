@@ -148,6 +148,17 @@ type Coalescer interface {
 	Reset()
 }
 
+// Recycler is an optional interface a Coalescer may implement. A
+// driver that is completely done with a Built — the response has been
+// delivered and every target consumed — may hand it back so internal
+// buffers (e.g. the target slab) can be reused, keeping the build/pop
+// path allocation-free. Calling Recycle is always optional; a driver
+// that retains Builts simply never calls it. After the call the Built
+// and its Targets slice must not be touched.
+type Recycler interface {
+	Recycle(b *Built)
+}
+
 // Stats is the measurement set shared by every coalescer design.
 type Stats struct {
 	// RawRequests counts raw memory requests accepted (excluding

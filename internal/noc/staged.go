@@ -1,0 +1,183 @@
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mac3d/internal/sim"
+)
+
+// Staged injection ports: the mechanism that lets the parallel NUMA
+// core drive one fabric from N goroutines without giving up the
+// sequential core's bit-exact behaviour.
+//
+// During a cycle's node phase each goroutine talks only to its own
+// SendPort. A port answers accept/refuse immediately — which the
+// driver needs, because backpressure decides whether a message stays
+// in the node's outbound queue — but it does not mutate the shared
+// fabric; it stages the message privately. Admission can be decided
+// locally because every piece of fabric state a Send consults is
+// per-source (the ideal crossbar always accepts; the routed fabrics
+// check only inject[src] depth and ejectFlits[src]), and the fabric's
+// Tick/Deliver never run while ports are live. At the barrier the
+// driver calls FlushPorts, which folds every staged message into the
+// fabric in ascending port order — reproducing exactly the mutation
+// order a sequential driver iterating nodes 0..N-1 would have caused,
+// including the ideal crossbar's heap-push order and therefore its
+// unspecified-but-deterministic tie behaviour.
+//
+// Contract: between a cycle's first port Send and its FlushPorts, the
+// fabric's Send/Tick/Deliver must not be called; messages staged on
+// port i must have Src == i.
+
+// SendPort is one node's private injection port. Send has Fabric.Send
+// semantics (false = backpressure, caller keeps the message) but only
+// stages; nothing enters the fabric until FlushPorts.
+type SendPort[P any] interface {
+	Send(now sim.Cycle, m Message[P]) bool
+}
+
+// PortFabric extends Fabric with barrier-staged injection. Both
+// engines in this package implement it.
+type PortFabric[P any] interface {
+	Fabric[P]
+	// Ports returns the per-node staging ports, indexed by source node.
+	// The same slice contents are returned on every call.
+	Ports() []SendPort[P]
+	// FlushPorts folds all staged messages into the fabric in ascending
+	// port order and resets the ports. Call once per cycle, at the
+	// barrier after the node phase and before Tick.
+	FlushPorts(now sim.Cycle)
+}
+
+// idealPort stages sends for one source node of the ideal crossbar.
+// The crossbar never refuses, so staging is unconditional; the
+// delivery cycle is computed at Send time, so flushing is a pure
+// heap-push replay.
+type idealPort[P any] struct {
+	f      *idealFabric[P]
+	staged []idealMsg[P]
+	flits  uint64
+}
+
+func (p *idealPort[P]) Send(now sim.Cycle, m Message[P]) bool {
+	if m.Flits <= 0 {
+		m.Flits = 1
+	}
+	p.staged = append(p.staged, idealMsg[P]{deliver: now + p.f.cfg.LinkLatency, sent: now, m: m})
+	p.flits += uint64(m.Flits)
+	return true
+}
+
+// Ports implements PortFabric.
+func (f *idealFabric[P]) Ports() []SendPort[P] {
+	if f.sendPorts == nil {
+		f.sendPorts = make([]idealPort[P], f.cfg.Nodes)
+		for i := range f.sendPorts {
+			f.sendPorts[i].f = f
+		}
+	}
+	out := make([]SendPort[P], len(f.sendPorts))
+	for i := range f.sendPorts {
+		out[i] = &f.sendPorts[i]
+	}
+	return out
+}
+
+// FlushPorts implements PortFabric. Pushing in ascending port order
+// recreates the heap-push sequence of a sequential driver, so the
+// heap's internal layout — and with it the tie order of same-cycle
+// deliveries — is bit-identical.
+func (f *idealFabric[P]) FlushPorts(sim.Cycle) {
+	for i := range f.sendPorts {
+		p := &f.sendPorts[i]
+		for _, im := range p.staged {
+			heap.Push(&f.h, im)
+		}
+		f.inflight += len(p.staged)
+		f.st.Sent += uint64(len(p.staged))
+		f.st.FlitsSent += p.flits
+		p.staged = p.staged[:0]
+		p.flits = 0
+	}
+}
+
+// routedPort stages sends for one source node of a routed fabric. It
+// shadows the two per-source admission accounts (injection-queue depth
+// and ejection-buffer flits) so refusals during the staged phase match
+// what an interleaved sequential Send would have decided.
+type routedPort[P any] struct {
+	f            *routedFabric[P]
+	node         int
+	staged       []routedMsg[P]
+	stagedInject int
+	stagedEject  int // flits
+	flits        uint64
+	rejects      uint64
+}
+
+func (p *routedPort[P]) Send(now sim.Cycle, m Message[P]) bool {
+	if m.Src != p.node {
+		panic(fmt.Sprintf("noc: message with src %d staged on port %d", m.Src, p.node))
+	}
+	switch {
+	case m.Flits <= 0:
+		m.Flits = 1
+	case m.Flits > MaxMessageFlits:
+		m.Flits = MaxMessageFlits
+	}
+	if m.Src == m.Dst {
+		if p.f.ejectFlits[m.Src]+p.stagedEject+m.Flits > p.f.cfg.BufferFlits {
+			p.rejects++
+			return false
+		}
+		p.stagedEject += m.Flits
+	} else {
+		if len(p.f.inject[m.Src])+p.stagedInject >= p.f.cfg.InjectDepth {
+			p.rejects++
+			return false
+		}
+		p.stagedInject++
+	}
+	p.staged = append(p.staged, routedMsg[P]{m: m, sent: now})
+	p.flits += uint64(m.Flits)
+	return true
+}
+
+// Ports implements PortFabric.
+func (f *routedFabric[P]) Ports() []SendPort[P] {
+	if f.sendPorts == nil {
+		f.sendPorts = make([]routedPort[P], f.cfg.Nodes)
+		for i := range f.sendPorts {
+			f.sendPorts[i].f = f
+			f.sendPorts[i].node = i
+		}
+	}
+	out := make([]SendPort[P], len(f.sendPorts))
+	for i := range f.sendPorts {
+		out[i] = &f.sendPorts[i]
+	}
+	return out
+}
+
+// FlushPorts implements PortFabric.
+func (f *routedFabric[P]) FlushPorts(sim.Cycle) {
+	for i := range f.sendPorts {
+		p := &f.sendPorts[i]
+		for _, rm := range p.staged {
+			if rm.m.Src == rm.m.Dst {
+				f.eject[rm.m.Src] = append(f.eject[rm.m.Src], rm)
+				f.ejectFlits[rm.m.Src] += rm.m.Flits
+			} else {
+				f.inject[rm.m.Src] = append(f.inject[rm.m.Src], rm)
+			}
+		}
+		f.inflight += len(p.staged)
+		f.st.Sent += uint64(len(p.staged))
+		f.st.FlitsSent += p.flits
+		f.st.InjectRejects += p.rejects
+		p.staged = p.staged[:0]
+		p.stagedInject, p.stagedEject = 0, 0
+		p.flits, p.rejects = 0, 0
+	}
+}

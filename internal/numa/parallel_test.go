@@ -1,0 +1,146 @@
+package numa
+
+import (
+	"reflect"
+	"testing"
+
+	"mac3d/internal/chaos"
+	"mac3d/internal/memreq"
+	"mac3d/internal/noc"
+	"mac3d/internal/trace"
+)
+
+// parityWorkers are the worker counts every parity case runs at: an
+// even split, a count that leaves a ragged remainder, and one at (or
+// beyond) the node count.
+var parityWorkers = []int{2, 3, 8}
+
+func runWorkers(t *testing.T, cfg Config, tr *trace.Trace, workers int) *Result {
+	t.Helper()
+	cfg.Workers = workers
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+// checkParity runs cfg sequentially and at every parity worker count
+// and requires the full Result — counters, per-node snapshots, NoC
+// stats including histograms, chaos stats — to be deeply equal.
+func checkParity(t *testing.T, cfg Config, tr func() *trace.Trace) {
+	t.Helper()
+	seq := runWorkers(t, cfg, tr(), 0)
+	for _, w := range parityWorkers {
+		par := runWorkers(t, cfg, tr(), w)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d diverged from sequential:\n  seq cycles=%d remote=%d latSum=%d latCount=%d nocSent=%d nocDelivered=%d\n  par cycles=%d remote=%d latSum=%d latCount=%d nocSent=%d nocDelivered=%d",
+				w,
+				seq.Cycles, seq.RemoteRequests, seq.RequestLatency.Sum(),
+				seq.RequestLatency.Count(), seq.NoC.Sent, seq.NoC.Delivered,
+				par.Cycles, par.RemoteRequests, par.RequestLatency.Sum(),
+				par.RequestLatency.Count(), par.NoC.Sent, par.NoC.Delivered)
+		}
+	}
+}
+
+// TestParallelMatchesSequentialGolden runs every golden capture (plus
+// the RAQ-saturating shape) in parallel mode: the parallel core must
+// reproduce the pinned pre-NoC numbers bit-for-bit, not just agree
+// with whatever the sequential core currently does.
+func TestParallelMatchesSequentialGolden(t *testing.T) {
+	cases := append(append([]goldenCase{}, goldenCases...), saturatedCase)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkParity(t, c.config(), c.tr)
+			for _, w := range parityWorkers {
+				cfg := c.config()
+				cfg.Workers = w
+				res, err := Run(cfg, c.tr())
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				c.check(t, res)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialRouted covers the routed topologies,
+// where staged injection must reproduce credit flow control and
+// per-(src,dst) FIFO exactly.
+func TestParallelMatchesSequentialRouted(t *testing.T) {
+	for _, topo := range []string{noc.Ring, noc.Mesh} {
+		t.Run(topo, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Nodes = 8
+			cfg.CoresPerNode = 2
+			cfg.NoC = noc.Config{Topology: topo, LinkLatency: 5, LinkBandwidth: 1}
+			checkParity(t, cfg, func() *trace.Trace { return goldMixTrace(11, 8, 600) })
+		})
+	}
+	t.Run("mesh-16n", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.Nodes = 16
+		cfg.CoresPerNode = 1
+		cfg.NoC = noc.Config{Topology: noc.Mesh, LinkLatency: 3, LinkBandwidth: 2}
+		checkParity(t, cfg, func() *trace.Trace { return goldTrace(16, 48) })
+	})
+}
+
+// TestParallelMatchesSequentialChaos is the satellite-1 pin: chaos
+// runs — whose RNG schedules are exquisitely order-sensitive — replay
+// bit-for-bit between sequential and parallel execution, across the
+// mild and storm presets (overlaid with the link stressor, the one
+// that acts at NUMA level) and a seed sweep.
+func TestParallelMatchesSequentialChaos(t *testing.T) {
+	for _, preset := range []string{"mild", "storm"} {
+		for _, seed := range []uint64{1, 42, 9001} {
+			p, err := chaos.ParseProfile(preset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.LinkRate = 0.05
+			p.LinkStall = 150
+			p.Seed = seed
+			cfg := DefaultConfig()
+			cfg.Nodes = 8
+			cfg.CoresPerNode = 1
+			cfg.NoC = noc.Config{Topology: noc.Ring, LinkLatency: 5, LinkBandwidth: 1}
+			cfg.Chaos = p
+			t.Run(preset, func(t *testing.T) {
+				checkParity(t, cfg, func() *trace.Trace { return goldTrace(8, 48) })
+			})
+		}
+	}
+}
+
+// TestParallelMatchesSequentialRetry exercises the sharded retry
+// path: CRC-poisoned completions re-issue at each thread's home node
+// identically in both modes.
+func TestParallelMatchesSequentialRetry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CoresPerNode = 2
+	cfg.HMC.Faults.CRCErrorRate = 0.3
+	cfg.HMC.Faults.RetryLimit = 1
+	cfg.HMC.Faults.Seed = 5
+	cfg.Retry = memreq.RetryPolicy{MaxRetries: 8, Backoff: 16}
+	checkParity(t, cfg, func() *trace.Trace { return goldTrace(8, 64) })
+}
+
+// TestParallelWorkersClamped: worker counts beyond the node count and
+// a tracing run (which forces sequential execution) both behave.
+func TestParallelWorkersClamped(t *testing.T) {
+	c := goldenCases[0]
+	cfg := c.config()
+	cfg.Workers = 64 // > Nodes: clamped
+	res, err := Run(cfg, c.tr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.check(t, res)
+	if got := (Config{Workers: -1}); got.Validate() == nil {
+		t.Error("negative Workers validated")
+	}
+}

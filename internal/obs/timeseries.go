@@ -52,6 +52,13 @@ type probe struct {
 // simulated cycle; off-interval cycles cost one comparison. A nil
 // recorder ignores all calls. Prefixed views (WithPrefix) share one
 // underlying probe set.
+//
+// Storage is columnar: one shared cycle-stamp column plus one value
+// column per probe. A sample appends plain float64s — no per-point
+// structs, and half the memory of the old []Point-per-series layout,
+// which duplicated the cycle stamp into every series and made the
+// per-cycle sampling loop a measurable fraction of large runs. The
+// []Series view is materialized lazily on first access and cached.
 type Recorder struct {
 	s      *recState
 	prefix string
@@ -60,8 +67,10 @@ type Recorder struct {
 type recState struct {
 	interval uint64
 	probes   []probe
-	series   []Series
+	cycles   []uint64    // sample cycle stamps, one per sample
+	vals     [][]float64 // vals[j][i]: probe j at sample i; len == len(cycles)
 	samples  uint64
+	cache    []Series // lazily materialized Series view; nil when stale
 }
 
 // NewRecorder returns a recorder sampling every intervalCycles cycles
@@ -92,7 +101,9 @@ func (r *Recorder) Interval() uint64 {
 
 // Watch registers a named probe. Registration order fixes column order
 // in CSV output. Duplicate names panic. A nil recorder ignores the
-// registration.
+// registration. A probe registered after sampling has begun is
+// backfilled with zeros so every column stays the same length (the old
+// ragged-series representation made WriteCSV index out of range).
 func (r *Recorder) Watch(name string, fn func() float64) {
 	if r == nil {
 		return
@@ -104,7 +115,8 @@ func (r *Recorder) Watch(name string, fn func() float64) {
 		}
 	}
 	r.s.probes = append(r.s.probes, probe{name, fn})
-	r.s.series = append(r.s.series, Series{Name: name})
+	r.s.vals = append(r.s.vals, make([]float64, len(r.s.cycles)))
+	r.s.cache = nil
 }
 
 // Sample polls every probe if now falls on the sampling interval.
@@ -113,10 +125,13 @@ func (r *Recorder) Sample(now uint64) {
 	if r == nil || now%r.s.interval != 0 {
 		return
 	}
-	r.s.samples++
-	for i, p := range r.s.probes {
-		r.s.series[i].Points = append(r.s.series[i].Points, Point{now, p.fn()})
+	s := r.s
+	s.samples++
+	s.cycles = append(s.cycles, now)
+	for j, p := range s.probes {
+		s.vals[j] = append(s.vals[j], p.fn())
 	}
+	s.cache = nil
 }
 
 // Samples returns how many sample cycles have been recorded.
@@ -128,12 +143,26 @@ func (r *Recorder) Samples() uint64 {
 }
 
 // Series returns the recorded timeseries (shared backing; callers
-// must not mutate).
+// must not mutate). The view is rebuilt lazily after new samples.
 func (r *Recorder) Series() []Series {
 	if r == nil {
 		return nil
 	}
-	return r.s.series
+	s := r.s
+	if len(s.probes) == 0 {
+		return nil
+	}
+	if s.cache == nil {
+		s.cache = make([]Series, len(s.probes))
+		for j, p := range s.probes {
+			pts := make([]Point, len(s.cycles))
+			for i, c := range s.cycles {
+				pts[i] = Point{c, s.vals[j][i]}
+			}
+			s.cache[j] = Series{Name: p.name, Points: pts}
+		}
+	}
+	return s.cache
 }
 
 // Lookup returns the series with the given name.
@@ -141,7 +170,7 @@ func (r *Recorder) Lookup(name string) (Series, bool) {
 	if r == nil {
 		return Series{}, false
 	}
-	for _, s := range r.s.series {
+	for _, s := range r.Series() {
 		if s.Name == name {
 			return s, true
 		}
@@ -155,21 +184,18 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	s := r.s
 	var b strings.Builder
 	b.WriteString("cycle")
-	for _, s := range r.s.series {
+	for _, p := range s.probes {
 		b.WriteByte(',')
-		b.WriteString(s.Name)
+		b.WriteString(p.name)
 	}
 	b.WriteByte('\n')
-	n := 0
-	if len(r.s.series) > 0 {
-		n = len(r.s.series[0].Points)
-	}
-	for i := 0; i < n; i++ {
-		fmt.Fprintf(&b, "%d", r.s.series[0].Points[i].Cycle)
-		for _, s := range r.s.series {
-			fmt.Fprintf(&b, ",%g", s.Points[i].Value)
+	for i, c := range s.cycles {
+		fmt.Fprintf(&b, "%d", c)
+		for j := range s.probes {
+			fmt.Fprintf(&b, ",%g", s.vals[j][i])
 		}
 		b.WriteByte('\n')
 	}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRecorderNoSamples: a recorder that never sampled (a zero-cycle
+// run) renders a header-only CSV, reports empty series, and none of
+// the derived statistics divide by zero.
+func TestRecorderNoSamples(t *testing.T) {
+	r := NewRecorder(1)
+	r.Watch("a", func() float64 { return 1 })
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != "cycle,a\n" {
+		t.Fatalf("zero-sample CSV = %q, want header only", got)
+	}
+	s := r.Series()
+	if len(s) != 1 || len(s[0].Points) != 0 {
+		t.Fatalf("zero-sample series = %+v", s)
+	}
+	if m := s[0].Mean(); m != 0 || math.IsNaN(m) {
+		t.Fatalf("Mean of empty series = %v, want 0", m)
+	}
+	if r.Samples() != 0 {
+		t.Fatalf("Samples = %d, want 0", r.Samples())
+	}
+}
+
+// TestRecorderLateWatchEqualColumns is the ragged-series regression:
+// a probe registered after sampling has begun used to leave its series
+// shorter than the others, and WriteCSV — which walks every series at
+// the first series' length — panicked with an index out of range. The
+// late series must instead be backfilled so every column stays equal.
+func TestRecorderLateWatchEqualColumns(t *testing.T) {
+	r := NewRecorder(1)
+	r.Watch("early", func() float64 { return 1 })
+	r.Sample(0)
+	r.Sample(1)
+	r.Watch("late", func() float64 { return 2 })
+	r.Sample(2)
+
+	series := r.Series()
+	if len(series) != 2 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q has %d points, want 3 (equal columns)", s.Name, len(s.Points))
+		}
+	}
+	late, _ := r.Lookup("late")
+	if late.Points[0].Value != 0 || late.Points[1].Value != 0 || late.Points[2].Value != 2 {
+		t.Fatalf("late series not zero-backfilled: %+v", late.Points)
+	}
+
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil { // used to panic
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows:\n%s", len(lines), b.String())
+	}
+	for _, l := range lines {
+		if strings.Count(l, ",") != 2 {
+			t.Fatalf("ragged CSV row %q", l)
+		}
+	}
+}
+
+// TestRecorderSeriesViewRefreshes: the lazily cached Series view must
+// pick up samples recorded after a previous access.
+func TestRecorderSeriesViewRefreshes(t *testing.T) {
+	r := NewRecorder(1)
+	v := 1.0
+	r.Watch("a", func() float64 { return v })
+	r.Sample(0)
+	if s := r.Series(); len(s[0].Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(s[0].Points))
+	}
+	v = 5
+	r.Sample(1)
+	s, _ := r.Lookup("a")
+	if len(s.Points) != 2 || s.Points[1].Value != 5 {
+		t.Fatalf("stale series view after new sample: %+v", s.Points)
+	}
+}

@@ -24,6 +24,38 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// NewStream returns a generator for substream `stream` of `seed`:
+// independent, order-stable per-worker streams (seed + node index for
+// the parallel NUMA core, seed + thread id for workload generation).
+//
+// The derivation is deliberately nonlinear. The obvious
+// `NewRNG(seed*C1 + stream*C2)` construction aliases: because the mix
+// is linear in both inputs, for any two stream ids a != b there is a
+// seed shift d = (b-a)*C2/C1 (mod 2^64) with
+// seed*C1 + a*C2 == (seed+d)*C1 + b*C2 — two different (seed, stream)
+// pairs replaying the identical sequence. NewStream feeds the stream
+// id through a full splitmix64 finalizer before combining, so distinct
+// pairs collide only with hash-collision probability instead of along
+// whole affine families.
+func NewStream(seed, stream uint64) *RNG {
+	r := &RNG{}
+	r.SeedStream(seed, stream)
+	return r
+}
+
+// SeedStream resets the generator to substream `stream` of `seed`.
+func (r *RNG) SeedStream(seed, stream uint64) {
+	r.Seed(seed ^ splitmix64(stream))
+}
+
+// splitmix64 is the splitmix64 finalizer: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Seed resets the generator state derived from seed via splitmix64.
 func (r *RNG) Seed(seed uint64) {
 	x := seed

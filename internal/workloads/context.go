@@ -59,8 +59,11 @@ func (c *Context) Threads() int { return c.cfg.Threads }
 func (c *Context) RNG() *sim.RNG { return c.rng }
 
 // Derive returns a thread-local RNG decorrelated from the base seed.
+// It uses sim.NewStream rather than a linear seed*C1+tid*C2 mix: the
+// linear form aliases whole (seed, tid) families onto identical
+// sequences (see sim.NewStream).
 func (c *Context) Derive(tid int) *sim.RNG {
-	return sim.NewRNG(c.cfg.Seed*0x9E3779B97F4A7C15 + uint64(tid)*0xBF58476D1CE4E5B9 + 1)
+	return sim.NewStream(c.cfg.Seed, uint64(tid))
 }
 
 // Trace returns the accumulated trace.

@@ -47,6 +47,13 @@ type NUMAOptions struct {
 	// the pre-NoC model implied, driven by LinkLatencyNs.
 	NoC *NoCOptions `json:"noc,omitempty"`
 
+	// Parallel is the simulation worker count: node phases run on
+	// that many goroutines between per-cycle barriers, with results
+	// bit-identical to the sequential core. 0 or 1 runs sequentially;
+	// counts above Nodes are clamped. This is a host-side execution
+	// knob — it never changes what is simulated, only how fast.
+	Parallel int `json:"parallel,omitempty"`
+
 	// Chaos injects deterministic adversity; at the NUMA level only
 	// the link stressor acts (transient NoC link stalls on routed
 	// topologies).
@@ -145,6 +152,7 @@ func (o NUMAOptions) Validate() error {
 		"Threads":          int64(o.Threads),
 		"Nodes":            int64(o.Nodes),
 		"CoresPerNode":     int64(o.CoresPerNode),
+		"Parallel":         int64(o.Parallel),
 		"Retry.MaxRetries": int64(o.Retry.MaxRetries),
 	}); err != nil {
 		return err
@@ -210,6 +218,7 @@ func (o NUMAOptions) numaConfig() (numa.Config, error) {
 	cfg := numa.DefaultConfig()
 	cfg.Nodes = o.Nodes
 	cfg.CoresPerNode = o.CoresPerNode
+	cfg.Workers = o.Parallel
 	cfg.LinkLatency = clock.CyclesForNanos(o.LinkLatencyNs)
 	if o.InterleaveBytes != 0 {
 		cfg.InterleaveBytes = o.InterleaveBytes

@@ -162,14 +162,30 @@ func (r *ObsReport) WriteTimeseriesCSV(w io.Writer) error {
 		b.WriteString(s.Name)
 	}
 	b.WriteByte('\n')
+	// Rows span the longest series; a series missing a sample (e.g. a
+	// probe registered mid-run in a report produced by an older
+	// recorder) renders as an empty cell instead of panicking.
 	n := 0
-	if len(r.Timeseries) > 0 {
-		n = len(r.Timeseries[0].Points)
+	for _, s := range r.Timeseries {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
 	}
 	for i := 0; i < n; i++ {
-		fmt.Fprintf(&b, "%d", r.Timeseries[0].Points[i].Cycle)
+		cycle := uint64(0)
 		for _, s := range r.Timeseries {
-			fmt.Fprintf(&b, ",%g", s.Points[i].Value)
+			if i < len(s.Points) {
+				cycle = s.Points[i].Cycle
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%d", cycle)
+		for _, s := range r.Timeseries {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, ",%g", s.Points[i].Value)
+			} else {
+				b.WriteByte(',')
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -1,0 +1,70 @@
+package mac3d
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestZeroWorkRunReportFinite: a run over an empty custom trace — zero
+// requests, one drain cycle — must produce a report whose every rate
+// field is finite. encoding/json refuses NaN and ±Inf, so a clean
+// Marshal over the full report (observability block included) is the
+// strongest single check; the CSV renderer must likewise cope with the
+// single-sample timeseries.
+func TestZeroWorkRunReportFinite(t *testing.T) {
+	b, err := NewTraceBuilder(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunTrace(RunOptions{
+		Observe: ObserveOptions{Enabled: true, SampleInterval: 1},
+	}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MemRequests != 0 {
+		t.Fatalf("empty trace issued %d requests", rep.MemRequests)
+	}
+	for name, v := range map[string]float64{
+		"ipc": rep.IPC, "rpi": rep.RPI, "rpc": rep.RPC,
+		"mem_access_rate": rep.MemAccessRate,
+		"data_gbps":       rep.DataGBps, "link_gbps": rep.LinkGBps,
+		"avg_latency":   rep.AvgLatencyCycles,
+		"coalescing":    rep.CoalescingEfficiency,
+		"targets_tx":    rep.AvgTargetsPerTx,
+		"arq_occupancy": rep.ARQOccupancy,
+	} {
+		if v != 0 {
+			t.Errorf("%s = %v on a zero-work run, want 0", name, v)
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("zero-work report does not marshal (NaN/Inf leaked): %v", err)
+	}
+	var csv strings.Builder
+	if err := rep.Observability.WriteTimeseriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "cycle") {
+		t.Fatalf("timeseries CSV malformed:\n%s", csv.String())
+	}
+}
+
+// TestTimeseriesCSVRaggedReport: a report whose series lengths differ
+// (possible after a JSON round trip from an older producer) must
+// render empty cells, not panic.
+func TestTimeseriesCSVRaggedReport(t *testing.T) {
+	rep := &ObsReport{Timeseries: []TimeSeries{
+		{Name: "a", Points: []TimePoint{{Cycle: 0, Value: 1}, {Cycle: 1, Value: 2}}},
+		{Name: "b", Points: []TimePoint{{Cycle: 0, Value: 3}}},
+	}}
+	var b strings.Builder
+	if err := rep.WriteTimeseriesCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "cycle,a,b\n0,1,3\n1,2,\n"
+	if b.String() != want {
+		t.Fatalf("ragged CSV = %q, want %q", b.String(), want)
+	}
+}
