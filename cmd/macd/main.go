@@ -8,6 +8,7 @@
 //	macd [-addr :8080] [-workers 4] [-queue 64]
 //	     [-cache-bytes 67108864] [-job-timeout 10m] [-retain 4096]
 //	     [-journal DIR] [-journal-sync] [-svcchaos PROFILE]
+//	     [-peers URL,URL] [-cluster-router CONFIG]
 //
 // With -journal, every job lifecycle transition is logged to an
 // append-only CRC-checked journal in DIR and done results are stored
@@ -15,8 +16,22 @@
 // replays the log, restores completed results, re-queues interrupted
 // jobs and keeps serving the same job IDs (see DESIGN.md "Crash
 // safety"). -svcchaos injects seeded service-layer faults (worker
-// kills, stalls, request delays, dropped connections) for testing;
-// see internal/svcchaos.
+// kills, stalls, request delays, dropped connections, partitions) for
+// testing; see internal/svcchaos.
+//
+// Cluster mode (see DESIGN.md "Sharded cluster"):
+//
+//   - -peers URL,URL makes this daemon a cluster shard: before
+//     executing a job, it consults each peer's content-addressed
+//     result store and serves any hit byte-identically.
+//   - -cluster-router CONFIG starts a router instead of a daemon: a
+//     coordinator that owns a consistent-hash ring over shard daemons,
+//     health-checks them, fails jobs over on shard death and applies
+//     per-tenant admission quotas. CONFIG is
+//     "shards=URL|URL,vnodes=N,hb=DUR,jitter=F,fail=N,readmit=N,
+//     quota=RATE:BURST,tenant=NAME:RATE:BURST,seed=N" (see
+//     internal/cluster). The router serves the same /v1 API as a
+//     daemon, plus GET /v1/cluster for topology.
 //
 // Endpoints (see DESIGN.md "Serving layer"):
 //
@@ -25,6 +40,7 @@
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result finished report JSON
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/results/{hash}   stored result by spec hash
 //	GET    /v1/healthz          liveness + drain state
 //	GET    /v1/metrics          obs registry as "name value" lines
 //
@@ -41,9 +57,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"mac3d/internal/cluster"
 	"mac3d/internal/service"
 	"mac3d/internal/svcchaos"
 )
@@ -59,14 +77,22 @@ func main() {
 		drainWait   = flag.Duration("drain-timeout", 2*time.Minute, "max time to wait for in-flight jobs on shutdown")
 		journalDir  = flag.String("journal", "", "crash-safe job journal directory (empty disables journaling)")
 		journalSync = flag.Bool("journal-sync", false, "fsync every journal append (power-loss durability)")
-		chaosSpec   = flag.String("svcchaos", "", "service chaos profile for testing: off, mild, storm, or kill=RATE,stall=RATE:MS,delay=RATE:MS,drop=RATE,seed=N")
+		chaosSpec   = flag.String("svcchaos", "", "service chaos profile for testing: off, mild, split, storm, or kill=RATE,stall=RATE:MS,delay=RATE:MS,drop=RATE,partition=RATE:MS,seed=N")
+		peers       = flag.String("peers", "", "comma-separated peer daemon URLs for cluster result read-through")
+		routerSpec  = flag.String("cluster-router", "", "run as a cluster router over shard daemons (see internal/cluster for the config syntax); most daemon flags are ignored")
 	)
 	flag.Parse()
+	if *routerSpec != "" {
+		if err := runRouter(*addr, *routerSpec); err != nil {
+			log.Fatalf("macd: %v", err)
+		}
+		return
+	}
 	profile, err := svcchaos.ParseProfile(*chaosSpec)
 	if err != nil {
 		log.Fatalf("macd: %v", err)
 	}
-	if err := run(*addr, service.Config{
+	cfg := service.Config{
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		CacheBytes:  *cacheBytes,
@@ -74,7 +100,17 @@ func main() {
 		RetainJobs:  *retain,
 		JournalDir:  *journalDir,
 		JournalSync: *journalSync,
-	}, profile, *drainWait); err != nil {
+	}
+	if *peers != "" {
+		var urls []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				urls = append(urls, p)
+			}
+		}
+		cfg.ResultLookup = cluster.PeerReadThrough(urls)
+	}
+	if err := run(*addr, cfg, profile, *drainWait); err != nil {
 		log.Fatalf("macd: %v", err)
 	}
 }
@@ -138,5 +174,47 @@ func run(addr string, cfg service.Config, profile svcchaos.Profile, drainWait ti
 		srv.Close()
 	}
 	log.Printf("macd: drained, bye")
+	return nil
+}
+
+// runRouter serves the cluster coordinator: same signal handling and
+// parseable start line as a daemon, but requests are routed to shards
+// instead of executed.
+func runRouter(addr, spec string) error {
+	cfg, err := cluster.ParseConfig(spec)
+	if err != nil {
+		return err
+	}
+	r, err := cluster.NewRouter(cfg)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: cluster.Handler(r)}
+
+	fmt.Printf("macd: listening on %s\n", ln.Addr())
+	fmt.Printf("macd: cluster router over %d shards\n", len(cfg.Shards))
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("macd: %v: stopping router", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	log.Printf("macd: router stopped, bye")
 	return nil
 }

@@ -1,0 +1,250 @@
+// Command macload is a seeded load generator for a macd daemon or
+// cluster router: it drives a reproducible job mix through concurrent
+// clients, measures submit→result latency and reports p50/p99, cache
+// behavior and the client resilience counters. With SLO flags it
+// becomes a gate: breach the latency, error-rate or cache-hit floor
+// and it exits 1 — CI-friendly canarying for serving-layer changes.
+//
+// Usage:
+//
+//	macload -target http://127.0.0.1:8080
+//	        [-clients 8] [-jobs 64] [-unique 16] [-seed 1]
+//	        [-workload sg] [-scale tiny] [-tenant NAME]
+//	        [-timeout 2m] [-csv]
+//	        [-slo-p99 DUR] [-slo-errors F] [-slo-cache-hits F]
+//
+// The job mix is deterministic: -jobs submissions cycle through
+// -unique distinct specs (workload × scale × spec seed derived from
+// -seed), so the expected cache/coalesce hit fraction is
+// (jobs-unique)/jobs and a rerun against a warm daemon is comparable
+// to the previous one. Clients retry under the shared seeded policy
+// and honor server Retry-After hints, so macload is also a live
+// exerciser of the backpressure path.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"mac3d/internal/service"
+	"mac3d/internal/stats"
+)
+
+type loadOptions struct {
+	target   string
+	clients  int
+	jobs     int
+	unique   int
+	seed     uint64
+	workload string
+	scale    string
+	tenant   string
+	timeout  time.Duration
+
+	sloP99       time.Duration
+	sloErrors    float64 // max error fraction, negative disables
+	sloCacheHits float64 // min cache-hit fraction, negative disables
+}
+
+// loadSummary is one run's measured outcome.
+type loadSummary struct {
+	jobs      int
+	errors    int
+	cached    int
+	coalesced int
+	latency   stats.Histogram // submit→result, microseconds
+	clients   service.ClientStats
+	elapsed   time.Duration
+}
+
+func (s *loadSummary) errorRate() float64 {
+	if s.jobs == 0 {
+		return 0
+	}
+	return float64(s.errors) / float64(s.jobs)
+}
+
+func (s *loadSummary) cacheHitRate() float64 {
+	if s.jobs == 0 {
+		return 0
+	}
+	return float64(s.cached+s.coalesced) / float64(s.jobs)
+}
+
+func (s *loadSummary) p50() time.Duration {
+	return time.Duration(s.latency.Quantile(0.5)) * time.Microsecond
+}
+
+func (s *loadSummary) p99() time.Duration {
+	return time.Duration(s.latency.Quantile(0.99)) * time.Microsecond
+}
+
+func main() {
+	var opts loadOptions
+	flag.StringVar(&opts.target, "target", "", "daemon or router base URL (required)")
+	flag.IntVar(&opts.clients, "clients", 8, "concurrent client goroutines")
+	flag.IntVar(&opts.jobs, "jobs", 64, "total submissions")
+	flag.IntVar(&opts.unique, "unique", 16, "distinct specs in the mix (jobs beyond this repeat and should cache-hit)")
+	flag.Uint64Var(&opts.seed, "seed", 1, "base seed for the deterministic job mix and client jitter")
+	flag.StringVar(&opts.workload, "workload", "sg", "workload for generated specs")
+	flag.StringVar(&opts.scale, "scale", "tiny", "scale for generated specs")
+	flag.StringVar(&opts.tenant, "tenant", "", "X-Macd-Tenant header for cluster admission control")
+	flag.DurationVar(&opts.timeout, "timeout", 2*time.Minute, "overall run deadline")
+	flag.DurationVar(&opts.sloP99, "slo-p99", 0, "fail (exit 1) if p99 latency exceeds this (0 disables)")
+	errRate := flag.Float64("slo-errors", -1, "fail (exit 1) if the error fraction exceeds this (negative disables)")
+	hitRate := flag.Float64("slo-cache-hits", -1, "fail (exit 1) if the cache-hit fraction is below this (negative disables)")
+	csv := flag.Bool("csv", false, "emit the summary as CSV instead of aligned text")
+	flag.Parse()
+	opts.sloErrors = *errRate
+	opts.sloCacheHits = *hitRate
+	if opts.target == "" {
+		log.Fatal("macload: -target is required")
+	}
+
+	sum, err := runLoad(opts)
+	if err != nil {
+		log.Fatalf("macload: %v", err)
+	}
+	fmt.Print(formatSummary(&opts, sum, *csv))
+	if breaches := checkSLOs(&opts, sum); len(breaches) > 0 {
+		for _, b := range breaches {
+			fmt.Printf("macload: SLO breach: %s\n", b)
+		}
+		os.Exit(1)
+	}
+}
+
+// specMix builds the deterministic job list: opts.jobs submissions
+// cycling through opts.unique distinct specs.
+func specMix(opts *loadOptions) [][]byte {
+	unique := opts.unique
+	if unique < 1 {
+		unique = 1
+	}
+	mix := make([][]byte, opts.jobs)
+	for i := range mix {
+		specSeed := opts.seed + uint64(i%unique)
+		mix[i] = []byte(fmt.Sprintf(`{"kind":"run","run":{"workload":%q,"scale":%q,"seed":%d}}`,
+			opts.workload, opts.scale, specSeed))
+	}
+	return mix
+}
+
+// runLoad drives the mix through opts.clients concurrent clients and
+// aggregates latency and outcome counters.
+func runLoad(opts loadOptions) (*loadSummary, error) {
+	if opts.jobs < 1 || opts.clients < 1 {
+		return nil, fmt.Errorf("need at least 1 job and 1 client (got %d, %d)", opts.jobs, opts.clients)
+	}
+	mix := specMix(&opts)
+	ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
+	defer cancel()
+
+	sum := &loadSummary{jobs: opts.jobs}
+	var mu sync.Mutex
+	work := make(chan []byte)
+	var wg sync.WaitGroup
+	start := time.Now()
+	clients := make([]*service.Client, opts.clients)
+	for i := 0; i < opts.clients; i++ {
+		policy := service.DefaultRetryPolicy()
+		policy.Seed = opts.seed + uint64(i) + 1
+		c := &service.Client{
+			BaseURL: opts.target,
+			Retry:   policy,
+			Breaker: &service.Breaker{},
+			Tenant:  opts.tenant,
+		}
+		clients[i] = c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for data := range work {
+				t0 := time.Now()
+				st, err := c.SubmitJSON(ctx, data)
+				var out []byte
+				if err == nil {
+					out, err = c.AwaitResult(ctx, st.ID)
+				}
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || len(out) == 0 {
+					sum.errors++
+				} else {
+					sum.latency.Observe(uint64(lat.Microseconds()))
+				}
+				if st.Cached {
+					sum.cached++
+				}
+				if st.Coalesced {
+					sum.coalesced++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, data := range mix {
+		select {
+		case work <- data:
+		case <-ctx.Done():
+			close(work)
+			wg.Wait()
+			return nil, fmt.Errorf("deadline exceeded after %v", opts.timeout)
+		}
+	}
+	close(work)
+	wg.Wait()
+	sum.elapsed = time.Since(start)
+	for _, c := range clients {
+		cs := c.Stats()
+		sum.clients.Attempts += cs.Attempts
+		sum.clients.Retries += cs.Retries
+		sum.clients.BreakerRejects += cs.BreakerRejects
+		sum.clients.RetryAfterWaits += cs.RetryAfterWaits
+	}
+	return sum, nil
+}
+
+func formatSummary(opts *loadOptions, s *loadSummary, csv bool) string {
+	t := stats.NewTable(
+		fmt.Sprintf("macload: %d jobs x %d clients against %s", s.jobs, opts.clients, opts.target),
+		"metric", "value")
+	t.AddRow("elapsed", s.elapsed.Round(time.Millisecond).String())
+	t.AddRow("errors", s.errors)
+	t.AddRow("p50_latency", s.p50().Round(time.Microsecond).String())
+	t.AddRow("p99_latency", s.p99().Round(time.Microsecond).String())
+	t.AddRow("cache_hit_rate", stats.FormatFloat(s.cacheHitRate()))
+	t.AddRow("cached", s.cached)
+	t.AddRow("coalesced", s.coalesced)
+	t.AddRow("attempts", s.clients.Attempts)
+	t.AddRow("retries", s.clients.Retries)
+	t.AddRow("breaker_rejects", s.clients.BreakerRejects)
+	t.AddRow("retry_after_waits", s.clients.RetryAfterWaits)
+	if csv {
+		return t.CSV()
+	}
+	return t.Render()
+}
+
+// checkSLOs returns a description of every breached objective.
+func checkSLOs(opts *loadOptions, s *loadSummary) []string {
+	var out []string
+	if opts.sloP99 > 0 && s.p99() > opts.sloP99 {
+		out = append(out, fmt.Sprintf("p99 %v > %v", s.p99().Round(time.Microsecond), opts.sloP99))
+	}
+	if opts.sloErrors >= 0 && s.errorRate() > opts.sloErrors {
+		out = append(out, fmt.Sprintf("error rate %s > %s",
+			strings.TrimSpace(stats.FormatFloat(s.errorRate())), strings.TrimSpace(stats.FormatFloat(opts.sloErrors))))
+	}
+	if opts.sloCacheHits >= 0 && s.cacheHitRate() < opts.sloCacheHits {
+		out = append(out, fmt.Sprintf("cache-hit rate %s < %s",
+			strings.TrimSpace(stats.FormatFloat(s.cacheHitRate())), strings.TrimSpace(stats.FormatFloat(opts.sloCacheHits))))
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mac3d/internal/service"
+)
+
+func startDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Kill)
+	srv := httptest.NewServer(service.Handler(svc))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestSpecMixDeterministic(t *testing.T) {
+	opts := &loadOptions{jobs: 12, unique: 4, seed: 9, workload: "sg", scale: "tiny"}
+	a, b := specMix(opts), specMix(opts)
+	if len(a) != 12 {
+		t.Fatalf("mix length %d", len(a))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("mix[%d] differs between identically seeded builds", i)
+		}
+	}
+	// Jobs cycle: entry 0 and entry unique are the same spec.
+	if !bytes.Equal(a[0], a[4]) {
+		t.Fatal("mix does not cycle through unique specs")
+	}
+	if bytes.Equal(a[0], a[1]) {
+		t.Fatal("distinct mix entries are identical")
+	}
+	// Every spec in the mix must be valid.
+	for i, data := range a {
+		if _, err := service.ParseSpec(data); err != nil {
+			t.Fatalf("mix[%d] is invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRunLoadAgainstDaemon(t *testing.T) {
+	srv := startDaemon(t)
+	sum, err := runLoad(loadOptions{
+		target:   srv.URL,
+		clients:  4,
+		jobs:     16,
+		unique:   4,
+		seed:     3,
+		workload: "sg",
+		scale:    "tiny",
+		timeout:  2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.errors != 0 {
+		t.Fatalf("errors = %d, want 0", sum.errors)
+	}
+	if got := int(sum.latency.Count()); got != 16 {
+		t.Fatalf("latency samples = %d, want 16", got)
+	}
+	// 16 jobs over 4 unique specs: at least the 12 repeats must be
+	// served by the cache or coalesced onto an in-flight twin.
+	if sum.cached+sum.coalesced < 12 {
+		t.Fatalf("cached %d + coalesced %d < 12 repeats", sum.cached, sum.coalesced)
+	}
+	if sum.p99() < sum.p50() {
+		t.Fatalf("p99 %v < p50 %v", sum.p99(), sum.p50())
+	}
+	out := formatSummary(&loadOptions{target: srv.URL, clients: 4}, sum, false)
+	for _, want := range []string{"p50_latency", "p99_latency", "cache_hit_rate", "errors"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckSLOs(t *testing.T) {
+	sum := &loadSummary{jobs: 10, errors: 2, cached: 1}
+	sum.latency.Observe(50_000) // 50ms
+	opts := &loadOptions{sloP99: 10 * time.Millisecond, sloErrors: 0.1, sloCacheHits: 0.5}
+	breaches := checkSLOs(opts, sum)
+	if len(breaches) != 3 {
+		t.Fatalf("breaches = %v, want 3", breaches)
+	}
+	// Disabled SLOs never breach.
+	opts = &loadOptions{sloP99: 0, sloErrors: -1, sloCacheHits: -1}
+	if breaches := checkSLOs(opts, sum); len(breaches) != 0 {
+		t.Fatalf("disabled SLOs breached: %v", breaches)
+	}
+	// Met SLOs pass.
+	opts = &loadOptions{sloP99: time.Second, sloErrors: 0.5, sloCacheHits: 0.05}
+	if breaches := checkSLOs(opts, sum); len(breaches) != 0 {
+		t.Fatalf("met SLOs breached: %v", breaches)
+	}
+}

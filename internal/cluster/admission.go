@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math"
+	"time"
+)
+
+// Admission control. Each tenant (the X-Macd-Tenant request header;
+// empty means the anonymous tenant) gets a token bucket refilled at
+// its quota rate; a submission takes one token or is shed with 429 and
+// a Retry-After telling the client when a token will exist. Admission
+// happens before routing, so an over-quota tenant costs the cluster
+// one map lookup — not a forwarded request, not a shard queue slot.
+
+// bucket is one tenant's token bucket, guarded by Router.mu.
+type bucket struct {
+	quota  Quota
+	tokens float64
+	last   time.Time
+}
+
+// admitLocked charges one token to tenant, creating its bucket on
+// first sight (r.mu held). Unlimited tenants always pass.
+func (r *Router) admitLocked(tenant string) bool {
+	q, ok := r.cfg.Tenants[tenant]
+	if !ok {
+		q = r.cfg.DefaultQuota
+	}
+	if !q.enabled() {
+		return true
+	}
+	b := r.tenants[tenant]
+	if b == nil {
+		b = &bucket{quota: q, tokens: q.Burst, last: r.now()}
+		r.tenants[tenant] = b
+	}
+	b.refill(r.now())
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (b *bucket) refill(now time.Time) {
+	dt := now.Sub(b.last).Seconds()
+	if dt > 0 {
+		b.tokens = math.Min(b.quota.Burst, b.tokens+dt*b.quota.Rate)
+		b.last = now
+	}
+}
+
+// quotaRetryAfter estimates whole seconds until tenant's bucket holds
+// a token again — the Retry-After served with a 429 quota rejection.
+func (r *Router) quotaRetryAfter(tenant string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.tenants[tenant]
+	if b == nil || !b.quota.enabled() {
+		return 1
+	}
+	b.refill(r.now())
+	deficit := 1 - b.tokens
+	if deficit <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(deficit / b.quota.Rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

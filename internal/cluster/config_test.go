@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfigFull(t *testing.T) {
+	c, err := ParseConfig("shards=http://a:1|http://b:2,vnodes=32,hb=200ms,jitter=0.1,fail=2,readmit=4,quota=10:20,tenant=alice:5,tenant=bob:2:8,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Shards:          []string{"http://a:1", "http://b:2"},
+		VNodes:          32,
+		Heartbeat:       200 * time.Millisecond,
+		HeartbeatJitter: 0.1,
+		FailAfter:       2,
+		ReadmitAfter:    4,
+		DefaultQuota:    Quota{Rate: 10, Burst: 20},
+		Tenants:         map[string]Quota{"alice": {Rate: 5, Burst: 5}, "bob": {Rate: 2, Burst: 8}},
+		Seed:            7,
+	}
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("got %+v, want %+v", c, want)
+	}
+}
+
+func TestParseConfigDefaults(t *testing.T) {
+	c, err := ParseConfig("shards=http://127.0.0.1:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VNodes != 64 || c.Heartbeat != 500*time.Millisecond || c.HeartbeatJitter != 0.2 ||
+		c.FailAfter != 3 || c.ReadmitAfter != 2 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.DefaultQuota.enabled() {
+		t.Fatalf("default quota should be unlimited: %+v", c.DefaultQuota)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	for _, s := range []string{
+		"",                                      // no shards
+		"vnodes=8",                              // no shards
+		"shards=",                               // empty shard
+		"shards=http://a|",                      // empty shard in list
+		"shards=ftp://a",                        // bad scheme
+		"shards=http://",                        // no host
+		"shards=http://a|http://a",              // duplicate
+		"shards=http://a,shards=http://b",       // shards twice
+		"shards=http://a,vnodes=-1",             // negative vnodes
+		"shards=http://a,vnodes=99999",          // vnodes too large
+		"shards=http://a,vnodes=x",              // bad int
+		"shards=http://a,hb=fast",               // bad duration
+		"shards=http://a,hb=-1s",                // negative duration
+		"shards=http://a,jitter=2",              // jitter out of range
+		"shards=http://a,jitter=-1",             // negative jitter
+		"shards=http://a,fail=-1",               // negative fail
+		"shards=http://a,readmit=-1",            // negative readmit
+		"shards=http://a,quota=-1",              // negative rate
+		"shards=http://a,quota=NaN",             // NaN rate
+		"shards=http://a,quota=1:2:3",           // too many fields
+		"shards=http://a,quota=5:0.5",           // burst < 1 admits nothing
+		"shards=http://a,tenant=x",              // no rate
+		"shards=http://a,tenant=:5",             // empty name
+		"shards=http://a,tenant=a:1,tenant=a:2", // duplicate tenant
+		"shards=http://a,seed=-1",               // negative seed
+		"shards=http://a,boom=1",                // unknown key
+		"shards=http://a,vnodes",                // not key=value
+	} {
+		if _, err := ParseConfig(s); err == nil {
+			t.Errorf("ParseConfig(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestConfigStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"shards=http://a:1",
+		"shards=http://a:1|http://b:2|http://c:3,vnodes=16",
+		"shards=http://a:1,quota=5,tenant=z:1,tenant=a:3:9,seed=42",
+		"shards=http://a:1,hb=1h30m,jitter=1",
+	} {
+		c, err := ParseConfig(s)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", s, err)
+		}
+		back, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", c.String(), err)
+		}
+		if !reflect.DeepEqual(back, c) {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v", s, c, c.String(), back)
+		}
+		if strings.Contains(c.String(), " ") {
+			t.Fatalf("String() %q contains spaces", c.String())
+		}
+	}
+}
+
+func TestQuotaNormalize(t *testing.T) {
+	if q := (Quota{Rate: 5}).normalize(); q.Burst != 5 {
+		t.Fatalf("burst not defaulted to rate: %+v", q)
+	}
+	if q := (Quota{Rate: 0.5}).normalize(); q.Burst != 1 {
+		t.Fatalf("sub-1 rate should default burst to 1: %+v", q)
+	}
+	if q := (Quota{Rate: 0, Burst: 9}).normalize(); q != (Quota{}) {
+		t.Fatalf("unlimited quota should drop burst: %+v", q)
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig holds ParseConfig to the same contract as the other
+// parser fuzz targets (service.ParseSpec, svcchaos.ParseProfile): it
+// never panics, anything it accepts validates, and String() is a
+// fixed point through re-parsing.
+func FuzzParseConfig(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"shards=http://127.0.0.1:8080",
+		"shards=http://a:1|http://b:2|http://c:3,vnodes=16,hb=200ms,jitter=0.1,fail=2,readmit=4,seed=7",
+		"shards=http://a:1,quota=10:20,tenant=alice:5,tenant=bob:2:8",
+		"shards=http://a:1,hb=1h30m,jitter=1",
+		"shards=ftp://a", "shards=http://a|http://a", "vnodes=8",
+		"shards=http://a,quota=NaN", "shards=http://a,tenant=:5",
+		"shards=http://a,seed=18446744073709551615", ",,,",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConfig(s)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("ParseConfig(%q) returned invalid config %+v: %v", s, c, err)
+		}
+		back, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("re-parsing String() %q of %q: %v", c.String(), s, err)
+		}
+		if !reflect.DeepEqual(back, c) {
+			t.Fatalf("round trip: %q -> %+v -> %q -> %+v", s, c, c.String(), back)
+		}
+		if strings.ContainsAny(c.String(), " \t\n") {
+			t.Fatalf("String() %q contains whitespace", c.String())
+		}
+	})
+}

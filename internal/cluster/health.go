@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// The health plane. Every shard gets one prober goroutine issuing
+// /v1/healthz heartbeats on a seeded, jittered period (jitter
+// de-synchronizes the probe herd; the seed keeps a test's probe
+// schedule reproducible). FailAfter consecutive failures evict the
+// shard from routing and trigger eager failover of its accepted jobs;
+// ReadmitAfter consecutive successes re-admit it. Probers are the sole
+// eviction authority — a failed forward walks to the ring successor
+// for that one job but does not mark the shard down, so one slow
+// request cannot flap cluster membership.
+
+// shardHealth is one shard's probe-derived state, guarded by
+// Router.mu.
+type shardHealth struct {
+	healthy bool
+	fails   int // consecutive probe failures (while healthy)
+	oks     int // consecutive probe successes (while evicted)
+	probes  uint64
+	lastErr string
+}
+
+// startProbers launches one heartbeat loop per shard.
+func (r *Router) startProbers() {
+	for i := range r.cfg.Shards {
+		r.wg.Add(1)
+		go r.probeLoop(i)
+	}
+}
+
+func (r *Router) probeLoop(shard int) {
+	defer r.wg.Done()
+	seed := r.cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// Each shard draws from its own stream so eviction order does not
+	// depend on goroutine interleaving.
+	rng := rand.New(rand.NewSource(int64(seed) + int64(shard)*0x9e3779b9 + 1))
+	for {
+		d := jittered(r.cfg.Heartbeat, r.cfg.HeartbeatJitter, rng)
+		select {
+		case <-r.stop:
+			return
+		case <-time.After(d):
+		}
+		r.probeOnce(shard)
+	}
+}
+
+// probeOnce issues one heartbeat and applies the transition rules.
+func (r *Router) probeOnce(shard int) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.probeTimeout())
+	ok, draining, err := r.probes[shard].Healthz(ctx)
+	cancel()
+	up := err == nil && ok && !draining
+
+	r.mu.Lock()
+	h := &r.health[shard]
+	h.probes++
+	if err != nil {
+		h.lastErr = err.Error()
+	} else {
+		h.lastErr = ""
+	}
+	var evicted bool
+	switch {
+	case up && h.healthy:
+		h.fails = 0
+	case up && !h.healthy:
+		h.oks++
+		if h.oks >= r.cfg.ReadmitAfter {
+			h.healthy = true
+			h.fails, h.oks = 0, 0
+			r.nReadmissions++
+		}
+	case !up && h.healthy:
+		h.fails++
+		h.oks = 0
+		if h.fails >= r.cfg.FailAfter {
+			h.healthy = false
+			h.oks = 0
+			r.nEvictions++
+			evicted = true
+		}
+	default: // !up && !h.healthy
+		h.oks = 0
+	}
+	r.mu.Unlock()
+
+	if evicted {
+		// Eager failover: the shard is gone, so move its accepted jobs
+		// to their ring successors now instead of waiting for clients
+		// to poll into the failure. Content addressing makes this safe
+		// even if the shard was only partitioned and finishes its copy:
+		// both executions produce byte-identical reports.
+		r.failoverFrom(shard)
+	}
+}
+
+// probeTimeout bounds one heartbeat round trip: the probe period,
+// clamped to [100ms, 2s]. The floor is deliberately independent of
+// the period — a fast heartbeat sharpens *detection cadence*, but a
+// live shard busy simulating must still get a reasonable window to
+// answer, or load alone evicts it. A genuinely dead shard fails the
+// probe instantly (connection refused), so the floor does not slow
+// eviction; it only keeps a slow-but-alive shard in the ring.
+func (r *Router) probeTimeout() time.Duration {
+	d := r.cfg.Heartbeat
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// jittered spreads d uniformly in ±frac of itself from rng.
+func jittered(d time.Duration, frac float64, rng *rand.Rand) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	out := time.Duration(float64(d) * (1 + frac*(2*rng.Float64()-1)))
+	if out < time.Millisecond {
+		out = time.Millisecond
+	}
+	return out
+}
+
+// healthySnapshot copies the per-shard healthy bits.
+func (r *Router) healthySnapshot() []bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]bool, len(r.health))
+	for i := range r.health {
+		out[i] = r.health[i].healthy
+	}
+	return out
+}
+
+// HealthyShards returns how many shards are currently admitted to
+// routing.
+func (r *Router) HealthyShards() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for i := range r.health {
+		if r.health[i].healthy {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"mac3d/internal/service"
+)
+
+// PeerReadThrough builds the shard-side half of the cluster's result
+// sharing: a service.Config.ResultLookup hook that consults each
+// peer's content-addressed store (GET /v1/results/{hash}) before the
+// local worker executes a job. A job re-routed after failover, or
+// resubmitted by a retrying client to a different shard, is then
+// served the bytes that already exist somewhere in the cluster instead
+// of being recomputed.
+//
+// The hook runs on a worker goroutine with no service lock held, but
+// it still sits on the execution path — so it must fail fast. Each
+// peer gets one attempt under a short timeout and its own circuit
+// breaker: a dead peer costs one dial timeout once, then fails in
+// microseconds until its cooldown. Any error is a miss; the worst case
+// of a slow or broken peer plane is local recomputation, which
+// determinism makes byte-identical anyway.
+func PeerReadThrough(peers []string) func(hash string) ([]byte, bool) {
+	return PeerReadThroughTimeout(peers, 250*time.Millisecond)
+}
+
+// PeerReadThroughTimeout is PeerReadThrough with an explicit per-peer
+// timeout, for tests and unusually slow links.
+func PeerReadThroughTimeout(peers []string, perPeer time.Duration) func(hash string) ([]byte, bool) {
+	if len(peers) == 0 {
+		return nil
+	}
+	clients := make([]*service.Client, 0, len(peers))
+	for _, p := range peers {
+		clients = append(clients, &service.Client{
+			BaseURL:        p,
+			Breaker:        &service.Breaker{FailureThreshold: 2, Cooldown: 2 * time.Second},
+			AttemptTimeout: perPeer,
+		})
+	}
+	return func(hash string) ([]byte, bool) {
+		for _, c := range clients {
+			ctx, cancel := context.WithTimeout(context.Background(), perPeer)
+			data, err := c.ResultByHash(ctx, hash)
+			cancel()
+			if err == nil && len(data) > 0 {
+				return data, true
+			}
+		}
+		return nil, false
+	}
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over the configured shards. Each
+// shard contributes VNodes points (SHA-256 of "url#i"), and a job lands
+// on the first point clockwise from its spec hash. Membership is
+// static — the ring is built once from the config and never mutated —
+// so ownership is a pure function of (config, hash). Health is applied
+// at routing time instead: Successors returns every shard in ring-walk
+// order and the router picks the first healthy one, which keeps the
+// walk deterministic and makes failover targets predictable (the ring
+// successor), exactly what the byte-identity ablation checks.
+type ring struct {
+	points []ringPoint
+	shards int
+}
+
+type ringPoint struct {
+	pos   uint64
+	shard int
+}
+
+func newRing(shards []string, vnodes int) *ring {
+	r := &ring{shards: len(shards)}
+	r.points = make([]ringPoint, 0, len(shards)*vnodes)
+	for i, url := range shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{pos: ringHash(url + "#" + strconv.Itoa(v)), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.pos != q.pos {
+			return p.pos < q.pos
+		}
+		// Ties (astronomically rare) break by shard index so the order
+		// is still total and deterministic.
+		return p.shard < q.shard
+	})
+	return r
+}
+
+// ringHash maps a key to a ring position: the first 8 bytes of its
+// SHA-256, the same family of hash that addresses job content.
+func ringHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// jobPos maps a hex spec hash onto the ring. Spec hashes are SHA-256
+// hex, so the leading 16 hex digits are already a uniform uint64; a
+// malformed hash (only reachable through hand-built requests) still
+// routes deterministically by re-hashing the string.
+func jobPos(specHash string) uint64 {
+	if len(specHash) >= 16 {
+		if v, err := strconv.ParseUint(specHash[:16], 16, 64); err == nil {
+			return v
+		}
+	}
+	return ringHash(specHash)
+}
+
+// owner returns the shard owning a spec hash: the first ring point at
+// or clockwise after the hash position.
+func (r *ring) owner(specHash string) int {
+	return r.points[r.search(jobPos(specHash))].shard
+}
+
+// successors returns every shard exactly once, in ring-walk order
+// starting at the spec hash's owner. Index 0 is the owner; index 1 is
+// the failover target; and so on. The router forwards to the first
+// healthy entry.
+func (r *ring) successors(specHash string) []int {
+	out := make([]int, 0, r.shards)
+	seen := make([]bool, r.shards)
+	start := r.search(jobPos(specHash))
+	for i := 0; i < len(r.points) && len(out) < r.shards; i++ {
+		s := r.points[(start+i)%len(r.points)].shard
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or after pos, wrapping.
+func (r *ring) search(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// spread returns per-shard point counts — a distribution diagnostic
+// for tests and the /v1/cluster endpoint.
+func (r *ring) spread() []int {
+	counts := make([]int, r.shards)
+	for _, p := range r.points {
+		counts[p.shard]++
+	}
+	return counts
+}
+
+func (r *ring) String() string {
+	return fmt.Sprintf("ring{shards: %d, points: %d}", r.shards, len(r.points))
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testHash(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("job-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRingDeterministic(t *testing.T) {
+	shards := []string{"http://a", "http://b", "http://c"}
+	r1, r2 := newRing(shards, 64), newRing(shards, 64)
+	for i := 0; i < 200; i++ {
+		h := testHash(i)
+		if r1.owner(h) != r2.owner(h) {
+			t.Fatalf("owner(%s) differs between identically built rings", h)
+		}
+		if !reflect.DeepEqual(r1.successors(h), r2.successors(h)) {
+			t.Fatalf("successors(%s) differ between identically built rings", h)
+		}
+	}
+}
+
+func TestRingSuccessorsCoverAllShards(t *testing.T) {
+	shards := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := newRing(shards, 32)
+	for i := 0; i < 100; i++ {
+		h := testHash(i)
+		succ := r.successors(h)
+		if len(succ) != len(shards) {
+			t.Fatalf("successors(%s) = %v, want all %d shards", h, succ, len(shards))
+		}
+		if succ[0] != r.owner(h) {
+			t.Fatalf("successors[0] = %d, owner = %d", succ[0], r.owner(h))
+		}
+		seen := make(map[int]bool)
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("shard %d appears twice in %v", s, succ)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	shards := []string{"http://a", "http://b", "http://c"}
+	r := newRing(shards, 64)
+	counts := make([]int, len(shards))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(testHash(i))]++
+	}
+	// With 64 vnodes per shard the split should be roughly even; allow
+	// a generous band so the test pins balance, not exact percentages.
+	for i, c := range counts {
+		if c < n/len(shards)/2 || c > n*2/len(shards) {
+			t.Fatalf("shard %d owns %d of %d hashes (counts %v): ring is badly unbalanced", i, c, n, counts)
+		}
+	}
+}
+
+func TestRingOwnerStableUnderMembership(t *testing.T) {
+	// Consistent hashing's point: adding a shard must not reshuffle
+	// everything. Most hashes keep their owner URL when a fourth shard
+	// joins.
+	three := []string{"http://a", "http://b", "http://c"}
+	four := append(append([]string{}, three...), "http://d")
+	r3, r4 := newRing(three, 64), newRing(four, 64)
+	const n = 2000
+	moved := 0
+	for i := 0; i < n; i++ {
+		h := testHash(i)
+		if three[r3.owner(h)] != four[r4.owner(h)] {
+			moved++
+		}
+	}
+	// Ideal is 1/4 moved; fail only on gross reshuffling.
+	if moved > n/2 {
+		t.Fatalf("%d of %d hashes moved when one shard joined (want ~%d)", moved, n, n/4)
+	}
+}
+
+func TestJobPosMalformedHash(t *testing.T) {
+	// Hand-built requests can carry arbitrary strings where a spec
+	// hash belongs; routing must stay total and deterministic.
+	for _, h := range []string{"", "zz", "not-a-hash", testHash(1)[:10]} {
+		if jobPos(h) != jobPos(h) {
+			t.Fatalf("jobPos(%q) is not deterministic", h)
+		}
+	}
+	r := newRing([]string{"http://a", "http://b"}, 16)
+	if o := r.owner("definitely-not-hex"); o < 0 || o > 1 {
+		t.Fatalf("owner of malformed hash = %d", o)
+	}
+}

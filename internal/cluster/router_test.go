@@ -1,0 +1,469 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"mac3d/internal/service"
+)
+
+// testShard is one real macd daemon on a real socket, so the router's
+// health plane and failover paths are exercised over actual HTTP.
+type testShard struct {
+	svc *service.Service
+	srv *http.Server
+	ln  net.Listener
+	url string
+}
+
+func startShard(t *testing.T, addr string, cfg service.Config) *testShard {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		ln.Close()
+		t.Fatal(err)
+	}
+	sh := &testShard{
+		svc: svc,
+		srv: &http.Server{Handler: service.Handler(svc)},
+		ln:  ln,
+		url: "http://" + ln.Addr().String(),
+	}
+	go sh.srv.Serve(ln)
+	return sh
+}
+
+// kill simulates a shard crash: the socket vanishes and the process
+// state is discarded without drain.
+func (sh *testShard) kill() {
+	sh.ln.Close()
+	sh.srv.Close()
+	sh.svc.Kill()
+}
+
+func testSpec(seed int) []byte {
+	return []byte(fmt.Sprintf(`{"kind":"run","run":{"workload":"sg","scale":"tiny","seed":%d}}`, seed))
+}
+
+func specHash(t *testing.T, data []byte) string {
+	t.Helper()
+	spec, err := service.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// baselineResult executes a spec on a plain in-process service — the
+// byte-identity reference for everything the cluster serves.
+func baselineResult(t *testing.T, data []byte) []byte {
+	t.Helper()
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Kill()
+	st, err := svc.SubmitJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := svc.AwaitResult(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func testRouterConfig(urls []string) Config {
+	return Config{
+		Shards:          urls,
+		VNodes:          16,
+		Heartbeat:       25 * time.Millisecond,
+		HeartbeatJitter: 0.2,
+		FailAfter:       2,
+		ReadmitAfter:    2,
+		Seed:            5,
+	}
+}
+
+func eventually(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRouterSubmitAwaitByteIdentical(t *testing.T) {
+	a := startShard(t, "", service.Config{Workers: 2})
+	b := startShard(t, "", service.Config{Workers: 2})
+	defer a.kill()
+	defer b.kill()
+
+	r, err := NewRouter(testRouterConfig([]string{a.url, b.url}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	front := httptest.NewServer(Handler(r))
+	defer front.Close()
+
+	// A service.Client cannot tell the router from a daemon.
+	c := &service.Client{BaseURL: front.URL, Retry: service.DefaultRetryPolicy()}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	for seed := 1; seed <= 4; seed++ {
+		data := testSpec(seed)
+		st, err := c.SubmitJSON(ctx, data)
+		if err != nil {
+			t.Fatalf("submit seed %d: %v", seed, err)
+		}
+		if st.ID == "" || st.ID[0] != 'r' {
+			t.Fatalf("submit returned shard-namespace ID %q, want router ID", st.ID)
+		}
+		got, err := c.AwaitResult(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("await seed %d: %v", seed, err)
+		}
+		if want := baselineResult(t, data); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: cluster result differs from single-node baseline", seed)
+		}
+	}
+}
+
+func TestRouterCoalescesIdenticalSpecs(t *testing.T) {
+	a := startShard(t, "", service.Config{Workers: 2})
+	defer a.kill()
+	r, err := NewRouter(testRouterConfig([]string{a.url}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx := context.Background()
+	st1, err := r.Submit(ctx, testSpec(11), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := r.Submit(ctx, testSpec(11), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.ID != st2.ID {
+		t.Fatalf("identical specs got distinct router jobs %s and %s", st1.ID, st2.ID)
+	}
+	// The repeat must announce itself as a hit — live twin means
+	// coalesced, done twin means cached — so load generators and
+	// clients see the same flags a single daemon would serve.
+	if !st2.Coalesced && !st2.Cached {
+		t.Fatalf("repeat submit reported neither coalesced nor cached: %+v", st2)
+	}
+
+	// Once the job is terminal, further repeats are cache serves.
+	eventually(t, 30*time.Second, "job completion", func() bool {
+		_, err := r.Result(ctx, st1.ID)
+		return err == nil
+	})
+	st3, err := r.Submit(ctx, testSpec(11), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.Cached {
+		t.Fatalf("repeat submit after completion not reported cached: %+v", st3)
+	}
+}
+
+func TestRouterTenantQuota(t *testing.T) {
+	a := startShard(t, "", service.Config{Workers: 2})
+	defer a.kill()
+	cfg := testRouterConfig([]string{a.url})
+	cfg.Tenants = map[string]Quota{"limited": {Rate: 0.001, Burst: 2}}
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	front := httptest.NewServer(Handler(r))
+	defer front.Close()
+
+	post := func(tenant string, seed int) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, front.URL+"/v1/jobs", bytes.NewReader(testSpec(seed)))
+		if tenant != "" {
+			req.Header.Set("X-Macd-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for seed := 20; seed < 22; seed++ {
+		if resp := post("limited", seed); resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-budget submit %d: HTTP %d", seed, resp.StatusCode)
+		}
+	}
+	resp := post("limited", 22)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	// Another tenant's budget is untouched.
+	if resp := post("other", 23); resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant sheds with the limited one: HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestRouterFailoverMidJob(t *testing.T) {
+	// Three shards; the one owning our spec hangs mid-execution and is
+	// killed. The router must evict it, fail the job over to the ring
+	// successor and still serve the byte-identical report.
+	urls := make([]string, 3)
+	shards := make([]*testShard, 3)
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	data := testSpec(31)
+	hash := specHash(t, data)
+	// Build the shards on fixed sockets first so the ring is known
+	// before the victim's runner is wired up.
+	for i := range shards {
+		shards[i] = startShard(t, "", service.Config{Workers: 2})
+		urls[i] = shards[i].url
+	}
+	victim := newRing(urls, 16).owner(hash)
+	// Replace the victim with one whose runner blocks: the job will be
+	// accepted and stuck "running" when the crash hits.
+	addr := shards[victim].ln.Addr().String()
+	shards[victim].kill()
+	shards[victim] = startShard(t, addr, service.Config{
+		Workers: 2,
+		WrapRunner: func(next service.RunFunc) service.RunFunc {
+			return func(spec service.Spec) ([]byte, error) {
+				<-release
+				return next(spec)
+			}
+		},
+	})
+	defer func() {
+		for _, sh := range shards {
+			sh.kill()
+		}
+	}()
+
+	r, err := NewRouter(testRouterConfig(urls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	st, err := r.Submit(ctx, data, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job is parked on the victim. Crash it.
+	shards[victim].kill()
+	eventually(t, 10*time.Second, "victim eviction", func() bool {
+		return r.HealthyShards() == 2
+	})
+	eventually(t, 30*time.Second, "failover to ring successor", func() bool {
+		js, err := r.Job(ctx, st.ID)
+		return err == nil && js.State == service.StateDone
+	})
+	got, err := r.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := baselineResult(t, data); !bytes.Equal(got, want) {
+		t.Fatal("failed-over result differs from single-node baseline")
+	}
+	if r.Failovers() < 1 {
+		t.Fatalf("Failovers() = %d, want >= 1", r.Failovers())
+	}
+	js, err := r.Job(ctx, st.ID)
+	if err != nil || !js.Recovered {
+		t.Fatalf("failed-over job should report Recovered: %+v (err %v)", js, err)
+	}
+}
+
+func TestRouterEvictionAndReadmission(t *testing.T) {
+	a := startShard(t, "", service.Config{Workers: 1})
+	b := startShard(t, "", service.Config{Workers: 1})
+	defer a.kill()
+
+	r, err := NewRouter(testRouterConfig([]string{a.url, b.url}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if got := r.HealthyShards(); got != 2 {
+		t.Fatalf("HealthyShards() = %d at start, want 2", got)
+	}
+	addr := b.ln.Addr().String()
+	b.kill()
+	eventually(t, 10*time.Second, "eviction of killed shard", func() bool {
+		return r.HealthyShards() == 1
+	})
+	// The cluster keeps serving on the survivor.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := r.Submit(ctx, testSpec(41), "")
+	if err != nil {
+		t.Fatalf("submit with one shard down: %v", err)
+	}
+	if _, err := r.Result(ctx, st.ID); err != nil && err != service.ErrNotFinished {
+		// Not finished yet is fine; anything else is not.
+		if !service.Retryable(err) {
+			t.Fatalf("result with one shard down: %v", err)
+		}
+	}
+	// Restart on the same address: the prober re-admits it.
+	b = startShard(t, addr, service.Config{Workers: 1})
+	defer b.kill()
+	eventually(t, 10*time.Second, "re-admission of restarted shard", func() bool {
+		return r.HealthyShards() == 2
+	})
+	topo := r.Topology()
+	if topo.Evictions < 1 || topo.Readmitted < 1 {
+		t.Fatalf("topology = %+v, want >=1 eviction and readmission", topo)
+	}
+}
+
+func TestRouterAllShardsDown(t *testing.T) {
+	a := startShard(t, "", service.Config{Workers: 1})
+	r, err := NewRouter(testRouterConfig([]string{a.url}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	front := httptest.NewServer(Handler(r))
+	defer front.Close()
+
+	a.kill()
+	eventually(t, 10*time.Second, "eviction of only shard", func() bool {
+		return r.HealthyShards() == 0
+	})
+	resp, err := http.Post(front.URL+"/v1/jobs", "application/json", bytes.NewReader(testSpec(51)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit with cluster down: HTTP %d, want 503", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("503 Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestRouterTopologyEndpoint(t *testing.T) {
+	a := startShard(t, "", service.Config{Workers: 1})
+	defer a.kill()
+	r, err := NewRouter(testRouterConfig([]string{a.url}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	front := httptest.NewServer(Handler(r))
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var topo Topology
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Shards) != 1 || topo.Shards[0].URL != a.url || topo.Shards[0].VNodes != 16 {
+		t.Fatalf("topology = %+v", topo)
+	}
+}
+
+func TestPeerReadThrough(t *testing.T) {
+	// Shard A computes a result; shard B, wired with the read-through
+	// hook, serves the same spec from A's store instead of recomputing.
+	a := startShard(t, "", service.Config{Workers: 2, JournalDir: t.TempDir()})
+	defer a.kill()
+	data := testSpec(61)
+	st, err := a.svc.SubmitJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	want, err := a.svc.AwaitResult(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := startShard(t, "", service.Config{
+		Workers:      2,
+		ResultLookup: PeerReadThroughTimeout([]string{a.url}, time.Second),
+	})
+	defer b.kill()
+	st2, err := b.svc.SubmitJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.svc.AwaitResult(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-through result differs from the peer's bytes")
+	}
+	if hits, ok := b.svc.Registry().Get("macd.jobs.peer_hits"); !ok || hits != 1 {
+		t.Fatalf("peer_hits = %v (ok %v), want 1", hits, ok)
+	}
+}
+
+func TestPeerReadThroughDeadPeerFailsFast(t *testing.T) {
+	// A dead peer must cost a miss, not a hang: the shard falls back to
+	// local execution.
+	lookup := PeerReadThroughTimeout([]string{"http://127.0.0.1:1"}, 100*time.Millisecond)
+	start := time.Now()
+	if _, ok := lookup("deadbeef"); ok {
+		t.Fatal("hit from a dead peer")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dead-peer lookup took %v, want fast failure", elapsed)
+	}
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"mac3d/internal/cluster"
+	"mac3d/internal/service"
+	"mac3d/internal/stats"
+	"mac3d/internal/svcchaos"
+)
+
+// AblationCluster is the cluster-plane chaos sweep: the fault-tolerant
+// sharded macd under shard death. Per seed, three journaled shard
+// daemons run behind a health-checked router — the victim shard with a
+// chaos-wrapped runner (worker kills that strand jobs "running", as a
+// real crash would), a second shard behind a dropping/delaying
+// listener (a flaky link), the third clean. The sweep's job set is
+// submitted through the router; mid-sweep the victim is crashed
+// outright (listener torn down, no drain). The router must evict it,
+// eagerly fail its accepted jobs over to the ring successor, and
+// re-admit it after a chaos-free restart on the same journal. The
+// experiment fails unless every accepted job reaches exactly one
+// terminal state (done), every result is byte-identical to a
+// chaos-free single-node baseline, and every shard journal passes
+// conservation verification.
+func (s *Suite) AblationCluster() (*stats.Table, error) {
+	seeds := []uint64{1, 2, 3}
+	jobs, err := s.svcChaosJobs()
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := s.svcChaosBaseline(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("Ablation: cluster chaos sweep (sharded failover conservation)",
+		"seed", "jobs", "evictions", "readmits", "failovers", "spills",
+		"peer_hits", "retries", "violations")
+	for _, seed := range seeds {
+		row, err := s.clusterSeed(seed, jobs, baseline)
+		if err != nil {
+			return nil, fmt.Errorf("abl-cluster seed %d: %w", seed, err)
+		}
+		t.AddRow(seed, uint64(len(jobs)), row.evictions, row.readmits,
+			row.failovers, row.spills, row.peerHits, row.retries, row.violations)
+	}
+	return t, nil
+}
+
+type clusterRow struct {
+	evictions, readmits uint64
+	failovers, spills   uint64
+	peerHits, retries   uint64
+	violations          uint64
+}
+
+// clusterShard is one shard daemon of the sweep's cluster.
+type clusterShard struct {
+	svc *service.Service
+	srv *http.Server
+	ln  net.Listener
+	url string
+	dir string
+}
+
+func (c *clusterShard) kill() {
+	c.ln.Close()
+	c.srv.Close()
+	c.svc.Kill()
+}
+
+// startClusterShard binds addr ("" for a fresh port), builds the
+// service with cfg and serves it, optionally through chaos wrappers.
+func startClusterShard(addr, dir string, cfg service.Config, in *svcchaos.Injector) (*clusterShard, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cfg.JournalDir = dir
+	if in != nil {
+		cfg.WrapRunner = in.WrapRunner
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	handler := service.Handler(svc)
+	serveLn := ln
+	if in != nil {
+		handler = in.Middleware(handler)
+		serveLn = in.Listener(ln)
+	}
+	sh := &clusterShard{
+		svc: svc, srv: &http.Server{Handler: handler},
+		ln: ln, url: "http://" + ln.Addr().String(), dir: dir,
+	}
+	go sh.srv.Serve(serveLn)
+	return sh, nil
+}
+
+// clusterSeed runs one seed's shard-death cycle and checks the
+// cluster invariants against the baseline.
+func (s *Suite) clusterSeed(seed uint64, jobs []*svcChaosJob, baseline map[string][]byte) (*clusterRow, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	dirs := make([]string, 3)
+	for i := range dirs {
+		dir, err := os.MkdirTemp("", fmt.Sprintf("cluster-seed%d-shard%d-", seed, i))
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		dirs[i] = dir
+	}
+
+	// Reserve the three shard sockets up front so every shard can be
+	// built knowing its peers' URLs (the read-through wiring).
+	lns := make([]net.Listener, 3)
+	urls := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		urls[i] = "http://" + ln.Addr().String()
+		ln.Close() // re-bound by startClusterShard below
+	}
+	peersOf := func(i int) []string {
+		var out []string
+		for j, u := range urls {
+			if j != i {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+
+	// Shard 0 is the victim: chaos-killed workers strand jobs in
+	// "running" until the crash and journal replay. Shard 1 sits
+	// behind a flaky link (dropped connections, delayed requests,
+	// short partition windows). Shard 2 is clean.
+	victimChaos := svcchaos.MustNew(svcchaos.Profile{KillRate: 0.3, StallRate: 0.2, StallMs: 20, Seed: seed})
+	linkChaos := svcchaos.MustNew(svcchaos.Profile{DropRate: 0.1, DelayRate: 0.2, DelayMs: 5, PartitionRate: 0.02, PartitionMs: 80, Seed: seed + 100})
+
+	shards := make([]*clusterShard, 3)
+	chaosOf := []*svcchaos.Injector{victimChaos, linkChaos, nil}
+	for i := range shards {
+		sh, err := startClusterShard(urls[i][len("http://"):], dirs[i], service.Config{
+			Workers:      2,
+			ResultLookup: cluster.PeerReadThrough(peersOf(i)),
+		}, chaosOf[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		shards[i] = sh
+	}
+	defer func() {
+		for _, sh := range shards {
+			if sh != nil {
+				sh.kill()
+			}
+		}
+	}()
+
+	router, err := cluster.NewRouter(cluster.Config{
+		Shards:          urls,
+		VNodes:          16,
+		Heartbeat:       25 * time.Millisecond,
+		HeartbeatJitter: 0.2,
+		FailAfter:       2,
+		ReadmitAfter:    2,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	frontLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	front := &http.Server{Handler: cluster.Handler(router)}
+	go front.Serve(frontLn)
+	defer front.Close()
+
+	client := &service.Client{
+		BaseURL:        "http://" + frontLn.Addr().String(),
+		PollInterval:   10 * time.Millisecond,
+		PollMax:        100 * time.Millisecond,
+		AttemptTimeout: 5 * time.Second,
+		Retry: service.RetryPolicy{
+			MaxAttempts: 8, BaseDelay: 10 * time.Millisecond,
+			MaxDelay: 200 * time.Millisecond, Multiplier: 2,
+			Jitter: 0.2, Seed: seed,
+		},
+		Breaker: &service.Breaker{FailureThreshold: 4, Cooldown: 100 * time.Millisecond},
+	}
+
+	s.progress("abl-cluster seed %d: submitting %d jobs across 3 shards", seed, len(jobs))
+	ids := make(map[string]string) // hash -> router job ID
+	for _, j := range jobs {
+		st, err := client.SubmitJSON(ctx, j.data)
+		if err != nil {
+			// The flaky link can exhaust the budget; the spec is
+			// resubmitted after the crash below.
+			continue
+		}
+		ids[st.Hash] = st.ID
+	}
+
+	// Mid-sweep shard death: SIGKILL the victim — listener gone, no
+	// drain, journal cut wherever it happens to be.
+	time.Sleep(300 * time.Millisecond)
+	shards[0].kill()
+	s.progress("abl-cluster seed %d: victim shard killed", seed)
+
+	// The router must notice on its own (heartbeat eviction) and
+	// eagerly fail the victim's jobs over to the ring successor.
+	if err := waitFor(ctx, 15*time.Second, func() bool { return router.HealthyShards() == 2 }); err != nil {
+		return nil, fmt.Errorf("victim never evicted: %w", err)
+	}
+
+	// Restart the victim chaos-free on the same address and journal;
+	// replay re-queues its stranded jobs and the prober re-admits it.
+	restarted, err := startClusterShard(urls[0][len("http://"):], dirs[0], service.Config{
+		Workers:      2,
+		ResultLookup: cluster.PeerReadThrough(peersOf(0)),
+	}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("victim restart: %w", err)
+	}
+	shards[0] = restarted
+	if err := waitFor(ctx, 15*time.Second, func() bool { return router.HealthyShards() == 3 }); err != nil {
+		return nil, fmt.Errorf("victim never re-admitted: %w", err)
+	}
+
+	// Resubmit every spec (idempotent through content addressing: the
+	// router coalesces onto the live record) and await everything —
+	// both the fresh IDs and every pre-crash ID we hold.
+	for _, j := range jobs {
+		st, err := client.SubmitJSON(ctx, j.data)
+		if err != nil {
+			return nil, fmt.Errorf("resubmit %s/%d: %w", j.name, j.threads, err)
+		}
+		want, ok := baseline[st.Hash]
+		if !ok {
+			return nil, fmt.Errorf("%s/%d: hash %s not in baseline", j.name, j.threads, st.Hash)
+		}
+		await := []string{st.ID}
+		if id := ids[st.Hash]; id != "" && id != st.ID {
+			await = append(await, id)
+		}
+		for _, id := range await {
+			raw, err := client.AwaitResult(ctx, id)
+			if err != nil {
+				return nil, fmt.Errorf("await %s (%s/%d): %w", id, j.name, j.threads, err)
+			}
+			if string(raw) != string(want) {
+				return nil, fmt.Errorf("%s/%d: result of %s differs from chaos-free baseline (%d vs %d bytes)",
+					j.name, j.threads, id, len(raw), len(want))
+			}
+		}
+	}
+
+	// Exactly-one-terminal, observed end to end: every job the router
+	// accepted must now be terminal and done.
+	for _, st := range router.Jobs() {
+		if st.State != service.StateDone {
+			return nil, fmt.Errorf("router job %s ended %q, want done", st.ID, st.State)
+		}
+	}
+
+	// Audit every shard journal: drain, then verify conservation.
+	var violations uint64
+	var peerHits uint64
+	for i, sh := range shards {
+		if err := sh.svc.Drain(ctx); err != nil {
+			return nil, fmt.Errorf("drain shard %d: %w", i, err)
+		}
+		if hits, ok := sh.svc.Registry().Get("macd.jobs.peer_hits"); ok {
+			peerHits += uint64(hits)
+		}
+		recs, damage, err := service.ReadJournal(sh.dir)
+		if err != nil {
+			return nil, fmt.Errorf("reading shard %d journal: %w", i, err)
+		}
+		if damage != nil {
+			return nil, fmt.Errorf("shard %d journal damaged after clean drain: %s at offset %d", i, damage.Reason, damage.Offset)
+		}
+		if v := service.VerifyJournal(recs); len(v) != 0 {
+			return nil, fmt.Errorf("shard %d journal violations: %v", i, v)
+		}
+	}
+
+	topo := router.Topology()
+	metrics := func(name string) uint64 {
+		if v, ok := router.Registry().Get(name); ok {
+			return uint64(v)
+		}
+		return 0
+	}
+	cs := client.Stats()
+	return &clusterRow{
+		evictions: topo.Evictions, readmits: topo.Readmitted,
+		failovers: topo.Failovers, spills: metrics("cluster.spills"),
+		peerHits: peerHits, retries: cs.Retries,
+		violations: violations,
+	}, nil
+}
+
+// waitFor polls cond every 10ms until it holds or the wait times out.
+func waitFor(ctx context.Context, timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not reached within %v", timeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	return nil
+}

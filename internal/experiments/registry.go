@@ -143,6 +143,11 @@ func All() []Entry {
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationServiceChaos() },
 		},
 		{
+			ID: "abl-cluster", Title: "Ablation: cluster chaos sweep (sharded failover)",
+			Paper: "(beyond paper; health-checked routing + eager failover conservation)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationCluster() },
+		},
+		{
 			ID: "abl-noc", Title: "Ablation: interconnect topology (NUMA fabric)",
 			Paper: "(beyond paper; ideal crossbar vs routed ring vs 2D mesh)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationNoC() },

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,6 +41,10 @@ type Client struct {
 	// AttemptTimeout bounds one HTTP attempt (default none beyond
 	// ctx); keep it above the longest expected result download.
 	AttemptTimeout time.Duration
+	// Tenant, when non-empty, is sent as the X-Macd-Tenant header on
+	// every request. Cluster routers use it for per-tenant admission
+	// control; a plain daemon ignores it.
+	Tenant string
 
 	statsMu sync.Mutex
 	stats   ClientStats
@@ -96,10 +102,22 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
 			c.count(func(s *ClientStats) { s.Retries++ })
+			delay := c.jitter(policy, attempt-1)
+			// A server-supplied Retry-After floors the backoff: the
+			// daemon knows its own queue depth better than our
+			// exponential schedule does.
+			var ra *retryAfterError
+			if errors.As(lastErr, &ra) && ra.after > delay {
+				delay = ra.after
+				if delay > maxRetryAfterHonor {
+					delay = maxRetryAfterHonor
+				}
+				c.count(func(s *ClientStats) { s.RetryAfterWaits++ })
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(c.jitter(policy, attempt-1)):
+			case <-time.After(delay):
 			}
 		}
 		if b := c.Breaker; b != nil {
@@ -143,6 +161,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.Tenant != "" {
+		req.Header.Set("X-Macd-Tenant", c.Tenant)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return &transportError{err}
@@ -158,13 +179,20 @@ func (c *Client) decode(resp *http.Response, v any) error {
 		return &transportError{fmt.Errorf("service client: reading response: %w", err)}
 	}
 	if resp.StatusCode >= 400 {
+		msg := strings.TrimSpace(string(body))
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return c.statusError(resp.StatusCode, e.Error)
+			msg = e.Error
 		}
-		return c.statusError(resp.StatusCode, strings.TrimSpace(string(body)))
+		err := c.statusError(resp.StatusCode, msg)
+		// Carry the server's Retry-After hint (whole seconds) so the
+		// retry loop can pace itself to the daemon's queue depth.
+		if secs, perr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); perr == nil && secs > 0 {
+			err = &retryAfterError{err: err, after: time.Duration(secs) * time.Second}
+		}
+		return err
 	}
 	if v == nil {
 		return nil
@@ -231,6 +259,18 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	var raw []byte
 	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw, true); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// ResultByHash fetches a stored result from the daemon's
+// content-addressed store by spec hash — the cluster read-through
+// path. A daemon that holds no result for the hash answers 404, which
+// surfaces as ErrUnknownJob; callers treat any error as a miss.
+func (c *Client) ResultByHash(ctx context.Context, hash string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/results/"+hash, nil, &raw, true); err != nil {
 		return nil, err
 	}
 	return raw, nil

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -16,12 +17,14 @@ import (
 //	GET    /v1/jobs/{id}       one job's status
 //	GET    /v1/jobs/{id}/result the finished job's report JSON
 //	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/results/{hash}  stored result by spec hash (peer read-through)
 //	GET    /v1/healthz         liveness and drain state
 //	GET    /v1/metrics         the obs registry as "name value" lines
 //
 // Submission answers 200 for a cache hit (result already stored),
 // 202 for queued or coalesced jobs, 400 for invalid specs, 429 when
-// the queue is full and 503 while draining.
+// the queue is full and 503 while draining. 429 and 503 carry a
+// queue-depth-aware Retry-After header the client backoff honors.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -34,8 +37,12 @@ func Handler(s *Service) http.Handler {
 		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
+				// A queue-depth-aware Retry-After paces the herd: the
+				// deeper the backlog, the longer rejected clients wait.
+				w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 				httpError(w, http.StatusTooManyRequests, err)
 			case errors.Is(err, ErrDraining):
+				w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterHint()))
 				httpError(w, http.StatusServiceUnavailable, err)
 			default:
 				httpError(w, http.StatusBadRequest, err)
@@ -84,6 +91,19 @@ func Handler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"canceled": canceled})
+	})
+	mux.HandleFunc("GET /v1/results/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		// The peer read-through surface: serve the content-addressed
+		// result store by spec hash. A miss is 404 — peers treat any
+		// failure as a miss and execute locally.
+		data, ok := s.ResultByHash(r.PathValue("hash"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("service: no stored result for hash %q", r.PathValue("hash")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{

@@ -124,6 +124,28 @@ func retryable(err error) bool {
 	return errors.As(err, &te)
 }
 
+// Retryable reports whether a client error is transient — safe to
+// retry against the same daemon, or (for a cluster router) reason to
+// walk to the ring successor. Exported for the cluster layer, which
+// must distinguish shard-availability failures from caller errors.
+func Retryable(err error) bool { return retryable(err) }
+
+// maxRetryAfterHonor caps how long the client will sleep on a
+// server-supplied Retry-After hint, so a miscomputed or hostile header
+// cannot park a client for minutes.
+const maxRetryAfterHonor = 30 * time.Second
+
+// retryAfterError wraps a 429/503 rejection that carried a Retry-After
+// header. The retry loop uses the hint as a floor under its own
+// backoff; errors.Is/As still see the wrapped sentinel through Unwrap.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
 // transportError tags request-transport failures (conn refused, reset,
 // dropped mid-response) so retryable() can tell them from decode-level
 // or API-level errors.
@@ -248,4 +270,7 @@ type ClientStats struct {
 	Retries uint64
 	// BreakerRejects counts calls failed fast by the open circuit.
 	BreakerRejects uint64
+	// RetryAfterWaits counts backoff sleeps that were stretched to
+	// honor a server-supplied Retry-After hint.
+	RetryAfterWaits uint64
 }

@@ -1,0 +1,223 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenConcurrentProbes pins the half-open contract
+// under contention: when the cooldown elapses, exactly one caller wins
+// the probe slot, every concurrent loser fails fast with
+// ErrCircuitOpen, and the state transitions exactly once whichever way
+// the probe goes.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	now := time.Unix(0, 0)
+	var nowMu sync.Mutex
+	clock := func() time.Time { nowMu.Lock(); defer nowMu.Unlock(); return now }
+	advance := func(d time.Duration) { nowMu.Lock(); now = now.Add(d); nowMu.Unlock() }
+
+	fail := &transportError{errors.New("refused")}
+	open := func() *Breaker {
+		b := &Breaker{FailureThreshold: 3, Cooldown: time.Second, now: clock}
+		for i := 0; i < 3; i++ {
+			if err := b.allow(); err != nil {
+				t.Fatalf("allow %d while closed: %v", i, err)
+			}
+			b.record(fail)
+		}
+		if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("breaker not open after threshold: %v", err)
+		}
+		return b
+	}
+
+	race := func(b *Breaker) (admitted int64, rejected int64) {
+		const callers = 32
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		var ok, no int64
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if err := b.allow(); err == nil {
+					atomic.AddInt64(&ok, 1)
+				} else if errors.Is(err, ErrCircuitOpen) {
+					atomic.AddInt64(&no, 1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		return ok, no
+	}
+
+	// Probe succeeds: the circuit closes exactly once and Opens stays
+	// where it was.
+	b := open()
+	advance(2 * time.Second)
+	admitted, rejected := race(b)
+	if admitted != 1 || rejected != 31 {
+		t.Fatalf("half-open race: %d admitted, %d rejected; want exactly 1 and 31", admitted, rejected)
+	}
+	opensBefore := b.Opens()
+	b.record(nil) // the winner's probe succeeds
+	if b.Opens() != opensBefore {
+		t.Fatalf("successful probe changed Opens: %d -> %d", opensBefore, b.Opens())
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("allow %d after recovery: %v", i, err)
+		}
+		b.record(nil)
+	}
+
+	// Probe fails: the circuit re-opens exactly once (one Opens
+	// increment), and the losers' ErrCircuitOpen results never count
+	// as probe outcomes.
+	b = open()
+	advance(2 * time.Second)
+	admitted, rejected = race(b)
+	if admitted != 1 || rejected != 31 {
+		t.Fatalf("half-open race: %d admitted, %d rejected; want exactly 1 and 31", admitted, rejected)
+	}
+	opensBefore = b.Opens()
+	b.record(fail) // the winner's probe fails
+	if b.Opens() != opensBefore+1 {
+		t.Fatalf("failed probe moved Opens %d -> %d, want exactly one increment", opensBefore, b.Opens())
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker not re-armed after failed probe: %v", err)
+	}
+	// And the next cooldown admits exactly one probe again.
+	advance(2 * time.Second)
+	admitted, rejected = race(b)
+	if admitted != 1 || rejected != 31 {
+		t.Fatalf("second half-open race: %d admitted, %d rejected", admitted, rejected)
+	}
+}
+
+// TestHandlerServesRetryAfterOn429 pins the server half of the
+// backpressure pacing: a queue-full rejection carries a queue-depth-
+// aware Retry-After header.
+func TestHandlerServesRetryAfterOn429(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	svc, err := newWithRunner(Config{Workers: 1, QueueDepth: 1}, func(Spec) ([]byte, error) {
+		<-release
+		return []byte(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Kill()
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	// Saturate: one running, one queued, then rejections.
+	var resp *http.Response
+	for seed := 0; seed < 8; seed++ {
+		spec := `{"kind":"run","run":{"workload":"sg","scale":"tiny","seed":` + strconv.Itoa(seed) + `}}`
+		resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue never filled: last status %d", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("429 Retry-After = %q, want an integer in [1, 60]", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestClientCarriesRetryAfterHint pins the decode half: a 429/503
+// with Retry-After surfaces as a retryAfterError wrapping the mapped
+// sentinel, so the retry loop can floor its backoff on the hint.
+func TestClientCarriesRetryAfterHint(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"full"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL} // one attempt: surface the error raw
+	_, err := c.SubmitJSON(context.Background(), []byte(`{}`))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("429 did not map to ErrQueueFull: %v", err)
+	}
+	var ra *retryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("429 with Retry-After did not carry the hint: %v", err)
+	}
+	if ra.after != 7*time.Second {
+		t.Fatalf("hint = %v, want 7s", ra.after)
+	}
+}
+
+// TestClientHonorsRetryAfterFloor pins the pacing half: when the
+// server says Retry-After: 1, the retry loop waits at least that long
+// even though its own backoff schedule would retry in milliseconds.
+func TestClientHonorsRetryAfterFloor(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"full"}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"id":"j-1","hash":"h","kind":"run","state":"queued","submitted_at":"2026-01-01T00:00:00Z"}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL, Retry: RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, Multiplier: 2, Jitter: -1, Seed: 1,
+	}}
+	start := time.Now()
+	if _, err := c.SubmitJSON(context.Background(), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 900*time.Millisecond {
+		t.Fatalf("retry after 429 took %v, want >= ~1s (the server's hint)", elapsed)
+	}
+	if got := c.Stats().RetryAfterWaits; got != 1 {
+		t.Fatalf("RetryAfterWaits = %d, want 1", got)
+	}
+}
+
+// TestRetryAfterHonorCap keeps a hostile or miscomputed header from
+// parking the client: the floor is bounded by maxRetryAfterHonor.
+func TestRetryAfterHonorCap(t *testing.T) {
+	err := &retryAfterError{err: ErrQueueFull, after: 9999 * time.Second}
+	var ra *retryAfterError
+	if !errors.As(error(err), &ra) {
+		t.Fatal("errors.As failed on retryAfterError")
+	}
+	// The do() loop clamps to maxRetryAfterHonor; pin the constant so
+	// a future edit cannot silently unbound it.
+	if maxRetryAfterHonor > time.Minute {
+		t.Fatalf("maxRetryAfterHonor = %v, want <= 1m", maxRetryAfterHonor)
+	}
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatal("retryAfterError does not unwrap to its sentinel")
+	}
+}

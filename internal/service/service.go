@@ -53,6 +53,15 @@ type Config struct {
 	// WrapRunner, when set, wraps the spec executor — the hook the
 	// svcchaos injector uses to kill or stall workers mid-run.
 	WrapRunner func(RunFunc) RunFunc
+	// ResultLookup, when set, is consulted by a worker just before it
+	// executes a job whose result is in neither the cache nor the
+	// journal's on-disk store. It is the cluster read-through hook: a
+	// shard queries its peers' content-addressed result stores
+	// (cluster.PeerReadThrough), and because equal spec hash means
+	// byte-identical report, any hit is exactly the bytes this shard
+	// would have computed. The lookup runs outside the service mutex
+	// and must fail fast when peers are unreachable.
+	ResultLookup func(hash string) ([]byte, bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -195,6 +204,7 @@ type Service struct {
 	nCoalesced uint64
 	nKilled    uint64
 	nRecovered uint64
+	nPeerHits  uint64
 
 	queueWaitUs stats.Histogram
 	runUs       stats.Histogram
@@ -400,6 +410,7 @@ func (s *Service) registerMetrics() {
 	s.reg.Func("macd.jobs.coalesced", locked(func() float64 { return float64(s.nCoalesced) }))
 	s.reg.Func("macd.jobs.worker_killed", locked(func() float64 { return float64(s.nKilled) }))
 	s.reg.Func("macd.jobs.recovered", locked(func() float64 { return float64(s.nRecovered) }))
+	s.reg.Func("macd.jobs.peer_hits", locked(func() float64 { return float64(s.nPeerHits) }))
 	s.reg.Func("macd.cache.hits", func() float64 { h, _, _, _, _ := s.cache.stats(); return float64(h) })
 	s.reg.Func("macd.cache.misses", func() float64 { _, m, _, _, _ := s.cache.stats(); return float64(m) })
 	s.reg.Func("macd.cache.evictions", func() float64 { _, _, e, _, _ := s.cache.stats(); return float64(e) })
@@ -548,6 +559,23 @@ func (s *Service) runJob(j *job) {
 	s.journal.append(Record{Op: OpStart, Job: j.id, Hash: j.hash})
 	s.mu.Unlock()
 	defer cancel()
+
+	// Cross-instance read-through: a peer's content-addressed result
+	// store may already hold this spec's bytes (equal hash means a
+	// byte-identical report), so consult it before paying for the
+	// simulation. The lookup fails fast when peers are down.
+	if lookup := s.cfg.ResultLookup; lookup != nil {
+		if data, ok := lookup(j.hash); ok {
+			s.mu.Lock()
+			s.nPeerHits++
+			s.mu.Unlock()
+			s.finalize(j, StateDone, data, "")
+			s.mu.Lock()
+			s.busy--
+			s.mu.Unlock()
+			return
+		}
+	}
 
 	type outcome struct {
 		data []byte
@@ -727,6 +755,44 @@ func (s *Service) Result(id string) ([]byte, error) {
 	default:
 		return nil, ErrNotFinished
 	}
+}
+
+// ResultByHash serves the content-addressed result store by spec hash:
+// the cache first, then the journal's on-disk store. It is the peer
+// read-through surface of a cluster shard (GET /v1/results/{hash}) —
+// a hit is the deterministic report of the spec hashing to hash, so a
+// peer can serve it as its own.
+func (s *Service) ResultByHash(hash string) ([]byte, bool) {
+	if data, ok := s.cache.get(hash); ok {
+		return data, true
+	}
+	if data, ok := s.journal.lookupResult(hash); ok {
+		s.cache.put(hash, data)
+		return data, true
+	}
+	return nil, false
+}
+
+// RetryAfterHint estimates, in whole seconds, how long a rejected
+// submitter should wait before retrying: the queued backlog divided by
+// the worker count (a drain-rate proxy), clamped to [1, 60]. It is the
+// value served in the Retry-After header on 429/503 responses.
+func (s *Service) RetryAfterHint() int {
+	s.mu.Lock()
+	depth := len(s.queue)
+	workers := s.cfg.Workers
+	s.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	secs := (depth + workers - 1) / workers
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // Wait blocks until the job reaches a terminal state (or ctx ends)

@@ -3,8 +3,10 @@
 // that engine perturbs cycle-level timing inside one simulation, this
 // one attacks the service around the simulations — killing workers
 // mid-run through the runner hook, stalling runners, delaying HTTP
-// requests, and dropping freshly accepted connections through a
-// wrapping listener — all drawn from one seeded RNG stream so a
+// requests, dropping freshly accepted connections through a wrapping
+// listener, and opening full partition windows in front of a listener
+// (the cluster plane's router-to-shard partition) — all drawn from one
+// seeded RNG stream so a
 // profile+seed pair reproduces the same adversarial pressure. It is
 // the harness the crash-safe journal, the client retry/breaker stack
 // and the abl-svcchaos conservation sweep are tested under.
@@ -43,13 +45,22 @@ type Profile struct {
 	// DropRate closes a just-accepted connection before any bytes
 	// flow, forcing the client's transport-level retry.
 	DropRate float64
+	// PartitionRate opens a full network partition in front of the
+	// listener: at this per-connection rate, the listener enters a
+	// PartitionMs window during which every accepted connection
+	// (including the triggering one) is dropped before any bytes flow.
+	// Against a cluster this is the router-to-shard partition: the
+	// shard stays alive and keeps executing, but the router's probes
+	// and forwards all fail until the window closes.
+	PartitionRate float64
+	PartitionMs   int
 	// Seed seeds the injector's private RNG stream.
 	Seed uint64
 }
 
 // Enabled reports whether any stressor is active.
 func (p Profile) Enabled() bool {
-	return p.KillRate > 0 || p.StallRate > 0 || p.DelayRate > 0 || p.DropRate > 0
+	return p.KillRate > 0 || p.StallRate > 0 || p.DelayRate > 0 || p.DropRate > 0 || p.PartitionRate > 0
 }
 
 // withDefaults fills the durations a rate implies but the profile
@@ -60,6 +71,9 @@ func (p Profile) withDefaults() Profile {
 	}
 	if p.DelayRate > 0 && p.DelayMs <= 0 {
 		p.DelayMs = 20
+	}
+	if p.PartitionRate > 0 && p.PartitionMs <= 0 {
+		p.PartitionMs = 100
 	}
 	return p
 }
@@ -72,6 +86,7 @@ func (p Profile) Validate() error {
 	}{
 		{"kill", p.KillRate}, {"stall", p.StallRate},
 		{"delay", p.DelayRate}, {"drop", p.DropRate},
+		{"partition", p.PartitionRate},
 	} {
 		// The inverted comparison also rejects NaN rates.
 		if !(r.v >= 0 && r.v <= 1) {
@@ -83,6 +98,9 @@ func (p Profile) Validate() error {
 	}
 	if p.DelayMs < 0 {
 		return fmt.Errorf("svcchaos: delay ms %d is negative", p.DelayMs)
+	}
+	if p.PartitionMs < 0 {
+		return fmt.Errorf("svcchaos: partition ms %d is negative", p.PartitionMs)
 	}
 	return nil
 }
@@ -105,6 +123,9 @@ func (p Profile) String() string {
 	}
 	if p.DropRate > 0 {
 		parts = append(parts, fmt.Sprintf("drop=%g", p.DropRate))
+	}
+	if p.PartitionRate > 0 {
+		parts = append(parts, fmt.Sprintf("partition=%g:%d", p.PartitionRate, p.PartitionMs))
 	}
 	if p.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
@@ -134,12 +155,19 @@ var presets = map[string]Profile{
 		DelayRate: 0.2, DelayMs: 40,
 		DropRate: 0.2,
 	},
+	// split is the cluster-plane preset: the shard stays healthy but
+	// its network flaps — drops plus full partition windows — the
+	// pressure a router's health checker and failover path must absorb.
+	"split": {
+		DropRate:      0.1,
+		PartitionRate: 0.05, PartitionMs: 150,
+	},
 }
 
 // ParseProfile parses the -svcchaos syntax: either a preset name
-// ("off", "mild", "storm") or a comma-separated stressor list
+// ("off", "mild", "storm", "split") or a comma-separated stressor list
 //
-//	kill=RATE,stall=RATE[:MS],delay=RATE[:MS],drop=RATE,seed=N
+//	kill=RATE,stall=RATE[:MS],delay=RATE[:MS],drop=RATE,partition=RATE[:MS],seed=N
 //
 // Omitted duration fields take per-stressor defaults. The empty string
 // parses as the disabled profile.
@@ -207,6 +235,14 @@ func ParseProfile(s string) (Profile, error) {
 				return Profile{}, fmt.Errorf("svcchaos: drop takes only a rate, got %q", v)
 			}
 			p.DropRate = rate
+		case "partition":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("svcchaos: partition takes at most rate:ms, got %q", v)
+			}
+			p.PartitionRate = rate
+			if p.PartitionMs, err = ms(1); err != nil {
+				return Profile{}, err
+			}
 		case "seed":
 			if len(fields) > 1 {
 				return Profile{}, fmt.Errorf("svcchaos: seed takes one value, got %q", v)
@@ -217,7 +253,7 @@ func ParseProfile(s string) (Profile, error) {
 			}
 			p.Seed = n
 		default:
-			return Profile{}, fmt.Errorf("svcchaos: unknown stressor %q (want kill, stall, delay, drop, seed)", k)
+			return Profile{}, fmt.Errorf("svcchaos: unknown stressor %q (want kill, stall, delay, drop, partition, seed)", k)
 		}
 	}
 	p = p.withDefaults()
@@ -240,6 +276,9 @@ type Report struct {
 	Drops   uint64 `json:"drops"`
 	Accepts uint64 `json:"accepts"`
 	Runs    uint64 `json:"runs"`
+	// Partitions counts partition windows entered; connections dropped
+	// inside a window count under Drops.
+	Partitions uint64 `json:"partitions"`
 }
 
 // Injector draws every chaos decision from one seeded RNG stream.
@@ -254,9 +293,13 @@ type Injector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 	rep Report
+	// partitionUntil is the end of the current partition window (zero
+	// when none is open).
+	partitionUntil time.Time
 
-	// sleep is swapped out by tests to avoid real waiting.
+	// sleep and now are swapped out by tests to avoid real waiting.
 	sleep func(time.Duration)
+	now   func() time.Time
 }
 
 // New returns an injector for the profile (validated, with per-rate
@@ -270,6 +313,7 @@ func New(p Profile) (*Injector, error) {
 		p:     p,
 		rng:   rand.New(rand.NewSource(int64(p.Seed))),
 		sleep: time.Sleep,
+		now:   time.Now,
 	}, nil
 }
 
@@ -355,11 +399,42 @@ func (l *chaosListener) Accept() (net.Conn, error) {
 			return nil, err
 		}
 		l.in.count(func(r *Report) { r.Accepts++ })
+		if l.in.partitioned() {
+			l.in.count(func(r *Report) { r.Drops++ })
+			conn.Close()
+			continue
+		}
 		if l.in.roll(l.in.p.DropRate) {
+			l.in.count(func(r *Report) { r.Drops++ })
+			conn.Close()
+			continue
+		}
+		if l.in.roll(l.in.p.PartitionRate) {
+			// Open a partition window: this connection and every one
+			// accepted before the window closes is dropped.
+			l.in.openPartition()
 			l.in.count(func(r *Report) { r.Drops++ })
 			conn.Close()
 			continue
 		}
 		return conn, nil
 	}
+}
+
+// partitioned reports whether a partition window is currently open.
+func (in *Injector) partitioned() bool {
+	if in.p.PartitionRate <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.now().Before(in.partitionUntil)
+}
+
+// openPartition starts (or extends) a partition window of PartitionMs.
+func (in *Injector) openPartition() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rep.Partitions++
+	in.partitionUntil = in.now().Add(time.Duration(in.p.PartitionMs) * time.Millisecond)
 }

@@ -39,18 +39,33 @@ func TestParseProfileFull(t *testing.T) {
 }
 
 func TestParseProfileDefaults(t *testing.T) {
-	p, err := ParseProfile("stall=0.5,delay=0.5")
+	p, err := ParseProfile("stall=0.5,delay=0.5,partition=0.1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.StallMs != 50 || p.DelayMs != 20 {
+	if p.StallMs != 50 || p.DelayMs != 20 || p.PartitionMs != 100 {
 		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+func TestParseProfilePartition(t *testing.T) {
+	p, err := ParseProfile("partition=0.05:150,drop=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profile{PartitionRate: 0.05, PartitionMs: 150, DropRate: 0.1}
+	if p != want {
+		t.Fatalf("got %+v, want %+v", p, want)
+	}
+	back, err := ParseProfile(p.String())
+	if err != nil || back != p {
+		t.Fatalf("round trip %q -> %+v (err %v)", p.String(), back, err)
 	}
 }
 
 func TestParseProfilePresets(t *testing.T) {
 	names := Presets()
-	if len(names) != 2 || names[0] != "mild" || names[1] != "storm" {
+	if len(names) != 3 || names[0] != "mild" || names[1] != "split" || names[2] != "storm" {
 		t.Fatalf("Presets() = %v", names)
 	}
 	for _, n := range names {
@@ -69,18 +84,21 @@ func TestParseProfilePresets(t *testing.T) {
 
 func TestParseProfileErrors(t *testing.T) {
 	for _, s := range []string{
-		"kill",          // no =
-		"kill=x",        // bad rate
-		"kill=2",        // out of range
-		"kill=0.1:5",    // kill takes no fields
-		"stall=0.1:x",   // bad ms
-		"stall=0.1:-5",  // negative ms
-		"stall=0.1:5:6", // too many fields
-		"drop=0.1:5",    // drop takes no fields
-		"seed=abc",      // bad seed
-		"seed=1:2",      // seed takes one value
-		"boom=0.5",      // unknown stressor
-		"delay=NaN",     // NaN rate
+		"kill",              // no =
+		"kill=x",            // bad rate
+		"kill=2",            // out of range
+		"kill=0.1:5",        // kill takes no fields
+		"stall=0.1:x",       // bad ms
+		"stall=0.1:-5",      // negative ms
+		"stall=0.1:5:6",     // too many fields
+		"drop=0.1:5",        // drop takes no fields
+		"partition=2",       // out of range
+		"partition=0.1:5:6", // too many fields
+		"partition=0.1:-5",  // negative ms
+		"seed=abc",          // bad seed
+		"seed=1:2",          // seed takes one value
+		"boom=0.5",          // unknown stressor
+		"delay=NaN",         // NaN rate
 	} {
 		if _, err := ParseProfile(s); err == nil {
 			t.Errorf("ParseProfile(%q) succeeded, want error", s)
@@ -228,6 +246,76 @@ func TestListenerDrops(t *testing.T) {
 	}
 }
 
+func TestPartitionWindow(t *testing.T) {
+	in := MustNew(Profile{PartitionRate: 1, PartitionMs: 100})
+	base := time.Unix(1000, 0)
+	now := base
+	in.now = func() time.Time { return now }
+	if in.partitioned() {
+		t.Fatal("partitioned before any window opened")
+	}
+	in.openPartition()
+	if !in.partitioned() {
+		t.Fatal("not partitioned right after openPartition")
+	}
+	now = base.Add(99 * time.Millisecond)
+	if !in.partitioned() {
+		t.Fatal("window closed early at 99ms")
+	}
+	now = base.Add(100 * time.Millisecond)
+	if in.partitioned() {
+		t.Fatal("window still open at 100ms")
+	}
+	if rep := in.Report(); rep.Partitions != 1 {
+		t.Fatalf("report = %+v, want 1 partition", rep)
+	}
+}
+
+func TestListenerPartitionDropsAll(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate 1 with a long window: the first accept opens the partition
+	// and every connection is dropped; Accept never delivers one.
+	in := MustNew(Profile{PartitionRate: 1, PartitionMs: 60000})
+	ln := in.Listener(inner)
+	defer ln.Close()
+
+	accepted := make(chan struct{})
+	go func() {
+		if conn, err := ln.Accept(); err == nil {
+			conn.Close()
+			close(accepted)
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+		time.Sleep(10 * time.Millisecond)
+		rep := in.Report()
+		if rep.Drops >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partition did not drop connections: %+v", rep)
+		}
+	}
+	select {
+	case <-accepted:
+		t.Fatal("a connection was delivered through an open partition")
+	default:
+	}
+	if rep := in.Report(); rep.Partitions < 1 {
+		t.Fatalf("report = %+v, want >=1 partition window", rep)
+	}
+}
+
 func TestNewRejectsInvalid(t *testing.T) {
 	if _, err := New(Profile{KillRate: 1.5}); err == nil {
 		t.Fatal("New accepted kill rate 1.5")
@@ -239,8 +327,9 @@ func TestNewRejectsInvalid(t *testing.T) {
 
 func FuzzParseProfile(f *testing.F) {
 	for _, s := range []string{
-		"", "off", "none", "mild", "storm",
+		"", "off", "none", "mild", "storm", "split",
 		"kill=0.25,stall=0.3:80,delay=0.2:40,drop=0.1,seed=42",
+		"partition=0.05:150,drop=0.1",
 		"stall=0.5", "drop=1", "seed=18446744073709551615",
 		"kill=2", "stall=0.1:-5", "boom=1", "kill=NaN", ",,,",
 	} {
