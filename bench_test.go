@@ -344,6 +344,36 @@ func BenchmarkPipelineSGAudited(b *testing.B) {
 	}
 }
 
+// BenchmarkWarpCoalesce runs the same sg pipeline through the SIMT
+// warp-lane frontend; the delta against BenchmarkPipelineSG is the
+// cost of warp gathering and mask-group formation.
+func BenchmarkWarpCoalesce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := mac3d.Run(mac3d.RunOptions{Workload: "sg", Design: mac3d.DesignWarp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Warp == nil || rep.Warp.WarpsFormed == 0 {
+			b.Fatal("warp frontend not exercised")
+		}
+	}
+}
+
+// BenchmarkMemCache runs sg through the die-stacked MemCache frontend;
+// the delta against BenchmarkPipelineSG is the cost of tag lookups,
+// fill tracking and hit-under-miss merging.
+func BenchmarkMemCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := mac3d.Run(mac3d.RunOptions{Workload: "sg", Design: mac3d.DesignMemCache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.MemCache == nil || rep.MemCache.Hits+rep.MemCache.Misses == 0 {
+			b.Fatal("memcache frontend not exercised")
+		}
+	}
+}
+
 // BenchmarkNUMANoC measures the multi-node system under the ideal
 // crossbar against the routed mesh at the same node count: the delta
 // is the cost of cycle-stepping the routers, buffers and credits.
@@ -506,6 +536,8 @@ func TestWriteBenchSnapshot(t *testing.T) {
 		fn   func(*testing.B)
 	}{
 		{"BenchmarkPipelineSG", BenchmarkPipelineSG},
+		{"BenchmarkWarpCoalesce", BenchmarkWarpCoalesce},
+		{"BenchmarkMemCache", BenchmarkMemCache},
 		{"BenchmarkTraceGeneration", BenchmarkTraceGeneration},
 		{"BenchmarkServiceSubmit/journal=off", func(b *testing.B) { benchmarkServiceSubmit(b, false) }},
 		{"BenchmarkServiceSubmit/journal=on", func(b *testing.B) { benchmarkServiceSubmit(b, true) }},

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	macsim -workload sg [-threads 8] [-scale tiny|small|ref]
-//	       [-design mac|raw|mshr] [-compare] [-arq 32] [-seed 1]
+//	       [-design mac|raw|mshr|warp|memcache] [-frontend lanes=8,...]
+//	       [-compare] [-arq 32] [-seed 1]
 //	       [-metrics-out m.txt] [-timeseries-out ts.csv]
 //	       [-trace-out trace.json] [-obs-interval 64]
 //	       [-audit] [-chaos-profile mild|storm|delay=0.01:16:32,...]
@@ -43,7 +44,8 @@ func main() {
 	traceFile := flag.String("in", "", "replay a binary trace file (from tracegen) instead of a benchmark")
 	threads := flag.Int("threads", 8, "hardware threads")
 	scaleFlag := flag.String("scale", "tiny", "input scale: tiny, small or ref")
-	designFlag := flag.String("design", "mac", "memory path: mac, raw or mshr")
+	designFlag := flag.String("design", "mac", "memory path: mac, raw, mshr, warp or memcache")
+	frontendFlag := flag.String("frontend", "", "frontend tuning key=value list (lanes, warps, split, cache, line, ways)")
 	compare := flag.Bool("compare", false, "run with and without MAC and report the deltas")
 	arq := flag.Int("arq", 0, "override ARQ entries (default 32)")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
@@ -85,11 +87,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "macsim:", err)
 			os.Exit(2)
 		}
+		design, err := mac3d.ParseDesign(*designFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "macsim:", err)
+			os.Exit(2)
+		}
 		nopts := mac3d.NUMAOptions{
 			Workload: *workload,
 			Threads:  *threads,
 			Seed:     *seed,
 			Scale:    scale,
+			Design:   design,
+			Frontend: *frontendFlag,
 			Nodes:    *numaNodes,
 			Parallel: *parallel,
 			Chaos:    mac3d.ChaosOptions{Profile: *chaosProfile, Seed: *chaosSeed},
@@ -111,6 +120,7 @@ func main() {
 		Workload:   *workload,
 		Threads:    *threads,
 		Seed:       *seed,
+		Frontend:   *frontendFlag,
 		ARQEntries: *arq,
 		Audit:      *auditFlag,
 		Chaos:      mac3d.ChaosOptions{Profile: *chaosProfile, Seed: *chaosSeed},
@@ -263,6 +273,16 @@ func printRun(title string, r *mac3d.RunReport) {
 		r.StallLSQ, r.StallRouter, r.StallFence)
 	if r.ARQOccupancy > 0 {
 		fmt.Printf("  avg ARQ occupancy       %.2f entries\n", r.ARQOccupancy)
+	}
+	if w := r.Warp; w != nil {
+		fmt.Printf("  warps                   %d formed, %d suspended\n", w.WarpsFormed, w.WarpsSuspended)
+		fmt.Printf("    mask groups           %d same-addr, %d same-block (avg %.2f/warp, max %d)\n",
+			w.SameAddrTx, w.SameBlockTx, w.AvgMasksPerWarp, w.MaxMasksPerWarp)
+	}
+	if m := r.MemCache; m != nil {
+		fmt.Printf("  stacked cache           %.2f%% hit rate (%d hits, %d misses, %d merged)\n",
+			100*m.HitRate, m.Hits, m.Misses, m.MergedMisses)
+		fmt.Printf("    writebacks / direct   %d / %d\n", m.Writebacks, m.DirectAccesses)
 	}
 	if r.Faults.PoisonedResponses > 0 || r.Faults.RetriedRequests > 0 || r.Faults.FailedRequests > 0 {
 		fmt.Printf("  poisoned responses      %d (%d re-issued, %d failed)\n",

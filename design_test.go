@@ -1,0 +1,111 @@
+package mac3d
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mac3d/internal/cpu"
+)
+
+func TestDesignKindRoundTrip(t *testing.T) {
+	// The facade enum and the internal kind enum must stay one single
+	// mapping: every Design resolves to a distinct kind, every
+	// registered kind is reachable from a Design, and name parsing
+	// round-trips through both layers.
+	if got, want := len(Designs()), len(cpu.Kinds()); got != want {
+		t.Fatalf("%d designs vs %d internal kinds", got, want)
+	}
+	seen := map[cpu.CoalescerKind]Design{}
+	for _, d := range Designs() {
+		k, err := d.kind()
+		if err != nil {
+			t.Fatalf("%v.kind(): %v", d, err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("designs %v and %v map to the same kind %v", prev, d, k)
+		}
+		seen[k] = d
+		if d.String() != k.String() {
+			t.Fatalf("design name %q != kind name %q", d.String(), k.String())
+		}
+		back, err := ParseDesign(d.String())
+		if err != nil {
+			t.Fatalf("ParseDesign(%q): %v", d.String(), err)
+		}
+		if back != d {
+			t.Fatalf("ParseDesign(%q) = %v, want %v", d.String(), back, d)
+		}
+		pk, err := cpu.ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("cpu.ParseKind(%q): %v", k.String(), err)
+		}
+		if pk != k {
+			t.Fatalf("cpu.ParseKind(%q) = %v, want %v", k.String(), pk, k)
+		}
+	}
+	for _, k := range cpu.Kinds() {
+		if _, ok := seen[k]; !ok {
+			t.Fatalf("internal kind %v has no facade design", k)
+		}
+	}
+	if _, err := ParseDesign("quantum"); err == nil {
+		t.Fatal("unknown design name accepted")
+	}
+}
+
+func TestDesignJSONRoundTrip(t *testing.T) {
+	for _, d := range Designs() {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", d, err)
+		}
+		var back Design
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != d {
+			t.Fatalf("JSON round trip of %v: got %v", d, back)
+		}
+	}
+	var bad Design
+	if err := json.Unmarshal([]byte(`"quantum"`), &bad); err == nil {
+		t.Fatal("unknown design JSON accepted")
+	}
+}
+
+func TestRunSelectsNewFrontends(t *testing.T) {
+	// End-to-end: the facade runs both new designs and reports their
+	// frontend-specific metrics.
+	warp, err := Run(RunOptions{Workload: "sg", Threads: 4, Design: DesignWarp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warp.Warp == nil || warp.Warp.WarpsFormed == 0 {
+		t.Fatalf("warp report = %+v, want warp stats", warp.Warp)
+	}
+	if warp.MemCache != nil {
+		t.Fatal("warp run carries memcache stats")
+	}
+	mcr, err := Run(RunOptions{Workload: "sg", Threads: 4, Design: DesignMemCache,
+		Frontend: "split=0.25,cache=65536"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcr.MemCache == nil || mcr.MemCache.Hits+mcr.MemCache.Misses == 0 {
+		t.Fatalf("memcache report = %+v, want cache demand", mcr.MemCache)
+	}
+	if mcr.Warp != nil {
+		t.Fatal("memcache run carries warp stats")
+	}
+}
+
+func TestRunRejectsBadFrontendTuning(t *testing.T) {
+	if _, err := Run(RunOptions{Workload: "sg", Threads: 2, Design: DesignWarp,
+		Frontend: "lanes=3"}); err == nil {
+		t.Fatal("non-power-of-two lane count accepted")
+	}
+	if _, err := Run(RunOptions{Workload: "sg", Threads: 2,
+		Frontend: "bogus=1"}); err == nil {
+		t.Fatal("unknown tuning key accepted")
+	}
+}

@@ -58,6 +58,7 @@ type Cache struct {
 	tags       []uint64 // sets*ways entries; 0 means empty (tag+1 stored)
 	lastUse    []uint64 // LRU clock values, parallel to tags
 	prefetched []bool   // tagged-prefetch bits, parallel to tags
+	dirty      []bool   // written-line bits, parallel to tags
 	clock      uint64
 	accesses   uint64
 	misses     uint64
@@ -89,6 +90,7 @@ func New(cfg Config) (*Cache, error) {
 		tags:       make([]uint64, lines),
 		lastUse:    make([]uint64, lines),
 		prefetched: make([]bool, lines),
+		dirty:      make([]bool, lines),
 	}, nil
 }
 
@@ -156,6 +158,83 @@ func (c *Cache) Access(a uint64) bool {
 	return false
 }
 
+// AccessDirty is Access with writeback bookkeeping for callers that
+// model a dirty-line cache (the MemCache coalescer frontend): store
+// marks the line dirty, and on an eviction the victim's line-aligned
+// address and dirty bit are returned so the caller can synthesize the
+// writeback traffic. It never runs the tagged prefetcher — fill
+// traffic is the caller's concern, not the tag array's.
+func (c *Cache) AccessDirty(a uint64, store bool) (hit bool, evicted uint64, evictedDirty bool) {
+	c.clock++
+	c.accesses++
+	line := a >> c.lineShift
+	set := int(line % uint64(c.sets))
+	stored := line + 1 // avoid 0 = empty ambiguity
+	base := set * c.ways
+
+	victim := base
+	empty := -1
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == stored {
+			c.lastUse[i] = c.clock
+			if store {
+				c.dirty[i] = true
+			}
+			return true, 0, false
+		}
+		if c.tags[i] == 0 && empty < 0 {
+			empty = i
+		}
+		if c.lastUse[i] < c.lastUse[victim] {
+			victim = i
+		}
+	}
+	c.misses++
+	if empty >= 0 {
+		c.coldMisses++
+		victim = empty
+	} else {
+		c.evictions++
+		evicted = (c.tags[victim] - 1) << c.lineShift
+		evictedDirty = c.dirty[victim]
+	}
+	c.fill(victim, stored, false)
+	c.dirty[victim] = store
+	return false, evicted, evictedDirty
+}
+
+// Contains reports whether the line holding address a is resident,
+// without touching LRU state or counters.
+func (c *Cache) Contains(a uint64) bool {
+	line := a >> c.lineShift
+	set := int(line % uint64(c.sets))
+	stored := line + 1
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == stored {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDirty sets the dirty bit on the resident line holding address a,
+// reporting whether the line was found. Used when a store merges onto
+// an in-flight fill whose line is already installed in the tag array.
+func (c *Cache) MarkDirty(a uint64) bool {
+	line := a >> c.lineShift
+	set := int(line % uint64(c.sets))
+	stored := line + 1
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == stored {
+			c.dirty[i] = true
+			return true
+		}
+	}
+	return false
+}
+
 // insert allocates line into the cache (if absent) without counting an
 // access; prefetch marks it for tagged-prefetch chaining.
 func (c *Cache) insert(line uint64, prefetch bool) {
@@ -190,6 +269,7 @@ func (c *Cache) fill(slot int, stored uint64, prefetch bool) {
 	c.tags[slot] = stored
 	c.lastUse[slot] = c.clock
 	c.prefetched[slot] = prefetch
+	c.dirty[slot] = false
 }
 
 // Stats reports the accumulated access statistics.
@@ -220,7 +300,7 @@ func (c *Cache) Stats() Stats {
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
 	for i := range c.tags {
-		c.tags[i], c.lastUse[i], c.prefetched[i] = 0, 0, false
+		c.tags[i], c.lastUse[i], c.prefetched[i], c.dirty[i] = 0, 0, false, false
 	}
 	c.clock, c.accesses, c.misses, c.evictions, c.coldMisses, c.prefetches = 0, 0, 0, 0, 0, 0
 }

@@ -196,6 +196,41 @@ func TestMSHRStructuralStallWhenFull(t *testing.T) {
 	}
 }
 
+func TestMSHRFullFileStillMerges(t *testing.T) {
+	// Boundary of the structural stall: a completely full MSHR file
+	// blocks new line allocations but must keep merging requests onto
+	// its outstanding lines.
+	cfg := DefaultMSHRConfig()
+	cfg.Entries = 1
+	m := NewMSHR(cfg)
+	m.Push(memreq.RawRequest{Addr: 0x100, Size: 8, Tag: 1}, 0)
+	first := m.Tick(0)
+	if len(first) != 1 {
+		t.Fatal("no dispatch")
+	}
+	// File full; same-line request merges anyway.
+	m.Push(memreq.RawRequest{Addr: 0x108, Size: 8, Tag: 2}, 1)
+	if got := m.Tick(1); len(got) != 0 {
+		t.Fatal("merge dispatched a transaction")
+	}
+	// New-line request stalls behind the full file.
+	m.Push(memreq.RawRequest{Addr: 0x400, Size: 8, Tag: 3}, 2)
+	if got := m.Tick(2); len(got) != 0 {
+		t.Fatal("allocated past a full MSHR file")
+	}
+	m.Completed(&first[0])
+	if len(first[0].Targets) != 2 {
+		t.Fatalf("targets = %d, want the merged pair", len(first[0].Targets))
+	}
+	var second []memreq.Built
+	for now := sim.Cycle(3); now < 10 && len(second) == 0; now++ {
+		second = m.Tick(now)
+	}
+	if len(second) != 1 || second[0].Req.Addr != 0x400 {
+		t.Fatalf("stalled line = %+v", second)
+	}
+}
+
 func TestMSHRAtomicBypasses(t *testing.T) {
 	m := NewMSHR(DefaultMSHRConfig())
 	m.Push(memreq.RawRequest{Addr: 0x100, Size: 8, Atomic: true, Tag: 1}, 0)

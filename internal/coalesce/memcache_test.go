@@ -1,0 +1,268 @@
+package coalesce
+
+import (
+	"testing"
+
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+// allCached returns a MemCache whose whole address space routes through
+// the stacked cache (no direct partition), with a tiny direct-mapped
+// cache so tests can force evictions.
+func allCached(t *testing.T) *MemCache {
+	t.Helper()
+	cfg := DefaultMemCacheConfig()
+	cfg.DirectFraction = 0
+	cfg.CacheBytes = 1024
+	cfg.Ways = 1
+	mc, err := NewMemCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func TestMemCacheMissFillsThenHits(t *testing.T) {
+	mc := allCached(t)
+	mc.Push(memreq.RawRequest{Addr: 0x100, Size: 8, Tag: 1}, 0)
+	fill := mc.Tick(0)
+	if len(fill) != 1 {
+		t.Fatalf("miss emitted %d transactions, want 1 fill", len(fill))
+	}
+	if fill[0].Req.Kind != hmc.Read || fill[0].Req.Addr != 0x100 || fill[0].Req.Data != 64 {
+		t.Fatalf("fill = %+v, want a 64B line read at 0x100", fill[0].Req)
+	}
+	mc.Completed(&fill[0])
+
+	// Same line again: a hit served by one short stacked access.
+	mc.Push(memreq.RawRequest{Addr: 0x108, Size: 8, Tag: 2}, 1)
+	hit := mc.Tick(1)
+	if len(hit) != 1 || hit[0].Req.Data != 16 {
+		t.Fatalf("hit = %+v, want one 16B access", hit)
+	}
+	mc.Completed(&hit[0])
+	st := mc.Stats().MemCache
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("misses %d hits %d, want 1/1", st.Misses, st.Hits)
+	}
+	if hr := st.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", hr)
+	}
+}
+
+func TestMemCacheHitUnderMissMerges(t *testing.T) {
+	mc := allCached(t)
+	mc.Push(memreq.RawRequest{Addr: 0x200, Size: 8, Tag: 1}, 0)
+	fill := mc.Tick(0)
+	if len(fill) != 1 {
+		t.Fatal("no fill")
+	}
+	// While the fill is outstanding, same-line requests ride it: no
+	// new traffic, targets folded in at completion.
+	mc.Push(memreq.RawRequest{Addr: 0x208, Size: 8, Tag: 2}, 1)
+	mc.Push(memreq.RawRequest{Addr: 0x210, Size: 8, Tag: 3}, 1)
+	if got := mc.Tick(1); len(got) != 0 {
+		t.Fatalf("merge emitted %d transactions", len(got))
+	}
+	if got := mc.Tick(2); len(got) != 0 {
+		t.Fatalf("merge emitted %d transactions", len(got))
+	}
+	mc.Completed(&fill[0])
+	if len(fill[0].Targets) != 3 {
+		t.Fatalf("fill targets = %d, want 3 after folding merges", len(fill[0].Targets))
+	}
+	if st := mc.Stats().MemCache; st.MergedMisses != 2 {
+		t.Fatalf("merged misses = %d, want 2", st.MergedMisses)
+	}
+}
+
+func TestMemCacheDirtyEvictionWritesBack(t *testing.T) {
+	mc := allCached(t)
+	// Store-miss allocates a dirty line (write-allocate).
+	mc.Push(memreq.RawRequest{Addr: 0x100, Size: 8, Store: true, Tag: 1}, 0)
+	fill := mc.Tick(0)
+	if len(fill) != 1 {
+		t.Fatal("no fill")
+	}
+	mc.Completed(&fill[0])
+	// 1024B direct-mapped, 64B lines -> 16 sets: 0x100 + 1024 maps to
+	// the same set and evicts the dirty line.
+	mc.Push(memreq.RawRequest{Addr: 0x100 + 1024, Size: 8, Tag: 2}, 1)
+	out := mc.Tick(1)
+	if len(out) != 2 {
+		t.Fatalf("conflicting miss emitted %d transactions, want fill+writeback", len(out))
+	}
+	wb := out[1]
+	if wb.Req.Kind != hmc.Write || wb.Req.Addr != 0x100 || wb.Req.Data != 64 {
+		t.Fatalf("writeback = %+v, want a 64B line write at 0x100", wb.Req)
+	}
+	if len(wb.Targets) != 0 {
+		t.Fatalf("writeback carries %d targets, want 0", len(wb.Targets))
+	}
+	mc.Completed(&out[0])
+	mc.Completed(&wb)
+	if st := mc.Stats().MemCache; st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", st.Writebacks)
+	}
+}
+
+func TestMemCacheDirectPartitionPassesThrough(t *testing.T) {
+	cfg := DefaultMemCacheConfig()
+	cfg.DirectFraction = 1 // everything direct
+	mc, err := NewMemCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Push(memreq.RawRequest{Addr: 0x104, Size: 8, Tag: 1}, 0)
+	out := mc.Tick(0)
+	if len(out) != 1 || out[0].Req.Addr != 0x100 || out[0].Req.Data != 16 {
+		t.Fatalf("direct access = %+v, want Null-style 16B pass-through", out)
+	}
+	mc.Completed(&out[0])
+	st := mc.Stats().MemCache
+	if st.DirectAccesses != 1 || st.Hits+st.Misses != 0 {
+		t.Fatalf("direct %d hits+misses %d, want 1/0", st.DirectAccesses, st.Hits+st.Misses)
+	}
+}
+
+func TestMemCacheFillTableFullStalls(t *testing.T) {
+	cfg := DefaultMemCacheConfig()
+	cfg.DirectFraction = 0
+	cfg.CacheBytes = 1024
+	cfg.Ways = 1
+	cfg.MaxFills = 1
+	mc, err := NewMemCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Push(memreq.RawRequest{Addr: 0x000, Size: 8, Tag: 1}, 0)
+	mc.Push(memreq.RawRequest{Addr: 0x80, Size: 8, Tag: 2}, 0) // different line
+	first := mc.Tick(0)
+	if len(first) != 1 {
+		t.Fatal("no first fill")
+	}
+	for now := sim.Cycle(1); now < 5; now++ {
+		if got := mc.Tick(now); len(got) != 0 {
+			t.Fatal("dispatched past a full fill table")
+		}
+	}
+	mc.Completed(&first[0])
+	var second []memreq.Built
+	for now := sim.Cycle(5); now < 10 && len(second) == 0; now++ {
+		second = mc.Tick(now)
+	}
+	if len(second) != 1 {
+		t.Fatal("stalled miss never dispatched")
+	}
+	mc.Completed(&second[0])
+}
+
+func TestMemCacheMergeBudgetStalls(t *testing.T) {
+	cfg := DefaultMemCacheConfig()
+	cfg.DirectFraction = 0
+	cfg.CacheBytes = 1024
+	cfg.Ways = 1
+	cfg.MaxMerges = 2
+	mc, err := NewMemCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Push(memreq.RawRequest{Addr: 0x40, Size: 8, Tag: 1}, 0)
+	fill := mc.Tick(0)
+	if len(fill) != 1 {
+		t.Fatal("no fill")
+	}
+	mc.Push(memreq.RawRequest{Addr: 0x48, Size: 8, Tag: 2}, 1)
+	if got := mc.Tick(1); len(got) != 0 {
+		t.Fatal("merge emitted traffic")
+	}
+	// Third same-line request exceeds MaxMerges: stall until the fill
+	// completes, then hit in the tags.
+	mc.Push(memreq.RawRequest{Addr: 0x50, Size: 8, Tag: 3}, 2)
+	for now := sim.Cycle(2); now < 6; now++ {
+		if got := mc.Tick(now); len(got) != 0 {
+			t.Fatal("exceeded MaxMerges")
+		}
+	}
+	mc.Completed(&fill[0])
+	if len(fill[0].Targets) != 2 {
+		t.Fatalf("fill targets = %d, want 2", len(fill[0].Targets))
+	}
+	var hit []memreq.Built
+	for now := sim.Cycle(6); now < 10 && len(hit) == 0; now++ {
+		hit = mc.Tick(now)
+	}
+	if len(hit) != 1 {
+		t.Fatal("stalled request never served")
+	}
+	mc.Completed(&hit[0])
+	if st := mc.Stats().MemCache; st.Hits != 1 || st.MergedMisses != 1 {
+		t.Fatalf("hits %d merged %d, want 1/1", st.Hits, st.MergedMisses)
+	}
+}
+
+func TestMemCacheFenceAndAtomic(t *testing.T) {
+	mc := allCached(t)
+	mc.Push(memreq.RawRequest{Addr: 0x40, Size: 8, Tag: 1}, 0)
+	mc.Push(memreq.RawRequest{Fence: true}, 0)
+	mc.Push(memreq.RawRequest{Addr: 0x300, Size: 8, Atomic: true, Tag: 2}, 0)
+	first := mc.Tick(0)
+	if len(first) != 1 {
+		t.Fatal("no dispatch")
+	}
+	for now := sim.Cycle(1); now < 5; now++ {
+		if got := mc.Tick(now); len(got) != 0 {
+			t.Fatal("crossed fence while outstanding")
+		}
+	}
+	mc.Completed(&first[0])
+	var atomic []memreq.Built
+	for now := sim.Cycle(5); now < 10 && len(atomic) == 0; now++ {
+		atomic = mc.Tick(now)
+	}
+	if len(atomic) != 1 || atomic[0].Req.Kind != hmc.AtomicOp || !atomic[0].Bypassed {
+		t.Fatalf("atomic = %+v", atomic)
+	}
+	mc.Completed(&atomic[0])
+}
+
+func TestMemCacheReset(t *testing.T) {
+	mc := allCached(t)
+	mc.Push(memreq.RawRequest{Addr: 0x100, Size: 8}, 0)
+	mc.Tick(0)
+	mc.Reset()
+	if mc.Pending() != 0 || mc.Inflight() != 0 || mc.Stats().RawRequests != 0 {
+		t.Fatal("memcache reset incomplete")
+	}
+	if mc.Stats().MemCache == nil {
+		t.Fatal("memcache stats lost on reset")
+	}
+}
+
+func TestMemCacheConfigValidation(t *testing.T) {
+	if err := DefaultMemCacheConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MemCacheConfig{
+		func() MemCacheConfig { c := DefaultMemCacheConfig(); c.DirectFraction = 1.5; return c }(),
+		func() MemCacheConfig { c := DefaultMemCacheConfig(); c.LineBytes = 8; return c }(),
+		func() MemCacheConfig { c := DefaultMemCacheConfig(); c.MaxFills = 0; return c }(),
+		func() MemCacheConfig { c := DefaultMemCacheConfig(); c.MaxMerges = 0; return c }(),
+		func() MemCacheConfig { c := DefaultMemCacheConfig(); c.QueueDepth = 0; return c }(),
+		func() MemCacheConfig { c := DefaultMemCacheConfig(); c.CacheBytes = 100; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMemCacheHitRateZeroWhenIdle(t *testing.T) {
+	var st memreq.MemCacheStats
+	if hr := st.HitRate(); hr != 0 {
+		t.Fatalf("idle hit rate = %v, want 0", hr)
+	}
+}

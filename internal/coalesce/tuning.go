@@ -1,0 +1,162 @@
+package coalesce
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Tuning is the parsed form of the frontend tuning string accepted by
+// `macsim -frontend` and the job spec's "frontend" field: an ordered
+// comma-separated key=value list adjusting the Warp and MemCache
+// frontends away from their defaults. The zero value changes nothing.
+//
+// Keys: lanes (warp width), warps (warp scoreboard slots), split
+// (memcache direct fraction, 0..1), cache (memcache capacity bytes),
+// line (memcache line bytes), ways (memcache associativity).
+type Tuning struct {
+	// Lanes and Warps tune the Warp frontend; 0 leaves the default.
+	Lanes int
+	Warps int
+	// Split is the MemCache direct fraction; SplitSet gates it so an
+	// explicit split=0 (all cached) is distinguishable from unset.
+	Split    float64
+	SplitSet bool
+	// CacheBytes, LineBytes and Ways tune the MemCache geometry; 0
+	// leaves the defaults.
+	CacheBytes uint64
+	LineBytes  uint32
+	Ways       int
+}
+
+// maxTuningLen bounds the accepted tuning string.
+const maxTuningLen = 256
+
+// ParseTuning parses a frontend tuning string. The empty string is the
+// zero Tuning. Syntax and range errors are reported; semantic
+// constraints (power-of-two lane counts, cache geometry) are enforced
+// by the frontend configs the tuning is applied to.
+func ParseTuning(s string) (Tuning, error) {
+	var t Tuning
+	if s == "" {
+		return t, nil
+	}
+	if len(s) > maxTuningLen {
+		return t, fmt.Errorf("coalesce: tuning string longer than %d bytes", maxTuningLen)
+	}
+	seen := make(map[string]bool, 6)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		key, val, ok := strings.Cut(part, "=")
+		if !ok || key == "" || val == "" {
+			return Tuning{}, fmt.Errorf("coalesce: tuning %q: want key=value, got %q", s, part)
+		}
+		if seen[key] {
+			return Tuning{}, fmt.Errorf("coalesce: tuning %q: duplicate key %q", s, key)
+		}
+		seen[key] = true
+		switch key {
+		case "lanes":
+			n, err := parseTuningInt(key, val, 1<<16)
+			if err != nil {
+				return Tuning{}, err
+			}
+			t.Lanes = n
+		case "warps":
+			n, err := parseTuningInt(key, val, 1<<16)
+			if err != nil {
+				return Tuning{}, err
+			}
+			t.Warps = n
+		case "split":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(f) || f < 0 || f > 1 {
+				return Tuning{}, fmt.Errorf("coalesce: tuning split=%q: want a fraction in [0, 1]", val)
+			}
+			t.Split, t.SplitSet = f, true
+		case "cache":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil || n == 0 || n > 1<<32 {
+				return Tuning{}, fmt.Errorf("coalesce: tuning cache=%q: want bytes in [1, 2^32]", val)
+			}
+			t.CacheBytes = n
+		case "line":
+			n, err := parseTuningInt(key, val, 1<<16)
+			if err != nil {
+				return Tuning{}, err
+			}
+			t.LineBytes = uint32(n)
+		case "ways":
+			n, err := parseTuningInt(key, val, 1<<16)
+			if err != nil {
+				return Tuning{}, err
+			}
+			t.Ways = n
+		default:
+			return Tuning{}, fmt.Errorf("coalesce: tuning %q: unknown key %q (have lanes, warps, split, cache, line, ways)", s, key)
+		}
+	}
+	return t, nil
+}
+
+func parseTuningInt(key, val string, hi int) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil || n <= 0 || n > hi {
+		return 0, fmt.Errorf("coalesce: tuning %s=%q: want an integer in [1, %d]", key, val, hi)
+	}
+	return n, nil
+}
+
+// String renders the tuning in canonical form: set keys only, fixed
+// order. ParseTuning(t.String()) round-trips.
+func (t Tuning) String() string {
+	var parts []string
+	if t.Lanes != 0 {
+		parts = append(parts, fmt.Sprintf("lanes=%d", t.Lanes))
+	}
+	if t.Warps != 0 {
+		parts = append(parts, fmt.Sprintf("warps=%d", t.Warps))
+	}
+	if t.SplitSet {
+		parts = append(parts, "split="+strconv.FormatFloat(t.Split, 'g', -1, 64))
+	}
+	if t.CacheBytes != 0 {
+		parts = append(parts, fmt.Sprintf("cache=%d", t.CacheBytes))
+	}
+	if t.LineBytes != 0 {
+		parts = append(parts, fmt.Sprintf("line=%d", t.LineBytes))
+	}
+	if t.Ways != 0 {
+		parts = append(parts, fmt.Sprintf("ways=%d", t.Ways))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ApplyWarp overlays the tuning's warp knobs onto cfg.
+func (t Tuning) ApplyWarp(cfg WarpConfig) WarpConfig {
+	if t.Lanes != 0 {
+		cfg.Lanes = t.Lanes
+	}
+	if t.Warps != 0 {
+		cfg.MaxWarps = t.Warps
+	}
+	return cfg
+}
+
+// ApplyMemCache overlays the tuning's memcache knobs onto cfg.
+func (t Tuning) ApplyMemCache(cfg MemCacheConfig) MemCacheConfig {
+	if t.SplitSet {
+		cfg.DirectFraction = t.Split
+	}
+	if t.CacheBytes != 0 {
+		cfg.CacheBytes = t.CacheBytes
+	}
+	if t.LineBytes != 0 {
+		cfg.LineBytes = t.LineBytes
+	}
+	if t.Ways != 0 {
+		cfg.Ways = t.Ways
+	}
+	return cfg
+}

@@ -1,0 +1,115 @@
+package coalesce
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTuningRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"lanes=16",
+		"warps=8",
+		"split=0.25",
+		"split=0",
+		"split=1",
+		"cache=65536",
+		"line=128",
+		"ways=4",
+		"lanes=16,warps=8,split=0.5,cache=262144,line=128,ways=4",
+	}
+	for _, in := range cases {
+		tu, err := ParseTuning(in)
+		if err != nil {
+			t.Fatalf("ParseTuning(%q): %v", in, err)
+		}
+		again, err := ParseTuning(tu.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", in, tu.String(), err)
+		}
+		if again != tu {
+			t.Fatalf("round trip of %q: %+v != %+v", in, again, tu)
+		}
+	}
+}
+
+func TestParseTuningRejections(t *testing.T) {
+	bad := []string{
+		"lanes",                        // no value
+		"lanes=",                       // empty value
+		"=8",                           // empty key
+		"lanes=0",                      // below range
+		"lanes=-4",                     // negative
+		"lanes=8,lanes=16",             // duplicate
+		"bogus=1",                      // unknown key
+		"split=1.5",                    // above 1
+		"split=-0.1",                   // below 0
+		"split=nan",                    // not a number
+		"cache=0",                      // zero bytes
+		"lanes=8,,warps=4",             // empty element
+		strings.Repeat("lanes=8,", 64), // over length bound
+	}
+	for _, in := range bad {
+		if _, err := ParseTuning(in); err == nil {
+			t.Errorf("ParseTuning(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestTuningApplyOverlaysOnlySetFields(t *testing.T) {
+	tu, err := ParseTuning("lanes=16,split=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tu.ApplyWarp(DefaultWarpConfig())
+	if w.Lanes != 16 {
+		t.Fatalf("lanes = %d, want 16", w.Lanes)
+	}
+	if w.MaxWarps != DefaultWarpConfig().MaxWarps {
+		t.Fatalf("warps = %d, want default %d", w.MaxWarps, DefaultWarpConfig().MaxWarps)
+	}
+	m := tu.ApplyMemCache(DefaultMemCacheConfig())
+	if m.DirectFraction != 0 {
+		t.Fatalf("explicit split=0 not applied: %v", m.DirectFraction)
+	}
+	if m.CacheBytes != DefaultMemCacheConfig().CacheBytes {
+		t.Fatalf("cache = %d, want default", m.CacheBytes)
+	}
+
+	zero, err := ParseTuning("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.ApplyMemCache(DefaultMemCacheConfig()) != DefaultMemCacheConfig() {
+		t.Fatal("zero tuning changed the memcache config")
+	}
+	if zero.ApplyWarp(DefaultWarpConfig()) != DefaultWarpConfig() {
+		t.Fatal("zero tuning changed the warp config")
+	}
+}
+
+func FuzzParseTuning(f *testing.F) {
+	f.Add("")
+	f.Add("lanes=8,warps=4")
+	f.Add("split=0.25,cache=65536,line=128,ways=4")
+	f.Add("lanes=8,lanes=8")
+	f.Add("split=1e-1")
+	f.Add("cache=99999999999999999999")
+	f.Add("bogus=,=,")
+	f.Fuzz(func(t *testing.T, s string) {
+		tu, err := ParseTuning(s)
+		if err != nil {
+			return
+		}
+		// Accepted tunings render canonically and round-trip to the
+		// same parsed value (the rendering may normalize spelling,
+		// e.g. "1e-1" -> "0.1", so compare structs, not strings).
+		again, err := ParseTuning(tu.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", tu.String(), s, err)
+		}
+		if again != tu {
+			t.Fatalf("round trip of %q: %+v != %+v", s, again, tu)
+		}
+	})
+}

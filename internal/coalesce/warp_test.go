@@ -1,0 +1,238 @@
+package coalesce
+
+import (
+	"testing"
+
+	"mac3d/internal/hmc"
+	"mac3d/internal/memreq"
+	"mac3d/internal/sim"
+)
+
+func TestWarpAllLanesOneAddressSingleTx(t *testing.T) {
+	w, err := NewWarp(DefaultWarpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every lane loads the same address: one narrow SameAddress
+	// transaction must serve the whole warp.
+	for i := 0; i < 8; i++ {
+		if !w.Push(memreq.RawRequest{Addr: 0x100, Size: 4, Tag: uint16(i)}, 0) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	out := w.Tick(0)
+	if len(out) != 1 {
+		t.Fatalf("emitted %d transactions, want 1", len(out))
+	}
+	b := out[0]
+	if len(b.Targets) != 8 {
+		t.Fatalf("targets = %d, want all 8 lanes", len(b.Targets))
+	}
+	if b.Req.Addr != 0x100 || b.Req.Data != 16 {
+		t.Fatalf("tx = %#x/%dB, want 0x100/16B", b.Req.Addr, b.Req.Data)
+	}
+	ws := w.Stats().Warp
+	if ws.SameAddrTx != 1 || ws.SameBlockTx != 0 {
+		t.Fatalf("same-addr %d same-block %d, want 1/0", ws.SameAddrTx, ws.SameBlockTx)
+	}
+	if ws.WarpsFormed != 1 || ws.WarpsSuspended != 1 {
+		t.Fatalf("formed %d suspended %d, want 1/1", ws.WarpsFormed, ws.WarpsSuspended)
+	}
+	w.Completed(&b)
+	if w.Inflight() != 0 {
+		t.Fatalf("inflight = %d after completion", w.Inflight())
+	}
+}
+
+func TestWarpSameBlockGroupsIntoOneTx(t *testing.T) {
+	w, err := NewWarp(DefaultWarpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 lanes striding 4B through one 32B lane block (blockShift = 5
+	// at 8 lanes): one SameBlock transaction covering the block.
+	for i := 0; i < 8; i++ {
+		w.Push(memreq.RawRequest{Addr: uint64(0x100 + 4*i), Size: 4, Tag: uint16(i)}, 0)
+	}
+	out := w.Tick(0)
+	if len(out) != 1 {
+		t.Fatalf("emitted %d transactions, want 1", len(out))
+	}
+	b := out[0]
+	if len(b.Targets) != 8 {
+		t.Fatalf("targets = %d, want 8", len(b.Targets))
+	}
+	if b.Req.Addr != 0x100 || b.Req.Data != 32 {
+		t.Fatalf("tx = %#x/%dB, want the 0x100/32B lane block", b.Req.Addr, b.Req.Data)
+	}
+	if ws := w.Stats().Warp; ws.SameBlockTx != 1 || ws.SameAddrTx != 0 {
+		t.Fatalf("same-block %d same-addr %d, want 1/0", ws.SameBlockTx, ws.SameAddrTx)
+	}
+	w.Completed(&b)
+}
+
+func TestWarpDivergentLanesOneTxPerBlock(t *testing.T) {
+	w, err := NewWarp(DefaultWarpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully divergent: every lane in its own block — one transaction
+	// per mask group, 8 groups total.
+	for i := 0; i < 8; i++ {
+		w.Push(memreq.RawRequest{Addr: uint64(i) << 12, Size: 4, Tag: uint16(i)}, 0)
+	}
+	var built []memreq.Built
+	for now := sim.Cycle(0); now < 20 && len(built) < 8; now++ {
+		built = append(built, w.Tick(now)...)
+	}
+	if len(built) != 8 {
+		t.Fatalf("emitted %d transactions, want 8", len(built))
+	}
+	for i := range built {
+		w.Completed(&built[i])
+	}
+	ws := w.Stats().Warp
+	if got := ws.MasksPerWarp.Max(); got != 8 {
+		t.Fatalf("masks per warp max = %d, want 8", got)
+	}
+	if ws.WarpsSuspended != 1 {
+		t.Fatalf("suspended = %d, want 1", ws.WarpsSuspended)
+	}
+}
+
+func TestWarpScoreboardStallsAndResumes(t *testing.T) {
+	cfg := DefaultWarpConfig()
+	cfg.MaxWarps = 1
+	w, err := NewWarp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		w.Push(memreq.RawRequest{Addr: 0x40, Size: 4, Tag: uint16(i)}, 0)
+	}
+	first := w.Tick(0)
+	if len(first) != 1 {
+		t.Fatalf("first warp emitted %d, want 1", len(first))
+	}
+	// The single scoreboard slot is suspended awaiting its response:
+	// the second warp must not gather.
+	for now := sim.Cycle(1); now < 5; now++ {
+		if got := w.Tick(now); len(got) != 0 {
+			t.Fatal("gathered past a full scoreboard")
+		}
+	}
+	w.Completed(&first[0]) // resume: slot freed
+	var second []memreq.Built
+	for now := sim.Cycle(5); now < 10 && len(second) == 0; now++ {
+		second = w.Tick(now)
+	}
+	if len(second) != 1 || len(second[0].Targets) != 8 {
+		t.Fatalf("second warp = %+v", second)
+	}
+	w.Completed(&second[0])
+}
+
+func TestWarpStopsGatherAtKindBoundary(t *testing.T) {
+	w, err := NewWarp(DefaultWarpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 loads then 4 stores at one address: two warps, two kinds.
+	for i := 0; i < 4; i++ {
+		w.Push(memreq.RawRequest{Addr: 0x80, Size: 4, Tag: uint16(i)}, 0)
+	}
+	for i := 4; i < 8; i++ {
+		w.Push(memreq.RawRequest{Addr: 0x80, Size: 4, Store: true, Tag: uint16(i)}, 0)
+	}
+	var built []memreq.Built
+	for now := sim.Cycle(0); now < 20 && len(built) < 2; now++ {
+		got := w.Tick(now)
+		for i := range got {
+			built = append(built, got[i])
+			w.Completed(&built[len(built)-1])
+		}
+	}
+	if len(built) != 2 {
+		t.Fatalf("emitted %d transactions, want 2", len(built))
+	}
+	if built[0].Req.Kind != hmc.Read || built[1].Req.Kind != hmc.Write {
+		t.Fatalf("kinds = %v/%v, want Read/Write", built[0].Req.Kind, built[1].Req.Kind)
+	}
+}
+
+func TestWarpFenceAndAtomic(t *testing.T) {
+	w, err := NewWarp(DefaultWarpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Push(memreq.RawRequest{Addr: 0x40, Size: 4, Tag: 1}, 0)
+	w.Push(memreq.RawRequest{Fence: true}, 0)
+	w.Push(memreq.RawRequest{Addr: 0x200, Size: 8, Atomic: true, Tag: 2}, 0)
+	first := w.Tick(0)
+	if len(first) != 1 {
+		t.Fatal("no dispatch")
+	}
+	for now := sim.Cycle(1); now < 5; now++ {
+		if got := w.Tick(now); len(got) != 0 {
+			t.Fatal("crossed fence while outstanding")
+		}
+	}
+	w.Completed(&first[0])
+	var atomic []memreq.Built
+	for now := sim.Cycle(5); now < 10 && len(atomic) == 0; now++ {
+		atomic = w.Tick(now)
+	}
+	if len(atomic) != 1 || atomic[0].Req.Kind != hmc.AtomicOp || !atomic[0].Bypassed {
+		t.Fatalf("atomic = %+v", atomic)
+	}
+	w.Completed(&atomic[0])
+}
+
+func TestWarpCompletedUnderflowPanics(t *testing.T) {
+	w, err := NewWarp(DefaultWarpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unmatched Completed")
+		}
+	}()
+	w.Completed(&memreq.Built{})
+}
+
+func TestWarpReset(t *testing.T) {
+	w, err := NewWarp(DefaultWarpConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		w.Push(memreq.RawRequest{Addr: uint64(i) << 10, Size: 4}, 0)
+	}
+	w.Tick(0)
+	w.Reset()
+	if w.Pending() != 0 || w.Inflight() != 0 || w.Stats().RawRequests != 0 {
+		t.Fatal("warp reset incomplete")
+	}
+	if w.Stats().Warp == nil {
+		t.Fatal("warp stats lost on reset")
+	}
+}
+
+func TestWarpConfigValidation(t *testing.T) {
+	if err := DefaultWarpConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []WarpConfig{
+		{Lanes: 0, MaxWarps: 4, QueueDepth: 64},
+		{Lanes: 6, MaxWarps: 4, QueueDepth: 64},
+		{Lanes: 128, MaxWarps: 4, QueueDepth: 64},
+		{Lanes: 8, MaxWarps: 0, QueueDepth: 64},
+		{Lanes: 8, MaxWarps: 4, QueueDepth: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}

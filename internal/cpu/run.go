@@ -24,7 +24,20 @@ const (
 	// WithMSHR uses the conventional 64B miss-merging design of
 	// §2.3, for the limitation study.
 	WithMSHR
+	// WithWarp uses the SIMT warp-lane coalescer (leader-mask
+	// SameAddress/SameBlock grouping with warp suspend/resume).
+	WithWarp
+	// WithMemCache uses the die-stacked memory+cache frontend (part of
+	// the stacked DRAM is an inclusive cache, part direct memory).
+	WithMemCache
 )
+
+// Kinds returns every selectable coalescer kind, in display order.
+// This is the single authority on which frontends exist: the facade
+// Design enum, the CLI and the arena experiment all derive from it.
+func Kinds() []CoalescerKind {
+	return []CoalescerKind{WithMAC, WithoutMAC, WithMSHR, WithWarp, WithMemCache}
+}
 
 // String names the kind.
 func (k CoalescerKind) String() string {
@@ -35,19 +48,39 @@ func (k CoalescerKind) String() string {
 		return "raw"
 	case WithMSHR:
 		return "mshr"
+	case WithWarp:
+		return "warp"
+	case WithMemCache:
+		return "memcache"
 	default:
 		return fmt.Sprintf("CoalescerKind(%d)", int(k))
 	}
 }
 
+// ParseKind resolves a kind name (the String form).
+func ParseKind(s string) (CoalescerKind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	names := make([]string, 0, len(Kinds()))
+	for _, k := range Kinds() {
+		names = append(names, k.String())
+	}
+	return 0, fmt.Errorf("cpu: unknown coalescer kind %q (have %v)", s, names)
+}
+
 // RunConfig bundles everything one timed run needs.
 type RunConfig struct {
-	Node Config
-	MAC  core.Config
-	MSHR coalesce.MSHRConfig
-	Null coalesce.NullConfig
-	HMC  hmc.Config
-	Kind CoalescerKind
+	Node     Config
+	MAC      core.Config
+	MSHR     coalesce.MSHRConfig
+	Null     coalesce.NullConfig
+	Warp     coalesce.WarpConfig
+	MemCache coalesce.MemCacheConfig
+	HMC      hmc.Config
+	Kind     CoalescerKind
 	// Obs, when non-nil, wires the run into an observability layer
 	// (metrics registry, timeseries recorder, transaction tracer).
 	// Nil keeps every probe a no-op.
@@ -66,12 +99,14 @@ type RunConfig struct {
 // DefaultRunConfig returns the paper's Table 1 setup with MAC enabled.
 func DefaultRunConfig() RunConfig {
 	return RunConfig{
-		Node: DefaultConfig(),
-		MAC:  core.DefaultConfig(),
-		MSHR: coalesce.DefaultMSHRConfig(),
-		Null: coalesce.DefaultNullConfig(),
-		HMC:  hmc.DefaultConfig(),
-		Kind: WithMAC,
+		Node:     DefaultConfig(),
+		MAC:      core.DefaultConfig(),
+		MSHR:     coalesce.DefaultMSHRConfig(),
+		Null:     coalesce.DefaultNullConfig(),
+		Warp:     coalesce.DefaultWarpConfig(),
+		MemCache: coalesce.DefaultMemCacheConfig(),
+		HMC:      hmc.DefaultConfig(),
+		Kind:     WithMAC,
 	}
 }
 
@@ -83,6 +118,10 @@ func (cfg RunConfig) NewCoalescer() (memreq.Coalescer, error) {
 		return coalesce.NewNull(cfg.Null), nil
 	case WithMSHR:
 		return coalesce.NewMSHR(cfg.MSHR), nil
+	case WithWarp:
+		return coalesce.NewWarp(cfg.Warp)
+	case WithMemCache:
+		return coalesce.NewMemCache(cfg.MemCache)
 	default:
 		return core.New(cfg.MAC)
 	}

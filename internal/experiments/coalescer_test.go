@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"mac3d/internal/cpu"
+	"mac3d/internal/workloads"
+)
+
+func TestAblationCoalescerLeague(t *testing.T) {
+	s := testSuite()
+	tab, err := s.AblationCoalescer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := len(cpu.Kinds())
+	want := len(s.opts.Benchmarks)*kinds + kinds
+	if len(tab.Rows) != want {
+		t.Fatalf("arena produced %d rows, want %d", len(tab.Rows), want)
+	}
+	// Per-workload rows: the MAC must beat the uncoalesced baseline.
+	eff := map[string]float64{}
+	for _, row := range tab.Rows {
+		if row[0] == "sg" {
+			eff[row[1]] = cell(t, row[2])
+		}
+	}
+	if eff["mac"] <= eff["raw"] {
+		t.Fatalf("mac efficiency %v not above raw %v", eff["mac"], eff["raw"])
+	}
+	// League rows are ranked: efficiency non-increasing, every design
+	// present exactly once, rank labels in order.
+	var league [][]string
+	for _, row := range tab.Rows {
+		if row[0] == "(league)" {
+			league = append(league, row)
+		}
+	}
+	if len(league) != kinds {
+		t.Fatalf("league has %d rows, want %d", len(league), kinds)
+	}
+	prev := 101.0
+	for i, row := range league {
+		e := cell(t, row[2])
+		if e > prev {
+			t.Fatalf("league not ranked: row %d eff %v above previous %v", i, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestAblationCoalescerDeterministic(t *testing.T) {
+	a, err := testSuite().AblationCoalescer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testSuite().AblationCoalescer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatal("arena output is not byte-deterministic across fresh suites")
+	}
+}
+
+func TestArenaSetWidensDefaultCampaign(t *testing.T) {
+	// The default campaign (paper's twelve) widens to every registered
+	// workload; an explicit restriction is honoured.
+	full := NewSuite(Options{Scale: workloads.Tiny})
+	if got, want := len(full.arenaSet()), len(workloads.Names()); got != want {
+		t.Fatalf("default arena sweeps %d workloads, want all %d", got, want)
+	}
+	narrow := testSuite()
+	if got := narrow.arenaSet(); len(got) != 2 || got[0] != "sg" || got[1] != "bfs" {
+		t.Fatalf("restricted arena = %v, want [sg bfs]", got)
+	}
+}

@@ -148,6 +148,11 @@ func All() []Entry {
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationCluster() },
 		},
 		{
+			ID: "abl-coalescer", Title: "Ablation: coalescer frontend arena (league table)",
+			Paper: "(beyond paper; MAC vs raw vs MSHR vs SIMT warp vs stacked cache)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationCoalescer() },
+		},
+		{
 			ID: "abl-noc", Title: "Ablation: interconnect topology (NUMA fabric)",
 			Paper: "(beyond paper; ideal crossbar vs routed ring vs 2D mesh)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationNoC() },

@@ -303,6 +303,17 @@ func (s *Suite) MSHR(name string, threads int) (*cpu.Result, error) {
 	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMSHR})
 }
 
+// Warp returns the SIMT warp-lane coalescer run of a benchmark.
+func (s *Suite) Warp(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithWarp})
+}
+
+// MemCache returns the die-stacked memory-side cache run of a
+// benchmark.
+func (s *Suite) MemCache(name string, threads int) (*cpu.Result, error) {
+	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMemCache})
+}
+
 // MACWithARQ returns a with-MAC run at a non-default ARQ depth.
 func (s *Suite) MACWithARQ(name string, threads, entries int) (*cpu.Result, error) {
 	return s.run(runKey{name: name, threads: threads, kind: cpu.WithMAC, arq: entries})

@@ -103,7 +103,10 @@ type Built struct {
 	Req hmc.Request
 	// Targets lists every raw request satisfied by this transaction.
 	// It is empty only for transactions synthesized by a coalescer
-	// for its own purposes (none of the included designs do this).
+	// for its own purposes (the MemCache frontend's dirty-line
+	// writebacks are the one included case); drivers must tolerate
+	// zero-target transactions by completing them without retiring
+	// any raw request.
 	Targets []Target
 	// Bypassed reports that the transaction skipped the request
 	// builder (B bit set, or an atomic routed directly).
@@ -184,6 +187,61 @@ type Stats struct {
 	// PushRejects counts Push calls refused due to internal
 	// backpressure.
 	PushRejects uint64
+
+	// Warp carries the SIMT warp-lane frontend's extra measurements;
+	// nil for every other design. It is a pointer so the value copy a
+	// driver takes of Stats still shares the frontend's counters.
+	Warp *WarpStats
+	// MemCache carries the die-stacked memory+cache frontend's extra
+	// measurements; nil for every other design.
+	MemCache *MemCacheStats
+}
+
+// WarpStats is the measurement set specific to the SIMT warp-lane
+// coalescer frontend.
+type WarpStats struct {
+	// WarpsFormed counts warps gathered from the lane queue.
+	WarpsFormed uint64
+	// WarpsSuspended counts warps that finished dispatching their
+	// mask groups and were suspended awaiting device responses.
+	WarpsSuspended uint64
+	// SameAddrTx counts transactions whose mask group collapsed to a
+	// single address shared by every participating lane.
+	SameAddrTx uint64
+	// SameBlockTx counts transactions that fetched a whole lane block
+	// for a mask group spanning multiple addresses.
+	SameBlockTx uint64
+	// MasksPerWarp observes the number of mask-group transactions each
+	// warp needed before suspending (1 = fully convergent warp).
+	MasksPerWarp stats.Histogram
+}
+
+// MemCacheStats is the measurement set specific to the die-stacked
+// memory+cache frontend.
+type MemCacheStats struct {
+	// Hits counts cache-region requests served from the stacked cache.
+	Hits uint64
+	// Misses counts cache-region requests that allocated a line fill.
+	Misses uint64
+	// MergedMisses counts cache-region requests merged onto an
+	// in-flight fill for the same line (hit-under-miss).
+	MergedMisses uint64
+	// Writebacks counts dirty-line eviction transactions emitted.
+	Writebacks uint64
+	// DirectAccesses counts requests routed to the directly addressed
+	// partition of the stacked DRAM.
+	DirectAccesses uint64
+}
+
+// HitRate returns the stacked-cache hit fraction over demand accesses
+// that probed the tags (merged misses count as misses: they waited on
+// fill traffic).
+func (s *MemCacheStats) HitRate() float64 {
+	demand := s.Hits + s.Misses + s.MergedMisses
+	if demand == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(demand)
 }
 
 // NewStats returns an initialized Stats.

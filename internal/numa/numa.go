@@ -22,6 +22,7 @@ import (
 
 	"mac3d/internal/addr"
 	"mac3d/internal/chaos"
+	"mac3d/internal/coalesce"
 	"mac3d/internal/core"
 	"mac3d/internal/cpu"
 	"mac3d/internal/hmc"
@@ -65,8 +66,16 @@ type Config struct {
 	// requiring a routed NoC topology); the node-internal stressors
 	// belong to the single-node cpu driver and are inert here.
 	Chaos chaos.Profile
+	// Kind selects each node's coalescer frontend (default WithMAC);
+	// every node runs the same design.
+	Kind cpu.CoalescerKind
 	// MAC configures each node's coalescer.
 	MAC core.Config
+	// Warp and MemCache parameterize the SIMT and die-stacked
+	// frontends when Kind selects them; the zero value takes the
+	// package defaults.
+	Warp     coalesce.WarpConfig
+	MemCache coalesce.MemCacheConfig
 	// HMC configures each node's device.
 	HMC hmc.Config
 	// SPMLatency and MaxOutstanding mirror cpu.Config.
@@ -140,10 +149,33 @@ func (c Config) Validate() error {
 	if err := c.MAC.Validate(); err != nil {
 		return err
 	}
+	cc := c.coalescerConfig()
+	if err := cc.Warp.Validate(); err != nil {
+		return err
+	}
+	if err := cc.MemCache.Validate(); err != nil {
+		return err
+	}
 	if err := c.Retry.Validate(); err != nil {
 		return err
 	}
 	return c.HMC.Validate()
+}
+
+// coalescerConfig lowers the per-node frontend selection onto a
+// cpu.RunConfig, so both drivers construct coalescers through the one
+// Kind switch. Zero-value frontend configs take the package defaults.
+func (c Config) coalescerConfig() cpu.RunConfig {
+	rc := cpu.DefaultRunConfig()
+	rc.Kind = c.Kind
+	rc.MAC = c.MAC
+	if c.Warp != (coalesce.WarpConfig{}) {
+		rc.Warp = c.Warp
+	}
+	if c.MemCache != (coalesce.MemCacheConfig{}) {
+		rc.MemCache = c.MemCache
+	}
+	return rc
 }
 
 // nocConfig resolves the effective fabric configuration: Config.NoC
@@ -397,7 +429,7 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
-		mac, err := core.New(cfg.MAC)
+		coal, err := cfg.coalescerConfig().NewCoalescer()
 		if err != nil {
 			return nil, fmt.Errorf("numa: node %d: %w", i, err)
 		}
@@ -408,11 +440,13 @@ func NewSystem(cfg Config) (*System, error) {
 		nd := &node{
 			id:     i,
 			router: router,
-			coal:   mac,
-			mac:    mac,
+			coal:   coal,
 			dev:    dev,
 			resp:   core.NewResponseRouter(0),
 			port:   ports[i],
+		}
+		if mac, ok := coal.(*core.MAC); ok {
+			nd.mac = mac
 		}
 		if rec, ok := nd.coal.(memreq.Recycler); ok {
 			nd.rec = rec

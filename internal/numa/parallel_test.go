@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mac3d/internal/chaos"
+	"mac3d/internal/cpu"
 	"mac3d/internal/memreq"
 	"mac3d/internal/noc"
 	"mac3d/internal/trace"
@@ -127,6 +128,23 @@ func TestParallelMatchesSequentialRetry(t *testing.T) {
 	cfg.HMC.Faults.Seed = 5
 	cfg.Retry = memreq.RetryPolicy{MaxRetries: 8, Backoff: 16}
 	checkParity(t, cfg, func() *trace.Trace { return goldTrace(8, 64) })
+}
+
+// TestParallelMatchesSequentialKinds runs the parity check across
+// every coalescer frontend: the parallel core's tick/completion
+// ordering must be invariant for all five memory paths, including the
+// warp frontend's suspend/resume scoreboard and the memcache
+// frontend's zero-target writebacks.
+func TestParallelMatchesSequentialKinds(t *testing.T) {
+	for _, kind := range cpu.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Nodes = 4
+			cfg.CoresPerNode = 2
+			cfg.Kind = kind
+			checkParity(t, cfg, func() *trace.Trace { return goldMixTrace(7, 8, 400) })
+		})
+	}
 }
 
 // TestParallelWorkersClamped: worker counts beyond the node count and

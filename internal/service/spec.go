@@ -114,6 +114,14 @@ func (s Spec) normalize() (Spec, error) {
 		if s.NUMA != nil && (s.NUMA.NoC != nil || s.NUMA.Chaos != (mac3d.ChaosOptions{})) {
 			return s, fmt.Errorf("service: spec version 1 predates the NUMA \"noc\" and \"chaos\" blocks (declare version %d)", SpecVersion)
 		}
+		// v1 also predates the warp and memcache frontends and the
+		// frontend tuning string; same rule.
+		if s.Run != nil && (s.Run.Design == mac3d.DesignWarp || s.Run.Design == mac3d.DesignMemCache || s.Run.Frontend != "") {
+			return s, fmt.Errorf("service: spec version 1 predates the warp/memcache designs and \"frontend\" tuning (declare version %d)", SpecVersion)
+		}
+		if s.NUMA != nil && (s.NUMA.Design == mac3d.DesignWarp || s.NUMA.Design == mac3d.DesignMemCache || s.NUMA.Frontend != "") {
+			return s, fmt.Errorf("service: spec version 1 predates the warp/memcache designs and \"frontend\" tuning (declare version %d)", SpecVersion)
+		}
 		s.Version = SpecVersion
 	default:
 		return s, fmt.Errorf("service: unsupported spec version %d (this build speaks %d)", s.Version, SpecVersion)

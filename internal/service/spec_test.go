@@ -19,6 +19,24 @@ func TestParseSpecNormalizesDefaults(t *testing.T) {
 	}
 }
 
+func TestParseSpecAcceptsFrontendDesigns(t *testing.T) {
+	for _, in := range []string{
+		`{"kind":"run","run":{"workload":"sg","design":"warp"}}`,
+		`{"kind":"run","run":{"workload":"sg","design":"warp","frontend":"lanes=16,warps=8"}}`,
+		`{"kind":"run","run":{"workload":"sg","design":"memcache","frontend":"split=0.25,cache=65536"}}`,
+		`{"kind":"numa","numa":{"workload":"sg","design":"memcache"}}`,
+	} {
+		s, err := ParseSpec([]byte(in))
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+			continue
+		}
+		if s.Version != SpecVersion {
+			t.Errorf("ParseSpec(%q): version %d, want %d", in, s.Version, SpecVersion)
+		}
+	}
+}
+
 func TestHashEquivalentSpecsAgree(t *testing.T) {
 	// Omitted defaults and explicit defaults are the same job.
 	a, err := ParseSpec([]byte(`{"kind":"run","run":{"workload":"sg"}}`))
@@ -85,6 +103,12 @@ func TestParseSpecRejections(t *testing.T) {
 		"bad version":       `{"version":3,"kind":"run","run":{"workload":"sg"}}`,
 		"v1 with noc":       `{"version":1,"kind":"numa","numa":{"workload":"sg","noc":{"topology":"ring"}}}`,
 		"v1 with chaos":     `{"version":1,"kind":"numa","numa":{"workload":"sg","chaos":{"profile":"link=0.01"}}}`,
+		"v1 warp design":    `{"version":1,"kind":"run","run":{"workload":"sg","design":"warp"}}`,
+		"v1 memcache numa":  `{"version":1,"kind":"numa","numa":{"workload":"sg","design":"memcache"}}`,
+		"v1 with frontend":  `{"version":1,"kind":"run","run":{"workload":"sg","frontend":"lanes=16"}}`,
+		"bad frontend":      `{"kind":"run","run":{"workload":"sg","design":"warp","frontend":"lanes=3"}}`,
+		"frontend unknown":  `{"kind":"run","run":{"workload":"sg","frontend":"bogus=1"}}`,
+		"numa bad frontend": `{"kind":"numa","numa":{"workload":"sg","design":"memcache","frontend":"split=2"}}`,
 		"noc bad topology":  `{"kind":"numa","numa":{"workload":"sg","noc":{"topology":"torus"}}}`,
 		"noc node mismatch": `{"kind":"numa","numa":{"workload":"sg","nodes":4,"noc":{"topology":"ring","nodes":8}}}`,
 		"noc bad cols":      `{"kind":"numa","numa":{"workload":"sg","nodes":8,"cores_per_node":1,"noc":{"topology":"mesh","mesh_cols":3}}}`,

@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"math"
+
+	"mac3d/internal/sim"
+	"mac3d/internal/trace"
+)
+
+// Skewed-access microkernels for the coalescer arena: key-value-style
+// tables where the access distribution, not the data structure, sets
+// the locality. A Zipfian stream concentrates traffic on a popular
+// head (rewards a stacked cache, defeats a row-window coalescer); a
+// hotspot stream is the same effect as a step function.
+
+// Zipf hammers a flat table with Zipfian-distributed indices drawn by
+// Gray's method (the YCSB generator): item rank r is chosen with
+// probability proportional to 1/r^Theta.
+type Zipf struct {
+	// Theta is the skew exponent in [0, 1): 0 is uniform, 0.99 is the
+	// YCSB default where ~85% of accesses hit ~10% of the keys.
+	Theta float64
+}
+
+func init() { Register("zipf", func() Kernel { return &Zipf{Theta: 0.99} }) }
+
+// Name implements Kernel.
+func (k *Zipf) Name() string { return "zipf" }
+
+// Description implements Kernel.
+func (k *Zipf) Description() string {
+	return "Zipfian-skewed table lookups (YCSB-style popularity head)"
+}
+
+func zipfDims(s Scale) (table, ops int) {
+	switch s {
+	case Tiny:
+		return 1 << 11, 1 << 12
+	case Small:
+		return 1 << 16, 1 << 16
+	default:
+		return 1 << 20, 1 << 19
+	}
+}
+
+// zipfGen samples ranks in [0, n) by Gray's method; the O(n) zeta
+// precomputation happens once per kernel, outside the traced region.
+type zipfGen struct {
+	n     int
+	theta float64
+	alpha float64
+	eta   float64
+	zetan float64
+}
+
+func newZipfGen(n int, theta float64) *zipfGen {
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	return &zipfGen{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan),
+		zetan: zetan,
+	}
+}
+
+func (z *zipfGen) next(rng *sim.RNG) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// Generate implements Kernel.
+func (k *Zipf) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	theta := k.Theta
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	c := NewContext(cfg)
+	n, ops := zipfDims(cfg.Scale)
+	table := c.NewI64(n)
+
+	c.Pause()
+	for i := 0; i < n; i++ {
+		table.Poke(i, int64(i))
+	}
+	z := newZipfGen(n, theta)
+	c.Resume()
+
+	for t := 0; t < cfg.Threads; t++ {
+		rng := c.Derive(t)
+		per := ops / cfg.Threads
+		for i := 0; i < per; i++ {
+			r := z.next(rng)
+			c.Work(t, 1) // key hash
+			v := table.Load(t, r)
+			if rng.Float64() < 0.3 {
+				table.Store(t, r, v+1)
+			}
+			c.Work(t, 1) // loop control
+		}
+	}
+	return c.Trace(), nil
+}
+
+// Hotspot drives a configurable fraction of accesses into a small hot
+// region of the table and scatters the rest uniformly — the step-
+// function analogue of Zipf.
+type Hotspot struct {
+	// HotFraction is the share of the table that is hot (default 1%).
+	HotFraction float64
+	// HotOpFraction is the share of operations that hit the hot
+	// region (default 90%).
+	HotOpFraction float64
+}
+
+func init() {
+	Register("hotspot", func() Kernel {
+		return &Hotspot{HotFraction: 0.01, HotOpFraction: 0.9}
+	})
+}
+
+// Name implements Kernel.
+func (k *Hotspot) Name() string { return "hotspot" }
+
+// Description implements Kernel.
+func (k *Hotspot) Description() string {
+	return "hotspot table lookups: 90% of ops on the hottest 1% of keys"
+}
+
+// Generate implements Kernel.
+func (k *Hotspot) Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hotFrac, hotOps := k.HotFraction, k.HotOpFraction
+	if hotFrac <= 0 || hotFrac > 1 {
+		hotFrac = 0.01
+	}
+	if hotOps < 0 || hotOps > 1 {
+		hotOps = 0.9
+	}
+	c := NewContext(cfg)
+	n, ops := zipfDims(cfg.Scale)
+	hot := int(float64(n) * hotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	table := c.NewI64(n)
+
+	c.Pause()
+	for i := 0; i < n; i++ {
+		table.Poke(i, int64(i))
+	}
+	c.Resume()
+
+	for t := 0; t < cfg.Threads; t++ {
+		rng := c.Derive(t)
+		per := ops / cfg.Threads
+		for i := 0; i < per; i++ {
+			var r int
+			if rng.Float64() < hotOps {
+				r = rng.Intn(hot)
+			} else {
+				r = rng.Intn(n)
+			}
+			c.Work(t, 1) // key hash
+			v := table.Load(t, r)
+			if rng.Float64() < 0.3 {
+				table.Store(t, r, v+1)
+			}
+			c.Work(t, 1) // loop control
+		}
+	}
+	return c.Trace(), nil
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestZipfSkewConcentratesOnHead(t *testing.T) {
+	tr, err := Generate("zipf", Config{Threads: 2, Seed: 1, Scale: Tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count memory accesses landing on the table's first 10% of
+	// addresses: at theta=0.99 the head must dominate.
+	var lo, hi uint64
+	first := true
+	for _, th := range tr.Threads {
+		for _, e := range th {
+			if !e.Op.IsMemory() {
+				continue
+			}
+			if first || e.Addr < lo {
+				lo = e.Addr
+			}
+			if first || e.Addr > hi {
+				hi = e.Addr
+			}
+			first = false
+		}
+	}
+	if first {
+		t.Fatal("no memory accesses")
+	}
+	headEnd := lo + (hi-lo)/10
+	head, total := 0, 0
+	for _, th := range tr.Threads {
+		for _, e := range th {
+			if !e.Op.IsMemory() {
+				continue
+			}
+			total++
+			if e.Addr <= headEnd {
+				head++
+			}
+		}
+	}
+	if frac := float64(head) / float64(total); frac < 0.5 {
+		t.Fatalf("zipf head holds only %.1f%% of accesses, want a majority", 100*frac)
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	tr, err := Generate("hotspot", Config{Threads: 2, Seed: 1, Scale: Tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot region is the table's first 1%: with 90% of ops aimed
+	// there, a large majority of accesses share very few rows.
+	rows := map[uint64]int{}
+	total := 0
+	for _, th := range tr.Threads {
+		for _, e := range th {
+			if !e.Op.IsMemory() {
+				continue
+			}
+			rows[e.Addr>>8]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no memory accesses")
+	}
+	best := 0
+	for _, n := range rows {
+		if n > best {
+			best = n
+		}
+	}
+	if frac := float64(best) / float64(total); frac < 0.3 {
+		t.Fatalf("hottest row holds only %.1f%% of accesses, want >=30%%", 100*frac)
+	}
+}
+
+func TestZipfDeterministicAcrossGenerations(t *testing.T) {
+	for _, name := range []string{"zipf", "hotspot"} {
+		a, err := Generate(name, Config{Threads: 4, Seed: 7, Scale: Tiny})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(name, Config{Threads: 4, Seed: 7, Scale: Tiny})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Threads) != len(b.Threads) {
+			t.Fatalf("%s: thread counts differ", name)
+		}
+		for i := range a.Threads {
+			if len(a.Threads[i]) != len(b.Threads[i]) {
+				t.Fatalf("%s: thread %d lengths differ", name, i)
+			}
+			for j := range a.Threads[i] {
+				if a.Threads[i][j] != b.Threads[i][j] {
+					t.Fatalf("%s: thread %d event %d differs", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfThetaParameterizesSkew(t *testing.T) {
+	// A nearly-uniform Zipf (theta -> 0) must spread accesses far
+	// more evenly than the default 0.99 skew; measured as the share
+	// of accesses landing on the single hottest address.
+	flat := &Zipf{Theta: 0.01}
+	skew := &Zipf{Theta: 0.99}
+	hottest := func(k Kernel) float64 {
+		tr, err := k.Generate(Config{Threads: 2, Seed: 1, Scale: Tiny})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[uint64]int{}
+		total := 0
+		for _, th := range tr.Threads {
+			for _, e := range th {
+				if e.Op.IsMemory() {
+					counts[e.Addr]++
+					total++
+				}
+			}
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		return float64(best) / float64(total)
+	}
+	hf, hs := hottest(flat), hottest(skew)
+	if hs < 4*hf {
+		t.Fatalf("theta=0.99 head share %.3f not well above theta=0.01 share %.3f", hs, hf)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"mac3d/internal/chaos"
 	"mac3d/internal/coalesce"
@@ -119,33 +120,67 @@ const (
 	// DesignMSHR is the conventional 64B miss-merging coalescer of
 	// the paper's §2.3 limitation discussion.
 	DesignMSHR
+	// DesignWarp is the SIMT warp-lane coalescer: lanes gather into
+	// warps served one leader-relative SameAddress/SameBlock mask
+	// group per cycle, with warp suspend/resume.
+	DesignWarp
+	// DesignMemCache is the die-stacked memory+cache frontend: a
+	// hash-partitioned share of the stacked DRAM acts as an inclusive
+	// cache, the rest as directly addressed memory.
+	DesignMemCache
 )
 
-func (d Design) String() string {
-	switch d {
-	case DesignMAC:
-		return "mac"
-	case DesignRaw:
-		return "raw"
-	case DesignMSHR:
-		return "mshr"
-	default:
-		return fmt.Sprintf("Design(%d)", int(d))
-	}
+// designKinds is the single mapping between the facade Design enum and
+// the internal cpu.CoalescerKind. Names, parsing, JSON marshalling and
+// run lowering all derive from it, so adding a frontend is one entry
+// here plus its cpu constructor case.
+var designKinds = map[Design]cpu.CoalescerKind{
+	DesignMAC:      cpu.WithMAC,
+	DesignRaw:      cpu.WithoutMAC,
+	DesignMSHR:     cpu.WithMSHR,
+	DesignWarp:     cpu.WithWarp,
+	DesignMemCache: cpu.WithMemCache,
 }
 
-// ParseDesign parses a design name ("mac", "raw", "mshr").
-func ParseDesign(s string) (Design, error) {
-	switch s {
-	case "mac":
-		return DesignMAC, nil
-	case "raw":
-		return DesignRaw, nil
-	case "mshr":
-		return DesignMSHR, nil
-	default:
-		return 0, fmt.Errorf("mac3d: unknown design %q (want mac, raw or mshr)", s)
+// Designs returns every selectable design, in display order.
+func Designs() []Design {
+	return []Design{DesignMAC, DesignRaw, DesignMSHR, DesignWarp, DesignMemCache}
+}
+
+// kind resolves the internal coalescer kind implementing d.
+func (d Design) kind() (cpu.CoalescerKind, error) {
+	k, ok := designKinds[d]
+	if !ok {
+		return 0, fmt.Errorf("mac3d: unknown design %d", int(d))
 	}
+	return k, nil
+}
+
+func (d Design) String() string {
+	if k, ok := designKinds[d]; ok {
+		return k.String()
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// designNames lists the selectable design names, in display order.
+func designNames() []string {
+	names := make([]string, 0, len(Designs()))
+	for _, d := range Designs() {
+		names = append(names, d.String())
+	}
+	return names
+}
+
+// ParseDesign parses a design name ("mac", "raw", "mshr", "warp",
+// "memcache").
+func ParseDesign(s string) (Design, error) {
+	for _, d := range Designs() {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("mac3d: unknown design %q (want %s)", s, strings.Join(designNames(), ", "))
 }
 
 // MarshalText renders the design as its name, making Design fields
@@ -185,6 +220,12 @@ type RunOptions struct {
 	Scale Scale `json:"scale,omitempty"`
 	// Design selects the memory path (default DesignMAC).
 	Design Design `json:"design,omitempty"`
+	// Frontend tunes the selected coalescer frontend beyond its
+	// defaults, as a comma-separated key=value list (see
+	// coalesce.ParseTuning): lanes/warps for DesignWarp,
+	// split/cache/line/ways for DesignMemCache. Empty keeps the
+	// defaults; other designs ignore it (but it must still parse).
+	Frontend string `json:"frontend,omitempty"`
 
 	// ARQEntries overrides the aggregated-request-queue depth
 	// (default 32, Table 1).
@@ -437,15 +478,22 @@ func (o RunOptions) Validate() error {
 // runConfig lowers the options onto the internal configurations.
 func (o RunOptions) runConfig() (cpu.RunConfig, error) {
 	cfg := cpu.DefaultRunConfig()
-	switch o.Design {
-	case DesignMAC:
-		cfg.Kind = cpu.WithMAC
-	case DesignRaw:
-		cfg.Kind = cpu.WithoutMAC
-	case DesignMSHR:
-		cfg.Kind = cpu.WithMSHR
-	default:
-		return cfg, fmt.Errorf("mac3d: unknown design %d", int(o.Design))
+	kind, err := o.Design.kind()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Kind = kind
+	tuning, err := coalesce.ParseTuning(o.Frontend)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Warp = tuning.ApplyWarp(cfg.Warp)
+	cfg.MemCache = tuning.ApplyMemCache(cfg.MemCache)
+	if err := cfg.Warp.Validate(); err != nil {
+		return cfg, err
+	}
+	if err := cfg.MemCache.Validate(); err != nil {
+		return cfg, err
 	}
 	if o.ARQEntries != 0 {
 		cfg.MAC.ARQ.Entries = o.ARQEntries

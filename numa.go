@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mac3d/internal/chaos"
+	"mac3d/internal/coalesce"
 	"mac3d/internal/memreq"
 	"mac3d/internal/noc"
 	"mac3d/internal/numa"
@@ -28,6 +29,12 @@ type NUMAOptions struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Scale selects the input size class (default ScaleTiny).
 	Scale Scale `json:"scale,omitempty"`
+	// Design selects each node's memory-path frontend (default
+	// DesignMAC); every node runs the same design.
+	Design Design `json:"design,omitempty"`
+	// Frontend tunes the selected frontend, same syntax and semantics
+	// as RunOptions.Frontend.
+	Frontend string `json:"frontend,omitempty"`
 
 	// Nodes is the node count (default 2).
 	Nodes int `json:"nodes,omitempty"`
@@ -216,6 +223,17 @@ func (o NUMAOptions) Validate() error {
 func (o NUMAOptions) numaConfig() (numa.Config, error) {
 	clock := sim.NewClock(0)
 	cfg := numa.DefaultConfig()
+	kind, err := o.Design.kind()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Kind = kind
+	tuning, err := coalesce.ParseTuning(o.Frontend)
+	if err != nil {
+		return cfg, fmt.Errorf("mac3d: %w", err)
+	}
+	cfg.Warp = tuning.ApplyWarp(cfg.Warp)
+	cfg.MemCache = tuning.ApplyMemCache(cfg.MemCache)
 	cfg.Nodes = o.Nodes
 	cfg.CoresPerNode = o.CoresPerNode
 	cfg.Workers = o.Parallel

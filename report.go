@@ -90,6 +90,49 @@ type RunReport struct {
 	// Chaos carries the injected-adversity counters; nil unless a
 	// chaos profile was configured.
 	Chaos *ChaosReport `json:"chaos,omitempty"`
+
+	// Warp carries the SIMT frontend's measurements; nil unless the
+	// run used DesignWarp.
+	Warp *WarpReport `json:"warp,omitempty"`
+	// MemCache carries the die-stacked frontend's measurements; nil
+	// unless the run used DesignMemCache.
+	MemCache *MemCacheReport `json:"memcache,omitempty"`
+}
+
+// WarpReport summarizes the SIMT warp-lane frontend's behaviour.
+type WarpReport struct {
+	// WarpsFormed counts warps gathered from the lane queue.
+	WarpsFormed uint64 `json:"warps_formed"`
+	// WarpsSuspended counts warps suspended awaiting responses after
+	// dispatching every mask group.
+	WarpsSuspended uint64 `json:"warps_suspended"`
+	// SameAddrTx and SameBlockTx split the emitted mask groups by
+	// convergence: one shared address vs one shared lane block.
+	SameAddrTx  uint64 `json:"same_addr_tx"`
+	SameBlockTx uint64 `json:"same_block_tx"`
+	// AvgMasksPerWarp is the mean mask-group transactions per warp
+	// (1 = fully convergent).
+	AvgMasksPerWarp float64 `json:"avg_masks_per_warp"`
+	// MaxMasksPerWarp is the worst divergence observed.
+	MaxMasksPerWarp uint64 `json:"max_masks_per_warp"`
+}
+
+// MemCacheReport summarizes the die-stacked memory+cache frontend's
+// behaviour.
+type MemCacheReport struct {
+	// HitRate is hits over demand accesses that probed the tags.
+	HitRate float64 `json:"hit_rate"`
+	// Hits, Misses and MergedMisses classify cache-region accesses:
+	// served by the stacked cache, allocating a fill, or riding an
+	// in-flight fill.
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	MergedMisses uint64 `json:"merged_misses"`
+	// Writebacks counts dirty-line eviction transactions.
+	Writebacks uint64 `json:"writebacks"`
+	// DirectAccesses counts requests routed to the directly addressed
+	// partition.
+	DirectAccesses uint64 `json:"direct_accesses"`
 }
 
 // AuditReport is the end-of-run request-lifecycle conservation result:
@@ -227,6 +270,26 @@ func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
 	}
 	for size, n := range res.Coalescer.BuiltBySizeBytes {
 		rep.TxBySize[size] = n
+	}
+	if w := res.Coalescer.Warp; w != nil {
+		rep.Warp = &WarpReport{
+			WarpsFormed:     w.WarpsFormed,
+			WarpsSuspended:  w.WarpsSuspended,
+			SameAddrTx:      w.SameAddrTx,
+			SameBlockTx:     w.SameBlockTx,
+			AvgMasksPerWarp: w.MasksPerWarp.Mean(),
+			MaxMasksPerWarp: w.MasksPerWarp.Max(),
+		}
+	}
+	if m := res.Coalescer.MemCache; m != nil {
+		rep.MemCache = &MemCacheReport{
+			HitRate:        m.HitRate(),
+			Hits:           m.Hits,
+			Misses:         m.Misses,
+			MergedMisses:   m.MergedMisses,
+			Writebacks:     m.Writebacks,
+			DirectAccesses: m.DirectAccesses,
+		}
 	}
 	if a := res.Audit; a != nil {
 		ar := &AuditReport{
