@@ -397,6 +397,30 @@ func BenchmarkNUMANoC(b *testing.B) {
 	}
 }
 
+// benchmarkCubeFabric runs the sg pipeline with the cube-internal
+// vault fabric in one topology × page-policy configuration; the delta
+// against the ideal/closed cell is the cost of cycle-stepping the
+// intra-cube routers plus the open-row bookkeeping.
+func benchmarkCubeFabric(b *testing.B, cube string) {
+	for i := 0; i < b.N; i++ {
+		rep, err := mac3d.Run(mac3d.RunOptions{Workload: "sg", Cube: cube})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Cube == nil || rep.Cube.Topology == "" {
+			b.Fatal("cube report missing")
+		}
+	}
+}
+
+func BenchmarkCubeFabric(b *testing.B) {
+	for _, cube := range []string{
+		"ideal", "ideal,page=open", "ring", "ring,page=open", "mesh,page=open",
+	} {
+		b.Run(cube, func(b *testing.B) { benchmarkCubeFabric(b, cube) })
+	}
+}
+
 func BenchmarkTraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := workloads.Generate("bfs", workloads.Config{Threads: 8, Seed: 1, Scale: workloads.Tiny}); err != nil {
@@ -539,6 +563,9 @@ func TestWriteBenchSnapshot(t *testing.T) {
 		{"BenchmarkWarpCoalesce", BenchmarkWarpCoalesce},
 		{"BenchmarkMemCache", BenchmarkMemCache},
 		{"BenchmarkTraceGeneration", BenchmarkTraceGeneration},
+		{"BenchmarkCubeFabric/ideal", func(b *testing.B) { benchmarkCubeFabric(b, "ideal") }},
+		{"BenchmarkCubeFabric/ring", func(b *testing.B) { benchmarkCubeFabric(b, "ring") }},
+		{"BenchmarkCubeFabric/ring,page=open", func(b *testing.B) { benchmarkCubeFabric(b, "ring,page=open") }},
 		{"BenchmarkServiceSubmit/journal=off", func(b *testing.B) { benchmarkServiceSubmit(b, false) }},
 		{"BenchmarkServiceSubmit/journal=on", func(b *testing.B) { benchmarkServiceSubmit(b, true) }},
 		{"BenchmarkNUMAParallel/workers=1", func(b *testing.B) { benchmarkNUMAParallel(b, 1) }},

@@ -6,7 +6,7 @@
 //
 //	macsim -workload sg [-threads 8] [-scale tiny|small|ref]
 //	       [-design mac|raw|mshr|warp|memcache] [-frontend lanes=8,...]
-//	       [-compare] [-arq 32] [-seed 1]
+//	       [-compare] [-arq 32] [-seed 1] [-cube ring,page=open,...]
 //	       [-metrics-out m.txt] [-timeseries-out ts.csv]
 //	       [-trace-out trace.json] [-obs-interval 64]
 //	       [-audit] [-chaos-profile mild|storm|delay=0.01:16:32,...]
@@ -55,6 +55,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (chrome://tracing, Perfetto) to this file")
 	obsInterval := flag.Int("obs-interval", 64, "timeseries sampling interval in cycles")
 	auditFlag := flag.Bool("audit", false, "enable the request-lifecycle conservation ledger; exit 1 on violations")
+	cubeFlag := flag.String("cube", "", "cube-internal fabric config: TOPOLOGY[,key=value...] (ideal, ring or mesh; page=closed|open, quad=N, hop/bw/buf/inject/cols)")
 	chaosProfile := flag.String("chaos-profile", "", "chaos profile: preset (mild, storm) or stressor list (delay=0.01:16:32,reorder=0.1,...)")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos RNG seed (0 keeps the profile's seed)")
 	retryFlag := flag.Int("retry", 0, "re-issue poisoned completions up to this many times per request")
@@ -101,6 +102,7 @@ func main() {
 			Frontend: *frontendFlag,
 			Nodes:    *numaNodes,
 			Parallel: *parallel,
+			Cube:     *cubeFlag,
 			Chaos:    mac3d.ChaosOptions{Profile: *chaosProfile, Seed: *chaosSeed},
 			Retry:    mac3d.RetryOptions{MaxRetries: *retryFlag, BackoffCycles: *retryBackoff},
 		}
@@ -122,6 +124,7 @@ func main() {
 		Seed:       *seed,
 		Frontend:   *frontendFlag,
 		ARQEntries: *arq,
+		Cube:       *cubeFlag,
 		Audit:      *auditFlag,
 		Chaos:      mac3d.ChaosOptions{Profile: *chaosProfile, Seed: *chaosSeed},
 		Retry:      mac3d.RetryOptions{MaxRetries: *retryFlag, BackoffCycles: *retryBackoff},

@@ -24,6 +24,9 @@ type Stats struct {
 	VaultStalls uint64
 	// LinkStalls counts transient NoC link-stall events.
 	LinkStalls uint64
+	// CubeLinkStalls counts transient intra-cube fabric link-stall
+	// events.
+	CubeLinkStalls uint64
 }
 
 // String renders a one-line summary.
@@ -31,9 +34,10 @@ func (s *Stats) String() string {
 	if s == nil {
 		return "chaos disabled"
 	}
-	return fmt.Sprintf("chaos: delay-storms=%d delayed=%d reordered=%d fences=%d freeze-cycles=%d vault-stalls=%d link-stalls=%d",
+	return fmt.Sprintf("chaos: delay-storms=%d delayed=%d reordered=%d fences=%d freeze-cycles=%d vault-stalls=%d link-stalls=%d cube-link-stalls=%d",
 		s.DelayStorms, s.DelayedResponses, s.ReorderedBatches,
-		s.FencesInjected, s.FreezeCycles, s.VaultStalls, s.LinkStalls)
+		s.FencesInjected, s.FreezeCycles, s.VaultStalls, s.LinkStalls,
+		s.CubeLinkStalls)
 }
 
 // heldResp is one response parked by a delay storm.
@@ -64,6 +68,11 @@ type Engine struct {
 	linkStall      int
 	linkStallUntil sim.Cycle
 	linkStallReady bool
+
+	cubeLinks          int
+	cubeLinkStall      int
+	cubeLinkStallUntil sim.Cycle
+	cubeLinkStallReady bool
 
 	stats Stats
 }
@@ -100,6 +109,18 @@ func (e *Engine) SetLinks(n int) {
 	e.links = n
 }
 
+// SetCubeLinks tells the engine how many directed intra-cube fabric
+// links exist (targets for the cubelink stressor); pass 0 (or never
+// call it, as drivers with an ideal cube do) to disable it. Like
+// SetLinks, the roll is gated on it so pre-cube RNG schedules replay
+// bit-for-bit.
+func (e *Engine) SetCubeLinks(n int) {
+	if e == nil || n < 0 {
+		return
+	}
+	e.cubeLinks = n
+}
+
 // Tick rolls every stressor for cycle now. Call exactly once per
 // cycle, before the stressor accessors.
 func (e *Engine) Tick(now sim.Cycle) {
@@ -131,6 +152,14 @@ func (e *Engine) Tick(now sim.Cycle) {
 		e.linkStallUntil = now + e.p.LinkStall
 		e.linkStallReady = true
 		e.stats.LinkStalls++
+	}
+	// The cubelink roll is appended after the link roll and gated on
+	// SetCubeLinks, for the same replay reason.
+	if e.p.CubeLinkRate > 0 && e.cubeLinks > 0 && e.rng.Float64() < e.p.CubeLinkRate {
+		e.cubeLinkStall = e.rng.Intn(e.cubeLinks)
+		e.cubeLinkStallUntil = now + e.p.CubeLinkStall
+		e.cubeLinkStallReady = true
+		e.stats.CubeLinkStalls++
 	}
 	if now < e.freezeUntil {
 		e.stats.FreezeCycles++
@@ -173,6 +202,17 @@ func (e *Engine) TakeLinkStall() (l int, until sim.Cycle, ok bool) {
 	}
 	e.linkStallReady = false
 	return e.linkStall, e.linkStallUntil, true
+}
+
+// TakeCubeLinkStall returns a pending transient intra-cube link-stall
+// event: directed cube-fabric link l is frozen until the returned cycle
+// (the driver forwards it to Device.StallCubeLink). Consumed on read.
+func (e *Engine) TakeCubeLinkStall() (l int, until sim.Cycle, ok bool) {
+	if e == nil || !e.cubeLinkStallReady {
+		return 0, 0, false
+	}
+	e.cubeLinkStallReady = false
+	return e.cubeLinkStall, e.cubeLinkStallUntil, true
 }
 
 // Filter perturbs the device's response batch for cycle now: during a

@@ -385,3 +385,86 @@ func TestFreezeWindow(t *testing.T) {
 		t.Fatalf("stats = %s", e.Stats())
 	}
 }
+
+// TestCubeLinkStallRolls checks the intra-cube link stressor fires
+// only once cube links are declared, hands out in-range targets, and
+// is consumed on read.
+func TestCubeLinkStallRolls(t *testing.T) {
+	p := Profile{CubeLinkRate: 0.2, CubeLinkStall: 50, Seed: 7}
+	e, err := NewEngine(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No SetCubeLinks (an ideal-cube driver): gated off.
+	for now := sim.Cycle(0); now < 100; now++ {
+		e.Tick(now)
+		if _, _, ok := e.TakeCubeLinkStall(); ok {
+			t.Fatal("cube link stall without declared cube links")
+		}
+	}
+	if e.Stats().CubeLinkStalls != 0 {
+		t.Fatalf("stats counted %d stalls on a cube-linkless engine", e.Stats().CubeLinkStalls)
+	}
+
+	e, err = NewEngine(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetCubeLinks(72)
+	var taken uint64
+	for now := sim.Cycle(0); now < 500; now++ {
+		e.Tick(now)
+		l, until, ok := e.TakeCubeLinkStall()
+		if !ok {
+			continue
+		}
+		taken++
+		if l < 0 || l >= 72 {
+			t.Fatalf("stall target %d outside [0, 72)", l)
+		}
+		if until != now+50 {
+			t.Fatalf("stall until %d, want %d", until, now+50)
+		}
+		if _, _, ok := e.TakeCubeLinkStall(); ok {
+			t.Fatal("cube link stall event not consumed on read")
+		}
+	}
+	if taken == 0 {
+		t.Fatal("rate 0.2 over 500 cycles never fired")
+	}
+	if got := e.Stats().CubeLinkStalls; got != taken {
+		t.Fatalf("stats count %d stalls, driver took %d", got, taken)
+	}
+}
+
+// TestCubeLinkReplayGating pins the RNG-stream compatibility argument:
+// adding cubelink=... to a profile must not perturb the other
+// stressors' schedule on a driver that never declares cube links
+// (ideal cube), because the roll is gated off entirely.
+func TestCubeLinkReplayGating(t *testing.T) {
+	base, err := ParseProfile("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Seed = 11
+	withCube := base
+	withCube.CubeLinkRate = 0.5
+	withCube.CubeLinkStall = 40
+
+	a, err := NewEngine(base, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(withCube, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetLinks(8)
+	b.SetLinks(8)
+	if sa, sb := schedule(a, 2000), schedule(b, 2000); sa != sb {
+		t.Fatal("cubelink stressor perturbed the gated-off schedule")
+	}
+	if b.Stats().CubeLinkStalls != 0 {
+		t.Fatalf("gated-off cubelink fired %d times", b.Stats().CubeLinkStalls)
+	}
+}

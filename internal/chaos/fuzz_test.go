@@ -14,6 +14,8 @@ func FuzzParseProfile(f *testing.F) {
 		"delay=0.01", "delay=0.01:20", "delay=0.01:20:40",
 		"reorder=0.1", "fence=0.002:3", "freeze=0.005:6",
 		"vault=0.01:24", "seed=42",
+		"link=0.003:128", "cubelink=0.01:64", "cubelink=0.01",
+		"link=0.003:128,cubelink=0.01:64,seed=9",
 		"delay=0.01:20:40,reorder=0.1,fence=0.002:3,freeze=0.005:6,vault=0.01:24,seed=42",
 		"delay=1.5", "delay=-1", "delay=0.1:a", "warp=0.1",
 		"delay", "reorder=0.1:5", "seed=1:2", ",,,", "delay=NaN",

@@ -55,6 +55,12 @@ type Profile struct {
 	// stressor is inert elsewhere.
 	LinkRate  float64
 	LinkStall sim.Cycle
+	// CubeLinkRate freezes one random intra-cube fabric link for
+	// CubeLinkStall cycles (models TSV/partial-lane faults inside the
+	// stacked device). Only devices with a routed cube fabric have
+	// intra-cube links; the stressor is inert elsewhere.
+	CubeLinkRate  float64
+	CubeLinkStall sim.Cycle
 	// Seed seeds the engine's private RNG stream. Two runs with the
 	// same workload seed but different chaos seeds see different
 	// adversarial schedules.
@@ -64,7 +70,8 @@ type Profile struct {
 // Enabled reports whether any stressor is active.
 func (p Profile) Enabled() bool {
 	return p.DelayRate > 0 || p.ReorderRate > 0 || p.FenceRate > 0 ||
-		p.FreezeRate > 0 || p.VaultRate > 0 || p.LinkRate > 0
+		p.FreezeRate > 0 || p.VaultRate > 0 || p.LinkRate > 0 ||
+		p.CubeLinkRate > 0
 }
 
 // withDefaults fills the durations a rate implies but the profile
@@ -90,6 +97,9 @@ func (p Profile) withDefaults() Profile {
 	if p.LinkRate > 0 && p.LinkStall <= 0 {
 		p.LinkStall = 64
 	}
+	if p.CubeLinkRate > 0 && p.CubeLinkStall <= 0 {
+		p.CubeLinkStall = 64
+	}
 	return p
 }
 
@@ -102,6 +112,7 @@ func (p Profile) Validate() error {
 		{"delay", p.DelayRate}, {"reorder", p.ReorderRate},
 		{"fence", p.FenceRate}, {"freeze", p.FreezeRate},
 		{"vault", p.VaultRate}, {"link", p.LinkRate},
+		{"cubelink", p.CubeLinkRate},
 	} {
 		// The inverted comparison also rejects NaN rates.
 		if !(r.v >= 0 && r.v <= 1) {
@@ -114,7 +125,7 @@ func (p Profile) Validate() error {
 	}{
 		{"delay duration", p.DelayDuration}, {"delay max", p.DelayMax},
 		{"freeze duration", p.FreezeDuration}, {"vault stall", p.VaultStall},
-		{"link stall", p.LinkStall},
+		{"link stall", p.LinkStall}, {"cube link stall", p.CubeLinkStall},
 	} {
 		if d.v < 0 {
 			return fmt.Errorf("chaos: %s %d is negative", d.name, d.v)
@@ -150,6 +161,9 @@ func (p Profile) String() string {
 	}
 	if p.LinkRate > 0 {
 		parts = append(parts, fmt.Sprintf("link=%g:%d", p.LinkRate, p.LinkStall))
+	}
+	if p.CubeLinkRate > 0 {
+		parts = append(parts, fmt.Sprintf("cubelink=%g:%d", p.CubeLinkRate, p.CubeLinkStall))
 	}
 	if p.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
@@ -187,7 +201,8 @@ var presets = map[string]Profile{
 // ("off", "mild", "storm") or a comma-separated stressor list
 //
 //	delay=RATE[:DURATION[:MAX]],reorder=RATE,fence=RATE[:BURST],
-//	freeze=RATE[:DURATION],vault=RATE[:STALL],link=RATE[:STALL],seed=N
+//	freeze=RATE[:DURATION],vault=RATE[:STALL],link=RATE[:STALL],
+//	cubelink=RATE[:STALL],seed=N
 //
 // Omitted duration fields take per-stressor defaults. The empty string
 // parses as the disabled profile.
@@ -284,6 +299,14 @@ func ParseProfile(s string) (Profile, error) {
 			if p.LinkStall, err = cyc(1); err != nil {
 				return Profile{}, err
 			}
+		case "cubelink":
+			if len(fields) > 2 {
+				return Profile{}, fmt.Errorf("chaos: cubelink takes at most rate:stall, got %q", v)
+			}
+			p.CubeLinkRate = rate
+			if p.CubeLinkStall, err = cyc(1); err != nil {
+				return Profile{}, err
+			}
 		case "seed":
 			if len(fields) > 1 {
 				return Profile{}, fmt.Errorf("chaos: seed takes one value, got %q", v)
@@ -294,7 +317,7 @@ func ParseProfile(s string) (Profile, error) {
 			}
 			p.Seed = n
 		default:
-			return Profile{}, fmt.Errorf("chaos: unknown stressor %q (want delay, reorder, fence, freeze, vault, link, seed)", k)
+			return Profile{}, fmt.Errorf("chaos: unknown stressor %q (want delay, reorder, fence, freeze, vault, link, cubelink, seed)", k)
 		}
 	}
 	p = p.withDefaults()

@@ -306,3 +306,44 @@ func TestZeroChaosProfileIsNoOp(t *testing.T) {
 		t.Fatal("zero chaos profile changed the simulation")
 	}
 }
+
+// cubeChaosConfig is chaosRunConfig with the cube-internal vault
+// fabric routed.
+func cubeChaosConfig(t *testing.T, profile, cube string, seed uint64) RunConfig {
+	t.Helper()
+	cfg := chaosRunConfig(t, profile, seed)
+	cc, err := hmc.ParseCubeConfig(cube)
+	if err != nil {
+		t.Fatalf("ParseCubeConfig(%q): %v", cube, err)
+	}
+	cfg.HMC.Cube = cc
+	return cfg
+}
+
+// TestCubeChaosDeterministic: a routed cube fabric under the full
+// storm plus the cubelink stressor replays bit-for-bit from one seed,
+// actually stalls cube links, and holds every lifecycle invariant.
+func TestCubeChaosDeterministic(t *testing.T) {
+	tr := seqTrace(4, 64)
+	const profile = "delay=0.01:16:32,reorder=0.1,fence=0.002:2,vault=0.002:24,cubelink=0.01:48"
+	a, err := Run(cubeChaosConfig(t, profile, "ring", 5), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cubeChaosConfig(t, profile, "ring", 5), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same cube+chaos seed produced different results")
+	}
+	if a.Chaos == nil || a.Chaos.CubeLinkStalls == 0 {
+		t.Fatalf("cubelink stressor injected nothing: %+v", a.Chaos)
+	}
+	if a.Cube == nil || a.Cube.Delivered == 0 {
+		t.Fatalf("routed cube run missing fabric stats: %+v", a.Cube)
+	}
+	if !a.Audit.Ok() {
+		t.Fatalf("cube chaos broke invariants:\n%s", a.Audit.Diff())
+	}
+}

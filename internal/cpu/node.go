@@ -19,6 +19,7 @@ import (
 	"mac3d/internal/core"
 	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
+	"mac3d/internal/noc"
 	"mac3d/internal/obs"
 	"mac3d/internal/sim"
 	"mac3d/internal/stats"
@@ -168,6 +169,9 @@ type Result struct {
 	// Chaos is the injected-adversity summary; nil unless a chaos
 	// engine was attached via Node.SetChaos.
 	Chaos *chaos.Stats
+	// Cube is the intra-cube fabric's interconnect statistics; nil
+	// unless the device runs a routed cube topology.
+	Cube *noc.Stats
 	// ARQOccupancy is the mean ARQ occupancy (MAC runs only).
 	ARQOccupancy float64
 	// RouterLocal/Global/Remote are the routing counts.
@@ -426,6 +430,9 @@ func (n *Node) tickChaos(now sim.Cycle) {
 	n.chaos.Tick(now)
 	if v, until, ok := n.chaos.TakeVaultStall(); ok {
 		n.dev.StallVault(v, until)
+	}
+	if l, until, ok := n.chaos.TakeCubeLinkStall(); ok {
+		n.dev.StallCubeLink(l, until)
 	}
 	for n.chaos.TakeFence() {
 		if !n.router.OfferLocal(memreq.RawRequest{Fence: true}) {
@@ -768,6 +775,10 @@ func (n *Node) result(cycles sim.Cycle) *Result {
 		r.Audit = n.audit.Finish(cycles)
 	}
 	r.Chaos = n.chaos.Stats()
+	if st := n.dev.CubeStats(); st != nil {
+		snap := *st
+		r.Cube = &snap
+	}
 	for _, t := range n.threads {
 		r.Instructions += t.retired
 		r.IssueStalls += t.stallLSQ + t.stallRouter + t.stallFence

@@ -23,45 +23,65 @@ func chaosSweepProfile() chaos.Profile {
 	}
 }
 
+// chaosCubeProfile extends the sweep composition with the cube-link
+// stressor, so the routed vault fabric's stall path is exercised under
+// the same adversity the flat runs see.
+func chaosCubeProfile() chaos.Profile {
+	p := chaosSweepProfile()
+	p.CubeLinkRate, p.CubeLinkStall = 0.002, 32
+	return p
+}
+
 // AblationChaos sweeps chaos seeds over the ablation benchmark set
 // with the full stressor composition, link CRC faults, a bounded
 // requester-side retry policy, and the request-lifecycle audit ledger
-// enabled. Every run must finish with zero invariant violations and —
+// enabled. Every benchmark/seed pair runs twice: on the default ideal
+// cube and on a routed ring vault fabric with the cubelink stressor
+// added. Every run must finish with zero invariant violations and —
 // because the retry budget comfortably covers the poison rate — zero
 // failed requests; any break fails the experiment with the offending
 // (benchmark, seed) and the ledger's per-request diagnostic diff.
 func (s *Suite) AblationChaos() (*stats.Table, error) {
 	seeds := []uint64{1, 2, 3}
-	profile := chaosSweepProfile()
 	retry := memreq.RetryPolicy{MaxRetries: 8, Backoff: 16}
 	const crcRate = 1e-3
+	cubes := []struct {
+		label   string
+		cube    string
+		profile chaos.Profile
+	}{
+		{"ideal", "", chaosSweepProfile()},
+		{"ring", "ring", chaosCubeProfile()},
+	}
 
 	t := stats.NewTable("Ablation: chaos sweep (audited conservation under adversity)",
-		"benchmark", "seed", "cycles", "delayed", "fences", "freezes",
-		"vault_stalls", "poisoned", "reissued", "failed", "violations")
+		"benchmark", "seed", "cube", "cycles", "delayed", "fences", "freezes",
+		"vault_stalls", "cube_stalls", "poisoned", "reissued", "failed", "violations")
 	for _, name := range s.ablationSet() {
 		for _, seed := range seeds {
-			res, err := s.MACChaos(name, 8, profile, seed, crcRate, retry)
-			if err != nil {
-				return nil, fmt.Errorf("abl-chaos %s seed %d: %w", name, seed, err)
+			for _, cv := range cubes {
+				res, err := s.MACChaosCube(name, 8, cv.profile, seed, crcRate, retry, cv.cube)
+				if err != nil {
+					return nil, fmt.Errorf("abl-chaos %s seed %d cube %s: %w", name, seed, cv.label, err)
+				}
+				a, c := res.Audit, res.Chaos
+				if a == nil || c == nil {
+					return nil, fmt.Errorf("abl-chaos %s seed %d cube %s: run missing audit/chaos report", name, seed, cv.label)
+				}
+				if !a.Ok() {
+					return nil, fmt.Errorf("abl-chaos: invariant violations under %s seed %d cube %s (%s):\n%s",
+						name, seed, cv.label, a, a.Diff())
+				}
+				if res.FailedRequests != 0 {
+					return nil, fmt.Errorf("abl-chaos: %s seed %d cube %s: %d requests failed despite retry budget %d",
+						name, seed, cv.label, res.FailedRequests, retry.MaxRetries)
+				}
+				t.AddRow(name, seed, cv.label, uint64(res.Cycles),
+					c.DelayedResponses, c.FencesInjected, c.FreezeCycles,
+					c.VaultStalls, c.CubeLinkStalls, res.Device.PoisonedResponses,
+					res.RetriedRequests, res.FailedRequests,
+					uint64(len(a.Violations))+a.OmittedViolations)
 			}
-			a, c := res.Audit, res.Chaos
-			if a == nil || c == nil {
-				return nil, fmt.Errorf("abl-chaos %s seed %d: run missing audit/chaos report", name, seed)
-			}
-			if !a.Ok() {
-				return nil, fmt.Errorf("abl-chaos: invariant violations under %s seed %d (%s):\n%s",
-					name, seed, a, a.Diff())
-			}
-			if res.FailedRequests != 0 {
-				return nil, fmt.Errorf("abl-chaos: %s seed %d: %d requests failed despite retry budget %d",
-					name, seed, res.FailedRequests, retry.MaxRetries)
-			}
-			t.AddRow(name, seed, uint64(res.Cycles),
-				c.DelayedResponses, c.FencesInjected, c.FreezeCycles,
-				c.VaultStalls, res.Device.PoisonedResponses,
-				res.RetriedRequests, res.FailedRequests,
-				uint64(len(a.Violations))+a.OmittedViolations)
 		}
 	}
 	return t, nil

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mac3d/internal/hmc"
+	"mac3d/internal/sim"
+	"mac3d/internal/stats"
+)
+
+// cubeAddrs builds the synthetic address stream for the cube ablation:
+// a row round-robin sweep (row i, vault i mod 32) that never collides
+// on a bank, so the ideal crossbar's latency stays flat with load and
+// any divergence the routed fabrics show is fabric contention, not
+// bank queueing.
+func cubeAddrs(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i) * 256
+	}
+	return out
+}
+
+// cubeDrive runs one cube configuration against the given address
+// stream, injecting one read every gap cycles (subject to device
+// backpressure), and returns the finished device plus the mean
+// round-trip latency. The in-flight cap is raised far above the
+// host-interface default so the offered load — not the tag space — is
+// what stresses the fabric.
+func cubeDrive(cube hmc.CubeConfig, gap sim.Cycle, addrs []uint64) (*hmc.Device, float64, error) {
+	cfg := hmc.DefaultConfig()
+	cfg.MaxInflight = 4096
+	cfg.Cube = cube
+	d, err := hmc.NewDevice(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	var now sim.Cycle
+	var latSum, done uint64
+	next := 0
+	for done < uint64(len(addrs)) {
+		if now > 100_000_000 {
+			return nil, 0, fmt.Errorf("cube %q gap %d: stalled at %d/%d responses",
+				cube.String(), gap, done, len(addrs))
+		}
+		if next < len(addrs) && now%gap == 0 && d.CanAccept() {
+			d.Submit(hmc.Request{Tag: uint64(next), Addr: addrs[next], Kind: hmc.Read, Data: 64}, now)
+			next++
+		}
+		for _, r := range d.Tick(now) {
+			latSum += uint64(r.Done - r.Submitted)
+			done++
+		}
+		now++
+	}
+	return d, float64(latSum) / float64(done), nil
+}
+
+// AblationCube sweeps the cube-internal vault fabric: injection load
+// (one request per gap cycles, rising as the gap shrinks) × topology
+// (ideal crossbar vs routed ring vs 2D mesh, both at single-flit link
+// bandwidth so the fabric is the narrow resource) × row-buffer policy
+// (closed vs open page). Three properties are checked, not just
+// reported:
+//
+//   - at every load the routed fabrics are strictly slower end-to-end
+//     than the ideal crossbar (switch traversal is charged on top of
+//     the shared pipeline);
+//   - each routed fabric's mean in-network latency has its knee at
+//     the heaviest load: the heaviest-load transit tops the sweep and
+//     strictly exceeds the lightest-load transit, so contention — not
+//     a flat hop tax — drives the divergence;
+//   - on a row-local sequential stream the open-page policy hits in
+//     the row buffer and beats closed-page latency.
+func (s *Suite) AblationCube() (*stats.Table, error) {
+	const n = 4000
+	gaps := []sim.Cycle{16, 8, 4, 2, 1} // lightest -> heaviest load
+	topos := []string{"ideal", "ring", "mesh"}
+	pages := []string{hmc.PageClosed, hmc.PageOpen}
+	addrs := cubeAddrs(n)
+
+	t := stats.NewTable("Ablation: cube vault fabric (topology x page policy x load)",
+		"topology", "page", "inject_gap", "mean_lat", "net_lat",
+		"row_hit_rate", "fab_delivered", "fab_stalls")
+	// Closed-page series used for the knee checks; the open-page rows
+	// are reported but judged separately on the row-local stream.
+	lat := make(map[string]map[sim.Cycle]float64, len(topos))
+	net := make(map[string]map[sim.Cycle]float64, len(topos))
+	for _, topo := range topos {
+		lat[topo] = make(map[sim.Cycle]float64, len(gaps))
+		net[topo] = make(map[sim.Cycle]float64, len(gaps))
+		for _, page := range pages {
+			for _, gap := range gaps {
+				s.progress("simulating cube fabric (%s, page=%s, gap=%d)", topo, page, gap)
+				cube := hmc.CubeConfig{Topology: topo, PagePolicy: page}
+				if topo != "ideal" {
+					cube.LinkBandwidth = 1
+				}
+				d, mean, err := cubeDrive(cube, gap, addrs)
+				if err != nil {
+					return nil, fmt.Errorf("abl-cube: %w", err)
+				}
+				st := d.Stats()
+				var netLat float64
+				var delivered, stalls uint64
+				if fs := d.CubeStats(); fs != nil {
+					netLat = fs.NetLatency.Mean()
+					delivered = fs.Delivered
+					credit, chaosStalls := fs.StallCycles()
+					stalls = credit + chaosStalls
+				}
+				t.AddRow(topo, page, uint64(gap), mean, netLat,
+					st.RowHitRate(), delivered, stalls)
+				if page == hmc.PageClosed {
+					lat[topo][gap] = mean
+					net[topo][gap] = netLat
+				}
+			}
+		}
+	}
+
+	// Knee ordering: routed never beats ideal end-to-end, and each
+	// routed fabric's in-network latency peaks at the heaviest load
+	// and grows from the lightest — a contention knee, not a flat tax.
+	light, heavy := gaps[0], gaps[len(gaps)-1]
+	for _, topo := range []string{"ring", "mesh"} {
+		for _, gap := range gaps {
+			if lat[topo][gap] <= lat["ideal"][gap] {
+				return nil, fmt.Errorf("abl-cube: %s does not trail ideal at gap %d (%.2f <= %.2f)",
+					topo, gap, lat[topo][gap], lat["ideal"][gap])
+			}
+		}
+		if net[topo][heavy] <= net[topo][light] {
+			return nil, fmt.Errorf("abl-cube: %s net latency does not grow with load (light %.2f, heavy %.2f)",
+				topo, net[topo][light], net[topo][heavy])
+		}
+		for _, gap := range gaps[:len(gaps)-1] {
+			if net[topo][gap] > net[topo][heavy] {
+				return nil, fmt.Errorf("abl-cube: %s net-latency knee violated: gap %d transit %.2f exceeds heaviest-load %.2f",
+					topo, gap, net[topo][gap], net[topo][heavy])
+			}
+		}
+	}
+
+	// Open-page benefit: a row-local sequential stream must hit in the
+	// open row buffer and finish faster than under closed page.
+	local := make([]uint64, n)
+	for i := range local {
+		local[i] = uint64(i) * 64
+	}
+	var byPage [2]float64
+	for i, page := range pages {
+		d, mean, err := cubeDrive(hmc.CubeConfig{Topology: "ideal", PagePolicy: page}, 4, local)
+		if err != nil {
+			return nil, fmt.Errorf("abl-cube: row-local stream: %w", err)
+		}
+		byPage[i] = mean
+		if page == hmc.PageOpen {
+			st := d.Stats()
+			if st.RowHits == 0 {
+				return nil, fmt.Errorf("abl-cube: open page saw zero row hits on a row-local stream")
+			}
+			t.AddRow("ideal", "open(local)", uint64(4), mean, 0.0,
+				st.RowHitRate(), uint64(0), uint64(0))
+		}
+	}
+	if byPage[1] >= byPage[0] {
+		return nil, fmt.Errorf("abl-cube: open page does not beat closed on a row-local stream (%.2f >= %.2f)",
+			byPage[1], byPage[0])
+	}
+	return t, nil
+}

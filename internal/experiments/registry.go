@@ -157,6 +157,11 @@ func All() []Entry {
 			Paper: "(beyond paper; ideal crossbar vs routed ring vs 2D mesh)",
 			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationNoC() },
 		},
+		{
+			ID: "abl-cube", Title: "Ablation: cube vault fabric (topology x page x load)",
+			Paper: "(beyond paper; HMC intra-cube NoC, open-page rows, quadrant locality)",
+			Run:   func(s *Suite) (*stats.Table, error) { return s.AblationCube() },
+		},
 	}
 }
 

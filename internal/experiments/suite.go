@@ -99,6 +99,9 @@ type runKey struct {
 	audit      bool   // request-lifecycle conservation ledger
 	maxRetries int    // poisoned-completion re-issue budget
 	backoff    int64  // cycles between re-issues
+	// Cube-internal fabric config, keyed by its canonical rendering
+	// (hmc.CubeConfig.String()); "" = the default ideal crossbar.
+	cube string
 }
 
 // NewSuite builds a suite for opts.
@@ -221,6 +224,16 @@ func (s *Suite) run(k runKey) (*cpu.Result, error) {
 				profile.Seed = k.chaosSeed
 			}
 			cfg.Chaos = profile
+		}
+		if k.cube != "" {
+			cube, cerr := hmc.ParseCubeConfig(k.cube)
+			if cerr != nil {
+				s.mu.Lock()
+				s.errs[errKey] = fmt.Errorf("%s: cube config: %w", k.name, cerr)
+				s.mu.Unlock()
+				return
+			}
+			cfg.HMC.Cube = cube
 		}
 		cfg.Audit = k.audit
 		if k.maxRetries != 0 {
@@ -360,6 +373,22 @@ func (s *Suite) MACChaos(name string, threads int, profile chaos.Profile, seed u
 		audit:      true,
 		maxRetries: retry.MaxRetries,
 		backoff:    int64(retry.Backoff),
+	})
+}
+
+// MACChaosCube is MACChaos with the cube-internal fabric routed (the
+// given hmc.ParseCubeConfig string), so the chaos sweep also exercises
+// the cubelink stressor and the vault fabric's backpressure paths.
+func (s *Suite) MACChaosCube(name string, threads int, profile chaos.Profile, seed uint64, crcRate float64, retry memreq.RetryPolicy, cube string) (*cpu.Result, error) {
+	return s.run(runKey{
+		name: name, threads: threads, kind: cpu.WithMAC,
+		crc:        crcRate,
+		chaos:      profile.String(),
+		chaosSeed:  seed,
+		audit:      true,
+		maxRetries: retry.MaxRetries,
+		backoff:    int64(retry.Backoff),
+		cube:       cube,
 	})
 }
 

@@ -70,6 +70,12 @@ type Config struct {
 	// RefreshDuration is the per-window blocking time.
 	RefreshDuration sim.Cycle
 
+	// Cube configures the cube-internal vault fabric, the row-buffer
+	// page policy, and quadrant locality (see CubeConfig). The zero
+	// value — ideal switch, closed page, no quadrant effect — is
+	// cycle-for-cycle identical to the pre-fabric model.
+	Cube CubeConfig
+
 	// Faults configures deterministic link-level fault injection:
 	// CRC errors, link-retry, token flow control, and link
 	// degradation (see FaultConfig). The zero value disables it all,
@@ -142,6 +148,9 @@ func (c Config) Validate() error {
 	case c.RefreshInterval != 0 && c.RefreshDuration >= c.RefreshInterval:
 		return fmt.Errorf("hmc: RefreshDuration %d must be below RefreshInterval %d",
 			c.RefreshDuration, c.RefreshInterval)
+	}
+	if err := c.Cube.Validate(c.Links, c.Vaults); err != nil {
+		return err
 	}
 	return c.Faults.Validate()
 }

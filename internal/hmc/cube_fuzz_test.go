@@ -1,0 +1,48 @@
+package hmc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCubeConfig holds ParseCubeConfig to its contract: it never
+// panics, anything it accepts validates for the Table 1 organization
+// and builds a device, and accepted configs survive a
+// String→ParseCubeConfig round trip.
+func FuzzParseCubeConfig(f *testing.F) {
+	f.Add("")
+	f.Add("ideal")
+	f.Add("crossbar,page=open")
+	f.Add("ring,hop=5,bw=8,buf=128,inject=16,page=open,quad=3")
+	f.Add("mesh,cols=6,page=closed")
+	f.Add("mesh , page = open ")
+	f.Add("ideal,quad=12")
+	f.Add("torus")
+	f.Add("ideal,hop=3")
+	f.Add("ring,cols=4")
+	f.Add("ring,hop=-1")
+	f.Add("ring,hop=99999999999999999999")
+	f.Add(strings.Repeat(",", 100))
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCubeConfig(s)
+		if err != nil {
+			return
+		}
+		cfg := DefaultConfig()
+		cfg.Cube = c
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseCubeConfig(%q) accepted %+v but Validate: %v", s, c, err)
+		}
+		if _, err := NewDevice(cfg); err != nil {
+			t.Fatalf("ParseCubeConfig(%q) accepted %+v but NewDevice: %v", s, c, err)
+		}
+		// Canonical form must round-trip.
+		back, err := ParseCubeConfig(c.String())
+		if err != nil {
+			t.Fatalf("round trip of %q → %q: %v", s, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip of %q: %+v != %+v", s, back, c)
+		}
+	})
+}

@@ -1,0 +1,332 @@
+package hmc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mac3d/internal/sim"
+)
+
+func TestParseCubeConfig(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CubeConfig
+	}{
+		{"", CubeConfig{Topology: "ideal", PagePolicy: "closed"}},
+		{"ideal", CubeConfig{Topology: "ideal", PagePolicy: "closed"}},
+		{"crossbar", CubeConfig{Topology: "ideal", PagePolicy: "closed"}},
+		{"XBAR,page=open", CubeConfig{Topology: "ideal", PagePolicy: "open"}},
+		{"ideal,quad=12", CubeConfig{Topology: "ideal", PagePolicy: "closed", QuadrantPenalty: 12}},
+		{"ring", CubeConfig{Topology: "ring", HopCycles: 2, LinkBandwidth: 4,
+			BufferFlits: 64, InjectDepth: 8, PagePolicy: "closed"}},
+		{"ring,hop=5,bw=8,buf=128,inject=16,page=open,quad=3",
+			CubeConfig{Topology: "ring", HopCycles: 5, LinkBandwidth: 8, BufferFlits: 128,
+				InjectDepth: 16, PagePolicy: "open", QuadrantPenalty: 3}},
+		{"mesh,cols=6", CubeConfig{Topology: "mesh", HopCycles: 2, LinkBandwidth: 4,
+			BufferFlits: 64, InjectDepth: 8, MeshCols: 6, PagePolicy: "closed"}},
+		{" mesh , page = open ", CubeConfig{Topology: "mesh", HopCycles: 2, LinkBandwidth: 4,
+			BufferFlits: 64, InjectDepth: 8, PagePolicy: "open"}},
+	}
+	for _, c := range cases {
+		got, err := ParseCubeConfig(c.in)
+		if err != nil {
+			t.Fatalf("ParseCubeConfig(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ParseCubeConfig(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// String must round-trip the canonical form.
+		again, err := ParseCubeConfig(got.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", got.String(), err)
+		}
+		if !reflect.DeepEqual(again, got) {
+			t.Fatalf("round trip %q -> %+v != %+v", got.String(), again, got)
+		}
+	}
+}
+
+func TestParseCubeConfigRejects(t *testing.T) {
+	bad := []string{
+		"torus",              // unknown topology
+		"ideal,hop=3",        // ideal takes no fabric keys
+		"crossbar,bw=4",      // same, via alias
+		"ideal,buf=64",       // same
+		"ring,cols=4",        // cols is mesh-only
+		"ring,hop=-1",        // negative
+		"ring,hop=x",         // not a number
+		"ring,hop",           // not key=value
+		"mesh,page=paper",    // unknown policy
+		"ring,flux=1",        // unknown key
+		"ring,bw=65",         // beyond the noc bound
+		"mesh,cols=7",        // 36 nodes do not factor into 7 columns
+		"ideal,quad=2000000", // beyond the quad bound
+	}
+	for _, s := range bad {
+		if _, err := ParseCubeConfig(s); err == nil {
+			t.Fatalf("ParseCubeConfig(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestCubeConfigValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cube = CubeConfig{Topology: "warp"}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("bad topology: err = %v", err)
+	}
+	cfg.Cube = CubeConfig{PagePolicy: "ajar"}
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "page policy") {
+		t.Fatalf("bad policy: err = %v", err)
+	}
+	cfg.Cube = CubeConfig{Topology: "mesh", MeshCols: 5}
+	if err := cfg.Validate(); err == nil {
+		t.Fatalf("mesh cols=5 over 36 nodes accepted, want error")
+	}
+}
+
+// drainCube submits n strided reads back-to-back and runs the device to
+// completion, returning the responses in completion order.
+func drainCube(t *testing.T, cfg Config, n int, stride uint64) (*Device, []Response) {
+	t.Helper()
+	d := MustNewDevice(cfg)
+	var now sim.Cycle
+	var out []Response
+	a := uint64(0)
+	for i := 0; i < n; i++ {
+		for !d.CanAccept() {
+			out = append(out, d.Tick(now)...)
+			now++
+		}
+		d.Submit(Request{Tag: uint64(i), Addr: a, Kind: Read, Data: 64}, now)
+		a += stride
+		now++
+	}
+	for guard := 0; len(out) < n; guard++ {
+		if guard > 10_000_000 {
+			t.Fatalf("cube %q did not drain: %d/%d responses, pending %d",
+				cfg.Cube.String(), len(out), n, d.Pending())
+		}
+		out = append(out, d.Tick(now)...)
+		now++
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("drained but Pending() = %d", d.Pending())
+	}
+	return d, out
+}
+
+func meanLatency(rs []Response) float64 {
+	var sum uint64
+	for _, r := range rs {
+		sum += uint64(r.Done - r.Submitted)
+	}
+	return float64(sum) / float64(len(rs))
+}
+
+// TestCubeRoutedCompletes runs every topology × page policy through the
+// same stream and checks conservation plus the ideal ≤ routed latency
+// ordering the fabric must exhibit.
+func TestCubeRoutedCompletes(t *testing.T) {
+	const n = 400
+	lat := map[string]float64{}
+	for _, topo := range []string{"ideal", "ring", "mesh"} {
+		for _, page := range []string{PageClosed, PageOpen} {
+			cfg := DefaultConfig()
+			cfg.Cube = CubeConfig{Topology: topo, PagePolicy: page}
+			d, out := drainCube(t, cfg, n, 4096)
+			if len(out) != n {
+				t.Fatalf("%s/%s: %d responses, want %d", topo, page, len(out), n)
+			}
+			seen := map[uint64]bool{}
+			for _, r := range out {
+				if seen[r.Tag] {
+					t.Fatalf("%s/%s: duplicate response tag %d", topo, page, r.Tag)
+				}
+				seen[r.Tag] = true
+			}
+			if got := d.Stats().Requests; got != n {
+				t.Fatalf("%s/%s: Requests = %d, want %d", topo, page, got, n)
+			}
+			if topo == "ideal" && d.CubeStats() != nil {
+				t.Fatalf("ideal cube has fabric stats")
+			}
+			if topo != "ideal" {
+				if d.CubeStats() == nil || d.CubeStats().Delivered != 2*n {
+					t.Fatalf("%s/%s: fabric Delivered = %+v, want %d crossings",
+						topo, page, d.CubeStats(), 2*n)
+				}
+				if d.CubeLinks() == 0 {
+					t.Fatalf("%s: no cube links", topo)
+				}
+			}
+			lat[topo+"/"+page] = meanLatency(out)
+		}
+	}
+	for _, page := range []string{PageClosed, PageOpen} {
+		if lat["ring/"+page] <= lat["ideal/"+page] {
+			t.Fatalf("ring latency %.1f not above ideal %.1f (%s)",
+				lat["ring/"+page], lat["ideal/"+page], page)
+		}
+		if lat["mesh/"+page] <= lat["ideal/"+page] {
+			t.Fatalf("mesh latency %.1f not above ideal %.1f (%s)",
+				lat["mesh/"+page], lat["ideal/"+page], page)
+		}
+	}
+}
+
+// TestCubeIdealExplicitIdentity checks that spelling out the default
+// cube produces responses identical to the zero config.
+func TestCubeIdealExplicitIdentity(t *testing.T) {
+	base := DefaultConfig()
+	expl := DefaultConfig()
+	var err error
+	expl.Cube, err = ParseCubeConfig("crossbar,page=closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a := drainCube(t, base, 300, 4096)
+	_, b := drainCube(t, expl, 300, 4096)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("explicit default cube diverged from zero config")
+	}
+}
+
+// TestOpenPageRowLocality: a row-local stream (sequential 64B reads
+// within rows) must show row hits and beat closed-page latency; a
+// row-hostile stride keeps the hit rate at zero for single-bank reuse.
+func TestOpenPageRowLocality(t *testing.T) {
+	closed := DefaultConfig()
+	open := DefaultConfig()
+	open.Cube.PagePolicy = PageOpen
+
+	// stride 64 within 256B rows: 4 accesses per row.
+	dOpen, outOpen := drainCube(t, open, 512, 64)
+	_, outClosed := drainCube(t, closed, 512, 64)
+
+	st := dOpen.Stats()
+	if st.RowHits == 0 {
+		t.Fatalf("row-local stream produced no row hits (misses %d conflicts %d)",
+			st.RowMisses, st.RowConflicts)
+	}
+	if st.RowHits+st.RowMisses+st.RowConflicts != st.Requests {
+		t.Fatalf("row outcomes %d+%d+%d do not cover %d requests",
+			st.RowHits, st.RowMisses, st.RowConflicts, st.Requests)
+	}
+	if hr := st.RowHitRate(); hr < 0.5 {
+		t.Fatalf("row hit rate %.2f, want >= 0.5 for 4-per-row stream", hr)
+	}
+	if lo, lc := meanLatency(outOpen), meanLatency(outClosed); lo >= lc {
+		t.Fatalf("open-page latency %.1f not below closed-page %.1f", lo, lc)
+	}
+
+	// Closed-page devices must report no row outcomes at all.
+	if dc := MustNewDevice(closed); dc.Stats().RowHits != 0 || dc.Stats().RowHitRate() != 0 {
+		t.Fatalf("closed-page device reports row stats")
+	}
+}
+
+// TestQuadrantPenalty: with quad=Q, a request whose vault falls outside
+// its ingress link's quadrant pays exactly 2Q extra on an idle device.
+func TestQuadrantPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cube.QuadrantPenalty = 10
+	d := MustNewDevice(cfg)
+	base := MustNewDevice(DefaultConfig())
+
+	// Link selection round-robins from 0; vault 0 is in link 0's
+	// quadrant (32 vaults / 4 links = 8 per quadrant).
+	r := Request{Addr: 0, Kind: Read, Data: 16}
+	d.Submit(r, 0)
+	base.Submit(r, 0)
+	var got, want []Response
+	for now := sim.Cycle(0); len(got) == 0 || len(want) == 0; now++ {
+		got = append(got, d.Tick(now)...)
+		want = append(want, base.Tick(now)...)
+	}
+	if got[0].Done != want[0].Done {
+		t.Fatalf("in-quadrant access paid a penalty: done %d vs %d", got[0].Done, want[0].Done)
+	}
+
+	// Vault 31 belongs to link 3's quadrant; submitted on link 0 it
+	// pays the penalty both ways.
+	d.Reset()
+	base.Reset()
+	row31 := uint64(31) * 256 // row r maps to vault r%32
+	d.Submit(Request{Addr: row31, Kind: Read, Data: 16}, 0)
+	base.Submit(Request{Addr: row31, Kind: Read, Data: 16}, 0)
+	got, want = nil, nil
+	for now := sim.Cycle(0); len(got) == 0 || len(want) == 0; now++ {
+		got = append(got, d.Tick(now)...)
+		want = append(want, base.Tick(now)...)
+	}
+	if got[0].Done != want[0].Done+20 {
+		t.Fatalf("cross-quadrant access done %d, want %d (+2x10)", got[0].Done, want[0].Done)
+	}
+}
+
+// TestStallCubeLink: freezing intra-cube links delays routed traffic
+// and is a no-op on the ideal cube.
+func TestStallCubeLink(t *testing.T) {
+	ideal := MustNewDevice(DefaultConfig())
+	if ideal.CubeLinks() != 0 {
+		t.Fatalf("ideal cube reports %d links", ideal.CubeLinks())
+	}
+	ideal.StallCubeLink(0, 1000) // must not panic
+
+	cfg := DefaultConfig()
+	cfg.Cube.Topology = "ring"
+	free := MustNewDevice(cfg)
+	stalled := MustNewDevice(cfg)
+	for l := 0; l < stalled.CubeLinks(); l++ {
+		stalled.StallCubeLink(l, 5000)
+	}
+	r := Request{Addr: 0, Kind: Read, Data: 16}
+	free.Submit(r, 0)
+	stalled.Submit(r, 0)
+	var a, b []Response
+	for now := sim.Cycle(0); len(a) == 0 || len(b) == 0; now++ {
+		if now > 100_000 {
+			t.Fatalf("stalled cube never delivered")
+		}
+		a = append(a, free.Tick(now)...)
+		b = append(b, stalled.Tick(now)...)
+	}
+	if b[0].Done <= a[0].Done {
+		t.Fatalf("stalled done %d not after free done %d", b[0].Done, a[0].Done)
+	}
+}
+
+// TestCubeReset: a reset routed device replays the same stream to the
+// same responses.
+func TestCubeReset(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cube, _ = ParseCubeConfig("mesh,page=open")
+	d := MustNewDevice(cfg)
+	run := func() []Response {
+		var out []Response
+		var now sim.Cycle
+		for i := 0; i < 200; i++ {
+			d.Submit(Request{Tag: uint64(i), Addr: uint64(i) * 320, Kind: Read, Data: 64}, now)
+			now++
+		}
+		for guard := 0; len(out) < 200; guard++ {
+			if guard > 1_000_000 {
+				t.Fatalf("did not drain")
+			}
+			out = append(out, d.Tick(now)...)
+			now++
+		}
+		return out
+	}
+	first := run()
+	d.Reset()
+	if d.Pending() != 0 || d.Stats().Requests != 0 {
+		t.Fatalf("reset left state: pending %d requests %d", d.Pending(), d.Stats().Requests)
+	}
+	second := run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replay after Reset diverged")
+	}
+}

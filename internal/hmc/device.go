@@ -33,6 +33,17 @@ type Device struct {
 	// (log2 of RowBytes).
 	rowShift uint
 
+	// Open-page row-buffer state (nil under the closed-page policy):
+	// rowOpen[b] reports whether bank b holds a row in its sense
+	// amplifiers, openRow[b] which one.
+	openPage bool
+	rowOpen  []bool
+	openRow  []uint64
+
+	// cube is the routed intra-cube fabric runtime; nil for the ideal
+	// topology, which keeps the direct-dispatch fast path below.
+	cube *cubeState
+
 	pending responseHeap
 
 	// Fault-injection state (see faults.go / retry.go). All nil/zero
@@ -103,6 +114,24 @@ type Stats struct {
 	// VaultStallEvents counts transient vault-unavailability windows
 	// applied via StallVault (chaos injection).
 	VaultStallEvents uint64
+
+	// Open-page row-buffer outcomes, all zero under the closed-page
+	// policy. A RowHit found its row already open (no activate), a
+	// RowMiss opened an idle bank's row (tRCD), a RowConflict evicted
+	// another row first (tRP+tRCD).
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+}
+
+// RowHitRate returns the fraction of open-page accesses that hit an
+// already-open row, or 0 under the closed-page policy.
+func (s *Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
 }
 
 // BandwidthEfficiency returns Eq. 1 aggregated over all traffic:
@@ -122,6 +151,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("hmc: invalid device config: %w", err)
 	}
 	cfg.Faults = cfg.Faults.withDefaults()
+	cfg.Cube = cfg.Cube.WithDefaults()
 	shift := uint(0)
 	for 1<<shift != cfg.RowBytes {
 		shift++
@@ -135,6 +165,18 @@ func NewDevice(cfg Config) (*Device, error) {
 		vaultFree:    make([]sim.Cycle, cfg.Vaults),
 		vaultPending: make([]int, cfg.Vaults),
 		rowShift:     shift,
+	}
+	if cfg.Cube.PagePolicy == PageOpen {
+		d.openPage = true
+		d.rowOpen = make([]bool, cfg.Vaults*cfg.BanksPerVault)
+		d.openRow = make([]uint64, cfg.Vaults*cfg.BanksPerVault)
+	}
+	if cfg.Cube.Routed() {
+		cs, err := newCubeState(cfg)
+		if err != nil {
+			return nil, err
+		}
+		d.cube = cs
 	}
 	d.initFaults()
 	return d, nil
@@ -166,7 +208,7 @@ func (d *Device) Stats() *Stats { return &d.st }
 // any vault queue is at capacity. The MAC stops popping while this is
 // false (host-side backpressure).
 func (d *Device) CanAccept() bool {
-	if d.pending.Len() >= d.cfg.MaxInflight {
+	if d.Pending() >= d.cfg.MaxInflight {
 		return false
 	}
 	for _, p := range d.vaultPending {
@@ -249,10 +291,21 @@ func (d *Device) Submit(req Request, now sim.Cycle) {
 	}
 	d.reqLinkFree[link] = reqStart + reqSer
 
-	// 2. Switch/controller pipeline to the vault.
+	// 2. Cross the cube to the vault. With a routed cube fabric the
+	// request enters the interconnect once the external link finishes
+	// serializing it; everything downstream happens in cubeDeliver as
+	// the fabric moves flits.
 	row := d.row(req.Addr)
 	vault := d.m.Vault(row)
-	arrive := reqStart + reqSer + d.cfg.ReqPipeline
+	if d.cube != nil {
+		d.cubeSubmit(req, link, vault, reqStart+reqSer, now, drop)
+		return
+	}
+
+	// Ideal cube: the switch crossing is the fixed ReqPipeline, plus
+	// any quadrant-locality penalty.
+	quad := d.quadPenalty(link, vault)
+	arrive := reqStart + reqSer + quad + d.cfg.ReqPipeline
 
 	// 3. Vault controller FCFS issue (one decode per cycle),
 	// pushed past any refresh window in progress.
@@ -261,22 +314,12 @@ func (d *Device) Submit(req Request, now sim.Cycle) {
 	d.vaultFree[vault] = issue + 1
 	d.vaultPending[vault]++
 
-	// 4. Bank access under the closed-page policy.
-	bank := d.m.FlatBank(row)
-	conflicted := d.bankFree[bank] > issue
-	start := issue
-	if conflicted {
-		d.st.BankConflicts++
-		d.st.ConflictWaitCycles += uint64(d.bankFree[bank] - issue)
-		start = d.bankFree[bank]
-	}
-	d.bankFree[bank] = start + d.cfg.BankOccupancy(req.Data)
-	burst := sim.Cycle((req.Data + d.cfg.BurstBytesPerCycle - 1) / d.cfg.BurstBytesPerCycle)
-	dataReady := start + d.cfg.TRCD + d.cfg.TCL + burst
+	// 4. Bank access under the configured page policy.
+	dataReady, conflicted := d.bankAccess(req, issue)
 
 	// 5. Response serialization and return pipeline.
 	respSer := sim.Cycle(req.ResponseFlits()) * d.cfg.FlitCycles
-	respStart := max(dataReady, d.respLinkFree[link])
+	respStart := max(dataReady+quad, d.respLinkFree[link])
 	poisoned := false
 	if d.faultsOn {
 		var delivered bool
@@ -317,6 +360,60 @@ func (d *Device) Submit(req Request, now sim.Cycle) {
 		link:       link,
 	})
 }
+
+// bankAccess times one DRAM access issued at cycle issue: bank-conflict
+// wait, then the configured page policy's row handling. It returns the
+// cycle the data is ready at the vault controller and whether the
+// access waited on a busy bank, and advances the bank's busy horizon.
+func (d *Device) bankAccess(req Request, issue sim.Cycle) (dataReady sim.Cycle, conflicted bool) {
+	row := d.row(req.Addr)
+	bank := d.m.FlatBank(row)
+	conflicted = d.bankFree[bank] > issue
+	start := issue
+	if conflicted {
+		d.st.BankConflicts++
+		d.st.ConflictWaitCycles += uint64(d.bankFree[bank] - issue)
+		start = d.bankFree[bank]
+	}
+	burst := sim.Cycle((req.Data + d.cfg.BurstBytesPerCycle - 1) / d.cfg.BurstBytesPerCycle)
+	if !d.openPage {
+		// Closed page: every access pays activate up front and
+		// precharge on the way out (part of bank occupancy).
+		d.bankFree[bank] = start + d.cfg.BankOccupancy(req.Data)
+		return start + d.cfg.TRCD + d.cfg.TCL + burst, conflicted
+	}
+	// Open page: the row stays latched in the sense amplifiers after
+	// the access, so the next cost depends on what the bank holds.
+	var open sim.Cycle
+	switch {
+	case !d.rowOpen[bank]:
+		open = d.cfg.TRCD
+		d.st.RowMisses++
+	case d.openRow[bank] == row:
+		open = 0
+		d.st.RowHits++
+	default:
+		open = d.cfg.TRP + d.cfg.TRCD
+		d.st.RowConflicts++
+	}
+	// A request wider than the device row walks extra rows, each a
+	// precharge+activate beyond the first.
+	extra := sim.Cycle((req.Data + d.cfg.RowBytes - 1) / d.cfg.RowBytes)
+	if extra > 0 {
+		extra--
+	}
+	open += extra * (d.cfg.TRP + d.cfg.TRCD)
+	dataReady = start + open + d.cfg.TCL + burst
+	// No trailing precharge: the bank frees as soon as the burst
+	// drains, and the last row touched stays open.
+	d.bankFree[bank] = dataReady
+	d.rowOpen[bank] = true
+	d.openRow[bank] = row + uint64(extra)
+	return dataReady, conflicted
+}
+
+// pushResponse enqueues a completed response for Tick to deliver.
+func (d *Device) pushResponse(r Response) { heap.Push(&d.pending, r) }
 
 // poisonResponse emits the error response for a request abandoned on
 // the request path: no vault or bank was touched; the host hears a
@@ -400,6 +497,9 @@ func (d *Device) pickLink(now sim.Cycle) int {
 // Tick returns all responses completed at or before now, in completion
 // order. The returned slice is owned by the caller.
 func (d *Device) Tick(now sim.Cycle) []Response {
+	if d.cube != nil {
+		d.cubeAdvance(now)
+	}
 	var out []Response
 	for d.pending.Len() > 0 && d.pending[0].Done <= now {
 		r := heap.Pop(&d.pending).(Response)
@@ -414,8 +514,15 @@ func (d *Device) Tick(now sim.Cycle) []Response {
 	return out
 }
 
-// Pending returns the number of in-flight accesses.
-func (d *Device) Pending() int { return d.pending.Len() }
+// Pending returns the number of in-flight accesses, including any
+// still crossing the intra-cube fabric.
+func (d *Device) Pending() int {
+	n := d.pending.Len()
+	if d.cube != nil {
+		n += d.cube.inFlight
+	}
+	return n
+}
 
 // Drain returns the cycle by which every in-flight access completes.
 func (d *Device) Drain() sim.Cycle { return d.st.LastDone }
@@ -432,9 +539,22 @@ func (d *Device) Reset() {
 		d.vaultFree[i] = 0
 		d.vaultPending[i] = 0
 	}
+	for i := range d.rowOpen {
+		d.rowOpen[i] = false
+		d.openRow[i] = 0
+	}
 	d.pending = d.pending[:0]
 	d.nextLink = 0
 	d.st = Stats{}
+	if d.cube != nil {
+		// Rebuild the fabric from the already-validated config; this
+		// cannot fail after NewDevice accepted it.
+		cs, err := newCubeState(d.cfg)
+		if err != nil {
+			panic(err)
+		}
+		d.cube = cs
+	}
 	d.initFaults()
 }
 

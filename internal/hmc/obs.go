@@ -14,9 +14,29 @@ func (d *Device) AttachObs(o *obs.Obs) {
 	reg.Func("hmc.link.crc_errors", func() float64 { return float64(d.st.CRCErrors) })
 	reg.Func("hmc.link.poisoned", func() float64 { return float64(d.st.PoisonedResponses) })
 	reg.Func("hmc.link.token_stalls", func() float64 { return float64(d.st.TokenStalls) })
+	if d.openPage {
+		reg.Func("hmc.row.hits", func() float64 { return float64(d.st.RowHits) })
+		reg.Func("hmc.row.misses", func() float64 { return float64(d.st.RowMisses) })
+		reg.Func("hmc.row.conflicts", func() float64 { return float64(d.st.RowConflicts) })
+		reg.Func("hmc.row.hit_rate", func() float64 { return d.st.RowHitRate() })
+	}
+	if d.cube != nil {
+		// Cube fabric gauges live under hmc.cube. rather than the
+		// fabric's own noc. prefix, which the NUMA interconnect owns.
+		reg.Func("hmc.cube.delivered", func() float64 { return float64(d.cube.fab.Stats().Delivered) })
+		reg.Func("hmc.cube.stall_cycles", func() float64 {
+			credit, chaos := d.cube.fab.Stats().StallCycles()
+			return float64(credit + chaos)
+		})
+	}
 
 	rec := o.Rec()
 	rec.Watch("hmc.inflight", func() float64 { return float64(d.pending.Len()) })
+	if d.cube != nil {
+		rec.Watch("hmc.cube.in_flight", func() float64 {
+			return float64(d.cube.fab.InFlight())
+		})
+	}
 	rec.Watch("hmc.vault.pending_total", func() float64 {
 		total := 0
 		for _, p := range d.vaultPending {

@@ -335,6 +335,9 @@ type NodeStats struct {
 	Responses    core.ResponseRouterStats
 	RemoteServed uint64
 	RemoteSent   uint64
+	// Cube is the device's intra-cube fabric snapshot; nil for the
+	// ideal cube topology.
+	Cube *noc.Stats
 }
 
 // RemoteFraction returns the share of memory requests that targeted a
@@ -361,6 +364,10 @@ type System struct {
 	reqBudget int
 	// chaos injects transient link stalls; nil when disabled.
 	chaos *chaos.Engine
+	// cubeLinksPerDev is each device's intra-cube fabric link count
+	// (0 for the ideal cube); the cubelink stressor's global link id
+	// l targets node l/cubeLinksPerDev, link l%cubeLinksPerDev.
+	cubeLinksPerDev int
 	// obs is the run's observability handle; nil when disabled.
 	obs      *obs.Obs
 	watchdog *sim.Watchdog
@@ -456,6 +463,10 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.nodes = append(s.nodes, nd)
 	}
+	// Declare intra-cube links across all devices to the cubelink
+	// stressor (gated off for the ideal cube, which reports 0).
+	s.cubeLinksPerDev = s.nodes[0].dev.CubeLinks()
+	s.chaos.SetCubeLinks(s.cubeLinksPerDev * cfg.Nodes)
 	return s, nil
 }
 
@@ -778,6 +789,10 @@ func (s *System) tickChaos(now sim.Cycle) {
 	if l, until, ok := s.chaos.TakeLinkStall(); ok {
 		s.fab.StallLink(l, until)
 	}
+	if l, until, ok := s.chaos.TakeCubeLinkStall(); ok && s.cubeLinksPerDev > 0 {
+		nd := s.nodes[(l/s.cubeLinksPerDev)%len(s.nodes)]
+		nd.dev.StallCubeLink(l%s.cubeLinksPerDev, until)
+	}
 }
 
 // pumpInterconnect moves outbound traffic from the node onto its
@@ -1002,13 +1017,18 @@ func (s *System) result(cycles sim.Cycle) *Result {
 			r.Instructions += t.retired
 			r.RequestLatency.Merge(&t.latency)
 		}
-		r.PerNode = append(r.PerNode, NodeStats{
+		ns := NodeStats{
 			Coalescer:    *nd.coal.Stats(),
 			Device:       *nd.dev.Stats(),
 			Responses:    nd.resp.Stats(),
 			RemoteServed: nd.remoteServed,
 			RemoteSent:   nd.remoteSent,
-		})
+		}
+		if st := nd.dev.CubeStats(); st != nil {
+			snap := *st
+			ns.Cube = &snap
+		}
+		r.PerNode = append(r.PerNode, ns)
 	}
 	return r
 }

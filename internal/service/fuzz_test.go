@@ -19,6 +19,9 @@ func FuzzParseSpec(f *testing.F) {
 		`{"kind":"run","run":{"workload":"sg","observe":{"enabled":true,"sample_interval":64,"trace":true}}}`,
 		`{"kind":"run","run":{"workload":"sg","faults":{"crc_error_rate":0.01,"link_fail_rate":0.001}}}`,
 		`{"kind":"run","run":{"workload":"sg","chaos":{"profile":"mild"},"retry":{"max_retries":3}}}`,
+		`{"kind":"run","run":{"workload":"sg","cube":"ring,page=open"}}`,
+		`{"kind":"numa","numa":{"workload":"sg","cube":"mesh,quad=2","chaos":{"profile":"cubelink=0.01:64"}}}`,
+		`{"version":2,"kind":"run","run":{"workload":"sg","cube":"ring"}}`,
 		// Malformed shapes the parser must reject without panicking.
 		``,
 		`{`,

@@ -28,10 +28,12 @@ import (
 )
 
 // SpecVersion is the job-spec schema version this build writes.
-// Version 2 added the NUMA "noc" and "chaos" blocks; version 1 specs
-// are still accepted as long as they do not use them, and are
-// rewritten to the current version by normalization.
-const SpecVersion = 2
+// Version 3 added the cube-internal fabric ("cube") string on run and
+// numa options; version 2 added the NUMA "noc" and "chaos" blocks.
+// Older specs are still accepted as long as they do not use the blocks
+// that postdate them, and are rewritten to the current version by
+// normalization.
+const SpecVersion = 3
 
 // Kind selects what a job executes.
 type Kind string
@@ -122,6 +124,16 @@ func (s Spec) normalize() (Spec, error) {
 		if s.NUMA != nil && (s.NUMA.Design == mac3d.DesignWarp || s.NUMA.Design == mac3d.DesignMemCache || s.NUMA.Frontend != "") {
 			return s, fmt.Errorf("service: spec version 1 predates the warp/memcache designs and \"frontend\" tuning (declare version %d)", SpecVersion)
 		}
+		if err := rejectCube(s, 1); err != nil {
+			return s, err
+		}
+		s.Version = SpecVersion
+	case 2:
+		// v2 predates the cube-internal fabric string; same rule as
+		// the v1 gates above.
+		if err := rejectCube(s, 2); err != nil {
+			return s, err
+		}
 		s.Version = SpecVersion
 	default:
 		return s, fmt.Errorf("service: unsupported spec version %d (this build speaks %d)", s.Version, SpecVersion)
@@ -160,6 +172,18 @@ func (s Spec) normalize() (Spec, error) {
 		return s, fmt.Errorf("service: unknown spec kind %q (want run, compare or numa)", s.Kind)
 	}
 	return s, nil
+}
+
+// rejectCube errors if a pre-v3 spec uses the cube-internal fabric
+// string, which version 3 introduced.
+func rejectCube(s Spec, v int) error {
+	if s.Run != nil && s.Run.Cube != "" {
+		return fmt.Errorf("service: spec version %d predates the \"cube\" block (declare version %d)", v, SpecVersion)
+	}
+	if s.NUMA != nil && s.NUMA.Cube != "" {
+		return fmt.Errorf("service: spec version %d predates the \"cube\" block (declare version %d)", v, SpecVersion)
+	}
+	return nil
 }
 
 // Canonical renders the normalized spec as canonical JSON: the bytes

@@ -100,12 +100,18 @@ func TestParseSpecRejections(t *testing.T) {
 		"unknown top field": `{"kind":"run","run":{"workload":"sg"},"priority":9}`,
 		"missing kind":      `{"run":{"workload":"sg"}}`,
 		"unknown kind":      `{"kind":"sweep","run":{"workload":"sg"}}`,
-		"bad version":       `{"version":3,"kind":"run","run":{"workload":"sg"}}`,
+		"bad version":       `{"version":4,"kind":"run","run":{"workload":"sg"}}`,
 		"v1 with noc":       `{"version":1,"kind":"numa","numa":{"workload":"sg","noc":{"topology":"ring"}}}`,
 		"v1 with chaos":     `{"version":1,"kind":"numa","numa":{"workload":"sg","chaos":{"profile":"link=0.01"}}}`,
 		"v1 warp design":    `{"version":1,"kind":"run","run":{"workload":"sg","design":"warp"}}`,
 		"v1 memcache numa":  `{"version":1,"kind":"numa","numa":{"workload":"sg","design":"memcache"}}`,
 		"v1 with frontend":  `{"version":1,"kind":"run","run":{"workload":"sg","frontend":"lanes=16"}}`,
+		"v1 with cube":      `{"version":1,"kind":"run","run":{"workload":"sg","cube":"ring"}}`,
+		"v2 with cube run":  `{"version":2,"kind":"run","run":{"workload":"sg","cube":"ring,page=open"}}`,
+		"v2 with cube numa": `{"version":2,"kind":"numa","numa":{"workload":"sg","cube":"mesh"}}`,
+		"bad cube":          `{"kind":"run","run":{"workload":"sg","cube":"torus"}}`,
+		"bad cube key":      `{"kind":"run","run":{"workload":"sg","cube":"ring,warp=2"}}`,
+		"numa bad cube":     `{"kind":"numa","numa":{"workload":"sg","cube":"mesh,cols=7"}}`,
 		"bad frontend":      `{"kind":"run","run":{"workload":"sg","design":"warp","frontend":"lanes=3"}}`,
 		"frontend unknown":  `{"kind":"run","run":{"workload":"sg","frontend":"bogus=1"}}`,
 		"numa bad frontend": `{"kind":"numa","numa":{"workload":"sg","design":"memcache","frontend":"split=2"}}`,
@@ -151,6 +157,9 @@ func TestParseSpecAcceptsAllKinds(t *testing.T) {
 		`{"kind":"numa","numa":{"workload":"sg","nodes":8,"cores_per_node":1,"noc":{"topology":"ring","link_latency_ns":10}}}`,
 		`{"kind":"numa","numa":{"workload":"sg","nodes":8,"cores_per_node":1,"noc":{"topology":"mesh","mesh_cols":4,"buffer_flits":32}}}`,
 		`{"kind":"numa","numa":{"workload":"sg","chaos":{"profile":"link=0.02:100","seed":9}}}`,
+		`{"kind":"run","run":{"workload":"sg","cube":"ring,page=open"}}`,
+		`{"kind":"compare","run":{"workload":"bfs","cube":"mesh,quad=2"}}`,
+		`{"kind":"numa","numa":{"workload":"sg","cube":"mesh,page=open","chaos":{"profile":"cubelink=0.01:64","seed":5}}}`,
 	}
 	for _, in := range cases {
 		s, err := ParseSpec([]byte(in))

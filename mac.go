@@ -260,6 +260,13 @@ type RunOptions struct {
 	// (tREFI ≈ 7.8µs, tRFC ≈ 350ns), adding realistic latency
 	// tails. Off by default, matching the paper's model.
 	ModelRefresh bool `json:"model_refresh,omitempty"`
+	// Cube configures the device's cube-internal vault fabric, page
+	// policy, and quadrant locality, as "TOPOLOGY[,key=value...]"
+	// (see hmc.ParseCubeConfig): topology ideal|crossbar|ring|mesh,
+	// keys hop/bw/buf/inject/cols for routed fabrics, page=closed|open,
+	// quad=N. Empty keeps the pre-fabric ideal switch with closed-page
+	// timing, cycle-for-cycle identical to earlier releases.
+	Cube string `json:"cube,omitempty"`
 
 	// Faults configures link-level fault injection. The zero value
 	// disables the fault machinery entirely: a zero-fault run is
@@ -531,6 +538,11 @@ func (o RunOptions) runConfig() (cpu.RunConfig, error) {
 		cfg.HMC.RefreshInterval = 25740 // tREFI at 3.3 GHz
 		cfg.HMC.RefreshDuration = 1155  // tRFC
 	}
+	cube, err := hmc.ParseCubeConfig(o.Cube)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.HMC.Cube = cube
 	cfg.HMC.Faults = hmc.FaultConfig{
 		CRCErrorRate:      o.Faults.CRCErrorRate,
 		LinkFailRate:      o.Faults.LinkFailRate,

@@ -6,6 +6,7 @@ import (
 
 	"mac3d/internal/chaos"
 	"mac3d/internal/coalesce"
+	"mac3d/internal/hmc"
 	"mac3d/internal/memreq"
 	"mac3d/internal/noc"
 	"mac3d/internal/numa"
@@ -54,6 +55,12 @@ type NUMAOptions struct {
 	// the pre-NoC model implied, driven by LinkLatencyNs.
 	NoC *NoCOptions `json:"noc,omitempty"`
 
+	// Cube configures every node device's cube-internal vault fabric,
+	// page policy, and quadrant locality — same syntax and semantics
+	// as RunOptions.Cube (hmc.ParseCubeConfig). Empty keeps the
+	// pre-fabric ideal switch with closed-page timing.
+	Cube string `json:"cube,omitempty"`
+
 	// Parallel is the simulation worker count: node phases run on
 	// that many goroutines between per-cycle barriers, with results
 	// bit-identical to the sequential core. 0 or 1 runs sequentially;
@@ -61,9 +68,10 @@ type NUMAOptions struct {
 	// knob — it never changes what is simulated, only how fast.
 	Parallel int `json:"parallel,omitempty"`
 
-	// Chaos injects deterministic adversity; at the NUMA level only
-	// the link stressor acts (transient NoC link stalls on routed
-	// topologies).
+	// Chaos injects deterministic adversity; at the NUMA level the
+	// link stressor acts (transient NoC link stalls on routed
+	// topologies), plus the cubelink stressor when the devices run a
+	// routed cube fabric.
 	Chaos ChaosOptions `json:"chaos"`
 
 	// Retry re-issues poisoned completions at the requester, same
@@ -252,6 +260,11 @@ func (o NUMAOptions) numaConfig() (numa.Config, error) {
 			MeshCols:      o.NoC.MeshCols,
 		}
 	}
+	cube, err := hmc.ParseCubeConfig(o.Cube)
+	if err != nil {
+		return cfg, fmt.Errorf("mac3d: %w", err)
+	}
+	cfg.HMC.Cube = cube
 	profile, err := chaos.ParseProfile(o.Chaos.Profile)
 	if err != nil {
 		return cfg, fmt.Errorf("mac3d: %w", err)
@@ -296,6 +309,11 @@ type NUMAReport struct {
 
 	// NoC summarizes the inter-node interconnect.
 	NoC *NUMANoCReport `json:"noc,omitempty"`
+
+	// Cube summarizes every node device's intra-cube fabric and
+	// row-buffer behaviour, aggregated across nodes; nil unless
+	// NUMAOptions.Cube selected something beyond the default cube.
+	Cube *CubeReport `json:"cube,omitempty"`
 
 	// Chaos carries the injected-adversity counters; nil unless a
 	// chaos profile was active.
@@ -410,7 +428,32 @@ func RunNUMA(opts NUMAOptions) (*NUMAReport, error) {
 			FreezeCycles:     c.FreezeCycles,
 			VaultStalls:      c.VaultStalls,
 			LinkStalls:       c.LinkStalls,
+			CubeLinkStalls:   c.CubeLinkStalls,
 		}
+	}
+	if opts.Cube != "" {
+		// The cube string parsed successfully before the run started.
+		cube, _ := hmc.ParseCubeConfig(opts.Cube)
+		cr := &CubeReport{
+			Config:     cube.String(),
+			Topology:   cube.Topology,
+			PagePolicy: cube.PagePolicy,
+		}
+		for _, ns := range res.PerNode {
+			cr.RowHits += ns.Device.RowHits
+			cr.RowMisses += ns.Device.RowMisses
+			cr.RowConflicts += ns.Device.RowConflicts
+			if ns.Cube != nil {
+				cr.FabricSent += ns.Cube.Sent
+				cr.FabricDelivered += ns.Cube.Delivered
+				credit, chaosStalls := ns.Cube.StallCycles()
+				cr.FabricStallCycles += credit + chaosStalls
+			}
+		}
+		if total := cr.RowHits + cr.RowMisses + cr.RowConflicts; total > 0 {
+			cr.RowHitRate = float64(cr.RowHits) / float64(total)
+		}
+		rep.Cube = cr
 	}
 	for i, ns := range res.PerNode {
 		rep.PerNode = append(rep.PerNode, NUMANodeReport{

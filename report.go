@@ -5,6 +5,7 @@ import (
 
 	"mac3d/internal/chaos"
 	"mac3d/internal/cpu"
+	"mac3d/internal/hmc"
 	"mac3d/internal/sim"
 )
 
@@ -90,6 +91,11 @@ type RunReport struct {
 	// Chaos carries the injected-adversity counters; nil unless a
 	// chaos profile was configured.
 	Chaos *ChaosReport `json:"chaos,omitempty"`
+
+	// Cube carries the intra-cube vault-fabric and page-policy
+	// measurements; nil unless RunOptions.Cube selected something
+	// beyond the default ideal/closed cube.
+	Cube *CubeReport `json:"cube,omitempty"`
 
 	// Warp carries the SIMT frontend's measurements; nil unless the
 	// run used DesignWarp.
@@ -182,6 +188,34 @@ type ChaosReport struct {
 	// LinkStalls counts transient NoC link-stall events (NUMA runs
 	// with a routed interconnect; always zero for single-node runs).
 	LinkStalls uint64 `json:"link_stalls"`
+	// CubeLinkStalls counts transient intra-cube fabric link-stall
+	// events (runs with a routed cube topology only).
+	CubeLinkStalls uint64 `json:"cube_link_stalls"`
+}
+
+// CubeReport summarizes the cube-internal vault fabric and row-buffer
+// behaviour of a run with a non-default cube configuration.
+type CubeReport struct {
+	// Config is the canonical rendering of the cube configuration.
+	Config string `json:"config"`
+	// Topology and PagePolicy echo the active selections.
+	Topology   string `json:"topology"`
+	PagePolicy string `json:"page_policy"`
+	// RowHits/RowMisses/RowConflicts are the open-page row-buffer
+	// outcome counts (all zero under closed-page timing), RowHitRate
+	// the hit fraction.
+	RowHits      uint64  `json:"row_hits"`
+	RowMisses    uint64  `json:"row_misses"`
+	RowConflicts uint64  `json:"row_conflicts"`
+	RowHitRate   float64 `json:"row_hit_rate"`
+	// FabricSent/FabricDelivered count messages crossing the routed
+	// intra-cube fabric (two per access: request in, response out);
+	// zero on the ideal topology.
+	FabricSent      uint64 `json:"fabric_sent"`
+	FabricDelivered uint64 `json:"fabric_delivered"`
+	// FabricStallCycles sums credit and chaos stalls on intra-cube
+	// links.
+	FabricStallCycles uint64 `json:"fabric_stall_cycles"`
 }
 
 // FaultReport is the measurement set of the link-level fault model.
@@ -322,7 +356,28 @@ func newRunReport(opts RunOptions, res *cpu.Result) RunReport {
 			FreezeCycles:     c.FreezeCycles,
 			VaultStalls:      c.VaultStalls,
 			LinkStalls:       c.LinkStalls,
+			CubeLinkStalls:   c.CubeLinkStalls,
 		}
+	}
+	if opts.Cube != "" {
+		// The cube string parsed successfully before the run started.
+		cube, _ := hmc.ParseCubeConfig(opts.Cube)
+		cr := &CubeReport{
+			Config:       cube.String(),
+			Topology:     cube.Topology,
+			PagePolicy:   cube.PagePolicy,
+			RowHits:      res.Device.RowHits,
+			RowMisses:    res.Device.RowMisses,
+			RowConflicts: res.Device.RowConflicts,
+			RowHitRate:   res.Device.RowHitRate(),
+		}
+		if res.Cube != nil {
+			cr.FabricSent = res.Cube.Sent
+			cr.FabricDelivered = res.Cube.Delivered
+			credit, chaosStalls := res.Cube.StallCycles()
+			cr.FabricStallCycles = credit + chaosStalls
+		}
+		rep.Cube = cr
 	}
 	return rep
 }
